@@ -1,0 +1,376 @@
+//! The user-level data object cache (§III-D).
+//!
+//! "ArkFS has its own user-level data object cache that basically serves
+//! the same functionality as the page cache in the kernel. The number of
+//! cache entries and the size of each entry are configurable parameters.
+//! By default, the cache entry size is set to 2MB. [...] the radix tree
+//! is used to index cached data objects. [...] ArkFS's object cache works
+//! in a write-back manner."
+//!
+//! One cache per client. Entries are whole data chunks, indexed by a
+//! per-file [`RadixTree`] keyed on chunk index. Eviction is LRU; evicting
+//! a dirty entry hands it back to the caller for write-back.
+
+use crate::radix::RadixTree;
+use arkfs_vfs::Ino;
+use std::collections::HashMap;
+
+/// A dirty entry displaced by eviction; the caller must write it back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    pub ino: Ino,
+    pub chunk: u64,
+    pub data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    data: Vec<u8>,
+    dirty: bool,
+    tick: u64,
+    /// Virtual time at which an asynchronously prefetched chunk becomes
+    /// usable. A reader touching it earlier must wait (§III-D: the window
+    /// "is asynchronously read in advance").
+    ready_at: u64,
+}
+
+/// Write-back data chunk cache with LRU eviction.
+#[derive(Debug)]
+pub struct DataCache {
+    files: HashMap<Ino, RadixTree<CacheEntry>>,
+    capacity: usize,
+    len: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DataCache {
+    /// `capacity` is the maximum number of chunk entries held.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        DataCache {
+            files: HashMap::new(),
+            capacity,
+            len: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Read from a cached chunk. Returns the chunk bytes if present.
+    pub fn get(&mut self, ino: Ino, chunk: u64) -> Option<&[u8]> {
+        self.get_ready(ino, chunk).map(|(data, _)| data)
+    }
+
+    /// Read from a cached chunk, also reporting when the chunk is ready
+    /// (prefetched chunks carry their asynchronous completion time; the
+    /// caller's timeline must wait until then).
+    pub fn get_ready(&mut self, ino: Ino, chunk: u64) -> Option<(&[u8], u64)> {
+        let tick = self.tick();
+        match self.files.get_mut(&ino).and_then(|t| t.get_mut(chunk)) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.hits += 1;
+                Some((&entry.data, entry.ready_at))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True without touching LRU/ hit accounting (used by tests).
+    pub fn contains(&self, ino: Ino, chunk: u64) -> bool {
+        self.files.get(&ino).is_some_and(|t| t.contains(chunk))
+    }
+
+    /// Insert a chunk read from the store (clean). Returns dirty entries
+    /// evicted to make room.
+    pub fn insert_clean(&mut self, ino: Ino, chunk: u64, data: Vec<u8>) -> Vec<Evicted> {
+        self.insert(ino, chunk, data, false, 0)
+    }
+
+    /// Insert an asynchronously prefetched chunk that becomes usable at
+    /// `ready_at` on the virtual clock.
+    pub fn insert_prefetched(
+        &mut self,
+        ino: Ino,
+        chunk: u64,
+        data: Vec<u8>,
+        ready_at: u64,
+    ) -> Vec<Evicted> {
+        self.insert(ino, chunk, data, false, ready_at)
+    }
+
+    fn insert(&mut self, ino: Ino, chunk: u64, data: Vec<u8>, dirty: bool, ready_at: u64)
+        -> Vec<Evicted> {
+        let tick = self.tick();
+        let tree = self.files.entry(ino).or_default();
+        if tree.insert(chunk, CacheEntry { data, dirty, tick, ready_at }).is_none() {
+            self.len += 1;
+        }
+        self.evict_to_capacity()
+    }
+
+    /// Write into a chunk at `offset`, extending it as needed, marking it
+    /// dirty. The chunk must already be resident (callers install it with
+    /// `insert_clean` first when doing a partial overwrite of store
+    /// data). Returns evictions.
+    pub fn write(
+        &mut self,
+        ino: Ino,
+        chunk: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Vec<Evicted> {
+        let tick = self.tick();
+        let tree = self.files.entry(ino).or_default();
+        match tree.get_mut(chunk) {
+            Some(entry) => {
+                let end = offset + data.len();
+                if entry.data.len() < end {
+                    entry.data.resize(end, 0);
+                }
+                entry.data[offset..end].copy_from_slice(data);
+                entry.dirty = true;
+                entry.tick = tick;
+                entry.ready_at = 0;
+                Vec::new()
+            }
+            None => {
+                let mut buf = vec![0u8; offset + data.len()];
+                buf[offset..].copy_from_slice(data);
+                self.insert(ino, chunk, buf, true, 0)
+            }
+        }
+    }
+
+    fn evict_to_capacity(&mut self) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        while self.len > self.capacity {
+            // Find the globally least-recently-used entry.
+            let mut victim: Option<(Ino, u64, u64)> = None;
+            for (&ino, tree) in &self.files {
+                for (chunk, entry) in tree.iter() {
+                    match victim {
+                        Some((_, _, best)) if entry.tick >= best => {}
+                        _ => victim = Some((ino, chunk, entry.tick)),
+                    }
+                }
+            }
+            let Some((ino, chunk, _)) = victim else { break };
+            let entry = self
+                .files
+                .get_mut(&ino)
+                .and_then(|t| t.remove(chunk))
+                .expect("victim must exist");
+            self.len -= 1;
+            if self.files.get(&ino).is_some_and(|t| t.is_empty()) {
+                self.files.remove(&ino);
+            }
+            if entry.dirty {
+                out.push(Evicted { ino, chunk, data: entry.data });
+            }
+        }
+        out
+    }
+
+    /// Take the dirty chunks of one file for write-back; they remain
+    /// cached but clean afterwards.
+    pub fn take_dirty(&mut self, ino: Ino) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        if let Some(tree) = self.files.get_mut(&ino) {
+            let chunks: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
+            for chunk in chunks {
+                if let Some(entry) = tree.get_mut(chunk) {
+                    if entry.dirty {
+                        entry.dirty = false;
+                        out.push((chunk, entry.data.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Take every dirty chunk (global sync).
+    pub fn take_all_dirty(&mut self) -> Vec<Evicted> {
+        let inos: Vec<Ino> = self.files.keys().copied().collect();
+        let mut out = Vec::new();
+        for ino in inos {
+            for (chunk, data) in self.take_dirty(ino) {
+                out.push(Evicted { ino, chunk, data });
+            }
+        }
+        out
+    }
+
+    /// Drop every cached chunk of a file (lease revocation, delete,
+    /// or the fio benchmark's cache-drop step). Dirty data is DISCARDED —
+    /// flush first if it matters.
+    pub fn invalidate_file(&mut self, ino: Ino) {
+        if let Some(tree) = self.files.remove(&ino) {
+            self.len -= tree.len();
+        }
+    }
+
+    /// Drop cached chunks at and beyond `first_chunk` (truncate).
+    pub fn truncate_file(&mut self, ino: Ino, first_chunk: u64) {
+        if let Some(tree) = self.files.get_mut(&ino) {
+            let removed = tree.split_off(first_chunk);
+            self.len -= removed.len();
+            if tree.is_empty() {
+                self.files.remove(&ino);
+            }
+        }
+    }
+
+    /// Number of dirty entries (diagnostics).
+    pub fn dirty_count(&self) -> usize {
+        self.files
+            .values()
+            .map(|t| t.iter().filter(|(_, e)| e.dirty).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut c = DataCache::new(4);
+        assert!(c.get(1, 0).is_none());
+        c.write(1, 0, 0, b"hello");
+        assert_eq!(c.get(1, 0).unwrap(), b"hello");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn partial_write_extends_entry() {
+        let mut c = DataCache::new(4);
+        c.insert_clean(1, 0, b"abcdef".to_vec());
+        c.write(1, 0, 4, b"XYZ123");
+        assert_eq!(c.get(1, 0).unwrap(), b"abcdXYZ123");
+        // Write into an absent chunk zero-fills the gap.
+        c.write(1, 1, 3, b"q");
+        assert_eq!(c.get(1, 1).unwrap(), b"\0\0\0q");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_clean_silently() {
+        let mut c = DataCache::new(2);
+        assert!(c.insert_clean(1, 0, vec![0]).is_empty());
+        assert!(c.insert_clean(1, 1, vec![1]).is_empty());
+        let ev = c.insert_clean(1, 2, vec![2]);
+        assert!(ev.is_empty(), "clean eviction returns nothing");
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(1, 0), "oldest entry evicted");
+    }
+
+    #[test]
+    fn lru_respects_recent_access() {
+        let mut c = DataCache::new(2);
+        c.insert_clean(1, 0, vec![0]);
+        c.insert_clean(1, 1, vec![1]);
+        c.get(1, 0); // refresh chunk 0
+        c.insert_clean(1, 2, vec![2]);
+        assert!(c.contains(1, 0));
+        assert!(!c.contains(1, 1));
+    }
+
+    #[test]
+    fn dirty_eviction_hands_back_data() {
+        let mut c = DataCache::new(1);
+        c.write(1, 0, 0, b"dirty");
+        let ev = c.write(2, 0, 0, b"new");
+        assert_eq!(ev, vec![Evicted { ino: 1, chunk: 0, data: b"dirty".to_vec() }]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn take_dirty_cleans_but_keeps_entries() {
+        let mut c = DataCache::new(8);
+        c.write(1, 0, 0, b"a");
+        c.write(1, 3, 0, b"b");
+        c.insert_clean(1, 5, b"c".to_vec());
+        c.write(2, 0, 0, b"other");
+        let dirty = c.take_dirty(1);
+        assert_eq!(dirty, vec![(0, b"a".to_vec()), (3, b"b".to_vec())]);
+        assert_eq!(c.dirty_count(), 1); // file 2 still dirty
+        assert_eq!(c.get(1, 0).unwrap(), b"a"); // data still cached
+        assert!(c.take_dirty(1).is_empty(), "second take is empty");
+    }
+
+    #[test]
+    fn take_all_dirty_spans_files() {
+        let mut c = DataCache::new(8);
+        c.write(1, 0, 0, b"a");
+        c.write(2, 1, 0, b"b");
+        let mut all = c.take_all_dirty();
+        all.sort_by_key(|e| e.ino);
+        assert_eq!(all.len(), 2);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_whole_file() {
+        let mut c = DataCache::new(8);
+        c.write(1, 0, 0, b"a");
+        c.write(1, 1, 0, b"b");
+        c.write(2, 0, 0, b"keep");
+        c.invalidate_file(1);
+        assert_eq!(c.len(), 1);
+        assert!(!c.contains(1, 0));
+        assert!(c.contains(2, 0));
+    }
+
+    #[test]
+    fn truncate_drops_tail_chunks() {
+        let mut c = DataCache::new(8);
+        for chunk in 0..5 {
+            c.write(1, chunk, 0, b"x");
+        }
+        c.truncate_file(1, 2);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(1, 1));
+        assert!(!c.contains(1, 2));
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = DataCache::new(1);
+        for chunk in 0..10 {
+            c.insert_clean(1, chunk, vec![chunk as u8]);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1, 9).unwrap(), &[9]);
+    }
+}

@@ -1,0 +1,1896 @@
+//! The ArkFS client: near-POSIX operations with client-driven metadata.
+//!
+//! Each [`ArkClient`] is one simulated process. It resolves paths
+//! component by component; for every directory it either *leads* (holds
+//! the lease and the [`Metatable`]) or forwards to the leader over RPC
+//! (§III-B, Figure 3). Data I/O goes through the write-back
+//! [`DataCache`] under per-file read/write leases (§III-D), and all
+//! mutations are journaled per directory (§III-E).
+
+use crate::cache::DataCache;
+use crate::cluster::{manager_node, ArkCluster};
+use crate::config::ArkConfig;
+use crate::meta::InodeRecord;
+use crate::metatable::Metatable;
+use crate::prt::Prt;
+use crate::rpc::{OpBody, OpRequest, OpResponse};
+use arkfs_lease::{FileLeaseDecision, LeaseRequest, LeaseResponse};
+use arkfs_netsim::{NetError, NodeId, Service};
+use arkfs_objstore::ObjectKey;
+use arkfs_simkit::{Nanos, Port, SharedResource};
+use arkfs_vfs::{
+    path as vpath, perm, Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult,
+    FsStats, Ino, OpenFlags, SetAttr, Stat, Vfs, AM_EXEC, AM_READ, AM_WRITE, ROOT_INO,
+};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How often a non-leader retries lease acquisition before giving up.
+const MAX_LEASE_RETRIES: usize = 16;
+
+/// A cached view of a remote directory used in permission-cache mode
+/// (§III-C): its inode (permissions + stat) and recent lookup results,
+/// valid for one lease period.
+#[derive(Debug, Clone)]
+struct PermCacheEntry {
+    dir: InodeRecord,
+    lookups: HashMap<String, Option<(Ino, FileType)>>,
+    expires_at: Nanos,
+}
+
+/// Per-open-file state, including the read-ahead window (§III-D).
+#[derive(Debug)]
+struct OpenFile {
+    ino: Ino,
+    parent: Ino,
+    flags: OpenFlags,
+    /// Local view of the file size (updated by writes; pushed to the
+    /// leader on fsync/close).
+    size: u64,
+    /// True while data goes through the cache (valid file lease); false
+    /// in direct-I/O mode after a lease conflict.
+    cached: bool,
+    wrote: bool,
+    /// Current read-ahead window in bytes (0 = no prefetch).
+    ra_window: u64,
+    /// End offset of the previous read (sequentiality detection).
+    last_pos: u64,
+}
+
+/// Everything shared between the client's own thread and its RPC service
+/// handler (which runs on the *caller's* thread).
+pub(crate) struct ClientState {
+    id: NodeId,
+    cluster: Arc<ArkCluster>,
+    /// Directories this client currently leads.
+    tables: Mutex<HashMap<Ino, Arc<Mutex<Metatable>>>>,
+    /// Lease expiry per led directory.
+    leases: Mutex<HashMap<Ino, Nanos>>,
+    /// Last-known leaders of remote directories.
+    remote_hints: Mutex<HashMap<Ino, NodeId>>,
+    /// Permission cache (pcache mode).
+    pcache: Mutex<HashMap<Ino, PermCacheEntry>>,
+    handles: Mutex<HashMap<u64, OpenFile>>,
+    next_handle: AtomicU64,
+    cache: Mutex<DataCache>,
+    /// Serializes operations this client serves as a leader (its "CPU").
+    server: SharedResource,
+    /// Commit lanes; directories map statically by inode number.
+    lanes: Vec<SharedResource>,
+    rng: Mutex<StdRng>,
+    crashed: AtomicBool,
+}
+
+/// One ArkFS client process.
+pub struct ArkClient {
+    state: Arc<ClientState>,
+    port: Port,
+}
+
+struct ClientService(Arc<ClientState>);
+
+impl Service<OpRequest, OpResponse> for ClientService {
+    fn handle(&self, arrival: Nanos, req: OpRequest) -> (OpResponse, Nanos) {
+        if self.0.crashed.load(Ordering::Acquire) {
+            return (OpResponse::NotLeader, arrival);
+        }
+        let spec = &self.0.cluster.config().spec;
+        let start = self.0.server.reserve(arrival, spec.leader_op_service);
+        let port = Port::starting_at(start);
+        let resp = self.0.serve(&port, req);
+        (resp, port.now())
+    }
+}
+
+impl ArkClient {
+    pub(crate) fn new(cluster: Arc<ArkCluster>, id: NodeId) -> Arc<Self> {
+        let config = cluster.config().clone();
+        let lanes = (0..config.journal_lanes.max(1))
+            .map(|_| SharedResource::ideal("commit-lane"))
+            .collect();
+        let state = Arc::new(ClientState {
+            id,
+            cluster: Arc::clone(&cluster),
+            tables: Mutex::new(HashMap::new()),
+            leases: Mutex::new(HashMap::new()),
+            remote_hints: Mutex::new(HashMap::new()),
+            pcache: Mutex::new(HashMap::new()),
+            handles: Mutex::new(HashMap::new()),
+            next_handle: AtomicU64::new(1),
+            cache: Mutex::new(DataCache::new(config.cache_entries)),
+            server: SharedResource::ideal("leader-server"),
+            lanes,
+            rng: Mutex::new(StdRng::seed_from_u64(0xA2F5_0000 ^ id.0 as u64)),
+            crashed: AtomicBool::new(false),
+        });
+        cluster.ops_bus().register(id, Arc::new(ClientService(Arc::clone(&state))));
+        Arc::new(ArkClient { state, port: Port::new() })
+    }
+
+    /// This client's network identity.
+    pub fn id(&self) -> NodeId {
+        self.state.id
+    }
+
+    /// The client's virtual timeline (benchmark harness access).
+    pub fn port(&self) -> &Port {
+        &self.port
+    }
+
+    /// Number of directories this client currently leads.
+    pub fn led_directories(&self) -> usize {
+        self.state.tables.lock().len()
+    }
+
+    /// Data-cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.state.cache.lock();
+        (c.hits(), c.misses())
+    }
+
+    /// Drop all CLEAN cached data (the fio benchmark's "drop the cache
+    /// entries of written files" step, §IV-B). Dirty chunks are flushed
+    /// first.
+    pub fn drop_data_cache(&self) -> FsResult<()> {
+        let dirty = self.state.cache.lock().take_all_dirty();
+        self.write_back(dirty)?;
+        *self.state.cache.lock() = DataCache::new(self.config().cache_entries);
+        Ok(())
+    }
+
+    /// Simulate a hard crash: stop serving, drop ALL in-memory state
+    /// without flushing. Journaled-but-unapplied transactions stay in the
+    /// object store for the next leader to recover (§III-E.1).
+    pub fn crash(&self) {
+        self.state.crashed.store(true, Ordering::Release);
+        self.state.cluster.ops_bus().disconnect(self.state.id);
+        self.state.tables.lock().clear();
+        self.state.leases.lock().clear();
+        self.state.handles.lock().clear();
+        self.state.pcache.lock().clear();
+        *self.state.cache.lock() = DataCache::new(self.state.cluster.config().cache_entries);
+    }
+
+    /// Flush everything and hand every directory lease back cleanly.
+    pub fn release_all(&self, ctx: &Credentials) -> FsResult<()> {
+        self.sync_all(ctx)?;
+        let dirs: Vec<Ino> = self.state.tables.lock().keys().copied().collect();
+        for dir in dirs {
+            self.state.tables.lock().remove(&dir);
+            self.state.leases.lock().remove(&dir);
+            let _ = self.state.cluster.lease_bus().call(
+                &self.port,
+                manager_node(dir, self.config().lease_managers),
+                LeaseRequest::Release { client: self.state.id, ino: dir },
+            );
+        }
+        Ok(())
+    }
+
+    // ---- internal helpers --------------------------------------------------
+
+    fn config(&self) -> &ArkConfig {
+        self.state.cluster.config()
+    }
+
+    fn prt(&self) -> &Arc<Prt> {
+        self.state.cluster.prt()
+    }
+
+    fn fresh_ino(&self) -> Ino {
+        loop {
+            let ino: u128 = self.state.rng.lock().random();
+            if ino > ROOT_INO {
+                return ino;
+            }
+        }
+    }
+
+    fn fuse_charge(&self, requests: usize) {
+        if self.config().fuse_model {
+            self.port.advance(self.config().spec.fuse_op_cost * requests as u64);
+        }
+    }
+
+    /// Local-or-remote handle on a directory.
+    fn dir_ref(&self, dir: Ino) -> FsResult<DirRef> {
+        self.state.dir_ref(&self.port, dir)
+    }
+
+    /// One path-resolution step: find `name` in `dir`, checking exec
+    /// permission on `dir` for `ctx`.
+    fn lookup_step(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        name: &str,
+    ) -> FsResult<(Ino, FileType)> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let t = table.lock();
+                perm::check_access(ctx, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, AM_EXEC)?;
+                let entry = t.lookup(name).ok_or(FsError::NotFound)?;
+                Ok((entry.ino, entry.ftype))
+            }
+            DirRef::Remote(leader) => {
+                if self.config().permission_cache {
+                    if let Some(hit) = self.pcache_lookup(ctx, dir, name)? {
+                        return hit;
+                    }
+                }
+                let resp = self.remote_call(
+                    ctx,
+                    dir,
+                    leader,
+                    OpBody::Lookup { dir, name: name.to_string() },
+                )?;
+                match resp {
+                    OpResponse::Entry { ino, ftype, .. } => {
+                        if self.config().permission_cache {
+                            self.pcache_note(dir, name, Some((ino, ftype)));
+                        }
+                        Ok((ino, ftype))
+                    }
+                    OpResponse::Err(FsError::NotFound) => {
+                        if self.config().permission_cache {
+                            self.pcache_note(dir, name, None);
+                        }
+                        Err(FsError::NotFound)
+                    }
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected lookup response".into())),
+                }
+            }
+        }
+    }
+
+    /// Try the permission cache: returns `Some(result)` on a conclusive
+    /// hit, `None` when the caller must RPC. Also checks exec permission
+    /// locally from the cached directory inode.
+    fn pcache_lookup(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        name: &str,
+    ) -> FsResult<Option<FsResult<(Ino, FileType)>>> {
+        let now = self.port.now();
+        let pc = self.state.pcache.lock();
+        let entry = match pc.get(&dir) {
+            Some(e) if e.expires_at > now => e,
+            _ => {
+                drop(pc);
+                self.pcache_fill(ctx, dir)?;
+                return Ok(None);
+            }
+        };
+        perm::check_access(
+            ctx,
+            entry.dir.uid,
+            entry.dir.gid,
+            entry.dir.mode,
+            &entry.dir.acl,
+            AM_EXEC,
+        )?;
+        self.port.advance(self.config().spec.local_meta_op);
+        Ok(entry.lookups.get(name).map(|cached| match cached {
+            Some(hit) => Ok(*hit),
+            None => Err(FsError::NotFound),
+        }))
+    }
+
+    /// Fetch and cache a remote directory's inode (permission info).
+    fn pcache_fill(&self, _ctx: &Credentials, dir: Ino) -> FsResult<()> {
+        let rec = self.dir_inode(dir)?;
+        let expires_at = self.port.now() + self.config().lease_period;
+        self.state.pcache.lock().insert(
+            dir,
+            PermCacheEntry { dir: rec, lookups: HashMap::new(), expires_at },
+        );
+        Ok(())
+    }
+
+    fn pcache_note(&self, dir: Ino, name: &str, result: Option<(Ino, FileType)>) {
+        if let Some(entry) = self.state.pcache.lock().get_mut(&dir) {
+            entry.lookups.insert(name.to_string(), result);
+        }
+    }
+
+    fn pcache_forget(&self, dir: Ino) {
+        self.state.pcache.lock().remove(&dir);
+    }
+
+    /// The inode record of a directory, local or remote.
+    fn dir_inode(&self, dir: Ino) -> FsResult<InodeRecord> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                Ok(table.lock().dir.clone())
+            }
+            DirRef::Remote(leader) => {
+                let resp =
+                    self.remote_call(&Credentials::root(), dir, leader, OpBody::DirInode { dir })?;
+                match resp {
+                    OpResponse::Inode(rec) => Ok(rec),
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected dir-inode response".into())),
+                }
+            }
+        }
+    }
+
+    /// RPC to a directory's leader, retrying through the lease manager
+    /// when the leader changed.
+    fn remote_call(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        mut leader: NodeId,
+        body: OpBody,
+    ) -> FsResult<OpResponse> {
+        for _ in 0..MAX_LEASE_RETRIES {
+            let req = OpRequest { creds: ctx.clone(), body: body.clone() };
+            match self.state.cluster.ops_bus().call(&self.port, leader, req) {
+                Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+                    self.state.remote_hints.lock().remove(&dir);
+                    match self.dir_ref(dir)? {
+                        DirRef::Remote(next) => leader = next,
+                        DirRef::Local(table) => {
+                            // We became the leader ourselves; execute
+                            // locally through the common serve path.
+                            let req = OpRequest { creds: ctx.clone(), body: body.clone() };
+                            return Ok(self.state.serve_local(&self.port, &table, req));
+                        }
+                    }
+                }
+                Ok(resp) => return Ok(resp),
+            }
+        }
+        Err(FsError::TimedOut)
+    }
+
+    /// Run an operation against a directory: locally when we lead it,
+    /// else forwarded to the leader.
+    fn on_dir(&self, ctx: &Credentials, dir: Ino, body: OpBody) -> FsResult<OpResponse> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let req = OpRequest { creds: ctx.clone(), body };
+                Ok(self.state.serve_local(&self.port, &table, req))
+            }
+            DirRef::Remote(leader) => self.remote_call(ctx, dir, leader, body),
+        }
+    }
+
+    /// Resolve all but the final component of `path`, checking exec
+    /// permission along the way. Returns (parent dir ino, final name).
+    fn resolve_parent<'p>(&self, ctx: &Credentials, path: &'p str) -> FsResult<(Ino, &'p str)> {
+        let (parents, name) = vpath::split_parent(path)?;
+        // FUSE sends one LOOKUP per component plus the final request.
+        self.fuse_charge(parents.len() + 2);
+        let mut dir = ROOT_INO;
+        for comp in parents {
+            let (ino, ftype) = self.lookup_step(ctx, dir, comp)?;
+            if ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            dir = ino;
+        }
+        Ok((dir, name))
+    }
+
+    /// Resolve a full path to (ino, ftype), where the final component may
+    /// be anything. `/` resolves to the root directory.
+    fn resolve(&self, ctx: &Credentials, path: &str) -> FsResult<(Ino, FileType)> {
+        let comps = vpath::components(path)?;
+        if comps.is_empty() {
+            self.fuse_charge(1);
+            return Ok((ROOT_INO, FileType::Directory));
+        }
+        let (dir, name) = self.resolve_parent(ctx, path)?;
+        self.lookup_step(ctx, dir, name)
+    }
+
+    /// The final inode record of a path (for stat/open/ACL reads).
+    fn resolve_record(&self, ctx: &Credentials, path: &str) -> FsResult<(Ino, InodeRecord)> {
+        let comps = vpath::components(path)?;
+        if comps.is_empty() {
+            self.fuse_charge(1);
+            let rec = self.dir_inode(ROOT_INO)?;
+            return Ok((ROOT_INO, rec));
+        }
+        let (dir, name) = self.resolve_parent(ctx, path)?;
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let t = table.lock();
+                perm::check_access(ctx, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, AM_EXEC)?;
+                let entry = t.lookup(name).ok_or(FsError::NotFound)?;
+                if entry.ftype == FileType::Directory {
+                    let ino = entry.ino;
+                    drop(t);
+                    let rec = self.dir_inode(ino)?;
+                    Ok((ino, rec))
+                } else {
+                    let rec = t
+                        .child_inode(entry.ino)
+                        .cloned()
+                        .ok_or_else(|| FsError::Io("dangling dentry".into()))?;
+                    Ok((entry.ino, rec))
+                }
+            }
+            DirRef::Remote(leader) => {
+                let resp = self.remote_call(
+                    ctx,
+                    dir,
+                    leader,
+                    OpBody::Lookup { dir, name: name.to_string() },
+                )?;
+                match resp {
+                    OpResponse::Entry { ino, ftype, rec } => {
+                        if self.config().permission_cache {
+                            self.pcache_note(dir, name, Some((ino, ftype)));
+                        }
+                        match rec {
+                            Some(rec) => Ok((ino, rec)),
+                            None => {
+                                // Directory: ask its own leader.
+                                let rec = self.dir_inode(ino)?;
+                                Ok((ino, rec))
+                            }
+                        }
+                    }
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected lookup response".into())),
+                }
+            }
+        }
+    }
+
+    // ---- file leases --------------------------------------------------------
+
+    /// Acquire a read lease on `file` from the leader of `parent`.
+    /// Returns whether caching is allowed.
+    fn file_lease_read(&self, parent: Ino, file: Ino) -> FsResult<bool> {
+        let body = OpBody::AcquireReadLease { dir: parent, file, client: self.state.id };
+        match self.on_dir(&Credentials::root(), parent, body)? {
+            OpResponse::Lease(FileLeaseDecision::Granted { .. }) => Ok(true),
+            OpResponse::Lease(FileLeaseDecision::Direct { .. }) => Ok(false),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected lease response".into())),
+        }
+    }
+
+    fn file_lease_write(&self, parent: Ino, file: Ino) -> FsResult<bool> {
+        let body = OpBody::AcquireWriteLease { dir: parent, file, client: self.state.id };
+        match self.on_dir(&Credentials::root(), parent, body)? {
+            OpResponse::Lease(FileLeaseDecision::Granted { .. }) => Ok(true),
+            OpResponse::Lease(FileLeaseDecision::Direct { .. }) => {
+                // Our own cached data must go to the store before direct
+                // mode.
+                self.flush_file_data(file)?;
+                self.state.cache.lock().invalidate_file(file);
+                Ok(false)
+            }
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected lease response".into())),
+        }
+    }
+
+    fn release_file_lease(&self, parent: Ino, file: Ino) {
+        let body = OpBody::ReleaseFileLease { dir: parent, file, client: self.state.id };
+        let _ = self.on_dir(&Credentials::root(), parent, body);
+    }
+
+    /// Write back this client's dirty chunks of one file.
+    fn flush_file_data(&self, file: Ino) -> FsResult<()> {
+        let dirty = self.state.cache.lock().take_dirty(file);
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<(ObjectKey, Bytes)> = dirty
+            .into_iter()
+            .map(|(chunk, data)| (ObjectKey::data_chunk(file, chunk), Bytes::from(data)))
+            .collect();
+        for r in self.prt().store().put_many(&self.port, items) {
+            r.map_err(crate::prt::map_os_err)?;
+        }
+        Ok(())
+    }
+
+    /// Write back evicted dirty chunks returned by the cache.
+    fn write_back(&self, evicted: Vec<crate::cache::Evicted>) -> FsResult<()> {
+        if evicted.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<(ObjectKey, Bytes)> = evicted
+            .into_iter()
+            .map(|e| (ObjectKey::data_chunk(e.ino, e.chunk), Bytes::from(e.data)))
+            .collect();
+        for r in self.prt().store().put_many(&self.port, items) {
+            r.map_err(crate::prt::map_os_err)?;
+        }
+        Ok(())
+    }
+
+    /// Push size/mtime to the parent leader and make the journal durable
+    /// (fsync semantics).
+    fn push_size(&self, ctx: &Credentials, parent: Ino, file: Ino, size: u64) -> FsResult<()> {
+        match self.on_dir(ctx, parent, OpBody::SetSize { dir: parent, ino: file, size })? {
+            OpResponse::Ok => Ok(()),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected setsize response".into())),
+        }
+    }
+}
+
+/// A directory as seen from one client.
+pub(crate) enum DirRef {
+    Local(Arc<Mutex<Metatable>>),
+    Remote(NodeId),
+}
+
+impl ClientState {
+    fn lane(&self, dir: Ino) -> &SharedResource {
+        &self.lanes[(dir % self.lanes.len() as u128) as usize]
+    }
+
+    fn table(&self, dir: Ino) -> Option<Arc<Mutex<Metatable>>> {
+        self.tables.lock().get(&dir).cloned()
+    }
+
+    /// Resolve a directory to a local metatable (leading it, acquiring or
+    /// extending the lease as needed) or the current remote leader.
+    fn dir_ref(&self, port: &Port, dir: Ino) -> FsResult<DirRef> {
+        let config = self.cluster.config();
+        for _ in 0..MAX_LEASE_RETRIES {
+            let now = port.now();
+            if let Some(table) = self.table(dir) {
+                let expiry = self.leases.lock().get(&dir).copied().unwrap_or(0);
+                if expiry > now.saturating_add(config.lease_renew_margin) {
+                    return Ok(DirRef::Local(table));
+                }
+                // Extend (or same-holder re-acquire).
+                match self.cluster.lease_bus().call(
+                    port,
+                    manager_node(dir, config.lease_managers),
+                    LeaseRequest::Acquire { client: self.id, ino: dir },
+                ) {
+                    Ok(LeaseResponse::Granted { expires_at, must_load, .. }) => {
+                        if must_load {
+                            // Defensive: the manager believes our state is
+                            // stale; rebuild.
+                            let fresh = Metatable::load(
+                                self.cluster.prt(),
+                                port,
+                                dir,
+                                config.dentry_buckets,
+                                config.lease_period,
+                            )?;
+                            let fresh = Arc::new(Mutex::new(fresh));
+                            self.tables.lock().insert(dir, Arc::clone(&fresh));
+                            self.leases.lock().insert(dir, expires_at);
+                            return Ok(DirRef::Local(fresh));
+                        }
+                        self.leases.lock().insert(dir, expires_at);
+                        return Ok(DirRef::Local(table));
+                    }
+                    Ok(LeaseResponse::Redirect { leader }) => {
+                        // We lost the directory; discard stale state.
+                        self.tables.lock().remove(&dir);
+                        self.leases.lock().remove(&dir);
+                        self.remote_hints.lock().insert(dir, leader);
+                        return Ok(DirRef::Remote(leader));
+                    }
+                    Ok(LeaseResponse::Retry { until }) => {
+                        port.wait_until(until);
+                        continue;
+                    }
+                    Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
+                    Err(NetError::Unreachable) => {
+                        // Manager down but our lease may still be valid.
+                        if expiry > now {
+                            return Ok(DirRef::Local(table));
+                        }
+                        return Err(FsError::TimedOut);
+                    }
+                }
+            }
+            if let Some(leader) = self.remote_hints.lock().get(&dir).copied() {
+                return Ok(DirRef::Remote(leader));
+            }
+            match self.cluster.lease_bus().call(
+                port,
+                manager_node(dir, config.lease_managers),
+                LeaseRequest::Acquire { client: self.id, ino: dir },
+            ) {
+                Ok(LeaseResponse::Granted { expires_at, .. }) => {
+                    // Build the metatable; §III-C: load inode, check, pull
+                    // dentries and child inodes. Metatable::load runs
+                    // journal recovery first.
+                    let table = match Metatable::load(
+                        self.cluster.prt(),
+                        port,
+                        dir,
+                        config.dentry_buckets,
+                        config.lease_period,
+                    ) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            let _ = self.cluster.lease_bus().call(
+                                port,
+                                manager_node(dir, config.lease_managers),
+                                LeaseRequest::Release { client: self.id, ino: dir },
+                            );
+                            return Err(e);
+                        }
+                    };
+                    let table = Arc::new(Mutex::new(table));
+                    self.tables.lock().insert(dir, Arc::clone(&table));
+                    self.leases.lock().insert(dir, expires_at);
+                    return Ok(DirRef::Local(table));
+                }
+                Ok(LeaseResponse::Redirect { leader }) => {
+                    self.remote_hints.lock().insert(dir, leader);
+                    return Ok(DirRef::Remote(leader));
+                }
+                Ok(LeaseResponse::Retry { until }) => {
+                    port.wait_until(until);
+                    continue;
+                }
+                Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
+                Err(NetError::Unreachable) => return Err(FsError::TimedOut),
+            }
+        }
+        Err(FsError::TimedOut)
+    }
+
+    fn lease_valid(&self, dir: Ino, now: Nanos) -> bool {
+        self.leases.lock().get(&dir).is_some_and(|&e| e > now)
+    }
+
+    /// Service entry point: leadership checks + dispatch.
+    fn serve(&self, port: &Port, req: OpRequest) -> OpResponse {
+        // Cache flushes are addressed to the client, not a directory.
+        if let OpBody::FlushCache { file } = req.body {
+            return self.serve_flush(port, file);
+        }
+        let dir = match target_dir(&req.body) {
+            Some(d) => d,
+            None => return OpResponse::Err(FsError::InvalidArgument),
+        };
+        let Some(table) = self.table(dir) else {
+            return OpResponse::NotLeader;
+        };
+        if !self.lease_valid(dir, port.now()) {
+            // Try a same-holder extension before turning the caller away.
+            match self.cluster.lease_bus().call(
+                port,
+                manager_node(dir, self.cluster.config().lease_managers),
+                LeaseRequest::Acquire { client: self.id, ino: dir },
+            ) {
+                Ok(LeaseResponse::Granted { expires_at, must_load: false, .. }) => {
+                    self.leases.lock().insert(dir, expires_at);
+                }
+                _ => {
+                    self.tables.lock().remove(&dir);
+                    self.leases.lock().remove(&dir);
+                    return OpResponse::NotLeader;
+                }
+            }
+        }
+        self.serve_local(port, &table, req)
+    }
+
+    /// Write back and drop our cached chunks of `file` (leader-initiated
+    /// cache flush, §III-D). Also flips matching open handles to direct
+    /// mode.
+    fn serve_flush(&self, port: &Port, file: Ino) -> OpResponse {
+        let dirty = self.cache.lock().take_dirty(file);
+        let mut size = None;
+        if !dirty.is_empty() {
+            let items: Vec<(ObjectKey, Bytes)> = dirty
+                .into_iter()
+                .map(|(chunk, data)| (ObjectKey::data_chunk(file, chunk), Bytes::from(data)))
+                .collect();
+            for r in self.cluster.prt().store().put_many(port, items) {
+                if let Err(e) = r {
+                    return OpResponse::Err(crate::prt::map_os_err(e));
+                }
+            }
+        }
+        self.cache.lock().invalidate_file(file);
+        for h in self.handles.lock().values_mut() {
+            if h.ino == file {
+                h.cached = false;
+                size = Some(size.unwrap_or(0).max(h.size));
+            }
+        }
+        OpResponse::Flushed { size }
+    }
+
+    /// Execute an operation as the leader of its directory. Runs both for
+    /// forwarded RPCs and for the client's own local operations.
+    fn serve_local(
+        &self,
+        port: &Port,
+        table: &Arc<Mutex<Metatable>>,
+        req: OpRequest,
+    ) -> OpResponse {
+        let OpRequest { creds, body } = req;
+        let config = self.cluster.config();
+        let prt = self.cluster.prt();
+        let now = port.now();
+        let mut t = table.lock();
+        let dir_ino = t.ino();
+
+        // Seal the running compound transaction when its buffering window
+        // elapsed (§III-E). Forced commits (fsync semantics) are charged
+        // to the caller; window-triggered commits are the commit threads'
+        // work and run on a background timeline that does not stall the
+        // application (the store still sees their load).
+        let maybe_commit = |t: &mut Metatable, force: bool| -> FsResult<()> {
+            if force {
+                t.journal.commit(prt, port, self.lane(dir_ino), config.spec.local_meta_op)?;
+            } else if t.journal.commit_due(
+                port.now(),
+                config.journal_window,
+                config.journal_max_entries,
+            ) {
+                let background = Port::starting_at(port.now());
+                t.journal.commit(
+                    prt,
+                    &background,
+                    self.lane(dir_ino),
+                    config.spec.local_meta_op,
+                )?;
+            }
+            Ok(())
+        };
+
+        let dir_perm = |t: &Metatable, want: u8| -> FsResult<()> {
+            perm::check_access(&creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, want)
+        };
+
+        match body {
+            OpBody::Lookup { name, .. } => {
+                if let Err(e) = dir_perm(&t, AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                match t.lookup(&name) {
+                    Some(entry) => OpResponse::Entry {
+                        ino: entry.ino,
+                        ftype: entry.ftype,
+                        rec: t.child_inode(entry.ino).cloned(),
+                    },
+                    None => OpResponse::Err(FsError::NotFound),
+                }
+            }
+            OpBody::DirInode { .. } => OpResponse::Inode(t.dir.clone()),
+            OpBody::Create { name, rec, .. } => {
+                if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                match t.create_child(rec, &name, now).and_then(|()| maybe_commit(&mut t, false)) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::AddSubdir { name, child, .. } => {
+                if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                match t.add_subdir(&name, child, now).and_then(|()| maybe_commit(&mut t, false)) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::Unlink { name, .. } => {
+                let victim_uid = match t.lookup(&name) {
+                    Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                match t.unlink_child(&name, now) {
+                    Ok(rec) => match maybe_commit(&mut t, false) {
+                        Ok(()) => OpResponse::Inode(rec),
+                        Err(e) => OpResponse::Err(e),
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RemoveSubdir { name, .. } => {
+                let child_ino = match t.lookup(&name) {
+                    Some(e) if e.ftype == FileType::Directory => e.ino,
+                    Some(_) => return OpResponse::Err(FsError::NotADirectory),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                let victim_uid =
+                    prt.load_inode(port, child_ino).map(|r| r.uid).unwrap_or(t.dir.uid);
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                match t.remove_subdir(&name, now).and_then(|_| maybe_commit(&mut t, false)) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::Readdir { .. } => {
+                if let Err(e) = dir_perm(&t, AM_READ) {
+                    return OpResponse::Err(e);
+                }
+                OpResponse::Entries(t.readdir())
+            }
+            OpBody::SetSize { ino, size, .. } => {
+                if let Some(rec) = t.child_inode(ino) {
+                    if let Err(e) =
+                        perm::check_access(&creds, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)
+                    {
+                        return OpResponse::Err(e);
+                    }
+                }
+                // fsync semantics: the size update must be durable.
+                match t.set_child_size(ino, size, now).and_then(|()| maybe_commit(&mut t, true)) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::SetAttrChild { ino, attr, .. } => {
+                let owner = match t.child_inode(ino) {
+                    Some(rec) => rec.uid,
+                    None => return OpResponse::Err(FsError::Stale),
+                };
+                let changing_owner = attr.uid.is_some() || attr.gid.is_some();
+                if let Err(e) = perm::check_setattr(&creds, owner, changing_owner) {
+                    return OpResponse::Err(e);
+                }
+                match t.set_child_attr(ino, &attr, now) {
+                    Ok(rec) => match maybe_commit(&mut t, false) {
+                        Ok(()) => OpResponse::Inode(rec),
+                        Err(e) => OpResponse::Err(e),
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::SetAttrDir { attr, .. } => {
+                let changing_owner = attr.uid.is_some() || attr.gid.is_some();
+                if let Err(e) = perm::check_setattr(&creds, t.dir.uid, changing_owner) {
+                    return OpResponse::Err(e);
+                }
+                let rec = t.set_dir_attr(&attr, now);
+                match maybe_commit(&mut t, false) {
+                    Ok(()) => OpResponse::Inode(rec),
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::SetAcl { target, acl, .. } => {
+                let owner = if target == t.ino() {
+                    t.dir.uid
+                } else {
+                    match t.child_inode(target) {
+                        Some(rec) => rec.uid,
+                        None => return OpResponse::Err(FsError::Stale),
+                    }
+                };
+                if let Err(e) = perm::check_setattr(&creds, owner, false) {
+                    return OpResponse::Err(e);
+                }
+                match t.set_acl(target, acl, now).and_then(|()| maybe_commit(&mut t, false)) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameLocal { from, to, .. } => {
+                let victim_uid = match t.lookup(&from) {
+                    Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                match t.rename_local(&from, &to, now).and_then(|()| maybe_commit(&mut t, false)) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameSrcPrepare { name, txid, peer, .. } => {
+                let victim_uid = match t.lookup(&name) {
+                    Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                t.journal.append(
+                    crate::journal::JournalOp::RenamePrepare {
+                        txid,
+                        peer_dir: peer,
+                        ops: vec![crate::journal::JournalOp::RemoveDentry { name: name.clone() }],
+                    },
+                    now,
+                );
+                let (entry, rec) = match t.detach_child(&name, now) {
+                    Ok(v) => v,
+                    Err(e) => return OpResponse::Err(e),
+                };
+                match maybe_commit(&mut t, true) {
+                    Ok(()) => OpResponse::Detached { ino: entry.ino, ftype: entry.ftype, rec },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameDstPrepare { name, txid, peer, ino, ftype, rec, .. } => {
+                if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                // POSIX rename replaces an existing file target; the
+                // victim's removal rides inside the 2PC prepare so it is
+                // atomic with the move. Directory targets are rejected
+                // (cross-directory directory replacement is out of scope).
+                let existing = t.lookup(&name).map(|e| (e.name.clone(), e.ftype));
+                let victim = match existing {
+                    Some((_, FileType::Directory)) => {
+                        return OpResponse::Err(FsError::AlreadyExists);
+                    }
+                    Some((victim_name, _)) => match t.unlink_child(&victim_name, now) {
+                        Ok(rec) => Some(rec),
+                        Err(e) => return OpResponse::Err(e),
+                    },
+                    None => None,
+                };
+                let mut ops = vec![crate::journal::JournalOp::UpsertDentry {
+                    name: name.clone(),
+                    ino,
+                    ftype,
+                }];
+                if let Some(rec) = &rec {
+                    ops.push(crate::journal::JournalOp::PutInode(rec.clone()));
+                }
+                t.journal.append(
+                    crate::journal::JournalOp::RenamePrepare { txid, peer_dir: peer, ops },
+                    now,
+                );
+                if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
+                    return OpResponse::Err(e);
+                }
+                match maybe_commit(&mut t, true) {
+                    Ok(()) => match victim {
+                        Some(rec) => OpResponse::Inode(rec),
+                        None => OpResponse::Ok,
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameDecide { txid, commit, undo, .. } => {
+                if commit {
+                    t.journal.append(crate::journal::JournalOp::RenameCommit { txid }, now);
+                } else {
+                    t.journal.append(crate::journal::JournalOp::RenameAbort { txid }, now);
+                    if let Some((name, ino, ftype, rec)) = undo {
+                        if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
+                            return OpResponse::Err(e);
+                        }
+                    }
+                }
+                match maybe_commit(&mut t, true) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::AcquireReadLease { file, client, .. } => {
+                let decision = t.file_leases.acquire_read(client, file, now);
+                self.broadcast_flushes(port, &mut t, file, &decision);
+                OpResponse::Lease(decision)
+            }
+            OpBody::AcquireWriteLease { file, client, .. } => {
+                let decision = t.file_leases.acquire_write(client, file, now);
+                self.broadcast_flushes(port, &mut t, file, &decision);
+                OpResponse::Lease(decision)
+            }
+            OpBody::ReleaseFileLease { file, client, .. } => {
+                t.file_leases.release(client, file, now);
+                OpResponse::Ok
+            }
+            OpBody::FlushCache { .. } => unreachable!("handled in serve()"),
+        }
+    }
+
+    /// On a lease conflict the leader "broadcasts cache flushing requests
+    /// to prevent stale cache entries on other clients' object cache"
+    /// (§III-D). Flushed sizes feed back into the child's inode.
+    fn broadcast_flushes(
+        &self,
+        port: &Port,
+        t: &mut Metatable,
+        file: Ino,
+        decision: &FileLeaseDecision,
+    ) {
+        let FileLeaseDecision::Direct { flush, .. } = decision else {
+            return;
+        };
+        let now = port.now();
+        for &target in flush {
+            if target == self.id {
+                // Flush our own cache inline.
+                if let OpResponse::Flushed { size: Some(size) } = self.serve_flush(port, file) {
+                    let _ = t.set_child_size(file, size, now);
+                }
+                continue;
+            }
+            // Crashed holders simply drain via lease expiry.
+            if let Ok(OpResponse::Flushed { size: Some(size) }) = self.cluster.ops_bus().call(
+                port,
+                target,
+                OpRequest { creds: Credentials::root(), body: OpBody::FlushCache { file } },
+            ) {
+                let current = t.child_inode(file).map(|r| r.size).unwrap_or(0);
+                if size > current {
+                    let _ = t.set_child_size(file, size, now);
+                }
+            }
+        }
+    }
+}
+
+/// The directory an operation must be served by.
+fn target_dir(body: &OpBody) -> Option<Ino> {
+    Some(match body {
+        OpBody::Lookup { dir, .. }
+        | OpBody::DirInode { dir }
+        | OpBody::Create { dir, .. }
+        | OpBody::AddSubdir { dir, .. }
+        | OpBody::Unlink { dir, .. }
+        | OpBody::RemoveSubdir { dir, .. }
+        | OpBody::Readdir { dir }
+        | OpBody::SetSize { dir, .. }
+        | OpBody::SetAttrChild { dir, .. }
+        | OpBody::SetAttrDir { dir, .. }
+        | OpBody::SetAcl { dir, .. }
+        | OpBody::RenameLocal { dir, .. }
+        | OpBody::RenameSrcPrepare { dir, .. }
+        | OpBody::RenameDstPrepare { dir, .. }
+        | OpBody::RenameDecide { dir, .. }
+        | OpBody::AcquireReadLease { dir, .. }
+        | OpBody::AcquireWriteLease { dir, .. }
+        | OpBody::ReleaseFileLease { dir, .. } => *dir,
+        OpBody::FlushCache { .. } => return None,
+    })
+}
+
+impl ArkClient {
+    /// Resolve (parent, name) → the child's inode record, through the
+    /// appropriate leader.
+    fn lookup_record(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        name: &str,
+    ) -> FsResult<(Ino, InodeRecord)> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let t = table.lock();
+                perm::check_access(ctx, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, AM_EXEC)?;
+                let entry = t.lookup(name).ok_or(FsError::NotFound)?;
+                if entry.ftype == FileType::Directory {
+                    let ino = entry.ino;
+                    drop(t);
+                    Ok((ino, self.dir_inode(ino)?))
+                } else {
+                    let rec = t
+                        .child_inode(entry.ino)
+                        .cloned()
+                        .ok_or_else(|| FsError::Io("dangling dentry".into()))?;
+                    Ok((entry.ino, rec))
+                }
+            }
+            DirRef::Remote(leader) => {
+                let resp = self.remote_call(
+                    ctx,
+                    dir,
+                    leader,
+                    OpBody::Lookup { dir, name: name.to_string() },
+                )?;
+                match resp {
+                    OpResponse::Entry { ino, rec: Some(rec), .. } => Ok((ino, rec)),
+                    OpResponse::Entry { ino, rec: None, .. } => Ok((ino, self.dir_inode(ino)?)),
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected lookup response".into())),
+                }
+            }
+        }
+    }
+
+    fn open_inner(
+        &self,
+        ctx: &Credentials,
+        path: &str,
+        flags: OpenFlags,
+        depth: usize,
+    ) -> FsResult<FileHandle> {
+        if depth > 8 {
+            return Err(FsError::InvalidArgument); // ELOOP
+        }
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        let (ino, rec) = self.lookup_record(ctx, parent, name)?;
+        match rec.ftype {
+            FileType::Directory => return Err(FsError::IsADirectory),
+            FileType::Symlink => {
+                let target = rec.symlink_target.clone();
+                return self.open_inner(ctx, &target, flags, depth + 1);
+            }
+            FileType::Regular => {}
+        }
+        let mut want = 0u8;
+        if flags.readable() {
+            want |= AM_READ;
+        }
+        if flags.writable() {
+            want |= AM_WRITE;
+        }
+        perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, want)?;
+        let mut size = rec.size;
+        if flags.is_trunc() && flags.writable() && size > 0 {
+            self.push_size(ctx, parent, ino, 0)?;
+            self.prt().truncate_data(&self.port, ino, size, 0)?;
+            self.state.cache.lock().truncate_file(ino, 0);
+            size = 0;
+        }
+        let cached = self.file_lease_read(parent, ino)?;
+        let id = self.state.next_handle.fetch_add(1, Ordering::Relaxed);
+        self.state.handles.lock().insert(
+            id,
+            OpenFile { ino, parent, flags, size, cached, wrote: false, ra_window: 0, last_pos: 0 },
+        );
+        Ok(FileHandle(id))
+    }
+
+    /// Snapshot of an open handle's fields used by read/write.
+    fn handle_view(&self, fh: FileHandle) -> FsResult<(Ino, Ino, OpenFlags, u64, bool)> {
+        let handles = self.state.handles.lock();
+        let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
+        Ok((h.ino, h.parent, h.flags, h.size, h.cached))
+    }
+
+    /// Fetch the chunks needed for a cached read, including the
+    /// read-ahead window, in one pipelined multi-GET.
+    fn fill_cache_for_read(
+        &self,
+        ino: Ino,
+        offset: u64,
+        want: usize,
+        ra_window: u64,
+        size: u64,
+    ) -> FsResult<()> {
+        let chunk_size = self.config().chunk_size;
+        let first = offset / chunk_size;
+        let read_end = (offset + want as u64).min(size);
+        let ra_end = read_end.saturating_add(ra_window).min(size);
+        let last = ra_end.div_ceil(chunk_size).max(first + 1);
+        let missing: Vec<u64> = {
+            let cache = self.state.cache.lock();
+            (first..last).filter(|&c| !cache.contains(ino, c)).collect()
+        };
+        if missing.is_empty() {
+            return Ok(());
+        }
+        // Chunks the request itself touches are fetched synchronously;
+        // everything further out is the read-ahead window, fetched
+        // *asynchronously* ("the file data belonging to the window is
+        // asynchronously read in advance", §III-D): it still loads the
+        // store, but the application only waits if it touches a chunk
+        // before its completion.
+        let last_needed = (offset + want as u64 - 1) / chunk_size;
+        let keys: Vec<ObjectKey> =
+            missing.iter().map(|&c| ObjectKey::data_chunk(ino, c)).collect();
+        let depart = self.port.now() + self.config().spec.net_half_rtt;
+        let results = self.prt().store().get_each(depart, &keys);
+        let mut evicted = Vec::new();
+        let mut needed_done = self.port.now();
+        {
+            // Insert in reverse so the chunk about to be read carries the
+            // freshest LRU tick and is not displaced by its own
+            // read-ahead companions.
+            let mut cache = self.state.cache.lock();
+            for (&chunk, result) in missing.iter().zip(results).rev() {
+                let chunk_start = chunk * chunk_size;
+                let logical_len = (size - chunk_start).min(chunk_size) as usize;
+                let (data, ready_at) = match result {
+                    Ok((bytes, completion)) => {
+                        let mut v = bytes.to_vec();
+                        if v.len() < logical_len {
+                            v.resize(logical_len, 0); // sparse tail
+                        }
+                        (v, completion)
+                    }
+                    Err(arkfs_objstore::OsError::NotFound) => (vec![0u8; logical_len], depart),
+                    Err(e) => return Err(crate::prt::map_os_err(e)),
+                };
+                if chunk <= last_needed {
+                    needed_done = needed_done.max(ready_at);
+                    evicted.extend(cache.insert_clean(ino, chunk, data));
+                } else {
+                    evicted.extend(cache.insert_prefetched(ino, chunk, data, ready_at));
+                }
+            }
+        }
+        self.port.wait_until(needed_done);
+        self.write_back(evicted)
+    }
+}
+
+impl Vfs for ArkClient {
+    fn mkdir(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<Stat> {
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        vpath::validate_name(name)?;
+        let ino = self.fresh_ino();
+        let rec = InodeRecord::new(ino, FileType::Directory, mode, ctx.uid, ctx.gid,
+            self.port.now());
+        // The child directory's inode object is written eagerly so its
+        // first leader can load it (the dentry itself is journaled).
+        self.prt().store_inode(&self.port, &rec)?;
+        match self.on_dir(ctx, parent, OpBody::AddSubdir {
+            dir: parent,
+            name: name.to_string(),
+            child: ino,
+        })? {
+            OpResponse::Ok => {
+                if self.config().permission_cache {
+                    self.pcache_note(parent, name, Some((ino, FileType::Directory)));
+                }
+                Ok(rec.to_stat())
+            }
+            OpResponse::Err(e) => {
+                let _ = self.prt().delete_inode(&self.port, ino);
+                Err(e)
+            }
+            _ => Err(FsError::Io("unexpected mkdir response".into())),
+        }
+    }
+
+    fn rmdir(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        let (child, ftype) = self.lookup_step(ctx, parent, name)?;
+        if ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if child == ROOT_INO {
+            return Err(FsError::InvalidArgument);
+        }
+        // Become the child's leader to guarantee a stable emptiness check.
+        match self.dir_ref(child)? {
+            DirRef::Local(table) => {
+                let mut t = table.lock();
+                if !t.is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+                let lane = self.state.lane(child);
+                t.flush(self.prt(), &self.port, lane, self.config().spec.local_meta_op)?;
+            }
+            DirRef::Remote(_) => return Err(FsError::Busy),
+        }
+        match self.on_dir(ctx, parent, OpBody::RemoveSubdir {
+            dir: parent,
+            name: name.to_string(),
+        })? {
+            OpResponse::Ok => {}
+            OpResponse::Err(e) => return Err(e),
+            _ => return Err(FsError::Io("unexpected rmdir response".into())),
+        }
+        // Drop leadership and delete the directory's objects.
+        self.state.tables.lock().remove(&child);
+        self.state.leases.lock().remove(&child);
+        let _ = self.state.cluster.lease_bus().call(
+            &self.port,
+            manager_node(child, self.config().lease_managers),
+            LeaseRequest::Release { client: self.state.id, ino: child },
+        );
+        self.prt().delete_buckets(&self.port, child)?;
+        self.prt().delete_inode(&self.port, child)?;
+        self.pcache_forget(child);
+        if self.config().permission_cache {
+            self.pcache_note(parent, name, None);
+        }
+        Ok(())
+    }
+
+    fn create(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<FileHandle> {
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        vpath::validate_name(name)?;
+        let ino = self.fresh_ino();
+        let rec =
+            InodeRecord::new(ino, FileType::Regular, mode, ctx.uid, ctx.gid, self.port.now());
+        match self.on_dir(ctx, parent, OpBody::Create {
+            dir: parent,
+            name: name.to_string(),
+            rec,
+        })? {
+            OpResponse::Ok => {}
+            OpResponse::Err(e) => return Err(e),
+            _ => return Err(FsError::Io("unexpected create response".into())),
+        }
+        if self.config().permission_cache {
+            self.pcache_note(parent, name, Some((ino, FileType::Regular)));
+        }
+        let cached = self.file_lease_read(parent, ino)?;
+        let id = self.state.next_handle.fetch_add(1, Ordering::Relaxed);
+        self.state.handles.lock().insert(
+            id,
+            OpenFile {
+                ino,
+                parent,
+                flags: OpenFlags::RDWR,
+                size: 0,
+                cached,
+                wrote: false,
+                ra_window: 0,
+                last_pos: 0,
+            },
+        );
+        Ok(FileHandle(id))
+    }
+
+    fn open(&self, ctx: &Credentials, path: &str, flags: OpenFlags) -> FsResult<FileHandle> {
+        self.open_inner(ctx, path, flags, 0)
+    }
+
+    fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
+        self.fsync(ctx, fh)?;
+        let h = self.state.handles.lock().remove(&fh.0).ok_or(FsError::BadHandle)?;
+        self.release_file_lease(h.parent, h.ino);
+        Ok(())
+    }
+
+    fn read(
+        &self,
+        ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
+        let _ = ctx;
+        self.fuse_charge(1);
+        let (ino, _parent, flags, size, cached) = self.handle_view(fh)?;
+        if !flags.readable() {
+            return Err(FsError::BadAccessMode);
+        }
+        if buf.is_empty() || offset >= size {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(size - offset) as usize;
+        if !cached {
+            let n = self.prt().read_data(&self.port, ino, offset, &mut buf[..want], size)?;
+            let mut handles = self.state.handles.lock();
+            if let Some(h) = handles.get_mut(&fh.0) {
+                h.last_pos = offset + n as u64;
+            }
+            return Ok(n);
+        }
+
+        // Read-ahead window update (§III-D): double on sequential access,
+        // jump to max when the read starts at offset 0.
+        let config = self.config();
+        let ra_window = {
+            let mut handles = self.state.handles.lock();
+            let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
+            if offset == 0 && config.readahead_full_at_zero {
+                h.ra_window = config.max_readahead;
+            } else if offset == h.last_pos && offset != 0 {
+                h.ra_window =
+                    (h.ra_window.max(config.chunk_size) * 2).min(config.max_readahead);
+            } else if offset != h.last_pos {
+                h.ra_window = 0;
+            }
+            h.ra_window
+        };
+        self.fill_cache_for_read(ino, offset, want, ra_window, size)?;
+
+        // Copy out of the cache; a chunk evicted between fill and copy is
+        // re-read straight from the store.
+        let chunk_size = config.chunk_size;
+        let mut filled = 0usize;
+        while filled < want {
+            let pos = offset + filled as u64;
+            let chunk = pos / chunk_size;
+            let within = (pos % chunk_size) as usize;
+            let n = ((chunk_size as usize) - within).min(want - filled);
+            let hit = {
+                let mut cache = self.state.cache.lock();
+                match cache.get_ready(ino, chunk) {
+                    Some((data, ready_at)) => {
+                        let out = &mut buf[filled..filled + n];
+                        let avail = data.len().saturating_sub(within);
+                        let take = avail.min(n);
+                        out[..take].copy_from_slice(&data[within..within + take]);
+                        out[take..].fill(0);
+                        Some(ready_at)
+                    }
+                    None => None,
+                }
+            };
+            let hit = match hit {
+                Some(ready_at) => {
+                    // Touched a chunk whose asynchronous prefetch has not
+                    // completed yet: wait for it.
+                    self.port.wait_until(ready_at);
+                    true
+                }
+                None => false,
+            };
+            if !hit {
+                self.prt().read_data(&self.port, ino, pos, &mut buf[filled..filled + n], size)?;
+            }
+            filled += n;
+        }
+        self.port.advance(config.spec.local_meta_op);
+        let mut handles = self.state.handles.lock();
+        if let Some(h) = handles.get_mut(&fh.0) {
+            h.last_pos = offset + filled as u64;
+        }
+        Ok(filled)
+    }
+
+    fn write(
+        &self,
+        ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
+        let _ = ctx;
+        self.fuse_charge(1);
+        let (ino, parent, flags, size, _) = self.handle_view(fh)?;
+        if !flags.writable() {
+            return Err(FsError::BadAccessMode);
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let offset = if flags.is_append() { size } else { offset };
+
+        // First write upgrades the read lease (§III-D).
+        let (cached, first_write) = {
+            let handles = self.state.handles.lock();
+            let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
+            (h.cached, !h.wrote)
+        };
+        let cached = if first_write {
+            let granted = self.file_lease_write(parent, ino)?;
+            let mut handles = self.state.handles.lock();
+            let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
+            h.cached = h.cached && granted;
+            h.wrote = true;
+            h.cached
+        } else {
+            cached
+        };
+
+        if cached {
+            let chunk_size = self.config().chunk_size;
+            let mut written = 0usize;
+            while written < data.len() {
+                let pos = offset + written as u64;
+                let chunk = pos / chunk_size;
+                let within = (pos % chunk_size) as usize;
+                let n = (chunk_size as usize - within).min(data.len() - written);
+                let piece = &data[written..written + n];
+                let chunk_start = chunk * chunk_size;
+                let covers_whole = within == 0 && n == chunk_size as usize;
+                // Partial overwrite of store-resident data needs the chunk
+                // in cache first (read-modify in cache).
+                let need_rmw = !covers_whole
+                    && chunk_start < size
+                    && !self.state.cache.lock().contains(ino, chunk);
+                if need_rmw {
+                    let existing = self.prt().read_chunk(&self.port, ino, chunk)?;
+                    let ev =
+                        self.state.cache.lock().insert_clean(ino, chunk, existing.to_vec());
+                    self.write_back(ev)?;
+                }
+                let ev = self.state.cache.lock().write(ino, chunk, within, piece);
+                self.write_back(ev)?;
+                written += n;
+            }
+            self.port.advance(self.config().spec.local_meta_op);
+        } else {
+            self.prt().write_data(&self.port, ino, offset, data)?;
+        }
+        let mut handles = self.state.handles.lock();
+        if let Some(h) = handles.get_mut(&fh.0) {
+            h.size = h.size.max(offset + data.len() as u64);
+        }
+        Ok(data.len())
+    }
+
+    fn fsync(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
+        self.fuse_charge(1);
+        let (ino, parent, size, wrote) = {
+            let handles = self.state.handles.lock();
+            let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
+            (h.ino, h.parent, h.size, h.wrote)
+        };
+        self.flush_file_data(ino)?;
+        if wrote {
+            self.push_size(ctx, parent, ino, size)?;
+            let mut handles = self.state.handles.lock();
+            if let Some(h) = handles.get_mut(&fh.0) {
+                h.wrote = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn stat(&self, ctx: &Credentials, path: &str) -> FsResult<Stat> {
+        let (ino, rec) = self.resolve_record(ctx, path)?;
+        let mut st = rec.to_stat();
+        // Reads-own-writes: unflushed writes are visible to this client.
+        for h in self.state.handles.lock().values() {
+            if h.ino == ino {
+                st.size = st.size.max(h.size);
+            }
+        }
+        Ok(st)
+    }
+
+    fn readdir(&self, ctx: &Credentials, path: &str) -> FsResult<Vec<DirEntry>> {
+        let (ino, ftype) = self.resolve(ctx, path)?;
+        if ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        match self.on_dir(ctx, ino, OpBody::Readdir { dir: ino })? {
+            OpResponse::Entries(entries) => Ok(entries),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected readdir response".into())),
+        }
+    }
+
+    fn unlink(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        match self.on_dir(ctx, parent, OpBody::Unlink { dir: parent, name: name.to_string() })? {
+            OpResponse::Inode(rec) => {
+                self.state.cache.lock().invalidate_file(rec.ino);
+                self.prt().delete_data(&self.port, rec.ino, rec.size)?;
+                if self.config().permission_cache {
+                    self.pcache_note(parent, name, None);
+                }
+                Ok(())
+            }
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected unlink response".into())),
+        }
+    }
+
+    fn rename(&self, ctx: &Credentials, from: &str, to: &str) -> FsResult<()> {
+        let from_comps = vpath::components(from)?;
+        let to_comps = vpath::components(to)?;
+        if from_comps == to_comps {
+            return Ok(());
+        }
+        if from_comps.is_empty() || to_comps.is_empty() {
+            return Err(FsError::InvalidArgument);
+        }
+        if vpath::is_prefix_of(&from_comps, &to_comps) {
+            return Err(FsError::InvalidArgument); // moving into own subtree
+        }
+        let (src_dir, src_name) = self.resolve_parent(ctx, from)?;
+        let (dst_dir, dst_name) = self.resolve_parent(ctx, to)?;
+
+        if src_dir == dst_dir {
+            // Existing directory target must be empty and is removed
+            // first (POSIX replace).
+            if let Ok((tino, tft)) = self.lookup_step(ctx, src_dir, dst_name) {
+                if tft == FileType::Directory {
+                    let (_, sft) = self.lookup_step(ctx, src_dir, src_name)?;
+                    if sft != FileType::Directory {
+                        return Err(FsError::IsADirectory);
+                    }
+                    match self.dir_ref(tino)? {
+                        DirRef::Local(table) => {
+                            if !table.lock().is_empty() {
+                                return Err(FsError::NotEmpty);
+                            }
+                        }
+                        DirRef::Remote(_) => return Err(FsError::Busy),
+                    }
+                    self.rmdir(ctx, to)?;
+                }
+            }
+            return match self.on_dir(ctx, src_dir, OpBody::RenameLocal {
+                dir: src_dir,
+                from: src_name.to_string(),
+                to: dst_name.to_string(),
+            })? {
+                OpResponse::Ok => {
+                    if self.config().permission_cache {
+                        self.pcache_note(src_dir, src_name, None);
+                    }
+                    Ok(())
+                }
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected rename response".into())),
+            };
+        }
+
+        // Cross-directory rename: two-phase commit across both journals
+        // (§III-E, [18]). An existing file target is replaced atomically
+        // inside the destination's prepare; a directory target is
+        // rejected.
+        let txid: u128 = self.state.rng.lock().random();
+        let (ino, ftype, rec) = match self.on_dir(ctx, src_dir, OpBody::RenameSrcPrepare {
+            dir: src_dir,
+            name: src_name.to_string(),
+            txid,
+            peer: dst_dir,
+        })? {
+            OpResponse::Detached { ino, ftype, rec } => (ino, ftype, rec),
+            OpResponse::Err(e) => return Err(e),
+            _ => return Err(FsError::Io("unexpected rename-src response".into())),
+        };
+        let dst_result = self.on_dir(ctx, dst_dir, OpBody::RenameDstPrepare {
+            dir: dst_dir,
+            name: dst_name.to_string(),
+            txid,
+            peer: src_dir,
+            ino,
+            ftype,
+            rec: rec.clone(),
+        })?;
+        match dst_result {
+            OpResponse::Ok => {}
+            OpResponse::Inode(victim) => {
+                // The destination replaced an existing file; its data
+                // chunks are ours to reclaim.
+                self.state.cache.lock().invalidate_file(victim.ino);
+                self.prt().delete_data(&self.port, victim.ino, victim.size)?;
+            }
+            OpResponse::Err(e) => {
+                // Abort: undo the source detach.
+                let _ = self.on_dir(ctx, src_dir, OpBody::RenameDecide {
+                    dir: src_dir,
+                    txid,
+                    commit: false,
+                    undo: Some((src_name.to_string(), ino, ftype, rec)),
+                });
+                return Err(e);
+            }
+            _ => return Err(FsError::Io("unexpected rename-dst response".into())),
+        }
+        for dir in [src_dir, dst_dir] {
+            match self.on_dir(ctx, dir, OpBody::RenameDecide {
+                dir,
+                txid,
+                commit: true,
+                undo: None,
+            })? {
+                OpResponse::Ok => {}
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected rename-decide response".into())),
+            }
+        }
+        if self.config().permission_cache {
+            self.pcache_note(src_dir, src_name, None);
+            self.pcache_note(dst_dir, dst_name, Some((ino, ftype)));
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, ctx: &Credentials, path: &str, size: u64) -> FsResult<()> {
+        if vpath::components(path)?.is_empty() {
+            return Err(FsError::IsADirectory);
+        }
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        let (ino, rec) = self.lookup_record(ctx, parent, name)?;
+        if rec.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)?;
+        match self.on_dir(ctx, parent, OpBody::SetSize { dir: parent, ino, size })? {
+            OpResponse::Ok => {}
+            OpResponse::Err(e) => return Err(e),
+            _ => return Err(FsError::Io("unexpected truncate response".into())),
+        }
+        if size < rec.size {
+            // Flush surviving dirty data, then drop all cached chunks:
+            // the boundary chunk's cached copy is stale after the store
+            // trims it.
+            self.flush_file_data(ino)?;
+            self.state.cache.lock().invalidate_file(ino);
+            self.prt().truncate_data(&self.port, ino, rec.size, size)?;
+        }
+        let mut handles = self.state.handles.lock();
+        for h in handles.values_mut() {
+            if h.ino == ino {
+                h.size = size;
+            }
+        }
+        Ok(())
+    }
+
+    fn setattr(&self, ctx: &Credentials, path: &str, attr: &SetAttr) -> FsResult<Stat> {
+        let comps = vpath::components(path)?;
+        let resp = if comps.is_empty() {
+            self.fuse_charge(1);
+            self.on_dir(ctx, ROOT_INO, OpBody::SetAttrDir { dir: ROOT_INO, attr: attr.clone() })?
+        } else {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
+            if ftype == FileType::Directory {
+                self.pcache_forget(ino);
+                self.on_dir(ctx, ino, OpBody::SetAttrDir { dir: ino, attr: attr.clone() })?
+            } else {
+                self.on_dir(ctx, parent, OpBody::SetAttrChild {
+                    dir: parent,
+                    ino,
+                    attr: attr.clone(),
+                })?
+            }
+        };
+        match resp {
+            OpResponse::Inode(rec) => Ok(rec.to_stat()),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected setattr response".into())),
+        }
+    }
+
+    fn symlink(&self, ctx: &Credentials, path: &str, target: &str) -> FsResult<Stat> {
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        vpath::validate_name(name)?;
+        let ino = self.fresh_ino();
+        let mut rec =
+            InodeRecord::new(ino, FileType::Symlink, 0o777, ctx.uid, ctx.gid, self.port.now());
+        rec.symlink_target = target.to_string();
+        rec.size = target.len() as u64;
+        let stat = rec.to_stat();
+        match self.on_dir(ctx, parent, OpBody::Create {
+            dir: parent,
+            name: name.to_string(),
+            rec,
+        })? {
+            OpResponse::Ok => {
+                if self.config().permission_cache {
+                    self.pcache_note(parent, name, Some((ino, FileType::Symlink)));
+                }
+                Ok(stat)
+            }
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected symlink response".into())),
+        }
+    }
+
+    fn readlink(&self, ctx: &Credentials, path: &str) -> FsResult<String> {
+        let (_, rec) = self.resolve_record(ctx, path)?;
+        if rec.ftype != FileType::Symlink {
+            return Err(FsError::InvalidArgument);
+        }
+        Ok(rec.symlink_target)
+    }
+
+    fn set_acl(&self, ctx: &Credentials, path: &str, acl: &Acl) -> FsResult<()> {
+        let comps = vpath::components(path)?;
+        let resp = if comps.is_empty() {
+            self.fuse_charge(1);
+            self.on_dir(ctx, ROOT_INO, OpBody::SetAcl {
+                dir: ROOT_INO,
+                target: ROOT_INO,
+                acl: acl.clone(),
+            })?
+        } else {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
+            if ftype == FileType::Directory {
+                self.pcache_forget(ino);
+                self.on_dir(ctx, ino, OpBody::SetAcl { dir: ino, target: ino, acl: acl.clone() })?
+            } else {
+                self.on_dir(ctx, parent, OpBody::SetAcl {
+                    dir: parent,
+                    target: ino,
+                    acl: acl.clone(),
+                })?
+            }
+        };
+        match resp {
+            OpResponse::Ok => Ok(()),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected set_acl response".into())),
+        }
+    }
+
+    fn get_acl(&self, ctx: &Credentials, path: &str) -> FsResult<Acl> {
+        let (_, rec) = self.resolve_record(ctx, path)?;
+        Ok(rec.acl)
+    }
+
+    fn access(&self, ctx: &Credentials, path: &str, mode: u8) -> FsResult<()> {
+        let (_, rec) = self.resolve_record(ctx, path)?;
+        perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, mode)
+    }
+
+    fn sync_all(&self, ctx: &Credentials) -> FsResult<()> {
+        // 1. All dirty data chunks, pipelined.
+        let dirty = self.state.cache.lock().take_all_dirty();
+        if !dirty.is_empty() {
+            let items: Vec<(ObjectKey, Bytes)> = dirty
+                .into_iter()
+                .map(|e| (ObjectKey::data_chunk(e.ino, e.chunk), Bytes::from(e.data)))
+                .collect();
+            for r in self.prt().store().put_many(&self.port, items) {
+                r.map_err(crate::prt::map_os_err)?;
+            }
+        }
+        // 2. Size updates for written handles.
+        let pending: Vec<(Ino, Ino, u64)> = {
+            let mut handles = self.state.handles.lock();
+            handles
+                .values_mut()
+                .filter(|h| h.wrote)
+                .map(|h| {
+                    h.wrote = false;
+                    (h.parent, h.ino, h.size)
+                })
+                .collect()
+        };
+        for (parent, ino, size) in pending {
+            self.push_size(ctx, parent, ino, size)?;
+        }
+        // 3. Commit + checkpoint every led directory.
+        let tables: Vec<(Ino, Arc<Mutex<Metatable>>)> = self
+            .state
+            .tables
+            .lock()
+            .iter()
+            .map(|(&ino, t)| (ino, Arc::clone(t)))
+            .collect();
+        for (ino, table) in tables {
+            let mut t = table.lock();
+            t.flush(self.prt(), &self.port, self.state.lane(ino),
+                self.config().spec.local_meta_op)?;
+        }
+        Ok(())
+    }
+
+    fn statfs(&self, _ctx: &Credentials) -> FsResult<FsStats> {
+        // Inode count via a flat LIST of `i` objects (charged once).
+        let inodes = self
+            .prt()
+            .store()
+            .list(&self.port, Some(arkfs_objstore::KeyKind::Inode), None)
+            .map_err(crate::prt::map_os_err)?
+            .len() as u64;
+        let (store_objects, store_bytes) = self.prt().store().usage();
+        Ok(FsStats { inodes, store_objects, store_bytes })
+    }
+}

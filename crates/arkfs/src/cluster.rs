@@ -1,0 +1,122 @@
+//! Deployment handle: wires the object store, the lease manager, and the
+//! client-to-client RPC bus together, and mints clients.
+
+use crate::client::ArkClient;
+use crate::config::ArkConfig;
+use crate::meta::InodeRecord;
+use crate::prt::Prt;
+use crate::rpc::{OpRequest, OpResponse};
+use arkfs_lease::{LeaseConfig, LeaseManager, LeaseRequest, LeaseResponse};
+use arkfs_netsim::{Bus, NodeId};
+use arkfs_objstore::ObjectStore;
+use arkfs_simkit::{Nanos, Port};
+use arkfs_vfs::{FileType, FsError, Ino, ROOT_INO};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Base of the lease-manager node-id space (manager `k` listens on
+/// `MANAGER_BASE - k`; clients count up from 1, so the spaces never
+/// collide). "The lease manager is deployed on one of the client nodes"
+/// (§IV-A); with `ArkConfig::lease_managers > 1` directories partition
+/// across a manager cluster — the paper's stated future work.
+pub const MANAGER_BASE: u32 = u32::MAX;
+
+/// The manager responsible for a directory.
+pub fn manager_node(ino: Ino, managers: usize) -> NodeId {
+    NodeId(MANAGER_BASE - (ino % managers.max(1) as u128) as u32)
+}
+
+/// Shared state of one ArkFS deployment.
+pub struct ArkCluster {
+    config: ArkConfig,
+    prt: Arc<Prt>,
+    lease_bus: Arc<Bus<LeaseRequest, LeaseResponse>>,
+    ops_bus: Arc<Bus<OpRequest, OpResponse>>,
+    next_node: AtomicU32,
+}
+
+impl ArkCluster {
+    /// Stand up a deployment on `store`, bootstrapping the root directory
+    /// inode if the store is empty.
+    pub fn new(config: ArkConfig, store: Arc<dyn ObjectStore>) -> Arc<Self> {
+        let prt = Arc::new(Prt::new(store, config.chunk_size));
+        let lease_bus = Arc::new(Bus::new(config.spec.net_half_rtt));
+        let ops_bus = Arc::new(Bus::new(config.spec.net_half_rtt));
+        let lease_cfg = LeaseConfig {
+            period: config.lease_period,
+            grace: config.lease_grace,
+            op_service: config.spec.lease_op_service,
+        };
+        for k in 0..config.lease_managers.max(1) {
+            lease_bus
+                .register(NodeId(MANAGER_BASE - k as u32), Arc::new(LeaseManager::new(lease_cfg)));
+        }
+
+        // Bootstrap "/" if this is a fresh store.
+        let boot = Port::new();
+        if prt.load_inode(&boot, ROOT_INO) == Err(FsError::NotFound) {
+            let root = InodeRecord::new(ROOT_INO, FileType::Directory, 0o755, 0, 0, 0);
+            prt.store_inode(&boot, &root).expect("bootstrap root inode");
+        }
+
+        Arc::new(ArkCluster {
+            config,
+            prt,
+            lease_bus,
+            ops_bus,
+            next_node: AtomicU32::new(1),
+        })
+    }
+
+    pub fn config(&self) -> &ArkConfig {
+        &self.config
+    }
+
+    pub fn prt(&self) -> &Arc<Prt> {
+        &self.prt
+    }
+
+    pub fn lease_bus(&self) -> &Arc<Bus<LeaseRequest, LeaseResponse>> {
+        &self.lease_bus
+    }
+
+    pub fn ops_bus(&self) -> &Arc<Bus<OpRequest, OpResponse>> {
+        &self.ops_bus
+    }
+
+    /// Mint a new client (one per simulated process). The client
+    /// registers its RPC service so leaders can be reached.
+    pub fn client(self: &Arc<Self>) -> Arc<ArkClient> {
+        let node = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+        ArkClient::new(Arc::clone(self), node)
+    }
+
+    /// Crash every lease manager (stops answering). Clients holding
+    /// leases keep working until expiry (§III-E.2).
+    pub fn crash_lease_manager(&self) {
+        for k in 0..self.config.lease_managers.max(1) {
+            self.lease_bus.disconnect(NodeId(MANAGER_BASE - k as u32));
+        }
+    }
+
+    /// Restart the lease manager(s) at virtual time `at`: they come back
+    /// with empty state and refuse grants for one lease period.
+    pub fn restart_lease_manager(&self, at: Nanos) {
+        let lease_cfg = LeaseConfig {
+            period: self.config.lease_period,
+            grace: self.config.lease_grace,
+            op_service: self.config.spec.lease_op_service,
+        };
+        for k in 0..self.config.lease_managers.max(1) {
+            self.lease_bus.register(
+                NodeId(MANAGER_BASE - k as u32),
+                Arc::new(LeaseManager::restarted_at(lease_cfg, at)),
+            );
+        }
+    }
+
+    /// Root inode number (constant, for tests).
+    pub fn root_ino(&self) -> Ino {
+        ROOT_INO
+    }
+}

@@ -1,0 +1,179 @@
+//! ArkFS configuration knobs.
+
+use arkfs_simkit::{ClusterSpec, Nanos, MSEC, SEC};
+
+/// Tunable parameters of an ArkFS deployment. Defaults follow §III and
+/// §IV of the paper.
+#[derive(Debug, Clone)]
+pub struct ArkConfig {
+    /// Directory lease period (paper: 5 s).
+    pub lease_period: Nanos,
+    /// Grace after a dirty leader change before takeover (paper: at least
+    /// one lease period, §III-E).
+    pub lease_grace: Nanos,
+    /// Extend the lease when an operation finds less than this much
+    /// validity left.
+    pub lease_renew_margin: Nanos,
+    /// Data cache entry size == data object (chunk) size. Paper default:
+    /// 2 MB cache entries.
+    pub chunk_size: u64,
+    /// Maximum number of cache entries per client.
+    pub cache_entries: usize,
+    /// Maximum read-ahead window (paper default: 8 MB, as in CephFS;
+    /// 400 MB for the goofys comparison).
+    pub max_readahead: u64,
+    /// Start the window at maximum when a read begins at offset 0
+    /// (§III-D optimization).
+    pub readahead_full_at_zero: bool,
+    /// Compound-transaction buffering window (paper: 1 s).
+    pub journal_window: Nanos,
+    /// Seal the running transaction after this many entries even inside
+    /// the window (bounds journal object size).
+    pub journal_max_entries: usize,
+    /// Number of commit/checkpoint lanes; per-directory journals map to
+    /// lanes by directory inode (§III-E: "statically mapped ... depending
+    /// on the directory inode numbers").
+    pub journal_lanes: usize,
+    /// Dentry hash buckets per directory.
+    pub dentry_buckets: u64,
+    /// Permission caching mode (§III-C): cache remote directories'
+    /// permissions + lookups until lease expiry, relaxing ACL consistency.
+    pub permission_cache: bool,
+    /// Model per-request FUSE user↔kernel overhead and the per-component
+    /// LOOKUP storm (§IV-C)?
+    pub fuse_model: bool,
+    /// Number of lease managers. The paper uses one and leaves "a cluster
+    /// of lease managers" as future work (§III-B); values > 1 partition
+    /// directories across managers by inode number.
+    pub lease_managers: usize,
+    /// Cost constants for the simulated cluster.
+    pub spec: ClusterSpec,
+}
+
+impl Default for ArkConfig {
+    fn default() -> Self {
+        ArkConfig {
+            lease_period: 5 * SEC,
+            lease_grace: 5 * SEC,
+            lease_renew_margin: SEC,
+            chunk_size: 2 * 1024 * 1024,
+            cache_entries: 256,
+            max_readahead: 8 * 1024 * 1024,
+            readahead_full_at_zero: true,
+            journal_window: SEC,
+            journal_max_entries: 4096,
+            journal_lanes: 4,
+            dentry_buckets: 16,
+            permission_cache: true,
+            fuse_model: true,
+            lease_managers: 1,
+            spec: ClusterSpec::aws_paper(),
+        }
+    }
+}
+
+impl ArkConfig {
+    /// Small, fast configuration for unit tests: tiny chunks so chunking
+    /// paths are exercised with little data, short lease periods, and no
+    /// FUSE model.
+    pub fn test_tiny() -> Self {
+        ArkConfig {
+            lease_period: 10 * MSEC,
+            lease_grace: 10 * MSEC,
+            lease_renew_margin: MSEC,
+            chunk_size: 64,
+            cache_entries: 8,
+            max_readahead: 256,
+            readahead_full_at_zero: true,
+            journal_window: MSEC,
+            journal_max_entries: 64,
+            journal_lanes: 2,
+            dentry_buckets: 4,
+            permission_cache: true,
+            fuse_model: false,
+            lease_managers: 1,
+            spec: ClusterSpec::test_tiny(),
+        }
+    }
+
+    pub fn with_permission_cache(mut self, on: bool) -> Self {
+        self.permission_cache = on;
+        self
+    }
+
+    pub fn with_max_readahead(mut self, bytes: u64) -> Self {
+        self.max_readahead = bytes;
+        self
+    }
+
+    /// Zero makes every operation seal its own journal transaction —
+    /// useful for crash tests that need mutations durable immediately.
+    pub fn with_journal_window(mut self, window: Nanos) -> Self {
+        self.journal_window = window;
+        self
+    }
+
+    pub fn with_fuse_model(mut self, on: bool) -> Self {
+        self.fuse_model = on;
+        self
+    }
+
+    pub fn with_lease_managers(mut self, n: usize) -> Self {
+        self.lease_managers = n.max(1);
+        self
+    }
+
+    pub fn with_lease_period(mut self, period: Nanos, grace: Nanos) -> Self {
+        self.lease_period = period;
+        self.lease_grace = grace;
+        self.lease_renew_margin = (period / 8).max(1);
+        self
+    }
+
+    /// Number of chunks a file of `size` bytes occupies.
+    pub fn chunk_count(&self, size: u64) -> u64 {
+        size.div_ceil(self.chunk_size)
+    }
+
+    /// Split a byte offset into (chunk index, offset within chunk).
+    pub fn chunk_of(&self, offset: u64) -> (u64, u64) {
+        (offset / self.chunk_size, offset % self.chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ArkConfig::default();
+        assert_eq!(c.lease_period, 5 * SEC);
+        assert_eq!(c.chunk_size, 2 * 1024 * 1024);
+        assert_eq!(c.max_readahead, 8 * 1024 * 1024);
+        assert_eq!(c.journal_window, SEC);
+        assert!(c.permission_cache);
+    }
+
+    #[test]
+    fn chunk_math() {
+        let c = ArkConfig::test_tiny(); // 64-byte chunks
+        assert_eq!(c.chunk_count(0), 0);
+        assert_eq!(c.chunk_count(1), 1);
+        assert_eq!(c.chunk_count(64), 1);
+        assert_eq!(c.chunk_count(65), 2);
+        assert_eq!(c.chunk_of(0), (0, 0));
+        assert_eq!(c.chunk_of(63), (0, 63));
+        assert_eq!(c.chunk_of(64), (1, 0));
+        assert_eq!(c.chunk_of(130), (2, 2));
+    }
+
+    #[test]
+    fn builders() {
+        let c = ArkConfig::default()
+            .with_permission_cache(false)
+            .with_max_readahead(400 * 1024 * 1024);
+        assert!(!c.permission_cache);
+        assert_eq!(c.max_readahead, 400 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,556 @@
+//! Per-directory journaling with compound transactions (§III-E).
+//!
+//! "ArkFS has one journal for each directory instead of one global
+//! journal area [...] ArkFS supports compound transactions with multiple
+//! commit and checkpoint threads, buffering journal entries in an
+//! in-memory transaction for 1 second."
+//!
+//! A directory's journal is a stream of `j<dir>.<seq>` objects, each one
+//! sealed compound transaction protected by a CRC32. Checkpointing
+//! applies transactions to the home `i`/`e` objects and deletes the
+//! stream prefix. RENAME across directories uses two-phase commit:
+//! `RenamePrepare` records in both journals, then `RenameCommit`
+//! decisions (§III-E, citing Bernstein et al.).
+
+use crate::meta::InodeRecord;
+use crate::prt::Prt;
+use crate::wire::{crc32, Decoder, Encoder, WireCodec, WireError, WireResult};
+use arkfs_simkit::{Nanos, Port, SharedResource};
+use arkfs_vfs::{FileType, FsError, FsResult, Ino};
+use bytes::Bytes;
+
+/// One logged namespace mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// Create or update an inode record (the directory's own inode or a
+    /// child's).
+    PutInode(InodeRecord),
+    /// Remove an inode record.
+    DeleteInode(Ino),
+    /// Insert or update a directory entry.
+    UpsertDentry { name: String, ino: Ino, ftype: FileType },
+    /// Remove a directory entry.
+    RemoveDentry { name: String },
+    /// First phase of a cross-directory rename: the ops to apply here if
+    /// the transaction commits. `peer_dir` owns the other half.
+    RenamePrepare { txid: u128, peer_dir: Ino, ops: Vec<JournalOp> },
+    /// Second-phase decision records.
+    RenameCommit { txid: u128 },
+    RenameAbort { txid: u128 },
+}
+
+impl WireCodec for JournalOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            JournalOp::PutInode(rec) => {
+                enc.put_u8(0);
+                rec.encode(enc);
+            }
+            JournalOp::DeleteInode(ino) => {
+                enc.put_u8(1);
+                enc.put_u128(*ino);
+            }
+            JournalOp::UpsertDentry { name, ino, ftype } => {
+                enc.put_u8(2);
+                enc.put_str(name);
+                enc.put_u128(*ino);
+                enc.put_u8(ftype.as_u8());
+            }
+            JournalOp::RemoveDentry { name } => {
+                enc.put_u8(3);
+                enc.put_str(name);
+            }
+            JournalOp::RenamePrepare { txid, peer_dir, ops } => {
+                enc.put_u8(4);
+                enc.put_u128(*txid);
+                enc.put_u128(*peer_dir);
+                enc.put_u32(ops.len() as u32);
+                for op in ops {
+                    op.encode(enc);
+                }
+            }
+            JournalOp::RenameCommit { txid } => {
+                enc.put_u8(5);
+                enc.put_u128(*txid);
+            }
+            JournalOp::RenameAbort { txid } => {
+                enc.put_u8(6);
+                enc.put_u128(*txid);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => JournalOp::PutInode(InodeRecord::decode(dec)?),
+            1 => JournalOp::DeleteInode(dec.get_u128()?),
+            2 => JournalOp::UpsertDentry {
+                name: dec.get_str()?.to_string(),
+                ino: dec.get_u128()?,
+                ftype: FileType::from_u8(dec.get_u8()?).ok_or(WireError::Invalid("ftype"))?,
+            },
+            3 => JournalOp::RemoveDentry { name: dec.get_str()?.to_string() },
+            4 => {
+                let txid = dec.get_u128()?;
+                let peer_dir = dec.get_u128()?;
+                let n = dec.get_u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    ops.push(JournalOp::decode(dec)?);
+                }
+                JournalOp::RenamePrepare { txid, peer_dir, ops }
+            }
+            5 => JournalOp::RenameCommit { txid: dec.get_u128()? },
+            6 => JournalOp::RenameAbort { txid: dec.get_u128()? },
+            _ => return Err(WireError::Invalid("journal op tag")),
+        })
+    }
+}
+
+/// A sealed compound transaction as stored in one `j<dir>.<seq>` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    pub dir: Ino,
+    pub seq: u64,
+    pub ops: Vec<JournalOp>,
+}
+
+impl Transaction {
+    /// Encode with a trailing CRC32 over everything before it.
+    pub fn seal(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(128);
+        enc.put_u8(1); // version
+        enc.put_u128(self.dir);
+        enc.put_u64(self.seq);
+        enc.put_u32(self.ops.len() as u32);
+        for op in &self.ops {
+            op.encode(&mut enc);
+        }
+        let crc = crc32(enc.as_slice());
+        enc.put_u32(crc);
+        Bytes::from(enc.into_bytes())
+    }
+
+    /// Decode and verify the CRC; a torn or corrupt buffer yields
+    /// `BadChecksum` so recovery can skip it.
+    pub fn unseal(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let expect = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != expect {
+            return Err(WireError::BadChecksum);
+        }
+        let mut dec = Decoder::new(body);
+        let v = dec.get_u8()?;
+        if v != 1 {
+            return Err(WireError::BadVersion(v));
+        }
+        let dir = dec.get_u128()?;
+        let seq = dec.get_u64()?;
+        let n = dec.get_u32()? as usize;
+        let mut ops = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            ops.push(JournalOp::decode(&mut dec)?);
+        }
+        Ok(Transaction { dir, seq, ops })
+    }
+}
+
+/// The in-memory journaling state of one directory at its leader.
+#[derive(Debug)]
+pub struct DirJournal {
+    dir: Ino,
+    /// Sequence number the next sealed transaction will use.
+    next_seq: u64,
+    /// First journal object that is still live (not yet checkpointed).
+    oldest_live: u64,
+    /// The running (buffering) transaction.
+    running: Vec<JournalOp>,
+    running_since: Option<Nanos>,
+    /// Sealed-and-journaled transactions awaiting checkpoint.
+    committed: Vec<Transaction>,
+}
+
+impl DirJournal {
+    /// A fresh journal starting after any sequence numbers already in the
+    /// store (`resume_after` = highest existing seq + 1, or 0).
+    pub fn new(dir: Ino, resume_from: u64) -> Self {
+        DirJournal {
+            dir,
+            next_seq: resume_from,
+            oldest_live: resume_from,
+            running: Vec::new(),
+            running_since: None,
+            committed: Vec::new(),
+        }
+    }
+
+    pub fn dir(&self) -> Ino {
+        self.dir
+    }
+
+    /// Append an op to the running transaction.
+    pub fn append(&mut self, op: JournalOp, now: Nanos) {
+        if self.running.is_empty() {
+            self.running_since = Some(now);
+        }
+        self.running.push(op);
+    }
+
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Should the running transaction be sealed now? True when the
+    /// buffering window has elapsed or the entry bound is hit.
+    pub fn commit_due(&self, now: Nanos, window: Nanos, max_entries: usize) -> bool {
+        if self.running.is_empty() {
+            return false;
+        }
+        if self.running.len() >= max_entries {
+            return true;
+        }
+        match self.running_since {
+            Some(since) => now.saturating_sub(since) >= window,
+            None => false,
+        }
+    }
+
+    /// Seal the running transaction and write it to the journal object
+    /// stream. The `lane` models the commit thread this directory is
+    /// statically mapped to; its reservation serializes commits sharing a
+    /// lane in virtual time.
+    pub fn commit(&mut self, prt: &Prt, port: &Port, lane: &SharedResource,
+        lane_service: Nanos) -> FsResult<()> {
+        if self.running.is_empty() {
+            return Ok(());
+        }
+        let txn = Transaction {
+            dir: self.dir,
+            seq: self.next_seq,
+            ops: std::mem::take(&mut self.running),
+        };
+        self.running_since = None;
+        let done = lane.reserve(port.now(), lane_service);
+        port.wait_until(done);
+        match prt.put_journal(port, self.dir, txn.seq, txn.seal()) {
+            Ok(()) => {
+                self.next_seq += 1;
+                self.committed.push(txn);
+                Ok(())
+            }
+            Err(e) => {
+                // Put the ops back so a retry can re-commit them.
+                let mut ops = txn.ops;
+                ops.extend(std::mem::take(&mut self.running));
+                self.running = ops;
+                Err(e)
+            }
+        }
+    }
+
+    /// Take the committed transactions for checkpointing. The caller
+    /// applies them to the home objects, then calls
+    /// [`DirJournal::truncate`] to delete the journal objects.
+    pub fn take_committed(&mut self) -> Vec<Transaction> {
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Delete checkpointed journal objects up to (excluding) `next_seq`.
+    pub fn truncate(&mut self, prt: &Prt, port: &Port) -> FsResult<()> {
+        for seq in self.oldest_live..self.next_seq {
+            prt.delete_journal(port, self.dir, seq)?;
+        }
+        self.oldest_live = self.next_seq;
+        Ok(())
+    }
+
+    /// Whether everything is durable and applied.
+    pub fn is_quiescent(&self) -> bool {
+        self.running.is_empty() && self.committed.is_empty()
+    }
+}
+
+/// Scan a directory's journal object stream, returning every intact
+/// transaction in sequence order. Torn/corrupt objects are skipped (they
+/// were never acknowledged).
+pub fn scan_journal(prt: &Prt, port: &Port, dir: Ino) -> FsResult<Vec<Transaction>> {
+    let mut out = Vec::new();
+    for seq in prt.list_journal(port, dir)? {
+        let data = match prt.get_journal(port, dir, seq) {
+            Ok(d) => d,
+            Err(FsError::NotFound) => continue,
+            Err(e) => return Err(e),
+        };
+        match Transaction::unseal(&data) {
+            Ok(txn) => out.push(txn),
+            Err(WireError::BadChecksum) | Err(WireError::Truncated) => continue,
+            Err(e) => return Err(FsError::Io(e.to_string())),
+        }
+    }
+    out.sort_by_key(|t| t.seq);
+    Ok(out)
+}
+
+/// Resolve the fate of rename transactions found while scanning `dir`'s
+/// journal: returns the effective op list with 2PC records folded in —
+/// committed prepares expand to their ops, aborted or undecided-without-
+/// peer-commit prepares are dropped.
+pub fn resolve_renames(
+    prt: &Prt,
+    port: &Port,
+    txns: &[Transaction],
+) -> FsResult<Vec<JournalOp>> {
+    use std::collections::HashMap;
+    // Gather local decisions.
+    let mut decisions: HashMap<u128, bool> = HashMap::new();
+    for txn in txns {
+        for op in &txn.ops {
+            match op {
+                JournalOp::RenameCommit { txid } => {
+                    decisions.insert(*txid, true);
+                }
+                JournalOp::RenameAbort { txid } => {
+                    decisions.insert(*txid, false);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for txn in txns {
+        for op in &txn.ops {
+            match op {
+                JournalOp::RenamePrepare { txid, peer_dir, ops } => {
+                    let committed = match decisions.get(txid) {
+                        Some(d) => *d,
+                        None => {
+                            // Undecided locally: consult the peer journal.
+                            let peer = scan_journal(prt, port, *peer_dir)?;
+                            peer.iter().flat_map(|t| &t.ops).any(|o| {
+                                matches!(o, JournalOp::RenameCommit { txid: t } if t == txid)
+                            })
+                        }
+                    };
+                    if committed {
+                        out.extend(ops.iter().cloned());
+                    }
+                }
+                JournalOp::RenameCommit { .. } | JournalOp::RenameAbort { .. } => {}
+                other => out.push(other.clone()),
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs_objstore::{ClusterConfig, ObjectCluster};
+    use std::sync::Arc;
+
+    fn prt() -> Prt {
+        Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 64)
+    }
+
+    fn inode(ino: Ino) -> InodeRecord {
+        InodeRecord::new(ino, FileType::Regular, 0o644, 0, 0, 0)
+    }
+
+    fn sample_ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::PutInode(inode(9)),
+            JournalOp::UpsertDentry { name: "f".into(), ino: 9, ftype: FileType::Regular },
+            JournalOp::RemoveDentry { name: "old".into() },
+            JournalOp::DeleteInode(5),
+            JournalOp::RenamePrepare {
+                txid: 77,
+                peer_dir: 3,
+                ops: vec![JournalOp::RemoveDentry { name: "mv".into() }],
+            },
+            JournalOp::RenameCommit { txid: 77 },
+            JournalOp::RenameAbort { txid: 78 },
+        ]
+    }
+
+    #[test]
+    fn transaction_seal_unseal_roundtrip() {
+        let txn = Transaction { dir: 42, seq: 3, ops: sample_ops() };
+        let sealed = txn.seal();
+        assert_eq!(Transaction::unseal(&sealed).unwrap(), txn);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let txn = Transaction { dir: 42, seq: 3, ops: sample_ops() };
+        let mut sealed = txn.seal().to_vec();
+        sealed[10] ^= 0xFF;
+        assert_eq!(Transaction::unseal(&sealed), Err(WireError::BadChecksum));
+        // Torn write (prefix only).
+        let sealed = txn.seal();
+        assert_eq!(
+            Transaction::unseal(&sealed[..sealed.len() / 2]),
+            Err(WireError::BadChecksum)
+        );
+        assert_eq!(Transaction::unseal(&[1, 2]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn commit_due_honours_window_and_bound() {
+        let mut j = DirJournal::new(1, 0);
+        assert!(!j.commit_due(100, 10, 4));
+        j.append(JournalOp::DeleteInode(1), 100);
+        assert!(!j.commit_due(105, 10, 4), "window not yet elapsed");
+        assert!(j.commit_due(110, 10, 4), "window elapsed");
+        for i in 0..3 {
+            j.append(JournalOp::DeleteInode(i), 101);
+        }
+        assert!(j.commit_due(102, 1000, 4), "entry bound hit");
+    }
+
+    #[test]
+    fn commit_writes_and_checkpoint_truncates() {
+        let prt = prt();
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 0);
+        j.append(JournalOp::PutInode(inode(9)), 0);
+        j.append(
+            JournalOp::UpsertDentry { name: "f".into(), ino: 9, ftype: FileType::Regular },
+            0,
+        );
+        j.commit(&prt, &port, &lane, 10).unwrap();
+        assert!(j.running_len() == 0 && j.committed_len() == 1);
+        assert_eq!(prt.list_journal(&port, 7).unwrap(), vec![0]);
+
+        // Second compound transaction.
+        j.append(JournalOp::DeleteInode(5), 0);
+        j.commit(&prt, &port, &lane, 10).unwrap();
+        assert_eq!(prt.list_journal(&port, 7).unwrap(), vec![0, 1]);
+
+        let committed = j.take_committed();
+        assert_eq!(committed.len(), 2);
+        assert_eq!(committed[0].seq, 0);
+        j.truncate(&prt, &port).unwrap();
+        assert!(prt.list_journal(&port, 7).unwrap().is_empty());
+        assert!(j.is_quiescent());
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let prt = prt();
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 0);
+        j.commit(&prt, &port, &lane, 10).unwrap();
+        assert!(prt.list_journal(&port, 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn failed_commit_keeps_ops_for_retry() {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let prt = Prt::new(store.clone(), 64);
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 0);
+        j.append(JournalOp::DeleteInode(1), 0);
+        store.faults.fail_next_puts(1, None);
+        assert!(j.commit(&prt, &port, &lane, 10).is_err());
+        assert_eq!(j.running_len(), 1, "ops restored for retry");
+        j.commit(&prt, &port, &lane, 10).unwrap();
+        assert_eq!(j.committed_len(), 1);
+    }
+
+    #[test]
+    fn scan_skips_torn_transactions() {
+        let prt = prt();
+        let port = Port::new();
+        let good = Transaction { dir: 7, seq: 0, ops: vec![JournalOp::DeleteInode(1)] };
+        let torn = Transaction { dir: 7, seq: 1, ops: vec![JournalOp::DeleteInode(2)] };
+        prt.put_journal(&port, 7, 0, good.seal()).unwrap();
+        let sealed = torn.seal();
+        prt.put_journal(&port, 7, 1, sealed.slice(..sealed.len() - 2)).unwrap();
+        let txns = scan_journal(&prt, &port, 7).unwrap();
+        assert_eq!(txns, vec![good]);
+    }
+
+    #[test]
+    fn resume_from_preserves_sequence() {
+        let prt = prt();
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 5);
+        j.append(JournalOp::DeleteInode(1), 0);
+        j.commit(&prt, &port, &lane, 0).unwrap();
+        assert_eq!(prt.list_journal(&port, 7).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn rename_resolution_commits_and_aborts() {
+        let prt = prt();
+        let port = Port::new();
+        // Local journal: prepare(1) + commit(1), prepare(2) without
+        // decision, prepare(3) + abort(3).
+        let txns = vec![Transaction {
+            dir: 7,
+            seq: 0,
+            ops: vec![
+                JournalOp::RenamePrepare {
+                    txid: 1,
+                    peer_dir: 8,
+                    ops: vec![JournalOp::RemoveDentry { name: "a".into() }],
+                },
+                JournalOp::RenameCommit { txid: 1 },
+                JournalOp::RenamePrepare {
+                    txid: 2,
+                    peer_dir: 8,
+                    ops: vec![JournalOp::RemoveDentry { name: "b".into() }],
+                },
+                JournalOp::RenamePrepare {
+                    txid: 3,
+                    peer_dir: 8,
+                    ops: vec![JournalOp::RemoveDentry { name: "c".into() }],
+                },
+                JournalOp::RenameAbort { txid: 3 },
+                JournalOp::UpsertDentry { name: "z".into(), ino: 9, ftype: FileType::Regular },
+            ],
+        }];
+        // Peer journal holds the commit decision for txid 2.
+        let peer = Transaction { dir: 8, seq: 0, ops: vec![JournalOp::RenameCommit { txid: 2 }] };
+        prt.put_journal(&port, 8, 0, peer.seal()).unwrap();
+
+        let ops = resolve_renames(&prt, &port, &txns).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                JournalOp::RemoveDentry { name: "a".into() }, // committed locally
+                JournalOp::RemoveDentry { name: "b".into() }, // committed at peer
+                JournalOp::UpsertDentry { name: "z".into(), ino: 9, ftype: FileType::Regular },
+            ]
+        );
+    }
+
+    #[test]
+    fn undecided_rename_without_peer_commit_aborts() {
+        let prt = prt();
+        let port = Port::new();
+        let txns = vec![Transaction {
+            dir: 7,
+            seq: 0,
+            ops: vec![JournalOp::RenamePrepare {
+                txid: 9,
+                peer_dir: 8,
+                ops: vec![JournalOp::RemoveDentry { name: "x".into() }],
+            }],
+        }];
+        let ops = resolve_renames(&prt, &port, &txns).unwrap();
+        assert!(ops.is_empty(), "presumed abort");
+    }
+}

@@ -1,0 +1,757 @@
+//! The per-directory metadata table (§III-C).
+//!
+//! "When a client accesses a directory, the client tries to get a lease
+//! of that directory. If the client succeeds [...] it loads several
+//! metadata from object storage (such as dentries and inodes of the child
+//! files, etc.) and constructs the metatable. [...] all the metadata
+//! operations including the path-name resolution and permission checking
+//! can be done locally."
+//!
+//! A [`Metatable`] is the authoritative in-memory state of one directory
+//! while its leader's lease is valid: the directory inode, its dentries
+//! (hash-bucketed), the inodes of its non-directory children, the
+//! [`DirJournal`], and the [`FileLeaseTable`] for child-file read/write
+//! leases. Mutations update memory, append journal ops, and track dirty
+//! objects for checkpointing.
+
+use crate::journal::{resolve_renames, scan_journal, DirJournal, JournalOp};
+use crate::meta::{dentry_bucket, DentryBlock, DentryEntry, InodeRecord};
+use crate::prt::Prt;
+use arkfs_lease::FileLeaseTable;
+use arkfs_simkit::{Nanos, Port};
+use arkfs_vfs::{DirEntry, FileType, FsError, FsResult, Ino, SetAttr};
+use std::collections::{HashMap, HashSet};
+
+/// In-memory authoritative state of one directory at its leader.
+#[derive(Debug)]
+pub struct Metatable {
+    /// The directory's own inode.
+    pub dir: InodeRecord,
+    dentries: HashMap<String, DentryEntry>,
+    /// Inodes of non-directory children (child directories are owned by
+    /// their own leaders).
+    children: HashMap<Ino, InodeRecord>,
+    pub journal: DirJournal,
+    pub file_leases: FileLeaseTable,
+    buckets: u64,
+    dirty_dir: bool,
+    dirty_children: HashSet<Ino>,
+    deleted_children: HashSet<Ino>,
+    dirty_buckets: HashSet<u64>,
+}
+
+impl Metatable {
+    /// Build the metatable by pulling the directory's metadata from
+    /// object storage, running journal recovery first if the stream is
+    /// non-empty (§III-E: "the new leader checks whether the journal has
+    /// any valid transactions").
+    pub fn load(
+        prt: &Prt,
+        port: &Port,
+        dir_ino: Ino,
+        buckets: u64,
+        file_lease_period: Nanos,
+    ) -> FsResult<Self> {
+        recover_directory(prt, port, dir_ino, buckets)?;
+        let dir = prt.load_inode(port, dir_ino)?;
+        if dir.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        let mut dentries = HashMap::new();
+        for bucket in 0..buckets {
+            let block = prt.load_bucket(port, dir_ino, bucket)?;
+            for entry in block.entries {
+                dentries.insert(entry.name.clone(), entry);
+            }
+        }
+        let mut children = HashMap::new();
+        for entry in dentries.values() {
+            if entry.ftype != FileType::Directory {
+                let rec = prt.load_inode(port, entry.ino)?;
+                children.insert(entry.ino, rec);
+            }
+        }
+        let resume = prt.list_journal(port, dir_ino)?.last().map_or(0, |s| s + 1);
+        Ok(Metatable {
+            dir,
+            dentries,
+            children,
+            journal: DirJournal::new(dir_ino, resume),
+            file_leases: FileLeaseTable::new(file_lease_period),
+            buckets,
+            dirty_dir: false,
+            dirty_children: HashSet::new(),
+            deleted_children: HashSet::new(),
+            dirty_buckets: HashSet::new(),
+        })
+    }
+
+    /// A metatable for a brand-new directory whose inode object was just
+    /// written (mkdir path) — nothing to load.
+    pub fn fresh(dir: InodeRecord, buckets: u64, file_lease_period: Nanos) -> Self {
+        let ino = dir.ino;
+        Metatable {
+            dir,
+            dentries: HashMap::new(),
+            children: HashMap::new(),
+            journal: DirJournal::new(ino, 0),
+            file_leases: FileLeaseTable::new(file_lease_period),
+            buckets,
+            dirty_dir: false,
+            dirty_children: HashSet::new(),
+            deleted_children: HashSet::new(),
+            dirty_buckets: HashSet::new(),
+        }
+    }
+
+    pub fn ino(&self) -> Ino {
+        self.dir.ino
+    }
+
+    pub fn len(&self) -> usize {
+        self.dentries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dentries.is_empty()
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    pub fn lookup(&self, name: &str) -> Option<&DentryEntry> {
+        self.dentries.get(name)
+    }
+
+    pub fn child_inode(&self, ino: Ino) -> Option<&InodeRecord> {
+        self.children.get(&ino)
+    }
+
+    pub fn readdir(&self) -> Vec<DirEntry> {
+        let mut out: Vec<DirEntry> = self
+            .dentries
+            .values()
+            .map(|e| DirEntry { name: e.name.clone(), ino: e.ino, ftype: e.ftype })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    // ---- mutations (memory + journal) -------------------------------------
+
+    fn mark_dentry(&mut self, name: &str) {
+        self.dirty_buckets.insert(dentry_bucket(name, self.buckets));
+    }
+
+    fn touch_dir(&mut self, now: Nanos) {
+        self.dir.mtime = now;
+        self.dir.ctime = now;
+        self.dirty_dir = true;
+        self.journal.append(JournalOp::PutInode(self.dir.clone()), now);
+    }
+
+    /// Insert a child file/symlink with a freshly-allocated inode.
+    pub fn create_child(&mut self, rec: InodeRecord, name: &str, now: Nanos) -> FsResult<()> {
+        if self.dentries.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        debug_assert_ne!(rec.ftype, FileType::Directory, "use add_subdir for directories");
+        let entry = DentryEntry { name: name.to_string(), ino: rec.ino, ftype: rec.ftype };
+        self.journal.append(JournalOp::PutInode(rec.clone()), now);
+        self.journal.append(
+            JournalOp::UpsertDentry { name: name.to_string(), ino: rec.ino, ftype: rec.ftype },
+            now,
+        );
+        self.deleted_children.remove(&rec.ino);
+        self.dirty_children.insert(rec.ino);
+        self.children.insert(rec.ino, rec);
+        self.dentries.insert(name.to_string(), entry);
+        self.mark_dentry(name);
+        self.touch_dir(now);
+        Ok(())
+    }
+
+    /// Register a subdirectory entry (its inode object is written eagerly
+    /// by the caller so the child's first leader can load it).
+    pub fn add_subdir(&mut self, name: &str, child_ino: Ino, now: Nanos) -> FsResult<()> {
+        if self.dentries.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.journal.append(
+            JournalOp::UpsertDentry {
+                name: name.to_string(),
+                ino: child_ino,
+                ftype: FileType::Directory,
+            },
+            now,
+        );
+        self.dentries.insert(
+            name.to_string(),
+            DentryEntry { name: name.to_string(), ino: child_ino, ftype: FileType::Directory },
+        );
+        self.mark_dentry(name);
+        self.dir.nlink += 1;
+        self.touch_dir(now);
+        Ok(())
+    }
+
+    /// Remove a child file/symlink. Returns its last inode record so the
+    /// caller can delete the data chunks.
+    pub fn unlink_child(&mut self, name: &str, now: Nanos) -> FsResult<InodeRecord> {
+        let entry = self.dentries.get(name).ok_or(FsError::NotFound)?;
+        if entry.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let ino = entry.ino;
+        let rec = self.children.remove(&ino).ok_or_else(|| {
+            FsError::Io(format!("dentry {name} points at unknown inode"))
+        })?;
+        self.dentries.remove(name);
+        self.journal.append(JournalOp::RemoveDentry { name: name.to_string() }, now);
+        self.journal.append(JournalOp::DeleteInode(ino), now);
+        self.dirty_children.remove(&ino);
+        self.deleted_children.insert(ino);
+        self.mark_dentry(name);
+        self.touch_dir(now);
+        Ok(rec)
+    }
+
+    /// Remove a subdirectory entry (caller has verified emptiness while
+    /// holding the child's lease).
+    pub fn remove_subdir(&mut self, name: &str, now: Nanos) -> FsResult<Ino> {
+        let entry = self.dentries.get(name).ok_or(FsError::NotFound)?;
+        if entry.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        let ino = entry.ino;
+        self.dentries.remove(name);
+        self.journal.append(JournalOp::RemoveDentry { name: name.to_string() }, now);
+        self.journal.append(JournalOp::DeleteInode(ino), now);
+        self.mark_dentry(name);
+        self.dir.nlink = self.dir.nlink.saturating_sub(1);
+        self.touch_dir(now);
+        Ok(ino)
+    }
+
+    /// Update a child file's size/mtime after data I/O. "If the
+    /// modification time of a child file is renewed, the updated file
+    /// inode will be written in the journal of the parent directory."
+    pub fn set_child_size(&mut self, ino: Ino, size: u64, now: Nanos) -> FsResult<()> {
+        let rec = self.children.get_mut(&ino).ok_or(FsError::Stale)?;
+        rec.size = size;
+        rec.mtime = now;
+        let snapshot = rec.clone();
+        self.journal.append(JournalOp::PutInode(snapshot), now);
+        self.dirty_children.insert(ino);
+        Ok(())
+    }
+
+    /// Apply a `setattr` to a child. Permission checks happen at the
+    /// caller (which knows the credentials).
+    pub fn set_child_attr(&mut self, ino: Ino, attr: &SetAttr, now: Nanos) -> FsResult<InodeRecord> {
+        let rec = self.children.get_mut(&ino).ok_or(FsError::Stale)?;
+        apply_setattr(rec, attr, now);
+        let snapshot = rec.clone();
+        self.journal.append(JournalOp::PutInode(snapshot.clone()), now);
+        self.dirty_children.insert(ino);
+        Ok(snapshot)
+    }
+
+    /// Apply a `setattr` to the directory itself.
+    pub fn set_dir_attr(&mut self, attr: &SetAttr, now: Nanos) -> InodeRecord {
+        apply_setattr(&mut self.dir, attr, now);
+        self.dirty_dir = true;
+        self.journal.append(JournalOp::PutInode(self.dir.clone()), now);
+        self.dir.clone()
+    }
+
+    /// Replace the ACL on a child or the directory.
+    pub fn set_acl(&mut self, target: Ino, acl: arkfs_vfs::Acl, now: Nanos) -> FsResult<()> {
+        if target == self.dir.ino {
+            self.dir.acl = acl;
+            self.dir.ctime = now;
+            self.dirty_dir = true;
+            self.journal.append(JournalOp::PutInode(self.dir.clone()), now);
+            return Ok(());
+        }
+        let rec = self.children.get_mut(&target).ok_or(FsError::Stale)?;
+        rec.acl = acl;
+        rec.ctime = now;
+        let snapshot = rec.clone();
+        self.journal.append(JournalOp::PutInode(snapshot), now);
+        self.dirty_children.insert(target);
+        Ok(())
+    }
+
+    /// Same-directory rename (no 2PC needed: one journal).
+    pub fn rename_local(&mut self, from: &str, to: &str, now: Nanos) -> FsResult<()> {
+        let entry = self.dentries.get(from).ok_or(FsError::NotFound)?.clone();
+        if let Some(existing) = self.dentries.get(to) {
+            // POSIX: replace only a matching type; non-empty dir targets
+            // are the caller's job to reject.
+            if existing.ftype == FileType::Directory && entry.ftype != FileType::Directory {
+                return Err(FsError::IsADirectory);
+            }
+            if existing.ftype != FileType::Directory && entry.ftype == FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            if existing.ftype != FileType::Directory {
+                // Replacing a file: drop its inode.
+                let victim = existing.ino;
+                self.children.remove(&victim);
+                self.journal.append(JournalOp::DeleteInode(victim), now);
+                self.dirty_children.remove(&victim);
+                self.deleted_children.insert(victim);
+            }
+        }
+        self.dentries.remove(from);
+        let moved = DentryEntry { name: to.to_string(), ino: entry.ino, ftype: entry.ftype };
+        self.dentries.insert(to.to_string(), moved);
+        self.journal.append(JournalOp::RemoveDentry { name: from.to_string() }, now);
+        self.journal.append(
+            JournalOp::UpsertDentry { name: to.to_string(), ino: entry.ino, ftype: entry.ftype },
+            now,
+        );
+        self.mark_dentry(from);
+        self.mark_dentry(to);
+        self.touch_dir(now);
+        Ok(())
+    }
+
+    /// Detach a child (source half of a cross-directory rename). Returns
+    /// the dentry and, for files, the inode record that must move with it.
+    pub fn detach_child(
+        &mut self,
+        name: &str,
+        now: Nanos,
+    ) -> FsResult<(DentryEntry, Option<InodeRecord>)> {
+        let entry = self.dentries.get(name).ok_or(FsError::NotFound)?.clone();
+        let rec = if entry.ftype != FileType::Directory {
+            let rec = self.children.remove(&entry.ino);
+            self.dirty_children.remove(&entry.ino);
+            rec
+        } else {
+            self.dir.nlink = self.dir.nlink.saturating_sub(1);
+            None
+        };
+        self.dentries.remove(name);
+        self.mark_dentry(name);
+        self.touch_dir(now);
+        Ok((entry, rec))
+    }
+
+    /// Attach a child (destination half of a cross-directory rename).
+    pub fn attach_child(
+        &mut self,
+        name: &str,
+        entry_ino: Ino,
+        ftype: FileType,
+        rec: Option<InodeRecord>,
+        now: Nanos,
+    ) -> FsResult<()> {
+        if self.dentries.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.dentries.insert(
+            name.to_string(),
+            DentryEntry { name: name.to_string(), ino: entry_ino, ftype },
+        );
+        if ftype == FileType::Directory {
+            self.dir.nlink += 1;
+        }
+        if let Some(rec) = rec {
+            self.dirty_children.insert(rec.ino);
+            self.children.insert(rec.ino, rec);
+        }
+        self.mark_dentry(name);
+        self.touch_dir(now);
+        Ok(())
+    }
+
+    // ---- durability --------------------------------------------------------
+
+    /// Write all dirty state to the home objects and truncate the
+    /// journal. Caller must have committed the running transaction first
+    /// (see `flush`).
+    pub fn checkpoint(&mut self, prt: &Prt, port: &Port) -> FsResult<()> {
+        let _applied = self.journal.take_committed();
+        if self.dirty_dir {
+            prt.store_inode(port, &self.dir)?;
+            self.dirty_dir = false;
+        }
+        let dirty_children: Vec<Ino> = self.dirty_children.drain().collect();
+        for ino in dirty_children {
+            if let Some(rec) = self.children.get(&ino) {
+                prt.store_inode(port, rec)?;
+            }
+        }
+        let deleted: Vec<Ino> = self.deleted_children.drain().collect();
+        for ino in deleted {
+            prt.delete_inode(port, ino)?;
+        }
+        let dirty_buckets: Vec<u64> = self.dirty_buckets.drain().collect();
+        for bucket in dirty_buckets {
+            let block = self.bucket_block(bucket);
+            prt.store_bucket(port, self.dir.ino, bucket, &block)?;
+        }
+        self.journal.truncate(prt, port)?;
+        Ok(())
+    }
+
+    /// Commit the running transaction (if any) and checkpoint.
+    ///
+    /// The commit is charged to the caller's timeline (fsync semantics:
+    /// the journal must be durable), but checkpointing runs on the
+    /// *checkpoint threads* (§III-E) — its virtual cost lands on a
+    /// background timeline and does not stall the application. The
+    /// functional writes still happen before this returns, so the store
+    /// state is always consistent for takeover tests.
+    pub fn flush(
+        &mut self,
+        prt: &Prt,
+        port: &Port,
+        lane: &arkfs_simkit::SharedResource,
+        lane_service: Nanos,
+    ) -> FsResult<()> {
+        self.journal.commit(prt, port, lane, lane_service)?;
+        let background = Port::starting_at(port.now());
+        self.checkpoint(prt, &background)
+    }
+
+    fn bucket_block(&self, bucket: u64) -> DentryBlock {
+        let mut entries: Vec<DentryEntry> = self
+            .dentries
+            .values()
+            .filter(|e| dentry_bucket(&e.name, self.buckets) == bucket)
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        DentryBlock { entries }
+    }
+}
+
+fn apply_setattr(rec: &mut InodeRecord, attr: &SetAttr, now: Nanos) {
+    if let Some(mode) = attr.mode {
+        rec.mode = mode & 0o7777;
+    }
+    if let Some(uid) = attr.uid {
+        rec.uid = uid;
+    }
+    if let Some(gid) = attr.gid {
+        rec.gid = gid;
+    }
+    if let Some(atime) = attr.atime {
+        rec.atime = atime;
+    }
+    if let Some(mtime) = attr.mtime {
+        rec.mtime = mtime;
+    }
+    rec.ctime = now;
+}
+
+/// Journal recovery for a directory (§III-E.1): scan the journal stream,
+/// fold 2PC decisions, apply the surviving ops onto the home objects, and
+/// delete the stream. Idempotent; a no-op when the journal is empty.
+/// Returns the number of transactions replayed.
+pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> FsResult<usize> {
+    let txns = scan_journal(prt, port, dir_ino)?;
+    if txns.is_empty() {
+        return Ok(0);
+    }
+    let ops = resolve_renames(prt, port, &txns)?;
+
+    // Base state: what the home objects currently say.
+    let mut dir = match prt.load_inode(port, dir_ino) {
+        Ok(rec) => Some(rec),
+        Err(FsError::NotFound) => None,
+        Err(e) => return Err(e),
+    };
+    let mut dentries: HashMap<String, DentryEntry> = HashMap::new();
+    for bucket in 0..buckets {
+        for entry in prt.load_bucket(port, dir_ino, bucket)?.entries {
+            dentries.insert(entry.name.clone(), entry);
+        }
+    }
+    let mut put_inodes: HashMap<Ino, InodeRecord> = HashMap::new();
+    let mut del_inodes: HashSet<Ino> = HashSet::new();
+
+    for op in ops {
+        match op {
+            JournalOp::PutInode(rec) => {
+                if rec.ino == dir_ino {
+                    dir = Some(rec);
+                } else {
+                    del_inodes.remove(&rec.ino);
+                    put_inodes.insert(rec.ino, rec);
+                }
+            }
+            JournalOp::DeleteInode(ino) => {
+                put_inodes.remove(&ino);
+                del_inodes.insert(ino);
+            }
+            JournalOp::UpsertDentry { name, ino, ftype } => {
+                dentries.insert(name.clone(), DentryEntry { name, ino, ftype });
+            }
+            JournalOp::RemoveDentry { name } => {
+                dentries.remove(&name);
+            }
+            // 2PC records were folded by resolve_renames.
+            JournalOp::RenamePrepare { .. }
+            | JournalOp::RenameCommit { .. }
+            | JournalOp::RenameAbort { .. } => {}
+        }
+    }
+
+    // Write everything back.
+    if let Some(dir) = &dir {
+        prt.store_inode(port, dir)?;
+    }
+    for rec in put_inodes.values() {
+        prt.store_inode(port, rec)?;
+    }
+    for ino in del_inodes {
+        prt.delete_inode(port, ino)?;
+    }
+    for bucket in 0..buckets {
+        let mut entries: Vec<DentryEntry> = dentries
+            .values()
+            .filter(|e| dentry_bucket(&e.name, buckets) == bucket)
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        prt.store_bucket(port, dir_ino, bucket, &DentryBlock { entries })?;
+    }
+    for seq in prt.list_journal(port, dir_ino)? {
+        prt.delete_journal(port, dir_ino, seq)?;
+    }
+    Ok(txns.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Transaction;
+    use arkfs_objstore::{ClusterConfig, ObjectCluster};
+    use arkfs_simkit::SharedResource;
+    use std::sync::Arc;
+
+    const BUCKETS: u64 = 4;
+    const DIR: Ino = 100;
+
+    fn setup() -> (Prt, Port) {
+        (Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 64), Port::new())
+    }
+
+    fn dir_inode() -> InodeRecord {
+        InodeRecord::new(DIR, FileType::Directory, 0o755, 0, 0, 0)
+    }
+
+    fn file_inode(ino: Ino) -> InodeRecord {
+        InodeRecord::new(ino, FileType::Regular, 0o644, 0, 0, 0)
+    }
+
+    fn fresh_table() -> Metatable {
+        Metatable::fresh(dir_inode(), BUCKETS, 1000)
+    }
+
+    #[test]
+    fn create_lookup_unlink() {
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "a.txt", 5).unwrap();
+        assert_eq!(mt.len(), 1);
+        let e = mt.lookup("a.txt").unwrap();
+        assert_eq!(e.ino, 1);
+        assert_eq!(mt.child_inode(1).unwrap().mode, 0o644);
+        assert_eq!(mt.dir.mtime, 5);
+        // Duplicate create fails.
+        assert_eq!(mt.create_child(file_inode(2), "a.txt", 6), Err(FsError::AlreadyExists));
+        let rec = mt.unlink_child("a.txt", 7).unwrap();
+        assert_eq!(rec.ino, 1);
+        assert!(mt.is_empty());
+        assert_eq!(mt.unlink_child("a.txt", 8), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn readdir_is_sorted() {
+        let mut mt = fresh_table();
+        for (i, name) in ["zeta", "alpha", "mid"].iter().enumerate() {
+            mt.create_child(file_inode(i as Ino + 1), name, 0).unwrap();
+        }
+        let names: Vec<String> = mt.readdir().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn subdir_tracking_updates_nlink() {
+        let mut mt = fresh_table();
+        assert_eq!(mt.dir.nlink, 2);
+        mt.add_subdir("sub", 200, 1).unwrap();
+        assert_eq!(mt.dir.nlink, 3);
+        assert_eq!(mt.lookup("sub").unwrap().ftype, FileType::Directory);
+        // unlink refuses directories
+        assert_eq!(mt.unlink_child("sub", 2), Err(FsError::IsADirectory));
+        let ino = mt.remove_subdir("sub", 3).unwrap();
+        assert_eq!(ino, 200);
+        assert_eq!(mt.dir.nlink, 2);
+        // remove_subdir refuses files
+        mt.create_child(file_inode(5), "f", 4).unwrap();
+        assert_eq!(mt.remove_subdir("f", 5), Err(FsError::NotADirectory));
+    }
+
+    #[test]
+    fn set_child_size_and_attr() {
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "f", 0).unwrap();
+        mt.set_child_size(1, 4096, 9).unwrap();
+        let rec = mt.child_inode(1).unwrap();
+        assert_eq!(rec.size, 4096);
+        assert_eq!(rec.mtime, 9);
+        let out = mt.set_child_attr(1, &SetAttr::chmod(0o600), 10).unwrap();
+        assert_eq!(out.mode, 0o600);
+        assert_eq!(out.ctime, 10);
+        assert_eq!(mt.set_child_size(99, 0, 0), Err(FsError::Stale));
+    }
+
+    #[test]
+    fn rename_local_moves_and_replaces() {
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "a", 0).unwrap();
+        mt.create_child(file_inode(2), "b", 0).unwrap();
+        mt.rename_local("a", "c", 1).unwrap();
+        assert!(mt.lookup("a").is_none());
+        assert_eq!(mt.lookup("c").unwrap().ino, 1);
+        // Rename over an existing file replaces it and drops the victim.
+        mt.rename_local("c", "b", 2).unwrap();
+        assert_eq!(mt.lookup("b").unwrap().ino, 1);
+        assert!(mt.child_inode(2).is_none());
+        assert_eq!(mt.rename_local("missing", "x", 3), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn flush_persists_and_reload_restores() {
+        let (prt, port) = setup();
+        let lane = SharedResource::ideal("lane");
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "keep.txt", 5).unwrap();
+        mt.add_subdir("sub", 200, 6).unwrap();
+        mt.flush(&prt, &port, &lane, 0).unwrap();
+        assert!(mt.journal.is_quiescent());
+        assert!(prt.list_journal(&port, DIR).unwrap().is_empty());
+
+        let loaded = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.lookup("keep.txt").unwrap().ino, 1);
+        assert_eq!(loaded.lookup("sub").unwrap().ftype, FileType::Directory);
+        assert_eq!(loaded.child_inode(1).unwrap().mode, 0o644);
+        assert_eq!(loaded.dir.nlink, 3);
+    }
+
+    #[test]
+    fn load_of_non_directory_fails() {
+        let (prt, port) = setup();
+        prt.store_inode(&port, &file_inode(9)).unwrap();
+        assert_eq!(
+            Metatable::load(&prt, &port, 9, BUCKETS, 1000).err(),
+            Some(FsError::NotADirectory)
+        );
+    }
+
+    #[test]
+    fn recovery_replays_journaled_creates() {
+        let (prt, port) = setup();
+        let lane = SharedResource::ideal("lane");
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "durable.txt", 5).unwrap();
+        // Commit the journal but CRASH before checkpoint.
+        mt.journal.commit(&prt, &port, &lane, 0).unwrap();
+        drop(mt);
+        assert_eq!(prt.list_journal(&port, DIR).unwrap().len(), 1);
+
+        // New leader loads: recovery replays the journal.
+        let loaded = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
+        assert_eq!(loaded.lookup("durable.txt").unwrap().ino, 1);
+        assert_eq!(loaded.child_inode(1).unwrap().ino, 1);
+        assert!(prt.list_journal(&port, DIR).unwrap().is_empty(), "journal truncated");
+    }
+
+    #[test]
+    fn uncommitted_running_transaction_is_lost_on_crash() {
+        let (prt, port) = setup();
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "volatile.txt", 5).unwrap();
+        // Crash without commit: nothing reached the store.
+        drop(mt);
+        let loaded = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
+        assert!(loaded.lookup("volatile.txt").is_none());
+    }
+
+    #[test]
+    fn recovery_handles_delete_after_create() {
+        let (prt, port) = setup();
+        let lane = SharedResource::ideal("lane");
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "f", 1).unwrap();
+        mt.journal.commit(&prt, &port, &lane, 0).unwrap();
+        mt.unlink_child("f", 2).unwrap();
+        mt.journal.commit(&prt, &port, &lane, 0).unwrap();
+        drop(mt); // crash before checkpoint
+
+        let loaded = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
+        assert!(loaded.lookup("f").is_none());
+        assert_eq!(prt.load_inode(&port, 1), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (prt, port) = setup();
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        let txn = Transaction {
+            dir: DIR,
+            seq: 0,
+            ops: vec![
+                JournalOp::PutInode(file_inode(1)),
+                JournalOp::UpsertDentry { name: "f".into(), ino: 1, ftype: FileType::Regular },
+            ],
+        };
+        prt.put_journal(&port, DIR, 0, txn.seal()).unwrap();
+        assert_eq!(recover_directory(&prt, &port, DIR, BUCKETS).unwrap(), 1);
+        assert_eq!(recover_directory(&prt, &port, DIR, BUCKETS).unwrap(), 0);
+        let mt = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
+        assert!(mt.lookup("f").is_some());
+    }
+
+    #[test]
+    fn detach_attach_move_file_between_tables() {
+        let mut src = fresh_table();
+        let mut dst = Metatable::fresh(
+            InodeRecord::new(300, FileType::Directory, 0o755, 0, 0, 0),
+            BUCKETS,
+            1000,
+        );
+        src.create_child(file_inode(1), "mv.txt", 0).unwrap();
+        let (entry, rec) = src.detach_child("mv.txt", 1).unwrap();
+        assert!(src.lookup("mv.txt").is_none());
+        dst.attach_child("moved.txt", entry.ino, entry.ftype, rec, 1).unwrap();
+        assert_eq!(dst.lookup("moved.txt").unwrap().ino, 1);
+        assert!(dst.child_inode(1).is_some());
+        // Attach over existing name fails.
+        let err = dst.attach_child("moved.txt", 9, FileType::Regular, None, 2);
+        assert_eq!(err, Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn acl_set_on_dir_and_child() {
+        use arkfs_vfs::{Acl, AclEntry};
+        let mut mt = fresh_table();
+        mt.create_child(file_inode(1), "f", 0).unwrap();
+        let acl = Acl::new(vec![AclEntry::user(9, 0o6)]);
+        mt.set_acl(1, acl.clone(), 5).unwrap();
+        assert_eq!(mt.child_inode(1).unwrap().acl, acl);
+        mt.set_acl(DIR, acl.clone(), 6).unwrap();
+        assert_eq!(mt.dir.acl, acl);
+        assert_eq!(mt.set_acl(999, acl, 7), Err(FsError::Stale));
+    }
+}

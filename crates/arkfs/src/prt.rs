@@ -1,0 +1,444 @@
+//! The POSIX-REST Translator (PRT) module (§III-F).
+//!
+//! Translates typed file-system state — inode records, dentry buckets,
+//! journal transactions, file data at byte offsets — into REST object
+//! operations on any [`ObjectStore`] backend. "The PRT module divides the
+//! file data into multiple objects if the file size exceeds the maximum
+//! object size defined by the object storage."
+//!
+//! On backends without partial writes (the S3 profile), sub-chunk writes
+//! fall back to read-modify-write of the whole data object — exactly the
+//! behaviour the paper criticizes in S3FS, except confined to one chunk
+//! rather than the whole file.
+
+use crate::meta::{DentryBlock, InodeRecord};
+use crate::wire::WireCodec;
+use arkfs_objstore::{ObjectKey, ObjectStore, OsError};
+use arkfs_simkit::Port;
+use arkfs_vfs::{FsError, FsResult, Ino};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Map an object-store error onto the file system error space.
+pub fn map_os_err(e: OsError) -> FsError {
+    match e {
+        OsError::NotFound => FsError::NotFound,
+        OsError::Unsupported(what) => FsError::Unsupported(what),
+        OsError::Injected(what) => FsError::Io(format!("injected fault: {what}")),
+        OsError::BadRange => FsError::InvalidArgument,
+        OsError::BadKey => FsError::Io("malformed key".into()),
+        OsError::InsufficientFragments => {
+            FsError::Io("too many erasure-coded fragments unavailable".into())
+        }
+    }
+}
+
+/// Typed object-storage access for one ArkFS deployment.
+pub struct Prt {
+    store: Arc<dyn ObjectStore>,
+    chunk_size: u64,
+}
+
+impl Prt {
+    pub fn new(store: Arc<dyn ObjectStore>, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0);
+        Prt { store, chunk_size }
+    }
+
+    pub fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    // ---- inode records -------------------------------------------------
+
+    pub fn load_inode(&self, port: &Port, ino: Ino) -> FsResult<InodeRecord> {
+        let data = self.store.get(port, ObjectKey::inode(ino)).map_err(map_os_err)?;
+        InodeRecord::from_bytes(&data).map_err(|e| FsError::Io(e.to_string()))
+    }
+
+    pub fn store_inode(&self, port: &Port, rec: &InodeRecord) -> FsResult<()> {
+        self.store
+            .put(port, ObjectKey::inode(rec.ino), Bytes::from(rec.to_bytes()))
+            .map_err(map_os_err)
+    }
+
+    pub fn delete_inode(&self, port: &Port, ino: Ino) -> FsResult<()> {
+        match self.store.delete(port, ObjectKey::inode(ino)) {
+            Ok(()) | Err(OsError::NotFound) => Ok(()),
+            Err(e) => Err(map_os_err(e)),
+        }
+    }
+
+    // ---- dentry buckets ------------------------------------------------
+
+    /// Load one dentry bucket; a missing object is an empty bucket.
+    pub fn load_bucket(&self, port: &Port, dir: Ino, bucket: u64) -> FsResult<DentryBlock> {
+        match self.store.get(port, ObjectKey::dentry_bucket(dir, bucket)) {
+            Ok(data) => DentryBlock::from_bytes(&data).map_err(|e| FsError::Io(e.to_string())),
+            Err(OsError::NotFound) => Ok(DentryBlock::default()),
+            Err(e) => Err(map_os_err(e)),
+        }
+    }
+
+    pub fn store_bucket(
+        &self,
+        port: &Port,
+        dir: Ino,
+        bucket: u64,
+        block: &DentryBlock,
+    ) -> FsResult<()> {
+        let key = ObjectKey::dentry_bucket(dir, bucket);
+        if block.entries.is_empty() {
+            return match self.store.delete(port, key) {
+                Ok(()) | Err(OsError::NotFound) => Ok(()),
+                Err(e) => Err(map_os_err(e)),
+            };
+        }
+        self.store.put(port, key, Bytes::from(block.to_bytes())).map_err(map_os_err)
+    }
+
+    /// Delete every dentry bucket of a directory.
+    pub fn delete_buckets(&self, port: &Port, dir: Ino) -> FsResult<()> {
+        let keys = self
+            .store
+            .list(port, Some(arkfs_objstore::KeyKind::Dentry), Some(dir))
+            .map_err(map_os_err)?;
+        for key in keys {
+            match self.store.delete(port, key) {
+                Ok(()) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        Ok(())
+    }
+
+    // ---- journal objects -------------------------------------------------
+
+    pub fn put_journal(&self, port: &Port, dir: Ino, seq: u64, data: Bytes) -> FsResult<()> {
+        self.store.put(port, ObjectKey::journal(dir, seq), data).map_err(map_os_err)
+    }
+
+    pub fn get_journal(&self, port: &Port, dir: Ino, seq: u64) -> FsResult<Bytes> {
+        self.store.get(port, ObjectKey::journal(dir, seq)).map_err(map_os_err)
+    }
+
+    /// Sequence numbers of all journal objects of a directory, ascending.
+    pub fn list_journal(&self, port: &Port, dir: Ino) -> FsResult<Vec<u64>> {
+        let keys = self
+            .store
+            .list(port, Some(arkfs_objstore::KeyKind::Journal), Some(dir))
+            .map_err(map_os_err)?;
+        let mut seqs: Vec<u64> = keys.into_iter().map(|k| k.index).collect();
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    pub fn delete_journal(&self, port: &Port, dir: Ino, seq: u64) -> FsResult<()> {
+        match self.store.delete(port, ObjectKey::journal(dir, seq)) {
+            Ok(()) | Err(OsError::NotFound) => Ok(()),
+            Err(e) => Err(map_os_err(e)),
+        }
+    }
+
+    // ---- file data -------------------------------------------------------
+
+    /// Read up to `buf.len()` bytes at `offset` from a file whose current
+    /// size is `size`. Returns bytes filled. Chunks that were never
+    /// written read as zeros (sparse files).
+    pub fn read_data(
+        &self,
+        port: &Port,
+        ino: Ino,
+        offset: u64,
+        buf: &mut [u8],
+        size: u64,
+    ) -> FsResult<usize> {
+        if offset >= size {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(size - offset) as usize;
+        let mut filled = 0usize;
+        while filled < want {
+            let pos = offset + filled as u64;
+            let chunk_idx = pos / self.chunk_size;
+            let within = pos % self.chunk_size;
+            let n = ((self.chunk_size - within) as usize).min(want - filled);
+            let out = &mut buf[filled..filled + n];
+            match self.store.get_range(
+                port,
+                ObjectKey::data_chunk(ino, chunk_idx),
+                within,
+                n,
+            ) {
+                Ok(data) => {
+                    out[..data.len()].copy_from_slice(&data);
+                    // Anything past the stored chunk tail is sparse zero.
+                    out[data.len()..].fill(0);
+                }
+                Err(OsError::NotFound) => out.fill(0),
+                Err(e) => return Err(map_os_err(e)),
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+
+    /// Read one whole chunk (for the data cache). Missing chunk reads as
+    /// empty.
+    pub fn read_chunk(&self, port: &Port, ino: Ino, chunk_idx: u64) -> FsResult<Bytes> {
+        match self.store.get(port, ObjectKey::data_chunk(ino, chunk_idx)) {
+            Ok(data) => Ok(data),
+            Err(OsError::NotFound) => Ok(Bytes::new()),
+            Err(e) => Err(map_os_err(e)),
+        }
+    }
+
+    /// Write one whole chunk (cache write-back).
+    pub fn write_chunk(&self, port: &Port, ino: Ino, chunk_idx: u64, data: Bytes) -> FsResult<()> {
+        self.store.put(port, ObjectKey::data_chunk(ino, chunk_idx), data).map_err(map_os_err)
+    }
+
+    /// Write `data` at byte `offset`, splitting across chunk objects and
+    /// falling back to read-modify-write where the backend lacks partial
+    /// writes.
+    pub fn write_data(&self, port: &Port, ino: Ino, offset: u64, data: &[u8]) -> FsResult<()> {
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset + written as u64;
+            let chunk_idx = pos / self.chunk_size;
+            let within = pos % self.chunk_size;
+            let n = ((self.chunk_size - within) as usize).min(data.len() - written);
+            let piece = Bytes::copy_from_slice(&data[written..written + n]);
+            let key = ObjectKey::data_chunk(ino, chunk_idx);
+            match self.store.put_range(port, key, within, piece.clone()) {
+                Ok(()) => {}
+                Err(OsError::Unsupported(_)) => {
+                    // S3 semantics: rewrite the whole chunk object.
+                    let mut chunk = match self.store.get(port, key) {
+                        Ok(existing) => existing.to_vec(),
+                        Err(OsError::NotFound) => Vec::new(),
+                        Err(e) => return Err(map_os_err(e)),
+                    };
+                    let end = within as usize + n;
+                    if chunk.len() < end {
+                        chunk.resize(end, 0);
+                    }
+                    chunk[within as usize..end].copy_from_slice(&piece);
+                    self.store.put(port, key, Bytes::from(chunk)).map_err(map_os_err)?;
+                }
+                Err(e) => return Err(map_os_err(e)),
+            }
+            written += n;
+        }
+        Ok(())
+    }
+
+    /// Delete data chunks beyond `new_size` (truncate) given the previous
+    /// size.
+    pub fn truncate_data(
+        &self,
+        port: &Port,
+        ino: Ino,
+        old_size: u64,
+        new_size: u64,
+    ) -> FsResult<()> {
+        if new_size >= old_size {
+            return Ok(());
+        }
+        let first_dead = new_size.div_ceil(self.chunk_size);
+        let last = old_size.div_ceil(self.chunk_size);
+        for chunk_idx in first_dead..last {
+            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk_idx)) {
+                Ok(()) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        // Trim the partial boundary chunk if any bytes survive in it.
+        if !new_size.is_multiple_of(self.chunk_size) && new_size / self.chunk_size < last {
+            let boundary = new_size / self.chunk_size;
+            let keep = (new_size % self.chunk_size) as usize;
+            let key = ObjectKey::data_chunk(ino, boundary);
+            match self.store.get(port, key) {
+                Ok(data) if data.len() > keep => {
+                    self.store
+                        .put(port, key, data.slice(..keep))
+                        .map_err(map_os_err)?;
+                }
+                Ok(_) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete every data chunk of a file of the given size.
+    pub fn delete_data(&self, port: &Port, ino: Ino, size: u64) -> FsResult<()> {
+        for chunk_idx in 0..size.div_ceil(self.chunk_size) {
+            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk_idx)) {
+                Ok(()) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs_objstore::{ClusterConfig, ObjectCluster, StoreProfile};
+    use arkfs_vfs::FileType;
+
+    fn rados_prt() -> Prt {
+        Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 16)
+    }
+
+    fn s3_prt() -> Prt {
+        let mut cfg = ClusterConfig::test_tiny();
+        cfg.profile = StoreProfile::s3(&cfg.spec);
+        Prt::new(Arc::new(ObjectCluster::new(cfg)), 16)
+    }
+
+    #[test]
+    fn inode_store_load_delete() {
+        let prt = rados_prt();
+        let port = Port::new();
+        let rec = InodeRecord::new(55, FileType::Regular, 0o600, 1, 1, 0);
+        prt.store_inode(&port, &rec).unwrap();
+        assert_eq!(prt.load_inode(&port, 55).unwrap(), rec);
+        prt.delete_inode(&port, 55).unwrap();
+        assert_eq!(prt.load_inode(&port, 55), Err(FsError::NotFound));
+        // Idempotent delete.
+        prt.delete_inode(&port, 55).unwrap();
+    }
+
+    #[test]
+    fn missing_bucket_is_empty() {
+        let prt = rados_prt();
+        let port = Port::new();
+        assert_eq!(prt.load_bucket(&port, 1, 0).unwrap(), DentryBlock::default());
+    }
+
+    #[test]
+    fn empty_bucket_store_deletes_object() {
+        let prt = rados_prt();
+        let port = Port::new();
+        let mut block = DentryBlock::default();
+        block.entries.push(crate::meta::DentryEntry {
+            name: "x".into(),
+            ino: 9,
+            ftype: FileType::Regular,
+        });
+        prt.store_bucket(&port, 1, 0, &block).unwrap();
+        assert_eq!(prt.load_bucket(&port, 1, 0).unwrap(), block);
+        prt.store_bucket(&port, 1, 0, &DentryBlock::default()).unwrap();
+        assert_eq!(prt.load_bucket(&port, 1, 0).unwrap(), DentryBlock::default());
+    }
+
+    #[test]
+    fn data_write_read_across_chunks() {
+        let prt = rados_prt(); // 16-byte chunks
+        let port = Port::new();
+        let data: Vec<u8> = (0..50u8).collect();
+        prt.write_data(&port, 7, 3, &data).unwrap();
+        let mut buf = vec![0u8; 50];
+        let n = prt.read_data(&port, 7, 3, &mut buf, 53).unwrap();
+        assert_eq!(n, 50);
+        assert_eq!(buf, data);
+        // The first 3 bytes are sparse zeros.
+        let mut head = [1u8; 3];
+        prt.read_data(&port, 7, 0, &mut head, 53).unwrap();
+        assert_eq!(head, [0, 0, 0]);
+    }
+
+    #[test]
+    fn read_past_eof_truncates() {
+        let prt = rados_prt();
+        let port = Port::new();
+        prt.write_data(&port, 7, 0, b"hello").unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(prt.read_data(&port, 7, 0, &mut buf, 5).unwrap(), 5);
+        assert_eq!(prt.read_data(&port, 7, 5, &mut buf, 5).unwrap(), 0);
+        assert_eq!(prt.read_data(&port, 7, 3, &mut buf, 5).unwrap(), 2);
+        assert_eq!(&buf[..2], b"lo");
+    }
+
+    #[test]
+    fn s3_fallback_read_modify_write() {
+        let prt = s3_prt();
+        let port = Port::new();
+        prt.write_data(&port, 7, 0, b"0123456789abcdef").unwrap(); // exactly one chunk
+        prt.write_data(&port, 7, 4, b"XY").unwrap(); // sub-chunk write → RMW
+        let mut buf = vec![0u8; 16];
+        prt.read_data(&port, 7, 0, &mut buf, 16).unwrap();
+        assert_eq!(&buf, b"0123XY6789abcdef");
+        // Cross-chunk write on S3.
+        prt.write_data(&port, 7, 14, b"PQRS").unwrap();
+        let mut buf = vec![0u8; 18];
+        prt.read_data(&port, 7, 0, &mut buf, 18).unwrap();
+        assert_eq!(&buf[14..], b"PQRS");
+    }
+
+    #[test]
+    fn sparse_chunks_read_zero() {
+        let prt = rados_prt();
+        let port = Port::new();
+        // Write only chunk 2 (offset 32..), size 48.
+        prt.write_data(&port, 9, 32, &[7u8; 16]).unwrap();
+        let mut buf = vec![1u8; 48];
+        assert_eq!(prt.read_data(&port, 9, 0, &mut buf, 48).unwrap(), 48);
+        assert!(buf[..32].iter().all(|&b| b == 0));
+        assert!(buf[32..].iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn truncate_deletes_tail_chunks_and_trims_boundary() {
+        let prt = rados_prt();
+        let port = Port::new();
+        let data = vec![9u8; 64]; // 4 chunks
+        prt.write_data(&port, 3, 0, &data).unwrap();
+        prt.truncate_data(&port, 3, 64, 20).unwrap();
+        // Chunks 2,3 deleted; chunk 1 trimmed to 4 bytes.
+        let mut buf = vec![0u8; 64];
+        let n = prt.read_data(&port, 3, 0, &mut buf, 20).unwrap();
+        assert_eq!(n, 20);
+        assert!(buf[..20].iter().all(|&b| b == 9));
+        assert_eq!(
+            prt.store().head(&port, ObjectKey::data_chunk(3, 1)).unwrap(),
+            4
+        );
+        assert!(prt.store().head(&port, ObjectKey::data_chunk(3, 2)).is_err());
+        // Growing truncate is a no-op on data.
+        prt.truncate_data(&port, 3, 20, 100).unwrap();
+    }
+
+    #[test]
+    fn delete_data_removes_all_chunks() {
+        let prt = rados_prt();
+        let port = Port::new();
+        prt.write_data(&port, 4, 0, &[1u8; 40]).unwrap();
+        prt.delete_data(&port, 4, 40).unwrap();
+        let mut buf = [5u8; 8];
+        prt.read_data(&port, 4, 0, &mut buf, 40).unwrap();
+        assert_eq!(buf, [0u8; 8]); // all sparse now
+    }
+
+    #[test]
+    fn journal_stream_roundtrip() {
+        let prt = rados_prt();
+        let port = Port::new();
+        prt.put_journal(&port, 10, 0, Bytes::from_static(b"t0")).unwrap();
+        prt.put_journal(&port, 10, 2, Bytes::from_static(b"t2")).unwrap();
+        prt.put_journal(&port, 10, 1, Bytes::from_static(b"t1")).unwrap();
+        assert_eq!(prt.list_journal(&port, 10).unwrap(), vec![0, 1, 2]);
+        assert_eq!(prt.get_journal(&port, 10, 1).unwrap(), Bytes::from_static(b"t1"));
+        prt.delete_journal(&port, 10, 0).unwrap();
+        assert_eq!(prt.list_journal(&port, 10).unwrap(), vec![1, 2]);
+        // Other directory's journal is separate.
+        assert!(prt.list_journal(&port, 11).unwrap().is_empty());
+    }
+}

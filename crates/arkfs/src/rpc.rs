@@ -1,0 +1,129 @@
+//! Client↔client RPC protocol: the operations a non-leader forwards to a
+//! directory leader (§III-B: "the rest of the clients who failed to get a
+//! lease should send their requests to the directory leader so that the
+//! directory leader can perform the requested operations on behalf of the
+//! other clients"), plus file-lease traffic and cache-flush broadcasts.
+
+use crate::meta::InodeRecord;
+use arkfs_lease::FileLeaseDecision;
+use arkfs_netsim::NodeId;
+use arkfs_vfs::{Acl, Credentials, DirEntry, FileType, FsError, Ino, SetAttr};
+
+/// A forwarded file-system operation, carrying the originator's
+/// credentials so the leader can enforce permissions ("If C1 does not
+/// have a permission to access /home/doc/bar.txt, C2 will return a
+/// permission error").
+#[derive(Debug, Clone)]
+pub struct OpRequest {
+    pub creds: Credentials,
+    pub body: OpBody,
+}
+
+/// The operation itself. `dir` is always the directory the destination
+/// client is expected to lead.
+#[derive(Debug, Clone)]
+pub enum OpBody {
+    /// Resolve `name` in `dir`; returns the dentry and, for non-directory
+    /// children, the inode record.
+    Lookup { dir: Ino, name: String },
+    /// The directory's own inode record (stat / permission info; feeds
+    /// the permission cache).
+    DirInode { dir: Ino },
+    /// Create a regular file or symlink with a caller-allocated inode.
+    Create { dir: Ino, name: String, rec: InodeRecord },
+    /// Register a subdirectory entry (inode object already written).
+    AddSubdir { dir: Ino, name: String, child: Ino },
+    /// Unlink a file/symlink; returns its final inode record so the
+    /// caller can delete the data chunks.
+    Unlink { dir: Ino, name: String },
+    /// Remove an empty-subdirectory entry.
+    RemoveSubdir { dir: Ino, name: String },
+    Readdir { dir: Ino },
+    /// Post-write size/mtime update for a child file.
+    SetSize { dir: Ino, ino: Ino, size: u64 },
+    /// setattr on a child file/symlink.
+    SetAttrChild { dir: Ino, ino: Ino, attr: SetAttr },
+    /// setattr on the directory itself.
+    SetAttrDir { dir: Ino, attr: SetAttr },
+    /// Replace the ACL of the directory (`target == dir`) or a child.
+    SetAcl { dir: Ino, target: Ino, acl: Acl },
+    /// Same-directory rename.
+    RenameLocal { dir: Ino, from: String, to: String },
+    /// 2PC rename, source half: journal a prepare that removes `name`,
+    /// detach it in memory, and return what moved.
+    RenameSrcPrepare { dir: Ino, name: String, txid: u128, peer: Ino },
+    /// 2PC rename, destination half: journal a prepare that inserts the
+    /// entry, attach it in memory.
+    RenameDstPrepare {
+        dir: Ino,
+        name: String,
+        txid: u128,
+        peer: Ino,
+        ino: Ino,
+        ftype: FileType,
+        rec: Option<InodeRecord>,
+    },
+    /// 2PC decision. On abort of a source half, `undo` carries the
+    /// detached entry to re-attach.
+    RenameDecide {
+        dir: Ino,
+        txid: u128,
+        commit: bool,
+        undo: Option<(String, Ino, FileType, Option<InodeRecord>)>,
+    },
+    /// File lease traffic (§III-D): leaders manage child files' leases.
+    AcquireReadLease { dir: Ino, file: Ino, client: NodeId },
+    AcquireWriteLease { dir: Ino, file: Ino, client: NodeId },
+    ReleaseFileLease { dir: Ino, file: Ino, client: NodeId },
+    /// Cache-flush broadcast from a leader to a lease holder: write back
+    /// and drop cached chunks of `file`.
+    FlushCache { file: Ino },
+}
+
+/// Responses to [`OpRequest`]s.
+#[derive(Debug, Clone)]
+pub enum OpResponse {
+    /// Lookup result: the dentry target, with the inode record for
+    /// non-directory children.
+    Entry { ino: Ino, ftype: FileType, rec: Option<InodeRecord> },
+    /// An inode record (DirInode, Unlink, SetAttr*).
+    Inode(InodeRecord),
+    Entries(Vec<DirEntry>),
+    /// Rename source half: what was detached.
+    Detached { ino: Ino, ftype: FileType, rec: Option<InodeRecord> },
+    Lease(FileLeaseDecision),
+    /// FlushCache result: the flushed client's local view of the file
+    /// size (None when it held no dirty data).
+    Flushed { size: Option<u64> },
+    Ok,
+    /// The destination no longer leads `dir` (lease lapsed and someone
+    /// else may own it); the caller goes back to the lease manager.
+    NotLeader,
+    Err(FsError),
+}
+
+impl OpResponse {
+    /// Fold an `FsResult` into a response.
+    pub fn from_result<T, F: FnOnce(T) -> OpResponse>(r: Result<T, FsError>, f: F) -> OpResponse {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => OpResponse::Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_result_folds() {
+        let ok: Result<u32, FsError> = Ok(5);
+        assert!(matches!(OpResponse::from_result(ok, |_| OpResponse::Ok), OpResponse::Ok));
+        let err: Result<u32, FsError> = Err(FsError::NotFound);
+        assert!(matches!(
+            OpResponse::from_result(err, |_| OpResponse::Ok),
+            OpResponse::Err(FsError::NotFound)
+        ));
+    }
+}

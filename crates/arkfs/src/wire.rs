@@ -1,0 +1,285 @@
+//! Versioned little-endian wire codec for ArkFS metadata objects.
+//!
+//! The PRT module "defines specifications for how file system-related
+//! information is stored in the key-value pair" (§III-F). Records are
+//! encoded with an explicit, deterministic layout — no external
+//! serializer — and journal transactions carry a CRC32 so recovery can
+//! tell valid transactions from torn ones.
+
+use std::fmt;
+
+/// Codec failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the value was complete.
+    Truncated,
+    /// Unknown enum discriminant or invalid value.
+    Invalid(&'static str),
+    /// Record version newer than this implementation understands.
+    BadVersion(u8),
+    /// Checksum mismatch (torn or corrupt journal transaction).
+    BadChecksum,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated record"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+            WireError::BadVersion(v) => write!(f, "unsupported record version {v}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Length-prefixed byte string (u32 length).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Raw access for checksumming.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u16(&mut self) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_u128(&mut self) -> WireResult<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn get_bool(&mut self) -> WireResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool")),
+        }
+    }
+
+    pub fn get_bytes(&mut self) -> WireResult<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    pub fn get_str(&mut self) -> WireResult<&'a str> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| WireError::Invalid("utf8"))
+    }
+}
+
+/// A type with a stable wire representation.
+pub trait WireCodec: Sized {
+    fn encode(&self, enc: &mut Encoder);
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self>;
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        let mut dec = Decoder::new(buf);
+        let v = Self::decode(&mut dec)?;
+        Ok(v)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) used for journal transaction integrity.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Small table generated at first use.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFFFFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFFFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut e = Encoder::new();
+        e.put_u8(0xAB);
+        e.put_u16(0xCDEF);
+        e.put_u32(0xDEADBEEF);
+        e.put_u64(u64::MAX - 1);
+        e.put_u128(u128::MAX / 3);
+        e.put_bool(true);
+        e.put_bool(false);
+        e.put_str("héllo");
+        e.put_bytes(b"\x00\x01\x02");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 0xAB);
+        assert_eq!(d.get_u16().unwrap(), 0xCDEF);
+        assert_eq!(d.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_u128().unwrap(), u128::MAX / 3);
+        assert!(d.get_bool().unwrap());
+        assert!(!d.get_bool().unwrap());
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.get_bytes().unwrap(), b"\x00\x01\x02");
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Encoder::new();
+        e.put_u64(7);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..4]);
+        assert_eq!(d.get_u64(), Err(WireError::Truncated));
+        // String with a length prefix longer than the payload.
+        let mut e = Encoder::new();
+        e.put_u32(100);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_bytes(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_and_utf8_detected() {
+        let mut d = Decoder::new(&[2]);
+        assert_eq!(d.get_bool(), Err(WireError::Invalid("bool")));
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xFF, 0xFE]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_str(), Err(WireError::Invalid("utf8")));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn encoder_capacity_and_len() {
+        let mut e = Encoder::with_capacity(64);
+        assert!(e.is_empty());
+        e.put_u32(1);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.as_slice(), &1u32.to_le_bytes());
+    }
+}

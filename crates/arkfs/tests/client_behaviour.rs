@@ -1,0 +1,638 @@
+//! End-to-end behaviour tests for the ArkFS client: POSIX surface,
+//! permissions, multi-client leases, cache coherence, crash recovery.
+
+use arkfs::{ArkClient, ArkCluster, ArkConfig};
+use arkfs_objstore::{ClusterConfig, ObjectCluster, StoreProfile};
+use arkfs_simkit::MSEC;
+use arkfs_vfs::{
+    read_file, write_file, Acl, AclEntry, Credentials, FileType, FsError, OpenFlags, SetAttr,
+    Vfs, AM_READ, AM_WRITE,
+};
+use std::sync::Arc;
+
+fn cluster_with(config: ArkConfig) -> Arc<ArkCluster> {
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    ArkCluster::new(config, store)
+}
+
+fn cluster() -> Arc<ArkCluster> {
+    cluster_with(ArkConfig::test_tiny())
+}
+
+fn root() -> Credentials {
+    Credentials::root()
+}
+
+// ---- single-client POSIX surface -------------------------------------------
+
+#[test]
+fn mkdir_create_write_read() {
+    let c = cluster().client();
+    let ctx = root();
+    c.mkdir(&ctx, "/data", 0o755).unwrap();
+    write_file(&*c, &ctx, "/data/f.bin", b"payload").unwrap();
+    assert_eq!(read_file(&*c, &ctx, "/data/f.bin").unwrap(), b"payload");
+    let st = c.stat(&ctx, "/data/f.bin").unwrap();
+    assert_eq!(st.size, 7);
+    assert_eq!(st.ftype, FileType::Regular);
+}
+
+#[test]
+fn nested_directories_and_resolution_errors() {
+    let c = cluster().client();
+    let ctx = root();
+    c.mkdir(&ctx, "/a", 0o755).unwrap();
+    c.mkdir(&ctx, "/a/b", 0o755).unwrap();
+    c.mkdir(&ctx, "/a/b/c", 0o755).unwrap();
+    write_file(&*c, &ctx, "/a/b/c/deep.txt", b"x").unwrap();
+    assert_eq!(c.stat(&ctx, "/a/b/c/deep.txt").unwrap().size, 1);
+    // Missing intermediate component.
+    assert_eq!(c.stat(&ctx, "/a/zz/c"), Err(FsError::NotFound));
+    // File used as a directory.
+    assert_eq!(c.stat(&ctx, "/a/b/c/deep.txt/x"), Err(FsError::NotADirectory));
+    // mkdir over existing name.
+    assert_eq!(c.mkdir(&ctx, "/a/b", 0o755).err(), Some(FsError::AlreadyExists));
+}
+
+#[test]
+fn stat_root_and_readdir() {
+    let c = cluster().client();
+    let ctx = root();
+    let st = c.stat(&ctx, "/").unwrap();
+    assert!(st.is_dir());
+    c.mkdir(&ctx, "/dir1", 0o755).unwrap();
+    write_file(&*c, &ctx, "/file1", b"").unwrap();
+    let names: Vec<String> = c.readdir(&ctx, "/").unwrap().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, vec!["dir1", "file1"]);
+    assert_eq!(c.readdir(&ctx, "/file1"), Err(FsError::NotADirectory));
+}
+
+#[test]
+fn unlink_and_rmdir() {
+    let c = cluster().client();
+    let ctx = root();
+    c.mkdir(&ctx, "/d", 0o755).unwrap();
+    write_file(&*c, &ctx, "/d/f", b"data").unwrap();
+    // rmdir on file / non-empty dir fail.
+    assert_eq!(c.rmdir(&ctx, "/d/f"), Err(FsError::NotADirectory));
+    assert_eq!(c.rmdir(&ctx, "/d"), Err(FsError::NotEmpty));
+    // unlink on dir fails.
+    assert_eq!(c.unlink(&ctx, "/d"), Err(FsError::IsADirectory));
+    c.unlink(&ctx, "/d/f").unwrap();
+    assert_eq!(c.stat(&ctx, "/d/f"), Err(FsError::NotFound));
+    c.rmdir(&ctx, "/d").unwrap();
+    assert_eq!(c.stat(&ctx, "/d"), Err(FsError::NotFound));
+    assert_eq!(c.unlink(&ctx, "/d/f"), Err(FsError::NotFound));
+}
+
+#[test]
+fn rename_same_directory() {
+    let c = cluster().client();
+    let ctx = root();
+    c.mkdir(&ctx, "/d", 0o755).unwrap();
+    write_file(&*c, &ctx, "/d/old", b"abc").unwrap();
+    c.rename(&ctx, "/d/old", "/d/new").unwrap();
+    assert_eq!(c.stat(&ctx, "/d/old"), Err(FsError::NotFound));
+    assert_eq!(read_file(&*c, &ctx, "/d/new").unwrap(), b"abc");
+    // Replace an existing file.
+    write_file(&*c, &ctx, "/d/other", b"zzz").unwrap();
+    c.rename(&ctx, "/d/new", "/d/other").unwrap();
+    assert_eq!(read_file(&*c, &ctx, "/d/other").unwrap(), b"abc");
+    // No-op rename.
+    c.rename(&ctx, "/d/other", "/d/other").unwrap();
+}
+
+#[test]
+fn rename_across_directories_two_phase() {
+    let c = cluster().client();
+    let ctx = root();
+    c.mkdir(&ctx, "/src", 0o755).unwrap();
+    c.mkdir(&ctx, "/dst", 0o755).unwrap();
+    write_file(&*c, &ctx, "/src/f.txt", b"move me").unwrap();
+    c.rename(&ctx, "/src/f.txt", "/dst/g.txt").unwrap();
+    assert_eq!(c.stat(&ctx, "/src/f.txt"), Err(FsError::NotFound));
+    assert_eq!(read_file(&*c, &ctx, "/dst/g.txt").unwrap(), b"move me");
+    // An existing file target cross-directory is replaced atomically
+    // (victim removed inside the destination's 2PC prepare).
+    write_file(&*c, &ctx, "/src/h.txt", b"winner").unwrap();
+    c.rename(&ctx, "/src/h.txt", "/dst/g.txt").unwrap();
+    assert_eq!(read_file(&*c, &ctx, "/dst/g.txt").unwrap(), b"winner");
+    assert_eq!(c.stat(&ctx, "/src/h.txt"), Err(FsError::NotFound));
+    // A directory target is rejected.
+    c.mkdir(&ctx, "/dst/subdir", 0o755).unwrap();
+    write_file(&*c, &ctx, "/src/i.txt", b"stay").unwrap();
+    assert_eq!(c.rename(&ctx, "/src/i.txt", "/dst/subdir"), Err(FsError::AlreadyExists));
+    assert_eq!(read_file(&*c, &ctx, "/src/i.txt").unwrap(), b"stay");
+}
+
+#[test]
+fn rename_directory_across_parents() {
+    let c = cluster().client();
+    let ctx = root();
+    c.mkdir(&ctx, "/p1", 0o755).unwrap();
+    c.mkdir(&ctx, "/p2", 0o755).unwrap();
+    c.mkdir(&ctx, "/p1/sub", 0o755).unwrap();
+    write_file(&*c, &ctx, "/p1/sub/inner.txt", b"deep").unwrap();
+    c.rename(&ctx, "/p1/sub", "/p2/sub2").unwrap();
+    // Contents move with the directory (inode-keyed objects: no data
+    // rewrite, unlike S3FS).
+    assert_eq!(read_file(&*c, &ctx, "/p2/sub2/inner.txt").unwrap(), b"deep");
+    assert_eq!(c.stat(&ctx, "/p1/sub"), Err(FsError::NotFound));
+    // Renaming a directory into its own subtree is rejected.
+    assert_eq!(c.rename(&ctx, "/p2", "/p2/sub2/x"), Err(FsError::InvalidArgument));
+}
+
+#[test]
+fn truncate_shrinks_and_extends() {
+    let c = cluster().client();
+    let ctx = root();
+    write_file(&*c, &ctx, "/t.bin", &[7u8; 200]).unwrap(); // >1 chunk (64B)
+    c.truncate(&ctx, "/t.bin", 100).unwrap();
+    assert_eq!(c.stat(&ctx, "/t.bin").unwrap().size, 100);
+    let data = read_file(&*c, &ctx, "/t.bin").unwrap();
+    assert_eq!(data.len(), 100);
+    assert!(data.iter().all(|&b| b == 7));
+    // Extending truncate produces zeros.
+    c.truncate(&ctx, "/t.bin", 150).unwrap();
+    let data = read_file(&*c, &ctx, "/t.bin").unwrap();
+    assert_eq!(data.len(), 150);
+    assert!(data[100..].iter().all(|&b| b == 0));
+    assert_eq!(c.truncate(&ctx, "/", 0), Err(FsError::IsADirectory));
+}
+
+#[test]
+fn open_flags_are_enforced() {
+    let c = cluster().client();
+    let ctx = root();
+    write_file(&*c, &ctx, "/f", b"1234").unwrap();
+    let fh = c.open(&ctx, "/f", OpenFlags::RDONLY).unwrap();
+    assert_eq!(c.write(&ctx, fh, 0, b"x"), Err(FsError::BadAccessMode));
+    let mut buf = [0u8; 4];
+    assert_eq!(c.read(&ctx, fh, 0, &mut buf).unwrap(), 4);
+    c.close(&ctx, fh).unwrap();
+    let fh = c.open(&ctx, "/f", OpenFlags::WRONLY).unwrap();
+    assert_eq!(c.read(&ctx, fh, 0, &mut buf), Err(FsError::BadAccessMode));
+    c.close(&ctx, fh).unwrap();
+    // O_TRUNC clears the file.
+    let fh = c.open(&ctx, "/f", OpenFlags::RDWR.truncate()).unwrap();
+    c.close(&ctx, fh).unwrap();
+    assert_eq!(c.stat(&ctx, "/f").unwrap().size, 0);
+    // Bad handle.
+    assert_eq!(c.read(&ctx, arkfs_vfs::FileHandle(999), 0, &mut buf), Err(FsError::BadHandle));
+}
+
+#[test]
+fn append_mode_appends() {
+    let c = cluster().client();
+    let ctx = root();
+    write_file(&*c, &ctx, "/log", b"one").unwrap();
+    let fh = c.open(&ctx, "/log", OpenFlags::WRONLY.append()).unwrap();
+    c.write(&ctx, fh, 0, b"-two").unwrap(); // offset ignored under O_APPEND
+    c.close(&ctx, fh).unwrap();
+    assert_eq!(read_file(&*c, &ctx, "/log").unwrap(), b"one-two");
+}
+
+#[test]
+fn sparse_writes_read_zero_gaps() {
+    let c = cluster().client();
+    let ctx = root();
+    let fh = c.create(&ctx, "/sparse", 0o644).unwrap();
+    c.write(&ctx, fh, 200, b"end").unwrap(); // chunks 0-2 never written
+    c.close(&ctx, fh).unwrap();
+    let data = read_file(&*c, &ctx, "/sparse").unwrap();
+    assert_eq!(data.len(), 203);
+    assert!(data[..200].iter().all(|&b| b == 0));
+    assert_eq!(&data[200..], b"end");
+}
+
+#[test]
+fn symlinks_create_read_follow() {
+    let c = cluster().client();
+    let ctx = root();
+    write_file(&*c, &ctx, "/target.txt", b"pointed").unwrap();
+    let st = c.symlink(&ctx, "/link", "/target.txt").unwrap();
+    assert_eq!(st.ftype, FileType::Symlink);
+    assert_eq!(c.readlink(&ctx, "/link").unwrap(), "/target.txt");
+    assert_eq!(c.readlink(&ctx, "/target.txt"), Err(FsError::InvalidArgument));
+    // open() follows the link.
+    let fh = c.open(&ctx, "/link", OpenFlags::RDONLY).unwrap();
+    let mut buf = [0u8; 16];
+    let n = c.read(&ctx, fh, 0, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"pointed");
+    c.close(&ctx, fh).unwrap();
+    // Symlink loops are detected.
+    c.symlink(&ctx, "/loop1", "/loop2").unwrap();
+    c.symlink(&ctx, "/loop2", "/loop1").unwrap();
+    assert_eq!(c.open(&ctx, "/loop1", OpenFlags::RDONLY), Err(FsError::InvalidArgument));
+}
+
+#[test]
+fn setattr_chmod_chown() {
+    let c = cluster().client();
+    let ctx = root();
+    write_file(&*c, &ctx, "/f", b"").unwrap();
+    let st = c.setattr(&ctx, "/f", &SetAttr::chmod(0o600)).unwrap();
+    assert_eq!(st.mode, 0o600);
+    let st = c.setattr(&ctx, "/f", &SetAttr::chown(5, 6)).unwrap();
+    assert_eq!((st.uid, st.gid), (5, 6));
+    // Directory attrs go through the directory's own leader.
+    c.mkdir(&ctx, "/d", 0o755).unwrap();
+    let st = c.setattr(&ctx, "/d", &SetAttr::chmod(0o700)).unwrap();
+    assert_eq!(st.mode, 0o700);
+    assert_eq!(c.stat(&ctx, "/d").unwrap().mode, 0o700);
+}
+
+// ---- permissions -------------------------------------------------------------
+
+#[test]
+fn permission_checks_apply_to_users() {
+    let c = cluster().client();
+    let ctx = root();
+    let alice = Credentials::user(100);
+    let bob = Credentials::user(200);
+    c.mkdir(&ctx, "/home", 0o755).unwrap();
+    c.mkdir(&ctx, "/home/alice", 0o700).unwrap();
+    c.setattr(&ctx, "/home/alice", &SetAttr::chown(100, 100)).unwrap();
+    // Alice can create in her directory, Bob cannot even stat through it.
+    write_file(&*c, &alice, "/home/alice/notes.txt", b"secret").unwrap();
+    assert_eq!(
+        c.stat(&bob, "/home/alice/notes.txt"),
+        Err(FsError::PermissionDenied)
+    );
+    assert_eq!(
+        write_file(&*c, &bob, "/home/alice/intrusion", b""),
+        Err(FsError::PermissionDenied)
+    );
+    // Bob cannot chmod Alice's file; Alice can.
+    assert_eq!(
+        c.setattr(&bob, "/home/alice/notes.txt", &SetAttr::chmod(0o777)).err(),
+        Some(FsError::PermissionDenied)
+    );
+    assert!(c.setattr(&alice, "/home/alice/notes.txt", &SetAttr::chmod(0o640)).is_ok());
+    // Only root chowns.
+    assert_eq!(
+        c.setattr(&alice, "/home/alice/notes.txt", &SetAttr::chown(200, 200)).err(),
+        Some(FsError::NotPermitted)
+    );
+}
+
+#[test]
+fn acl_grants_cross_owner_access() {
+    let c = cluster().client();
+    let ctx = root();
+    let alice = Credentials::user(100);
+    let bob = Credentials::user(200);
+    c.mkdir(&ctx, "/proj", 0o711).unwrap();
+    write_file(&*c, &ctx, "/proj/shared.dat", b"team data").unwrap();
+    c.setattr(&ctx, "/proj/shared.dat", &SetAttr::chmod(0o600)).unwrap();
+    c.setattr(&ctx, "/proj/shared.dat", &SetAttr::chown(100, 100)).unwrap();
+    // Without an ACL Bob is locked out.
+    assert_eq!(c.access(&bob, "/proj/shared.dat", AM_READ), Err(FsError::PermissionDenied));
+    // Alice grants Bob read via ACL.
+    let acl = Acl::new(vec![AclEntry::user(200, 0o4)]);
+    c.set_acl(&alice, "/proj/shared.dat", &acl).unwrap();
+    assert_eq!(c.get_acl(&ctx, "/proj/shared.dat").unwrap(), acl);
+    c.access(&bob, "/proj/shared.dat", AM_READ).unwrap();
+    assert_eq!(c.access(&bob, "/proj/shared.dat", AM_WRITE), Err(FsError::PermissionDenied));
+    assert_eq!(read_file(&*c, &bob, "/proj/shared.dat").unwrap(), b"team data");
+}
+
+// ---- multi-client: leases, forwarding, coherence ------------------------------
+
+#[test]
+fn second_client_forwards_to_leader() {
+    let cl = cluster();
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/shared", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/shared/from1.txt", b"one").unwrap();
+    // c2 resolves through c1 (the leader) and sees the file immediately
+    // (strong metadata consistency, no fsync needed).
+    assert_eq!(c2.stat(&ctx, "/shared/from1.txt").unwrap().size, 3);
+    // c2 creates through the leader as well.
+    write_file(&*c2, &ctx, "/shared/from2.txt", b"two!").unwrap();
+    assert_eq!(c1.stat(&ctx, "/shared/from2.txt").unwrap().size, 4);
+    assert_eq!(c2.readdir(&ctx, "/shared").unwrap().len(), 2);
+    // c1 leads both / and /shared; c2 leads nothing.
+    assert_eq!(c1.led_directories(), 2);
+    assert_eq!(c2.led_directories(), 0);
+    // Data written by c2 is readable by c1 (read through object store).
+    assert_eq!(read_file(&*c1, &ctx, "/shared/from2.txt").unwrap(), b"two!");
+}
+
+#[test]
+fn clients_lead_disjoint_directories() {
+    let cl = cluster();
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/job1", 0o755).unwrap();
+    c1.mkdir(&ctx, "/job2", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/job1/a", b"1").unwrap();
+    write_file(&*c2, &ctx, "/job2/b", b"2").unwrap();
+    // c2 acquired the lease of /job2 (first accessor wins).
+    assert!(c2.led_directories() >= 1);
+    assert_eq!(read_file(&*c1, &ctx, "/job2/b").unwrap(), b"2");
+}
+
+#[test]
+fn clean_release_hands_leadership_over() {
+    let cl = cluster();
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/dir", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/dir/f", b"persisted").unwrap();
+    c1.release_all(&ctx).unwrap();
+    assert_eq!(c1.led_directories(), 0);
+    // c2 can immediately become the leader and sees everything.
+    assert_eq!(read_file(&*c2, &ctx, "/dir/f").unwrap(), b"persisted");
+    assert!(c2.led_directories() >= 1);
+}
+
+#[test]
+fn dirty_lease_takeover_recovers_journal() {
+    // Journal window 0: every mutation commits its own transaction, so a
+    // crash loses nothing that was acknowledged.
+    let config = ArkConfig::test_tiny().with_journal_window(0).with_lease_period(MSEC, MSEC);
+    let cl = cluster_with(config);
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/work", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/work/journaled.txt", b"in the journal").unwrap();
+    // Hard crash: no checkpoint ran; metadata lives only in journal
+    // objects.
+    c1.crash();
+    // c2 comes along after lease + grace; recovery replays the journal.
+    c2.port().advance(10 * MSEC);
+    assert_eq!(read_file(&*c2, &ctx, "/work/journaled.txt").unwrap(), b"in the journal");
+    let entries = c2.readdir(&ctx, "/work").unwrap();
+    assert_eq!(entries.len(), 1);
+}
+
+#[test]
+fn lease_manager_crash_and_restart() {
+    let config = ArkConfig::test_tiny().with_lease_period(MSEC, MSEC);
+    let cl = cluster_with(config);
+    let c1 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/d", 0o755).unwrap();
+    // Warm c1's lease on /d so it can keep working through the outage.
+    write_file(&*c1, &ctx, "/d/before", b"x").unwrap();
+    cl.crash_lease_manager();
+    // Existing leases still valid: c1 continues in its led directories
+    // (§III-E.2: "any client who has the lease can continue its work").
+    write_file(&*c1, &ctx, "/d/during_outage", b"ok").unwrap();
+    // A client without a lease needs the manager and times out.
+    let c2 = cl.client();
+    assert_eq!(c2.stat(&ctx, "/d/during_outage").err(), Some(FsError::TimedOut));
+    // Make c1's work durable, then restart the manager; after the
+    // startup grace, new leases are granted again.
+    c1.sync_all(&ctx).unwrap();
+    cl.restart_lease_manager(c2.port().now());
+    c2.port().advance(2 * MSEC);
+    c1.port().advance(10 * MSEC); // c1's lease must lapse too
+    assert_eq!(read_file(&*c2, &ctx, "/d/during_outage").unwrap(), b"ok");
+}
+
+#[test]
+fn write_conflict_degrades_to_direct_io() {
+    let cl = cluster();
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/d", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/d/shared.bin", &[1u8; 100]).unwrap();
+    // Both clients open; c1 writes first (cached), then c2 writes too,
+    // forcing a flush broadcast and direct mode.
+    let f1 = c1.open(&ctx, "/d/shared.bin", OpenFlags::RDWR).unwrap();
+    let f2 = c2.open(&ctx, "/d/shared.bin", OpenFlags::RDWR).unwrap();
+    c1.write(&ctx, f1, 0, &[2u8; 50]).unwrap();
+    c2.write(&ctx, f2, 50, &[3u8; 50]).unwrap();
+    c1.fsync(&ctx, f1).unwrap();
+    c2.fsync(&ctx, f2).unwrap();
+    c1.close(&ctx, f1).unwrap();
+    c2.close(&ctx, f2).unwrap();
+    let data = read_file(&*c1, &ctx, "/d/shared.bin").unwrap();
+    assert_eq!(data.len(), 100);
+    assert!(data[..50].iter().all(|&b| b == 2), "c1's write visible");
+    assert!(data[50..].iter().all(|&b| b == 3), "c2's write visible");
+}
+
+#[test]
+fn pcache_serves_repeat_lookups_locally() {
+    let cl = cluster_with(ArkConfig::test_tiny().with_permission_cache(true));
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/hot", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/hot/f", b"x").unwrap();
+    // First c2 access populates the cache; repeats should not add RPC
+    // traffic proportional to calls.
+    c2.stat(&ctx, "/hot/f").unwrap();
+    let before = cl.ops_bus().message_count();
+    for _ in 0..50 {
+        c2.stat(&ctx, "/hot/f").unwrap();
+    }
+    let after = cl.ops_bus().message_count();
+    // Lookups of /hot in / and of f in /hot are cached... but the final
+    // stat still fetches the inode through the parent leader. The saving
+    // shows in path resolution: well under 2 RPCs per stat.
+    assert!(after - before <= 60, "pcache should absorb most lookups, got {}", after - before);
+}
+
+#[test]
+fn no_pcache_sends_every_lookup_to_leaders() {
+    let cl = cluster_with(ArkConfig::test_tiny().with_permission_cache(false));
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/hot", 0o755).unwrap();
+    write_file(&*c1, &ctx, "/hot/f", b"x").unwrap();
+    c2.stat(&ctx, "/hot/f").unwrap();
+    let before = cl.ops_bus().message_count();
+    for _ in 0..50 {
+        c2.stat(&ctx, "/hot/f").unwrap();
+    }
+    let after = cl.ops_bus().message_count();
+    assert!(after - before >= 100, "every component lookup must RPC, got {}", after - before);
+}
+
+#[test]
+fn readahead_turns_sequential_reads_into_cache_hits() {
+    let c = cluster().client();
+    let ctx = root();
+    let payload: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+    write_file(&*c, &ctx, "/seq.bin", &payload).unwrap();
+    c.sync_all(&ctx).unwrap();
+
+    let fh = c.open(&ctx, "/seq.bin", OpenFlags::RDONLY).unwrap();
+    let (_, misses_before) = c.cache_stats();
+    let mut buf = [0u8; 64];
+    let mut off = 0u64;
+    let mut out = Vec::new();
+    loop {
+        let n = c.read(&ctx, fh, off, &mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+        off += n as u64;
+    }
+    c.close(&ctx, fh).unwrap();
+    assert_eq!(out, payload);
+    let (hits_after, misses_after) = c.cache_stats();
+    // Read-ahead at offset 0 goes straight to the max window: most chunk
+    // accesses must be hits.
+    assert!(
+        hits_after > (misses_after - misses_before),
+        "hits {hits_after} vs misses {}",
+        misses_after - misses_before
+    );
+}
+
+#[test]
+fn s3_backend_full_stack() {
+    // The whole stack also runs on the S3 profile (PRT falls back to
+    // read-modify-write for sub-chunk writes).
+    let mut store_cfg = ClusterConfig::test_tiny();
+    store_cfg.profile = StoreProfile::s3(&store_cfg.spec);
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let cl = ArkCluster::new(ArkConfig::test_tiny(), store);
+    let c = cl.client();
+    let ctx = root();
+    c.mkdir(&ctx, "/s3dir", 0o755).unwrap();
+    write_file(&*c, &ctx, "/s3dir/f", &[9u8; 300]).unwrap();
+    assert_eq!(read_file(&*c, &ctx, "/s3dir/f").unwrap(), [9u8; 300]);
+    // Sub-chunk rewrite through direct I/O path (second writer forces
+    // direct mode on S3 where put_range is unsupported).
+    let c2 = cl.client();
+    let f1 = c.open(&ctx, "/s3dir/f", OpenFlags::RDWR).unwrap();
+    let f2 = c2.open(&ctx, "/s3dir/f", OpenFlags::RDWR).unwrap();
+    c.write(&ctx, f1, 0, &[1u8; 10]).unwrap();
+    c2.write(&ctx, f2, 20, &[2u8; 10]).unwrap();
+    for (cl_, fh) in [(&c, f1), (&c2, f2)] {
+        cl_.fsync(&ctx, fh).unwrap();
+        cl_.close(&ctx, fh).unwrap();
+    }
+    let data = read_file(&*c, &ctx, "/s3dir/f").unwrap();
+    assert_eq!(&data[..10], &[1u8; 10]);
+    assert_eq!(&data[20..30], &[2u8; 10]);
+}
+
+#[test]
+fn sync_all_makes_state_durable_for_fresh_clients() {
+    let cl = cluster();
+    let c1 = cl.client();
+    let ctx = root();
+    for i in 0..20 {
+        write_file(&*c1, &ctx, &format!("/file{i}"), format!("body{i}").as_bytes()).unwrap();
+    }
+    c1.release_all(&ctx).unwrap();
+    // A brand-new client on the same store sees all of it.
+    let c2 = cl.client();
+    assert_eq!(c2.readdir(&ctx, "/").unwrap().len(), 20);
+    assert_eq!(read_file(&*c2, &ctx, "/file7").unwrap(), b"body7");
+}
+
+#[test]
+fn many_files_across_buckets_survive_reload() {
+    // More files than dentry buckets: exercises bucket spreading.
+    let cl = cluster();
+    let c1 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/big", 0o755).unwrap();
+    for i in 0..100 {
+        write_file(&*c1, &ctx, &format!("/big/f{i:03}"), &[i as u8]).unwrap();
+    }
+    c1.release_all(&ctx).unwrap();
+    let c2 = cl.client();
+    let entries = c2.readdir(&ctx, "/big").unwrap();
+    assert_eq!(entries.len(), 100);
+    assert_eq!(read_file(&*c2, &ctx, "/big/f042").unwrap(), &[42u8]);
+}
+
+#[test]
+fn virtual_time_advances_with_work() {
+    let c = cluster().client();
+    let ctx = root();
+    let t0 = c.port().now();
+    c.mkdir(&ctx, "/timed", 0o755).unwrap();
+    write_file(&*c, &ctx, "/timed/f", &[0u8; 1000]).unwrap();
+    c.sync_all(&ctx).unwrap();
+    assert!(c.port().now() > t0, "operations must consume virtual time");
+}
+
+#[test]
+fn full_stack_on_erasure_coded_store() {
+    // The whole file system runs unchanged on an erasure-coded backend
+    // (PRT falls back to read-modify-write for sub-chunk writes, since
+    // EC objects take full-stripe writes only), and survives a storage
+    // node failure.
+    let store_cfg = ClusterConfig::test_tiny().with_erasure_coding(2);
+    let mut store_cfg = store_cfg;
+    store_cfg.shards = 4;
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let cl = ArkCluster::new(
+        ArkConfig::test_tiny(),
+        Arc::clone(&store) as Arc<dyn arkfs_objstore::ObjectStore>,
+    );
+    let c = cl.client();
+    let ctx = root();
+    c.mkdir(&ctx, "/ec", 0o755).unwrap();
+    write_file(&*c, &ctx, "/ec/f", &[3u8; 500]).unwrap();
+    // Sub-chunk overwrite exercises the RMW fallback.
+    let fh = c.open(&ctx, "/ec/f", OpenFlags::RDWR).unwrap();
+    c.write(&ctx, fh, 100, &[9u8; 20]).unwrap();
+    c.fsync(&ctx, fh).unwrap();
+    c.close(&ctx, fh).unwrap();
+    c.release_all(&ctx).unwrap();
+
+    // One storage node dies; everything is still readable via
+    // reconstruction.
+    store.faults.fail_shard(0);
+    let c2 = cl.client();
+    let data = read_file(&*c2, &ctx, "/ec/f").unwrap();
+    assert_eq!(data.len(), 500);
+    assert!(data[100..120].iter().all(|&b| b == 9));
+    assert!(data[..100].iter().all(|&b| b == 3));
+}
+
+#[test]
+fn lease_manager_cluster_partitions_directories() {
+    // The paper's future-work extension: a cluster of lease managers,
+    // directories partitioned by inode number. Everything must behave
+    // identically — leases, forwarding, handover.
+    let config = ArkConfig::test_tiny().with_lease_managers(4);
+    let cl = cluster_with(config);
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    for i in 0..8 {
+        c1.mkdir(&ctx, &format!("/d{i}"), 0o755).unwrap();
+        write_file(&*c1, &ctx, &format!("/d{i}/f"), &[i as u8]).unwrap();
+    }
+    // Leases were acquired from several distinct managers (uuid inodes
+    // spread by modulo): at least two manager nodes saw traffic. We can
+    // observe it indirectly: every directory still works from a second
+    // client via forwarding.
+    for i in 0..8 {
+        assert_eq!(read_file(&*c2, &ctx, &format!("/d{i}/f")).unwrap(), [i as u8]);
+    }
+    // Clean handover across the manager cluster.
+    c1.release_all(&ctx).unwrap();
+    assert_eq!(c1.led_directories(), 0);
+    c2.mkdir(&ctx, "/d0/sub", 0o755).unwrap();
+    assert!(c2.led_directories() >= 1);
+
+    // Crash/restart applies to the whole manager cluster.
+    cl.crash_lease_manager();
+    let c3 = cl.client();
+    assert_eq!(c3.stat(&ctx, "/d1/f").err(), Some(FsError::TimedOut));
+    cl.restart_lease_manager(c3.port().now());
+    c3.port().advance(50 * MSEC);
+    c2.port().advance(50 * MSEC);
+    assert_eq!(read_file(&*c3, &ctx, "/d1/f").unwrap(), [1u8]);
+}

@@ -1,0 +1,276 @@
+//! Property-based tests of ArkFS's core data structures and invariants.
+
+use arkfs::cache::DataCache;
+use arkfs::journal::{JournalOp, Transaction};
+use arkfs::meta::{DentryBlock, DentryEntry, InodeRecord};
+use arkfs::metatable::Metatable;
+use arkfs::wire::WireCodec;
+use arkfs_vfs::{Acl, AclEntry, FileType, FsError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---- strategies --------------------------------------------------------------
+
+fn arb_filetype() -> impl Strategy<Value = FileType> {
+    prop_oneof![
+        Just(FileType::Regular),
+        Just(FileType::Directory),
+        Just(FileType::Symlink),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,24}"
+}
+
+fn arb_acl() -> impl Strategy<Value = Acl> {
+    prop::collection::vec((0u8..3, any::<u32>(), 0u8..8), 0..4).prop_map(|entries| {
+        Acl::new(
+            entries
+                .into_iter()
+                .map(|(tag, id, perms)| match tag {
+                    0 => AclEntry::user(id, perms),
+                    1 => AclEntry::group(id, perms),
+                    _ => AclEntry::mask(perms),
+                })
+                .collect(),
+        )
+    })
+}
+
+prop_compose! {
+    fn arb_inode()(
+        ino in 2u128..,
+        ftype in arb_filetype(),
+        mode in 0u32..0o10000,
+        uid in any::<u32>(),
+        gid in any::<u32>(),
+        size in any::<u64>(),
+        times in any::<(u64, u64, u64)>(),
+        acl in arb_acl(),
+        target in "[ -~]{0,64}",
+    ) -> InodeRecord {
+        let mut rec = InodeRecord::new(ino, ftype, mode, uid, gid, times.0);
+        rec.size = size;
+        rec.mtime = times.1;
+        rec.ctime = times.2;
+        rec.acl = acl;
+        if ftype == FileType::Symlink {
+            rec.symlink_target = target;
+        }
+        rec
+    }
+}
+
+fn arb_journal_op() -> impl Strategy<Value = JournalOp> {
+    let leaf = prop_oneof![
+        arb_inode().prop_map(JournalOp::PutInode),
+        any::<u128>().prop_map(JournalOp::DeleteInode),
+        (arb_name(), any::<u128>(), arb_filetype())
+            .prop_map(|(name, ino, ftype)| JournalOp::UpsertDentry { name, ino, ftype }),
+        arb_name().prop_map(|name| JournalOp::RemoveDentry { name }),
+        any::<u128>().prop_map(|txid| JournalOp::RenameCommit { txid }),
+        any::<u128>().prop_map(|txid| JournalOp::RenameAbort { txid }),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        (any::<u128>(), any::<u128>(), prop::collection::vec(inner, 0..3)).prop_map(
+            |(txid, peer_dir, ops)| JournalOp::RenamePrepare { txid, peer_dir, ops },
+        )
+    })
+}
+
+// ---- wire codec ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn inode_codec_roundtrip(rec in arb_inode()) {
+        prop_assert_eq!(InodeRecord::from_bytes(&rec.to_bytes()).unwrap(), rec);
+    }
+
+    #[test]
+    fn dentry_block_codec_roundtrip(
+        entries in prop::collection::vec((arb_name(), any::<u128>(), arb_filetype()), 0..32)
+    ) {
+        let block = DentryBlock {
+            entries: entries
+                .into_iter()
+                .map(|(name, ino, ftype)| DentryEntry { name, ino, ftype })
+                .collect(),
+        };
+        prop_assert_eq!(DentryBlock::from_bytes(&block.to_bytes()).unwrap(), block);
+    }
+
+    #[test]
+    fn transaction_seal_roundtrip(
+        dir in any::<u128>(),
+        seq in any::<u64>(),
+        ops in prop::collection::vec(arb_journal_op(), 0..16),
+    ) {
+        let txn = Transaction { dir, seq, ops };
+        prop_assert_eq!(Transaction::unseal(&txn.seal()).unwrap(), txn);
+    }
+
+    #[test]
+    fn transaction_rejects_any_single_bitflip(
+        ops in prop::collection::vec(arb_journal_op(), 1..6),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let txn = Transaction { dir: 1, seq: 0, ops };
+        let mut sealed = txn.seal().to_vec();
+        let pos = flip.0 % sealed.len();
+        let bit = 1u8 << (flip.1 % 8);
+        sealed[pos] ^= bit;
+        // Either the checksum catches it or decoding fails; it must never
+        // decode into a *different* valid transaction.
+        if let Ok(decoded) = Transaction::unseal(&sealed) {
+            prop_assert_eq!(decoded, txn);
+        }
+    }
+}
+
+// ---- metatable vs model ---------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MtOp {
+    Create(String, u128),
+    Unlink(String),
+    Rename(String, String),
+    SetSize(u8, u64),
+}
+
+fn arb_mt_op() -> impl Strategy<Value = MtOp> {
+    prop_oneof![
+        ("[a-f]{1,3}", 10u128..100).prop_map(|(n, i)| MtOp::Create(n, i)),
+        "[a-f]{1,3}".prop_map(MtOp::Unlink),
+        ("[a-f]{1,3}", "[a-f]{1,3}").prop_map(|(a, b)| MtOp::Rename(a, b)),
+        (any::<u8>(), any::<u64>()).prop_map(|(s, z)| MtOp::SetSize(s, z)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn metatable_agrees_with_hashmap_model(ops in prop::collection::vec(arb_mt_op(), 1..100)) {
+        let dir = InodeRecord::new(100, FileType::Directory, 0o755, 0, 0, 0);
+        let mut mt = Metatable::fresh(dir, 4, 1000);
+        // Model: name -> (ino, size).
+        let mut model: HashMap<String, (u128, u64)> = HashMap::new();
+        let mut created: Vec<u128> = Vec::new();
+        for (t, op) in ops.into_iter().enumerate() {
+            let now = t as u64;
+            match op {
+                MtOp::Create(name, base) => {
+                    // Unique ino per creation event.
+                    let ino = base + 1000 * t as u128;
+                    let rec = InodeRecord::new(ino, FileType::Regular, 0o644, 0, 0, now);
+                    let expect = if model.contains_key(&name) {
+                        Err(FsError::AlreadyExists)
+                    } else {
+                        Ok(())
+                    };
+                    prop_assert_eq!(mt.create_child(rec, &name, now), expect.clone());
+                    if expect.is_ok() {
+                        model.insert(name, (ino, 0));
+                        created.push(ino);
+                    }
+                }
+                MtOp::Unlink(name) => {
+                    match model.remove(&name) {
+                        Some((ino, _)) => {
+                            let rec = mt.unlink_child(&name, now).unwrap();
+                            prop_assert_eq!(rec.ino, ino);
+                        }
+                        None => {
+                            prop_assert_eq!(mt.unlink_child(&name, now).unwrap_err(),
+                                FsError::NotFound);
+                        }
+                    }
+                }
+                MtOp::Rename(from, to) => {
+                    if from == to {
+                        continue;
+                    }
+                    let r = mt.rename_local(&from, &to, now);
+                    match model.remove(&from) {
+                        Some(v) => {
+                            prop_assert!(r.is_ok());
+                            model.insert(to, v);
+                        }
+                        None => {
+                            prop_assert_eq!(r.unwrap_err(), FsError::NotFound);
+                        }
+                    }
+                }
+                MtOp::SetSize(sel, size) => {
+                    if created.is_empty() {
+                        continue;
+                    }
+                    let ino = created[sel as usize % created.len()];
+                    let live = model.values().any(|(i, _)| *i == ino);
+                    let r = mt.set_child_size(ino, size, now);
+                    if live {
+                        prop_assert!(r.is_ok());
+                        for v in model.values_mut() {
+                            if v.0 == ino {
+                                v.1 = size;
+                            }
+                        }
+                    } else {
+                        prop_assert_eq!(r.unwrap_err(), FsError::Stale);
+                    }
+                }
+            }
+            prop_assert_eq!(mt.len(), model.len());
+        }
+        // Final state agrees: names, inos, sizes.
+        let mut listed: Vec<(String, u128, u64)> = mt
+            .readdir()
+            .into_iter()
+            .map(|e| {
+                let size = mt.child_inode(e.ino).unwrap().size;
+                (e.name, e.ino, size)
+            })
+            .collect();
+        listed.sort();
+        let mut expect: Vec<(String, u128, u64)> =
+            model.into_iter().map(|(n, (i, s))| (n, i, s)).collect();
+        expect.sort();
+        prop_assert_eq!(listed, expect);
+    }
+}
+
+// ---- cache LRU invariants -----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_capacity_and_never_loses_dirty_data(
+        capacity in 1usize..16,
+        ops in prop::collection::vec((0u128..4, 0u64..32, any::<u8>(), any::<bool>()), 1..200),
+    ) {
+        let mut cache = DataCache::new(capacity);
+        // Ground truth of every chunk ever written, and where flushed
+        // bytes went.
+        let mut truth: HashMap<(u128, u64), u8> = HashMap::new();
+        let mut store: HashMap<(u128, u64), u8> = HashMap::new();
+        for (ino, chunk, val, is_write) in ops {
+            if is_write {
+                let evicted = cache.write(ino, chunk, 0, &[val]);
+                truth.insert((ino, chunk), val);
+                for e in evicted {
+                    store.insert((e.ino, e.chunk), e.data[0]);
+                }
+            } else if let Some(data) = cache.get(ino, chunk) {
+                // A cached chunk always reflects the latest write.
+                prop_assert_eq!(data[0], truth[&(ino, chunk)]);
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+        // Flush everything left; store + flush must cover every write
+        // with the LATEST value (no dirty data lost or reordered stale).
+        for e in cache.take_all_dirty() {
+            store.insert((e.ino, e.chunk), e.data[0]);
+        }
+        for (key, val) in truth {
+            prop_assert_eq!(store.get(&key), Some(&val), "chunk {:?}", key);
+        }
+    }
+}

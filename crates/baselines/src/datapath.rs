@@ -1,0 +1,367 @@
+//! Shared chunked, cached data path for the baseline file systems: a
+//! page-cache-like write-back cache with CephFS-style read-ahead over
+//! chunked data objects. (ArkFS has its own variant wired into its file
+//! leases; the baselines share this one.)
+
+use arkfs::cache::DataCache;
+use arkfs::prt::map_os_err;
+use arkfs_objstore::{ObjectKey, ObjectStore, OsError};
+use arkfs_simkit::Port;
+use arkfs_vfs::{FsResult, Ino};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-handle read-ahead state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RaState {
+    pub window: u64,
+    pub last_pos: u64,
+}
+
+/// Chunked cached file I/O over an object store.
+pub struct DataPath {
+    store: Arc<dyn ObjectStore>,
+    pub chunk_size: u64,
+    pub max_readahead: u64,
+    pub full_at_zero: bool,
+}
+
+impl DataPath {
+    pub fn new(store: Arc<dyn ObjectStore>, chunk_size: u64, max_readahead: u64) -> Self {
+        assert!(chunk_size > 0);
+        DataPath { store, chunk_size, max_readahead, full_at_zero: true }
+    }
+
+    pub fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    fn write_back(&self, port: &Port, evicted: Vec<arkfs::cache::Evicted>) -> FsResult<()> {
+        if evicted.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<(ObjectKey, Bytes)> = evicted
+            .into_iter()
+            .map(|e| (ObjectKey::data_chunk(e.ino, e.chunk), Bytes::from(e.data)))
+            .collect();
+        for r in self.store.put_many(port, items) {
+            r.map_err(map_os_err)?;
+        }
+        Ok(())
+    }
+
+    /// Cached read with read-ahead; updates `ra` for sequentiality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read(
+        &self,
+        port: &Port,
+        cache: &Mutex<DataCache>,
+        ino: Ino,
+        offset: u64,
+        buf: &mut [u8],
+        size: u64,
+        ra: &mut RaState,
+    ) -> FsResult<usize> {
+        if offset >= size || buf.is_empty() {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(size - offset) as usize;
+        if offset == 0 && self.full_at_zero {
+            ra.window = self.max_readahead;
+        } else if offset == ra.last_pos && offset != 0 {
+            ra.window = (ra.window.max(self.chunk_size) * 2).min(self.max_readahead);
+        } else if offset != ra.last_pos {
+            ra.window = 0;
+        }
+        // Fill missing chunks (read range + read-ahead) pipelined.
+        let first = offset / self.chunk_size;
+        let ra_end = (offset + want as u64).saturating_add(ra.window).min(size);
+        let last = ra_end.div_ceil(self.chunk_size).max(first + 1);
+        let missing: Vec<u64> = {
+            let c = cache.lock();
+            (first..last).filter(|&ch| !c.contains(ino, ch)).collect()
+        };
+        if !missing.is_empty() {
+            // Request-relevant chunks are synchronous; the rest of the
+            // window is asynchronous read-ahead — the reader only waits
+            // when it touches a chunk before its completion.
+            let last_needed = (offset + want as u64 - 1) / self.chunk_size;
+            let keys: Vec<ObjectKey> =
+                missing.iter().map(|&ch| ObjectKey::data_chunk(ino, ch)).collect();
+            let depart = port.now() + 50_000; // one-way network latency
+            let results = self.store.get_each(depart, &keys);
+            let mut evicted = Vec::new();
+            let mut needed_done = port.now();
+            {
+                let mut c = cache.lock();
+                for (&chunk, result) in missing.iter().zip(results).rev() {
+                    let chunk_start = chunk * self.chunk_size;
+                    let logical = (size - chunk_start).min(self.chunk_size) as usize;
+                    let (data, ready_at) = match result {
+                        Ok((bytes, completion)) => {
+                            let mut v = bytes.to_vec();
+                            if v.len() < logical {
+                                v.resize(logical, 0);
+                            }
+                            (v, completion)
+                        }
+                        Err(OsError::NotFound) => (vec![0u8; logical], depart),
+                        Err(e) => return Err(map_os_err(e)),
+                    };
+                    if chunk <= last_needed {
+                        needed_done = needed_done.max(ready_at);
+                        evicted.extend(c.insert_clean(ino, chunk, data));
+                    } else {
+                        evicted.extend(c.insert_prefetched(ino, chunk, data, ready_at));
+                    }
+                }
+            }
+            port.wait_until(needed_done);
+            self.write_back(port, evicted)?;
+        }
+        // Copy out; chunks evicted in between come straight from the
+        // store.
+        let mut filled = 0usize;
+        while filled < want {
+            let pos = offset + filled as u64;
+            let chunk = pos / self.chunk_size;
+            let within = (pos % self.chunk_size) as usize;
+            let n = (self.chunk_size as usize - within).min(want - filled);
+            let hit = {
+                let mut c = cache.lock();
+                match c.get_ready(ino, chunk) {
+                    Some((data, ready_at)) => {
+                        let out = &mut buf[filled..filled + n];
+                        let avail = data.len().saturating_sub(within);
+                        let take = avail.min(n);
+                        out[..take].copy_from_slice(&data[within..within + take]);
+                        out[take..].fill(0);
+                        Some(ready_at)
+                    }
+                    None => None,
+                }
+            };
+            let hit = match hit {
+                Some(ready_at) => {
+                    port.wait_until(ready_at);
+                    true
+                }
+                None => false,
+            };
+            if !hit {
+                match self.store.get_range(port, ObjectKey::data_chunk(ino, chunk),
+                    within as u64, n) {
+                    Ok(data) => {
+                        let out = &mut buf[filled..filled + n];
+                        out[..data.len()].copy_from_slice(&data);
+                        out[data.len()..].fill(0);
+                    }
+                    Err(OsError::NotFound) => buf[filled..filled + n].fill(0),
+                    Err(e) => return Err(map_os_err(e)),
+                }
+            }
+            filled += n;
+        }
+        ra.last_pos = offset + filled as u64;
+        Ok(filled)
+    }
+
+    /// Write-back cached write. `size_before` is the pre-write file size
+    /// (for read-modify detection on partial chunk overwrites).
+    pub fn write(
+        &self,
+        port: &Port,
+        cache: &Mutex<DataCache>,
+        ino: Ino,
+        offset: u64,
+        data: &[u8],
+        size_before: u64,
+    ) -> FsResult<()> {
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset + written as u64;
+            let chunk = pos / self.chunk_size;
+            let within = (pos % self.chunk_size) as usize;
+            let n = (self.chunk_size as usize - within).min(data.len() - written);
+            let piece = &data[written..written + n];
+            let chunk_start = chunk * self.chunk_size;
+            let covers_whole = within == 0 && n == self.chunk_size as usize;
+            let need_rmw =
+                !covers_whole && chunk_start < size_before && !cache.lock().contains(ino, chunk);
+            if need_rmw {
+                let existing = match self.store.get(port, ObjectKey::data_chunk(ino, chunk)) {
+                    Ok(b) => b.to_vec(),
+                    Err(OsError::NotFound) => Vec::new(),
+                    Err(e) => return Err(map_os_err(e)),
+                };
+                let ev = cache.lock().insert_clean(ino, chunk, existing);
+                self.write_back(port, ev)?;
+            }
+            let ev = cache.lock().write(ino, chunk, within, piece);
+            self.write_back(port, ev)?;
+            written += n;
+        }
+        Ok(())
+    }
+
+    /// Flush one file's dirty chunks to the store.
+    pub fn flush(&self, port: &Port, cache: &Mutex<DataCache>, ino: Ino) -> FsResult<()> {
+        let dirty = cache.lock().take_dirty(ino);
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<(ObjectKey, Bytes)> = dirty
+            .into_iter()
+            .map(|(chunk, data)| (ObjectKey::data_chunk(ino, chunk), Bytes::from(data)))
+            .collect();
+        for r in self.store.put_many(port, items) {
+            r.map_err(map_os_err)?;
+        }
+        Ok(())
+    }
+
+    /// Flush everything (global sync).
+    pub fn flush_all(&self, port: &Port, cache: &Mutex<DataCache>) -> FsResult<()> {
+        let dirty = cache.lock().take_all_dirty();
+        self.write_back(port, dirty)
+    }
+
+    /// Truncate the data objects of a file from `old_size` down to
+    /// `new_size`: drop trailing chunks and trim the boundary chunk.
+    pub fn truncate(
+        &self,
+        port: &Port,
+        cache: &Mutex<DataCache>,
+        ino: Ino,
+        old_size: u64,
+        new_size: u64,
+    ) -> FsResult<()> {
+        if new_size >= old_size {
+            return Ok(());
+        }
+        self.flush(port, cache, ino)?;
+        cache.lock().invalidate_file(ino);
+        let first_dead = new_size.div_ceil(self.chunk_size);
+        let last = old_size.div_ceil(self.chunk_size);
+        for chunk in first_dead..last {
+            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk)) {
+                Ok(()) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        if !new_size.is_multiple_of(self.chunk_size) && new_size / self.chunk_size < last {
+            let boundary = new_size / self.chunk_size;
+            let keep = (new_size % self.chunk_size) as usize;
+            let key = ObjectKey::data_chunk(ino, boundary);
+            match self.store.get(port, key) {
+                Ok(data) if data.len() > keep => {
+                    self.store.put(port, key, data.slice(..keep)).map_err(map_os_err)?;
+                }
+                Ok(_) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop cached chunks and delete the data objects of a file.
+    pub fn delete(&self, port: &Port, cache: &Mutex<DataCache>, ino: Ino, size: u64)
+        -> FsResult<()> {
+        cache.lock().invalidate_file(ino);
+        for chunk in 0..size.div_ceil(self.chunk_size) {
+            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk)) {
+                Ok(()) | Err(OsError::NotFound) => {}
+                Err(e) => return Err(map_os_err(e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs_objstore::{ClusterConfig, ObjectCluster};
+
+    fn setup() -> (DataPath, Mutex<DataCache>, Port) {
+        let store: Arc<dyn ObjectStore> =
+            Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        (DataPath::new(store, 64, 256), Mutex::new(DataCache::new(8)), Port::new())
+    }
+
+    #[test]
+    fn write_flush_read_roundtrip() {
+        let (dp, cache, port) = setup();
+        let payload: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        dp.write(&port, &cache, 7, 0, &payload, 0).unwrap();
+        dp.flush(&port, &cache, 7).unwrap();
+        let mut ra = RaState::default();
+        let mut buf = vec![0u8; 300];
+        let n = dp.read(&port, &cache, 7, 0, &mut buf, 300, &mut ra).unwrap();
+        assert_eq!(n, 300);
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn readahead_window_grows_and_resets() {
+        let (dp, cache, port) = setup();
+        let payload = vec![3u8; 1024];
+        dp.write(&port, &cache, 7, 0, &payload, 0).unwrap();
+        dp.flush(&port, &cache, 7).unwrap();
+        cache.lock().invalidate_file(7);
+        let mut ra = RaState::default();
+        let mut buf = vec![0u8; 64];
+        dp.read(&port, &cache, 7, 0, &mut buf, 1024, &mut ra).unwrap();
+        assert_eq!(ra.window, 256, "offset 0 jumps to max window");
+        // Random access resets the window.
+        dp.read(&port, &cache, 7, 512, &mut buf, 1024, &mut ra).unwrap();
+        assert_eq!(ra.window, 0);
+        // Sequential access doubles it.
+        dp.read(&port, &cache, 7, 576, &mut buf, 1024, &mut ra).unwrap();
+        assert_eq!(ra.window, 128);
+        dp.read(&port, &cache, 7, 640, &mut buf, 1024, &mut ra).unwrap();
+        assert_eq!(ra.window, 256);
+    }
+
+    #[test]
+    fn partial_overwrite_preserves_surroundings() {
+        let (dp, cache, port) = setup();
+        dp.write(&port, &cache, 7, 0, &[1u8; 128], 0).unwrap();
+        dp.flush(&port, &cache, 7).unwrap();
+        cache.lock().invalidate_file(7);
+        // Overwrite 10 bytes in the middle of chunk 0 (needs RMW).
+        dp.write(&port, &cache, 7, 20, &[9u8; 10], 128).unwrap();
+        dp.flush(&port, &cache, 7).unwrap();
+        let mut ra = RaState::default();
+        let mut buf = vec![0u8; 128];
+        cache.lock().invalidate_file(7);
+        dp.read(&port, &cache, 7, 0, &mut buf, 128, &mut ra).unwrap();
+        assert!(buf[..20].iter().all(|&b| b == 1));
+        assert!(buf[20..30].iter().all(|&b| b == 9));
+        assert!(buf[30..].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn delete_removes_objects_and_cache() {
+        let (dp, cache, port) = setup();
+        dp.write(&port, &cache, 7, 0, &[1u8; 200], 0).unwrap();
+        dp.flush(&port, &cache, 7).unwrap();
+        dp.delete(&port, &cache, 7, 200).unwrap();
+        let mut ra = RaState::default();
+        let mut buf = vec![5u8; 64];
+        dp.read(&port, &cache, 7, 0, &mut buf, 200, &mut ra).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "deleted data reads as zeros");
+    }
+
+    #[test]
+    fn flush_all_covers_multiple_files() {
+        let (dp, cache, port) = setup();
+        dp.write(&port, &cache, 1, 0, b"one", 0).unwrap();
+        dp.write(&port, &cache, 2, 0, b"two", 0).unwrap();
+        dp.flush_all(&port, &cache).unwrap();
+        assert_eq!(cache.lock().dirty_count(), 0);
+        let head = dp.store().head(&port, ObjectKey::data_chunk(1, 0)).unwrap();
+        assert_eq!(head, 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Behavioural simulators of the file systems the paper compares against
+//! (§IV-A): CephFS with FUSE or kernel mounts and 1..N metadata servers,
+//! MarFS's interactive FUSE interface over two GPFS metadata nodes, and
+//! the S3-backed S3FS and goofys.
+//!
+//! Each baseline implements [`arkfs_vfs::Vfs`] over the same
+//! [`arkfs_objstore::ObjectCluster`] as ArkFS, with the architecture-level
+//! behaviour the paper attributes its numbers to:
+//!
+//! * **CephFS** — every metadata operation crosses the network to a
+//!   centralized MDS whose service degrades under concurrency (Fig. 1);
+//!   multiple MDSs partition the namespace dynamically, adding forwarded
+//!   requests and migration overhead (§IV-B); the FUSE mount adds
+//!   user↔kernel costs and a serialized LOOKUP lock; data I/O goes
+//!   straight to the object store through a page-cache-like write-back
+//!   cache with 8 MB (kernel) or 128 KB (FUSE) read-ahead.
+//! * **MarFS** — interactive FUSE interface, two dedicated metadata
+//!   nodes, no metadata caching; small-file READ returns errors, exactly
+//!   as observed in §IV-B.
+//! * **S3FS** — object key is the full path (renames rewrite objects), a
+//!   slow local *disk cache* stages all data (§IV-B: "this slow disk
+//!   cache causes a substantial performance gap"), permission checks are
+//!   not enforced.
+//! * **goofys** — S3-backed, sequential-read optimized with a 400 MB
+//!   read-ahead window, streaming writes, weak POSIX.
+
+pub mod cephfs;
+pub mod goofys;
+pub mod marfs;
+pub mod mds;
+pub mod ns;
+pub mod datapath;
+pub mod pathfs;
+pub mod s3fs;
+
+pub use cephfs::{CephClient, CephFs, MountType};
+pub use goofys::GoofysFs;
+pub use marfs::MarFs;
+pub use mds::MdsCluster;
+pub use s3fs::S3Fs;

@@ -1,0 +1,113 @@
+//! Criterion benchmarks of whole file-system operations (real CPU time
+//! per op on the in-memory substrate): metatable mutations, journal
+//! commits, and end-to-end ArkFS client operations.
+
+use arkfs::journal::{DirJournal, JournalOp};
+use arkfs::meta::InodeRecord;
+use arkfs::metatable::Metatable;
+use arkfs::prt::Prt;
+use arkfs::{ArkCluster, ArkConfig};
+use arkfs_objstore::{ClusterConfig, ObjectCluster};
+use arkfs_simkit::{Port, SharedResource};
+use arkfs_vfs::{Credentials, FileType, Vfs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_metatable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metatable");
+    group.bench_function("create_child", |b| {
+        let dir = InodeRecord::new(100, FileType::Directory, 0o755, 0, 0, 0);
+        let mut mt = Metatable::fresh(dir, 16, 1_000_000);
+        let mut i = 0u128;
+        b.iter(|| {
+            i += 1;
+            let rec = InodeRecord::new(i + 1000, FileType::Regular, 0o644, 0, 0, 0);
+            mt.create_child(rec, &format!("f{i}"), 0).unwrap();
+        })
+    });
+    group.bench_function("lookup", |b| {
+        let dir = InodeRecord::new(100, FileType::Directory, 0o755, 0, 0, 0);
+        let mut mt = Metatable::fresh(dir, 16, 1_000_000);
+        for i in 0..10_000u128 {
+            let rec = InodeRecord::new(i + 1000, FileType::Regular, 0o644, 0, 0, 0);
+            mt.create_child(rec, &format!("f{i}"), 0).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            black_box(mt.lookup(&format!("f{i}")).is_some())
+        })
+    });
+    group.finish();
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal");
+    group.bench_function("commit_64_entry_txn", |b| {
+        let prt = Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 65536);
+        let port = Port::new();
+        let lane = SharedResource::ideal("lane");
+        let mut j = DirJournal::new(7, 0);
+        b.iter(|| {
+            for i in 0..64u128 {
+                j.append(
+                    JournalOp::UpsertDentry {
+                        name: format!("f{i}"),
+                        ino: i,
+                        ftype: FileType::Regular,
+                    },
+                    0,
+                );
+            }
+            j.commit(&prt, &port, &lane, 0).unwrap();
+            j.take_committed();
+        })
+    });
+    group.finish();
+}
+
+fn bench_client_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arkfs_client");
+    group.sample_size(50);
+    let ctx = Credentials::root();
+
+    group.bench_function("create_empty_file", |b| {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
+        let client = cluster.client();
+        client.mkdir(&ctx, "/bench", 0o755).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let fh = client.create(&ctx, &format!("/bench/f{i}"), 0o644).unwrap();
+            client.close(&ctx, fh).unwrap();
+        })
+    });
+
+    group.bench_function("stat_hot_path", |b| {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
+        let client = cluster.client();
+        client.mkdir(&ctx, "/bench", 0o755).unwrap();
+        arkfs_vfs::write_file(&*client, &ctx, "/bench/target", b"x").unwrap();
+        b.iter(|| black_box(client.stat(&ctx, "/bench/target").unwrap()))
+    });
+
+    group.bench_function("write_4k_cached", |b| {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
+        let client = cluster.client();
+        let fh = client.create(&ctx, "/big.bin", 0o644).unwrap();
+        let block = vec![0u8; 4096];
+        let mut off = 0u64;
+        b.iter(|| {
+            client.write(&ctx, fh, off % (1 << 20), &block).unwrap();
+            off += 4096;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metatable, bench_journal, bench_client_ops);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of ArkFS's core data structures: the wire
+//! codec, CRC32, the radix tree behind the data cache, and the cache
+//! itself. These measure real CPU time (not virtual time) and guard
+//! against regressions in the hot paths.
+
+use arkfs::cache::DataCache;
+use arkfs::meta::{DentryBlock, DentryEntry, InodeRecord};
+use arkfs::radix::RadixTree;
+use arkfs::wire::{crc32, WireCodec};
+use arkfs_vfs::FileType;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let inode = InodeRecord::new(0xDEADBEEF_CAFEBABE, FileType::Regular, 0o644, 10, 20, 1234);
+    group.bench_function("inode_encode", |b| {
+        b.iter(|| black_box(black_box(&inode).to_bytes()))
+    });
+    let bytes = inode.to_bytes();
+    group.bench_function("inode_decode", |b| {
+        b.iter(|| InodeRecord::from_bytes(black_box(&bytes)).unwrap())
+    });
+
+    let block = DentryBlock {
+        entries: (0..64)
+            .map(|i| DentryEntry {
+                name: format!("file-{i:04}.dat"),
+                ino: i as u128,
+                ftype: FileType::Regular,
+            })
+            .collect(),
+    };
+    group.bench_function("dentry_block64_encode", |b| {
+        b.iter(|| black_box(black_box(&block).to_bytes()))
+    });
+    let bytes = block.to_bytes();
+    group.bench_function("dentry_block64_decode", |b| {
+        b.iter(|| DentryBlock::from_bytes(black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| crc32(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix");
+    group.bench_function("insert_1k_sequential", |b| {
+        b.iter(|| {
+            let mut t = RadixTree::new();
+            for k in 0..1000u64 {
+                t.insert(k, k);
+            }
+            black_box(t.len())
+        })
+    });
+    let mut tree = RadixTree::new();
+    for k in 0..10_000u64 {
+        tree.insert(k, k);
+    }
+    group.bench_function("get_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            black_box(tree.get(black_box(k)))
+        })
+    });
+    group.bench_function("get_miss", |b| {
+        b.iter(|| black_box(tree.get(black_box(1 << 40))))
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_cache");
+    group.bench_function("hit", |b| {
+        let mut cache = DataCache::new(256);
+        for chunk in 0..128u64 {
+            cache.insert_clean(1, chunk, vec![0u8; 1024]);
+        }
+        let mut chunk = 0u64;
+        b.iter(|| {
+            chunk = (chunk + 1) % 128;
+            black_box(cache.get(1, chunk).is_some())
+        })
+    });
+    group.bench_function("write_with_eviction", |b| {
+        let mut cache = DataCache::new(64);
+        let mut chunk = 0u64;
+        b.iter(|| {
+            chunk += 1;
+            black_box(cache.write(1, chunk, 0, &[0u8; 256]).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_crc, bench_radix, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Ablation studies of ArkFS design choices (§III), in virtual time:
+//!
+//! * compound-transaction buffering window (1 s vs commit-per-op),
+//! * read-ahead policy (none / doubling / immediate-max-at-zero),
+//! * permission caching (also Figure 7, measured here at small scale),
+//! * dentry bucket count (dirty-bucket write amplification),
+//! * lease period (extension traffic vs takeover latency).
+
+use arkfs::ArkConfig;
+use arkfs_bench::{ark_fleet, bench_files, print_table, save_results};
+use arkfs_simkit::{MSEC, SEC};
+use arkfs_vfs::OpenFlags;
+use arkfs_workloads::mdtest::{mdtest_easy, MdtestEasyConfig};
+use arkfs_workloads::SimClient;
+use std::sync::Arc;
+
+fn create_throughput(config: ArkConfig, procs: usize, files: u64) -> f64 {
+    let system = ark_fleet(procs, config, true);
+    let cfg = MdtestEasyConfig { files_total: files, create_only: true };
+    mdtest_easy(&system.clients, &cfg).expect("mdtest").phases[0].ops_per_sec()
+}
+
+/// Sequential read bandwidth (MiB/s) for a given read-ahead policy.
+#[allow(clippy::field_reassign_with_default)]
+fn read_bandwidth(max_readahead: u64, full_at_zero: bool) -> f64 {
+    let mut config = ArkConfig::default();
+    config.chunk_size = 512 * 1024;
+    config.cache_entries = 256;
+    config.max_readahead = max_readahead;
+    config.readahead_full_at_zero = full_at_zero;
+    let system = ark_fleet(4, config, true);
+    let ctx = arkfs_vfs::Credentials::root();
+    let c: &Arc<dyn SimClient> = &system.clients[0];
+    let size: u64 = 64 * 1024 * 1024;
+    c.mkdir(&ctx, "/d", 0o755).unwrap();
+    let fh = c.create(&ctx, "/d/f", 0o644).unwrap();
+    let block = vec![0u8; 1024 * 1024];
+    let mut off = 0;
+    while off < size {
+        c.write(&ctx, fh, off, &block).unwrap();
+        off += block.len() as u64;
+    }
+    c.fsync(&ctx, fh).unwrap();
+    c.close(&ctx, fh).unwrap();
+    c.drop_caches();
+    let t0 = c.port().now();
+    let fh = c.open(&ctx, "/d/f", OpenFlags::RDONLY).unwrap();
+    let mut buf = vec![0u8; 128 * 1024];
+    let mut off = 0;
+    while off < size {
+        let n = c.read(&ctx, fh, off, &mut buf).unwrap();
+        off += n as u64;
+    }
+    c.close(&ctx, fh).unwrap();
+    let dt = (c.port().now() - t0) as f64 / 1e9;
+    size as f64 / (1024.0 * 1024.0) / dt
+}
+
+#[allow(clippy::field_reassign_with_default)]
+fn main() {
+    let procs = 16;
+    let files = bench_files(20_000);
+    let mut lines = Vec::new();
+
+    // 1. Compound-transaction buffering (§III-E: "buffering journal
+    //    entries in an in-memory transaction for 1 second").
+    let rows: Vec<Vec<String>> = [
+        ("1s window (paper)", ArkConfig::default()),
+        ("100ms window", ArkConfig::default().with_journal_window(100 * MSEC)),
+        ("commit per op", ArkConfig::default().with_journal_window(0)),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        vec![
+            name.to_string(),
+            format!("{:.1}", create_throughput(cfg, procs, files) / 1000.0),
+        ]
+    })
+    .collect();
+    lines.extend(print_table(
+        "Ablation: compound-transaction window (create kops/s)",
+        &["window", "kops/s"],
+        &rows,
+    ));
+
+    // 2. Permission cache (§III-C, near-root hotspot) at 64 clients.
+    let rows: Vec<Vec<String>> = [
+        ("pcache on", ArkConfig::default()),
+        ("pcache off", ArkConfig::default().with_permission_cache(false)),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        vec![
+            name.to_string(),
+            format!("{:.1}", create_throughput(cfg, 64, 64 * 500) / 1000.0),
+        ]
+    })
+    .collect();
+    lines.extend(print_table(
+        "Ablation: permission caching at 64 clients (create kops/s)",
+        &["mode", "kops/s"],
+        &rows,
+    ));
+
+    // 3. Dentry bucket count (dirty-bucket write amplification on
+    //    checkpoint; more buckets = smaller rewrites).
+    let rows: Vec<Vec<String>> = [1u64, 4, 16, 64]
+        .into_iter()
+        .map(|buckets| {
+            let mut cfg = ArkConfig::default();
+            cfg.dentry_buckets = buckets;
+            vec![
+                buckets.to_string(),
+                format!("{:.1}", create_throughput(cfg, procs, files) / 1000.0),
+            ]
+        })
+        .collect();
+    lines.extend(print_table(
+        "Ablation: dentry buckets per directory (create kops/s)",
+        &["buckets", "kops/s"],
+        &rows,
+    ));
+
+    // 4. Read-ahead policy (§III-D).
+    let rows: Vec<Vec<String>> = [
+        ("no read-ahead", 0u64, false),
+        ("doubling to 8MB", 8 * 1024 * 1024, false),
+        ("8MB + max-at-zero (paper)", 8 * 1024 * 1024, true),
+    ]
+    .into_iter()
+    .map(|(name, ra, fz)| {
+        vec![name.to_string(), format!("{:.0}", read_bandwidth(ra, fz))]
+    })
+    .collect();
+    lines.extend(print_table(
+        "Ablation: read-ahead policy (sequential read MiB/s, 1 client)",
+        &["policy", "MiB/s"],
+        &rows,
+    ));
+
+    // 5. Lease period: shorter periods mean more manager traffic.
+    let rows: Vec<Vec<String>> = [SEC / 2, SEC, 5 * SEC, 30 * SEC]
+        .into_iter()
+        .map(|period| {
+            let cfg = ArkConfig::default().with_lease_period(period, period);
+            vec![
+                format!("{:.1}s", period as f64 / 1e9),
+                format!("{:.1}", create_throughput(cfg, procs, files) / 1000.0),
+            ]
+        })
+        .collect();
+    lines.extend(print_table(
+        "Ablation: lease period (create kops/s)",
+        &["period", "kops/s"],
+        &rows,
+    ));
+
+    save_results("ablations", &lines);
+}

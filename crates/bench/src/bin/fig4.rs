@@ -1,0 +1,46 @@
+//! Figure 4 — "Throughput of mdtest-easy": CREATE / STAT / DELETE of
+//! empty files, 16 processes, private leaf directories, across ArkFS,
+//! CephFS-F, CephFS-K (1 and 16 MDS), and MarFS.
+//!
+//! Expected shape (paper): ArkFS far ahead on every phase (up to ~24.9×
+//! CephFS); CephFS-K > CephFS-F > MarFS; 16 MDS ≤ 2.41× of 1 MDS.
+
+use arkfs::ArkConfig;
+use arkfs_baselines::MountType;
+use arkfs_bench::{
+    ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table,
+    save_results, System,
+};
+use arkfs_workloads::mdtest::{mdtest_easy, MdtestEasyConfig};
+
+fn main() {
+    let procs = bench_procs(16);
+    let files = bench_files(100_000);
+    let chunk = 64 * 1024;
+    let systems: Vec<System> = vec![
+        ark_fleet(procs, ArkConfig::default(), true),
+        ceph_fleet(procs, 1, MountType::Fuse, chunk, true),
+        ceph_fleet(procs, 1, MountType::Kernel, chunk, true),
+        ceph_fleet(procs, 16, MountType::Kernel, chunk, true),
+        marfs_fleet(procs, chunk),
+    ];
+    let cfg = MdtestEasyConfig { files_total: files, create_only: false };
+    let mut rows = Vec::new();
+    for system in systems {
+        let result = mdtest_easy(&system.clients, &cfg).expect("mdtest-easy");
+        let get = |name: &str| result.phase(name).map(|p| p.ops_per_sec()).unwrap_or(0.0);
+        rows.push(vec![
+            system.name.clone(),
+            kops(get("create")),
+            kops(get("stat")),
+            kops(get("delete")),
+        ]);
+        eprintln!("fig4: {} done", system.name);
+    }
+    let lines = print_table(
+        &format!("Figure 4: mdtest-easy throughput (kops/s, {files} files, {procs} procs)"),
+        &["system", "CREATE", "STAT", "DELETE"],
+        &rows,
+    );
+    save_results("fig4", &lines);
+}

@@ -1,0 +1,88 @@
+//! Table II — "Execution times of two archiving scenarios on each file
+//! system": tar-based archiving and unarchiving of an MS-COCO-like
+//! dataset (§IV-D).
+//!
+//! Expected shape (paper): ArkFS fastest; speed-ups over CephFS-F /
+//! CephFS-K of 6.78× / 1.51× (archiving) and 3.76× / 1.76× (unarchiving);
+//! the EBS bandwidth floor limits the CephFS-K gap.
+//!
+//! Dataset is scaled from 32×7 GB by default; EBS bandwidth is scaled
+//! with it so the bandwidth-floor share of the runtime matches the paper.
+
+use arkfs::ArkConfig;
+use arkfs_baselines::MountType;
+use arkfs_bench::{ark_fleet, bench_procs, ceph_fleet, print_table, save_results, System};
+use arkfs_workloads::tar::{archive_scenario, ArchiveConfig};
+use arkfs_workloads::DatasetSpec;
+
+#[allow(clippy::field_reassign_with_default)]
+fn main() {
+    let procs = bench_procs(8);
+    let full = std::env::var("ARKFS_BENCH_FULL").is_ok();
+    // Scaled dataset: same distribution shape; EBS bandwidth scaled so
+    // the EBS floor keeps the paper's share of total runtime.
+    let (dataset, ebs_bw) = if full {
+        (DatasetSpec::ms_coco(), 1_000_000_000)
+    } else {
+        (DatasetSpec::scaled(3000, 16 * 1024, 0xC0C0), 100_000_000)
+    };
+    let cfg = ArchiveConfig { dataset, ebs_bw };
+    let chunk = 512 * 1024;
+
+    let mut ark_cfg = ArkConfig::default();
+    ark_cfg.chunk_size = chunk;
+    ark_cfg.cache_entries = 64;
+    let systems: Vec<System> = vec![
+        ceph_fleet(procs, 1, MountType::Fuse, chunk, false),
+        ceph_fleet(procs, 1, MountType::Kernel, chunk, false),
+        ark_fleet(procs, ark_cfg, false),
+    ];
+
+    let mut results = Vec::new();
+    for system in systems {
+        let r = archive_scenario(&system.clients, &cfg).expect("archive scenario");
+        eprintln!(
+            "table2: {}: archive {:.1}s unarchive {:.1}s",
+            system.name,
+            r.archive_secs(),
+            r.unarchive_secs()
+        );
+        results.push((system.name, r));
+    }
+
+    let ark = &results[2].1;
+    let speedup = |x: f64, y: f64| format!("{:.2}x", x / y);
+    let rows = vec![
+        vec![
+            "Archiving (s)".to_string(),
+            format!("{:.1}", results[0].1.archive_secs()),
+            format!("{:.1}", results[1].1.archive_secs()),
+            format!("{:.1}", ark.archive_secs()),
+            format!(
+                "{} / {}",
+                speedup(results[0].1.archive_secs(), ark.archive_secs()),
+                speedup(results[1].1.archive_secs(), ark.archive_secs())
+            ),
+        ],
+        vec![
+            "Unarchiving (s)".to_string(),
+            format!("{:.1}", results[0].1.unarchive_secs()),
+            format!("{:.1}", results[1].1.unarchive_secs()),
+            format!("{:.1}", ark.unarchive_secs()),
+            format!(
+                "{} / {}",
+                speedup(results[0].1.unarchive_secs(), ark.unarchive_secs()),
+                speedup(results[1].1.unarchive_secs(), ark.unarchive_secs())
+            ),
+        ],
+    ];
+    let lines = print_table(
+        &format!(
+            "Table II: archiving scenarios ({procs} procs, {:.0} MB dataset total)",
+            results[2].1.dataset_bytes as f64 / 1e6
+        ),
+        &["scenario", "CephFS-F", "CephFS-K", "ArkFS", "Speed-up"],
+        &rows,
+    );
+    save_results("table2", &lines);
+}

@@ -1,0 +1,224 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Each binary (`fig1`, `fig4`, `fig5`, `fig6`, `fig7`, `table1`,
+//! `table2`) rebuilds one piece of the paper's evaluation (§IV) on the
+//! simulated cluster and prints the same rows/series the paper reports.
+//! Absolute numbers differ from the AWS testbed; shapes are the claim.
+//!
+//! Scale knobs (environment variables):
+//! * `ARKFS_BENCH_FILES` — total mdtest files (default scaled down from
+//!   the paper's 1 M).
+//! * `ARKFS_BENCH_PROCS` — mdtest/fio process count.
+//! * `ARKFS_BENCH_FULL=1` — paper-scale parameters (slow, memory-heavy).
+
+use arkfs::{ArkCluster, ArkConfig};
+use arkfs_baselines::pathfs::Bucket;
+use arkfs_baselines::{CephFs, GoofysFs, MarFs, MountType, S3Fs};
+use arkfs_objstore::{ClusterConfig, ObjectCluster};
+use arkfs_simkit::ClusterSpec;
+use arkfs_workloads::SimClient;
+use std::sync::Arc;
+
+/// A named fleet of clients of one file system under test.
+pub struct System {
+    pub name: String,
+    pub clients: Vec<Arc<dyn SimClient>>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Total mdtest file count (paper: 1 000 000).
+pub fn bench_files(default: u64) -> u64 {
+    if std::env::var("ARKFS_BENCH_FULL").is_ok() {
+        return 1_000_000;
+    }
+    env_usize("ARKFS_BENCH_FILES", default as usize) as u64
+}
+
+/// Benchmark process count (paper: 16 for mdtest, 32 for fio).
+pub fn bench_procs(default: usize) -> usize {
+    env_usize("ARKFS_BENCH_PROCS", default)
+}
+
+/// Build an ArkFS fleet on a fresh RADOS-profile store.
+pub fn ark_fleet(n: usize, config: ArkConfig, discard_payload: bool) -> System {
+    let store_cfg =
+        ClusterConfig::rados(config.spec.clone()).with_discard_payload(discard_payload);
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let cluster = ArkCluster::new(config.clone(), store);
+    let name = if config.permission_cache { "ArkFS" } else { "ArkFS-no-pcache" };
+    System {
+        name: name.to_string(),
+        clients: (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect(),
+    }
+}
+
+/// ArkFS on an S3-profile store (Figure 6b), with a configurable
+/// read-ahead limit.
+pub fn ark_fleet_s3(n: usize, max_readahead: u64, chunk: u64, discard: bool) -> System {
+    let mut config = ArkConfig::default().with_max_readahead(max_readahead);
+    config.chunk_size = chunk;
+    // Page-cache-equivalent sizing: hold a whole fio file plus the
+    // read-ahead window ("ArkFS also uses its data cache in the same
+    // way [as the kernel page cache]", §IV-B).
+    config.cache_entries = ((max_readahead / chunk) as usize + 32).max(256);
+    let store_cfg = ClusterConfig::s3(config.spec.clone()).with_discard_payload(discard);
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let cluster = ArkCluster::new(config, store);
+    System {
+        name: format!("ArkFS-ra{}MB", max_readahead / (1024 * 1024)),
+        clients: (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect(),
+    }
+}
+
+/// Build a CephFS fleet (one deployment, n mounted clients).
+pub fn ceph_fleet(
+    n: usize,
+    mds: usize,
+    mount: MountType,
+    chunk: u64,
+    discard: bool,
+) -> System {
+    let spec = ClusterSpec::aws_paper();
+    let store_cfg = ClusterConfig::rados(spec.clone()).with_discard_payload(discard);
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let fs = CephFs::new(store, mds, spec, chunk);
+    let tag = match mount {
+        MountType::Kernel => "CephFS-K",
+        MountType::Fuse => "CephFS-F",
+    };
+    let name =
+        if mds == 1 { tag.to_string() } else { format!("{tag} ({mds} MDS)") };
+    System {
+        name,
+        clients: (0..n).map(|_| fs.client(mount) as Arc<dyn SimClient>).collect(),
+    }
+}
+
+/// Build a MarFS fleet.
+pub fn marfs_fleet(n: usize, chunk: u64) -> System {
+    let spec = ClusterSpec::aws_paper();
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(spec.clone())));
+    let shared = MarFs::deployment(store, spec, chunk);
+    System {
+        name: "MarFS".to_string(),
+        clients: (0..n).map(|_| MarFs::client(&shared) as Arc<dyn SimClient>).collect(),
+    }
+}
+
+/// Build an S3FS fleet on an S3-profile store.
+pub fn s3fs_fleet(n: usize, part: u64, discard: bool) -> System {
+    let spec = ClusterSpec::aws_paper();
+    let store_cfg = ClusterConfig::s3(spec.clone()).with_discard_payload(discard);
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let bucket = Bucket::new(store, part);
+    System {
+        name: "S3FS".to_string(),
+        clients: (0..n)
+            .map(|_| S3Fs::new(Arc::clone(&bucket), spec.clone()) as Arc<dyn SimClient>)
+            .collect(),
+    }
+}
+
+/// Build a goofys fleet on an S3-profile store.
+pub fn goofys_fleet(n: usize, part: u64, readahead: u64, discard: bool) -> System {
+    let spec = ClusterSpec::aws_paper();
+    let store_cfg = ClusterConfig::s3(spec.clone()).with_discard_payload(discard);
+    let store = Arc::new(ObjectCluster::new(store_cfg));
+    let bucket = Bucket::new(store, part);
+    System {
+        name: "goofys".to_string(),
+        clients: (0..n)
+            .map(|_| {
+                GoofysFs::with_readahead(Arc::clone(&bucket), spec.clone(), readahead)
+                    as Arc<dyn SimClient>
+            })
+            .collect(),
+    }
+}
+
+/// Print an aligned results table and return it as lines (for files).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Vec<String> {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut lines = Vec::new();
+    lines.push(format!("== {title} =="));
+    let fmt_row = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    lines.push(fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    lines.push("-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        lines.push(fmt_row(row.clone()));
+    }
+    for line in &lines {
+        println!("{line}");
+    }
+    println!();
+    lines
+}
+
+/// Append result lines to `results/<name>.txt` (best effort).
+pub fn save_results(name: &str, lines: &[String]) {
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(format!("results/{name}.txt"), lines.join("\n") + "\n");
+}
+
+/// Format ops/sec as kops with sensible precision.
+pub fn kops(v: f64) -> String {
+    format!("{:.2}", v / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs_vfs::Credentials;
+
+    #[test]
+    fn fleet_builders_produce_working_clients() {
+        let ctx = Credentials::root();
+        for system in [
+            ark_fleet(2, ArkConfig::test_tiny(), false),
+            ceph_fleet(2, 1, MountType::Kernel, 64, false),
+            marfs_fleet(2, 64),
+            s3fs_fleet(2, 64, false),
+            goofys_fleet(2, 64, 256, false),
+        ] {
+            assert_eq!(system.clients.len(), 2);
+            system.clients[0]
+                .mkdir(&ctx, "/probe", 0o755)
+                .unwrap_or_else(|e| panic!("{}: {e}", system.name));
+            assert!(system.clients[1].stat(&ctx, "/probe").is_ok(), "{}", system.name);
+        }
+    }
+
+    #[test]
+    fn table_printer_aligns() {
+        let lines = print_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("long-header"));
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        assert_eq!(bench_files(50_000), 50_000);
+        assert_eq!(bench_procs(16), 16);
+    }
+}

@@ -1,0 +1,54 @@
+//! `arkfs-shell` entry point: REPL over stdin, or `-c "cmd; cmd"` for
+//! scripted sessions.
+
+use arkfs_cli::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut shell = Shell::new();
+    println!("ArkFS in-memory deployment ready (type `help`).");
+
+    // Scripted mode: -c "cmd; cmd; ..."
+    if let Some(pos) = args.iter().position(|a| a == "-c") {
+        let script = args.get(pos + 1).cloned().unwrap_or_default();
+        for cmd in script.split(';') {
+            run(&mut shell, cmd.trim());
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("arkfs:{}> ", shell.cwd);
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "exit" || line == "quit" {
+            break;
+        }
+        run(&mut shell, line);
+    }
+}
+
+fn run(shell: &mut Shell, line: &str) {
+    if line.is_empty() {
+        return;
+    }
+    match shell.exec(line) {
+        Ok(out) => {
+            if !out.is_empty() {
+                println!("{}", out.trim_end());
+            }
+        }
+        Err(err) => eprintln!("{err}"),
+    }
+}

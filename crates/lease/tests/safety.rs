@@ -1,0 +1,86 @@
+//! Safety property of the directory lease protocol: at most one valid
+//! leader per directory at any time, under arbitrary interleavings of
+//! acquires, releases, and time advancement.
+
+use arkfs_lease::{LeaseConfig, LeaseManager, LeaseRequest, LeaseResponse};
+use arkfs_netsim::{NodeId, Service};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    Acquire { client: u32, dir: u8 },
+    Release { client: u32, dir: u8 },
+    Advance(u32),
+}
+
+fn arb_act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        (0u32..6, 0u8..3).prop_map(|(c, d)| Act::Acquire { client: c, dir: d }),
+        (0u32..6, 0u8..3).prop_map(|(c, d)| Act::Release { client: c, dir: d }),
+        (1u32..200).prop_map(Act::Advance),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn at_most_one_valid_leader(acts in prop::collection::vec(arb_act(), 1..200)) {
+        let config = LeaseConfig { period: 100, grace: 100, op_service: 0 };
+        let mgr = LeaseManager::new(config);
+        let mut now: u64 = 0;
+        // Current belief: dir -> (holder, expires_at), from granted
+        // responses only.
+        let mut holders: HashMap<u8, (u32, u64)> = HashMap::new();
+        for act in acts {
+            match act {
+                Act::Advance(dt) => now += dt as u64,
+                Act::Release { client, dir } => {
+                    let (resp, done) = mgr.handle(
+                        now,
+                        LeaseRequest::Release { client: NodeId(client), ino: dir as u128 },
+                    );
+                    now = now.max(done);
+                    prop_assert!(matches!(resp, LeaseResponse::Released));
+                    if let Some(&(h, _)) = holders.get(&dir) {
+                        if h == client {
+                            holders.remove(&dir);
+                        }
+                    }
+                }
+                Act::Acquire { client, dir } => {
+                    let (resp, done) = mgr.handle(
+                        now,
+                        LeaseRequest::Acquire { client: NodeId(client), ino: dir as u128 },
+                    );
+                    now = now.max(done);
+                    match resp {
+                        LeaseResponse::Granted { expires_at, .. } => {
+                            // SAFETY: nobody else may hold an unexpired
+                            // lease on this directory.
+                            if let Some(&(holder, exp)) = holders.get(&dir) {
+                                prop_assert!(
+                                    holder == client || exp < now,
+                                    "dir {dir}: granted to {client} at {now} while {holder} \
+                                     holds until {exp}"
+                                );
+                            }
+                            prop_assert!(expires_at > now);
+                            holders.insert(dir, (client, expires_at));
+                        }
+                        LeaseResponse::Redirect { leader } => {
+                            // Redirect must point at the current valid
+                            // holder.
+                            let (holder, exp) = holders[&dir];
+                            prop_assert_eq!(leader, NodeId(holder));
+                            prop_assert!(exp >= now, "redirect to expired holder");
+                        }
+                        LeaseResponse::Retry { until } => {
+                            prop_assert!(until > now);
+                        }
+                        LeaseResponse::Released => prop_assert!(false, "released on acquire"),
+                    }
+                }
+            }
+        }
+    }
+}

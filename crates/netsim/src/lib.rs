@@ -1,0 +1,219 @@
+//! In-process RPC with a virtual-time latency model.
+//!
+//! The paper uses gRPC for client↔client and client↔lease-manager
+//! communication (§IV-A). Here, a [`Bus`] carries typed request/response
+//! messages between [`NodeId`]s: the functional dispatch is a direct
+//! (locked) call into the destination's [`Service`] implementation, while
+//! the *cost* — network round trip plus the destination's serialized
+//! service time — is charged to the caller's [`arkfs_simkit::Port`].
+//!
+//! Nodes can be `disconnect`ed to simulate crashes: calls then fail with
+//! [`NetError::Unreachable`], which is how the lease-manager-failure and
+//! client-failure scenarios of §III-E are exercised in tests.
+
+use arkfs_simkit::{Nanos, Port};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A network endpoint identity. The paper's `<ip_addr, port>` pair reduces
+/// to this token; [`NodeId::addr`] renders the human-readable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Pretty `<ip:port>`-style address, for logs and error messages.
+    pub fn addr(&self) -> String {
+        format!("10.0.{}.{}:7400", self.0 / 256, self.0 % 256)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// RPC failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// No service registered at the destination, or it was disconnected
+    /// (crashed node).
+    Unreachable,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable => write!(f, "destination unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A message handler living at a node. `arrival` is the caller's virtual
+/// send time plus one-way latency; the implementation returns the response
+/// together with the virtual time at which it was produced (usually after
+/// reserving on its own [`arkfs_simkit::SharedResource`] to model request
+/// serialization at the node).
+pub trait Service<Req, Resp>: Send + Sync {
+    fn handle(&self, arrival: Nanos, req: Req) -> (Resp, Nanos);
+}
+
+/// Blanket impl so closures can serve in tests.
+impl<Req, Resp, F> Service<Req, Resp> for F
+where
+    F: Fn(Nanos, Req) -> (Resp, Nanos) + Send + Sync,
+{
+    fn handle(&self, arrival: Nanos, req: Req) -> (Resp, Nanos) {
+        self(arrival, req)
+    }
+}
+
+/// A typed RPC bus. One bus per protocol (lease protocol, forwarded
+/// file-system operations, cache-invalidation broadcasts...).
+pub struct Bus<Req, Resp> {
+    half_rtt: Nanos,
+    services: RwLock<HashMap<NodeId, Arc<dyn Service<Req, Resp>>>>,
+    messages: AtomicU64,
+}
+
+impl<Req, Resp> Bus<Req, Resp> {
+    /// Create a bus whose links have the given one-way latency.
+    pub fn new(half_rtt: Nanos) -> Self {
+        Bus { half_rtt, services: RwLock::new(HashMap::new()), messages: AtomicU64::new(0) }
+    }
+
+    /// Attach a service at `node`, replacing any previous one ("restart").
+    pub fn register(&self, node: NodeId, service: Arc<dyn Service<Req, Resp>>) {
+        self.services.write().insert(node, service);
+    }
+
+    /// Detach the service at `node`, simulating a crash.
+    pub fn disconnect(&self, node: NodeId) {
+        self.services.write().remove(&node);
+    }
+
+    /// Whether a service is reachable at `node`.
+    pub fn is_connected(&self, node: NodeId) -> bool {
+        self.services.read().contains_key(&node)
+    }
+
+    /// Total RPCs carried, for experiment accounting.
+    pub fn message_count(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Synchronous RPC: charges a full round trip plus the destination's
+    /// service completion to the caller's port.
+    pub fn call(&self, port: &Port, to: NodeId, req: Req) -> Result<Resp, NetError> {
+        let service = {
+            let map = self.services.read();
+            map.get(&to).cloned().ok_or(NetError::Unreachable)?
+        };
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let arrival = port.advance(self.half_rtt);
+        let (resp, done) = service.handle(arrival, req);
+        port.wait_until(done.saturating_add(self.half_rtt));
+        Ok(resp)
+    }
+
+    /// One-way notification (e.g. a cache-flush broadcast): charges only
+    /// the send latency; the destination still processes the message
+    /// functionally and its completion time is discarded.
+    pub fn notify(&self, port: &Port, to: NodeId, req: Req) -> Result<(), NetError> {
+        let service = {
+            let map = self.services.read();
+            map.get(&to).cloned().ok_or(NetError::Unreachable)?
+        };
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        let arrival = port.advance(self.half_rtt);
+        let _ = service.handle(arrival, req);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs_simkit::SharedResource;
+
+    #[test]
+    fn node_addresses_render() {
+        assert_eq!(NodeId(0).addr(), "10.0.0.0:7400");
+        assert_eq!(NodeId(258).addr(), "10.0.1.2:7400");
+        assert_eq!(NodeId(3).to_string(), "node3");
+    }
+
+    #[test]
+    fn call_charges_round_trip_and_service() {
+        let bus: Bus<u32, u32> = Bus::new(100);
+        let server = Arc::new(SharedResource::ideal("svc"));
+        let service = {
+            let server = Arc::clone(&server);
+            move |arrival: Nanos, req: u32| {
+                let done = server.reserve(arrival, 50);
+                (req * 2, done)
+            }
+        };
+        bus.register(NodeId(1), Arc::new(service));
+        let port = Port::new();
+        let resp = bus.call(&port, NodeId(1), 21).unwrap();
+        assert_eq!(resp, 42);
+        // 100 (send) + 50 (service) + 100 (return)
+        assert_eq!(port.now(), 250);
+        assert_eq!(bus.message_count(), 1);
+    }
+
+    #[test]
+    fn queueing_at_the_destination() {
+        let bus: Bus<(), ()> = Bus::new(0);
+        let server = Arc::new(SharedResource::ideal("svc"));
+        let service = {
+            let server = Arc::clone(&server);
+            move |arrival: Nanos, _req: ()| ((), server.reserve(arrival, 10))
+        };
+        bus.register(NodeId(1), Arc::new(service));
+        let p1 = Port::new();
+        let p2 = Port::new();
+        bus.call(&p1, NodeId(1), ()).unwrap();
+        bus.call(&p2, NodeId(1), ()).unwrap();
+        // Second caller queues behind the first at the server.
+        assert_eq!(p1.now(), 10);
+        assert_eq!(p2.now(), 20);
+    }
+
+    #[test]
+    fn unreachable_nodes_error() {
+        let bus: Bus<(), ()> = Bus::new(1);
+        let port = Port::new();
+        assert_eq!(bus.call(&port, NodeId(9), ()), Err(NetError::Unreachable));
+        bus.register(NodeId(9), Arc::new(|a: Nanos, _| ((), a)));
+        assert!(bus.is_connected(NodeId(9)));
+        assert!(bus.call(&port, NodeId(9), ()).is_ok());
+        bus.disconnect(NodeId(9));
+        assert!(!bus.is_connected(NodeId(9)));
+        assert_eq!(bus.call(&port, NodeId(9), ()), Err(NetError::Unreachable));
+    }
+
+    #[test]
+    fn notify_charges_one_way_only() {
+        let bus: Bus<(), ()> = Bus::new(100);
+        bus.register(NodeId(1), Arc::new(|a: Nanos, _| ((), a + 1_000_000)));
+        let port = Port::new();
+        bus.notify(&port, NodeId(1), ()).unwrap();
+        assert_eq!(port.now(), 100);
+    }
+
+    #[test]
+    fn reregistering_replaces_service() {
+        let bus: Bus<u8, u8> = Bus::new(0);
+        bus.register(NodeId(1), Arc::new(|a: Nanos, _| (1u8, a)));
+        bus.register(NodeId(1), Arc::new(|a: Nanos, _| (2u8, a)));
+        let port = Port::new();
+        assert_eq!(bus.call(&port, NodeId(1), 0).unwrap(), 2);
+    }
+}

@@ -1,0 +1,931 @@
+//! The sharded, replicated in-memory object cluster.
+
+use crate::error::{OsError, OsResult};
+use crate::fault::FaultPlan;
+use crate::key::{KeyKind, ObjectKey};
+use crate::profile::StoreProfile;
+use crate::store::ObjectStore;
+use arkfs_simkit::{BandwidthResource, ClusterSpec, Nanos, Port, SharedResource};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Construction parameters for an [`ObjectCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Storage nodes (shards). The paper's testbed has 16.
+    pub shards: usize,
+    /// Copies of every object (1 = no replication). Writes pay for every
+    /// replica; reads hit the primary.
+    pub replication: usize,
+    /// Backend semantics and per-op service time.
+    pub profile: StoreProfile,
+    /// Cost-model constants (network/disk bandwidths).
+    pub spec: ClusterSpec,
+    /// When set, data-chunk payloads are not stored — only their length —
+    /// so stress-scale benchmarks fit in memory. GETs of discarded
+    /// payloads return zero bytes.
+    pub discard_payload: bool,
+    /// Erasure coding (k data + 1 XOR parity) instead of replication.
+    /// `None` keeps full-copy replication.
+    pub ec: Option<crate::ec::EcScheme>,
+}
+
+impl ClusterConfig {
+    /// RADOS-profile cluster with the paper's spec. Table I lists 4 EBS
+    /// disks per storage node and the paper deploys "Ceph RADOS on 64
+    /// OSDs", so the shard count is 4× the node count.
+    pub fn rados(spec: ClusterSpec) -> Self {
+        ClusterConfig {
+            shards: spec.storage_nodes * 4,
+            replication: 2,
+            profile: StoreProfile::rados(&spec),
+            spec,
+            discard_payload: false,
+            ec: None,
+        }
+    }
+
+    /// S3-profile cluster with the paper's spec. S3 is a massively
+    /// partitioned service; model the same shard parallelism as RADOS.
+    pub fn s3(spec: ClusterSpec) -> Self {
+        ClusterConfig {
+            shards: spec.storage_nodes * 4,
+            replication: 2,
+            profile: StoreProfile::s3(&spec),
+            spec,
+            discard_payload: false,
+            ec: None,
+        }
+    }
+
+    /// Small fast cluster for unit tests.
+    pub fn test_tiny() -> Self {
+        let spec = ClusterSpec::test_tiny();
+        ClusterConfig {
+            shards: 2,
+            replication: 1,
+            profile: StoreProfile::rados(&spec),
+            spec,
+            discard_payload: false,
+            ec: None,
+        }
+    }
+
+    pub fn with_discard_payload(mut self, on: bool) -> Self {
+        self.discard_payload = on;
+        self
+    }
+
+    pub fn with_replication(mut self, r: usize) -> Self {
+        self.replication = r.max(1);
+        self.ec = None;
+        self
+    }
+
+    /// Store objects erasure-coded as `k` data + 1 parity fragments
+    /// instead of replicating full copies.
+    pub fn with_erasure_coding(mut self, k: usize) -> Self {
+        self.ec = Some(crate::ec::EcScheme::new(k));
+        self
+    }
+}
+
+/// Stored payload: real bytes, a synthetic length, or one erasure-coded
+/// fragment of an object.
+#[derive(Debug, Clone)]
+enum Payload {
+    Real(Vec<u8>),
+    Synthetic(u64),
+    Fragment { total_len: u64, bytes: Vec<u8> },
+}
+
+impl Payload {
+    /// Physical bytes stored on this shard.
+    fn len(&self) -> u64 {
+        match self {
+            Payload::Real(v) => v.len() as u64,
+            Payload::Synthetic(n) => *n,
+            Payload::Fragment { bytes, .. } => bytes.len() as u64,
+        }
+    }
+
+    /// Logical object size this payload describes.
+    fn logical_len(&self) -> u64 {
+        match self {
+            Payload::Real(v) => v.len() as u64,
+            Payload::Synthetic(n) => *n,
+            Payload::Fragment { total_len, .. } => *total_len,
+        }
+    }
+}
+
+/// One storage node: its object map, op server, and disk.
+struct Shard {
+    objects: RwLock<HashMap<ObjectKey, Payload>>,
+    op_server: SharedResource,
+    disk: BandwidthResource,
+}
+
+/// Aggregate operation counters, for EXPERIMENTS.md accounting.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    pub gets: AtomicU64,
+    pub puts: AtomicU64,
+    pub deletes: AtomicU64,
+    pub lists: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+/// A sharded, replicated, in-memory object storage cluster charging
+/// virtual-time costs to each caller's [`Port`].
+pub struct ObjectCluster {
+    config: ClusterConfig,
+    shards: Vec<Shard>,
+    /// Shared front network into the store (aggregate ingest/egress).
+    net: BandwidthResource,
+    pub faults: FaultPlan,
+    pub stats: ClusterStats,
+}
+
+impl ObjectCluster {
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.shards > 0, "cluster needs at least one shard");
+        assert!(config.replication >= 1 && config.replication <= config.shards);
+        if let Some(ec) = config.ec {
+            assert!(ec.width() <= config.shards, "erasure width exceeds shard count");
+        }
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                objects: RwLock::new(HashMap::new()),
+                op_server: SharedResource::ideal("osd-op"),
+                disk: BandwidthResource::new("osd-disk", config.spec.disk_bw),
+            })
+            .collect();
+        let net = BandwidthResource::new("store-net", config.spec.store_net_bw);
+        ObjectCluster { config, shards, net, faults: FaultPlan::new(), stats: ClusterStats::default() }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Total number of stored objects across all shards.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(|s| s.objects.read().len()).sum()
+    }
+
+    /// Total stored bytes (logical, including synthetic lengths).
+    pub fn stored_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.objects.read().values().map(Payload::len).sum::<u64>())
+            .sum()
+    }
+
+    /// Shards an object's copies or fragments live on.
+    fn placement_shards(&self, key: &ObjectKey) -> Vec<usize> {
+        let primary = key.shard(self.config.shards);
+        let n = self.config.shards;
+        let width = match self.config.ec {
+            Some(ec) => ec.width(),
+            None => self.config.replication,
+        };
+        (0..width).map(|i| (primary + i) % n).collect()
+    }
+
+    fn replica_shards(&self, key: &ObjectKey) -> impl Iterator<Item = usize> + '_ {
+        self.placement_shards(key).into_iter()
+    }
+
+    fn primary(&self, key: &ObjectKey) -> &Shard {
+        &self.shards[key.shard(self.config.shards)]
+    }
+
+    /// Read an object's logical contents, tolerating shard failures:
+    /// replication fails over to the next copy; erasure coding
+    /// reconstructs from any k of k+1 fragments. Returns (bytes — `None`
+    /// for synthetic payloads —, logical length, per-shard bytes read).
+    #[allow(clippy::type_complexity)]
+    fn load_logical(&self, key: ObjectKey)
+        -> OsResult<(Option<Vec<u8>>, u64, Vec<(usize, u64)>)> {
+        if self.faults.is_lost(key) {
+            return Err(OsError::NotFound);
+        }
+        let shards = self.placement_shards(&key);
+        match self.config.ec {
+            None => {
+                for idx in shards {
+                    if self.faults.is_shard_down(idx) {
+                        continue;
+                    }
+                    match self.shards[idx].objects.read().get(&key) {
+                        Some(Payload::Real(v)) => {
+                            return Ok((Some(v.clone()), v.len() as u64,
+                                vec![(idx, v.len() as u64)]));
+                        }
+                        Some(Payload::Synthetic(n)) => {
+                            return Ok((None, *n, vec![(idx, *n)]));
+                        }
+                        Some(Payload::Fragment { .. }) => {
+                            unreachable!("fragment stored without EC config")
+                        }
+                        None => {}
+                    }
+                }
+                Err(OsError::NotFound)
+            }
+            Some(ec) => {
+                let mut frags: Vec<Option<Vec<u8>>> = vec![None; ec.width()];
+                let mut total_len = None;
+                let mut synthetic = false;
+                let mut sources = Vec::new();
+                let mut present = 0usize;
+                for (j, idx) in shards.into_iter().enumerate() {
+                    if self.faults.is_shard_down(idx) {
+                        continue;
+                    }
+                    match self.shards[idx].objects.read().get(&key) {
+                        Some(Payload::Fragment { total_len: t, bytes }) => {
+                            total_len = Some(*t);
+                            sources.push((idx, bytes.len() as u64));
+                            frags[j] = Some(bytes.clone());
+                            present += 1;
+                        }
+                        Some(Payload::Synthetic(n)) => {
+                            total_len = Some(*n);
+                            synthetic = true;
+                            sources.push((idx, n.div_ceil(ec.data as u64)));
+                            present += 1;
+                        }
+                        Some(Payload::Real(_)) => {
+                            unreachable!("full copy stored under EC config")
+                        }
+                        None => {}
+                    }
+                }
+                let Some(total_len) = total_len else {
+                    return Err(OsError::NotFound);
+                };
+                if synthetic {
+                    return Ok((None, total_len, sources));
+                }
+                if present < ec.data {
+                    return Err(OsError::InsufficientFragments);
+                }
+                let bytes = ec
+                    .reconstruct(total_len as usize, frags)
+                    .ok_or(OsError::InsufficientFragments)?;
+                Ok((Some(bytes), total_len, sources))
+            }
+        }
+    }
+
+    /// Virtual cost of reading from the given (shard, bytes) sources in
+    /// parallel, all departing at `arrival`. Returns the completion time.
+    fn charge_read_sources(&self, arrival: Nanos, sources: &[(usize, u64)]) -> Nanos {
+        let mut done = arrival;
+        let mut total = 0u64;
+        for &(idx, bytes) in sources {
+            let shard = &self.shards[idx];
+            let t1 = shard.op_server.reserve(arrival, self.config.profile.op_service)
+                + self.config.profile.op_latency;
+            let t2 = if bytes > 0 { shard.disk.transfer(t1, bytes) } else { t1 };
+            done = done.max(t2);
+            total += bytes;
+        }
+        if total > 0 {
+            done = self.net.transfer(done, total);
+        }
+        done + self.config.spec.net_half_rtt
+    }
+
+    /// Charge the virtual cost of a write to every replica (full copy
+    /// each) or fragment (1/k of the bytes each) and return the caller's
+    /// completion time.
+    fn charge_write(&self, port: &Port, key: &ObjectKey, bytes: u64) -> Nanos {
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let per_shard = match self.config.ec {
+            Some(ec) if bytes > 0 => ec.stripe(bytes as usize) as u64,
+            _ => bytes,
+        };
+        let wire_bytes = per_shard * self.placement_shards(key).len() as u64;
+        let t1 = if bytes > 0 { self.net.transfer(t0, wire_bytes) } else { t0 };
+        // Copies/fragments are written in parallel: completion is the max.
+        let mut done = t1;
+        for idx in self.replica_shards(key) {
+            let shard = &self.shards[idx];
+            let t2 = shard.op_server.reserve(t1, self.config.profile.op_service)
+                + self.config.profile.op_latency;
+            let t3 = if per_shard > 0 { shard.disk.transfer(t2, per_shard) } else { t2 };
+            done = done.max(t3);
+        }
+        port.wait_until(done + self.config.spec.net_half_rtt)
+    }
+
+    /// Charge the virtual cost of a read of `bytes` from the primary.
+    fn charge_read(&self, port: &Port, key: &ObjectKey, bytes: u64) -> Nanos {
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let shard = self.primary(key);
+        let t1 = shard.op_server.reserve(t0, self.config.profile.op_service)
+            + self.config.profile.op_latency;
+        let t2 = if bytes > 0 { shard.disk.transfer(t1, bytes) } else { t1 };
+        let t3 = if bytes > 0 { self.net.transfer(t2, bytes) } else { t2 };
+        port.wait_until(t3 + self.config.spec.net_half_rtt)
+    }
+
+    /// Store an object: full copies under replication, fragments under
+    /// erasure coding, synthetic lengths in discard mode.
+    fn store_object(&self, key: ObjectKey, data: Bytes) {
+        if self.config.discard_payload && key.kind == KeyKind::Data {
+            let payload = Payload::Synthetic(data.len() as u64);
+            for idx in self.replica_shards(&key) {
+                self.shards[idx].objects.write().insert(key, payload.clone());
+            }
+            return;
+        }
+        match self.config.ec {
+            None => {
+                let payload = Payload::Real(data.to_vec());
+                for idx in self.replica_shards(&key) {
+                    self.shards[idx].objects.write().insert(key, payload.clone());
+                }
+            }
+            Some(ec) => {
+                let total_len = data.len() as u64;
+                let frags = ec.encode(&data);
+                for (idx, bytes) in self.placement_shards(&key).into_iter().zip(frags) {
+                    self.shards[idx]
+                        .objects
+                        .write()
+                        .insert(key, Payload::Fragment { total_len, bytes });
+                }
+            }
+        }
+    }
+}
+
+impl ObjectStore for ObjectCluster {
+    fn profile(&self) -> &StoreProfile {
+        &self.config.profile
+    }
+
+    fn usage(&self) -> (u64, u64) {
+        (self.object_count() as u64, self.stored_bytes())
+    }
+
+    fn put(&self, port: &Port, key: ObjectKey, data: Bytes) -> OsResult<()> {
+        self.faults.check_put(key)?;
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.charge_write(port, &key, data.len() as u64);
+        self.store_object(key, data);
+        Ok(())
+    }
+
+    fn get(&self, port: &Port, key: ObjectKey) -> OsResult<Bytes> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let (bytes, total_len, sources) = self.load_logical(key)?;
+        self.stats.bytes_out.fetch_add(total_len, Ordering::Relaxed);
+        let arrival = port.advance(self.config.spec.net_half_rtt);
+        let done = self.charge_read_sources(arrival, &sources);
+        port.wait_until(done);
+        Ok(match bytes {
+            Some(v) => Bytes::from(v),
+            None => Bytes::from(vec![0u8; total_len as usize]),
+        })
+    }
+
+    fn get_range(&self, port: &Port, key: ObjectKey, offset: u64, len: usize) -> OsResult<Bytes> {
+        if !self.config.profile.ranged_reads {
+            return Err(OsError::Unsupported("ranged read"));
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if self.faults.is_lost(key) {
+            return Err(OsError::NotFound);
+        }
+        // Under erasure coding the whole object is assembled (fragments
+        // are striped, so a range still touches every data fragment);
+        // under replication only the requested range moves.
+        let (bytes, total_len, sources) = self.load_logical(key)?;
+        let start = offset.min(total_len);
+        let end = offset.saturating_add(len as u64).min(total_len);
+        let slice = match bytes {
+            Some(v) => Bytes::copy_from_slice(&v[start as usize..end as usize]),
+            None => Bytes::from(vec![0u8; (end - start) as usize]),
+        };
+        self.stats.bytes_out.fetch_add(slice.len() as u64, Ordering::Relaxed);
+        let arrival = port.advance(self.config.spec.net_half_rtt);
+        let sources: Vec<(usize, u64)> = if self.config.ec.is_some() {
+            sources
+        } else {
+            sources.into_iter().map(|(idx, _)| (idx, slice.len() as u64)).collect()
+        };
+        let done = self.charge_read_sources(arrival, &sources);
+        port.wait_until(done);
+        Ok(slice)
+    }
+
+    fn put_range(&self, port: &Port, key: ObjectKey, offset: u64, data: Bytes) -> OsResult<()> {
+        if !self.config.profile.partial_writes {
+            return Err(OsError::Unsupported("ranged write"));
+        }
+        if self.config.ec.is_some() && !(self.config.discard_payload && key.kind == KeyKind::Data)
+        {
+            // Erasure-coded objects take full-stripe writes only; callers
+            // fall back to read-modify-write of the whole object.
+            return Err(OsError::Unsupported("partial write on erasure-coded object"));
+        }
+        self.faults.check_put(key)?;
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.charge_write(port, &key, data.len() as u64);
+
+        // Apply to all replicas under their own shard locks.
+        if self.config.discard_payload && key.kind == KeyKind::Data {
+            let new_len = offset + data.len() as u64;
+            for idx in self.replica_shards(&key) {
+                let mut map = self.shards[idx].objects.write();
+                let entry = map.entry(key).or_insert(Payload::Synthetic(0));
+                let len = entry.len().max(new_len);
+                *entry = Payload::Synthetic(len);
+            }
+            return Ok(());
+        }
+        for idx in self.replica_shards(&key) {
+            let mut map = self.shards[idx].objects.write();
+            let entry = map.entry(key).or_insert_with(|| Payload::Real(Vec::new()));
+            let v = match entry {
+                Payload::Real(v) => v,
+                Payload::Synthetic(n) => {
+                    *entry = Payload::Real(vec![0u8; *n as usize]);
+                    match entry {
+                        Payload::Real(v) => v,
+                        _ => unreachable!(),
+                    }
+                }
+                // put_range under EC was rejected above.
+                Payload::Fragment { .. } => unreachable!("fragment without EC config"),
+            };
+            let end = offset as usize + data.len();
+            if v.len() < end {
+                v.resize(end, 0);
+            }
+            v[offset as usize..end].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    fn delete(&self, port: &Port, key: ObjectKey) -> OsResult<()> {
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.charge_write(port, &key, 0);
+        let mut found = false;
+        for idx in self.replica_shards(&key) {
+            found |= self.shards[idx].objects.write().remove(&key).is_some();
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(OsError::NotFound)
+        }
+    }
+
+    fn head(&self, port: &Port, key: ObjectKey) -> OsResult<u64> {
+        if self.faults.is_lost(key) {
+            return Err(OsError::NotFound);
+        }
+        self.charge_read(port, &key, 0);
+        // Any reachable copy/fragment knows the logical size.
+        for idx in self.placement_shards(&key) {
+            if self.faults.is_shard_down(idx) {
+                continue;
+            }
+            if let Some(p) = self.shards[idx].objects.read().get(&key) {
+                return Ok(p.logical_len());
+            }
+        }
+        Err(OsError::NotFound)
+    }
+
+    fn get_many(&self, port: &Port, keys: &[ObjectKey]) -> Vec<OsResult<Bytes>> {
+        // Pipelined: all requests depart at the same arrival time; the
+        // caller's port waits for the slowest completion.
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let results = self.get_each(t0, keys);
+        let mut done = t0;
+        let out = results
+            .into_iter()
+            .map(|r| {
+                r.map(|(bytes, completion)| {
+                    done = done.max(completion);
+                    bytes
+                })
+            })
+            .collect();
+        port.wait_until(done);
+        out
+    }
+
+    fn get_each(&self, arrival: u64, keys: &[ObjectKey]) -> Vec<OsResult<(Bytes, u64)>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for &key in keys {
+            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            let (bytes, total_len, sources) = match self.load_logical(key) {
+                Ok(v) => v,
+                Err(e) => {
+                    out.push(Err(e));
+                    continue;
+                }
+            };
+            self.stats.bytes_out.fetch_add(total_len, Ordering::Relaxed);
+            let completion = self.charge_read_sources(arrival, &sources);
+            out.push(Ok((
+                match bytes {
+                    Some(v) => Bytes::from(v),
+                    None => Bytes::from(vec![0u8; total_len as usize]),
+                },
+                completion,
+            )));
+        }
+        out
+    }
+
+    fn put_many(&self, port: &Port, items: Vec<(ObjectKey, Bytes)>) -> Vec<OsResult<()>> {
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let mut done = t0;
+        let mut out = Vec::with_capacity(items.len());
+        for (key, data) in items {
+            if let Err(e) = self.faults.check_put(key) {
+                out.push(Err(e));
+                continue;
+            }
+            self.stats.puts.fetch_add(1, Ordering::Relaxed);
+            let bytes = data.len() as u64;
+            self.stats.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+            let per_shard = match self.config.ec {
+                Some(ec) if bytes > 0 => ec.stripe(bytes as usize) as u64,
+                _ => bytes,
+            };
+            let wire = per_shard * self.placement_shards(&key).len() as u64;
+            let t1 = if bytes > 0 { self.net.transfer(t0, wire) } else { t0 };
+            for idx in self.replica_shards(&key) {
+                let shard = &self.shards[idx];
+                let t2 = shard.op_server.reserve(t1, self.config.profile.op_service)
+                    + self.config.profile.op_latency;
+                let t3 =
+                    if per_shard > 0 { shard.disk.transfer(t2, per_shard) } else { t2 };
+                done = done.max(t3);
+            }
+            self.store_object(key, data);
+            out.push(Ok(()));
+        }
+        port.wait_until(done + self.config.spec.net_half_rtt);
+        out
+    }
+
+    fn list(&self, port: &Port, kind: Option<KeyKind>, ino: Option<u128>)
+        -> OsResult<Vec<ObjectKey>> {
+        self.stats.lists.fetch_add(1, Ordering::Relaxed);
+        self.charge_read(port, &ObjectKey::inode(ino.unwrap_or(0)), 0);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for shard in &self.shards {
+            for key in shard.objects.read().keys() {
+                if kind.is_some_and(|k| k != key.kind) {
+                    continue;
+                }
+                if ino.is_some_and(|i| i != key.ino) {
+                    continue;
+                }
+                if seen.insert(*key) {
+                    out.push(*key);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ObjectCluster {
+        ObjectCluster::new(ClusterConfig::test_tiny())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let c = cluster();
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        c.put(&port, key, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(c.get(&port, key).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(c.head(&port, key).unwrap(), 5);
+        assert!(port.now() > 0, "virtual time must advance");
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let c = cluster();
+        let port = Port::new();
+        assert_eq!(c.get(&port, ObjectKey::inode(9)), Err(OsError::NotFound));
+        assert_eq!(c.head(&port, ObjectKey::inode(9)), Err(OsError::NotFound));
+        assert_eq!(c.delete(&port, ObjectKey::inode(9)), Err(OsError::NotFound));
+    }
+
+    #[test]
+    fn ranged_reads() {
+        let c = cluster();
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        c.put(&port, key, Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(c.get_range(&port, key, 2, 3).unwrap(), Bytes::from_static(b"234"));
+        // past-EOF truncates / empties
+        assert_eq!(c.get_range(&port, key, 8, 10).unwrap(), Bytes::from_static(b"89"));
+        assert_eq!(c.get_range(&port, key, 20, 5).unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn ranged_write_extends_with_zero_fill() {
+        let c = cluster();
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(2, 0);
+        c.put_range(&port, key, 4, Bytes::from_static(b"abcd")).unwrap();
+        let data = c.get(&port, key).unwrap();
+        assert_eq!(&data[..], b"\0\0\0\0abcd");
+        c.put_range(&port, key, 0, Bytes::from_static(b"XY")).unwrap();
+        assert_eq!(&c.get(&port, key).unwrap()[..], b"XY\0\0abcd");
+    }
+
+    #[test]
+    fn s3_profile_rejects_ranged_write() {
+        let mut cfg = ClusterConfig::test_tiny();
+        cfg.profile = StoreProfile::s3(&cfg.spec);
+        let c = ObjectCluster::new(cfg);
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        assert_eq!(
+            c.put_range(&port, key, 0, Bytes::from_static(b"x")),
+            Err(OsError::Unsupported("ranged write"))
+        );
+        // whole-object put still works
+        c.put(&port, key, Bytes::from_static(b"x")).unwrap();
+    }
+
+    #[test]
+    fn replication_survives_primary_loss() {
+        let cfg = ClusterConfig::test_tiny().with_replication(2);
+        let c = ObjectCluster::new(cfg);
+        let port = Port::new();
+        let key = ObjectKey::inode(77);
+        c.put(&port, key, Bytes::from_static(b"meta")).unwrap();
+        // Both shards hold a copy.
+        let copies: usize =
+            c.shards.iter().map(|s| s.objects.read().contains_key(&key) as usize).sum();
+        assert_eq!(copies, 2);
+        // Delete removes all copies.
+        c.delete(&port, key).unwrap();
+        assert_eq!(c.object_count(), 0);
+    }
+
+    #[test]
+    fn list_filters_by_kind_and_ino() {
+        let c = cluster();
+        let port = Port::new();
+        c.put(&port, ObjectKey::inode(1), Bytes::new()).unwrap();
+        c.put(&port, ObjectKey::journal(1, 0), Bytes::new()).unwrap();
+        c.put(&port, ObjectKey::journal(1, 1), Bytes::new()).unwrap();
+        c.put(&port, ObjectKey::journal(2, 0), Bytes::new()).unwrap();
+        let j1 = c.list(&port, Some(KeyKind::Journal), Some(1)).unwrap();
+        assert_eq!(j1, vec![ObjectKey::journal(1, 0), ObjectKey::journal(1, 1)]);
+        let all_j = c.list(&port, Some(KeyKind::Journal), None).unwrap();
+        assert_eq!(all_j.len(), 3);
+        let ino1 = c.list(&port, None, Some(1)).unwrap();
+        assert_eq!(ino1.len(), 3);
+    }
+
+    #[test]
+    fn discard_payload_stores_length_only() {
+        let cfg = ClusterConfig::test_tiny().with_discard_payload(true);
+        let c = ObjectCluster::new(cfg);
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        c.put(&port, key, Bytes::from(vec![7u8; 1000])).unwrap();
+        assert_eq!(c.head(&port, key).unwrap(), 1000);
+        // Contents are zeroed, but length is preserved.
+        let data = c.get(&port, key).unwrap();
+        assert_eq!(data.len(), 1000);
+        assert!(data.iter().all(|&b| b == 0));
+        // Metadata objects keep real payloads even in discard mode.
+        let meta = ObjectKey::inode(1);
+        c.put(&port, meta, Bytes::from_static(b"real")).unwrap();
+        assert_eq!(c.get(&port, meta).unwrap(), Bytes::from_static(b"real"));
+        // Ranged writes extend the synthetic length.
+        c.put_range(&port, key, 2000, Bytes::from(vec![1u8; 50])).unwrap();
+        assert_eq!(c.head(&port, key).unwrap(), 2050);
+    }
+
+    #[test]
+    fn injected_put_failure_surfaces() {
+        let c = cluster();
+        let port = Port::new();
+        c.faults.fail_next_puts(1, None);
+        let key = ObjectKey::inode(5);
+        assert!(matches!(c.put(&port, key, Bytes::new()), Err(OsError::Injected(_))));
+        assert!(c.put(&port, key, Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn lost_object_injection() {
+        let c = cluster();
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(4, 1);
+        c.put(&port, key, Bytes::from_static(b"x")).unwrap();
+        c.faults.lose_object(key);
+        assert_eq!(c.get(&port, key), Err(OsError::NotFound));
+        assert_eq!(c.head(&port, key), Err(OsError::NotFound));
+        c.faults.clear();
+        assert!(c.get(&port, key).is_ok());
+    }
+
+    #[test]
+    fn virtual_cost_scales_with_bytes() {
+        let c = ObjectCluster::new(ClusterConfig::rados(ClusterSpec::aws_paper()));
+        let small = Port::new();
+        let big = Port::new();
+        c.put(&small, ObjectKey::data_chunk(1, 0), Bytes::from(vec![0u8; 1024])).unwrap();
+        c.put(&big, ObjectKey::data_chunk(1, 1), Bytes::from(vec![0u8; 64 * 1024 * 1024]))
+            .unwrap();
+        assert!(big.now() > small.now());
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let c = cluster();
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        c.put(&port, key, Bytes::from_static(b"abc")).unwrap();
+        c.get(&port, key).unwrap();
+        c.list(&port, None, None).unwrap();
+        c.delete(&port, key).unwrap();
+        assert_eq!(c.stats.puts.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.gets.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.deletes.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.lists.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.bytes_in.load(Ordering::Relaxed), 3);
+        assert_eq!(c.stats.bytes_out.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn get_many_is_pipelined_not_serial() {
+        // Two identical clusters so one measurement's resource timelines
+        // don't queue the other.
+        let keys: Vec<ObjectKey> = (0..8).map(|i| ObjectKey::data_chunk(1, i)).collect();
+        let mk = || {
+            let c = ObjectCluster::new(ClusterConfig::rados(ClusterSpec::aws_paper()));
+            let setup = Port::new();
+            for &k in &keys {
+                c.put(&setup, k, Bytes::from(vec![0u8; 1024])).unwrap();
+            }
+            for shard in &c.shards {
+                shard.op_server.reset();
+                shard.disk.reset();
+            }
+            c.net.reset();
+            c
+        };
+        // Sequential baseline.
+        let c_seq = mk();
+        let seq = Port::new();
+        for &k in &keys {
+            c_seq.get(&seq, k).unwrap();
+        }
+        // Pipelined.
+        let c_pipe = mk();
+        let pipe = Port::new();
+        let results = c_pipe.get_many(&pipe, &keys);
+        assert!(results.iter().all(Result::is_ok));
+        assert!(pipe.now() < seq.now(), "pipelined must beat sequential");
+        // Missing keys report NotFound without failing the batch.
+        let r = c_pipe.get_many(&pipe, &[ObjectKey::data_chunk(9, 9)]);
+        assert_eq!(r[0], Err(OsError::NotFound));
+    }
+
+    #[test]
+    fn put_many_stores_all() {
+        let c = cluster();
+        let port = Port::new();
+        let items: Vec<(ObjectKey, Bytes)> = (0..5)
+            .map(|i| (ObjectKey::data_chunk(2, i), Bytes::from(vec![i as u8; 10])))
+            .collect();
+        let results = c.put_many(&port, items);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(c.object_count(), 5);
+        assert_eq!(c.get(&port, ObjectKey::data_chunk(2, 3)).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn erasure_coded_roundtrip_and_reconstruction() {
+        let spec = ClusterSpec::test_tiny();
+        let cfg = ClusterConfig {
+            shards: 6,
+            replication: 1,
+            profile: StoreProfile::rados(&spec),
+            spec,
+            discard_payload: false,
+            ec: None,
+        }
+        .with_erasure_coding(4);
+        let c = ObjectCluster::new(cfg);
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        c.put(&port, key, Bytes::from(data.clone())).unwrap();
+        // 5 fragments stored, each ~250 B — not 5 full copies.
+        assert_eq!(c.object_count(), 5);
+        assert!(c.stored_bytes() < 1500, "stored {} bytes", c.stored_bytes());
+        assert_eq!(c.get(&port, key).unwrap(), Bytes::from(data.clone()));
+        assert_eq!(c.head(&port, key).unwrap(), 1000);
+        // Ranged read assembles correctly.
+        assert_eq!(&c.get_range(&port, key, 300, 10).unwrap()[..], &data[300..310]);
+
+        // Any single shard failure reconstructs.
+        let primary = key.shard(6);
+        c.faults.fail_shard(primary);
+        assert_eq!(c.get(&port, key).unwrap(), Bytes::from(data.clone()));
+        assert_eq!(c.head(&port, key).unwrap(), 1000);
+        // A second failed shard in the placement breaks reconstruction.
+        c.faults.fail_shard((primary + 1) % 6);
+        assert_eq!(c.get(&port, key), Err(OsError::InsufficientFragments));
+        c.faults.clear();
+        assert!(c.get(&port, key).is_ok());
+        // Partial writes are full-stripe only.
+        assert_eq!(
+            c.put_range(&port, key, 0, Bytes::from_static(b"x")),
+            Err(OsError::Unsupported("partial write on erasure-coded object"))
+        );
+        // Delete removes every fragment.
+        c.delete(&port, key).unwrap();
+        assert_eq!(c.object_count(), 0);
+    }
+
+    #[test]
+    fn replication_fails_over_on_shard_down() {
+        let cfg = ClusterConfig::test_tiny().with_replication(2);
+        let c = ObjectCluster::new(cfg);
+        let port = Port::new();
+        let key = ObjectKey::inode(7);
+        c.put(&port, key, Bytes::from_static(b"meta")).unwrap();
+        let primary = key.shard(2);
+        c.faults.fail_shard(primary);
+        assert_eq!(c.get(&port, key).unwrap(), Bytes::from_static(b"meta"));
+        assert_eq!(c.head(&port, key).unwrap(), 4);
+        // Both copies down: gone.
+        c.faults.fail_shard((primary + 1) % 2);
+        assert_eq!(c.get(&port, key), Err(OsError::NotFound));
+        c.faults.restore_shard(primary);
+        assert!(c.get(&port, key).is_ok());
+    }
+
+    #[test]
+    fn ec_write_costs_less_than_replication() {
+        // Writing 1 MB with 4+1 EC moves 1.25 MB; with 2x replication it
+        // moves 2 MB — EC completion must be cheaper on a fresh cluster.
+        let spec = ClusterSpec::aws_paper();
+        let data = Bytes::from(vec![7u8; 1024 * 1024]);
+        let ec_cluster = ObjectCluster::new(ClusterConfig::rados(spec.clone()).with_erasure_coding(4));
+        let rep_cluster = ObjectCluster::new(ClusterConfig::rados(spec));
+        let ec_port = Port::new();
+        let rep_port = Port::new();
+        ec_cluster.put(&ec_port, ObjectKey::data_chunk(1, 0), data.clone()).unwrap();
+        rep_cluster.put(&rep_port, ObjectKey::data_chunk(1, 0), data).unwrap();
+        assert!(ec_port.now() < rep_port.now(),
+            "EC {} vs replication {}", ec_port.now(), rep_port.now());
+    }
+
+    #[test]
+    fn concurrent_clients_see_consistent_store() {
+        use std::sync::Arc;
+        let c = Arc::new(cluster());
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let port = Port::new();
+                    for j in 0..50u64 {
+                        let key = ObjectKey::data_chunk(i as u128 + 1, j);
+                        c.put(&port, key, Bytes::from(vec![i as u8; 16])).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.object_count(), 8 * 50);
+    }
+}

@@ -1,0 +1,175 @@
+//! A string-keyed REST facade over any [`ObjectStore`].
+//!
+//! The paper's PRT module "can support any kind of object storage backend
+//! by registering the corresponding REST APIs" (§III-F). This module is
+//! that registration surface: a backend that speaks GET/PUT/DELETE/HEAD/
+//! LIST with string keys can be driven through [`dispatch`], and the rest
+//! of the stack never sees backend specifics.
+
+use crate::error::{OsError, OsResult};
+use crate::key::{KeyKind, ObjectKey};
+use crate::store::ObjectStore;
+use arkfs_simkit::Port;
+use bytes::Bytes;
+
+/// A REST-style request with string object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestRequest {
+    Get { key: String, range: Option<(u64, usize)> },
+    Put { key: String, data: Bytes, offset: Option<u64> },
+    Delete { key: String },
+    Head { key: String },
+    List { kind: Option<char>, ino: Option<String> },
+}
+
+/// The matching response payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestResponse {
+    Data(Bytes),
+    Ok,
+    Size(u64),
+    Keys(Vec<String>),
+}
+
+/// Execute a REST request against a store, translating string keys into
+/// the typed key space.
+pub fn dispatch(
+    store: &dyn ObjectStore,
+    port: &Port,
+    req: RestRequest,
+) -> OsResult<RestResponse> {
+    match req {
+        RestRequest::Get { key, range } => {
+            let key = ObjectKey::parse(&key)?;
+            let data = match range {
+                Some((off, len)) => store.get_range(port, key, off, len)?,
+                None => store.get(port, key)?,
+            };
+            Ok(RestResponse::Data(data))
+        }
+        RestRequest::Put { key, data, offset } => {
+            let key = ObjectKey::parse(&key)?;
+            match offset {
+                Some(off) => store.put_range(port, key, off, data)?,
+                None => store.put(port, key, data)?,
+            }
+            Ok(RestResponse::Ok)
+        }
+        RestRequest::Delete { key } => {
+            store.delete(port, ObjectKey::parse(&key)?)?;
+            Ok(RestResponse::Ok)
+        }
+        RestRequest::Head { key } => {
+            Ok(RestResponse::Size(store.head(port, ObjectKey::parse(&key)?)?))
+        }
+        RestRequest::List { kind, ino } => {
+            let kind = match kind {
+                Some(c) => Some(KeyKind::from_prefix(c).ok_or(OsError::BadKey)?),
+                None => None,
+            };
+            let ino = match ino {
+                Some(hex) => {
+                    Some(u128::from_str_radix(&hex, 16).map_err(|_| OsError::BadKey)?)
+                }
+                None => None,
+            };
+            let keys = store.list(port, kind, ino)?;
+            Ok(RestResponse::Keys(keys.iter().map(|k| k.to_string()).collect()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ObjectCluster};
+
+    fn setup() -> (ObjectCluster, Port) {
+        (ObjectCluster::new(ClusterConfig::test_tiny()), Port::new())
+    }
+
+    fn key_str(k: ObjectKey) -> String {
+        k.to_string()
+    }
+
+    #[test]
+    fn put_then_get() {
+        let (c, p) = setup();
+        let key = key_str(ObjectKey::data_chunk(5, 0));
+        let r = dispatch(
+            &c,
+            &p,
+            RestRequest::Put { key: key.clone(), data: Bytes::from_static(b"abc"), offset: None },
+        )
+        .unwrap();
+        assert_eq!(r, RestResponse::Ok);
+        let r = dispatch(&c, &p, RestRequest::Get { key: key.clone(), range: None }).unwrap();
+        assert_eq!(r, RestResponse::Data(Bytes::from_static(b"abc")));
+        let r = dispatch(&c, &p, RestRequest::Head { key }).unwrap();
+        assert_eq!(r, RestResponse::Size(3));
+    }
+
+    #[test]
+    fn ranged_get_and_put() {
+        let (c, p) = setup();
+        let key = key_str(ObjectKey::data_chunk(6, 0));
+        dispatch(
+            &c,
+            &p,
+            RestRequest::Put {
+                key: key.clone(),
+                data: Bytes::from_static(b"yz"),
+                offset: Some(2),
+            },
+        )
+        .unwrap();
+        let r =
+            dispatch(&c, &p, RestRequest::Get { key: key.clone(), range: Some((2, 2)) }).unwrap();
+        assert_eq!(r, RestResponse::Data(Bytes::from_static(b"yz")));
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let (c, p) = setup();
+        let k1 = ObjectKey::journal(9, 0);
+        let k2 = ObjectKey::journal(9, 1);
+        for k in [k1, k2] {
+            dispatch(
+                &c,
+                &p,
+                RestRequest::Put { key: key_str(k), data: Bytes::new(), offset: None },
+            )
+            .unwrap();
+        }
+        let r = dispatch(
+            &c,
+            &p,
+            RestRequest::List { kind: Some('j'), ino: Some(format!("{:x}", 9)) },
+        )
+        .unwrap();
+        match r {
+            RestResponse::Keys(keys) => assert_eq!(keys.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        dispatch(&c, &p, RestRequest::Delete { key: key_str(k1) }).unwrap();
+        let r = dispatch(&c, &p, RestRequest::List { kind: Some('j'), ino: None }).unwrap();
+        assert_eq!(r, RestResponse::Keys(vec![key_str(k2)]));
+    }
+
+    #[test]
+    fn malformed_keys_rejected() {
+        let (c, p) = setup();
+        assert_eq!(
+            dispatch(&c, &p, RestRequest::Get { key: "bogus".into(), range: None }),
+            Err(OsError::BadKey)
+        );
+        assert_eq!(
+            dispatch(&c, &p, RestRequest::List { kind: Some('q'), ino: None }),
+            Err(OsError::BadKey)
+        );
+        assert_eq!(
+            dispatch(&c, &p, RestRequest::List { kind: None, ino: Some("zz".into()) }),
+            Err(OsError::BadKey)
+        );
+    }
+}

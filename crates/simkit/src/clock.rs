@@ -1,0 +1,105 @@
+//! Clock abstraction so leases, journals and caches are testable without
+//! sleeping.
+
+use crate::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone source of nanosecond timestamps.
+pub trait Clock: Send + Sync {
+    fn now(&self) -> Nanos;
+}
+
+/// A clock advanced explicitly by the test or simulation harness.
+///
+/// Shared freely via `Arc`; `advance` is atomic so many simulated clients
+/// can push global time forward (global time is the max anyone set).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn starting_at(t: Nanos) -> Self {
+        ManualClock { now: AtomicU64::new(t) }
+    }
+
+    /// Move time forward by `delta`.
+    pub fn advance(&self, delta: Nanos) {
+        self.now.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Raise the clock to at least `t` (no-op when time already passed it).
+    pub fn advance_to(&self, t: Nanos) {
+        self.now.fetch_max(t, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Nanos {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// Wall-clock time since process start. Used by the examples, which run in
+/// real time.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock { origin: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Nanos {
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(5);
+        assert_eq!(c.now(), 5);
+        c.advance_to(3); // cannot go backwards
+        assert_eq!(c.now(), 5);
+        c.advance_to(9);
+        assert_eq!(c.now(), 9);
+    }
+
+    #[test]
+    fn manual_clock_is_shared() {
+        let c = Arc::new(ManualClock::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.advance(100));
+        h.join().unwrap();
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn system_clock_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

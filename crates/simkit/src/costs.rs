@@ -1,0 +1,144 @@
+//! The simulated cluster specification — this workspace's stand-in for
+//! Table I of the paper.
+//!
+//! The paper's testbed is a 16-storage-node AWS cluster (c5n.9xlarge
+//! storage, c5a.8xlarge/c5n.9xlarge clients, 10/50 Gbit networking, EBS
+//! disks). We reduce that hardware to the per-operation and per-byte costs
+//! that shape the evaluation; `ClusterSpec::aws_paper()` is the calibrated
+//! default every figure harness uses, and `--bin table1` prints it.
+
+use crate::{Nanos, MSEC, USEC};
+
+/// Cost-model constants for the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of storage nodes (the paper uses 16 with 4 OSD disks each).
+    pub storage_nodes: usize,
+    /// One-way client↔server network latency per message.
+    pub net_half_rtt: Nanos,
+    /// Per-client NIC bandwidth, bytes/s (c5n.9xlarge: 50 Gbit).
+    pub client_net_bw: u64,
+    /// Aggregate object-store ingest bandwidth, bytes/s.
+    pub store_net_bw: u64,
+    /// Per-storage-node disk bandwidth, bytes/s (EBS-like).
+    pub disk_bw: u64,
+    /// Fixed service time of one object-store metadata-sized operation
+    /// (small GET/PUT/DELETE) on the RADOS-profile store.
+    pub rados_op_service: Nanos,
+    /// Fixed service time of one S3-profile REST operation (HTTP stack,
+    /// auth, placement).
+    pub s3_op_service: Nanos,
+    /// User↔kernel FUSE round trip cost per FUSE request.
+    pub fuse_op_cost: Nanos,
+    /// CPU cost of a purely local (in-memory metatable) metadata op.
+    pub local_meta_op: Nanos,
+    /// Service time of one metadata op at a centralized MDS.
+    pub mds_op_service: Nanos,
+    /// Service time of handling one forwarded client op at a directory
+    /// leader (ArkFS client-side RPC service).
+    pub leader_op_service: Nanos,
+    /// Service time of a lease grant/extension at the lease manager.
+    pub lease_op_service: Nanos,
+    /// External burst-buffer / EBS source bandwidth for the tar scenario,
+    /// bytes/s (the paper cites 1 GB/s sequential EBS).
+    pub ebs_bw: u64,
+}
+
+impl ClusterSpec {
+    /// Constants calibrated against the paper's AWS testbed (Table I) and
+    /// the throughput levels its figures report.
+    pub fn aws_paper() -> Self {
+        ClusterSpec {
+            storage_nodes: 16,
+            net_half_rtt: 50 * USEC,
+            client_net_bw: 6_250_000_000,  // 50 Gbit/s
+            store_net_bw: 25_000_000_000,  // aggregate across 16 nodes
+            disk_bw: 500_000_000,          // EBS-like, per OSD disk
+            rados_op_service: 100 * USEC,
+            s3_op_service: 25 * MSEC,
+            fuse_op_cost: 8 * USEC,
+            local_meta_op: 2 * USEC,
+            mds_op_service: 60 * USEC,
+            leader_op_service: 10 * USEC,
+            lease_op_service: 5 * USEC,
+            ebs_bw: 1_000_000_000,
+        }
+    }
+
+    /// A tiny, fast spec for unit tests (all costs 1 µs, 1 GB/s).
+    pub fn test_tiny() -> Self {
+        ClusterSpec {
+            storage_nodes: 2,
+            net_half_rtt: USEC,
+            client_net_bw: 1_000_000_000,
+            store_net_bw: 1_000_000_000,
+            disk_bw: 1_000_000_000,
+            rados_op_service: USEC,
+            s3_op_service: USEC,
+            fuse_op_cost: USEC,
+            local_meta_op: USEC,
+            mds_op_service: USEC,
+            leader_op_service: USEC,
+            lease_op_service: USEC,
+            ebs_bw: 1_000_000_000,
+        }
+    }
+
+    /// Full network round-trip time.
+    pub fn net_rtt(&self) -> Nanos {
+        self.net_half_rtt * 2
+    }
+
+    /// Render the spec as `(name, value)` rows for the Table I harness.
+    pub fn rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("storage_nodes", self.storage_nodes.to_string()),
+            ("net_half_rtt_us", (self.net_half_rtt / USEC).to_string()),
+            ("client_net_bw_gbit", format!("{:.1}", self.client_net_bw as f64 * 8.0 / 1e9)),
+            ("store_net_bw_gbit", format!("{:.1}", self.store_net_bw as f64 * 8.0 / 1e9)),
+            ("disk_bw_gb_s", format!("{:.1}", self.disk_bw as f64 / 1e9)),
+            ("rados_op_service_us", (self.rados_op_service / USEC).to_string()),
+            ("s3_op_service_ms", (self.s3_op_service / MSEC).to_string()),
+            ("fuse_op_cost_us", (self.fuse_op_cost / USEC).to_string()),
+            ("local_meta_op_us", (self.local_meta_op / USEC).to_string()),
+            ("mds_op_service_us", (self.mds_op_service / USEC).to_string()),
+            ("leader_op_service_us", (self.leader_op_service / USEC).to_string()),
+            ("lease_op_service_us", (self.lease_op_service / USEC).to_string()),
+            ("ebs_bw_gb_s", format!("{:.1}", self.ebs_bw as f64 / 1e9)),
+        ]
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::aws_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_is_plausible() {
+        let s = ClusterSpec::aws_paper();
+        // A local metatable op must be far cheaper than an MDS round trip,
+        // otherwise the paper's headline result cannot reproduce.
+        assert!(s.local_meta_op * 10 < s.net_rtt() + s.mds_op_service);
+        // S3 ops are order(s) of magnitude slower than RADOS ops.
+        assert!(s.s3_op_service > 10 * s.rados_op_service);
+        assert_eq!(s.net_rtt(), 2 * s.net_half_rtt);
+    }
+
+    #[test]
+    fn rows_cover_all_fields() {
+        let rows = ClusterSpec::aws_paper().rows();
+        assert_eq!(rows.len(), 13);
+        assert!(rows.iter().all(|(_, v)| !v.is_empty()));
+    }
+
+    #[test]
+    fn default_is_paper_spec() {
+        assert_eq!(ClusterSpec::default(), ClusterSpec::aws_paper());
+    }
+}

@@ -1,0 +1,161 @@
+//! A deterministic discrete-event queue for single-threaded scenario
+//! tests (lease expiry ordering, crash/recovery timing).
+
+use crate::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap on (at, seq): earliest time first, FIFO within a time.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering for simultaneous
+/// events. Popping advances the queue's notion of "now".
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error the queue tolerates by clamping to `now`.
+    pub fn schedule_at(&mut self, at: Nanos, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event)
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next event without popping.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Drain events up to and including time `t`, in order.
+    pub fn drain_until(&mut self, t: Nanos) -> Vec<(Nanos, E)> {
+        let mut out = Vec::new();
+        while let Some(at) = self.peek_time() {
+            if at > t {
+                break;
+            }
+            out.push(self.pop().expect("peeked event must pop"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1);
+        q.schedule_at(5, 2);
+        q.schedule_at(5, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        q.pop();
+        q.schedule_in(50, "second");
+        assert_eq!(q.pop(), Some((150, "second")));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "a");
+        q.pop();
+        q.schedule_at(10, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+    }
+
+    #[test]
+    fn drain_until_is_inclusive() {
+        let mut q = EventQueue::new();
+        for t in [5u64, 10, 15, 20] {
+            q.schedule_at(t, t);
+        }
+        let drained = q.drain_until(15);
+        assert_eq!(drained.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec![5, 10, 15]);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! POSIX access control lists (the paper's Challenge 1 calls out ACL
+//! support as a reason HPC sites cannot use raw object storage).
+//!
+//! The model follows POSIX.1e: an optional list of named-user and
+//! named-group entries plus a mask, layered on top of the classic
+//! owner/group/other mode bits. Permissions are 3-bit `rwx` values.
+
+use crate::types::Credentials;
+
+/// Who an ACL entry applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AclQualifier {
+    /// A specific user id (`user:alice:rwx`).
+    User(u32),
+    /// A specific group id (`group:hpc:r-x`).
+    Group(u32),
+    /// The ACL mask: upper bound for named users, named groups and the
+    /// owning group.
+    Mask,
+}
+
+/// One ACL entry: qualifier plus `rwx` bits (values 0..=7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AclEntry {
+    pub qualifier: AclQualifier,
+    pub perms: u8,
+}
+
+impl AclEntry {
+    pub fn user(uid: u32, perms: u8) -> Self {
+        AclEntry { qualifier: AclQualifier::User(uid), perms: perms & 0o7 }
+    }
+
+    pub fn group(gid: u32, perms: u8) -> Self {
+        AclEntry { qualifier: AclQualifier::Group(gid), perms: perms & 0o7 }
+    }
+
+    pub fn mask(perms: u8) -> Self {
+        AclEntry { qualifier: AclQualifier::Mask, perms: perms & 0o7 }
+    }
+}
+
+/// An access control list. An empty list means "mode bits only".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acl {
+    pub entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    pub fn new(entries: Vec<AclEntry>) -> Self {
+        Acl { entries }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The mask entry's permissions, or `rwx` if no mask is present.
+    pub fn mask(&self) -> u8 {
+        self.entries
+            .iter()
+            .find(|e| e.qualifier == AclQualifier::Mask)
+            .map(|e| e.perms)
+            .unwrap_or(0o7)
+    }
+
+    /// Resolve the effective permission bits this ACL grants `creds`,
+    /// given the file's owner/group and mode bits. Follows the POSIX.1e
+    /// evaluation order: owner → named user → owning group / named groups
+    /// → other. Returns `None` when the classic algorithm should decide
+    /// (empty ACL).
+    pub fn effective_perms(
+        &self,
+        creds: &Credentials,
+        owner_uid: u32,
+        owner_gid: u32,
+        mode: u32,
+    ) -> Option<u8> {
+        if self.is_empty() {
+            return None;
+        }
+        let mask = self.mask();
+        // 1. File owner: mode owner bits, not masked.
+        if creds.uid == owner_uid {
+            return Some(((mode >> 6) & 0o7) as u8);
+        }
+        // 2. Named user entry.
+        for e in &self.entries {
+            if e.qualifier == AclQualifier::User(creds.uid) {
+                return Some(e.perms & mask);
+            }
+        }
+        // 3. Owning group and named groups: union of all that match
+        //    (POSIX grants access if any matching group entry grants it).
+        let mut group_perms: Option<u8> = None;
+        if creds.in_group(owner_gid) {
+            group_perms = Some(((mode >> 3) & 0o7) as u8);
+        }
+        for e in &self.entries {
+            if let AclQualifier::Group(gid) = e.qualifier {
+                if creds.in_group(gid) {
+                    group_perms = Some(group_perms.unwrap_or(0) | e.perms);
+                }
+            }
+        }
+        if let Some(p) = group_perms {
+            return Some(p & mask);
+        }
+        // 4. Other: mode other bits, not masked.
+        Some((mode & 0o7) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn creds(uid: u32, gid: u32) -> Credentials {
+        Credentials { uid, gid, groups: vec![] }
+    }
+
+    #[test]
+    fn empty_acl_defers_to_mode_bits() {
+        let acl = Acl::default();
+        assert_eq!(acl.effective_perms(&creds(1, 1), 0, 0, 0o750), None);
+    }
+
+    #[test]
+    fn owner_uses_mode_owner_bits() {
+        let acl = Acl::new(vec![AclEntry::user(5, 0o0)]);
+        // uid 5 is also the owner: owner class wins over the named entry.
+        assert_eq!(acl.effective_perms(&creds(5, 5), 5, 5, 0o640), Some(0o6));
+    }
+
+    #[test]
+    fn named_user_entry_masked() {
+        let acl = Acl::new(vec![AclEntry::user(7, 0o7), AclEntry::mask(0o5)]);
+        assert_eq!(acl.effective_perms(&creds(7, 7), 1, 1, 0o700), Some(0o5));
+    }
+
+    #[test]
+    fn named_group_entry() {
+        let acl = Acl::new(vec![AclEntry::group(30, 0o6)]);
+        let mut c = creds(9, 9);
+        c.groups.push(30);
+        assert_eq!(acl.effective_perms(&c, 1, 1, 0o700), Some(0o6));
+    }
+
+    #[test]
+    fn owning_group_and_named_group_union() {
+        // owning group grants r--, a named group grants -w-; union is rw-,
+        // then the mask clips it.
+        let acl = Acl::new(vec![AclEntry::group(30, 0o2), AclEntry::mask(0o6)]);
+        let mut c = creds(9, 20);
+        c.groups.push(30);
+        assert_eq!(acl.effective_perms(&c, 1, 20, 0o740), Some(0o6));
+    }
+
+    #[test]
+    fn falls_through_to_other() {
+        let acl = Acl::new(vec![AclEntry::user(7, 0o7)]);
+        assert_eq!(acl.effective_perms(&creds(42, 42), 1, 1, 0o751), Some(0o1));
+    }
+
+    #[test]
+    fn default_mask_is_rwx() {
+        let acl = Acl::new(vec![AclEntry::user(7, 0o7)]);
+        assert_eq!(acl.mask(), 0o7);
+        assert_eq!(acl.effective_perms(&creds(7, 7), 1, 1, 0), Some(0o7));
+    }
+
+    #[test]
+    fn entry_constructors_clamp_to_three_bits() {
+        assert_eq!(AclEntry::user(1, 0xFF).perms, 0o7);
+        assert_eq!(AclEntry::group(1, 0o12).perms, 0o2);
+        assert_eq!(AclEntry::mask(0o17).perms, 0o7);
+    }
+}

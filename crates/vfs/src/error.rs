@@ -1,0 +1,137 @@
+//! Error type shared by every file system implementation.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors a near-POSIX file system can return, mirroring the errno values
+/// the paper's FUSE layer would surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT — path component does not exist.
+    NotFound,
+    /// EEXIST — exclusive create of an existing name.
+    AlreadyExists,
+    /// ENOTDIR — a non-final path component is not a directory.
+    NotADirectory,
+    /// EISDIR — file operation on a directory.
+    IsADirectory,
+    /// ENOTEMPTY — rmdir / rename onto a non-empty directory.
+    NotEmpty,
+    /// EACCES — permission denied by mode bits or ACL.
+    PermissionDenied,
+    /// EPERM — operation not permitted (e.g. non-owner chmod).
+    NotPermitted,
+    /// EINVAL — malformed path, bad argument, rename into own subtree.
+    InvalidArgument,
+    /// ENAMETOOLONG — component longer than [`crate::path::MAX_NAME_LEN`].
+    NameTooLong,
+    /// EBADF — unknown or already-closed file handle.
+    BadHandle,
+    /// Handle opened without the access right the call needs.
+    BadAccessMode,
+    /// ESTALE — lease or cached metadata expired under the caller.
+    Stale,
+    /// EBUSY — resource temporarily held (lease conflict that could not be
+    /// forwarded).
+    Busy,
+    /// ETIMEDOUT — RPC or lease acquisition timed out.
+    TimedOut,
+    /// ENOSPC — backing object store rejected the write.
+    NoSpace,
+    /// EIO — backend failure (injected fault, lost object, codec error).
+    Io(String),
+    /// EXDEV or an operation the implementation does not support
+    /// (the baselines are intentionally incomplete where the real systems
+    /// are, e.g. MarFS interactive-mode reads).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::PermissionDenied => write!(f, "permission denied"),
+            FsError::NotPermitted => write!(f, "operation not permitted"),
+            FsError::InvalidArgument => write!(f, "invalid argument"),
+            FsError::NameTooLong => write!(f, "file name too long"),
+            FsError::BadHandle => write!(f, "bad file handle"),
+            FsError::BadAccessMode => write!(f, "handle lacks required access mode"),
+            FsError::Stale => write!(f, "stale file handle or lease"),
+            FsError::Busy => write!(f, "resource busy"),
+            FsError::TimedOut => write!(f, "operation timed out"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::Io(msg) => write!(f, "i/o error: {msg}"),
+            FsError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl FsError {
+    /// The errno-style short code, handy for table output in benches.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FsError::NotFound => "ENOENT",
+            FsError::AlreadyExists => "EEXIST",
+            FsError::NotADirectory => "ENOTDIR",
+            FsError::IsADirectory => "EISDIR",
+            FsError::NotEmpty => "ENOTEMPTY",
+            FsError::PermissionDenied => "EACCES",
+            FsError::NotPermitted => "EPERM",
+            FsError::InvalidArgument => "EINVAL",
+            FsError::NameTooLong => "ENAMETOOLONG",
+            FsError::BadHandle => "EBADF",
+            FsError::BadAccessMode => "EBADF",
+            FsError::Stale => "ESTALE",
+            FsError::Busy => "EBUSY",
+            FsError::TimedOut => "ETIMEDOUT",
+            FsError::NoSpace => "ENOSPC",
+            FsError::Io(_) => "EIO",
+            FsError::Unsupported(_) => "ENOTSUP",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_code_are_consistent() {
+        let cases = [
+            (FsError::NotFound, "ENOENT"),
+            (FsError::AlreadyExists, "EEXIST"),
+            (FsError::NotADirectory, "ENOTDIR"),
+            (FsError::IsADirectory, "EISDIR"),
+            (FsError::NotEmpty, "ENOTEMPTY"),
+            (FsError::PermissionDenied, "EACCES"),
+            (FsError::NotPermitted, "EPERM"),
+            (FsError::InvalidArgument, "EINVAL"),
+            (FsError::NameTooLong, "ENAMETOOLONG"),
+            (FsError::BadHandle, "EBADF"),
+            (FsError::Stale, "ESTALE"),
+            (FsError::Busy, "EBUSY"),
+            (FsError::TimedOut, "ETIMEDOUT"),
+            (FsError::NoSpace, "ENOSPC"),
+            (FsError::Io("x".into()), "EIO"),
+            (FsError::Unsupported("y"), "ENOTSUP"),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_carries_message() {
+        let e = FsError::Io("object lost".into());
+        assert!(e.to_string().contains("object lost"));
+    }
+}

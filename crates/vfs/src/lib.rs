@@ -1,0 +1,144 @@
+//! Shared near-POSIX filesystem ABI.
+//!
+//! Every file system in this workspace — ArkFS itself and the baseline
+//! simulators (CephFS, MarFS, S3FS, goofys) — implements the [`Vfs`] trait
+//! defined here, so workloads and benchmarks are generic over the file
+//! system under test.
+//!
+//! The trait mirrors the POSIX surface the paper exercises: hierarchical
+//! namespace, `open`/`create`/`read`/`write`/`fsync`, `stat`/`readdir`,
+//! `unlink`/`rmdir`/`rename`, ownership/mode changes and POSIX ACLs.
+//! Timestamps are plain nanosecond counters supplied by the caller's clock
+//! (virtual or real), which keeps the ABI independent of the simulation
+//! kit.
+
+pub mod acl;
+pub mod error;
+pub mod path;
+pub mod perm;
+pub mod types;
+
+pub use acl::{Acl, AclEntry, AclQualifier};
+pub use error::{FsError, FsResult};
+pub use types::{
+    Credentials, DirEntry, FileHandle, FileType, FsStats, Ino, Nanos, OpenFlags, SetAttr, Stat,
+    AM_EXEC, AM_READ, AM_WRITE, ROOT_INO,
+};
+
+/// The near-POSIX file system interface.
+///
+/// Paths are absolute, `/`-separated, UTF-8. All operations take the
+/// caller's [`Credentials`] so permission checks follow the POSIX access
+/// control model (§II, Challenge 1 of the paper).
+///
+/// Implementations must be usable from many threads at once: each workload
+/// process drives the trait object concurrently.
+pub trait Vfs: Send + Sync {
+    /// Create a directory. Returns the new directory's attributes.
+    fn mkdir(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<Stat>;
+
+    /// Remove an empty directory.
+    fn rmdir(&self, ctx: &Credentials, path: &str) -> FsResult<()>;
+
+    /// Create a regular file (exclusive) and open it for writing.
+    fn create(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<FileHandle>;
+
+    /// Open an existing file.
+    fn open(&self, ctx: &Credentials, path: &str, flags: OpenFlags) -> FsResult<FileHandle>;
+
+    /// Close an open handle, flushing dirty cached data as the
+    /// implementation requires.
+    fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()>;
+
+    /// Read up to `buf.len()` bytes at `offset`. Returns bytes read
+    /// (0 at or past EOF).
+    fn read(&self, ctx: &Credentials, fh: FileHandle, offset: u64, buf: &mut [u8])
+        -> FsResult<usize>;
+
+    /// Write `data` at `offset`, extending the file if needed.
+    fn write(&self, ctx: &Credentials, fh: FileHandle, offset: u64, data: &[u8])
+        -> FsResult<usize>;
+
+    /// Flush all dirty state of the handle to the backing store.
+    fn fsync(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()>;
+
+    /// Stat by path.
+    fn stat(&self, ctx: &Credentials, path: &str) -> FsResult<Stat>;
+
+    /// List a directory.
+    fn readdir(&self, ctx: &Credentials, path: &str) -> FsResult<Vec<DirEntry>>;
+
+    /// Unlink a regular file or symlink.
+    fn unlink(&self, ctx: &Credentials, path: &str) -> FsResult<()>;
+
+    /// Rename a file or directory. POSIX semantics: replaces an existing
+    /// empty target of matching type.
+    fn rename(&self, ctx: &Credentials, from: &str, to: &str) -> FsResult<()>;
+
+    /// Truncate (or extend with zeros) a file by path.
+    fn truncate(&self, ctx: &Credentials, path: &str, size: u64) -> FsResult<()>;
+
+    /// Change mode / owner / timestamps.
+    fn setattr(&self, ctx: &Credentials, path: &str, attr: &SetAttr) -> FsResult<Stat>;
+
+    /// Create a symbolic link at `path` pointing at `target`.
+    fn symlink(&self, ctx: &Credentials, path: &str, target: &str) -> FsResult<Stat>;
+
+    /// Read a symbolic link's target.
+    fn readlink(&self, ctx: &Credentials, path: &str) -> FsResult<String>;
+
+    /// Replace the POSIX ACL of a file or directory.
+    fn set_acl(&self, ctx: &Credentials, path: &str, acl: &Acl) -> FsResult<()>;
+
+    /// Read the POSIX ACL of a file or directory.
+    fn get_acl(&self, ctx: &Credentials, path: &str) -> FsResult<Acl>;
+
+    /// POSIX `access(2)`: check whether `ctx` may access `path` with the
+    /// requested mode bits ([`AM_READ`] | [`AM_WRITE`] | [`AM_EXEC`]).
+    fn access(&self, ctx: &Credentials, path: &str, mode: u8) -> FsResult<()>;
+
+    /// Flush everything this client has buffered (global sync, used at the
+    /// end of every benchmark phase — the paper calls `fsync()` after each
+    /// mdtest phase).
+    fn sync_all(&self, ctx: &Credentials) -> FsResult<()>;
+
+    /// File-system-wide statistics (`statvfs`/`df`). Implementations may
+    /// approximate; the default reports nothing.
+    fn statfs(&self, ctx: &Credentials) -> FsResult<FsStats> {
+        let _ = ctx;
+        Ok(FsStats::default())
+    }
+}
+
+/// Convenience: write an entire file at a path (create + write + close).
+pub fn write_file(fs: &dyn Vfs, ctx: &Credentials, path: &str, data: &[u8]) -> FsResult<()> {
+    let fh = fs.create(ctx, path, 0o644)?;
+    let mut off = 0u64;
+    while (off as usize) < data.len() {
+        let n = fs.write(ctx, fh, off, &data[off as usize..])?;
+        if n == 0 {
+            fs.close(ctx, fh)?;
+            return Err(FsError::Io("short write".into()));
+        }
+        off += n as u64;
+    }
+    fs.close(ctx, fh)
+}
+
+/// Convenience: read an entire file at a path into a vector.
+pub fn read_file(fs: &dyn Vfs, ctx: &Credentials, path: &str) -> FsResult<Vec<u8>> {
+    let st = fs.stat(ctx, path)?;
+    let fh = fs.open(ctx, path, OpenFlags::RDONLY)?;
+    let mut out = vec![0u8; st.size as usize];
+    let mut off = 0usize;
+    while off < out.len() {
+        let n = fs.read(ctx, fh, off as u64, &mut out[off..])?;
+        if n == 0 {
+            break;
+        }
+        off += n;
+    }
+    out.truncate(off);
+    fs.close(ctx, fh)?;
+    Ok(out)
+}

@@ -1,0 +1,153 @@
+//! Path parsing and validation helpers shared by all implementations.
+//!
+//! Paths in this workspace are always absolute, `/`-separated, UTF-8, with
+//! no `.`/`..` resolution performed by the file systems themselves (the
+//! workloads only generate canonical paths, like the FUSE kernel driver
+//! would after its own resolution).
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length of a single path component (POSIX `NAME_MAX`).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Maximum length of a whole path (POSIX `PATH_MAX`).
+pub const MAX_PATH_LEN: usize = 4096;
+
+/// Validate a single component name.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name == "." || name == ".." {
+        return Err(FsError::InvalidArgument);
+    }
+    if name.len() > MAX_NAME_LEN {
+        return Err(FsError::NameTooLong);
+    }
+    if name.contains('/') || name.contains('\0') {
+        return Err(FsError::InvalidArgument);
+    }
+    Ok(())
+}
+
+/// Split an absolute path into validated components. `/` yields `[]`.
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') || path.len() > MAX_PATH_LEN {
+        return Err(FsError::InvalidArgument);
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue; // leading slash and duplicated slashes
+        }
+        validate_name(comp)?;
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Split a path into (parent components, final name). Errors on `/` since
+/// the root has no parent.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(FsError::InvalidArgument),
+    }
+}
+
+/// Join components back into a canonical absolute path.
+pub fn join(comps: &[&str]) -> String {
+    if comps.is_empty() {
+        "/".to_string()
+    } else {
+        let mut s = String::with_capacity(comps.iter().map(|c| c.len() + 1).sum());
+        for c in comps {
+            s.push('/');
+            s.push_str(c);
+        }
+        s
+    }
+}
+
+/// True if `descendant` is `ancestor` itself or lies strictly below it.
+/// Used to reject `rename("/a", "/a/b/c")`.
+pub fn is_prefix_of(ancestor: &[&str], descendant: &[&str]) -> bool {
+    descendant.len() >= ancestor.len() && &descendant[..ancestor.len()] == ancestor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("//").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        assert_eq!(components("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(components(""), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn dot_components_rejected() {
+        assert_eq!(components("/a/./b"), Err(FsError::InvalidArgument));
+        assert_eq!(components("/a/../b"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn normal_split() {
+        assert_eq!(components("/home/user/f.txt").unwrap(), vec!["home", "user", "f.txt"]);
+        // duplicated separators collapse
+        assert_eq!(components("/home//user").unwrap(), vec!["home", "user"]);
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let (parent, name) = split_parent("/home/foo.txt").unwrap();
+        assert_eq!(parent, vec!["home"]);
+        assert_eq!(name, "foo.txt");
+        let (parent, name) = split_parent("/top").unwrap();
+        assert!(parent.is_empty());
+        assert_eq!(name, "top");
+        assert_eq!(split_parent("/"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn long_names_rejected() {
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        assert_eq!(validate_name(&long), Err(FsError::NameTooLong));
+        let ok = "x".repeat(MAX_NAME_LEN);
+        assert!(validate_name(&ok).is_ok());
+    }
+
+    #[test]
+    fn overlong_path_rejected() {
+        let p = format!("/{}", "a/".repeat(MAX_PATH_LEN));
+        assert_eq!(components(&p), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn nul_and_slash_rejected_in_names() {
+        assert_eq!(validate_name("a\0b"), Err(FsError::InvalidArgument));
+        assert_eq!(validate_name("a/b"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn join_roundtrip() {
+        for p in ["/", "/a", "/a/b/c", "/home/user/data.bin"] {
+            let comps = components(p).unwrap();
+            assert_eq!(join(&comps), p.to_string());
+        }
+    }
+
+    #[test]
+    fn prefix_detection() {
+        let a = ["a", "b"];
+        assert!(is_prefix_of(&a, &["a", "b"]));
+        assert!(is_prefix_of(&a, &["a", "b", "c"]));
+        assert!(!is_prefix_of(&a, &["a"]));
+        assert!(!is_prefix_of(&a, &["a", "c", "b"]));
+        assert!(is_prefix_of(&[], &["a"])); // root is everyone's ancestor
+    }
+}

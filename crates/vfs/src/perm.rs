@@ -1,0 +1,183 @@
+//! The POSIX permission algorithm shared by every implementation.
+
+use crate::acl::Acl;
+use crate::error::{FsError, FsResult};
+use crate::types::{Credentials, AM_EXEC, AM_WRITE};
+
+/// Check whether `creds` may access an object with the given ownership,
+/// mode bits and ACL, with the wanted `rwx` bits (`AM_*` constants).
+///
+/// Root bypasses read/write checks entirely and execute checks whenever
+/// any execute bit is set anywhere (matching Linux).
+pub fn check_access(
+    creds: &Credentials,
+    owner_uid: u32,
+    owner_gid: u32,
+    mode: u32,
+    acl: &Acl,
+    want: u8,
+) -> FsResult<()> {
+    if creds.is_root() {
+        if want & AM_EXEC != 0 && mode & 0o111 == 0 && acl.is_empty() {
+            return Err(FsError::PermissionDenied);
+        }
+        return Ok(());
+    }
+    let granted = match acl.effective_perms(creds, owner_uid, owner_gid, mode) {
+        Some(p) => p,
+        None => classic_perms(creds, owner_uid, owner_gid, mode),
+    };
+    if granted & want == want {
+        Ok(())
+    } else {
+        Err(FsError::PermissionDenied)
+    }
+}
+
+/// The classic owner/group/other selection when no ACL is present.
+fn classic_perms(creds: &Credentials, owner_uid: u32, owner_gid: u32, mode: u32) -> u8 {
+    if creds.uid == owner_uid {
+        ((mode >> 6) & 0o7) as u8
+    } else if creds.in_group(owner_gid) {
+        ((mode >> 3) & 0o7) as u8
+    } else {
+        (mode & 0o7) as u8
+    }
+}
+
+/// Check that `creds` may modify attributes of the object (POSIX: owner or
+/// root for chmod; chown restricted to root).
+pub fn check_setattr(
+    creds: &Credentials,
+    owner_uid: u32,
+    changing_owner: bool,
+) -> FsResult<()> {
+    if creds.is_root() {
+        return Ok(());
+    }
+    if changing_owner {
+        // Only root may change ownership.
+        return Err(FsError::NotPermitted);
+    }
+    if creds.uid != owner_uid {
+        return Err(FsError::NotPermitted);
+    }
+    Ok(())
+}
+
+/// Check the "sticky + write-on-parent" rule used by unlink/rmdir/rename:
+/// the caller needs write+exec on the parent directory, and if the parent
+/// has the sticky bit, must own the parent or the victim.
+pub fn check_delete(
+    creds: &Credentials,
+    parent_uid: u32,
+    parent_gid: u32,
+    parent_mode: u32,
+    parent_acl: &Acl,
+    victim_uid: u32,
+) -> FsResult<()> {
+    check_access(creds, parent_uid, parent_gid, parent_mode, parent_acl, AM_WRITE | AM_EXEC)?;
+    if parent_mode & 0o1000 != 0
+        && !creds.is_root()
+        && creds.uid != parent_uid
+        && creds.uid != victim_uid
+    {
+        return Err(FsError::PermissionDenied);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::AclEntry;
+    use crate::types::{AM_READ, AM_WRITE};
+
+    fn user(uid: u32) -> Credentials {
+        Credentials::user(uid)
+    }
+
+    #[test]
+    fn owner_class() {
+        let acl = Acl::default();
+        assert!(check_access(&user(5), 5, 5, 0o600, &acl, AM_READ | AM_WRITE).is_ok());
+        assert!(check_access(&user(5), 5, 5, 0o400, &acl, AM_WRITE).is_err());
+    }
+
+    #[test]
+    fn group_class() {
+        let acl = Acl::default();
+        let mut c = user(6);
+        c.groups.push(50);
+        assert!(check_access(&c, 1, 50, 0o040, &acl, AM_READ).is_ok());
+        assert!(check_access(&c, 1, 50, 0o004, &acl, AM_READ).is_err());
+    }
+
+    #[test]
+    fn other_class() {
+        let acl = Acl::default();
+        assert!(check_access(&user(9), 1, 1, 0o604, &acl, AM_READ).is_ok());
+        assert!(check_access(&user(9), 1, 1, 0o600, &acl, AM_READ).is_err());
+    }
+
+    #[test]
+    fn owner_class_is_exclusive() {
+        // Owner with 0o077: the owner gets *owner* bits (none), even though
+        // group/other would grant access. This is the classic POSIX trap.
+        let acl = Acl::default();
+        assert!(check_access(&user(5), 5, 5, 0o077, &acl, AM_READ).is_err());
+    }
+
+    #[test]
+    fn root_bypasses_rw() {
+        let acl = Acl::default();
+        assert!(check_access(&Credentials::root(), 7, 7, 0o000, &acl, AM_READ | AM_WRITE).is_ok());
+    }
+
+    #[test]
+    fn root_needs_some_exec_bit() {
+        let acl = Acl::default();
+        assert!(check_access(&Credentials::root(), 7, 7, 0o000, &acl, AM_EXEC).is_err());
+        assert!(check_access(&Credentials::root(), 7, 7, 0o100, &acl, AM_EXEC).is_ok());
+        assert!(check_access(&Credentials::root(), 7, 7, 0o001, &acl, AM_EXEC).is_ok());
+    }
+
+    #[test]
+    fn acl_named_user_grants() {
+        let acl = Acl::new(vec![AclEntry::user(42, 0o6)]);
+        assert!(check_access(&user(42), 1, 1, 0o700, &acl, AM_READ | AM_WRITE).is_ok());
+        assert!(check_access(&user(42), 1, 1, 0o700, &acl, AM_EXEC).is_err());
+    }
+
+    #[test]
+    fn setattr_rules() {
+        assert!(check_setattr(&user(5), 5, false).is_ok());
+        assert!(check_setattr(&user(5), 6, false).is_err());
+        assert!(check_setattr(&user(5), 5, true).is_err());
+        assert!(check_setattr(&Credentials::root(), 5, true).is_ok());
+    }
+
+    #[test]
+    fn sticky_bit_delete() {
+        let acl = Acl::default();
+        // world-writable sticky dir like /tmp
+        let mode = 0o1777;
+        // owner of the victim may delete
+        assert!(check_delete(&user(5), 0, 0, mode, &acl, 5).is_ok());
+        // stranger may not
+        assert!(check_delete(&user(6), 0, 0, mode, &acl, 5).is_err());
+        // parent owner may
+        assert!(check_delete(&user(7), 7, 7, mode, &acl, 5).is_ok());
+        // root may
+        assert!(check_delete(&Credentials::root(), 0, 0, mode, &acl, 5).is_ok());
+        // without sticky, any writer may
+        assert!(check_delete(&user(6), 0, 0, 0o777, &acl, 5).is_ok());
+    }
+
+    #[test]
+    fn delete_requires_parent_write_exec() {
+        let acl = Acl::default();
+        assert!(check_delete(&user(5), 5, 5, 0o500, &acl, 5).is_err());
+        assert!(check_delete(&user(5), 5, 5, 0o300, &acl, 5).is_ok());
+    }
+}

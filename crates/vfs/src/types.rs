@@ -1,0 +1,228 @@
+//! Core value types of the file system ABI.
+
+/// Inode number. ArkFS uses 128-bit UUIDs (§III-F of the paper); the
+/// baselines use small sequential values embedded in the same space.
+pub type Ino = u128;
+
+/// Inode number of the root directory in every implementation.
+pub const ROOT_INO: Ino = 1;
+
+/// Nanosecond timestamp on the driving clock (virtual or real).
+pub type Nanos = u64;
+
+/// Access-mode bit for `access(2)`-style checks: read.
+pub const AM_READ: u8 = 0b100;
+/// Access-mode bit: write.
+pub const AM_WRITE: u8 = 0b010;
+/// Access-mode bit: execute / search.
+pub const AM_EXEC: u8 = 0b001;
+
+/// What kind of object a directory entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    Regular,
+    Directory,
+    Symlink,
+}
+
+impl FileType {
+    /// Stable on-wire discriminant (used by the ArkFS codec).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FileType::Regular => 0,
+            FileType::Directory => 1,
+            FileType::Symlink => 2,
+        }
+    }
+
+    /// Inverse of [`FileType::as_u8`].
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(FileType::Regular),
+            1 => Some(FileType::Directory),
+            2 => Some(FileType::Symlink),
+            _ => None,
+        }
+    }
+}
+
+/// `stat(2)`-style attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stat {
+    pub ino: Ino,
+    pub ftype: FileType,
+    /// Permission bits (lower 12 bits meaningful: rwxrwxrwx + setuid etc.).
+    pub mode: u32,
+    pub uid: u32,
+    pub gid: u32,
+    pub nlink: u32,
+    pub size: u64,
+    pub atime: Nanos,
+    pub mtime: Nanos,
+    pub ctime: Nanos,
+}
+
+impl Stat {
+    pub fn is_dir(&self) -> bool {
+        self.ftype == FileType::Directory
+    }
+}
+
+/// A directory listing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    pub name: String,
+    pub ino: Ino,
+    pub ftype: FileType,
+}
+
+/// An open-file handle. Plain token; the issuing file system keeps the
+/// table behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileHandle(pub u64);
+
+/// Open flags, a minimal subset of `O_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    pub const RDONLY: OpenFlags = OpenFlags(0b0001);
+    pub const WRONLY: OpenFlags = OpenFlags(0b0010);
+    pub const RDWR: OpenFlags = OpenFlags(0b0011);
+    const TRUNC_BIT: u32 = 0b0100;
+    const APPEND_BIT: u32 = 0b1000;
+
+    /// Add `O_TRUNC`.
+    pub fn truncate(self) -> Self {
+        OpenFlags(self.0 | Self::TRUNC_BIT)
+    }
+
+    /// Add `O_APPEND`.
+    pub fn append(self) -> Self {
+        OpenFlags(self.0 | Self::APPEND_BIT)
+    }
+
+    pub fn readable(self) -> bool {
+        self.0 & Self::RDONLY.0 != 0
+    }
+
+    pub fn writable(self) -> bool {
+        self.0 & Self::WRONLY.0 != 0
+    }
+
+    pub fn is_trunc(self) -> bool {
+        self.0 & Self::TRUNC_BIT != 0
+    }
+
+    pub fn is_append(self) -> bool {
+        self.0 & Self::APPEND_BIT != 0
+    }
+}
+
+/// Identity of the calling process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    pub uid: u32,
+    pub gid: u32,
+    /// Supplementary groups.
+    pub groups: Vec<u32>,
+}
+
+impl Credentials {
+    /// The superuser, used by the "administrator daemon" workloads of the
+    /// paper's controlled environment.
+    pub fn root() -> Self {
+        Credentials { uid: 0, gid: 0, groups: Vec::new() }
+    }
+
+    /// An unprivileged user with a primary group equal to its uid.
+    pub fn user(uid: u32) -> Self {
+        Credentials { uid, gid: uid, groups: Vec::new() }
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+
+    pub fn in_group(&self, gid: u32) -> bool {
+        self.gid == gid || self.groups.contains(&gid)
+    }
+}
+
+/// File-system-wide statistics (`statvfs`/`df`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Regular files + symlinks + directories in the namespace.
+    pub inodes: u64,
+    /// Objects held by the backing store (all kinds).
+    pub store_objects: u64,
+    /// Logical bytes held by the backing store.
+    pub store_bytes: u64,
+}
+
+/// Attribute-change request for [`crate::Vfs::setattr`]. `None` fields are
+/// left unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetAttr {
+    pub mode: Option<u32>,
+    pub uid: Option<u32>,
+    pub gid: Option<u32>,
+    pub atime: Option<Nanos>,
+    pub mtime: Option<Nanos>,
+}
+
+impl SetAttr {
+    pub fn chmod(mode: u32) -> Self {
+        SetAttr { mode: Some(mode), ..Default::default() }
+    }
+
+    pub fn chown(uid: u32, gid: u32) -> Self {
+        SetAttr { uid: Some(uid), gid: Some(gid), ..Default::default() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        *self == SetAttr::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filetype_roundtrip() {
+        for ft in [FileType::Regular, FileType::Directory, FileType::Symlink] {
+            assert_eq!(FileType::from_u8(ft.as_u8()), Some(ft));
+        }
+        assert_eq!(FileType::from_u8(3), None);
+    }
+
+    #[test]
+    fn open_flags_compose() {
+        let f = OpenFlags::RDWR.truncate().append();
+        assert!(f.readable() && f.writable() && f.is_trunc() && f.is_append());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(!OpenFlags::RDONLY.is_trunc());
+    }
+
+    #[test]
+    fn credentials_groups() {
+        let mut c = Credentials::user(7);
+        assert!(c.in_group(7));
+        assert!(!c.in_group(8));
+        c.groups.push(8);
+        assert!(c.in_group(8));
+        assert!(Credentials::root().is_root());
+        assert!(!c.is_root());
+    }
+
+    #[test]
+    fn setattr_builders() {
+        assert_eq!(SetAttr::chmod(0o755).mode, Some(0o755));
+        let o = SetAttr::chown(3, 4);
+        assert_eq!((o.uid, o.gid), (Some(3), Some(4)));
+        assert!(SetAttr::default().is_empty());
+        assert!(!o.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! The client abstraction the workload drivers run against.
+
+use arkfs::ArkClient;
+use arkfs_baselines::{CephClient, GoofysFs, MarFs, S3Fs};
+use arkfs_simkit::Port;
+use arkfs_vfs::Vfs;
+use std::sync::Arc;
+
+/// A simulated file system client: the near-POSIX surface plus access to
+/// its virtual timeline (for throughput accounting) and the fio
+/// drop-caches hook.
+pub trait SimClient: Vfs {
+    /// The client's virtual clock.
+    fn port(&self) -> &Port;
+
+    /// Drop clean cached data; flush dirty data first. Used between the
+    /// fio write and read phases ("drops the cache entries of written
+    /// files", §IV-B).
+    fn drop_caches(&self) {}
+}
+
+impl SimClient for ArkClient {
+    fn port(&self) -> &Port {
+        ArkClient::port(self)
+    }
+
+    fn drop_caches(&self) {
+        let _ = self.drop_data_cache();
+    }
+}
+
+impl SimClient for CephClient {
+    fn port(&self) -> &Port {
+        CephClient::port(self)
+    }
+
+    fn drop_caches(&self) {
+        let _ = self.drop_data_cache();
+    }
+}
+
+impl SimClient for MarFs {
+    fn port(&self) -> &Port {
+        MarFs::port(self)
+    }
+}
+
+impl SimClient for S3Fs {
+    fn port(&self) -> &Port {
+        S3Fs::port(self)
+    }
+}
+
+impl SimClient for GoofysFs {
+    fn port(&self) -> &Port {
+        GoofysFs::port(self)
+    }
+
+    fn drop_caches(&self) {
+        GoofysFs::drop_data_cache(self);
+    }
+}
+
+/// A fleet of clients of one file system under test, one per simulated
+/// process.
+pub type Fleet = Vec<Arc<dyn SimClient>>;
+
+/// MPI-style barrier on virtual time: every client's timeline advances to
+/// the fleet-wide maximum. mdtest/fio phases are separated by barriers so
+/// one straggler does not stagger the next phase's start times.
+pub fn barrier(clients: &[Arc<dyn SimClient>]) {
+    let max = clients.iter().map(|c| c.port().now()).max().unwrap_or(0);
+    for c in clients {
+        c.port().wait_until(max);
+    }
+}
+
+/// Drive one operation per `(client, index)` pair in round-robin order on
+/// the calling thread. Virtual arrivals of different clients interleave
+/// the way concurrent processes' requests would, which keeps the shared
+/// resources' queueing model honest (thread scheduling skew would
+/// otherwise let one client's whole run land on the timeline first).
+/// Returns the per-client error counts.
+pub fn run_interleaved(
+    clients: &[Arc<dyn SimClient>],
+    per_client: u64,
+    op: impl Fn(usize, &Arc<dyn SimClient>, u64) -> arkfs_vfs::FsResult<()>,
+) -> Vec<u64> {
+    let mut errors = vec![0u64; clients.len()];
+    for j in 0..per_client {
+        for (i, c) in clients.iter().enumerate() {
+            if op(i, c, j).is_err() {
+                errors[i] += 1;
+            }
+        }
+    }
+    errors
+}
+
+/// Run one closure per client on its own OS thread, returning the
+/// per-client results. The closures drive real concurrency; time is
+/// virtual per client.
+pub fn run_fleet<R, F>(clients: &[Arc<dyn SimClient>], f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(usize, Arc<dyn SimClient>) -> R + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let handles: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let c = Arc::clone(c);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f(i, c))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
+}

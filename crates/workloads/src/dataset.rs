@@ -1,0 +1,142 @@
+//! Synthetic MS-COCO-like dataset generator.
+//!
+//! The paper archives the MS-COCO image dataset: "41K images with sizes
+//! ranging from tens to hundreds of KB and an aggregated size of 7GB"
+//! (§IV-D). We reproduce its shape with a deterministic log-normal size
+//! distribution; the byte contents are synthetic.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of one synthetic dataset (per process).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Number of files (MS-COCO: ~41 000).
+    pub files: usize,
+    /// Median file size in bytes (MS-COCO: ~170 KB mean).
+    pub median_size: u64,
+    /// Log-normal sigma (spread "tens to hundreds of KB").
+    pub sigma: f64,
+    /// Clamp bounds.
+    pub min_size: u64,
+    pub max_size: u64,
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's dataset shape at full scale.
+    pub fn ms_coco() -> Self {
+        DatasetSpec {
+            files: 41_000,
+            median_size: 150 * 1024,
+            sigma: 0.6,
+            min_size: 10 * 1024,
+            max_size: 900 * 1024,
+            seed: 0xC0C0,
+        }
+    }
+
+    /// A scaled-down dataset for laptop-scale runs: same distribution
+    /// shape, smaller counts and sizes.
+    pub fn scaled(files: usize, median_size: u64, seed: u64) -> Self {
+        DatasetSpec {
+            files,
+            median_size,
+            sigma: 0.6,
+            min_size: (median_size / 8).max(1),
+            max_size: median_size * 8,
+            seed,
+        }
+    }
+
+    /// Deterministic file sizes (log-normal via Box–Muller, clamped).
+    pub fn sizes(&self) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mu = (self.median_size as f64).ln();
+        (0..self.files)
+            .map(|_| {
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let size = (mu + self.sigma * z).exp();
+                (size as u64).clamp(self.min_size, self.max_size)
+            })
+            .collect()
+    }
+
+    /// Total bytes of the dataset.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes().iter().sum()
+    }
+
+    /// Deterministic content for file `index` of the given size (cheap
+    /// repeating pattern, seeded so different files differ).
+    pub fn content(&self, index: usize, size: u64) -> Vec<u8> {
+        let tag = (self.seed as usize ^ index.wrapping_mul(0x9E3779B9)) as u8;
+        let mut data = vec![tag; size as usize];
+        // Stamp the index at the front so corruption tests can identify
+        // files.
+        let stamp = (index as u64).to_le_bytes();
+        let n = stamp.len().min(data.len());
+        data[..n].copy_from_slice(&stamp[..n]);
+        data
+    }
+
+    /// File name of entry `index` (`img/000042.jpg`-style).
+    pub fn name(&self, index: usize) -> String {
+        format!("img{index:06}.jpg")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_deterministic_and_clamped() {
+        let spec = DatasetSpec::scaled(500, 4096, 1);
+        let a = spec.sizes();
+        let b = spec.sizes();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| (512..=32768).contains(&s)));
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn distribution_has_spread_around_median() {
+        let spec = DatasetSpec::scaled(2000, 4096, 7);
+        let sizes = spec.sizes();
+        let below = sizes.iter().filter(|&&s| s < 4096).count();
+        let above = sizes.len() - below;
+        // Log-normal around the median: both halves populated.
+        assert!(below > sizes.len() / 4, "below {below}");
+        assert!(above > sizes.len() / 4, "above {above}");
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min * 4, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn ms_coco_shape_matches_paper() {
+        let spec = DatasetSpec::ms_coco();
+        assert_eq!(spec.files, 41_000);
+        // Aggregated size ~7 GB (allow 5-10 GB; log-normal mean exceeds
+        // the median).
+        let total = spec.total_bytes();
+        assert!(
+            (5_000_000_000..10_000_000_000).contains(&total),
+            "aggregate {} GB",
+            total / 1_000_000_000
+        );
+    }
+
+    #[test]
+    fn content_is_identifiable() {
+        let spec = DatasetSpec::scaled(10, 128, 3);
+        let c = spec.content(7, 64);
+        assert_eq!(c.len(), 64);
+        assert_eq!(u64::from_le_bytes(c[..8].try_into().unwrap()), 7);
+        assert_ne!(spec.content(1, 64)[8..], spec.content(2, 64)[8..]);
+        assert_eq!(spec.name(42), "img000042.jpg");
+    }
+}

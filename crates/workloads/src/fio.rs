@@ -1,0 +1,144 @@
+//! fio-style large-file sequential I/O (§IV-B, Figure 6).
+//!
+//! "We run fio with 32 processes and each process writes and then reads a
+//! 32GB file using 128KB request size [...] At the end of the file
+//! writing, each fio process calls fsync() [...] and drops the cache
+//! entries of written files."
+//!
+//! File sizes are scaled down by default so the harness fits in memory;
+//! bandwidth *ratios* are preserved because the virtual-time model
+//! charges per byte.
+
+use crate::client::{barrier, SimClient};
+use arkfs_simkit::{PhaseResult, ThroughputMeter};
+use arkfs_vfs::{Credentials, FsResult, OpenFlags};
+use std::sync::Arc;
+
+/// fio parameters.
+#[derive(Debug, Clone)]
+pub struct FioConfig {
+    /// Bytes per file (per process). Paper: 32 GiB; scaled by default.
+    pub file_size: u64,
+    /// Request size (paper: 128 KiB).
+    pub request_size: usize,
+}
+
+impl Default for FioConfig {
+    fn default() -> Self {
+        FioConfig { file_size: 64 * 1024 * 1024, request_size: 128 * 1024 }
+    }
+}
+
+/// Write and read bandwidth of one fio run.
+#[derive(Debug, Clone)]
+pub struct FioResult {
+    pub write: PhaseResult,
+    pub read: PhaseResult,
+    /// Total bytes moved per phase.
+    pub bytes: u64,
+}
+
+impl FioResult {
+    pub fn write_mib_s(&self) -> f64 {
+        self.write.bandwidth_mib_s(self.bytes)
+    }
+
+    pub fn read_mib_s(&self) -> f64 {
+        self.read.bandwidth_mib_s(self.bytes)
+    }
+}
+
+fn ctx() -> Credentials {
+    Credentials::root()
+}
+
+/// Run the fio workload over the fleet.
+pub fn fio(clients: &[Arc<dyn SimClient>], cfg: &FioConfig) -> FsResult<FioResult> {
+    assert!(!clients.is_empty());
+    assert!(cfg.request_size > 0 && cfg.file_size > 0);
+    clients[0].mkdir(&ctx(), "/fio", 0o755)?;
+    let file_size = cfg.file_size;
+    let req = cfg.request_size;
+    let bytes = file_size * clients.len() as u64;
+
+    let requests = file_size.div_ceil(req as u64);
+
+    // WRITE phase: sequential writes, request-interleaved across
+    // processes, then fsync and drop caches.
+    let meter = ThroughputMeter::new();
+    let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
+    let handles: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| c.create(&ctx(), &format!("/fio/job{i}.bin"), 0o644))
+        .collect::<FsResult<_>>()?;
+    let block = vec![0x5Au8; req];
+    for j in 0..requests {
+        let off = j * req as u64;
+        let n = req.min((file_size - off) as usize);
+        for (c, &fh) in clients.iter().zip(&handles) {
+            c.write(&ctx(), fh, off, &block[..n])?;
+        }
+    }
+    for (i, (c, &fh)) in clients.iter().zip(&handles).enumerate() {
+        c.fsync(&ctx(), fh)?;
+        c.close(&ctx(), fh)?;
+        c.drop_caches();
+        meter.record_span(1, starts[i], c.port().now());
+    }
+    barrier(clients);
+    let write = meter.finish("write");
+
+    // READ phase: sequential reads of the same files, interleaved.
+    let meter = ThroughputMeter::new();
+    let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
+    let handles: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| c.open(&ctx(), &format!("/fio/job{i}.bin"), OpenFlags::RDONLY))
+        .collect::<FsResult<_>>()?;
+    let mut buf = vec![0u8; req];
+    for j in 0..requests {
+        let off = j * req as u64;
+        for (c, &fh) in clients.iter().zip(&handles) {
+            let n = c.read(&ctx(), fh, off, &mut buf)?;
+            let expect = req.min((file_size - off) as usize);
+            if n != expect {
+                return Err(arkfs_vfs::FsError::Io(format!(
+                    "short read: {n} of {expect} at {off}"
+                )));
+            }
+        }
+    }
+    for (i, (c, &fh)) in clients.iter().zip(&handles).enumerate() {
+        c.close(&ctx(), fh)?;
+        meter.record_span(1, starts[i], c.port().now());
+    }
+    barrier(clients);
+    let read = meter.finish("read");
+
+    Ok(FioResult { write, read, bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs::{ArkCluster, ArkConfig};
+    use arkfs_objstore::{ClusterConfig, ObjectCluster};
+
+    #[test]
+    fn fio_reports_positive_bandwidth() {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
+        let fleet: Vec<Arc<dyn SimClient>> =
+            (0..2).map(|_| cluster.client() as Arc<dyn SimClient>).collect();
+        let cfg = FioConfig { file_size: 4096, request_size: 256 };
+        let result = fio(&fleet, &cfg).unwrap();
+        assert_eq!(result.bytes, 8192);
+        assert!(result.write_mib_s() > 0.0);
+        assert!(result.read_mib_s() > 0.0);
+        // Files really exist with the right size.
+        let st = fleet[0].stat(&Credentials::root(), "/fio/job0.bin").unwrap();
+        assert_eq!(st.size, 4096);
+    }
+}

@@ -1,0 +1,386 @@
+//! A miniature `tar` implementation over the [`Vfs`] trait (ustar
+//! format), plus the paper's two archiving scenarios (§IV-D):
+//!
+//! 1. **Archiving** — the dataset is read from the burst-buffer/EBS tier,
+//!    stored as a tar file on campaign storage, then extracted and
+//!    categorized there.
+//! 2. **Unarchiving** — the extracted dataset is re-packed into a tar
+//!    file and moved back toward the burst buffer.
+
+use crate::client::{barrier, run_fleet, SimClient};
+use crate::dataset::DatasetSpec;
+use arkfs_simkit::{BandwidthResource, Nanos, ThroughputMeter, SEC};
+use arkfs_vfs::{Credentials, FileHandle, FsError, FsResult, OpenFlags, Vfs};
+use std::sync::Arc;
+
+const BLOCK: usize = 512;
+
+/// Serialize one ustar header block.
+fn header_block(name: &str, size: u64) -> FsResult<[u8; BLOCK]> {
+    let mut h = [0u8; BLOCK];
+    let name_bytes = name.as_bytes();
+    if name_bytes.len() > 100 {
+        return Err(FsError::NameTooLong);
+    }
+    h[..name_bytes.len()].copy_from_slice(name_bytes);
+    h[100..107].copy_from_slice(b"0000644"); // mode
+    h[108..115].copy_from_slice(b"0000000"); // uid
+    h[116..123].copy_from_slice(b"0000000"); // gid
+    let size_field = format!("{size:011o}");
+    h[124..124 + size_field.len()].copy_from_slice(size_field.as_bytes());
+    h[136..147].copy_from_slice(b"00000000000"); // mtime
+    h[156] = b'0'; // typeflag: regular file
+    h[257..262].copy_from_slice(b"ustar");
+    h[263..265].copy_from_slice(b"00");
+    // Checksum: computed with the checksum field filled with spaces.
+    h[148..156].copy_from_slice(b"        ");
+    let sum: u64 = h.iter().map(|&b| b as u64).sum();
+    let chk = format!("{sum:06o}\0 ");
+    h[148..156].copy_from_slice(chk.as_bytes());
+    Ok(h)
+}
+
+/// Parse a ustar header block. `Ok(None)` means an all-zero end block.
+fn parse_header(block: &[u8]) -> FsResult<Option<(String, u64)>> {
+    if block.len() < BLOCK {
+        return Err(FsError::Io("short tar header".into()));
+    }
+    if block.iter().all(|&b| b == 0) {
+        return Ok(None);
+    }
+    // Verify the checksum.
+    let stored = std::str::from_utf8(&block[148..156])
+        .map_err(|_| FsError::Io("bad tar checksum field".into()))?;
+    let stored = u64::from_str_radix(stored.trim_end_matches(['\0', ' ']).trim(), 8)
+        .map_err(|_| FsError::Io("bad tar checksum".into()))?;
+    let mut sum: u64 = block[..BLOCK].iter().map(|&b| b as u64).sum();
+    for &b in &block[148..156] {
+        sum = sum - b as u64 + b' ' as u64;
+    }
+    if sum != stored {
+        return Err(FsError::Io("tar checksum mismatch".into()));
+    }
+    let name_end = block[..100].iter().position(|&b| b == 0).unwrap_or(100);
+    let name = std::str::from_utf8(&block[..name_end])
+        .map_err(|_| FsError::Io("bad tar name".into()))?
+        .to_string();
+    let size_str = std::str::from_utf8(&block[124..135])
+        .map_err(|_| FsError::Io("bad tar size".into()))?;
+    let size = u64::from_str_radix(size_str.trim_matches(['\0', ' ']), 8)
+        .map_err(|_| FsError::Io("bad tar size".into()))?;
+    Ok(Some((name, size)))
+}
+
+/// Streaming tar writer into an open Vfs file.
+pub struct TarWriter<'a> {
+    fs: &'a dyn Vfs,
+    ctx: &'a Credentials,
+    fh: FileHandle,
+    offset: u64,
+}
+
+impl<'a> TarWriter<'a> {
+    /// Create `path` and start writing a tar stream into it.
+    pub fn create(fs: &'a dyn Vfs, ctx: &'a Credentials, path: &str) -> FsResult<Self> {
+        let fh = fs.create(ctx, path, 0o644)?;
+        Ok(TarWriter { fs, ctx, fh, offset: 0 })
+    }
+
+    fn put(&mut self, data: &[u8]) -> FsResult<()> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let n = self.fs.write(self.ctx, self.fh, self.offset, &data[off..])?;
+            if n == 0 {
+                return Err(FsError::Io("short tar write".into()));
+            }
+            off += n;
+            self.offset += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Append one member file.
+    pub fn add_file(&mut self, name: &str, data: &[u8]) -> FsResult<()> {
+        let header = header_block(name, data.len() as u64)?;
+        self.put(&header)?;
+        self.put(data)?;
+        let pad = (BLOCK - data.len() % BLOCK) % BLOCK;
+        if pad > 0 {
+            self.put(&vec![0u8; pad])?;
+        }
+        Ok(())
+    }
+
+    /// Write the end-of-archive marker and close the file.
+    pub fn finish(mut self) -> FsResult<u64> {
+        self.put(&[0u8; 2 * BLOCK])?;
+        let total = self.offset;
+        self.fs.close(self.ctx, self.fh)?;
+        Ok(total)
+    }
+}
+
+/// Streaming tar reader from an open Vfs file.
+pub struct TarReader<'a> {
+    fs: &'a dyn Vfs,
+    ctx: &'a Credentials,
+    fh: FileHandle,
+    offset: u64,
+}
+
+impl<'a> TarReader<'a> {
+    pub fn open(fs: &'a dyn Vfs, ctx: &'a Credentials, path: &str) -> FsResult<Self> {
+        let fh = fs.open(ctx, path, OpenFlags::RDONLY)?;
+        Ok(TarReader { fs, ctx, fh, offset: 0 })
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> FsResult<()> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let n = self.fs.read(self.ctx, self.fh, self.offset, &mut buf[off..])?;
+            if n == 0 {
+                return Err(FsError::Io("unexpected tar EOF".into()));
+            }
+            off += n;
+            self.offset += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Next member: `(name, contents)`, or `None` at end of archive.
+    pub fn next_entry(&mut self) -> FsResult<Option<(String, Vec<u8>)>> {
+        let mut header = [0u8; BLOCK];
+        self.read_exact(&mut header)?;
+        let Some((name, size)) = parse_header(&header)? else {
+            return Ok(None);
+        };
+        let mut data = vec![0u8; size as usize];
+        self.read_exact(&mut data)?;
+        let pad = (BLOCK - size as usize % BLOCK) % BLOCK;
+        if pad > 0 {
+            let mut skip = vec![0u8; pad];
+            self.read_exact(&mut skip)?;
+        }
+        Ok(Some((name, data)))
+    }
+
+    pub fn close(self) -> FsResult<()> {
+        self.fs.close(self.ctx, self.fh)
+    }
+}
+
+/// Parameters of the §IV-D archiving scenarios.
+#[derive(Debug, Clone)]
+pub struct ArchiveConfig {
+    /// Per-process dataset shape.
+    pub dataset: DatasetSpec,
+    /// Burst-buffer/EBS sequential bandwidth shared by all processes
+    /// (paper: 1 GB/s).
+    pub ebs_bw: u64,
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> Self {
+        ArchiveConfig { dataset: DatasetSpec::ms_coco(), ebs_bw: 1_000_000_000 }
+    }
+}
+
+/// Elapsed virtual times of the two scenarios (Table II rows).
+#[derive(Debug, Clone)]
+pub struct ArchiveResult {
+    pub archive_ns: Nanos,
+    pub unarchive_ns: Nanos,
+    pub dataset_bytes: u64,
+}
+
+impl ArchiveResult {
+    pub fn archive_secs(&self) -> f64 {
+        self.archive_ns as f64 / SEC as f64
+    }
+
+    pub fn unarchive_secs(&self) -> f64 {
+        self.unarchive_ns as f64 / SEC as f64
+    }
+}
+
+fn ctx() -> Credentials {
+    Credentials::root()
+}
+
+/// Run both scenarios over the fleet; each process handles its own copy
+/// of the dataset, as in the paper (32 processes × one MS-COCO each).
+pub fn archive_scenario(
+    clients: &[Arc<dyn SimClient>],
+    cfg: &ArchiveConfig,
+) -> FsResult<ArchiveResult> {
+    assert!(!clients.is_empty());
+    clients[0].mkdir(&ctx(), "/campaign", 0o755)?;
+    let ebs = Arc::new(BandwidthResource::new("ebs", cfg.ebs_bw));
+    let spec = cfg.dataset.clone();
+    let dataset_bytes = spec.total_bytes() * clients.len() as u64;
+
+    // ---- Scenario 1: archiving --------------------------------------------
+    // Read dataset from EBS → write tar to campaign FS → extract +
+    // categorize on campaign FS.
+    let meter = Arc::new(ThroughputMeter::new());
+    let m = Arc::clone(&meter);
+    let ebs2 = Arc::clone(&ebs);
+    let spec2 = spec.clone();
+    let results = run_fleet(clients, move |i, c| -> FsResult<()> {
+        let creds = ctx();
+        let start = c.port().now();
+        let tar_path = format!("/campaign/p{i}.tar");
+        let sizes = spec2.sizes();
+        {
+            let mut tar = TarWriter::create(&*c, &creds, &tar_path)?;
+            for (idx, &size) in sizes.iter().enumerate() {
+                // Pull the source file from the burst-buffer tier.
+                let done = ebs2.transfer(c.port().now(), size);
+                c.port().wait_until(done);
+                let data = spec2.content(idx, size);
+                tar.add_file(&spec2.name(idx), &data)?;
+            }
+            tar.finish()?;
+        }
+        // Extract and categorize.
+        let out_dir = format!("/campaign/extracted-p{i}");
+        c.mkdir(&ctx(), &out_dir, 0o755)?;
+        let mut reader = TarReader::open(&*c, &creds, &tar_path)?;
+        while let Some((name, data)) = reader.next_entry()? {
+            arkfs_vfs::write_file(&*c, &ctx(), &format!("{out_dir}/{name}"), &data)?;
+        }
+        reader.close()?;
+        c.sync_all(&ctx())?;
+        m.record_span(1, start, c.port().now());
+        Ok(())
+    });
+    for r in results {
+        r?;
+    }
+    barrier(clients);
+    let archive_ns = meter.finish("archive").makespan;
+
+    // ---- Scenario 2: unarchiving -------------------------------------------
+    // Re-pack the extracted dataset into a tar and stream it back to the
+    // burst buffer.
+    let meter = Arc::new(ThroughputMeter::new());
+    let m = Arc::clone(&meter);
+    let results = run_fleet(clients, move |i, c| -> FsResult<()> {
+        let creds = ctx();
+        let start = c.port().now();
+        let out_dir = format!("/campaign/extracted-p{i}");
+        let back_path = format!("/campaign/back-p{i}.tar");
+        let entries = c.readdir(&ctx(), &out_dir)?;
+        {
+            let mut tar = TarWriter::create(&*c, &creds, &back_path)?;
+            for entry in &entries {
+                let data = arkfs_vfs::read_file(&*c, &ctx(), &format!("{out_dir}/{}", entry.name))?;
+                tar.add_file(&entry.name, &data)?;
+            }
+            tar.finish()?;
+        }
+        // Stream the tar to the burst buffer.
+        let st = c.stat(&ctx(), &back_path)?;
+        let fh = c.open(&ctx(), &back_path, OpenFlags::RDONLY)?;
+        let mut buf = vec![0u8; 1 << 20];
+        let mut off = 0u64;
+        while off < st.size {
+            let n = c.read(&ctx(), fh, off, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            let done = ebs.transfer(c.port().now(), n as u64);
+            c.port().wait_until(done);
+            off += n as u64;
+        }
+        c.close(&ctx(), fh)?;
+        m.record_span(1, start, c.port().now());
+        Ok(())
+    });
+    for r in results {
+        r?;
+    }
+    let unarchive_ns = meter.finish("unarchive").makespan;
+
+    Ok(ArchiveResult { archive_ns, unarchive_ns, dataset_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arkfs::{ArkCluster, ArkConfig};
+    use arkfs_objstore::{ClusterConfig, ObjectCluster};
+    use arkfs_vfs::read_file;
+
+    fn ark_fleet(n: usize) -> Vec<Arc<dyn SimClient>> {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
+        (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect()
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header_block("dir/file.jpg", 12345).unwrap();
+        let parsed = parse_header(&h).unwrap().unwrap();
+        assert_eq!(parsed, ("dir/file.jpg".to_string(), 12345));
+        // Zero block is end-of-archive.
+        assert_eq!(parse_header(&[0u8; BLOCK]).unwrap(), None);
+        // Corruption detected.
+        let mut bad = h;
+        bad[0] ^= 0xFF;
+        assert!(parse_header(&bad).is_err());
+        // Overlong names rejected.
+        assert_eq!(header_block(&"x".repeat(101), 0).err(), Some(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn tar_write_and_extract_roundtrip() {
+        let fleet = ark_fleet(1);
+        let c = &fleet[0];
+        let ctx = Credentials::root();
+        let files: Vec<(String, Vec<u8>)> = (0..5)
+            .map(|i| (format!("f{i}.bin"), vec![i as u8; 100 + i * 37]))
+            .collect();
+        {
+            let mut tar = TarWriter::create(&**c, &ctx, "/a.tar").unwrap();
+            for (name, data) in &files {
+                tar.add_file(name, data).unwrap();
+            }
+            let total = tar.finish().unwrap();
+            assert_eq!(total % BLOCK as u64, 0);
+        }
+        let mut reader = TarReader::open(&**c, &ctx, "/a.tar").unwrap();
+        let mut got = Vec::new();
+        while let Some(entry) = reader.next_entry().unwrap() {
+            got.push(entry);
+        }
+        reader.close().unwrap();
+        assert_eq!(got, files);
+    }
+
+    #[test]
+    fn archive_scenario_end_to_end() {
+        let fleet = ark_fleet(2);
+        let cfg = ArchiveConfig {
+            dataset: DatasetSpec::scaled(20, 256, 5),
+            ebs_bw: 1_000_000_000,
+        };
+        let result = archive_scenario(&fleet, &cfg).unwrap();
+        assert!(result.archive_ns > 0);
+        assert!(result.unarchive_ns > 0);
+        assert!(result.dataset_bytes > 0);
+        // The extracted dataset is really there and correct.
+        let ctx = Credentials::root();
+        let spec = &cfg.dataset;
+        let sizes = spec.sizes();
+        let sample = read_file(
+            &*fleet[0],
+            &ctx,
+            &format!("/campaign/extracted-p0/{}", spec.name(3)),
+        )
+        .unwrap();
+        assert_eq!(sample, spec.content(3, sizes[3]));
+        // The re-packed tar exists.
+        assert!(fleet[1].stat(&ctx, "/campaign/back-p1.tar").unwrap().size > 0);
+    }
+}

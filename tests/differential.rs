@@ -1,0 +1,160 @@
+//! Differential (model-based) testing: drive the same randomized
+//! operation sequence against ArkFS and against the centralized-namespace
+//! CephFS simulator, asserting observational equivalence. The two
+//! implementations share no metadata code — ArkFS is metatables +
+//! journals + leases, CephFS is a single in-memory tree — so agreement is
+//! strong evidence both implement the same POSIX semantics.
+
+use arkfs::{ArkCluster, ArkConfig};
+use arkfs_baselines::{CephFs, MountType};
+use arkfs_objstore::{ClusterConfig, ObjectCluster};
+use arkfs_simkit::ClusterSpec;
+use arkfs_vfs::{read_file, Credentials, FsError, OpenFlags, Vfs};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(u8),
+    Create(u8, u8),
+    WriteAt(u8, u16, u8, u8), // file selector, offset, value, len
+    Read(u8),
+    Stat(u8),
+    Unlink(u8),
+    Rmdir(u8),
+    RenameFile(u8, u8),
+    Readdir(u8),
+    Truncate(u8, u16),
+}
+
+fn dir_path(d: u8) -> String {
+    format!("/dir{}", d % 4)
+}
+
+fn file_path(d: u8, f: u8) -> String {
+    format!("{}/file{}", dir_path(d), f % 4)
+}
+
+/// Normalize results so only (success, payload/errno) is compared —
+/// inode numbers and timestamps legitimately differ.
+fn norm<T, F: FnOnce(T) -> String>(r: Result<T, FsError>, f: F) -> Result<String, &'static str> {
+    match r {
+        Ok(v) => Ok(f(v)),
+        Err(e) => Err(e.code()),
+    }
+}
+
+fn apply(fs: &dyn Vfs, ctx: &Credentials, op: &Op) -> Result<String, &'static str> {
+    match op {
+        Op::Mkdir(d) => norm(fs.mkdir(ctx, &dir_path(*d), 0o755), |_| "ok".into()),
+        Op::Create(d, f) => {
+            norm(
+                fs.create(ctx, &file_path(*d, *f), 0o644).and_then(|fh| fs.close(ctx, fh)),
+                |_| "ok".into(),
+            )
+        }
+        Op::WriteAt(sel, off, val, len) => {
+            let path = file_path(*sel, sel / 4);
+            let r = fs.open(ctx, &path, OpenFlags::WRONLY).and_then(|fh| {
+                let data = vec![*val; *len as usize % 200 + 1];
+                let res = fs.write(ctx, fh, *off as u64 % 500, &data);
+                fs.close(ctx, fh)?;
+                res
+            });
+            norm(r, |n| n.to_string())
+        }
+        Op::Read(sel) => {
+            let path = file_path(*sel, sel / 4);
+            norm(read_file(fs, ctx, &path), |data| format!("{:?}", data))
+        }
+        Op::Stat(sel) => {
+            let path = file_path(*sel, sel / 4);
+            norm(fs.stat(ctx, &path), |st| format!("{:?}:{}", st.ftype, st.size))
+        }
+        Op::Unlink(sel) => {
+            let path = file_path(*sel, sel / 4);
+            norm(fs.unlink(ctx, &path), |_| "ok".into())
+        }
+        Op::Rmdir(d) => norm(fs.rmdir(ctx, &dir_path(*d)), |_| "ok".into()),
+        Op::RenameFile(a, b) => {
+            let from = file_path(*a, a / 4);
+            let to = file_path(*b, b / 4);
+            norm(fs.rename(ctx, &from, &to), |_| "ok".into())
+        }
+        Op::Readdir(d) => norm(fs.readdir(ctx, &dir_path(*d)), |entries| {
+            let mut names: Vec<String> =
+                entries.into_iter().map(|e| format!("{}:{:?}", e.name, e.ftype)).collect();
+            names.sort();
+            names.join(",")
+        }),
+        Op::Truncate(sel, size) => {
+            let path = file_path(*sel, sel / 4);
+            norm(fs.truncate(ctx, &path, *size as u64 % 600), |_| "ok".into())
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Mkdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, f)| Op::Create(d, f)),
+        (any::<u8>(), any::<u16>(), any::<u8>(), any::<u8>())
+            .prop_map(|(s, o, v, l)| Op::WriteAt(s, o, v, l)),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Stat),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::RenameFile(a, b)),
+        any::<u8>().prop_map(Op::Readdir),
+        (any::<u8>(), any::<u16>()).prop_map(|(s, z)| Op::Truncate(s, z)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #[test]
+    fn arkfs_agrees_with_centralized_namespace(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let ctx = Credentials::root();
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let ark = ArkCluster::new(ArkConfig::test_tiny(), store).client();
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let ceph = CephFs::new(store, 1, ClusterSpec::test_tiny(), 64)
+            .client(MountType::Kernel);
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&*ark, &ctx, op);
+            let c = apply(&*ceph, &ctx, op);
+            prop_assert_eq!(a, c, "divergence at op {} = {:?}", i, op);
+        }
+    }
+}
+
+#[test]
+fn divergence_scenario_rename_chain() {
+    // A deterministic regression scenario exercising rename chains and
+    // re-creation over both implementations.
+    let ctx = Credentials::root();
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    let ark = ArkCluster::new(ArkConfig::test_tiny(), store).client();
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    let ceph = CephFs::new(store, 1, ClusterSpec::test_tiny(), 64).client(MountType::Kernel);
+    let ops = [
+        Op::Mkdir(0),
+        Op::Mkdir(1),
+        Op::Create(0, 0),
+        Op::WriteAt(0, 10, 7, 50),
+        Op::RenameFile(0, 1),
+        Op::Create(0, 0),
+        Op::RenameFile(0, 1), // replaces
+        Op::Read(1),
+        Op::Readdir(0),
+        Op::Readdir(1),
+        Op::Unlink(1),
+        Op::Rmdir(1),
+        Op::Rmdir(0),
+    ];
+    for (i, op) in ops.iter().enumerate() {
+        let a = apply(&*ark, &ctx, op);
+        let c = apply(&*ceph, &ctx, op);
+        assert_eq!(a, c, "divergence at {i}: {op:?}");
+    }
+}

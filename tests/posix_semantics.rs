@@ -1,0 +1,217 @@
+//! POSIX-semantics conformance suite, run against every file system in
+//! the workspace that claims (near-)full POSIX: ArkFS and both CephFS
+//! mounts. The same assertions driving different architectures is the
+//! point: the client-driven metadata service must be observationally
+//! equivalent to a centralized MDS.
+
+use arkfs::{ArkCluster, ArkConfig};
+use arkfs_baselines::{CephFs, MountType};
+use arkfs_objstore::{ClusterConfig, ObjectCluster};
+use arkfs_simkit::ClusterSpec;
+use arkfs_vfs::{
+    read_file, write_file, Credentials, FileType, FsError, OpenFlags, SetAttr, Vfs, AM_READ,
+    AM_WRITE,
+};
+use std::sync::Arc;
+
+fn systems() -> Vec<(&'static str, Arc<dyn Vfs>)> {
+    // Fresh deployments per entry: each conformance run gets a pristine
+    // namespace.
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    let ark = ArkCluster::new(ArkConfig::test_tiny(), store).client();
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    let ceph_k = CephFs::new(store, 1, ClusterSpec::test_tiny(), 64);
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    let ceph_f = CephFs::new(store, 1, ClusterSpec::test_tiny(), 64);
+    vec![
+        ("arkfs", ark as Arc<dyn Vfs>),
+        ("cephfs-k", ceph_k.client(MountType::Kernel) as Arc<dyn Vfs>),
+        ("cephfs-f", ceph_f.client(MountType::Fuse) as Arc<dyn Vfs>),
+    ]
+}
+
+fn root() -> Credentials {
+    Credentials::root()
+}
+
+#[test]
+fn lifecycle_and_listing() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        fs.mkdir(&ctx, "/a", 0o755).unwrap();
+        fs.mkdir(&ctx, "/a/b", 0o755).unwrap();
+        write_file(&*fs, &ctx, "/a/b/f1", b"one").unwrap();
+        write_file(&*fs, &ctx, "/a/b/f2", b"two2").unwrap();
+        let names: Vec<String> =
+            fs.readdir(&ctx, "/a/b").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["f1", "f2"], "{name}");
+        assert_eq!(fs.stat(&ctx, "/a/b/f2").unwrap().size, 4, "{name}");
+        fs.unlink(&ctx, "/a/b/f1").unwrap();
+        fs.unlink(&ctx, "/a/b/f2").unwrap();
+        fs.rmdir(&ctx, "/a/b").unwrap();
+        fs.rmdir(&ctx, "/a").unwrap();
+        assert_eq!(fs.readdir(&ctx, "/").unwrap().len(), 0, "{name}");
+    }
+}
+
+#[test]
+fn error_codes_are_posix() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        fs.mkdir(&ctx, "/d", 0o755).unwrap();
+        write_file(&*fs, &ctx, "/d/f", b"x").unwrap();
+        let cases: Vec<(&str, FsError)> = vec![
+            ("stat missing", FsError::NotFound),
+            ("mkdir exists", FsError::AlreadyExists),
+            ("rmdir nonempty", FsError::NotEmpty),
+            ("rmdir file", FsError::NotADirectory),
+            ("unlink dir", FsError::IsADirectory),
+            ("open dir", FsError::IsADirectory),
+            ("notdir midpath", FsError::NotADirectory),
+        ];
+        for (case, expect) in cases {
+            let got = match case {
+                "stat missing" => fs.stat(&ctx, "/nope").unwrap_err(),
+                "mkdir exists" => fs.mkdir(&ctx, "/d", 0o755).unwrap_err(),
+                "rmdir nonempty" => fs.rmdir(&ctx, "/d").unwrap_err(),
+                "rmdir file" => fs.rmdir(&ctx, "/d/f").unwrap_err(),
+                "unlink dir" => fs.unlink(&ctx, "/d").unwrap_err(),
+                "open dir" => fs.open(&ctx, "/d", OpenFlags::RDONLY).unwrap_err(),
+                "notdir midpath" => fs.stat(&ctx, "/d/f/deeper").unwrap_err(),
+                _ => unreachable!(),
+            };
+            assert_eq!(got, expect, "{name}: {case}");
+        }
+    }
+}
+
+#[test]
+fn rename_semantics() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        fs.mkdir(&ctx, "/src", 0o755).unwrap();
+        fs.mkdir(&ctx, "/dst", 0o755).unwrap();
+        write_file(&*fs, &ctx, "/src/f", b"payload").unwrap();
+        // Cross-directory move preserves data.
+        fs.rename(&ctx, "/src/f", "/dst/g").unwrap();
+        assert_eq!(read_file(&*fs, &ctx, "/dst/g").unwrap(), b"payload", "{name}");
+        assert_eq!(fs.stat(&ctx, "/src/f").unwrap_err(), FsError::NotFound, "{name}");
+        // Same-directory replace of a file.
+        write_file(&*fs, &ctx, "/dst/h", b"loser").unwrap();
+        fs.rename(&ctx, "/dst/g", "/dst/h").unwrap();
+        assert_eq!(read_file(&*fs, &ctx, "/dst/h").unwrap(), b"payload", "{name}");
+        // Self-rename is a no-op.
+        fs.rename(&ctx, "/dst/h", "/dst/h").unwrap();
+        // Directory into own subtree is rejected.
+        assert_eq!(
+            fs.rename(&ctx, "/dst", "/dst/h2").unwrap_err(),
+            FsError::InvalidArgument,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn data_integrity_random_offsets() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        // Build a 1000-byte file with overlapping writes; chunk size is
+        // 64 so this crosses many chunk boundaries.
+        let mut model = vec![0u8; 1000];
+        let fh = fs.create(&ctx, "/rand.bin", 0o644).unwrap();
+        let writes: [(u64, u8, usize); 6] = [
+            (0, 1, 300),
+            (250, 2, 100),
+            (600, 3, 400),
+            (90, 4, 20),
+            (950, 5, 50),
+            (333, 6, 7),
+        ];
+        for (off, val, len) in writes {
+            fs.write(&ctx, fh, off, &vec![val; len]).unwrap();
+            model[off as usize..off as usize + len].fill(val);
+        }
+        fs.fsync(&ctx, fh).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        assert_eq!(read_file(&*fs, &ctx, "/rand.bin").unwrap(), model, "{name}");
+    }
+}
+
+#[test]
+fn permissions_and_ownership() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        let alice = Credentials::user(100);
+        fs.mkdir(&ctx, "/priv", 0o700).unwrap();
+        assert_eq!(
+            fs.readdir(&alice, "/priv").unwrap_err(),
+            FsError::PermissionDenied,
+            "{name}"
+        );
+        write_file(&*fs, &ctx, "/priv/s", b"secret").unwrap();
+        assert_eq!(
+            fs.stat(&alice, "/priv/s").unwrap_err(),
+            FsError::PermissionDenied,
+            "{name}: exec on parent required"
+        );
+        // Open up the directory, lock down the file.
+        fs.setattr(&ctx, "/priv", &SetAttr::chmod(0o755)).unwrap();
+        fs.setattr(&ctx, "/priv/s", &SetAttr::chmod(0o600)).unwrap();
+        assert!(fs.stat(&alice, "/priv/s").is_ok(), "{name}: stat needs no read perm");
+        assert_eq!(fs.access(&alice, "/priv/s", AM_READ).unwrap_err(),
+            FsError::PermissionDenied, "{name}");
+        // chown to alice, then she can read/write.
+        fs.setattr(&ctx, "/priv/s", &SetAttr::chown(100, 100)).unwrap();
+        fs.access(&alice, "/priv/s", AM_READ | AM_WRITE).unwrap();
+    }
+}
+
+#[test]
+fn truncate_and_append() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        write_file(&*fs, &ctx, "/t", &[9u8; 150]).unwrap();
+        fs.truncate(&ctx, "/t", 70).unwrap();
+        assert_eq!(fs.stat(&ctx, "/t").unwrap().size, 70, "{name}");
+        let fh = fs.open(&ctx, "/t", OpenFlags::WRONLY.append()).unwrap();
+        fs.write(&ctx, fh, 0, &[7u8; 10]).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        let data = read_file(&*fs, &ctx, "/t").unwrap();
+        assert_eq!(data.len(), 80, "{name}");
+        assert!(data[..70].iter().all(|&b| b == 9), "{name}");
+        assert!(data[70..].iter().all(|&b| b == 7), "{name}");
+    }
+}
+
+#[test]
+fn symlinks() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        write_file(&*fs, &ctx, "/real", b"here").unwrap();
+        let st = fs.symlink(&ctx, "/ln", "/real").unwrap();
+        assert_eq!(st.ftype, FileType::Symlink, "{name}");
+        assert_eq!(fs.readlink(&ctx, "/ln").unwrap(), "/real", "{name}");
+        assert_eq!(read_file(&*fs, &ctx, "/ln").unwrap(), b"here", "{name}: open follows");
+        fs.unlink(&ctx, "/ln").unwrap();
+        assert!(fs.stat(&ctx, "/real").is_ok(), "{name}: target survives");
+    }
+}
+
+#[test]
+fn mtime_moves_forward() {
+    for (name, fs) in systems() {
+        let ctx = root();
+        fs.mkdir(&ctx, "/m", 0o755).unwrap();
+        let before = fs.stat(&ctx, "/m").unwrap().mtime;
+        write_file(&*fs, &ctx, "/m/child", b"x").unwrap();
+        let after = fs.stat(&ctx, "/m").unwrap().mtime;
+        assert!(after >= before, "{name}: dir mtime after create");
+        let f_before = fs.stat(&ctx, "/m/child").unwrap().mtime;
+        let fh = fs.open(&ctx, "/m/child", OpenFlags::WRONLY).unwrap();
+        fs.write(&ctx, fh, 0, b"yy").unwrap();
+        fs.fsync(&ctx, fh).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        let f_after = fs.stat(&ctx, "/m/child").unwrap().mtime;
+        assert!(f_after >= f_before, "{name}: file mtime after write");
+    }
+}
