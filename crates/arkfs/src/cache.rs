@@ -126,27 +126,54 @@ impl DataCache {
         self.insert(ino, chunk, data, false, ready_at)
     }
 
-    fn insert(&mut self, ino: Ino, chunk: u64, data: Vec<u8>, dirty: bool, ready_at: u64)
-        -> Vec<Evicted> {
-        let tick = self.tick();
-        let tree = self.files.entry(ino).or_default();
-        if tree.insert(chunk, CacheEntry { data, dirty, tick, ready_at }).is_none() {
-            self.len += 1;
+    /// Bulk variant of [`DataCache::insert_clean`]: install many chunks of
+    /// one file under a single call, running the LRU eviction scan once at
+    /// the end instead of per entry. Entries are ticked in order, so the
+    /// eviction outcome matches the serial insert loop.
+    pub fn insert_clean_many(&mut self, ino: Ino, entries: Vec<(u64, Vec<u8>)>) -> Vec<Evicted> {
+        for (chunk, data) in entries {
+            self.install(ino, chunk, data, false, 0);
         }
         self.evict_to_capacity()
+    }
+
+    fn insert(
+        &mut self,
+        ino: Ino,
+        chunk: u64,
+        data: Vec<u8>,
+        dirty: bool,
+        ready_at: u64,
+    ) -> Vec<Evicted> {
+        self.install(ino, chunk, data, dirty, ready_at);
+        self.evict_to_capacity()
+    }
+
+    /// Place an entry without running eviction (bulk callers evict once).
+    fn install(&mut self, ino: Ino, chunk: u64, data: Vec<u8>, dirty: bool, ready_at: u64) {
+        let tick = self.tick();
+        let tree = self.files.entry(ino).or_default();
+        if tree
+            .insert(
+                chunk,
+                CacheEntry {
+                    data,
+                    dirty,
+                    tick,
+                    ready_at,
+                },
+            )
+            .is_none()
+        {
+            self.len += 1;
+        }
     }
 
     /// Write into a chunk at `offset`, extending it as needed, marking it
     /// dirty. The chunk must already be resident (callers install it with
     /// `insert_clean` first when doing a partial overwrite of store
     /// data). Returns evictions.
-    pub fn write(
-        &mut self,
-        ino: Ino,
-        chunk: u64,
-        offset: usize,
-        data: &[u8],
-    ) -> Vec<Evicted> {
+    pub fn write(&mut self, ino: Ino, chunk: u64, offset: usize, data: &[u8]) -> Vec<Evicted> {
         let tick = self.tick();
         let tree = self.files.entry(ino).or_default();
         match tree.get_mut(chunk) {
@@ -167,6 +194,30 @@ impl DataCache {
                 self.insert(ino, chunk, buf, true, 0)
             }
         }
+    }
+
+    /// Apply a multi-chunk write as one operation. `pieces` are
+    /// `(chunk, offset_within_chunk, bytes)` spans of one contiguous
+    /// write; `fills` carries store-resident chunk contents to install
+    /// (clean) right before the first write lands on that chunk — the
+    /// read-modify step of a partial overwrite. Each chunk's fill is
+    /// installed immediately before its write so eviction pressure can
+    /// never displace a fill before its write applies; dirty evictions
+    /// from the whole span accumulate into the returned batch.
+    pub fn write_many(
+        &mut self,
+        ino: Ino,
+        mut fills: HashMap<u64, Vec<u8>>,
+        pieces: &[(u64, usize, &[u8])],
+    ) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for &(chunk, offset, data) in pieces {
+            if let Some(fill) = fills.remove(&chunk) {
+                out.extend(self.insert(ino, chunk, fill, false, 0));
+            }
+            out.extend(self.write(ino, chunk, offset, data));
+        }
+        out
     }
 
     fn evict_to_capacity(&mut self) -> Vec<Evicted> {
@@ -193,7 +244,11 @@ impl DataCache {
                 self.files.remove(&ino);
             }
             if entry.dirty {
-                out.push(Evicted { ino, chunk, data: entry.data });
+                out.push(Evicted {
+                    ino,
+                    chunk,
+                    data: entry.data,
+                });
             }
         }
         out
@@ -311,7 +366,14 @@ mod tests {
         let mut c = DataCache::new(1);
         c.write(1, 0, 0, b"dirty");
         let ev = c.write(2, 0, 0, b"new");
-        assert_eq!(ev, vec![Evicted { ino: 1, chunk: 0, data: b"dirty".to_vec() }]);
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                ino: 1,
+                chunk: 0,
+                data: b"dirty".to_vec()
+            }]
+        );
         assert_eq!(c.len(), 1);
     }
 
@@ -362,6 +424,82 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.contains(1, 1));
         assert!(!c.contains(1, 2));
+    }
+
+    #[test]
+    fn insert_clean_many_matches_serial_eviction() {
+        let mut serial = DataCache::new(2);
+        let mut bulk = DataCache::new(2);
+        serial.write(1, 0, 0, b"dirty");
+        bulk.write(1, 0, 0, b"dirty");
+        let entries: Vec<(u64, Vec<u8>)> = (1..4).map(|c| (c, vec![c as u8])).collect();
+        let mut ev_serial = Vec::new();
+        for (chunk, data) in entries.clone() {
+            ev_serial.extend(serial.insert_clean(1, chunk, data));
+        }
+        let ev_bulk = bulk.insert_clean_many(1, entries);
+        assert_eq!(ev_bulk, ev_serial, "dirty chunk handed back either way");
+        assert_eq!(bulk.len(), serial.len());
+        for chunk in 0..4 {
+            assert_eq!(bulk.contains(1, chunk), serial.contains(1, chunk));
+        }
+    }
+
+    #[test]
+    fn write_many_installs_fills_before_writes() {
+        let mut c = DataCache::new(8);
+        let mut fills = HashMap::new();
+        fills.insert(0u64, b"abcdefgh".to_vec());
+        // Partial overwrite of chunk 0 merges with the fill; chunk 1 is a
+        // fresh write with no fill.
+        let pieces: [(u64, usize, &[u8]); 2] = [(0, 2, b"XY"), (1, 0, b"new")];
+        let ev = c.write_many(1, fills, &pieces);
+        assert!(ev.is_empty());
+        assert_eq!(c.get(1, 0).unwrap(), b"abXYefgh");
+        assert_eq!(c.get(1, 1).unwrap(), b"new");
+        assert_eq!(c.dirty_count(), 2);
+    }
+
+    #[test]
+    fn write_many_accumulates_evictions_under_pressure() {
+        // Capacity 1: every chunk of the span displaces the previous one;
+        // all dirty evictions must come back from the single call.
+        let mut c = DataCache::new(1);
+        let pieces: [(u64, usize, &[u8]); 3] = [(0, 0, b"a"), (1, 0, b"b"), (2, 0, b"c")];
+        let ev = c.write_many(1, HashMap::new(), &pieces);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(
+            ev[0],
+            Evicted {
+                ino: 1,
+                chunk: 0,
+                data: b"a".to_vec()
+            }
+        );
+        assert_eq!(
+            ev[1],
+            Evicted {
+                ino: 1,
+                chunk: 1,
+                data: b"b".to_vec()
+            }
+        );
+        assert_eq!(c.get(1, 2).unwrap(), b"c");
+        // A fill is never displaced before its own write applies, even at
+        // capacity 1.
+        let mut fills = HashMap::new();
+        fills.insert(5u64, b"stored".to_vec());
+        let pieces: [(u64, usize, &[u8]); 1] = [(5, 0, b"W")];
+        let ev = c.write_many(1, fills, &pieces);
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                ino: 1,
+                chunk: 2,
+                data: b"c".to_vec()
+            }]
+        );
+        assert_eq!(c.get(1, 5).unwrap(), b"Wtored");
     }
 
     #[test]

@@ -33,6 +33,19 @@ use std::sync::Arc;
 /// How often a non-leader retries lease acquisition before giving up.
 const MAX_LEASE_RETRIES: usize = 16;
 
+/// Data-path counters surfaced by [`ArkClient::stats`]: cache behaviour
+/// is per client, the batched-op totals come from the shared object
+/// store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Batched multi-ops (get/put/range/delete `_many`) the store served.
+    pub store_batch_calls: u64,
+    /// Total items fanned out across those batched calls.
+    pub store_batch_items: u64,
+}
+
 /// A cached view of a remote directory used in permission-cache mode
 /// (§III-C): its inode (permissions + stat) and recent lookup results,
 /// valid for one lease period.
@@ -128,8 +141,13 @@ impl ArkClient {
             rng: Mutex::new(StdRng::seed_from_u64(0xA2F5_0000 ^ id.0 as u64)),
             crashed: AtomicBool::new(false),
         });
-        cluster.ops_bus().register(id, Arc::new(ClientService(Arc::clone(&state))));
-        Arc::new(ArkClient { state, port: Port::new() })
+        cluster
+            .ops_bus()
+            .register(id, Arc::new(ClientService(Arc::clone(&state))));
+        Arc::new(ArkClient {
+            state,
+            port: Port::new(),
+        })
     }
 
     /// This client's network identity.
@@ -151,6 +169,21 @@ impl ArkClient {
     pub fn cache_stats(&self) -> (u64, u64) {
         let c = self.state.cache.lock();
         (c.hits(), c.misses())
+    }
+
+    /// Data-path counters: this client's cache hits/misses plus the
+    /// batched-op totals of the shared object store (batch calls and the
+    /// items fanned out across them — store-wide, so multi-client fleets
+    /// see the same numbers from every client).
+    pub fn stats(&self) -> ClientStats {
+        let (cache_hits, cache_misses) = self.cache_stats();
+        let (store_batch_calls, store_batch_items) = self.prt().store().batch_stats();
+        ClientStats {
+            cache_hits,
+            cache_misses,
+            store_batch_calls,
+            store_batch_items,
+        }
     }
 
     /// Drop all CLEAN cached data (the fio benchmark's "drop the cache
@@ -186,7 +219,10 @@ impl ArkClient {
             let _ = self.state.cluster.lease_bus().call(
                 &self.port,
                 manager_node(dir, self.config().lease_managers),
-                LeaseRequest::Release { client: self.state.id, ino: dir },
+                LeaseRequest::Release {
+                    client: self.state.id,
+                    ino: dir,
+                },
             );
         }
         Ok(())
@@ -213,7 +249,8 @@ impl ArkClient {
 
     fn fuse_charge(&self, requests: usize) {
         if self.config().fuse_model {
-            self.port.advance(self.config().spec.fuse_op_cost * requests as u64);
+            self.port
+                .advance(self.config().spec.fuse_op_cost * requests as u64);
         }
     }
 
@@ -224,12 +261,7 @@ impl ArkClient {
 
     /// One path-resolution step: find `name` in `dir`, checking exec
     /// permission on `dir` for `ctx`.
-    fn lookup_step(
-        &self,
-        ctx: &Credentials,
-        dir: Ino,
-        name: &str,
-    ) -> FsResult<(Ino, FileType)> {
+    fn lookup_step(&self, ctx: &Credentials, dir: Ino, name: &str) -> FsResult<(Ino, FileType)> {
         match self.dir_ref(dir)? {
             DirRef::Local(table) => {
                 self.port.advance(self.config().spec.local_meta_op);
@@ -248,7 +280,10 @@ impl ArkClient {
                     ctx,
                     dir,
                     leader,
-                    OpBody::Lookup { dir, name: name.to_string() },
+                    OpBody::Lookup {
+                        dir,
+                        name: name.to_string(),
+                    },
                 )?;
                 match resp {
                     OpResponse::Entry { ino, ftype, .. } => {
@@ -310,7 +345,11 @@ impl ArkClient {
         let expires_at = self.port.now() + self.config().lease_period;
         self.state.pcache.lock().insert(
             dir,
-            PermCacheEntry { dir: rec, lookups: HashMap::new(), expires_at },
+            PermCacheEntry {
+                dir: rec,
+                lookups: HashMap::new(),
+                expires_at,
+            },
         );
         Ok(())
     }
@@ -354,7 +393,10 @@ impl ArkClient {
         body: OpBody,
     ) -> FsResult<OpResponse> {
         for _ in 0..MAX_LEASE_RETRIES {
-            let req = OpRequest { creds: ctx.clone(), body: body.clone() };
+            let req = OpRequest {
+                creds: ctx.clone(),
+                body: body.clone(),
+            };
             match self.state.cluster.ops_bus().call(&self.port, leader, req) {
                 Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
                     self.state.remote_hints.lock().remove(&dir);
@@ -363,7 +405,10 @@ impl ArkClient {
                         DirRef::Local(table) => {
                             // We became the leader ourselves; execute
                             // locally through the common serve path.
-                            let req = OpRequest { creds: ctx.clone(), body: body.clone() };
+                            let req = OpRequest {
+                                creds: ctx.clone(),
+                                body: body.clone(),
+                            };
                             return Ok(self.state.serve_local(&self.port, &table, req));
                         }
                     }
@@ -380,7 +425,10 @@ impl ArkClient {
         match self.dir_ref(dir)? {
             DirRef::Local(table) => {
                 self.port.advance(self.config().spec.local_meta_op);
-                let req = OpRequest { creds: ctx.clone(), body };
+                let req = OpRequest {
+                    creds: ctx.clone(),
+                    body,
+                };
                 Ok(self.state.serve_local(&self.port, &table, req))
             }
             DirRef::Remote(leader) => self.remote_call(ctx, dir, leader, body),
@@ -449,7 +497,10 @@ impl ArkClient {
                     ctx,
                     dir,
                     leader,
-                    OpBody::Lookup { dir, name: name.to_string() },
+                    OpBody::Lookup {
+                        dir,
+                        name: name.to_string(),
+                    },
                 )?;
                 match resp {
                     OpResponse::Entry { ino, ftype, rec } => {
@@ -477,7 +528,11 @@ impl ArkClient {
     /// Acquire a read lease on `file` from the leader of `parent`.
     /// Returns whether caching is allowed.
     fn file_lease_read(&self, parent: Ino, file: Ino) -> FsResult<bool> {
-        let body = OpBody::AcquireReadLease { dir: parent, file, client: self.state.id };
+        let body = OpBody::AcquireReadLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
         match self.on_dir(&Credentials::root(), parent, body)? {
             OpResponse::Lease(FileLeaseDecision::Granted { .. }) => Ok(true),
             OpResponse::Lease(FileLeaseDecision::Direct { .. }) => Ok(false),
@@ -487,7 +542,11 @@ impl ArkClient {
     }
 
     fn file_lease_write(&self, parent: Ino, file: Ino) -> FsResult<bool> {
-        let body = OpBody::AcquireWriteLease { dir: parent, file, client: self.state.id };
+        let body = OpBody::AcquireWriteLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
         match self.on_dir(&Credentials::root(), parent, body)? {
             OpResponse::Lease(FileLeaseDecision::Granted { .. }) => Ok(true),
             OpResponse::Lease(FileLeaseDecision::Direct { .. }) => {
@@ -503,7 +562,11 @@ impl ArkClient {
     }
 
     fn release_file_lease(&self, parent: Ino, file: Ino) {
-        let body = OpBody::ReleaseFileLease { dir: parent, file, client: self.state.id };
+        let body = OpBody::ReleaseFileLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
         let _ = self.on_dir(&Credentials::root(), parent, body);
     }
 
@@ -541,7 +604,15 @@ impl ArkClient {
     /// Push size/mtime to the parent leader and make the journal durable
     /// (fsync semantics).
     fn push_size(&self, ctx: &Credentials, parent: Ino, file: Ino, size: u64) -> FsResult<()> {
-        match self.on_dir(ctx, parent, OpBody::SetSize { dir: parent, ino: file, size })? {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::SetSize {
+                dir: parent,
+                ino: file,
+                size,
+            },
+        )? {
             OpResponse::Ok => Ok(()),
             OpResponse::Err(e) => Err(e),
             _ => Err(FsError::Io("unexpected setsize response".into())),
@@ -579,9 +650,16 @@ impl ClientState {
                 match self.cluster.lease_bus().call(
                     port,
                     manager_node(dir, config.lease_managers),
-                    LeaseRequest::Acquire { client: self.id, ino: dir },
+                    LeaseRequest::Acquire {
+                        client: self.id,
+                        ino: dir,
+                    },
                 ) {
-                    Ok(LeaseResponse::Granted { expires_at, must_load, .. }) => {
+                    Ok(LeaseResponse::Granted {
+                        expires_at,
+                        must_load,
+                        ..
+                    }) => {
                         if must_load {
                             // Defensive: the manager believes our state is
                             // stale; rebuild.
@@ -627,7 +705,10 @@ impl ClientState {
             match self.cluster.lease_bus().call(
                 port,
                 manager_node(dir, config.lease_managers),
-                LeaseRequest::Acquire { client: self.id, ino: dir },
+                LeaseRequest::Acquire {
+                    client: self.id,
+                    ino: dir,
+                },
             ) {
                 Ok(LeaseResponse::Granted { expires_at, .. }) => {
                     // Build the metatable; §III-C: load inode, check, pull
@@ -645,7 +726,10 @@ impl ClientState {
                             let _ = self.cluster.lease_bus().call(
                                 port,
                                 manager_node(dir, config.lease_managers),
-                                LeaseRequest::Release { client: self.id, ino: dir },
+                                LeaseRequest::Release {
+                                    client: self.id,
+                                    ino: dir,
+                                },
                             );
                             return Err(e);
                         }
@@ -692,9 +776,16 @@ impl ClientState {
             match self.cluster.lease_bus().call(
                 port,
                 manager_node(dir, self.cluster.config().lease_managers),
-                LeaseRequest::Acquire { client: self.id, ino: dir },
+                LeaseRequest::Acquire {
+                    client: self.id,
+                    ino: dir,
+                },
             ) {
-                Ok(LeaseResponse::Granted { expires_at, must_load: false, .. }) => {
+                Ok(LeaseResponse::Granted {
+                    expires_at,
+                    must_load: false,
+                    ..
+                }) => {
                     self.leases.lock().insert(dir, expires_at);
                 }
                 _ => {
@@ -756,7 +847,8 @@ impl ClientState {
         // application (the store still sees their load).
         let maybe_commit = |t: &mut Metatable, force: bool| -> FsResult<()> {
             if force {
-                t.journal.commit(prt, port, self.lane(dir_ino), config.spec.local_meta_op)?;
+                t.journal
+                    .commit(prt, port, self.lane(dir_ino), config.spec.local_meta_op)?;
             } else if t.journal.commit_due(
                 port.now(),
                 config.journal_window,
@@ -796,7 +888,10 @@ impl ClientState {
                 if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
                     return OpResponse::Err(e);
                 }
-                match t.create_child(rec, &name, now).and_then(|()| maybe_commit(&mut t, false)) {
+                match t
+                    .create_child(rec, &name, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
                 }
@@ -805,7 +900,10 @@ impl ClientState {
                 if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
                     return OpResponse::Err(e);
                 }
-                match t.add_subdir(&name, child, now).and_then(|()| maybe_commit(&mut t, false)) {
+                match t
+                    .add_subdir(&name, child, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
                 }
@@ -834,14 +932,19 @@ impl ClientState {
                     Some(_) => return OpResponse::Err(FsError::NotADirectory),
                     None => return OpResponse::Err(FsError::NotFound),
                 };
-                let victim_uid =
-                    prt.load_inode(port, child_ino).map(|r| r.uid).unwrap_or(t.dir.uid);
+                let victim_uid = prt
+                    .load_inode(port, child_ino)
+                    .map(|r| r.uid)
+                    .unwrap_or(t.dir.uid);
                 if let Err(e) = perm::check_delete(
                     &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
                 ) {
                     return OpResponse::Err(e);
                 }
-                match t.remove_subdir(&name, now).and_then(|_| maybe_commit(&mut t, false)) {
+                match t
+                    .remove_subdir(&name, now)
+                    .and_then(|_| maybe_commit(&mut t, false))
+                {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
                 }
@@ -861,7 +964,10 @@ impl ClientState {
                     }
                 }
                 // fsync semantics: the size update must be durable.
-                match t.set_child_size(ino, size, now).and_then(|()| maybe_commit(&mut t, true)) {
+                match t
+                    .set_child_size(ino, size, now)
+                    .and_then(|()| maybe_commit(&mut t, true))
+                {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
                 }
@@ -906,7 +1012,10 @@ impl ClientState {
                 if let Err(e) = perm::check_setattr(&creds, owner, false) {
                     return OpResponse::Err(e);
                 }
-                match t.set_acl(target, acl, now).and_then(|()| maybe_commit(&mut t, false)) {
+                match t
+                    .set_acl(target, acl, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
                 }
@@ -921,12 +1030,17 @@ impl ClientState {
                 ) {
                     return OpResponse::Err(e);
                 }
-                match t.rename_local(&from, &to, now).and_then(|()| maybe_commit(&mut t, false)) {
+                match t
+                    .rename_local(&from, &to, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
                 }
             }
-            OpBody::RenameSrcPrepare { name, txid, peer, .. } => {
+            OpBody::RenameSrcPrepare {
+                name, txid, peer, ..
+            } => {
                 let victim_uid = match t.lookup(&name) {
                     Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
                     None => return OpResponse::Err(FsError::NotFound),
@@ -949,11 +1063,23 @@ impl ClientState {
                     Err(e) => return OpResponse::Err(e),
                 };
                 match maybe_commit(&mut t, true) {
-                    Ok(()) => OpResponse::Detached { ino: entry.ino, ftype: entry.ftype, rec },
+                    Ok(()) => OpResponse::Detached {
+                        ino: entry.ino,
+                        ftype: entry.ftype,
+                        rec,
+                    },
                     Err(e) => OpResponse::Err(e),
                 }
             }
-            OpBody::RenameDstPrepare { name, txid, peer, ino, ftype, rec, .. } => {
+            OpBody::RenameDstPrepare {
+                name,
+                txid,
+                peer,
+                ino,
+                ftype,
+                rec,
+                ..
+            } => {
                 if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
                     return OpResponse::Err(e);
                 }
@@ -981,7 +1107,11 @@ impl ClientState {
                     ops.push(crate::journal::JournalOp::PutInode(rec.clone()));
                 }
                 t.journal.append(
-                    crate::journal::JournalOp::RenamePrepare { txid, peer_dir: peer, ops },
+                    crate::journal::JournalOp::RenamePrepare {
+                        txid,
+                        peer_dir: peer,
+                        ops,
+                    },
                     now,
                 );
                 if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
@@ -995,11 +1125,15 @@ impl ClientState {
                     Err(e) => OpResponse::Err(e),
                 }
             }
-            OpBody::RenameDecide { txid, commit, undo, .. } => {
+            OpBody::RenameDecide {
+                txid, commit, undo, ..
+            } => {
                 if commit {
-                    t.journal.append(crate::journal::JournalOp::RenameCommit { txid }, now);
+                    t.journal
+                        .append(crate::journal::JournalOp::RenameCommit { txid }, now);
                 } else {
-                    t.journal.append(crate::journal::JournalOp::RenameAbort { txid }, now);
+                    t.journal
+                        .append(crate::journal::JournalOp::RenameAbort { txid }, now);
                     if let Some((name, ino, ftype, rec)) = undo {
                         if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
                             return OpResponse::Err(e);
@@ -1055,7 +1189,10 @@ impl ClientState {
             if let Ok(OpResponse::Flushed { size: Some(size) }) = self.cluster.ops_bus().call(
                 port,
                 target,
-                OpRequest { creds: Credentials::root(), body: OpBody::FlushCache { file } },
+                OpRequest {
+                    creds: Credentials::root(),
+                    body: OpBody::FlushCache { file },
+                },
             ) {
                 let current = t.child_inode(file).map(|r| r.size).unwrap_or(0);
                 if size > current {
@@ -1123,10 +1260,17 @@ impl ArkClient {
                     ctx,
                     dir,
                     leader,
-                    OpBody::Lookup { dir, name: name.to_string() },
+                    OpBody::Lookup {
+                        dir,
+                        name: name.to_string(),
+                    },
                 )?;
                 match resp {
-                    OpResponse::Entry { ino, rec: Some(rec), .. } => Ok((ino, rec)),
+                    OpResponse::Entry {
+                        ino,
+                        rec: Some(rec),
+                        ..
+                    } => Ok((ino, rec)),
                     OpResponse::Entry { ino, rec: None, .. } => Ok((ino, self.dir_inode(ino)?)),
                     OpResponse::Err(e) => Err(e),
                     _ => Err(FsError::Io("unexpected lookup response".into())),
@@ -1174,7 +1318,16 @@ impl ArkClient {
         let id = self.state.next_handle.fetch_add(1, Ordering::Relaxed);
         self.state.handles.lock().insert(
             id,
-            OpenFile { ino, parent, flags, size, cached, wrote: false, ra_window: 0, last_pos: 0 },
+            OpenFile {
+                ino,
+                parent,
+                flags,
+                size,
+                cached,
+                wrote: false,
+                ra_window: 0,
+                last_pos: 0,
+            },
         );
         Ok(FileHandle(id))
     }
@@ -1215,8 +1368,10 @@ impl ArkClient {
         // store, but the application only waits if it touches a chunk
         // before its completion.
         let last_needed = (offset + want as u64 - 1) / chunk_size;
-        let keys: Vec<ObjectKey> =
-            missing.iter().map(|&c| ObjectKey::data_chunk(ino, c)).collect();
+        let keys: Vec<ObjectKey> = missing
+            .iter()
+            .map(|&c| ObjectKey::data_chunk(ino, c))
+            .collect();
         let depart = self.port.now() + self.config().spec.net_half_rtt;
         let results = self.prt().store().get_each(depart, &keys);
         let mut evicted = Vec::new();
@@ -1258,16 +1413,26 @@ impl Vfs for ArkClient {
         let (parent, name) = self.resolve_parent(ctx, path)?;
         vpath::validate_name(name)?;
         let ino = self.fresh_ino();
-        let rec = InodeRecord::new(ino, FileType::Directory, mode, ctx.uid, ctx.gid,
-            self.port.now());
+        let rec = InodeRecord::new(
+            ino,
+            FileType::Directory,
+            mode,
+            ctx.uid,
+            ctx.gid,
+            self.port.now(),
+        );
         // The child directory's inode object is written eagerly so its
         // first leader can load it (the dentry itself is journaled).
         self.prt().store_inode(&self.port, &rec)?;
-        match self.on_dir(ctx, parent, OpBody::AddSubdir {
-            dir: parent,
-            name: name.to_string(),
-            child: ino,
-        })? {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::AddSubdir {
+                dir: parent,
+                name: name.to_string(),
+                child: ino,
+            },
+        )? {
             OpResponse::Ok => {
                 if self.config().permission_cache {
                     self.pcache_note(parent, name, Some((ino, FileType::Directory)));
@@ -1299,14 +1464,23 @@ impl Vfs for ArkClient {
                     return Err(FsError::NotEmpty);
                 }
                 let lane = self.state.lane(child);
-                t.flush(self.prt(), &self.port, lane, self.config().spec.local_meta_op)?;
+                t.flush(
+                    self.prt(),
+                    &self.port,
+                    lane,
+                    self.config().spec.local_meta_op,
+                )?;
             }
             DirRef::Remote(_) => return Err(FsError::Busy),
         }
-        match self.on_dir(ctx, parent, OpBody::RemoveSubdir {
-            dir: parent,
-            name: name.to_string(),
-        })? {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::RemoveSubdir {
+                dir: parent,
+                name: name.to_string(),
+            },
+        )? {
             OpResponse::Ok => {}
             OpResponse::Err(e) => return Err(e),
             _ => return Err(FsError::Io("unexpected rmdir response".into())),
@@ -1317,7 +1491,10 @@ impl Vfs for ArkClient {
         let _ = self.state.cluster.lease_bus().call(
             &self.port,
             manager_node(child, self.config().lease_managers),
-            LeaseRequest::Release { client: self.state.id, ino: child },
+            LeaseRequest::Release {
+                client: self.state.id,
+                ino: child,
+            },
         );
         self.prt().delete_buckets(&self.port, child)?;
         self.prt().delete_inode(&self.port, child)?;
@@ -1332,13 +1509,23 @@ impl Vfs for ArkClient {
         let (parent, name) = self.resolve_parent(ctx, path)?;
         vpath::validate_name(name)?;
         let ino = self.fresh_ino();
-        let rec =
-            InodeRecord::new(ino, FileType::Regular, mode, ctx.uid, ctx.gid, self.port.now());
-        match self.on_dir(ctx, parent, OpBody::Create {
-            dir: parent,
-            name: name.to_string(),
-            rec,
-        })? {
+        let rec = InodeRecord::new(
+            ino,
+            FileType::Regular,
+            mode,
+            ctx.uid,
+            ctx.gid,
+            self.port.now(),
+        );
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::Create {
+                dir: parent,
+                name: name.to_string(),
+                rec,
+            },
+        )? {
             OpResponse::Ok => {}
             OpResponse::Err(e) => return Err(e),
             _ => return Err(FsError::Io("unexpected create response".into())),
@@ -1370,7 +1557,12 @@ impl Vfs for ArkClient {
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.fsync(ctx, fh)?;
-        let h = self.state.handles.lock().remove(&fh.0).ok_or(FsError::BadHandle)?;
+        let h = self
+            .state
+            .handles
+            .lock()
+            .remove(&fh.0)
+            .ok_or(FsError::BadHandle)?;
         self.release_file_lease(h.parent, h.ino);
         Ok(())
     }
@@ -1393,7 +1585,9 @@ impl Vfs for ArkClient {
         }
         let want = (buf.len() as u64).min(size - offset) as usize;
         if !cached {
-            let n = self.prt().read_data(&self.port, ino, offset, &mut buf[..want], size)?;
+            let n = self
+                .prt()
+                .read_data(&self.port, ino, offset, &mut buf[..want], size)?;
             let mut handles = self.state.handles.lock();
             if let Some(h) = handles.get_mut(&fh.0) {
                 h.last_pos = offset + n as u64;
@@ -1410,8 +1604,7 @@ impl Vfs for ArkClient {
             if offset == 0 && config.readahead_full_at_zero {
                 h.ra_window = config.max_readahead;
             } else if offset == h.last_pos && offset != 0 {
-                h.ra_window =
-                    (h.ra_window.max(config.chunk_size) * 2).min(config.max_readahead);
+                h.ra_window = (h.ra_window.max(config.chunk_size) * 2).min(config.max_readahead);
             } else if offset != h.last_pos {
                 h.ra_window = 0;
             }
@@ -1452,7 +1645,8 @@ impl Vfs for ArkClient {
                 None => false,
             };
             if !hit {
-                self.prt().read_data(&self.port, ino, pos, &mut buf[filled..filled + n], size)?;
+                self.prt()
+                    .read_data(&self.port, ino, pos, &mut buf[filled..filled + n], size)?;
             }
             filled += n;
         }
@@ -1501,30 +1695,52 @@ impl Vfs for ArkClient {
 
         if cached {
             let chunk_size = self.config().chunk_size;
+            // Split the write into per-chunk pieces up front.
+            let mut pieces: Vec<(u64, usize, &[u8])> = Vec::new();
             let mut written = 0usize;
             while written < data.len() {
                 let pos = offset + written as u64;
                 let chunk = pos / chunk_size;
                 let within = (pos % chunk_size) as usize;
                 let n = (chunk_size as usize - within).min(data.len() - written);
-                let piece = &data[written..written + n];
-                let chunk_start = chunk * chunk_size;
-                let covers_whole = within == 0 && n == chunk_size as usize;
-                // Partial overwrite of store-resident data needs the chunk
-                // in cache first (read-modify in cache).
-                let need_rmw = !covers_whole
-                    && chunk_start < size
-                    && !self.state.cache.lock().contains(ino, chunk);
-                if need_rmw {
-                    let existing = self.prt().read_chunk(&self.port, ino, chunk)?;
-                    let ev =
-                        self.state.cache.lock().insert_clean(ino, chunk, existing.to_vec());
-                    self.write_back(ev)?;
-                }
-                let ev = self.state.cache.lock().write(ino, chunk, within, piece);
-                self.write_back(ev)?;
+                pieces.push((chunk, within, &data[written..written + n]));
                 written += n;
             }
+            // Partial overwrites of store-resident chunks need the old
+            // bytes in cache first (read-modify in cache); fetch every
+            // missing one in a single pipelined multi-GET.
+            let need_fill: Vec<u64> = {
+                let cache = self.state.cache.lock();
+                pieces
+                    .iter()
+                    .filter(|&&(chunk, within, piece)| {
+                        let covers_whole = within == 0 && piece.len() == chunk_size as usize;
+                        !covers_whole && chunk * chunk_size < size && !cache.contains(ino, chunk)
+                    })
+                    .map(|&(chunk, ..)| chunk)
+                    .collect()
+            };
+            let mut fills = HashMap::new();
+            if !need_fill.is_empty() {
+                let keys: Vec<ObjectKey> = need_fill
+                    .iter()
+                    .map(|&c| ObjectKey::data_chunk(ino, c))
+                    .collect();
+                let results = self.prt().store().get_many(&self.port, &keys);
+                for (&chunk, result) in need_fill.iter().zip(results) {
+                    match result {
+                        Ok(bytes) => {
+                            fills.insert(chunk, bytes.to_vec());
+                        }
+                        Err(arkfs_objstore::OsError::NotFound) => {}
+                        Err(e) => return Err(crate::prt::map_os_err(e)),
+                    }
+                }
+            }
+            // One cache pass for the whole span; dirty evictions from the
+            // entire call flush as a single write-back batch.
+            let evicted = self.state.cache.lock().write_many(ino, fills, &pieces);
+            self.write_back(evicted)?;
             self.port.advance(self.config().spec.local_meta_op);
         } else {
             self.prt().write_data(&self.port, ino, offset, data)?;
@@ -1580,7 +1796,14 @@ impl Vfs for ArkClient {
 
     fn unlink(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
         let (parent, name) = self.resolve_parent(ctx, path)?;
-        match self.on_dir(ctx, parent, OpBody::Unlink { dir: parent, name: name.to_string() })? {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::Unlink {
+                dir: parent,
+                name: name.to_string(),
+            },
+        )? {
             OpResponse::Inode(rec) => {
                 self.state.cache.lock().invalidate_file(rec.ino);
                 self.prt().delete_data(&self.port, rec.ino, rec.size)?;
@@ -1629,11 +1852,15 @@ impl Vfs for ArkClient {
                     self.rmdir(ctx, to)?;
                 }
             }
-            return match self.on_dir(ctx, src_dir, OpBody::RenameLocal {
-                dir: src_dir,
-                from: src_name.to_string(),
-                to: dst_name.to_string(),
-            })? {
+            return match self.on_dir(
+                ctx,
+                src_dir,
+                OpBody::RenameLocal {
+                    dir: src_dir,
+                    from: src_name.to_string(),
+                    to: dst_name.to_string(),
+                },
+            )? {
                 OpResponse::Ok => {
                     if self.config().permission_cache {
                         self.pcache_note(src_dir, src_name, None);
@@ -1650,52 +1877,69 @@ impl Vfs for ArkClient {
         // inside the destination's prepare; a directory target is
         // rejected.
         let txid: u128 = self.state.rng.lock().random();
-        let (ino, ftype, rec) = match self.on_dir(ctx, src_dir, OpBody::RenameSrcPrepare {
-            dir: src_dir,
-            name: src_name.to_string(),
-            txid,
-            peer: dst_dir,
-        })? {
+        let (ino, ftype, rec) = match self.on_dir(
+            ctx,
+            src_dir,
+            OpBody::RenameSrcPrepare {
+                dir: src_dir,
+                name: src_name.to_string(),
+                txid,
+                peer: dst_dir,
+            },
+        )? {
             OpResponse::Detached { ino, ftype, rec } => (ino, ftype, rec),
             OpResponse::Err(e) => return Err(e),
             _ => return Err(FsError::Io("unexpected rename-src response".into())),
         };
-        let dst_result = self.on_dir(ctx, dst_dir, OpBody::RenameDstPrepare {
-            dir: dst_dir,
-            name: dst_name.to_string(),
-            txid,
-            peer: src_dir,
-            ino,
-            ftype,
-            rec: rec.clone(),
-        })?;
+        let dst_result = self.on_dir(
+            ctx,
+            dst_dir,
+            OpBody::RenameDstPrepare {
+                dir: dst_dir,
+                name: dst_name.to_string(),
+                txid,
+                peer: src_dir,
+                ino,
+                ftype,
+                rec: rec.clone(),
+            },
+        )?;
         match dst_result {
             OpResponse::Ok => {}
             OpResponse::Inode(victim) => {
                 // The destination replaced an existing file; its data
                 // chunks are ours to reclaim.
                 self.state.cache.lock().invalidate_file(victim.ino);
-                self.prt().delete_data(&self.port, victim.ino, victim.size)?;
+                self.prt()
+                    .delete_data(&self.port, victim.ino, victim.size)?;
             }
             OpResponse::Err(e) => {
                 // Abort: undo the source detach.
-                let _ = self.on_dir(ctx, src_dir, OpBody::RenameDecide {
-                    dir: src_dir,
-                    txid,
-                    commit: false,
-                    undo: Some((src_name.to_string(), ino, ftype, rec)),
-                });
+                let _ = self.on_dir(
+                    ctx,
+                    src_dir,
+                    OpBody::RenameDecide {
+                        dir: src_dir,
+                        txid,
+                        commit: false,
+                        undo: Some((src_name.to_string(), ino, ftype, rec)),
+                    },
+                );
                 return Err(e);
             }
             _ => return Err(FsError::Io("unexpected rename-dst response".into())),
         }
         for dir in [src_dir, dst_dir] {
-            match self.on_dir(ctx, dir, OpBody::RenameDecide {
+            match self.on_dir(
+                ctx,
                 dir,
-                txid,
-                commit: true,
-                undo: None,
-            })? {
+                OpBody::RenameDecide {
+                    dir,
+                    txid,
+                    commit: true,
+                    undo: None,
+                },
+            )? {
                 OpResponse::Ok => {}
                 OpResponse::Err(e) => return Err(e),
                 _ => return Err(FsError::Io("unexpected rename-decide response".into())),
@@ -1718,7 +1962,15 @@ impl Vfs for ArkClient {
             return Err(FsError::IsADirectory);
         }
         perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)?;
-        match self.on_dir(ctx, parent, OpBody::SetSize { dir: parent, ino, size })? {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::SetSize {
+                dir: parent,
+                ino,
+                size,
+            },
+        )? {
             OpResponse::Ok => {}
             OpResponse::Err(e) => return Err(e),
             _ => return Err(FsError::Io("unexpected truncate response".into())),
@@ -1744,19 +1996,37 @@ impl Vfs for ArkClient {
         let comps = vpath::components(path)?;
         let resp = if comps.is_empty() {
             self.fuse_charge(1);
-            self.on_dir(ctx, ROOT_INO, OpBody::SetAttrDir { dir: ROOT_INO, attr: attr.clone() })?
+            self.on_dir(
+                ctx,
+                ROOT_INO,
+                OpBody::SetAttrDir {
+                    dir: ROOT_INO,
+                    attr: attr.clone(),
+                },
+            )?
         } else {
             let (parent, name) = self.resolve_parent(ctx, path)?;
             let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
             if ftype == FileType::Directory {
                 self.pcache_forget(ino);
-                self.on_dir(ctx, ino, OpBody::SetAttrDir { dir: ino, attr: attr.clone() })?
-            } else {
-                self.on_dir(ctx, parent, OpBody::SetAttrChild {
-                    dir: parent,
+                self.on_dir(
+                    ctx,
                     ino,
-                    attr: attr.clone(),
-                })?
+                    OpBody::SetAttrDir {
+                        dir: ino,
+                        attr: attr.clone(),
+                    },
+                )?
+            } else {
+                self.on_dir(
+                    ctx,
+                    parent,
+                    OpBody::SetAttrChild {
+                        dir: parent,
+                        ino,
+                        attr: attr.clone(),
+                    },
+                )?
             }
         };
         match resp {
@@ -1770,16 +2040,26 @@ impl Vfs for ArkClient {
         let (parent, name) = self.resolve_parent(ctx, path)?;
         vpath::validate_name(name)?;
         let ino = self.fresh_ino();
-        let mut rec =
-            InodeRecord::new(ino, FileType::Symlink, 0o777, ctx.uid, ctx.gid, self.port.now());
+        let mut rec = InodeRecord::new(
+            ino,
+            FileType::Symlink,
+            0o777,
+            ctx.uid,
+            ctx.gid,
+            self.port.now(),
+        );
         rec.symlink_target = target.to_string();
         rec.size = target.len() as u64;
         let stat = rec.to_stat();
-        match self.on_dir(ctx, parent, OpBody::Create {
-            dir: parent,
-            name: name.to_string(),
-            rec,
-        })? {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::Create {
+                dir: parent,
+                name: name.to_string(),
+                rec,
+            },
+        )? {
             OpResponse::Ok => {
                 if self.config().permission_cache {
                     self.pcache_note(parent, name, Some((ino, FileType::Symlink)));
@@ -1803,23 +2083,39 @@ impl Vfs for ArkClient {
         let comps = vpath::components(path)?;
         let resp = if comps.is_empty() {
             self.fuse_charge(1);
-            self.on_dir(ctx, ROOT_INO, OpBody::SetAcl {
-                dir: ROOT_INO,
-                target: ROOT_INO,
-                acl: acl.clone(),
-            })?
+            self.on_dir(
+                ctx,
+                ROOT_INO,
+                OpBody::SetAcl {
+                    dir: ROOT_INO,
+                    target: ROOT_INO,
+                    acl: acl.clone(),
+                },
+            )?
         } else {
             let (parent, name) = self.resolve_parent(ctx, path)?;
             let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
             if ftype == FileType::Directory {
                 self.pcache_forget(ino);
-                self.on_dir(ctx, ino, OpBody::SetAcl { dir: ino, target: ino, acl: acl.clone() })?
+                self.on_dir(
+                    ctx,
+                    ino,
+                    OpBody::SetAcl {
+                        dir: ino,
+                        target: ino,
+                        acl: acl.clone(),
+                    },
+                )?
             } else {
-                self.on_dir(ctx, parent, OpBody::SetAcl {
-                    dir: parent,
-                    target: ino,
-                    acl: acl.clone(),
-                })?
+                self.on_dir(
+                    ctx,
+                    parent,
+                    OpBody::SetAcl {
+                        dir: parent,
+                        target: ino,
+                        acl: acl.clone(),
+                    },
+                )?
             }
         };
         match resp {
@@ -1876,8 +2172,12 @@ impl Vfs for ArkClient {
             .collect();
         for (ino, table) in tables {
             let mut t = table.lock();
-            t.flush(self.prt(), &self.port, self.state.lane(ino),
-                self.config().spec.local_meta_op)?;
+            t.flush(
+                self.prt(),
+                &self.port,
+                self.state.lane(ino),
+                self.config().spec.local_meta_op,
+            )?;
         }
         Ok(())
     }
@@ -1891,6 +2191,10 @@ impl Vfs for ArkClient {
             .map_err(crate::prt::map_os_err)?
             .len() as u64;
         let (store_objects, store_bytes) = self.prt().store().usage();
-        Ok(FsStats { inodes, store_objects, store_bytes })
+        Ok(FsStats {
+            inodes,
+            store_objects,
+            store_bytes,
+        })
     }
 }

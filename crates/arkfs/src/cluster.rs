@@ -48,8 +48,10 @@ impl ArkCluster {
             op_service: config.spec.lease_op_service,
         };
         for k in 0..config.lease_managers.max(1) {
-            lease_bus
-                .register(NodeId(MANAGER_BASE - k as u32), Arc::new(LeaseManager::new(lease_cfg)));
+            lease_bus.register(
+                NodeId(MANAGER_BASE - k as u32),
+                Arc::new(LeaseManager::new(lease_cfg)),
+            );
         }
 
         // Bootstrap "/" if this is a fresh store.

@@ -28,15 +28,29 @@ pub enum JournalOp {
     /// Remove an inode record.
     DeleteInode(Ino),
     /// Insert or update a directory entry.
-    UpsertDentry { name: String, ino: Ino, ftype: FileType },
+    UpsertDentry {
+        name: String,
+        ino: Ino,
+        ftype: FileType,
+    },
     /// Remove a directory entry.
-    RemoveDentry { name: String },
+    RemoveDentry {
+        name: String,
+    },
     /// First phase of a cross-directory rename: the ops to apply here if
     /// the transaction commits. `peer_dir` owns the other half.
-    RenamePrepare { txid: u128, peer_dir: Ino, ops: Vec<JournalOp> },
+    RenamePrepare {
+        txid: u128,
+        peer_dir: Ino,
+        ops: Vec<JournalOp>,
+    },
     /// Second-phase decision records.
-    RenameCommit { txid: u128 },
-    RenameAbort { txid: u128 },
+    RenameCommit {
+        txid: u128,
+    },
+    RenameAbort {
+        txid: u128,
+    },
 }
 
 impl WireCodec for JournalOp {
@@ -60,7 +74,11 @@ impl WireCodec for JournalOp {
                 enc.put_u8(3);
                 enc.put_str(name);
             }
-            JournalOp::RenamePrepare { txid, peer_dir, ops } => {
+            JournalOp::RenamePrepare {
+                txid,
+                peer_dir,
+                ops,
+            } => {
                 enc.put_u8(4);
                 enc.put_u128(*txid);
                 enc.put_u128(*peer_dir);
@@ -89,7 +107,9 @@ impl WireCodec for JournalOp {
                 ino: dec.get_u128()?,
                 ftype: FileType::from_u8(dec.get_u8()?).ok_or(WireError::Invalid("ftype"))?,
             },
-            3 => JournalOp::RemoveDentry { name: dec.get_str()?.to_string() },
+            3 => JournalOp::RemoveDentry {
+                name: dec.get_str()?.to_string(),
+            },
             4 => {
                 let txid = dec.get_u128()?;
                 let peer_dir = dec.get_u128()?;
@@ -98,10 +118,18 @@ impl WireCodec for JournalOp {
                 for _ in 0..n {
                     ops.push(JournalOp::decode(dec)?);
                 }
-                JournalOp::RenamePrepare { txid, peer_dir, ops }
+                JournalOp::RenamePrepare {
+                    txid,
+                    peer_dir,
+                    ops,
+                }
             }
-            5 => JournalOp::RenameCommit { txid: dec.get_u128()? },
-            6 => JournalOp::RenameAbort { txid: dec.get_u128()? },
+            5 => JournalOp::RenameCommit {
+                txid: dec.get_u128()?,
+            },
+            6 => JournalOp::RenameAbort {
+                txid: dec.get_u128()?,
+            },
             _ => return Err(WireError::Invalid("journal op tag")),
         })
     }
@@ -226,8 +254,13 @@ impl DirJournal {
     /// stream. The `lane` models the commit thread this directory is
     /// statically mapped to; its reservation serializes commits sharing a
     /// lane in virtual time.
-    pub fn commit(&mut self, prt: &Prt, port: &Port, lane: &SharedResource,
-        lane_service: Nanos) -> FsResult<()> {
+    pub fn commit(
+        &mut self,
+        prt: &Prt,
+        port: &Port,
+        lane: &SharedResource,
+        lane_service: Nanos,
+    ) -> FsResult<()> {
         if self.running.is_empty() {
             return Ok(());
         }
@@ -302,11 +335,7 @@ pub fn scan_journal(prt: &Prt, port: &Port, dir: Ino) -> FsResult<Vec<Transactio
 /// journal: returns the effective op list with 2PC records folded in —
 /// committed prepares expand to their ops, aborted or undecided-without-
 /// peer-commit prepares are dropped.
-pub fn resolve_renames(
-    prt: &Prt,
-    port: &Port,
-    txns: &[Transaction],
-) -> FsResult<Vec<JournalOp>> {
+pub fn resolve_renames(prt: &Prt, port: &Port, txns: &[Transaction]) -> FsResult<Vec<JournalOp>> {
     use std::collections::HashMap;
     // Gather local decisions.
     let mut decisions: HashMap<u128, bool> = HashMap::new();
@@ -327,15 +356,19 @@ pub fn resolve_renames(
     for txn in txns {
         for op in &txn.ops {
             match op {
-                JournalOp::RenamePrepare { txid, peer_dir, ops } => {
+                JournalOp::RenamePrepare {
+                    txid,
+                    peer_dir,
+                    ops,
+                } => {
                     let committed = match decisions.get(txid) {
                         Some(d) => *d,
                         None => {
                             // Undecided locally: consult the peer journal.
                             let peer = scan_journal(prt, port, *peer_dir)?;
-                            peer.iter().flat_map(|t| &t.ops).any(|o| {
-                                matches!(o, JournalOp::RenameCommit { txid: t } if t == txid)
-                            })
+                            peer.iter().flat_map(|t| &t.ops).any(
+                                |o| matches!(o, JournalOp::RenameCommit { txid: t } if t == txid),
+                            )
                         }
                     };
                     if committed {
@@ -367,7 +400,11 @@ mod tests {
     fn sample_ops() -> Vec<JournalOp> {
         vec![
             JournalOp::PutInode(inode(9)),
-            JournalOp::UpsertDentry { name: "f".into(), ino: 9, ftype: FileType::Regular },
+            JournalOp::UpsertDentry {
+                name: "f".into(),
+                ino: 9,
+                ftype: FileType::Regular,
+            },
             JournalOp::RemoveDentry { name: "old".into() },
             JournalOp::DeleteInode(5),
             JournalOp::RenamePrepare {
@@ -382,14 +419,22 @@ mod tests {
 
     #[test]
     fn transaction_seal_unseal_roundtrip() {
-        let txn = Transaction { dir: 42, seq: 3, ops: sample_ops() };
+        let txn = Transaction {
+            dir: 42,
+            seq: 3,
+            ops: sample_ops(),
+        };
         let sealed = txn.seal();
         assert_eq!(Transaction::unseal(&sealed).unwrap(), txn);
     }
 
     #[test]
     fn corruption_is_detected() {
-        let txn = Transaction { dir: 42, seq: 3, ops: sample_ops() };
+        let txn = Transaction {
+            dir: 42,
+            seq: 3,
+            ops: sample_ops(),
+        };
         let mut sealed = txn.seal().to_vec();
         sealed[10] ^= 0xFF;
         assert_eq!(Transaction::unseal(&sealed), Err(WireError::BadChecksum));
@@ -423,7 +468,11 @@ mod tests {
         let mut j = DirJournal::new(7, 0);
         j.append(JournalOp::PutInode(inode(9)), 0);
         j.append(
-            JournalOp::UpsertDentry { name: "f".into(), ino: 9, ftype: FileType::Regular },
+            JournalOp::UpsertDentry {
+                name: "f".into(),
+                ino: 9,
+                ftype: FileType::Regular,
+            },
             0,
         );
         j.commit(&prt, &port, &lane, 10).unwrap();
@@ -472,11 +521,20 @@ mod tests {
     fn scan_skips_torn_transactions() {
         let prt = prt();
         let port = Port::new();
-        let good = Transaction { dir: 7, seq: 0, ops: vec![JournalOp::DeleteInode(1)] };
-        let torn = Transaction { dir: 7, seq: 1, ops: vec![JournalOp::DeleteInode(2)] };
+        let good = Transaction {
+            dir: 7,
+            seq: 0,
+            ops: vec![JournalOp::DeleteInode(1)],
+        };
+        let torn = Transaction {
+            dir: 7,
+            seq: 1,
+            ops: vec![JournalOp::DeleteInode(2)],
+        };
         prt.put_journal(&port, 7, 0, good.seal()).unwrap();
         let sealed = torn.seal();
-        prt.put_journal(&port, 7, 1, sealed.slice(..sealed.len() - 2)).unwrap();
+        prt.put_journal(&port, 7, 1, sealed.slice(..sealed.len() - 2))
+            .unwrap();
         let txns = scan_journal(&prt, &port, 7).unwrap();
         assert_eq!(txns, vec![good]);
     }
@@ -519,11 +577,19 @@ mod tests {
                     ops: vec![JournalOp::RemoveDentry { name: "c".into() }],
                 },
                 JournalOp::RenameAbort { txid: 3 },
-                JournalOp::UpsertDentry { name: "z".into(), ino: 9, ftype: FileType::Regular },
+                JournalOp::UpsertDentry {
+                    name: "z".into(),
+                    ino: 9,
+                    ftype: FileType::Regular,
+                },
             ],
         }];
         // Peer journal holds the commit decision for txid 2.
-        let peer = Transaction { dir: 8, seq: 0, ops: vec![JournalOp::RenameCommit { txid: 2 }] };
+        let peer = Transaction {
+            dir: 8,
+            seq: 0,
+            ops: vec![JournalOp::RenameCommit { txid: 2 }],
+        };
         prt.put_journal(&port, 8, 0, peer.seal()).unwrap();
 
         let ops = resolve_renames(&prt, &port, &txns).unwrap();
@@ -532,7 +598,11 @@ mod tests {
             vec![
                 JournalOp::RemoveDentry { name: "a".into() }, // committed locally
                 JournalOp::RemoveDentry { name: "b".into() }, // committed at peer
-                JournalOp::UpsertDentry { name: "z".into(), ino: 9, ftype: FileType::Regular },
+                JournalOp::UpsertDentry {
+                    name: "z".into(),
+                    ino: 9,
+                    ftype: FileType::Regular
+                },
             ]
         );
     }

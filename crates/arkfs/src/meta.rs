@@ -96,7 +96,10 @@ fn decode_acl(dec: &mut Decoder<'_>) -> WireResult<Acl> {
             2 => AclQualifier::Mask,
             _ => return Err(WireError::Invalid("acl qualifier")),
         };
-        entries.push(AclEntry { qualifier, perms: perms & 0o7 });
+        entries.push(AclEntry {
+            qualifier,
+            perms: perms & 0o7,
+        });
     }
     Ok(Acl::new(entries))
 }
@@ -262,7 +265,9 @@ mod tests {
         let decoded = InodeRecord::from_bytes(&rec.to_bytes()).unwrap();
         let creds = Credentials::user(42);
         assert_eq!(
-            decoded.acl.effective_perms(&creds, rec.uid, rec.gid, rec.mode),
+            decoded
+                .acl
+                .effective_perms(&creds, rec.uid, rec.gid, rec.mode),
             Some(0o6)
         );
     }
@@ -271,9 +276,21 @@ mod tests {
     fn dentry_block_roundtrip() {
         let block = DentryBlock {
             entries: vec![
-                DentryEntry { name: "foo.txt".into(), ino: 11, ftype: FileType::Regular },
-                DentryEntry { name: "doc".into(), ino: 20, ftype: FileType::Directory },
-                DentryEntry { name: "ln".into(), ino: 30, ftype: FileType::Symlink },
+                DentryEntry {
+                    name: "foo.txt".into(),
+                    ino: 11,
+                    ftype: FileType::Regular,
+                },
+                DentryEntry {
+                    name: "doc".into(),
+                    ino: 20,
+                    ftype: FileType::Directory,
+                },
+                DentryEntry {
+                    name: "ln".into(),
+                    ino: 30,
+                    ftype: FileType::Symlink,
+                },
             ],
         };
         let decoded = DentryBlock::from_bytes(&block.to_bytes()).unwrap();
@@ -290,7 +307,10 @@ mod tests {
     fn bad_version_rejected() {
         let mut bytes = sample_inode().to_bytes();
         bytes[0] = 99;
-        assert_eq!(InodeRecord::from_bytes(&bytes), Err(WireError::BadVersion(99)));
+        assert_eq!(
+            InodeRecord::from_bytes(&bytes),
+            Err(WireError::BadVersion(99))
+        );
     }
 
     #[test]
@@ -298,7 +318,10 @@ mod tests {
         let rec = InodeRecord::new(1, FileType::Regular, 0o644, 0, 0, 0);
         let mut bytes = rec.to_bytes();
         bytes[17] = 9; // ftype byte after version + ino
-        assert_eq!(InodeRecord::from_bytes(&bytes), Err(WireError::Invalid("ftype")));
+        assert_eq!(
+            InodeRecord::from_bytes(&bytes),
+            Err(WireError::Invalid("ftype"))
+        );
     }
 
     #[test]

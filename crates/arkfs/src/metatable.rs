@@ -130,7 +130,11 @@ impl Metatable {
         let mut out: Vec<DirEntry> = self
             .dentries
             .values()
-            .map(|e| DirEntry { name: e.name.clone(), ino: e.ino, ftype: e.ftype })
+            .map(|e| DirEntry {
+                name: e.name.clone(),
+                ino: e.ino,
+                ftype: e.ftype,
+            })
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
@@ -146,7 +150,8 @@ impl Metatable {
         self.dir.mtime = now;
         self.dir.ctime = now;
         self.dirty_dir = true;
-        self.journal.append(JournalOp::PutInode(self.dir.clone()), now);
+        self.journal
+            .append(JournalOp::PutInode(self.dir.clone()), now);
     }
 
     /// Insert a child file/symlink with a freshly-allocated inode.
@@ -154,11 +159,23 @@ impl Metatable {
         if self.dentries.contains_key(name) {
             return Err(FsError::AlreadyExists);
         }
-        debug_assert_ne!(rec.ftype, FileType::Directory, "use add_subdir for directories");
-        let entry = DentryEntry { name: name.to_string(), ino: rec.ino, ftype: rec.ftype };
+        debug_assert_ne!(
+            rec.ftype,
+            FileType::Directory,
+            "use add_subdir for directories"
+        );
+        let entry = DentryEntry {
+            name: name.to_string(),
+            ino: rec.ino,
+            ftype: rec.ftype,
+        };
         self.journal.append(JournalOp::PutInode(rec.clone()), now);
         self.journal.append(
-            JournalOp::UpsertDentry { name: name.to_string(), ino: rec.ino, ftype: rec.ftype },
+            JournalOp::UpsertDentry {
+                name: name.to_string(),
+                ino: rec.ino,
+                ftype: rec.ftype,
+            },
             now,
         );
         self.deleted_children.remove(&rec.ino);
@@ -186,7 +203,11 @@ impl Metatable {
         );
         self.dentries.insert(
             name.to_string(),
-            DentryEntry { name: name.to_string(), ino: child_ino, ftype: FileType::Directory },
+            DentryEntry {
+                name: name.to_string(),
+                ino: child_ino,
+                ftype: FileType::Directory,
+            },
         );
         self.mark_dentry(name);
         self.dir.nlink += 1;
@@ -202,11 +223,17 @@ impl Metatable {
             return Err(FsError::IsADirectory);
         }
         let ino = entry.ino;
-        let rec = self.children.remove(&ino).ok_or_else(|| {
-            FsError::Io(format!("dentry {name} points at unknown inode"))
-        })?;
+        let rec = self
+            .children
+            .remove(&ino)
+            .ok_or_else(|| FsError::Io(format!("dentry {name} points at unknown inode")))?;
         self.dentries.remove(name);
-        self.journal.append(JournalOp::RemoveDentry { name: name.to_string() }, now);
+        self.journal.append(
+            JournalOp::RemoveDentry {
+                name: name.to_string(),
+            },
+            now,
+        );
         self.journal.append(JournalOp::DeleteInode(ino), now);
         self.dirty_children.remove(&ino);
         self.deleted_children.insert(ino);
@@ -224,7 +251,12 @@ impl Metatable {
         }
         let ino = entry.ino;
         self.dentries.remove(name);
-        self.journal.append(JournalOp::RemoveDentry { name: name.to_string() }, now);
+        self.journal.append(
+            JournalOp::RemoveDentry {
+                name: name.to_string(),
+            },
+            now,
+        );
         self.journal.append(JournalOp::DeleteInode(ino), now);
         self.mark_dentry(name);
         self.dir.nlink = self.dir.nlink.saturating_sub(1);
@@ -247,11 +279,17 @@ impl Metatable {
 
     /// Apply a `setattr` to a child. Permission checks happen at the
     /// caller (which knows the credentials).
-    pub fn set_child_attr(&mut self, ino: Ino, attr: &SetAttr, now: Nanos) -> FsResult<InodeRecord> {
+    pub fn set_child_attr(
+        &mut self,
+        ino: Ino,
+        attr: &SetAttr,
+        now: Nanos,
+    ) -> FsResult<InodeRecord> {
         let rec = self.children.get_mut(&ino).ok_or(FsError::Stale)?;
         apply_setattr(rec, attr, now);
         let snapshot = rec.clone();
-        self.journal.append(JournalOp::PutInode(snapshot.clone()), now);
+        self.journal
+            .append(JournalOp::PutInode(snapshot.clone()), now);
         self.dirty_children.insert(ino);
         Ok(snapshot)
     }
@@ -260,7 +298,8 @@ impl Metatable {
     pub fn set_dir_attr(&mut self, attr: &SetAttr, now: Nanos) -> InodeRecord {
         apply_setattr(&mut self.dir, attr, now);
         self.dirty_dir = true;
-        self.journal.append(JournalOp::PutInode(self.dir.clone()), now);
+        self.journal
+            .append(JournalOp::PutInode(self.dir.clone()), now);
         self.dir.clone()
     }
 
@@ -270,7 +309,8 @@ impl Metatable {
             self.dir.acl = acl;
             self.dir.ctime = now;
             self.dirty_dir = true;
-            self.journal.append(JournalOp::PutInode(self.dir.clone()), now);
+            self.journal
+                .append(JournalOp::PutInode(self.dir.clone()), now);
             return Ok(());
         }
         let rec = self.children.get_mut(&target).ok_or(FsError::Stale)?;
@@ -304,11 +344,24 @@ impl Metatable {
             }
         }
         self.dentries.remove(from);
-        let moved = DentryEntry { name: to.to_string(), ino: entry.ino, ftype: entry.ftype };
+        let moved = DentryEntry {
+            name: to.to_string(),
+            ino: entry.ino,
+            ftype: entry.ftype,
+        };
         self.dentries.insert(to.to_string(), moved);
-        self.journal.append(JournalOp::RemoveDentry { name: from.to_string() }, now);
         self.journal.append(
-            JournalOp::UpsertDentry { name: to.to_string(), ino: entry.ino, ftype: entry.ftype },
+            JournalOp::RemoveDentry {
+                name: from.to_string(),
+            },
+            now,
+        );
+        self.journal.append(
+            JournalOp::UpsertDentry {
+                name: to.to_string(),
+                ino: entry.ino,
+                ftype: entry.ftype,
+            },
             now,
         );
         self.mark_dentry(from);
@@ -353,7 +406,11 @@ impl Metatable {
         }
         self.dentries.insert(
             name.to_string(),
-            DentryEntry { name: name.to_string(), ino: entry_ino, ftype },
+            DentryEntry {
+                name: name.to_string(),
+                ino: entry_ino,
+                ftype,
+            },
         );
         if ftype == FileType::Directory {
             self.dir.nlink += 1;
@@ -538,7 +595,10 @@ mod tests {
     const DIR: Ino = 100;
 
     fn setup() -> (Prt, Port) {
-        (Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 64), Port::new())
+        (
+            Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 64),
+            Port::new(),
+        )
     }
 
     fn dir_inode() -> InodeRecord {
@@ -563,7 +623,10 @@ mod tests {
         assert_eq!(mt.child_inode(1).unwrap().mode, 0o644);
         assert_eq!(mt.dir.mtime, 5);
         // Duplicate create fails.
-        assert_eq!(mt.create_child(file_inode(2), "a.txt", 6), Err(FsError::AlreadyExists));
+        assert_eq!(
+            mt.create_child(file_inode(2), "a.txt", 6),
+            Err(FsError::AlreadyExists)
+        );
         let rec = mt.unlink_child("a.txt", 7).unwrap();
         assert_eq!(rec.ino, 1);
         assert!(mt.is_empty());
@@ -672,7 +735,10 @@ mod tests {
         let loaded = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
         assert_eq!(loaded.lookup("durable.txt").unwrap().ino, 1);
         assert_eq!(loaded.child_inode(1).unwrap().ino, 1);
-        assert!(prt.list_journal(&port, DIR).unwrap().is_empty(), "journal truncated");
+        assert!(
+            prt.list_journal(&port, DIR).unwrap().is_empty(),
+            "journal truncated"
+        );
     }
 
     #[test]
@@ -713,7 +779,11 @@ mod tests {
             seq: 0,
             ops: vec![
                 JournalOp::PutInode(file_inode(1)),
-                JournalOp::UpsertDentry { name: "f".into(), ino: 1, ftype: FileType::Regular },
+                JournalOp::UpsertDentry {
+                    name: "f".into(),
+                    ino: 1,
+                    ftype: FileType::Regular,
+                },
             ],
         };
         prt.put_journal(&port, DIR, 0, txn.seal()).unwrap();
@@ -734,7 +804,8 @@ mod tests {
         src.create_child(file_inode(1), "mv.txt", 0).unwrap();
         let (entry, rec) = src.detach_child("mv.txt", 1).unwrap();
         assert!(src.lookup("mv.txt").is_none());
-        dst.attach_child("moved.txt", entry.ino, entry.ftype, rec, 1).unwrap();
+        dst.attach_child("moved.txt", entry.ino, entry.ftype, rec, 1)
+            .unwrap();
         assert_eq!(dst.lookup("moved.txt").unwrap().ino, 1);
         assert!(dst.child_inode(1).is_some());
         // Attach over existing name fails.

@@ -56,7 +56,10 @@ impl Prt {
     // ---- inode records -------------------------------------------------
 
     pub fn load_inode(&self, port: &Port, ino: Ino) -> FsResult<InodeRecord> {
-        let data = self.store.get(port, ObjectKey::inode(ino)).map_err(map_os_err)?;
+        let data = self
+            .store
+            .get(port, ObjectKey::inode(ino))
+            .map_err(map_os_err)?;
         InodeRecord::from_bytes(&data).map_err(|e| FsError::Io(e.to_string()))
     }
 
@@ -98,7 +101,9 @@ impl Prt {
                 Err(e) => Err(map_os_err(e)),
             };
         }
-        self.store.put(port, key, Bytes::from(block.to_bytes())).map_err(map_os_err)
+        self.store
+            .put(port, key, Bytes::from(block.to_bytes()))
+            .map_err(map_os_err)
     }
 
     /// Delete every dentry bucket of a directory.
@@ -107,8 +112,11 @@ impl Prt {
             .store
             .list(port, Some(arkfs_objstore::KeyKind::Dentry), Some(dir))
             .map_err(map_os_err)?;
-        for key in keys {
-            match self.store.delete(port, key) {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for res in self.store.delete_many(port, &keys) {
+            match res {
                 Ok(()) | Err(OsError::NotFound) => {}
                 Err(e) => return Err(map_os_err(e)),
             }
@@ -119,11 +127,15 @@ impl Prt {
     // ---- journal objects -------------------------------------------------
 
     pub fn put_journal(&self, port: &Port, dir: Ino, seq: u64, data: Bytes) -> FsResult<()> {
-        self.store.put(port, ObjectKey::journal(dir, seq), data).map_err(map_os_err)
+        self.store
+            .put(port, ObjectKey::journal(dir, seq), data)
+            .map_err(map_os_err)
     }
 
     pub fn get_journal(&self, port: &Port, dir: Ino, seq: u64) -> FsResult<Bytes> {
-        self.store.get(port, ObjectKey::journal(dir, seq)).map_err(map_os_err)
+        self.store
+            .get(port, ObjectKey::journal(dir, seq))
+            .map_err(map_os_err)
     }
 
     /// Sequence numbers of all journal objects of a directory, ascending.
@@ -161,19 +173,25 @@ impl Prt {
             return Ok(0);
         }
         let want = (buf.len() as u64).min(size - offset) as usize;
+        // Compute the whole chunk span up front and fan the ranged reads
+        // out in one batched call: the caller waits for the slowest chunk,
+        // not the sum.
+        let mut reqs = Vec::new();
+        let mut spans = Vec::new();
         let mut filled = 0usize;
         while filled < want {
             let pos = offset + filled as u64;
             let chunk_idx = pos / self.chunk_size;
             let within = pos % self.chunk_size;
             let n = ((self.chunk_size - within) as usize).min(want - filled);
-            let out = &mut buf[filled..filled + n];
-            match self.store.get_range(
-                port,
-                ObjectKey::data_chunk(ino, chunk_idx),
-                within,
-                n,
-            ) {
+            reqs.push((ObjectKey::data_chunk(ino, chunk_idx), within, n));
+            spans.push((filled, n));
+            filled += n;
+        }
+        let results = self.store.get_range_many(port, &reqs);
+        for ((start, n), res) in spans.into_iter().zip(results) {
+            let out = &mut buf[start..start + n];
+            match res {
                 Ok(data) => {
                     out[..data.len()].copy_from_slice(&data);
                     // Anything past the stored chunk tail is sparse zero.
@@ -182,9 +200,8 @@ impl Prt {
                 Err(OsError::NotFound) => out.fill(0),
                 Err(e) => return Err(map_os_err(e)),
             }
-            filled += n;
         }
-        Ok(filled)
+        Ok(want)
     }
 
     /// Read one whole chunk (for the data cache). Missing chunk reads as
@@ -199,40 +216,35 @@ impl Prt {
 
     /// Write one whole chunk (cache write-back).
     pub fn write_chunk(&self, port: &Port, ino: Ino, chunk_idx: u64, data: Bytes) -> FsResult<()> {
-        self.store.put(port, ObjectKey::data_chunk(ino, chunk_idx), data).map_err(map_os_err)
+        self.store
+            .put(port, ObjectKey::data_chunk(ino, chunk_idx), data)
+            .map_err(map_os_err)
     }
 
-    /// Write `data` at byte `offset`, splitting across chunk objects and
-    /// falling back to read-modify-write where the backend lacks partial
-    /// writes.
+    /// Write `data` at byte `offset`, splitting across chunk objects. The
+    /// whole span goes out as one batched ranged multi-PUT; backends
+    /// without partial writes (S3) degrade per chunk to whole-object
+    /// read-modify-write inside the store.
     pub fn write_data(&self, port: &Port, ino: Ino, offset: u64, data: &[u8]) -> FsResult<()> {
+        let mut items = Vec::new();
         let mut written = 0usize;
         while written < data.len() {
             let pos = offset + written as u64;
             let chunk_idx = pos / self.chunk_size;
             let within = pos % self.chunk_size;
             let n = ((self.chunk_size - within) as usize).min(data.len() - written);
-            let piece = Bytes::copy_from_slice(&data[written..written + n]);
-            let key = ObjectKey::data_chunk(ino, chunk_idx);
-            match self.store.put_range(port, key, within, piece.clone()) {
-                Ok(()) => {}
-                Err(OsError::Unsupported(_)) => {
-                    // S3 semantics: rewrite the whole chunk object.
-                    let mut chunk = match self.store.get(port, key) {
-                        Ok(existing) => existing.to_vec(),
-                        Err(OsError::NotFound) => Vec::new(),
-                        Err(e) => return Err(map_os_err(e)),
-                    };
-                    let end = within as usize + n;
-                    if chunk.len() < end {
-                        chunk.resize(end, 0);
-                    }
-                    chunk[within as usize..end].copy_from_slice(&piece);
-                    self.store.put(port, key, Bytes::from(chunk)).map_err(map_os_err)?;
-                }
-                Err(e) => return Err(map_os_err(e)),
-            }
+            items.push((
+                ObjectKey::data_chunk(ino, chunk_idx),
+                within,
+                Bytes::copy_from_slice(&data[written..written + n]),
+            ));
             written += n;
+        }
+        if items.is_empty() {
+            return Ok(());
+        }
+        for res in self.store.put_range_many(port, items) {
+            res.map_err(map_os_err)?;
         }
         Ok(())
     }
@@ -251,10 +263,15 @@ impl Prt {
         }
         let first_dead = new_size.div_ceil(self.chunk_size);
         let last = old_size.div_ceil(self.chunk_size);
-        for chunk_idx in first_dead..last {
-            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk_idx)) {
-                Ok(()) | Err(OsError::NotFound) => {}
-                Err(e) => return Err(map_os_err(e)),
+        let dead: Vec<ObjectKey> = (first_dead..last)
+            .map(|i| ObjectKey::data_chunk(ino, i))
+            .collect();
+        if !dead.is_empty() {
+            for res in self.store.delete_many(port, &dead) {
+                match res {
+                    Ok(()) | Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
             }
         }
         // Trim the partial boundary chunk if any bytes survive in it.
@@ -275,10 +292,17 @@ impl Prt {
         Ok(())
     }
 
-    /// Delete every data chunk of a file of the given size.
+    /// Delete every data chunk of a file of the given size with one
+    /// batched multi-DELETE.
     pub fn delete_data(&self, port: &Port, ino: Ino, size: u64) -> FsResult<()> {
-        for chunk_idx in 0..size.div_ceil(self.chunk_size) {
-            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk_idx)) {
+        let keys: Vec<ObjectKey> = (0..size.div_ceil(self.chunk_size))
+            .map(|i| ObjectKey::data_chunk(ino, i))
+            .collect();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for res in self.store.delete_many(port, &keys) {
+            match res {
                 Ok(()) | Err(OsError::NotFound) => {}
                 Err(e) => return Err(map_os_err(e)),
             }
@@ -320,7 +344,10 @@ mod tests {
     fn missing_bucket_is_empty() {
         let prt = rados_prt();
         let port = Port::new();
-        assert_eq!(prt.load_bucket(&port, 1, 0).unwrap(), DentryBlock::default());
+        assert_eq!(
+            prt.load_bucket(&port, 1, 0).unwrap(),
+            DentryBlock::default()
+        );
     }
 
     #[test]
@@ -335,8 +362,12 @@ mod tests {
         });
         prt.store_bucket(&port, 1, 0, &block).unwrap();
         assert_eq!(prt.load_bucket(&port, 1, 0).unwrap(), block);
-        prt.store_bucket(&port, 1, 0, &DentryBlock::default()).unwrap();
-        assert_eq!(prt.load_bucket(&port, 1, 0).unwrap(), DentryBlock::default());
+        prt.store_bucket(&port, 1, 0, &DentryBlock::default())
+            .unwrap();
+        assert_eq!(
+            prt.load_bucket(&port, 1, 0).unwrap(),
+            DentryBlock::default()
+        );
     }
 
     #[test]
@@ -408,10 +439,15 @@ mod tests {
         assert_eq!(n, 20);
         assert!(buf[..20].iter().all(|&b| b == 9));
         assert_eq!(
-            prt.store().head(&port, ObjectKey::data_chunk(3, 1)).unwrap(),
+            prt.store()
+                .head(&port, ObjectKey::data_chunk(3, 1))
+                .unwrap(),
             4
         );
-        assert!(prt.store().head(&port, ObjectKey::data_chunk(3, 2)).is_err());
+        assert!(prt
+            .store()
+            .head(&port, ObjectKey::data_chunk(3, 2))
+            .is_err());
         // Growing truncate is a no-op on data.
         prt.truncate_data(&port, 3, 20, 100).unwrap();
     }
@@ -431,11 +467,17 @@ mod tests {
     fn journal_stream_roundtrip() {
         let prt = rados_prt();
         let port = Port::new();
-        prt.put_journal(&port, 10, 0, Bytes::from_static(b"t0")).unwrap();
-        prt.put_journal(&port, 10, 2, Bytes::from_static(b"t2")).unwrap();
-        prt.put_journal(&port, 10, 1, Bytes::from_static(b"t1")).unwrap();
+        prt.put_journal(&port, 10, 0, Bytes::from_static(b"t0"))
+            .unwrap();
+        prt.put_journal(&port, 10, 2, Bytes::from_static(b"t2"))
+            .unwrap();
+        prt.put_journal(&port, 10, 1, Bytes::from_static(b"t1"))
+            .unwrap();
         assert_eq!(prt.list_journal(&port, 10).unwrap(), vec![0, 1, 2]);
-        assert_eq!(prt.get_journal(&port, 10, 1).unwrap(), Bytes::from_static(b"t1"));
+        assert_eq!(
+            prt.get_journal(&port, 10, 1).unwrap(),
+            Bytes::from_static(b"t1")
+        );
         prt.delete_journal(&port, 10, 0).unwrap();
         assert_eq!(prt.list_journal(&port, 10).unwrap(), vec![1, 2]);
         // Other directory's journal is separate.

@@ -24,7 +24,9 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn new() -> Box<Self> {
-        Box::new(Node { slots: Default::default() })
+        Box::new(Node {
+            slots: Default::default(),
+        })
     }
 
     fn is_empty(&self) -> bool {
@@ -43,7 +45,11 @@ pub struct RadixTree<V> {
 
 impl<V> Default for RadixTree<V> {
     fn default() -> Self {
-        RadixTree { root: Node::new(), height: 1, len: 0 }
+        RadixTree {
+            root: Node::new(),
+            height: 1,
+            len: 0,
+        }
     }
 }
 
@@ -210,8 +216,7 @@ impl<V> RadixTree<V> {
     /// Remove every entry with `key >= from` (truncate support). Returns
     /// the removed values.
     pub fn split_off(&mut self, from: u64) -> Vec<(u64, V)> {
-        let keys: Vec<u64> =
-            self.iter().map(|(k, _)| k).filter(|&k| k >= from).collect();
+        let keys: Vec<u64> = self.iter().map(|(k, _)| k).filter(|&k| k >= from).collect();
         keys.into_iter()
             .map(|k| (k, self.remove(k).expect("key listed by iter must exist")))
             .collect()

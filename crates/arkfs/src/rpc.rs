@@ -25,33 +25,78 @@ pub struct OpRequest {
 pub enum OpBody {
     /// Resolve `name` in `dir`; returns the dentry and, for non-directory
     /// children, the inode record.
-    Lookup { dir: Ino, name: String },
+    Lookup {
+        dir: Ino,
+        name: String,
+    },
     /// The directory's own inode record (stat / permission info; feeds
     /// the permission cache).
-    DirInode { dir: Ino },
+    DirInode {
+        dir: Ino,
+    },
     /// Create a regular file or symlink with a caller-allocated inode.
-    Create { dir: Ino, name: String, rec: InodeRecord },
+    Create {
+        dir: Ino,
+        name: String,
+        rec: InodeRecord,
+    },
     /// Register a subdirectory entry (inode object already written).
-    AddSubdir { dir: Ino, name: String, child: Ino },
+    AddSubdir {
+        dir: Ino,
+        name: String,
+        child: Ino,
+    },
     /// Unlink a file/symlink; returns its final inode record so the
     /// caller can delete the data chunks.
-    Unlink { dir: Ino, name: String },
+    Unlink {
+        dir: Ino,
+        name: String,
+    },
     /// Remove an empty-subdirectory entry.
-    RemoveSubdir { dir: Ino, name: String },
-    Readdir { dir: Ino },
+    RemoveSubdir {
+        dir: Ino,
+        name: String,
+    },
+    Readdir {
+        dir: Ino,
+    },
     /// Post-write size/mtime update for a child file.
-    SetSize { dir: Ino, ino: Ino, size: u64 },
+    SetSize {
+        dir: Ino,
+        ino: Ino,
+        size: u64,
+    },
     /// setattr on a child file/symlink.
-    SetAttrChild { dir: Ino, ino: Ino, attr: SetAttr },
+    SetAttrChild {
+        dir: Ino,
+        ino: Ino,
+        attr: SetAttr,
+    },
     /// setattr on the directory itself.
-    SetAttrDir { dir: Ino, attr: SetAttr },
+    SetAttrDir {
+        dir: Ino,
+        attr: SetAttr,
+    },
     /// Replace the ACL of the directory (`target == dir`) or a child.
-    SetAcl { dir: Ino, target: Ino, acl: Acl },
+    SetAcl {
+        dir: Ino,
+        target: Ino,
+        acl: Acl,
+    },
     /// Same-directory rename.
-    RenameLocal { dir: Ino, from: String, to: String },
+    RenameLocal {
+        dir: Ino,
+        from: String,
+        to: String,
+    },
     /// 2PC rename, source half: journal a prepare that removes `name`,
     /// detach it in memory, and return what moved.
-    RenameSrcPrepare { dir: Ino, name: String, txid: u128, peer: Ino },
+    RenameSrcPrepare {
+        dir: Ino,
+        name: String,
+        txid: u128,
+        peer: Ino,
+    },
     /// 2PC rename, destination half: journal a prepare that inserts the
     /// entry, attach it in memory.
     RenameDstPrepare {
@@ -72,12 +117,26 @@ pub enum OpBody {
         undo: Option<(String, Ino, FileType, Option<InodeRecord>)>,
     },
     /// File lease traffic (§III-D): leaders manage child files' leases.
-    AcquireReadLease { dir: Ino, file: Ino, client: NodeId },
-    AcquireWriteLease { dir: Ino, file: Ino, client: NodeId },
-    ReleaseFileLease { dir: Ino, file: Ino, client: NodeId },
+    AcquireReadLease {
+        dir: Ino,
+        file: Ino,
+        client: NodeId,
+    },
+    AcquireWriteLease {
+        dir: Ino,
+        file: Ino,
+        client: NodeId,
+    },
+    ReleaseFileLease {
+        dir: Ino,
+        file: Ino,
+        client: NodeId,
+    },
     /// Cache-flush broadcast from a leader to a lease holder: write back
     /// and drop cached chunks of `file`.
-    FlushCache { file: Ino },
+    FlushCache {
+        file: Ino,
+    },
 }
 
 /// Responses to [`OpRequest`]s.
@@ -85,16 +144,26 @@ pub enum OpBody {
 pub enum OpResponse {
     /// Lookup result: the dentry target, with the inode record for
     /// non-directory children.
-    Entry { ino: Ino, ftype: FileType, rec: Option<InodeRecord> },
+    Entry {
+        ino: Ino,
+        ftype: FileType,
+        rec: Option<InodeRecord>,
+    },
     /// An inode record (DirInode, Unlink, SetAttr*).
     Inode(InodeRecord),
     Entries(Vec<DirEntry>),
     /// Rename source half: what was detached.
-    Detached { ino: Ino, ftype: FileType, rec: Option<InodeRecord> },
+    Detached {
+        ino: Ino,
+        ftype: FileType,
+        rec: Option<InodeRecord>,
+    },
     Lease(FileLeaseDecision),
     /// FlushCache result: the flushed client's local view of the file
     /// size (None when it held no dirty data).
-    Flushed { size: Option<u64> },
+    Flushed {
+        size: Option<u64>,
+    },
     Ok,
     /// The destination no longer leads `dir` (lease lapsed and someone
     /// else may own it); the caller goes back to the lease manager.
@@ -119,7 +188,10 @@ mod tests {
     #[test]
     fn from_result_folds() {
         let ok: Result<u32, FsError> = Ok(5);
-        assert!(matches!(OpResponse::from_result(ok, |_| OpResponse::Ok), OpResponse::Ok));
+        assert!(matches!(
+            OpResponse::from_result(ok, |_| OpResponse::Ok),
+            OpResponse::Ok
+        ));
         let err: Result<u32, FsError> = Err(FsError::NotFound);
         assert!(matches!(
             OpResponse::from_result(err, |_| OpResponse::Ok),

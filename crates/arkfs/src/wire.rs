@@ -48,7 +48,9 @@ impl Encoder {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     pub fn into_bytes(self) -> Vec<u8> {
@@ -197,7 +199,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }

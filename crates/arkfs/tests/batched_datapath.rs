@@ -1,0 +1,170 @@
+//! Acceptance tests for the pipelined, batched data path: the PRT must
+//! fan chunk I/O out in one batched store call — the caller pays the
+//! slowest chunk, not the sum of all of them — instead of the serial
+//! per-chunk loop the seed shipped with.
+
+use arkfs::prt::Prt;
+use arkfs_objstore::{ClusterConfig, ObjectCluster, ObjectKey, ObjectStore};
+use arkfs_simkit::{ClusterSpec, Port};
+use bytes::Bytes;
+use std::sync::Arc;
+
+const CHUNK: u64 = 64 * 1024;
+const CHUNKS: u64 = 16;
+const INO: u128 = 7;
+
+fn fresh_cluster() -> Arc<ObjectCluster> {
+    Arc::new(ObjectCluster::new(ClusterConfig::rados(
+        ClusterSpec::aws_paper(),
+    )))
+}
+
+fn payload() -> Vec<u8> {
+    (0..CHUNK * CHUNKS).map(|i| (i / CHUNK + i) as u8).collect()
+}
+
+/// Populate a cluster with the 16-chunk file, then reset its timing
+/// resources so the measured operation starts on an idle store.
+fn populated_cluster() -> Arc<ObjectCluster> {
+    let c = fresh_cluster();
+    let setup = Port::new();
+    let data = payload();
+    for idx in 0..CHUNKS {
+        let piece = &data[(idx * CHUNK) as usize..((idx + 1) * CHUNK) as usize];
+        c.put(
+            &setup,
+            ObjectKey::data_chunk(INO, idx),
+            Bytes::copy_from_slice(piece),
+        )
+        .unwrap();
+    }
+    c.reset_timelines();
+    c
+}
+
+#[test]
+fn batched_sequential_read_halves_serial_virtual_time() {
+    // The seed's serial loop: one ranged GET per chunk, each paying its
+    // own round trip.
+    let c_serial = populated_cluster();
+    let serial_port = Port::new();
+    let mut serial_bytes = Vec::new();
+    for idx in 0..CHUNKS {
+        let b = c_serial
+            .get_range(
+                &serial_port,
+                ObjectKey::data_chunk(INO, idx),
+                0,
+                CHUNK as usize,
+            )
+            .unwrap();
+        serial_bytes.extend_from_slice(&b);
+    }
+
+    // The batched path through the PRT.
+    let c_batched = populated_cluster();
+    let prt = Prt::new(Arc::clone(&c_batched) as Arc<dyn ObjectStore>, CHUNK);
+    let batched_port = Port::new();
+    let mut buf = vec![0u8; (CHUNK * CHUNKS) as usize];
+    let n = prt
+        .read_data(&batched_port, INO, 0, &mut buf, CHUNK * CHUNKS)
+        .unwrap();
+
+    assert_eq!(n, buf.len());
+    assert_eq!(buf, payload(), "batched read returns the file contents");
+    assert_eq!(
+        buf, serial_bytes,
+        "batched and serial reads agree byte for byte"
+    );
+    assert!(
+        batched_port.now() * 2 <= serial_port.now(),
+        "batched read must take <= 1/2 the serial virtual time \
+         (batched {} ns vs serial {} ns)",
+        batched_port.now(),
+        serial_port.now()
+    );
+}
+
+#[test]
+fn batched_sequential_write_halves_serial_virtual_time() {
+    let data = payload();
+
+    // The seed's serial loop: one ranged PUT per chunk.
+    let c_serial = fresh_cluster();
+    let serial_port = Port::new();
+    for idx in 0..CHUNKS {
+        let piece = &data[(idx * CHUNK) as usize..((idx + 1) * CHUNK) as usize];
+        c_serial
+            .put_range(
+                &serial_port,
+                ObjectKey::data_chunk(INO, idx),
+                0,
+                Bytes::copy_from_slice(piece),
+            )
+            .unwrap();
+    }
+
+    // The batched path through the PRT.
+    let c_batched = fresh_cluster();
+    let prt = Prt::new(Arc::clone(&c_batched) as Arc<dyn ObjectStore>, CHUNK);
+    let batched_port = Port::new();
+    prt.write_data(&batched_port, INO, 0, &data).unwrap();
+
+    // Identical store contents afterwards.
+    assert_eq!(c_batched.object_count(), c_serial.object_count());
+    let check = Port::new();
+    for idx in 0..CHUNKS {
+        let key = ObjectKey::data_chunk(INO, idx);
+        assert_eq!(
+            c_batched.get(&check, key).unwrap(),
+            c_serial.get(&check, key).unwrap(),
+            "chunk {idx} differs between batched and serial writers"
+        );
+    }
+    assert!(
+        batched_port.now() * 2 <= serial_port.now(),
+        "batched write must take <= 1/2 the serial virtual time \
+         (batched {} ns vs serial {} ns)",
+        batched_port.now(),
+        serial_port.now()
+    );
+}
+
+#[test]
+fn truncate_and_delete_issue_one_batched_delete() {
+    let cluster = fresh_cluster();
+    let prt = Prt::new(Arc::clone(&cluster) as Arc<dyn ObjectStore>, CHUNK);
+    let port = Port::new();
+    prt.write_data(&port, INO, 0, &payload()).unwrap();
+    let copies = cluster.config().replication;
+    assert_eq!(cluster.object_count(), CHUNKS as usize * copies);
+
+    // Truncating to a chunk boundary drops the 12 dead chunks in exactly
+    // one delete_many.
+    let (calls0, items0) = cluster.batch_stats();
+    prt.truncate_data(&port, INO, CHUNK * CHUNKS, CHUNK * 4)
+        .unwrap();
+    let (calls1, items1) = cluster.batch_stats();
+    assert_eq!(
+        calls1 - calls0,
+        1,
+        "truncate must issue exactly one batched call"
+    );
+    assert_eq!(
+        items1 - items0,
+        12,
+        "one delete per dead chunk, all in the batch"
+    );
+    assert_eq!(cluster.object_count(), 4 * copies);
+
+    // Deleting the remaining 4-chunk file is one more delete_many.
+    prt.delete_data(&port, INO, CHUNK * 4).unwrap();
+    let (calls2, items2) = cluster.batch_stats();
+    assert_eq!(
+        calls2 - calls1,
+        1,
+        "delete must issue exactly one batched call"
+    );
+    assert_eq!(items2 - items1, 4);
+    assert_eq!(cluster.object_count(), 0);
+}

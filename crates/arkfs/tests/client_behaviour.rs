@@ -1,12 +1,12 @@
 //! End-to-end behaviour tests for the ArkFS client: POSIX surface,
 //! permissions, multi-client leases, cache coherence, crash recovery.
 
-use arkfs::{ArkClient, ArkCluster, ArkConfig};
+use arkfs::{ArkCluster, ArkConfig};
 use arkfs_objstore::{ClusterConfig, ObjectCluster, StoreProfile};
 use arkfs_simkit::MSEC;
 use arkfs_vfs::{
-    read_file, write_file, Acl, AclEntry, Credentials, FileType, FsError, OpenFlags, SetAttr,
-    Vfs, AM_READ, AM_WRITE,
+    read_file, write_file, Acl, AclEntry, Credentials, FileType, FsError, OpenFlags, SetAttr, Vfs,
+    AM_READ, AM_WRITE,
 };
 use std::sync::Arc;
 
@@ -49,9 +49,15 @@ fn nested_directories_and_resolution_errors() {
     // Missing intermediate component.
     assert_eq!(c.stat(&ctx, "/a/zz/c"), Err(FsError::NotFound));
     // File used as a directory.
-    assert_eq!(c.stat(&ctx, "/a/b/c/deep.txt/x"), Err(FsError::NotADirectory));
+    assert_eq!(
+        c.stat(&ctx, "/a/b/c/deep.txt/x"),
+        Err(FsError::NotADirectory)
+    );
     // mkdir over existing name.
-    assert_eq!(c.mkdir(&ctx, "/a/b", 0o755).err(), Some(FsError::AlreadyExists));
+    assert_eq!(
+        c.mkdir(&ctx, "/a/b", 0o755).err(),
+        Some(FsError::AlreadyExists)
+    );
 }
 
 #[test]
@@ -62,7 +68,12 @@ fn stat_root_and_readdir() {
     assert!(st.is_dir());
     c.mkdir(&ctx, "/dir1", 0o755).unwrap();
     write_file(&*c, &ctx, "/file1", b"").unwrap();
-    let names: Vec<String> = c.readdir(&ctx, "/").unwrap().into_iter().map(|e| e.name).collect();
+    let names: Vec<String> = c
+        .readdir(&ctx, "/")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
     assert_eq!(names, vec!["dir1", "file1"]);
     assert_eq!(c.readdir(&ctx, "/file1"), Err(FsError::NotADirectory));
 }
@@ -121,7 +132,10 @@ fn rename_across_directories_two_phase() {
     // A directory target is rejected.
     c.mkdir(&ctx, "/dst/subdir", 0o755).unwrap();
     write_file(&*c, &ctx, "/src/i.txt", b"stay").unwrap();
-    assert_eq!(c.rename(&ctx, "/src/i.txt", "/dst/subdir"), Err(FsError::AlreadyExists));
+    assert_eq!(
+        c.rename(&ctx, "/src/i.txt", "/dst/subdir"),
+        Err(FsError::AlreadyExists)
+    );
     assert_eq!(read_file(&*c, &ctx, "/src/i.txt").unwrap(), b"stay");
 }
 
@@ -139,7 +153,10 @@ fn rename_directory_across_parents() {
     assert_eq!(read_file(&*c, &ctx, "/p2/sub2/inner.txt").unwrap(), b"deep");
     assert_eq!(c.stat(&ctx, "/p1/sub"), Err(FsError::NotFound));
     // Renaming a directory into its own subtree is rejected.
-    assert_eq!(c.rename(&ctx, "/p2", "/p2/sub2/x"), Err(FsError::InvalidArgument));
+    assert_eq!(
+        c.rename(&ctx, "/p2", "/p2/sub2/x"),
+        Err(FsError::InvalidArgument)
+    );
 }
 
 #[test]
@@ -178,7 +195,10 @@ fn open_flags_are_enforced() {
     c.close(&ctx, fh).unwrap();
     assert_eq!(c.stat(&ctx, "/f").unwrap().size, 0);
     // Bad handle.
-    assert_eq!(c.read(&ctx, arkfs_vfs::FileHandle(999), 0, &mut buf), Err(FsError::BadHandle));
+    assert_eq!(
+        c.read(&ctx, arkfs_vfs::FileHandle(999), 0, &mut buf),
+        Err(FsError::BadHandle)
+    );
 }
 
 #[test]
@@ -213,7 +233,10 @@ fn symlinks_create_read_follow() {
     let st = c.symlink(&ctx, "/link", "/target.txt").unwrap();
     assert_eq!(st.ftype, FileType::Symlink);
     assert_eq!(c.readlink(&ctx, "/link").unwrap(), "/target.txt");
-    assert_eq!(c.readlink(&ctx, "/target.txt"), Err(FsError::InvalidArgument));
+    assert_eq!(
+        c.readlink(&ctx, "/target.txt"),
+        Err(FsError::InvalidArgument)
+    );
     // open() follows the link.
     let fh = c.open(&ctx, "/link", OpenFlags::RDONLY).unwrap();
     let mut buf = [0u8; 16];
@@ -223,7 +246,10 @@ fn symlinks_create_read_follow() {
     // Symlink loops are detected.
     c.symlink(&ctx, "/loop1", "/loop2").unwrap();
     c.symlink(&ctx, "/loop2", "/loop1").unwrap();
-    assert_eq!(c.open(&ctx, "/loop1", OpenFlags::RDONLY), Err(FsError::InvalidArgument));
+    assert_eq!(
+        c.open(&ctx, "/loop1", OpenFlags::RDONLY),
+        Err(FsError::InvalidArgument)
+    );
 }
 
 #[test]
@@ -252,7 +278,8 @@ fn permission_checks_apply_to_users() {
     let bob = Credentials::user(200);
     c.mkdir(&ctx, "/home", 0o755).unwrap();
     c.mkdir(&ctx, "/home/alice", 0o700).unwrap();
-    c.setattr(&ctx, "/home/alice", &SetAttr::chown(100, 100)).unwrap();
+    c.setattr(&ctx, "/home/alice", &SetAttr::chown(100, 100))
+        .unwrap();
     // Alice can create in her directory, Bob cannot even stat through it.
     write_file(&*c, &alice, "/home/alice/notes.txt", b"secret").unwrap();
     assert_eq!(
@@ -265,13 +292,17 @@ fn permission_checks_apply_to_users() {
     );
     // Bob cannot chmod Alice's file; Alice can.
     assert_eq!(
-        c.setattr(&bob, "/home/alice/notes.txt", &SetAttr::chmod(0o777)).err(),
+        c.setattr(&bob, "/home/alice/notes.txt", &SetAttr::chmod(0o777))
+            .err(),
         Some(FsError::PermissionDenied)
     );
-    assert!(c.setattr(&alice, "/home/alice/notes.txt", &SetAttr::chmod(0o640)).is_ok());
+    assert!(c
+        .setattr(&alice, "/home/alice/notes.txt", &SetAttr::chmod(0o640))
+        .is_ok());
     // Only root chowns.
     assert_eq!(
-        c.setattr(&alice, "/home/alice/notes.txt", &SetAttr::chown(200, 200)).err(),
+        c.setattr(&alice, "/home/alice/notes.txt", &SetAttr::chown(200, 200))
+            .err(),
         Some(FsError::NotPermitted)
     );
 }
@@ -284,17 +315,28 @@ fn acl_grants_cross_owner_access() {
     let bob = Credentials::user(200);
     c.mkdir(&ctx, "/proj", 0o711).unwrap();
     write_file(&*c, &ctx, "/proj/shared.dat", b"team data").unwrap();
-    c.setattr(&ctx, "/proj/shared.dat", &SetAttr::chmod(0o600)).unwrap();
-    c.setattr(&ctx, "/proj/shared.dat", &SetAttr::chown(100, 100)).unwrap();
+    c.setattr(&ctx, "/proj/shared.dat", &SetAttr::chmod(0o600))
+        .unwrap();
+    c.setattr(&ctx, "/proj/shared.dat", &SetAttr::chown(100, 100))
+        .unwrap();
     // Without an ACL Bob is locked out.
-    assert_eq!(c.access(&bob, "/proj/shared.dat", AM_READ), Err(FsError::PermissionDenied));
+    assert_eq!(
+        c.access(&bob, "/proj/shared.dat", AM_READ),
+        Err(FsError::PermissionDenied)
+    );
     // Alice grants Bob read via ACL.
     let acl = Acl::new(vec![AclEntry::user(200, 0o4)]);
     c.set_acl(&alice, "/proj/shared.dat", &acl).unwrap();
     assert_eq!(c.get_acl(&ctx, "/proj/shared.dat").unwrap(), acl);
     c.access(&bob, "/proj/shared.dat", AM_READ).unwrap();
-    assert_eq!(c.access(&bob, "/proj/shared.dat", AM_WRITE), Err(FsError::PermissionDenied));
-    assert_eq!(read_file(&*c, &bob, "/proj/shared.dat").unwrap(), b"team data");
+    assert_eq!(
+        c.access(&bob, "/proj/shared.dat", AM_WRITE),
+        Err(FsError::PermissionDenied)
+    );
+    assert_eq!(
+        read_file(&*c, &bob, "/proj/shared.dat").unwrap(),
+        b"team data"
+    );
 }
 
 // ---- multi-client: leases, forwarding, coherence ------------------------------
@@ -355,7 +397,9 @@ fn clean_release_hands_leadership_over() {
 fn dirty_lease_takeover_recovers_journal() {
     // Journal window 0: every mutation commits its own transaction, so a
     // crash loses nothing that was acknowledged.
-    let config = ArkConfig::test_tiny().with_journal_window(0).with_lease_period(MSEC, MSEC);
+    let config = ArkConfig::test_tiny()
+        .with_journal_window(0)
+        .with_lease_period(MSEC, MSEC);
     let cl = cluster_with(config);
     let c1 = cl.client();
     let c2 = cl.client();
@@ -367,7 +411,10 @@ fn dirty_lease_takeover_recovers_journal() {
     c1.crash();
     // c2 comes along after lease + grace; recovery replays the journal.
     c2.port().advance(10 * MSEC);
-    assert_eq!(read_file(&*c2, &ctx, "/work/journaled.txt").unwrap(), b"in the journal");
+    assert_eq!(
+        read_file(&*c2, &ctx, "/work/journaled.txt").unwrap(),
+        b"in the journal"
+    );
     let entries = c2.readdir(&ctx, "/work").unwrap();
     assert_eq!(entries.len(), 1);
 }
@@ -387,7 +434,10 @@ fn lease_manager_crash_and_restart() {
     write_file(&*c1, &ctx, "/d/during_outage", b"ok").unwrap();
     // A client without a lease needs the manager and times out.
     let c2 = cl.client();
-    assert_eq!(c2.stat(&ctx, "/d/during_outage").err(), Some(FsError::TimedOut));
+    assert_eq!(
+        c2.stat(&ctx, "/d/during_outage").err(),
+        Some(FsError::TimedOut)
+    );
     // Make c1's work durable, then restart the manager; after the
     // startup grace, new leases are granted again.
     c1.sync_all(&ctx).unwrap();
@@ -440,7 +490,11 @@ fn pcache_serves_repeat_lookups_locally() {
     // Lookups of /hot in / and of f in /hot are cached... but the final
     // stat still fetches the inode through the parent leader. The saving
     // shows in path resolution: well under 2 RPCs per stat.
-    assert!(after - before <= 60, "pcache should absorb most lookups, got {}", after - before);
+    assert!(
+        after - before <= 60,
+        "pcache should absorb most lookups, got {}",
+        after - before
+    );
 }
 
 #[test]
@@ -457,7 +511,11 @@ fn no_pcache_sends_every_lookup_to_leaders() {
         c2.stat(&ctx, "/hot/f").unwrap();
     }
     let after = cl.ops_bus().message_count();
-    assert!(after - before >= 100, "every component lookup must RPC, got {}", after - before);
+    assert!(
+        after - before >= 100,
+        "every component lookup must RPC, got {}",
+        after - before
+    );
 }
 
 #[test]
@@ -528,7 +586,13 @@ fn sync_all_makes_state_durable_for_fresh_clients() {
     let c1 = cl.client();
     let ctx = root();
     for i in 0..20 {
-        write_file(&*c1, &ctx, &format!("/file{i}"), format!("body{i}").as_bytes()).unwrap();
+        write_file(
+            &*c1,
+            &ctx,
+            &format!("/file{i}"),
+            format!("body{i}").as_bytes(),
+        )
+        .unwrap();
     }
     c1.release_all(&ctx).unwrap();
     // A brand-new client on the same store sees all of it.
@@ -619,7 +683,10 @@ fn lease_manager_cluster_partitions_directories() {
     // observe it indirectly: every directory still works from a second
     // client via forwarding.
     for i in 0..8 {
-        assert_eq!(read_file(&*c2, &ctx, &format!("/d{i}/f")).unwrap(), [i as u8]);
+        assert_eq!(
+            read_file(&*c2, &ctx, &format!("/d{i}/f")).unwrap(),
+            [i as u8]
+        );
     }
     // Clean handover across the manager cluster.
     c1.release_all(&ctx).unwrap();

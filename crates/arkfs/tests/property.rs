@@ -4,10 +4,15 @@ use arkfs::cache::DataCache;
 use arkfs::journal::{JournalOp, Transaction};
 use arkfs::meta::{DentryBlock, DentryEntry, InodeRecord};
 use arkfs::metatable::Metatable;
+use arkfs::prt::Prt;
 use arkfs::wire::WireCodec;
+use arkfs_objstore::{ClusterConfig, ObjectCluster, ObjectKey, ObjectStore, OsError, StoreProfile};
+use arkfs_simkit::Port;
 use arkfs_vfs::{Acl, AclEntry, FileType, FsError};
+use bytes::Bytes;
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 // ---- strategies --------------------------------------------------------------
 
@@ -73,9 +78,16 @@ fn arb_journal_op() -> impl Strategy<Value = JournalOp> {
         any::<u128>().prop_map(|txid| JournalOp::RenameAbort { txid }),
     ];
     leaf.prop_recursive(2, 8, 3, |inner| {
-        (any::<u128>(), any::<u128>(), prop::collection::vec(inner, 0..3)).prop_map(
-            |(txid, peer_dir, ops)| JournalOp::RenamePrepare { txid, peer_dir, ops },
+        (
+            any::<u128>(),
+            any::<u128>(),
+            prop::collection::vec(inner, 0..3),
         )
+            .prop_map(|(txid, peer_dir, ops)| JournalOp::RenamePrepare {
+                txid,
+                peer_dir,
+                ops,
+            })
     })
 }
 
@@ -235,6 +247,164 @@ proptest! {
             model.into_iter().map(|(n, (i, s))| (n, i, s)).collect();
         expect.sort();
         prop_assert_eq!(listed, expect);
+    }
+}
+
+// ---- batched data path vs sequential reference --------------------------------
+
+/// Chunk size for the data-path differential tests (small, so random
+/// offsets exercise many chunk boundaries and sub-chunk pieces).
+const DP_CHUNK: u64 = 16;
+const DP_INO: u128 = 42;
+
+/// The seed's serial per-chunk data path, kept verbatim as the reference
+/// the batched PRT must agree with byte-for-byte.
+struct SerialRef {
+    store: Arc<ObjectCluster>,
+    port: Port,
+}
+
+impl SerialRef {
+    fn new(s3: bool) -> Self {
+        let mut cfg = ClusterConfig::test_tiny();
+        if s3 {
+            cfg.profile = StoreProfile::s3(&cfg.spec);
+        }
+        SerialRef {
+            store: Arc::new(ObjectCluster::new(cfg)),
+            port: Port::new(),
+        }
+    }
+
+    fn write(&self, offset: u64, data: &[u8]) {
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset + written as u64;
+            let chunk_idx = pos / DP_CHUNK;
+            let within = pos % DP_CHUNK;
+            let n = ((DP_CHUNK - within) as usize).min(data.len() - written);
+            let piece = Bytes::copy_from_slice(&data[written..written + n]);
+            let key = ObjectKey::data_chunk(DP_INO, chunk_idx);
+            match self.store.put_range(&self.port, key, within, piece.clone()) {
+                Ok(()) => {}
+                Err(OsError::Unsupported(_)) => {
+                    let mut chunk = match self.store.get(&self.port, key) {
+                        Ok(existing) => existing.to_vec(),
+                        Err(OsError::NotFound) => Vec::new(),
+                        Err(e) => panic!("reference write: {e:?}"),
+                    };
+                    let end = within as usize + n;
+                    if chunk.len() < end {
+                        chunk.resize(end, 0);
+                    }
+                    chunk[within as usize..end].copy_from_slice(&piece);
+                    self.store.put(&self.port, key, Bytes::from(chunk)).unwrap();
+                }
+                Err(e) => panic!("reference write: {e:?}"),
+            }
+            written += n;
+        }
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8], size: u64) -> usize {
+        if offset >= size {
+            return 0;
+        }
+        let want = (buf.len() as u64).min(size - offset) as usize;
+        let mut filled = 0usize;
+        while filled < want {
+            let pos = offset + filled as u64;
+            let chunk_idx = pos / DP_CHUNK;
+            let within = pos % DP_CHUNK;
+            let n = ((DP_CHUNK - within) as usize).min(want - filled);
+            let out = &mut buf[filled..filled + n];
+            match self.store.get_range(
+                &self.port,
+                ObjectKey::data_chunk(DP_INO, chunk_idx),
+                within,
+                n,
+            ) {
+                Ok(data) => {
+                    out[..data.len()].copy_from_slice(&data);
+                    out[data.len()..].fill(0);
+                }
+                Err(OsError::NotFound) => out.fill(0),
+                Err(e) => panic!("reference read: {e:?}"),
+            }
+            filled += n;
+        }
+        want
+    }
+}
+
+fn run_data_path_ops(ops: &[(u64, usize, u8, bool)], s3: bool) {
+    let mut cfg = ClusterConfig::test_tiny();
+    if s3 {
+        cfg.profile = StoreProfile::s3(&cfg.spec);
+    }
+    let batched = Prt::new(
+        Arc::new(ObjectCluster::new(cfg)) as Arc<dyn ObjectStore>,
+        DP_CHUNK,
+    );
+    let batched_port = Port::new();
+    let serial = SerialRef::new(s3);
+    // Plain in-memory model of the file bytes (sparse regions are zero).
+    let mut model: Vec<u8> = Vec::new();
+    for &(offset, len, seed, is_write) in ops {
+        if is_write {
+            let data: Vec<u8> = (0..len)
+                .map(|i| seed.wrapping_add(i as u8).max(1))
+                .collect();
+            batched
+                .write_data(&batched_port, DP_INO, offset, &data)
+                .unwrap();
+            serial.write(offset, &data);
+            let end = offset as usize + len;
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[offset as usize..end].copy_from_slice(&data);
+        } else {
+            let size = model.len() as u64;
+            let mut got = vec![0xAAu8; len];
+            let n = batched
+                .read_data(&batched_port, DP_INO, offset, &mut got, size)
+                .unwrap();
+            let mut want = vec![0xAAu8; len];
+            let n_ref = serial.read(offset, &mut want, size);
+            assert_eq!(n, n_ref, "filled-byte count diverges at offset {offset}");
+            assert_eq!(got[..n], want[..n_ref], "bytes diverge at offset {offset}");
+            let expect: &[u8] = if offset as usize >= model.len() {
+                &[]
+            } else {
+                &model[offset as usize..model.len().min(offset as usize + len)]
+            };
+            assert_eq!(&got[..n], expect, "batched read disagrees with the model");
+        }
+    }
+    // Final full-file read agrees everywhere.
+    let size = model.len() as u64;
+    let mut got = vec![0u8; model.len()];
+    let n = batched
+        .read_data(&batched_port, DP_INO, 0, &mut got, size)
+        .unwrap();
+    assert_eq!(n, model.len());
+    assert_eq!(got, model);
+}
+
+proptest! {
+    #[test]
+    fn batched_data_path_matches_sequential_reference_rados(
+        ops in prop::collection::vec((0u64..6 * DP_CHUNK, 1usize..80, any::<u8>(), any::<bool>()), 1..30),
+    ) {
+        run_data_path_ops(&ops, false);
+    }
+
+    #[test]
+    fn batched_data_path_matches_sequential_reference_s3(
+        ops in prop::collection::vec((0u64..6 * DP_CHUNK, 1usize..80, any::<u8>(), any::<bool>()), 1..30),
+    ) {
+        run_data_path_ops(&ops, true);
     }
 }
 

@@ -171,7 +171,10 @@ impl CephClient {
 impl Vfs for CephClient {
     fn mkdir(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<Stat> {
         self.charge_meta(path);
-        self.shared.ns.lock().mkdir(ctx, path, mode, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .mkdir(ctx, path, mode, self.port.now())
     }
 
     fn rmdir(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
@@ -181,7 +184,11 @@ impl Vfs for CephClient {
 
     fn create(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<FileHandle> {
         self.charge_meta(path);
-        let ino = self.shared.ns.lock().create(ctx, path, mode, self.port.now())?;
+        let ino = self
+            .shared
+            .ns
+            .lock()
+            .create(ctx, path, mode, self.port.now())?;
         let id = self.next_handle.fetch_add(1, Ordering::Relaxed);
         self.handles.lock().insert(
             id,
@@ -243,12 +250,20 @@ impl Vfs for CephClient {
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.fsync(ctx, fh)?;
-        self.handles.lock().remove(&fh.0).ok_or(FsError::BadHandle)?;
+        self.handles
+            .lock()
+            .remove(&fh.0)
+            .ok_or(FsError::BadHandle)?;
         Ok(())
     }
 
-    fn read(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, buf: &mut [u8])
-        -> FsResult<usize> {
+    fn read(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
         self.charge_io();
         let (ino, size, flags) = self.handle_view(fh)?;
         if !flags.readable() {
@@ -258,22 +273,30 @@ impl Vfs for CephClient {
             let handles = self.handles.lock();
             handles.get(&fh.0).map(|h| h.ra).unwrap_or_default()
         };
-        let n = self.data.read(&self.port, &self.cache, ino, offset, buf, size, &mut ra)?;
+        let n = self
+            .data
+            .read(&self.port, &self.cache, ino, offset, buf, size, &mut ra)?;
         if let Some(h) = self.handles.lock().get_mut(&fh.0) {
             h.ra = ra;
         }
         Ok(n)
     }
 
-    fn write(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, data: &[u8])
-        -> FsResult<usize> {
+    fn write(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
         self.charge_io();
         let (ino, size, flags) = self.handle_view(fh)?;
         if !flags.writable() {
             return Err(FsError::BadAccessMode);
         }
         let offset = if flags.is_append() { size } else { offset };
-        self.data.write(&self.port, &self.cache, ino, offset, data, size)?;
+        self.data
+            .write(&self.port, &self.cache, ino, offset, data, size)?;
         let mut handles = self.handles.lock();
         if let Some(h) = handles.get_mut(&fh.0) {
             h.size = h.size.max(offset + data.len() as u64);
@@ -342,7 +365,8 @@ impl Vfs for CephClient {
             (ino, old)
         };
         if size < old {
-            self.data.truncate(&self.port, &self.cache, ino, old, size)?;
+            self.data
+                .truncate(&self.port, &self.cache, ino, old, size)?;
         }
         let mut handles = self.handles.lock();
         for h in handles.values_mut() {
@@ -355,12 +379,18 @@ impl Vfs for CephClient {
 
     fn setattr(&self, ctx: &Credentials, path: &str, attr: &SetAttr) -> FsResult<Stat> {
         self.charge_meta(path);
-        self.shared.ns.lock().setattr(ctx, path, attr, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .setattr(ctx, path, attr, self.port.now())
     }
 
     fn symlink(&self, ctx: &Credentials, path: &str, target: &str) -> FsResult<Stat> {
         self.charge_meta(path);
-        self.shared.ns.lock().symlink(ctx, path, target, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .symlink(ctx, path, target, self.port.now())
     }
 
     fn readlink(&self, ctx: &Credentials, path: &str) -> FsResult<String> {
@@ -370,7 +400,10 @@ impl Vfs for CephClient {
 
     fn set_acl(&self, ctx: &Credentials, path: &str, acl: &Acl) -> FsResult<()> {
         self.charge_meta(path);
-        self.shared.ns.lock().set_acl(ctx, path, acl, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .set_acl(ctx, path, acl, self.port.now())
     }
 
     fn get_acl(&self, ctx: &Credentials, path: &str) -> FsResult<Acl> {
@@ -407,7 +440,11 @@ impl Vfs for CephClient {
         self.charge_meta("/");
         let inodes = self.shared.ns.lock().len() as u64;
         let (store_objects, store_bytes) = self.shared.store.usage();
-        Ok(FsStats { inodes, store_objects, store_bytes })
+        Ok(FsStats {
+            inodes,
+            store_objects,
+            store_bytes,
+        })
     }
 }
 

@@ -10,6 +10,7 @@ use arkfs_simkit::Port;
 use arkfs_vfs::{FsResult, Ino};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-handle read-ahead state.
@@ -30,7 +31,12 @@ pub struct DataPath {
 impl DataPath {
     pub fn new(store: Arc<dyn ObjectStore>, chunk_size: u64, max_readahead: u64) -> Self {
         assert!(chunk_size > 0);
-        DataPath { store, chunk_size, max_readahead, full_at_zero: true }
+        DataPath {
+            store,
+            chunk_size,
+            max_readahead,
+            full_at_zero: true,
+        }
     }
 
     pub fn store(&self) -> &Arc<dyn ObjectStore> {
@@ -87,8 +93,10 @@ impl DataPath {
             // window is asynchronous read-ahead — the reader only waits
             // when it touches a chunk before its completion.
             let last_needed = (offset + want as u64 - 1) / self.chunk_size;
-            let keys: Vec<ObjectKey> =
-                missing.iter().map(|&ch| ObjectKey::data_chunk(ino, ch)).collect();
+            let keys: Vec<ObjectKey> = missing
+                .iter()
+                .map(|&ch| ObjectKey::data_chunk(ino, ch))
+                .collect();
             let depart = port.now() + 50_000; // one-way network latency
             let results = self.store.get_each(depart, &keys);
             let mut evicted = Vec::new();
@@ -150,8 +158,12 @@ impl DataPath {
                 None => false,
             };
             if !hit {
-                match self.store.get_range(port, ObjectKey::data_chunk(ino, chunk),
-                    within as u64, n) {
+                match self.store.get_range(
+                    port,
+                    ObjectKey::data_chunk(ino, chunk),
+                    within as u64,
+                    n,
+                ) {
                     Ok(data) => {
                         let out = &mut buf[filled..filled + n];
                         out[..data.len()].copy_from_slice(&data);
@@ -178,31 +190,51 @@ impl DataPath {
         data: &[u8],
         size_before: u64,
     ) -> FsResult<()> {
+        // Split into per-chunk pieces up front, fetch every
+        // read-modify-write fill in one pipelined multi-GET, apply the
+        // whole span in one cache pass, and flush all evictions as a
+        // single write-back batch.
+        let mut pieces: Vec<(u64, usize, &[u8])> = Vec::new();
         let mut written = 0usize;
         while written < data.len() {
             let pos = offset + written as u64;
             let chunk = pos / self.chunk_size;
             let within = (pos % self.chunk_size) as usize;
             let n = (self.chunk_size as usize - within).min(data.len() - written);
-            let piece = &data[written..written + n];
-            let chunk_start = chunk * self.chunk_size;
-            let covers_whole = within == 0 && n == self.chunk_size as usize;
-            let need_rmw =
-                !covers_whole && chunk_start < size_before && !cache.lock().contains(ino, chunk);
-            if need_rmw {
-                let existing = match self.store.get(port, ObjectKey::data_chunk(ino, chunk)) {
-                    Ok(b) => b.to_vec(),
-                    Err(OsError::NotFound) => Vec::new(),
-                    Err(e) => return Err(map_os_err(e)),
-                };
-                let ev = cache.lock().insert_clean(ino, chunk, existing);
-                self.write_back(port, ev)?;
-            }
-            let ev = cache.lock().write(ino, chunk, within, piece);
-            self.write_back(port, ev)?;
+            pieces.push((chunk, within, &data[written..written + n]));
             written += n;
         }
-        Ok(())
+        let need_fill: Vec<u64> = {
+            let c = cache.lock();
+            pieces
+                .iter()
+                .filter(|&&(chunk, within, piece)| {
+                    let covers_whole = within == 0 && piece.len() == self.chunk_size as usize;
+                    !covers_whole
+                        && chunk * self.chunk_size < size_before
+                        && !c.contains(ino, chunk)
+                })
+                .map(|&(chunk, ..)| chunk)
+                .collect()
+        };
+        let mut fills = HashMap::new();
+        if !need_fill.is_empty() {
+            let keys: Vec<ObjectKey> = need_fill
+                .iter()
+                .map(|&ch| ObjectKey::data_chunk(ino, ch))
+                .collect();
+            for (&chunk, result) in need_fill.iter().zip(self.store.get_many(port, &keys)) {
+                match result {
+                    Ok(bytes) => {
+                        fills.insert(chunk, bytes.to_vec());
+                    }
+                    Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
+            }
+        }
+        let evicted = cache.lock().write_many(ino, fills, &pieces);
+        self.write_back(port, evicted)
     }
 
     /// Flush one file's dirty chunks to the store.
@@ -244,10 +276,15 @@ impl DataPath {
         cache.lock().invalidate_file(ino);
         let first_dead = new_size.div_ceil(self.chunk_size);
         let last = old_size.div_ceil(self.chunk_size);
-        for chunk in first_dead..last {
-            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk)) {
-                Ok(()) | Err(OsError::NotFound) => {}
-                Err(e) => return Err(map_os_err(e)),
+        let dead: Vec<ObjectKey> = (first_dead..last)
+            .map(|ch| ObjectKey::data_chunk(ino, ch))
+            .collect();
+        if !dead.is_empty() {
+            for r in self.store.delete_many(port, &dead) {
+                match r {
+                    Ok(()) | Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
             }
         }
         if !new_size.is_multiple_of(self.chunk_size) && new_size / self.chunk_size < last {
@@ -256,7 +293,9 @@ impl DataPath {
             let key = ObjectKey::data_chunk(ino, boundary);
             match self.store.get(port, key) {
                 Ok(data) if data.len() > keep => {
-                    self.store.put(port, key, data.slice(..keep)).map_err(map_os_err)?;
+                    self.store
+                        .put(port, key, data.slice(..keep))
+                        .map_err(map_os_err)?;
                 }
                 Ok(_) | Err(OsError::NotFound) => {}
                 Err(e) => return Err(map_os_err(e)),
@@ -266,11 +305,22 @@ impl DataPath {
     }
 
     /// Drop cached chunks and delete the data objects of a file.
-    pub fn delete(&self, port: &Port, cache: &Mutex<DataCache>, ino: Ino, size: u64)
-        -> FsResult<()> {
+    pub fn delete(
+        &self,
+        port: &Port,
+        cache: &Mutex<DataCache>,
+        ino: Ino,
+        size: u64,
+    ) -> FsResult<()> {
         cache.lock().invalidate_file(ino);
-        for chunk in 0..size.div_ceil(self.chunk_size) {
-            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk)) {
+        let keys: Vec<ObjectKey> = (0..size.div_ceil(self.chunk_size))
+            .map(|ch| ObjectKey::data_chunk(ino, ch))
+            .collect();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for r in self.store.delete_many(port, &keys) {
+            match r {
                 Ok(()) | Err(OsError::NotFound) => {}
                 Err(e) => return Err(map_os_err(e)),
             }
@@ -285,9 +335,12 @@ mod tests {
     use arkfs_objstore::{ClusterConfig, ObjectCluster};
 
     fn setup() -> (DataPath, Mutex<DataCache>, Port) {
-        let store: Arc<dyn ObjectStore> =
-            Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
-        (DataPath::new(store, 64, 256), Mutex::new(DataCache::new(8)), Port::new())
+        let store: Arc<dyn ObjectStore> = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        (
+            DataPath::new(store, 64, 256),
+            Mutex::new(DataCache::new(8)),
+            Port::new(),
+        )
     }
 
     #[test]
@@ -298,7 +351,9 @@ mod tests {
         dp.flush(&port, &cache, 7).unwrap();
         let mut ra = RaState::default();
         let mut buf = vec![0u8; 300];
-        let n = dp.read(&port, &cache, 7, 0, &mut buf, 300, &mut ra).unwrap();
+        let n = dp
+            .read(&port, &cache, 7, 0, &mut buf, 300, &mut ra)
+            .unwrap();
         assert_eq!(n, 300);
         assert_eq!(buf, payload);
     }
@@ -312,15 +367,19 @@ mod tests {
         cache.lock().invalidate_file(7);
         let mut ra = RaState::default();
         let mut buf = vec![0u8; 64];
-        dp.read(&port, &cache, 7, 0, &mut buf, 1024, &mut ra).unwrap();
+        dp.read(&port, &cache, 7, 0, &mut buf, 1024, &mut ra)
+            .unwrap();
         assert_eq!(ra.window, 256, "offset 0 jumps to max window");
         // Random access resets the window.
-        dp.read(&port, &cache, 7, 512, &mut buf, 1024, &mut ra).unwrap();
+        dp.read(&port, &cache, 7, 512, &mut buf, 1024, &mut ra)
+            .unwrap();
         assert_eq!(ra.window, 0);
         // Sequential access doubles it.
-        dp.read(&port, &cache, 7, 576, &mut buf, 1024, &mut ra).unwrap();
+        dp.read(&port, &cache, 7, 576, &mut buf, 1024, &mut ra)
+            .unwrap();
         assert_eq!(ra.window, 128);
-        dp.read(&port, &cache, 7, 640, &mut buf, 1024, &mut ra).unwrap();
+        dp.read(&port, &cache, 7, 640, &mut buf, 1024, &mut ra)
+            .unwrap();
         assert_eq!(ra.window, 256);
     }
 
@@ -336,7 +395,8 @@ mod tests {
         let mut ra = RaState::default();
         let mut buf = vec![0u8; 128];
         cache.lock().invalidate_file(7);
-        dp.read(&port, &cache, 7, 0, &mut buf, 128, &mut ra).unwrap();
+        dp.read(&port, &cache, 7, 0, &mut buf, 128, &mut ra)
+            .unwrap();
         assert!(buf[..20].iter().all(|&b| b == 1));
         assert!(buf[20..30].iter().all(|&b| b == 9));
         assert!(buf[30..].iter().all(|&b| b == 1));
@@ -350,7 +410,8 @@ mod tests {
         dp.delete(&port, &cache, 7, 200).unwrap();
         let mut ra = RaState::default();
         let mut buf = vec![5u8; 64];
-        dp.read(&port, &cache, 7, 0, &mut buf, 200, &mut ra).unwrap();
+        dp.read(&port, &cache, 7, 0, &mut buf, 200, &mut ra)
+            .unwrap();
         assert!(buf.iter().all(|&b| b == 0), "deleted data reads as zeros");
     }
 

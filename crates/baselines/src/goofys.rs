@@ -10,8 +10,8 @@ use arkfs::prt::map_os_err;
 use arkfs_objstore::ObjectKey;
 use arkfs_simkit::{ClusterSpec, Port};
 use arkfs_vfs::{
-    Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult, Ino, OpenFlags,
-    SetAttr, Stat, Vfs,
+    Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult, Ino, OpenFlags, SetAttr,
+    Stat, Vfs,
 };
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -89,7 +89,11 @@ impl GoofysFs {
     fn make_stat(entry: &crate::pathfs::BucketEntry) -> Stat {
         Stat {
             ino: entry.ino,
-            ftype: if entry.is_dir { FileType::Directory } else { FileType::Regular },
+            ftype: if entry.is_dir {
+                FileType::Directory
+            } else {
+                FileType::Regular
+            },
             mode: 0o777,
             uid: 0,
             gid: 0,
@@ -117,6 +121,11 @@ impl GoofysFs {
             }
             puts
         };
+        if puts.is_empty() {
+            // Nothing accumulated a full part yet — don't charge a
+            // store round trip for an empty flush.
+            return Ok(());
+        }
         for r in self.data.store().put_many(&self.port, puts) {
             r.map_err(map_os_err)?;
         }
@@ -166,7 +175,11 @@ impl Vfs for GoofysFs {
             self.bucket.delete_data(&self.port, entry.ino, entry.size)?;
             self.bucket.set_size(path, 0, self.port.now())?;
         }
-        let size = if flags.is_trunc() && flags.writable() { 0 } else { entry.size };
+        let size = if flags.is_trunc() && flags.writable() {
+            0
+        } else {
+            entry.size
+        };
         let id = self.next_handle.fetch_add(1, Ordering::Relaxed);
         self.handles.lock().insert(
             id,
@@ -186,12 +199,20 @@ impl Vfs for GoofysFs {
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.fsync(ctx, fh)?;
-        self.handles.lock().remove(&fh.0).ok_or(FsError::BadHandle)?;
+        self.handles
+            .lock()
+            .remove(&fh.0)
+            .ok_or(FsError::BadHandle)?;
         Ok(())
     }
 
-    fn read(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, buf: &mut [u8])
-        -> FsResult<usize> {
+    fn read(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
         self.fuse();
         let (ino, size) = {
             let handles = self.handles.lock();
@@ -202,15 +223,22 @@ impl Vfs for GoofysFs {
             let handles = self.handles.lock();
             handles.get(&fh.0).map(|h| h.ra).unwrap_or_default()
         };
-        let n = self.data.read(&self.port, &self.cache, ino, offset, buf, size, &mut ra)?;
+        let n = self
+            .data
+            .read(&self.port, &self.cache, ino, offset, buf, size, &mut ra)?;
         if let Some(h) = self.handles.lock().get_mut(&fh.0) {
             h.ra = ra;
         }
         Ok(n)
     }
 
-    fn write(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, data: &[u8])
-        -> FsResult<usize> {
+    fn write(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
         self.fuse();
         {
             let mut handles = self.handles.lock();
@@ -370,7 +398,13 @@ mod tests {
     fn weak_posix_surface() {
         let c = client();
         let ctx = Credentials::root();
-        assert!(matches!(c.truncate(&ctx, "/x", 0), Err(FsError::Unsupported(_))));
-        assert!(matches!(c.symlink(&ctx, "/a", "/b"), Err(FsError::Unsupported(_))));
+        assert!(matches!(
+            c.truncate(&ctx, "/x", 0),
+            Err(FsError::Unsupported(_))
+        ));
+        assert!(matches!(
+            c.symlink(&ctx, "/a", "/b"),
+            Err(FsError::Unsupported(_))
+        ));
     }
 }

@@ -25,11 +25,11 @@
 //!   read-ahead window, streaming writes, weak POSIX.
 
 pub mod cephfs;
+pub mod datapath;
 pub mod goofys;
 pub mod marfs;
 pub mod mds;
 pub mod ns;
-pub mod datapath;
 pub mod pathfs;
 pub mod s3fs;
 

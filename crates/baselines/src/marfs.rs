@@ -12,8 +12,8 @@ use arkfs::prt::Prt;
 use arkfs_objstore::ObjectStore;
 use arkfs_simkit::{ClusterSpec, Port, SharedResource};
 use arkfs_vfs::{
-    Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult, Ino, OpenFlags,
-    SetAttr, Stat, Vfs,
+    Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult, Ino, OpenFlags, SetAttr,
+    Stat, Vfs,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -39,8 +39,11 @@ pub struct MarFs {
 
 impl MarFs {
     /// Stand up a deployment (call once) and mount clients from it.
-    pub fn deployment(store: Arc<dyn ObjectStore>, spec: ClusterSpec, chunk: u64)
-        -> Arc<MarShared> {
+    pub fn deployment(
+        store: Arc<dyn ObjectStore>,
+        spec: ClusterSpec,
+        chunk: u64,
+    ) -> Arc<MarShared> {
         Arc::new(MarShared {
             ns: Mutex::new(Namespace::new()),
             mds: MdsCluster::new(2, MdsModel::marfs(&spec), &spec),
@@ -78,7 +81,10 @@ impl MarFs {
 impl Vfs for MarFs {
     fn mkdir(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<Stat> {
         self.charge(path);
-        self.shared.ns.lock().mkdir(ctx, path, mode, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .mkdir(ctx, path, mode, self.port.now())
     }
 
     fn rmdir(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
@@ -88,7 +94,11 @@ impl Vfs for MarFs {
 
     fn create(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<FileHandle> {
         self.charge(path);
-        let ino = self.shared.ns.lock().create(ctx, path, mode, self.port.now())?;
+        let ino = self
+            .shared
+            .ns
+            .lock()
+            .create(ctx, path, mode, self.port.now())?;
         let id = self.next_handle.fetch_add(1, Ordering::Relaxed);
         self.handles.lock().insert(id, (ino, 0, false));
         Ok(FileHandle(id))
@@ -113,7 +123,10 @@ impl Vfs for MarFs {
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.fsync(ctx, fh)?;
-        self.handles.lock().remove(&fh.0).ok_or(FsError::BadHandle)?;
+        self.handles
+            .lock()
+            .remove(&fh.0)
+            .ok_or(FsError::BadHandle)?;
         Ok(())
     }
 
@@ -129,8 +142,13 @@ impl Vfs for MarFs {
         Err(FsError::Unsupported("marfs interactive read"))
     }
 
-    fn write(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, data: &[u8])
-        -> FsResult<usize> {
+    fn write(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
         let ino = {
             let handles = self.handles.lock();
             handles.get(&fh.0).ok_or(FsError::BadHandle)?.0
@@ -194,12 +212,18 @@ impl Vfs for MarFs {
 
     fn setattr(&self, ctx: &Credentials, path: &str, attr: &SetAttr) -> FsResult<Stat> {
         self.charge(path);
-        self.shared.ns.lock().setattr(ctx, path, attr, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .setattr(ctx, path, attr, self.port.now())
     }
 
     fn symlink(&self, ctx: &Credentials, path: &str, target: &str) -> FsResult<Stat> {
         self.charge(path);
-        self.shared.ns.lock().symlink(ctx, path, target, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .symlink(ctx, path, target, self.port.now())
     }
 
     fn readlink(&self, ctx: &Credentials, path: &str) -> FsResult<String> {
@@ -209,7 +233,10 @@ impl Vfs for MarFs {
 
     fn set_acl(&self, ctx: &Credentials, path: &str, acl: &Acl) -> FsResult<()> {
         self.charge(path);
-        self.shared.ns.lock().set_acl(ctx, path, acl, self.port.now())
+        self.shared
+            .ns
+            .lock()
+            .set_acl(ctx, path, acl, self.port.now())
     }
 
     fn get_acl(&self, ctx: &Credentials, path: &str) -> FsResult<Acl> {

@@ -10,8 +10,8 @@
 //! the overheads §IV-B blames for CephFS-K (16 MDS) barely beating
 //! 1 MDS on mdtest-hard.
 
-use arkfs_simkit::{ClusterSpec, Nanos, Port, SharedResource};
 use arkfs_simkit::timeline::ContentionModel;
+use arkfs_simkit::{ClusterSpec, Nanos, Port, SharedResource};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tuning of the MDS behaviour model.
@@ -74,7 +74,9 @@ impl MdsCluster {
             max_factor: model.contention_cap,
         };
         MdsCluster {
-            servers: (0..n).map(|_| SharedResource::new("mds", contention)).collect(),
+            servers: (0..n)
+                .map(|_| SharedResource::new("mds", contention))
+                .collect(),
             model,
             net_half_rtt: spec.net_half_rtt,
             ops: AtomicU64::new(0),

@@ -79,8 +79,14 @@ impl Default for Namespace {
 impl Namespace {
     pub fn new() -> Self {
         let mut nodes = HashMap::new();
-        nodes.insert(ROOT_INO, Node::new(ROOT_INO, FileType::Directory, 0o755, 0, 0, 0));
-        Namespace { nodes, next_ino: ROOT_INO + 1 }
+        nodes.insert(
+            ROOT_INO,
+            Node::new(ROOT_INO, FileType::Directory, 0o755, 0, 0, 0),
+        );
+        Namespace {
+            nodes,
+            next_ino: ROOT_INO + 1,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -142,8 +148,13 @@ impl Namespace {
         Ok(self.node(self.resolve(ctx, path)?)?.stat())
     }
 
-    pub fn mkdir(&mut self, ctx: &Credentials, path: &str, mode: u32, now: Nanos)
-        -> FsResult<Stat> {
+    pub fn mkdir(
+        &mut self,
+        ctx: &Credentials,
+        path: &str,
+        mode: u32,
+        now: Nanos,
+    ) -> FsResult<Stat> {
         let (parent, name) = self.resolve_parent(ctx, path)?;
         vpath::validate_name(name)?;
         self.check(ctx, self.node(parent)?, AM_WRITE | AM_EXEC)?;
@@ -162,8 +173,13 @@ impl Namespace {
     }
 
     /// Create a regular file (exclusive). Returns its inode number.
-    pub fn create(&mut self, ctx: &Credentials, path: &str, mode: u32, now: Nanos)
-        -> FsResult<Ino> {
+    pub fn create(
+        &mut self,
+        ctx: &Credentials,
+        path: &str,
+        mode: u32,
+        now: Nanos,
+    ) -> FsResult<Ino> {
         let (parent, name) = self.resolve_parent(ctx, path)?;
         vpath::validate_name(name)?;
         self.check(ctx, self.node(parent)?, AM_WRITE | AM_EXEC)?;
@@ -171,15 +187,23 @@ impl Namespace {
             return Err(FsError::AlreadyExists);
         }
         let ino = self.alloc_ino();
-        self.nodes.insert(ino, Node::new(ino, FileType::Regular, mode, ctx.uid, ctx.gid, now));
+        self.nodes.insert(
+            ino,
+            Node::new(ino, FileType::Regular, mode, ctx.uid, ctx.gid, now),
+        );
         let p = self.node_mut(parent)?;
         p.children.insert(name.to_string(), ino);
         p.mtime = now;
         Ok(ino)
     }
 
-    pub fn symlink(&mut self, ctx: &Credentials, path: &str, target: &str, now: Nanos)
-        -> FsResult<Stat> {
+    pub fn symlink(
+        &mut self,
+        ctx: &Credentials,
+        path: &str,
+        target: &str,
+        now: Nanos,
+    ) -> FsResult<Stat> {
         let (parent, name) = self.resolve_parent(ctx, path)?;
         vpath::validate_name(name)?;
         self.check(ctx, self.node(parent)?, AM_WRITE | AM_EXEC)?;
@@ -215,17 +239,24 @@ impl Namespace {
         node.children
             .iter()
             .map(|(name, &ino)| {
-                Ok(DirEntry { name: name.clone(), ino, ftype: self.node(ino)?.ftype })
+                Ok(DirEntry {
+                    name: name.clone(),
+                    ino,
+                    ftype: self.node(ino)?.ftype,
+                })
             })
             .collect()
     }
 
     /// Unlink a file/symlink; returns (ino, size) so the caller can drop
     /// the data objects.
-    pub fn unlink(&mut self, ctx: &Credentials, path: &str, now: Nanos)
-        -> FsResult<(Ino, u64)> {
+    pub fn unlink(&mut self, ctx: &Credentials, path: &str, now: Nanos) -> FsResult<(Ino, u64)> {
         let (parent, name) = self.resolve_parent(ctx, path)?;
-        let &ino = self.node(parent)?.children.get(name).ok_or(FsError::NotFound)?;
+        let &ino = self
+            .node(parent)?
+            .children
+            .get(name)
+            .ok_or(FsError::NotFound)?;
         let victim = self.node(ino)?;
         if victim.ftype == FileType::Directory {
             return Err(FsError::IsADirectory);
@@ -242,7 +273,11 @@ impl Namespace {
 
     pub fn rmdir(&mut self, ctx: &Credentials, path: &str, now: Nanos) -> FsResult<()> {
         let (parent, name) = self.resolve_parent(ctx, path)?;
-        let &ino = self.node(parent)?.children.get(name).ok_or(FsError::NotFound)?;
+        let &ino = self
+            .node(parent)?
+            .children
+            .get(name)
+            .ok_or(FsError::NotFound)?;
         let victim = self.node(ino)?;
         if victim.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
@@ -261,8 +296,7 @@ impl Namespace {
         Ok(())
     }
 
-    pub fn rename(&mut self, ctx: &Credentials, from: &str, to: &str, now: Nanos)
-        -> FsResult<()> {
+    pub fn rename(&mut self, ctx: &Credentials, from: &str, to: &str, now: Nanos) -> FsResult<()> {
         let from_comps = vpath::components(from)?;
         let to_comps = vpath::components(to)?;
         if from_comps == to_comps {
@@ -276,7 +310,11 @@ impl Namespace {
         }
         let (src_parent, src_name) = self.resolve_parent(ctx, from)?;
         let (dst_parent, dst_name) = self.resolve_parent(ctx, to)?;
-        let &ino = self.node(src_parent)?.children.get(src_name).ok_or(FsError::NotFound)?;
+        let &ino = self
+            .node(src_parent)?
+            .children
+            .get(src_name)
+            .ok_or(FsError::NotFound)?;
         let moving = self.node(ino)?;
         let moving_is_dir = moving.ftype == FileType::Directory;
         let moving_uid = moving.uid;
@@ -301,7 +339,9 @@ impl Namespace {
         }
         self.node_mut(src_parent)?.children.remove(src_name);
         self.node_mut(src_parent)?.mtime = now;
-        self.node_mut(dst_parent)?.children.insert(dst_name.to_string(), ino);
+        self.node_mut(dst_parent)?
+            .children
+            .insert(dst_name.to_string(), ino);
         self.node_mut(dst_parent)?.mtime = now;
         if moving_is_dir && src_parent != dst_parent {
             let sp = self.node_mut(src_parent)?;
@@ -320,8 +360,13 @@ impl Namespace {
         Ok(old)
     }
 
-    pub fn setattr(&mut self, ctx: &Credentials, path: &str, attr: &SetAttr, now: Nanos)
-        -> FsResult<Stat> {
+    pub fn setattr(
+        &mut self,
+        ctx: &Credentials,
+        path: &str,
+        attr: &SetAttr,
+        now: Nanos,
+    ) -> FsResult<Stat> {
         let ino = self.resolve(ctx, path)?;
         let owner = self.node(ino)?.uid;
         let changing_owner = attr.uid.is_some() || attr.gid.is_some();
@@ -346,8 +391,13 @@ impl Namespace {
         Ok(node.stat())
     }
 
-    pub fn set_acl(&mut self, ctx: &Credentials, path: &str, acl: &Acl, now: Nanos)
-        -> FsResult<()> {
+    pub fn set_acl(
+        &mut self,
+        ctx: &Credentials,
+        path: &str,
+        acl: &Acl,
+        now: Nanos,
+    ) -> FsResult<()> {
         let ino = self.resolve(ctx, path)?;
         let owner = self.node(ino)?.uid;
         perm::check_setattr(ctx, owner, false)?;
@@ -397,12 +447,21 @@ mod tests {
         let mut ns = Namespace::new();
         let ctx = root();
         ns.mkdir(&ctx, "/a", 0o755, 0).unwrap();
-        assert_eq!(ns.mkdir(&ctx, "/a", 0o755, 0).err(), Some(FsError::AlreadyExists));
+        assert_eq!(
+            ns.mkdir(&ctx, "/a", 0o755, 0).err(),
+            Some(FsError::AlreadyExists)
+        );
         ns.create(&ctx, "/a/f", 0o644, 0).unwrap();
-        assert_eq!(ns.create(&ctx, "/a/f", 0o644, 0).err(), Some(FsError::AlreadyExists));
+        assert_eq!(
+            ns.create(&ctx, "/a/f", 0o644, 0).err(),
+            Some(FsError::AlreadyExists)
+        );
         assert_eq!(ns.stat(&ctx, "/zz").err(), Some(FsError::NotFound));
         assert_eq!(ns.unlink(&ctx, "/a", 0).err(), Some(FsError::IsADirectory));
-        assert_eq!(ns.rmdir(&ctx, "/a/f", 0).err(), Some(FsError::NotADirectory));
+        assert_eq!(
+            ns.rmdir(&ctx, "/a/f", 0).err(),
+            Some(FsError::NotADirectory)
+        );
         assert_eq!(ns.rmdir(&ctx, "/a", 0).err(), Some(FsError::NotEmpty));
     }
 
@@ -423,10 +482,16 @@ mod tests {
         assert!(ns.node(f2).is_err());
         // Directory onto non-empty directory fails.
         ns.mkdir(&ctx, "/d3", 0o755, 0).unwrap();
-        assert_eq!(ns.rename(&ctx, "/d3", "/d2", 3).err(), Some(FsError::NotEmpty));
+        assert_eq!(
+            ns.rename(&ctx, "/d3", "/d2", 3).err(),
+            Some(FsError::NotEmpty)
+        );
         // Into own subtree fails.
         ns.mkdir(&ctx, "/d3/sub", 0o755, 0).unwrap();
-        assert_eq!(ns.rename(&ctx, "/d3", "/d3/sub/x", 3).err(), Some(FsError::InvalidArgument));
+        assert_eq!(
+            ns.rename(&ctx, "/d3", "/d3/sub/x", 3).err(),
+            Some(FsError::InvalidArgument)
+        );
         // Directory nlink bookkeeping.
         ns.rename(&ctx, "/d3", "/d2/d3moved", 4).unwrap();
         assert_eq!(ns.stat(&ctx, "/d2").unwrap().nlink, 3);
@@ -438,10 +503,15 @@ mod tests {
         let ctx = root();
         let alice = Credentials::user(100);
         ns.mkdir(&ctx, "/locked", 0o700, 0).unwrap();
-        assert_eq!(ns.create(&alice, "/locked/f", 0o644, 0).err(),
-            Some(FsError::PermissionDenied));
+        assert_eq!(
+            ns.create(&alice, "/locked/f", 0o644, 0).err(),
+            Some(FsError::PermissionDenied)
+        );
         assert_eq!(ns.stat(&alice, "/locked").unwrap().mode, 0o700); // stat of the dir itself ok
-        assert_eq!(ns.readdir(&alice, "/locked").err(), Some(FsError::PermissionDenied));
+        assert_eq!(
+            ns.readdir(&alice, "/locked").err(),
+            Some(FsError::PermissionDenied)
+        );
         // setattr by non-owner.
         ns.create(&ctx, "/f", 0o644, 0).unwrap();
         assert_eq!(
@@ -457,7 +527,10 @@ mod tests {
         ns.symlink(&ctx, "/ln", "/target", 0).unwrap();
         assert_eq!(ns.readlink(&ctx, "/ln").unwrap(), "/target");
         ns.create(&ctx, "/plain", 0o644, 0).unwrap();
-        assert_eq!(ns.readlink(&ctx, "/plain").err(), Some(FsError::InvalidArgument));
+        assert_eq!(
+            ns.readlink(&ctx, "/plain").err(),
+            Some(FsError::InvalidArgument)
+        );
     }
 
     #[test]
@@ -468,7 +541,8 @@ mod tests {
         let bob = Credentials::user(7);
         ns.create(&ctx, "/f", 0o600, 0).unwrap();
         assert!(ns.access(&bob, "/f", AM_READ).is_err());
-        ns.set_acl(&ctx, "/f", &Acl::new(vec![AclEntry::user(7, 0o4)]), 1).unwrap();
+        ns.set_acl(&ctx, "/f", &Acl::new(vec![AclEntry::user(7, 0o4)]), 1)
+            .unwrap();
         ns.access(&bob, "/f", AM_READ).unwrap();
         assert_eq!(ns.get_acl(&ctx, "/f").unwrap().entries.len(), 1);
     }

@@ -68,9 +68,18 @@ impl Bucket {
     pub fn lookup(&self, path: &str) -> FsResult<BucketEntry> {
         let path = Self::canonical(path)?;
         if path == "/" {
-            return Ok(BucketEntry { ino: 1, is_dir: true, size: 0, mtime: 0 });
+            return Ok(BucketEntry {
+                ino: 1,
+                is_dir: true,
+                size: 0,
+                mtime: 0,
+            });
         }
-        self.index.lock().get(&path).copied().ok_or(FsError::NotFound)
+        self.index
+            .lock()
+            .get(&path)
+            .copied()
+            .ok_or(FsError::NotFound)
     }
 
     /// HEAD the marker object (charges one S3 op) then return the entry.
@@ -91,11 +100,26 @@ impl Bucket {
             if index.contains_key(&path) {
                 return Err(FsError::AlreadyExists);
             }
-            index.insert(path, BucketEntry { ino, is_dir: true, size: 0, mtime: now });
+            index.insert(
+                path,
+                BucketEntry {
+                    ino,
+                    is_dir: true,
+                    size: 0,
+                    mtime: now,
+                },
+            );
         }
         // Directory marker object ("dir/" key on real S3).
-        self.store.put(port, ObjectKey::inode(ino), Bytes::new()).map_err(map_os_err)?;
-        Ok(BucketEntry { ino, is_dir: true, size: 0, mtime: now })
+        self.store
+            .put(port, ObjectKey::inode(ino), Bytes::new())
+            .map_err(map_os_err)?;
+        Ok(BucketEntry {
+            ino,
+            is_dir: true,
+            size: 0,
+            mtime: now,
+        })
     }
 
     pub fn create(&self, port: &Port, path: &str, now: Nanos) -> FsResult<BucketEntry> {
@@ -109,10 +133,25 @@ impl Bucket {
             if index.contains_key(&path) {
                 return Err(FsError::AlreadyExists);
             }
-            index.insert(path.clone(), BucketEntry { ino, is_dir: false, size: 0, mtime: now });
+            index.insert(
+                path.clone(),
+                BucketEntry {
+                    ino,
+                    is_dir: false,
+                    size: 0,
+                    mtime: now,
+                },
+            );
         }
-        self.store.put(port, ObjectKey::inode(ino), Bytes::new()).map_err(map_os_err)?;
-        Ok(BucketEntry { ino, is_dir: false, size: 0, mtime: now })
+        self.store
+            .put(port, ObjectKey::inode(ino), Bytes::new())
+            .map_err(map_os_err)?;
+        Ok(BucketEntry {
+            ino,
+            is_dir: false,
+            size: 0,
+            mtime: now,
+        })
     }
 
     pub fn set_size(&self, path: &str, size: u64, now: Nanos) -> FsResult<()> {
@@ -130,8 +169,14 @@ impl Bucket {
         if path != "/" && !self.lookup(&path)?.is_dir {
             return Err(FsError::NotADirectory);
         }
-        let _ = self.store.list(port, Some(arkfs_objstore::KeyKind::Inode), None);
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let _ = self
+            .store
+            .list(port, Some(arkfs_objstore::KeyKind::Inode), None);
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let index = self.index.lock();
         let mut out = Vec::new();
         for (key, entry) in index.range(prefix.clone()..) {
@@ -145,7 +190,11 @@ impl Bucket {
             out.push(DirEntry {
                 name: rest.to_string(),
                 ino: entry.ino,
-                ftype: if entry.is_dir { FileType::Directory } else { FileType::Regular },
+                ftype: if entry.is_dir {
+                    FileType::Directory
+                } else {
+                    FileType::Regular
+                },
             });
         }
         Ok(out)
@@ -176,7 +225,11 @@ impl Bucket {
         {
             let mut index = self.index.lock();
             let prefix = format!("{path}/");
-            if index.range(prefix.clone()..).next().is_some_and(|(k, _)| k.starts_with(&prefix)) {
+            if index
+                .range(prefix.clone()..)
+                .next()
+                .is_some_and(|(k, _)| k.starts_with(&prefix))
+            {
                 return Err(FsError::NotEmpty);
             }
             index.remove(&path);
@@ -219,8 +272,9 @@ impl Bucket {
             if !entry.is_dir && entry.size > 0 {
                 // Server-side copy still reads + writes every object.
                 let chunks = entry.size.div_ceil(self.part_size);
-                let keys: Vec<ObjectKey> =
-                    (0..chunks).map(|i| ObjectKey::data_chunk(entry.ino, i)).collect();
+                let keys: Vec<ObjectKey> = (0..chunks)
+                    .map(|i| ObjectKey::data_chunk(entry.ino, i))
+                    .collect();
                 let datas = self.store.get_many(port, &keys);
                 let mut puts = Vec::new();
                 for (i, d) in datas.into_iter().enumerate() {
@@ -242,7 +296,15 @@ impl Bucket {
             self.store
                 .put(port, ObjectKey::inode(new_ino), Bytes::new())
                 .map_err(map_os_err)?;
-            updates.push((old_key, new_key, BucketEntry { ino: new_ino, mtime: now, ..entry }));
+            updates.push((
+                old_key,
+                new_key,
+                BucketEntry {
+                    ino: new_ino,
+                    mtime: now,
+                    ..entry
+                },
+            ));
         }
         let mut index = self.index.lock();
         for (old_key, new_key, entry) in updates {
@@ -254,8 +316,14 @@ impl Bucket {
 
     /// Delete the data objects of a file.
     pub fn delete_data(&self, port: &Port, ino: Ino, size: u64) -> FsResult<()> {
-        for chunk in 0..size.div_ceil(self.part_size) {
-            match self.store.delete(port, ObjectKey::data_chunk(ino, chunk)) {
+        let keys: Vec<ObjectKey> = (0..size.div_ceil(self.part_size))
+            .map(|i| ObjectKey::data_chunk(ino, i))
+            .collect();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for r in self.store.delete_many(port, &keys) {
+            match r {
                 Ok(()) | Err(OsError::NotFound) => {}
                 Err(e) => return Err(map_os_err(e)),
             }
@@ -286,8 +354,7 @@ impl Bucket {
     /// Download a whole file from its part objects.
     pub fn download(&self, port: &Port, ino: Ino, size: u64) -> FsResult<Vec<u8>> {
         let chunks = size.div_ceil(self.part_size);
-        let keys: Vec<ObjectKey> =
-            (0..chunks).map(|i| ObjectKey::data_chunk(ino, i)).collect();
+        let keys: Vec<ObjectKey> = (0..chunks).map(|i| ObjectKey::data_chunk(ino, i)).collect();
         let mut out = Vec::with_capacity(size as usize);
         for r in self.store.get_many(port, &keys) {
             match r {
@@ -338,9 +405,15 @@ mod tests {
     fn create_needs_parent() {
         let b = bucket();
         let port = Port::new();
-        assert_eq!(b.create(&port, "/missing/f", 0).err(), Some(FsError::NotFound));
+        assert_eq!(
+            b.create(&port, "/missing/f", 0).err(),
+            Some(FsError::NotFound)
+        );
         b.create(&port, "/top", 0).unwrap();
-        assert_eq!(b.create(&port, "/top", 0).err(), Some(FsError::AlreadyExists));
+        assert_eq!(
+            b.create(&port, "/top", 0).err(),
+            Some(FsError::AlreadyExists)
+        );
         // A file is not a valid parent.
         assert_eq!(b.create(&port, "/top/f", 0).err(), Some(FsError::NotFound));
     }
@@ -370,7 +443,10 @@ mod tests {
             total += 100;
         }
         let rewritten = b.rename(&port, "/old", "/new", 1).unwrap();
-        assert_eq!(rewritten, total, "every byte under the directory is rewritten");
+        assert_eq!(
+            rewritten, total,
+            "every byte under the directory is rewritten"
+        );
         assert_eq!(b.readdir(&port, "/new").unwrap().len(), 5);
         assert_eq!(b.stat(&port, "/old").err(), Some(FsError::NotFound));
         // Data is intact under the new keys.
@@ -387,6 +463,9 @@ mod tests {
         b.set_size("/a", 130, 0).unwrap();
         let rewritten = b.rename(&port, "/a", "/b", 1).unwrap();
         assert_eq!(rewritten, 130);
-        assert_eq!(b.rename(&port, "/nope", "/x", 1).err(), Some(FsError::NotFound));
+        assert_eq!(
+            b.rename(&port, "/nope", "/x", 1).err(),
+            Some(FsError::NotFound)
+        );
     }
 }

@@ -80,7 +80,11 @@ impl S3Fs {
     fn make_stat(entry: &crate::pathfs::BucketEntry) -> Stat {
         Stat {
             ino: entry.ino,
-            ftype: if entry.is_dir { FileType::Directory } else { FileType::Regular },
+            ftype: if entry.is_dir {
+                FileType::Directory
+            } else {
+                FileType::Regular
+            },
             // S3FS fakes liberal modes; checks are not rigorous.
             mode: 0o777,
             uid: 0,
@@ -167,12 +171,20 @@ impl Vfs for S3Fs {
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.fsync(ctx, fh)?;
-        self.handles.lock().remove(&fh.0).ok_or(FsError::BadHandle)?;
+        self.handles
+            .lock()
+            .remove(&fh.0)
+            .ok_or(FsError::BadHandle)?;
         Ok(())
     }
 
-    fn read(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, buf: &mut [u8])
-        -> FsResult<usize> {
+    fn read(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
         self.fuse();
         self.ensure_loaded(fh)?;
         let handles = self.handles.lock();
@@ -187,8 +199,13 @@ impl Vfs for S3Fs {
         Ok(n)
     }
 
-    fn write(&self, _ctx: &Credentials, fh: FileHandle, offset: u64, data: &[u8])
-        -> FsResult<usize> {
+    fn write(
+        &self,
+        _ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
         self.fuse();
         self.ensure_loaded(fh)?;
         self.disk_io(data.len() as u64); // staged on disk
@@ -210,7 +227,13 @@ impl Vfs for S3Fs {
             let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
             let dirty = h.dirty;
             h.dirty = false;
-            (h.ino, dirty, h.size, h.path.clone(), if dirty { h.buf.clone() } else { Vec::new() })
+            (
+                h.ino,
+                dirty,
+                h.size,
+                h.path.clone(),
+                if dirty { h.buf.clone() } else { Vec::new() },
+            )
         };
         if dirty {
             // Read back from the disk cache, then upload the whole object.
@@ -261,13 +284,14 @@ impl Vfs for S3Fs {
         data.resize(size as usize, 0);
         self.bucket.upload(&self.port, entry.ino, &data)?;
         if size < entry.size {
-            // Drop now-orphaned tail parts.
+            // Drop now-orphaned tail parts in one batched multi-DELETE.
             let keep = size.div_ceil(self.bucket.part_size);
-            for part in keep..entry.size.div_ceil(self.bucket.part_size) {
-                let _ = self.bucket.store().delete(
-                    &self.port,
-                    arkfs_objstore::ObjectKey::data_chunk(entry.ino, part),
-                );
+            let dead: Vec<arkfs_objstore::ObjectKey> =
+                (keep..entry.size.div_ceil(self.bucket.part_size))
+                    .map(|part| arkfs_objstore::ObjectKey::data_chunk(entry.ino, part))
+                    .collect();
+            if !dead.is_empty() {
+                let _ = self.bucket.store().delete_many(&self.port, &dead);
             }
         }
         self.bucket.set_size(path, size, self.now())

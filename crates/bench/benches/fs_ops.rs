@@ -45,7 +45,10 @@ fn bench_metatable(c: &mut Criterion) {
 fn bench_journal(c: &mut Criterion) {
     let mut group = c.benchmark_group("journal");
     group.bench_function("commit_64_entry_txn", |b| {
-        let prt = Prt::new(Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())), 65536);
+        let prt = Prt::new(
+            Arc::new(ObjectCluster::new(ClusterConfig::test_tiny())),
+            65536,
+        );
         let port = Port::new();
         let lane = SharedResource::ideal("lane");
         let mut j = DirJournal::new(7, 0);

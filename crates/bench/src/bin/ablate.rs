@@ -16,7 +16,10 @@ use std::sync::Arc;
 
 fn create_throughput(config: ArkConfig, procs: usize, files: u64) -> f64 {
     let system = ark_fleet(procs, config, true);
-    let cfg = MdtestEasyConfig { files_total: files, create_only: true };
+    let cfg = MdtestEasyConfig {
+        files_total: files,
+        create_only: true,
+    };
     mdtest_easy(&system.clients, &cfg).expect("mdtest").phases[0].ops_per_sec()
 }
 
@@ -66,7 +69,10 @@ fn main() {
     //    entries in an in-memory transaction for 1 second").
     let rows: Vec<Vec<String>> = [
         ("1s window (paper)", ArkConfig::default()),
-        ("100ms window", ArkConfig::default().with_journal_window(100 * MSEC)),
+        (
+            "100ms window",
+            ArkConfig::default().with_journal_window(100 * MSEC),
+        ),
         ("commit per op", ArkConfig::default().with_journal_window(0)),
     ]
     .into_iter()
@@ -86,7 +92,10 @@ fn main() {
     // 2. Permission cache (§III-C, near-root hotspot) at 64 clients.
     let rows: Vec<Vec<String>> = [
         ("pcache on", ArkConfig::default()),
-        ("pcache off", ArkConfig::default().with_permission_cache(false)),
+        (
+            "pcache off",
+            ArkConfig::default().with_permission_cache(false),
+        ),
     ]
     .into_iter()
     .map(|(name, cfg)| {
@@ -128,9 +137,7 @@ fn main() {
         ("8MB + max-at-zero (paper)", 8 * 1024 * 1024, true),
     ]
     .into_iter()
-    .map(|(name, ra, fz)| {
-        vec![name.to_string(), format!("{:.0}", read_bandwidth(ra, fz))]
-    })
+    .map(|(name, ra, fz)| vec![name.to_string(), format!("{:.0}", read_bandwidth(ra, fz))])
     .collect();
     lines.extend(print_table(
         "Ablation: read-ahead policy (sequential read MiB/s, 1 client)",
@@ -154,6 +161,58 @@ fn main() {
         &["period", "kops/s"],
         &rows,
     ));
+
+    // 6. Data-path instrumentation: DataCache hit/miss counters plus the
+    //    batched store-call counters behind the pipelined data path.
+    {
+        let mut cfg = ArkConfig::default();
+        cfg.chunk_size = 512 * 1024;
+        cfg.cache_entries = 256;
+        let system = ark_fleet(1, cfg, true);
+        let ctx = arkfs_vfs::Credentials::root();
+        let c: &Arc<dyn SimClient> = &system.clients[0];
+        let size: u64 = 16 * 1024 * 1024;
+        c.mkdir(&ctx, "/d", 0o755).unwrap();
+        let fh = c.create(&ctx, "/d/f", 0o644).unwrap();
+        let block = vec![0u8; 1024 * 1024];
+        let mut off = 0;
+        while off < size {
+            c.write(&ctx, fh, off, &block).unwrap();
+            off += block.len() as u64;
+        }
+        c.fsync(&ctx, fh).unwrap();
+        c.drop_caches();
+        let mut buf = vec![0u8; 128 * 1024];
+        let mut off = 0;
+        while off < size {
+            let n = c.read(&ctx, fh, off, &mut buf).unwrap();
+            off += n as u64;
+        }
+        c.close(&ctx, fh).unwrap();
+        let stats = c
+            .client_stats()
+            .expect("ark clients expose data-path stats");
+        let rows = vec![
+            vec!["data cache hits".to_string(), stats.cache_hits.to_string()],
+            vec![
+                "data cache misses".to_string(),
+                stats.cache_misses.to_string(),
+            ],
+            vec![
+                "batched store calls".to_string(),
+                stats.store_batch_calls.to_string(),
+            ],
+            vec![
+                "batched store items".to_string(),
+                stats.store_batch_items.to_string(),
+            ],
+        ];
+        lines.extend(print_table(
+            "Data path: cache and batched-I/O counters (16 MiB write + cold read)",
+            &["counter", "value"],
+            &rows,
+        ));
+    }
 
     save_results("ablations", &lines);
 }

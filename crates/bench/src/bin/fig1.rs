@@ -16,8 +16,10 @@ fn main() {
     let mut ideal_base = 0.0f64;
     for clients in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
         let system = ceph_fleet(clients, 1, MountType::Kernel, 64 * 1024, true);
-        let cfg = MdtestEasyConfig { files_total: per_client * clients as u64,
-            create_only: true };
+        let cfg = MdtestEasyConfig {
+            files_total: per_client * clients as u64,
+            create_only: true,
+        };
         let result = mdtest_easy(&system.clients, &cfg).expect("mdtest-easy");
         let tput = result.phases[0].ops_per_sec();
         if clients == 1 {

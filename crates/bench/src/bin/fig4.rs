@@ -8,8 +8,8 @@
 use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
 use arkfs_bench::{
-    ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table,
-    save_results, System,
+    ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table, save_results,
+    System,
 };
 use arkfs_workloads::mdtest::{mdtest_easy, MdtestEasyConfig};
 
@@ -24,7 +24,10 @@ fn main() {
         ceph_fleet(procs, 16, MountType::Kernel, chunk, true),
         marfs_fleet(procs, chunk),
     ];
-    let cfg = MdtestEasyConfig { files_total: files, create_only: false };
+    let cfg = MdtestEasyConfig {
+        files_total: files,
+        create_only: false,
+    };
     let mut rows = Vec::new();
     for system in systems {
         let result = mdtest_easy(&system.clients, &cfg).expect("mdtest-easy");

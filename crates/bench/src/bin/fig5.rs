@@ -10,7 +10,7 @@ use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
 use arkfs_bench::{
     ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table,
-    save_results, System,
+    save_bench_json, save_results, BenchRecord, System,
 };
 use arkfs_workloads::mdtest::{mdtest_hard, MdtestHardConfig};
 
@@ -25,8 +25,14 @@ fn main() {
         ceph_fleet(procs, 16, MountType::Kernel, chunk, true),
         marfs_fleet(procs, chunk),
     ];
-    let cfg = MdtestHardConfig { files_total: files, dirs: 16, file_size: 3901, seed: 42 };
+    let cfg = MdtestHardConfig {
+        files_total: files,
+        dirs: 16,
+        file_size: 3901,
+        seed: 42,
+    };
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for system in systems {
         let result = mdtest_hard(&system.clients, &cfg).expect("mdtest-hard");
         let get = |name: &str| result.phase(name).map(|p| p.ops_per_sec()).unwrap_or(0.0);
@@ -42,6 +48,17 @@ fn main() {
             read_cell,
             kops(get("delete")),
         ]);
+        records.push(BenchRecord {
+            group: "mdtest-hard".to_string(),
+            system: system.name.clone(),
+            metrics: vec![
+                ("write_ops_s".to_string(), get("write")),
+                ("stat_ops_s".to_string(), get("stat")),
+                ("read_ops_s".to_string(), get("read")),
+                ("delete_ops_s".to_string(), get("delete")),
+                ("read_errors".to_string(), result.errors[2] as f64),
+            ],
+        });
         eprintln!("fig5: {} done", system.name);
     }
     let lines = print_table(
@@ -50,4 +67,13 @@ fn main() {
         &rows,
     );
     save_results("fig5", &lines);
+    save_bench_json(
+        "fig5",
+        &[
+            ("files", files as f64),
+            ("procs", procs as f64),
+            ("file_size", 3901.0),
+        ],
+        &records,
+    );
 }

@@ -13,12 +13,13 @@ use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
 use arkfs_bench::{
     ark_fleet, ark_fleet_s3, bench_procs, ceph_fleet, goofys_fleet, print_table, s3fs_fleet,
-    save_results, System,
+    save_bench_json, save_results, BenchRecord, System,
 };
 use arkfs_workloads::fio::{fio, FioConfig};
 
-fn run(systems: Vec<System>, cfg: &FioConfig, title: &str, out: &str) {
+fn run(systems: Vec<System>, cfg: &FioConfig, title: &str, out: &str) -> Vec<BenchRecord> {
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for system in systems {
         let result = fio(&system.clients, cfg).expect("fio");
         rows.push(vec![
@@ -26,10 +27,19 @@ fn run(systems: Vec<System>, cfg: &FioConfig, title: &str, out: &str) {
             format!("{:.0}", result.write_mib_s()),
             format!("{:.0}", result.read_mib_s()),
         ]);
+        records.push(BenchRecord {
+            group: out.to_string(),
+            system: system.name.clone(),
+            metrics: vec![
+                ("write_mib_s".to_string(), result.write_mib_s()),
+                ("read_mib_s".to_string(), result.read_mib_s()),
+            ],
+        });
         eprintln!("fig6: {} done", system.name);
     }
     let lines = print_table(title, &["system", "WRITE MiB/s", "READ MiB/s"], &rows);
     save_results(out, &lines);
+    records
 }
 
 #[allow(clippy::field_reassign_with_default)]
@@ -37,8 +47,15 @@ fn main() {
     let procs = bench_procs(8);
     let chunk = 512 * 1024;
     let full = std::env::var("ARKFS_BENCH_FULL").is_ok();
-    let file_size: u64 = if full { 2 * 1024 * 1024 * 1024 } else { 64 * 1024 * 1024 };
-    let cfg = FioConfig { file_size, request_size: 128 * 1024 };
+    let file_size: u64 = if full {
+        2 * 1024 * 1024 * 1024
+    } else {
+        64 * 1024 * 1024
+    };
+    let cfg = FioConfig {
+        file_size,
+        request_size: 128 * 1024,
+    };
 
     // (a) RADOS backend.
     let mut ark_cfg = ArkConfig::default();
@@ -49,11 +66,13 @@ fn main() {
         ceph_fleet(procs, 1, MountType::Kernel, chunk, true),
         ceph_fleet(procs, 1, MountType::Fuse, chunk, true),
     ];
-    run(
+    let mut records = run(
         systems,
         &cfg,
-        &format!("Figure 6(a): large-file bandwidth on RADOS ({procs} procs, {} MiB files)",
-            file_size / (1024 * 1024)),
+        &format!(
+            "Figure 6(a): large-file bandwidth on RADOS ({procs} procs, {} MiB files)",
+            file_size / (1024 * 1024)
+        ),
         "fig6a",
     );
 
@@ -64,11 +83,22 @@ fn main() {
         s3fs_fleet(procs, chunk, true),
         goofys_fleet(procs, chunk, 400 * 1024 * 1024, true),
     ];
-    run(
+    records.extend(run(
         systems,
         &cfg,
-        &format!("Figure 6(b): large-file bandwidth on S3 ({procs} procs, {} MiB files)",
-            file_size / (1024 * 1024)),
+        &format!(
+            "Figure 6(b): large-file bandwidth on S3 ({procs} procs, {} MiB files)",
+            file_size / (1024 * 1024)
+        ),
         "fig6b",
+    ));
+    save_bench_json(
+        "fig6",
+        &[
+            ("procs", procs as f64),
+            ("file_size", file_size as f64),
+            ("request_size", cfg.request_size as f64),
+        ],
+        &records,
     );
 }

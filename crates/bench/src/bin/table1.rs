@@ -8,21 +8,31 @@ use arkfs_simkit::ClusterSpec;
 
 fn main() {
     let spec = ClusterSpec::aws_paper();
-    let rows: Vec<Vec<String>> =
-        spec.rows().into_iter().map(|(k, v)| vec![k.to_string(), v]).collect();
+    let rows: Vec<Vec<String>> = spec
+        .rows()
+        .into_iter()
+        .map(|(k, v)| vec![k.to_string(), v])
+        .collect();
     let mut lines = print_table(
         "Table I (simulated): cost-model constants standing in for the AWS testbed",
         &["parameter", "value"],
         &rows,
     );
     let paper = vec![
-        vec!["instances".to_string(), "c5a.8xlarge clients / c5n.9xlarge storage".to_string()],
+        vec![
+            "instances".to_string(),
+            "c5a.8xlarge clients / c5n.9xlarge storage".to_string(),
+        ],
         vec!["vCPU".to_string(), "32 / 36".to_string()],
         vec!["memory".to_string(), "64 GB / 96 GB DDR4".to_string()],
         vec!["network".to_string(), "10 Gbit / 50 Gbit".to_string()],
         vec!["disk".to_string(), "EBS 32 GB / EBS 128 GB x 4".to_string()],
         vec!["storage nodes".to_string(), "16 (64 OSDs)".to_string()],
     ];
-    lines.extend(print_table("Table I (paper): AWS configuration", &["item", "value"], &paper));
+    lines.extend(print_table(
+        "Table I (paper): AWS configuration",
+        &["item", "value"],
+        &paper,
+    ));
     save_results("table1", &lines);
 }

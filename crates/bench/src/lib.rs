@@ -26,7 +26,10 @@ pub struct System {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Total mdtest file count (paper: 1 000 000).
@@ -44,14 +47,19 @@ pub fn bench_procs(default: usize) -> usize {
 
 /// Build an ArkFS fleet on a fresh RADOS-profile store.
 pub fn ark_fleet(n: usize, config: ArkConfig, discard_payload: bool) -> System {
-    let store_cfg =
-        ClusterConfig::rados(config.spec.clone()).with_discard_payload(discard_payload);
+    let store_cfg = ClusterConfig::rados(config.spec.clone()).with_discard_payload(discard_payload);
     let store = Arc::new(ObjectCluster::new(store_cfg));
     let cluster = ArkCluster::new(config.clone(), store);
-    let name = if config.permission_cache { "ArkFS" } else { "ArkFS-no-pcache" };
+    let name = if config.permission_cache {
+        "ArkFS"
+    } else {
+        "ArkFS-no-pcache"
+    };
     System {
         name: name.to_string(),
-        clients: (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect(),
+        clients: (0..n)
+            .map(|_| cluster.client() as Arc<dyn SimClient>)
+            .collect(),
     }
 }
 
@@ -69,18 +77,14 @@ pub fn ark_fleet_s3(n: usize, max_readahead: u64, chunk: u64, discard: bool) -> 
     let cluster = ArkCluster::new(config, store);
     System {
         name: format!("ArkFS-ra{}MB", max_readahead / (1024 * 1024)),
-        clients: (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect(),
+        clients: (0..n)
+            .map(|_| cluster.client() as Arc<dyn SimClient>)
+            .collect(),
     }
 }
 
 /// Build a CephFS fleet (one deployment, n mounted clients).
-pub fn ceph_fleet(
-    n: usize,
-    mds: usize,
-    mount: MountType,
-    chunk: u64,
-    discard: bool,
-) -> System {
+pub fn ceph_fleet(n: usize, mds: usize, mount: MountType, chunk: u64, discard: bool) -> System {
     let spec = ClusterSpec::aws_paper();
     let store_cfg = ClusterConfig::rados(spec.clone()).with_discard_payload(discard);
     let store = Arc::new(ObjectCluster::new(store_cfg));
@@ -89,11 +93,16 @@ pub fn ceph_fleet(
         MountType::Kernel => "CephFS-K",
         MountType::Fuse => "CephFS-F",
     };
-    let name =
-        if mds == 1 { tag.to_string() } else { format!("{tag} ({mds} MDS)") };
+    let name = if mds == 1 {
+        tag.to_string()
+    } else {
+        format!("{tag} ({mds} MDS)")
+    };
     System {
         name,
-        clients: (0..n).map(|_| fs.client(mount) as Arc<dyn SimClient>).collect(),
+        clients: (0..n)
+            .map(|_| fs.client(mount) as Arc<dyn SimClient>)
+            .collect(),
     }
 }
 
@@ -104,7 +113,9 @@ pub fn marfs_fleet(n: usize, chunk: u64) -> System {
     let shared = MarFs::deployment(store, spec, chunk);
     System {
         name: "MarFS".to_string(),
-        clients: (0..n).map(|_| MarFs::client(&shared) as Arc<dyn SimClient>).collect(),
+        clients: (0..n)
+            .map(|_| MarFs::client(&shared) as Arc<dyn SimClient>)
+            .collect(),
     }
 }
 
@@ -182,6 +193,80 @@ pub fn kops(v: f64) -> String {
     format!("{:.2}", v / 1000.0)
 }
 
+/// One measured series in a benchmark: a system under test plus its
+/// metric values, grouped by sub-figure/phase.
+pub struct BenchRecord {
+    pub group: String,
+    pub system: String,
+    pub metrics: Vec<(String, f64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    // JSON has no NaN/Infinity; benchmark failures surface as null.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render benchmark records as a machine-readable JSON document.
+pub fn bench_json_string(name: &str, config: &[(&str, f64)], records: &[BenchRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
+    s.push_str("  \"config\": {");
+    let cfg: Vec<String> = config
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {}", json_escape(k), json_num(*v)))
+        .collect();
+    s.push_str(&cfg.join(", "));
+    s.push_str("},\n  \"results\": [\n");
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let metrics: Vec<String> = r
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", json_escape(k), json_num(*v)))
+                .collect();
+            format!(
+                "    {{\"group\": \"{}\", \"system\": \"{}\", \"metrics\": {{{}}}}}",
+                json_escape(&r.group),
+                json_escape(&r.system),
+                metrics.join(", ")
+            )
+        })
+        .collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Write benchmark records to `BENCH_<name>.json` in the working
+/// directory (best effort), as a committed regression baseline.
+pub fn save_bench_json(name: &str, config: &[(&str, f64)], records: &[BenchRecord]) {
+    let doc = bench_json_string(name, config, records);
+    let path = format!("BENCH_{name}.json");
+    if std::fs::write(&path, &doc).is_ok() {
+        eprintln!("wrote {path}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +286,11 @@ mod tests {
             system.clients[0]
                 .mkdir(&ctx, "/probe", 0o755)
                 .unwrap_or_else(|e| panic!("{}: {e}", system.name));
-            assert!(system.clients[1].stat(&ctx, "/probe").is_ok(), "{}", system.name);
+            assert!(
+                system.clients[1].stat(&ctx, "/probe").is_ok(),
+                "{}",
+                system.name
+            );
         }
     }
 
@@ -214,6 +303,28 @@ mod tests {
         );
         assert_eq!(lines.len(), 5);
         assert!(lines[1].contains("long-header"));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let records = vec![BenchRecord {
+            group: "a\"b".to_string(),
+            system: "ArkFS".to_string(),
+            metrics: vec![
+                ("write_ops_s".to_string(), 1234.5),
+                ("bad".to_string(), f64::NAN),
+            ],
+        }];
+        let doc = bench_json_string("fig9", &[("procs", 16.0)], &records);
+        assert!(doc.contains("\"bench\": \"fig9\""));
+        assert!(doc.contains("\"procs\": 16"));
+        assert!(doc.contains("\"group\": \"a\\\"b\""));
+        assert!(doc.contains("\"write_ops_s\": 1234.5"));
+        assert!(
+            doc.contains("\"bad\": null"),
+            "non-finite metrics must become null"
+        );
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

@@ -39,8 +39,10 @@ impl Shell {
     pub fn new() -> Self {
         let spec = ClusterSpec::aws_paper();
         let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(spec)));
-        let cluster =
-            ArkCluster::new(ArkConfig::default(), Arc::clone(&store) as Arc<dyn ObjectStore>);
+        let cluster = ArkCluster::new(
+            ArkConfig::default(),
+            Arc::clone(&store) as Arc<dyn ObjectStore>,
+        );
         let client = cluster.client();
         Shell {
             cluster,
@@ -100,14 +102,24 @@ impl Shell {
             }
             "ls" => {
                 let long = args.contains(&"-l");
-                let target = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or(".");
+                let target = args
+                    .iter()
+                    .find(|a| !a.starts_with('-'))
+                    .copied()
+                    .unwrap_or(".");
                 let path = self.resolve(target);
                 let entries = fs.readdir(&self.ctx, &path)?;
                 let mut out = String::new();
                 for e in entries {
                     if long {
-                        let st = fs.stat(&self.ctx, &self.resolve(&format!(
-                            "{}/{}", if path == "/" { "" } else { &path }, e.name)))?;
+                        let st = fs.stat(
+                            &self.ctx,
+                            &self.resolve(&format!(
+                                "{}/{}",
+                                if path == "/" { "" } else { &path },
+                                e.name
+                            )),
+                        )?;
                         let kind = match st.ftype {
                             FileType::Directory => 'd',
                             FileType::Symlink => 'l',
@@ -191,9 +203,7 @@ impl Shell {
                 fs.symlink(&self.ctx, &self.resolve(link), target)?;
                 Ok(String::new())
             }
-            "readlink" => {
-                Ok(fs.readlink(&self.ctx, &self.resolve(one_arg(args)?))?)
-            }
+            "readlink" => Ok(fs.readlink(&self.ctx, &self.resolve(one_arg(args)?))?),
             "tree" => {
                 let path = self.resolve(args.first().copied().unwrap_or("."));
                 let mut out = String::new();
@@ -201,9 +211,14 @@ impl Shell {
                 Ok(out)
             }
             "su" => {
-                let uid: u32 =
-                    one_arg(args)?.parse().map_err(|_| FsError::InvalidArgument)?;
-                self.ctx = if uid == 0 { Credentials::root() } else { Credentials::user(uid) };
+                let uid: u32 = one_arg(args)?
+                    .parse()
+                    .map_err(|_| FsError::InvalidArgument)?;
+                self.ctx = if uid == 0 {
+                    Credentials::root()
+                } else {
+                    Credentials::user(uid)
+                };
                 Ok(format!("now uid {uid}"))
             }
             "sync" => {
@@ -254,8 +269,11 @@ impl Shell {
             if e.ftype == FileType::Directory {
                 out.push('/');
                 out.push('\n');
-                let child =
-                    if path == "/" { format!("/{}", e.name) } else { format!("{path}/{}", e.name) };
+                let child = if path == "/" {
+                    format!("/{}", e.name)
+                } else {
+                    format!("{path}/{}", e.name)
+                };
                 self.tree(&child, depth + 1, out)?;
             } else {
                 out.push('\n');
@@ -319,9 +337,10 @@ mod tests {
 
     #[test]
     fn tokenizer_honours_quotes() {
-        assert_eq!(tokenize(r#"put f.txt "hello world" x"#), vec![
-            "put", "f.txt", "hello world", "x"
-        ]);
+        assert_eq!(
+            tokenize(r#"put f.txt "hello world" x"#),
+            vec!["put", "f.txt", "hello world", "x"]
+        );
         assert_eq!(tokenize("  "), Vec::<String>::new());
         assert_eq!(tokenize("ls -l /"), vec!["ls", "-l", "/"]);
     }

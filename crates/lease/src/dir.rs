@@ -25,7 +25,11 @@ pub struct LeaseConfig {
 
 impl Default for LeaseConfig {
     fn default() -> Self {
-        LeaseConfig { period: 5 * SEC, grace: 5 * SEC, op_service: 5_000 }
+        LeaseConfig {
+            period: 5 * SEC,
+            grace: 5 * SEC,
+            op_service: 5_000,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ impl LeaseManager {
         LeaseManager {
             config,
             server: SharedResource::ideal("lease-mgr"),
-            state: Mutex::new(ManagerState { leases: HashMap::new(), now: boot_at }),
+            state: Mutex::new(ManagerState {
+                leases: HashMap::new(),
+                now: boot_at,
+            }),
             boot_at,
         }
     }
@@ -132,8 +139,19 @@ impl LeaseManager {
         let st = &mut *st;
         match st.leases.get_mut(&ino) {
             None => {
-                st.leases.insert(ino, LeaseState { holder: client, expires_at, clean: false });
-                LeaseResponse::Granted { expires_at, must_load: true, takeover_dirty: false }
+                st.leases.insert(
+                    ino,
+                    LeaseState {
+                        holder: client,
+                        expires_at,
+                        clean: false,
+                    },
+                );
+                LeaseResponse::Granted {
+                    expires_at,
+                    must_load: true,
+                    takeover_dirty: false,
+                }
             }
             Some(lease) if lease.holder == client => {
                 // Extension (before expiry) or same-holder re-acquire
@@ -142,13 +160,17 @@ impl LeaseManager {
                 // directory in between.
                 lease.expires_at = expires_at;
                 lease.clean = false;
-                LeaseResponse::Granted { expires_at, must_load: false, takeover_dirty: false }
+                LeaseResponse::Granted {
+                    expires_at,
+                    must_load: false,
+                    takeover_dirty: false,
+                }
             }
             // A cleanly released lease is immediately grantable even if
             // virtual clocks make `now` land exactly on its expiry.
-            Some(lease) if now <= lease.expires_at && !lease.clean => {
-                LeaseResponse::Redirect { leader: lease.holder }
-            }
+            Some(lease) if now <= lease.expires_at && !lease.clean => LeaseResponse::Redirect {
+                leader: lease.holder,
+            },
             Some(lease) => {
                 // Previous holder expired. Dirty takeovers wait out the
                 // grace window so the dead leader's file leases drain.
@@ -159,8 +181,16 @@ impl LeaseManager {
                     }
                 }
                 let takeover_dirty = !lease.clean;
-                *lease = LeaseState { holder: client, expires_at, clean: false };
-                LeaseResponse::Granted { expires_at, must_load: true, takeover_dirty }
+                *lease = LeaseState {
+                    holder: client,
+                    expires_at,
+                    clean: false,
+                };
+                LeaseResponse::Granted {
+                    expires_at,
+                    must_load: true,
+                    takeover_dirty,
+                }
             }
         }
     }
@@ -201,7 +231,11 @@ mod tests {
     const C2: NodeId = NodeId(2);
 
     fn mgr() -> LeaseManager {
-        LeaseManager::new(LeaseConfig { period: 100, grace: 100, op_service: 0 })
+        LeaseManager::new(LeaseConfig {
+            period: 100,
+            grace: 100,
+            op_service: 0,
+        })
     }
 
     fn acquire(m: &LeaseManager, now: Nanos, c: NodeId) -> LeaseResponse {
@@ -214,7 +248,11 @@ mod tests {
         let r1 = acquire(&m, 0, C1);
         assert_eq!(
             r1,
-            LeaseResponse::Granted { expires_at: 100, must_load: true, takeover_dirty: false }
+            LeaseResponse::Granted {
+                expires_at: 100,
+                must_load: true,
+                takeover_dirty: false
+            }
         );
         // C2 is redirected to the leader while the lease is valid.
         assert_eq!(acquire(&m, 50, C2), LeaseResponse::Redirect { leader: C1 });
@@ -228,7 +266,11 @@ mod tests {
         let r = acquire(&m, 90, C1);
         assert_eq!(
             r,
-            LeaseResponse::Granted { expires_at: 190, must_load: false, takeover_dirty: false }
+            LeaseResponse::Granted {
+                expires_at: 190,
+                must_load: false,
+                takeover_dirty: false
+            }
         );
     }
 
@@ -239,20 +281,30 @@ mod tests {
         // Long after expiry, the same client re-acquires: nobody else led
         // the directory, so its metatable is still valid.
         let r = acquire(&m, 500, C1);
-        assert!(matches!(r, LeaseResponse::Granted { must_load: false, .. }));
+        assert!(matches!(
+            r,
+            LeaseResponse::Granted {
+                must_load: false,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn dirty_takeover_waits_grace_then_flags_recovery() {
         let m = mgr();
         acquire(&m, 0, C1); // expires at 100
-        // C2 at t=150: lease expired but grace (until 200) not over.
+                            // C2 at t=150: lease expired but grace (until 200) not over.
         assert_eq!(acquire(&m, 150, C2), LeaseResponse::Retry { until: 200 });
         // C2 at t=200: takeover succeeds, flagged dirty.
         let r = acquire(&m, 200, C2);
         assert_eq!(
             r,
-            LeaseResponse::Granted { expires_at: 300, must_load: true, takeover_dirty: true }
+            LeaseResponse::Granted {
+                expires_at: 300,
+                must_load: true,
+                takeover_dirty: true
+            }
         );
     }
 
@@ -264,7 +316,11 @@ mod tests {
         let r = acquire(&m, 11, C2);
         assert_eq!(
             r,
-            LeaseResponse::Granted { expires_at: 111, must_load: true, takeover_dirty: false }
+            LeaseResponse::Granted {
+                expires_at: 111,
+                must_load: true,
+                takeover_dirty: false
+            }
         );
     }
 
@@ -279,16 +335,29 @@ mod tests {
 
     #[test]
     fn restarted_manager_enforces_startup_grace() {
-        let cfg = LeaseConfig { period: 100, grace: 100, op_service: 0 };
+        let cfg = LeaseConfig {
+            period: 100,
+            grace: 100,
+            op_service: 0,
+        };
         let m = LeaseManager::restarted_at(cfg, 1000);
-        assert_eq!(m.acquire(1050, C1, DIR), LeaseResponse::Retry { until: 1100 });
-        assert!(matches!(m.acquire(1100, C1, DIR), LeaseResponse::Granted { .. }));
+        assert_eq!(
+            m.acquire(1050, C1, DIR),
+            LeaseResponse::Retry { until: 1100 }
+        );
+        assert!(matches!(
+            m.acquire(1100, C1, DIR),
+            LeaseResponse::Granted { .. }
+        ));
     }
 
     #[test]
     fn fresh_manager_at_time_zero_has_no_grace() {
         let m = mgr();
-        assert!(matches!(m.acquire(0, C1, DIR), LeaseResponse::Granted { .. }));
+        assert!(matches!(
+            m.acquire(0, C1, DIR),
+            LeaseResponse::Granted { .. }
+        ));
     }
 
     #[test]
@@ -303,12 +372,28 @@ mod tests {
 
     #[test]
     fn service_trait_charges_server_time() {
-        let m = LeaseManager::new(LeaseConfig { period: 100, grace: 0, op_service: 7 });
-        let (resp, done) = m.handle(0, LeaseRequest::Acquire { client: C1, ino: DIR });
+        let m = LeaseManager::new(LeaseConfig {
+            period: 100,
+            grace: 0,
+            op_service: 7,
+        });
+        let (resp, done) = m.handle(
+            0,
+            LeaseRequest::Acquire {
+                client: C1,
+                ino: DIR,
+            },
+        );
         assert!(matches!(resp, LeaseResponse::Granted { .. }));
         assert_eq!(done, 7);
         // Second request queues behind the first.
-        let (_, done2) = m.handle(0, LeaseRequest::Release { client: C1, ino: DIR });
+        let (_, done2) = m.handle(
+            0,
+            LeaseRequest::Release {
+                client: C1,
+                ino: DIR,
+            },
+        );
         assert_eq!(done2, 14);
     }
 

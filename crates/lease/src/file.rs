@@ -24,7 +24,10 @@ pub enum FileLeaseDecision {
     /// Conflict: the leader must broadcast cache-flush requests to
     /// `flush` and the file operates in direct (uncached) mode until
     /// outstanding leases drain at `direct_until`.
-    Direct { flush: Vec<NodeId>, direct_until: Nanos },
+    Direct {
+        flush: Vec<NodeId>,
+        direct_until: Nanos,
+    },
 }
 
 #[derive(Debug)]
@@ -47,7 +50,10 @@ pub struct FileLeaseTable {
 
 impl FileLeaseTable {
     pub fn new(period: Nanos) -> Self {
-        FileLeaseTable { files: HashMap::new(), period }
+        FileLeaseTable {
+            files: HashMap::new(),
+            period,
+        }
     }
 
     /// Drop expired state; called lazily from the accessors.
@@ -82,7 +88,10 @@ impl FileLeaseTable {
                 readers.insert(client, expires_at);
                 FileLeaseDecision::Granted { expires_at }
             }
-            Some(FileState::Writer { holder, expires_at: w_exp }) => {
+            Some(FileState::Writer {
+                holder,
+                expires_at: w_exp,
+            }) => {
                 if *holder == client {
                     // A writer may keep reading through its own cache.
                     *w_exp = expires_at;
@@ -93,12 +102,16 @@ impl FileLeaseTable {
                     let until = (*w_exp).max(expires_at);
                     let flush = vec![*holder];
                     self.files.insert(ino, FileState::Direct { until });
-                    FileLeaseDecision::Direct { flush, direct_until: until }
+                    FileLeaseDecision::Direct {
+                        flush,
+                        direct_until: until,
+                    }
                 }
             }
-            Some(FileState::Direct { until }) => {
-                FileLeaseDecision::Direct { flush: Vec::new(), direct_until: *until }
-            }
+            Some(FileState::Direct { until }) => FileLeaseDecision::Direct {
+                flush: Vec::new(),
+                direct_until: *until,
+            },
         }
     }
 
@@ -109,25 +122,47 @@ impl FileLeaseTable {
         let expires_at = now + self.period;
         match self.files.get_mut(&ino) {
             None => {
-                self.files.insert(ino, FileState::Writer { holder: client, expires_at });
+                self.files.insert(
+                    ino,
+                    FileState::Writer {
+                        holder: client,
+                        expires_at,
+                    },
+                );
                 FileLeaseDecision::Granted { expires_at }
             }
             Some(FileState::Readers(readers)) => {
                 let only_self = readers.len() == 1 && readers.contains_key(&client);
                 if readers.is_empty() || only_self {
-                    self.files.insert(ino, FileState::Writer { holder: client, expires_at });
+                    self.files.insert(
+                        ino,
+                        FileState::Writer {
+                            holder: client,
+                            expires_at,
+                        },
+                    );
                     FileLeaseDecision::Granted { expires_at }
                 } else {
                     let mut flush: Vec<NodeId> =
                         readers.keys().copied().filter(|c| *c != client).collect();
                     flush.sort();
-                    let until =
-                        readers.values().copied().max().unwrap_or(now).max(expires_at);
+                    let until = readers
+                        .values()
+                        .copied()
+                        .max()
+                        .unwrap_or(now)
+                        .max(expires_at);
                     self.files.insert(ino, FileState::Direct { until });
-                    FileLeaseDecision::Direct { flush, direct_until: until }
+                    FileLeaseDecision::Direct {
+                        flush,
+                        direct_until: until,
+                    }
                 }
             }
-            Some(FileState::Writer { holder, expires_at: w_exp }) => {
+            Some(FileState::Writer {
+                holder,
+                expires_at: w_exp,
+            }) => {
                 if *holder == client {
                     *w_exp = expires_at;
                     FileLeaseDecision::Granted { expires_at }
@@ -135,12 +170,16 @@ impl FileLeaseTable {
                     let until = (*w_exp).max(expires_at);
                     let flush = vec![*holder];
                     self.files.insert(ino, FileState::Direct { until });
-                    FileLeaseDecision::Direct { flush, direct_until: until }
+                    FileLeaseDecision::Direct {
+                        flush,
+                        direct_until: until,
+                    }
                 }
             }
-            Some(FileState::Direct { until }) => {
-                FileLeaseDecision::Direct { flush: Vec::new(), direct_until: *until }
-            }
+            Some(FileState::Direct { until }) => FileLeaseDecision::Direct {
+                flush: Vec::new(),
+                direct_until: *until,
+            },
         }
     }
 
@@ -188,8 +227,14 @@ mod tests {
     #[test]
     fn shared_reads() {
         let mut t = table();
-        assert_eq!(t.acquire_read(C1, F, 0), FileLeaseDecision::Granted { expires_at: 100 });
-        assert_eq!(t.acquire_read(C2, F, 10), FileLeaseDecision::Granted { expires_at: 110 });
+        assert_eq!(
+            t.acquire_read(C1, F, 0),
+            FileLeaseDecision::Granted { expires_at: 100 }
+        );
+        assert_eq!(
+            t.acquire_read(C2, F, 10),
+            FileLeaseDecision::Granted { expires_at: 110 }
+        );
         assert_eq!(t.active_files(50), 1);
     }
 
@@ -197,9 +242,15 @@ mod tests {
     fn sole_reader_upgrades_to_writer() {
         let mut t = table();
         t.acquire_read(C1, F, 0);
-        assert_eq!(t.acquire_write(C1, F, 10), FileLeaseDecision::Granted { expires_at: 110 });
+        assert_eq!(
+            t.acquire_write(C1, F, 10),
+            FileLeaseDecision::Granted { expires_at: 110 }
+        );
         // And the writer can renew.
-        assert_eq!(t.acquire_write(C1, F, 20), FileLeaseDecision::Granted { expires_at: 120 });
+        assert_eq!(
+            t.acquire_write(C1, F, 20),
+            FileLeaseDecision::Granted { expires_at: 120 }
+        );
     }
 
     #[test]
@@ -210,7 +261,10 @@ mod tests {
         t.acquire_read(C3, F, 0);
         let d = t.acquire_write(C1, F, 10);
         match d {
-            FileLeaseDecision::Direct { flush, direct_until } => {
+            FileLeaseDecision::Direct {
+                flush,
+                direct_until,
+            } => {
                 assert_eq!(flush, vec![C2, C3]);
                 assert!(direct_until >= 110);
             }
@@ -238,15 +292,21 @@ mod tests {
     fn writer_keeps_reading_its_own_cache() {
         let mut t = table();
         t.acquire_write(C1, F, 0);
-        assert!(matches!(t.acquire_read(C1, F, 10), FileLeaseDecision::Granted { .. }));
+        assert!(matches!(
+            t.acquire_read(C1, F, 10),
+            FileLeaseDecision::Granted { .. }
+        ));
     }
 
     #[test]
     fn leases_expire() {
         let mut t = table();
         t.acquire_read(C2, F, 0); // expires at 100
-        // C1 writes at t=150: reader expired, exclusive grant.
-        assert!(matches!(t.acquire_write(C1, F, 150), FileLeaseDecision::Granted { .. }));
+                                  // C1 writes at t=150: reader expired, exclusive grant.
+        assert!(matches!(
+            t.acquire_write(C1, F, 150),
+            FileLeaseDecision::Granted { .. }
+        ));
     }
 
     #[test]
@@ -279,14 +339,20 @@ mod tests {
         // After both readers released, a write is exclusive again.
         t.acquire_read(C1, F, 40);
         t.release(C1, F, 50);
-        assert!(matches!(t.acquire_write(C2, F, 60), FileLeaseDecision::Granted { .. }));
+        assert!(matches!(
+            t.acquire_write(C2, F, 60),
+            FileLeaseDecision::Granted { .. }
+        ));
     }
 
     #[test]
     fn tables_are_per_file() {
         let mut t = table();
         t.acquire_write(C1, 1, 0);
-        assert!(matches!(t.acquire_write(C2, 2, 0), FileLeaseDecision::Granted { .. }));
+        assert!(matches!(
+            t.acquire_write(C2, 2, 0),
+            FileLeaseDecision::Granted { .. }
+        ));
         assert_eq!(t.active_files(0), 2);
     }
 }

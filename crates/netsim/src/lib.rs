@@ -84,7 +84,11 @@ pub struct Bus<Req, Resp> {
 impl<Req, Resp> Bus<Req, Resp> {
     /// Create a bus whose links have the given one-way latency.
     pub fn new(half_rtt: Nanos) -> Self {
-        Bus { half_rtt, services: RwLock::new(HashMap::new()), messages: AtomicU64::new(0) }
+        Bus {
+            half_rtt,
+            services: RwLock::new(HashMap::new()),
+            messages: AtomicU64::new(0),
+        }
     }
 
     /// Attach a service at `node`, replacing any previous one ("restart").

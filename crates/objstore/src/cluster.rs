@@ -137,6 +137,18 @@ pub struct ClusterStats {
     pub lists: AtomicU64,
     pub bytes_in: AtomicU64,
     pub bytes_out: AtomicU64,
+    /// Batched multi-object calls (`get_each`/`get_many`, `put_many`,
+    /// `get_range_many`, `put_range_many`, `delete_many`).
+    pub batch_calls: AtomicU64,
+    /// Total items carried by those batched calls.
+    pub batch_items: AtomicU64,
+}
+
+impl ClusterStats {
+    fn count_batch(&self, items: usize) {
+        self.batch_calls.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(items as u64, Ordering::Relaxed);
+    }
 }
 
 /// A sharded, replicated, in-memory object storage cluster charging
@@ -155,7 +167,10 @@ impl ObjectCluster {
         assert!(config.shards > 0, "cluster needs at least one shard");
         assert!(config.replication >= 1 && config.replication <= config.shards);
         if let Some(ec) = config.ec {
-            assert!(ec.width() <= config.shards, "erasure width exceeds shard count");
+            assert!(
+                ec.width() <= config.shards,
+                "erasure width exceeds shard count"
+            );
         }
         let shards = (0..config.shards)
             .map(|_| Shard {
@@ -165,7 +180,13 @@ impl ObjectCluster {
             })
             .collect();
         let net = BandwidthResource::new("store-net", config.spec.store_net_bw);
-        ObjectCluster { config, shards, net, faults: FaultPlan::new(), stats: ClusterStats::default() }
+        ObjectCluster {
+            config,
+            shards,
+            net,
+            faults: FaultPlan::new(),
+            stats: ClusterStats::default(),
+        }
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -175,6 +196,17 @@ impl ObjectCluster {
     /// Total number of stored objects across all shards.
     pub fn object_count(&self) -> usize {
         self.shards.iter().map(|s| s.objects.read().len()).sum()
+    }
+
+    /// Reset every timing resource (op servers, disks, front network) to
+    /// idle without touching stored objects — lets tests and benchmarks
+    /// measure an operation against a warm store on a cold timeline.
+    pub fn reset_timelines(&self) {
+        for shard in &self.shards {
+            shard.op_server.reset();
+            shard.disk.reset();
+        }
+        self.net.reset();
     }
 
     /// Total stored bytes (logical, including synthetic lengths).
@@ -209,8 +241,7 @@ impl ObjectCluster {
     /// reconstructs from any k of k+1 fragments. Returns (bytes — `None`
     /// for synthetic payloads —, logical length, per-shard bytes read).
     #[allow(clippy::type_complexity)]
-    fn load_logical(&self, key: ObjectKey)
-        -> OsResult<(Option<Vec<u8>>, u64, Vec<(usize, u64)>)> {
+    fn load_logical(&self, key: ObjectKey) -> OsResult<(Option<Vec<u8>>, u64, Vec<(usize, u64)>)> {
         if self.faults.is_lost(key) {
             return Err(OsError::NotFound);
         }
@@ -223,8 +254,11 @@ impl ObjectCluster {
                     }
                     match self.shards[idx].objects.read().get(&key) {
                         Some(Payload::Real(v)) => {
-                            return Ok((Some(v.clone()), v.len() as u64,
-                                vec![(idx, v.len() as u64)]));
+                            return Ok((
+                                Some(v.clone()),
+                                v.len() as u64,
+                                vec![(idx, v.len() as u64)],
+                            ));
                         }
                         Some(Payload::Synthetic(n)) => {
                             return Ok((None, *n, vec![(idx, *n)]));
@@ -248,7 +282,10 @@ impl ObjectCluster {
                         continue;
                     }
                     match self.shards[idx].objects.read().get(&key) {
-                        Some(Payload::Fragment { total_len: t, bytes }) => {
+                        Some(Payload::Fragment {
+                            total_len: t,
+                            bytes,
+                        }) => {
                             total_len = Some(*t);
                             sources.push((idx, bytes.len() as u64));
                             frags[j] = Some(bytes.clone());
@@ -290,9 +327,15 @@ impl ObjectCluster {
         let mut total = 0u64;
         for &(idx, bytes) in sources {
             let shard = &self.shards[idx];
-            let t1 = shard.op_server.reserve(arrival, self.config.profile.op_service)
+            let t1 = shard
+                .op_server
+                .reserve(arrival, self.config.profile.op_service)
                 + self.config.profile.op_latency;
-            let t2 = if bytes > 0 { shard.disk.transfer(t1, bytes) } else { t1 };
+            let t2 = if bytes > 0 {
+                shard.disk.transfer(t1, bytes)
+            } else {
+                t1
+            };
             done = done.max(t2);
             total += bytes;
         }
@@ -302,26 +345,42 @@ impl ObjectCluster {
         done + self.config.spec.net_half_rtt
     }
 
-    /// Charge the virtual cost of a write to every replica (full copy
-    /// each) or fragment (1/k of the bytes each) and return the caller's
-    /// completion time.
-    fn charge_write(&self, port: &Port, key: &ObjectKey, bytes: u64) -> Nanos {
-        let t0 = port.advance(self.config.spec.net_half_rtt);
+    /// Virtual cost of one write departing at `depart`: the network
+    /// carries every copy/fragment, then copies/fragments land on their
+    /// shards in parallel — completion is the max. Returns the completion
+    /// time without advancing any port, so batched writes can overlap.
+    fn charge_write_at(&self, depart: Nanos, key: &ObjectKey, bytes: u64) -> Nanos {
         let per_shard = match self.config.ec {
             Some(ec) if bytes > 0 => ec.stripe(bytes as usize) as u64,
             _ => bytes,
         };
         let wire_bytes = per_shard * self.placement_shards(key).len() as u64;
-        let t1 = if bytes > 0 { self.net.transfer(t0, wire_bytes) } else { t0 };
-        // Copies/fragments are written in parallel: completion is the max.
+        let t1 = if bytes > 0 {
+            self.net.transfer(depart, wire_bytes)
+        } else {
+            depart
+        };
         let mut done = t1;
         for idx in self.replica_shards(key) {
             let shard = &self.shards[idx];
             let t2 = shard.op_server.reserve(t1, self.config.profile.op_service)
                 + self.config.profile.op_latency;
-            let t3 = if per_shard > 0 { shard.disk.transfer(t2, per_shard) } else { t2 };
+            let t3 = if per_shard > 0 {
+                shard.disk.transfer(t2, per_shard)
+            } else {
+                t2
+            };
             done = done.max(t3);
         }
+        done
+    }
+
+    /// Charge the virtual cost of a write to every replica (full copy
+    /// each) or fragment (1/k of the bytes each) and return the caller's
+    /// completion time.
+    fn charge_write(&self, port: &Port, key: &ObjectKey, bytes: u64) -> Nanos {
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let done = self.charge_write_at(t0, key, bytes);
         port.wait_until(done + self.config.spec.net_half_rtt)
     }
 
@@ -331,9 +390,61 @@ impl ObjectCluster {
         let shard = self.primary(key);
         let t1 = shard.op_server.reserve(t0, self.config.profile.op_service)
             + self.config.profile.op_latency;
-        let t2 = if bytes > 0 { shard.disk.transfer(t1, bytes) } else { t1 };
-        let t3 = if bytes > 0 { self.net.transfer(t2, bytes) } else { t2 };
+        let t2 = if bytes > 0 {
+            shard.disk.transfer(t1, bytes)
+        } else {
+            t1
+        };
+        let t3 = if bytes > 0 {
+            self.net.transfer(t2, bytes)
+        } else {
+            t2
+        };
         port.wait_until(t3 + self.config.spec.net_half_rtt)
+    }
+
+    /// Whether a ranged write to `key` can be applied in place (vs the
+    /// whole-object read-modify-write the S3 profile and erasure-coded
+    /// objects require).
+    fn supports_range_write(&self, key: &ObjectKey) -> bool {
+        let discard_data = self.config.discard_payload && key.kind == KeyKind::Data;
+        self.config.profile.partial_writes && (self.config.ec.is_none() || discard_data)
+    }
+
+    /// Apply a ranged write to every replica's in-memory object (discard
+    /// mode only tracks the resulting length).
+    fn apply_range_write(&self, key: ObjectKey, offset: u64, data: &Bytes) {
+        if self.config.discard_payload && key.kind == KeyKind::Data {
+            let new_len = offset + data.len() as u64;
+            for idx in self.replica_shards(&key) {
+                let mut map = self.shards[idx].objects.write();
+                let entry = map.entry(key).or_insert(Payload::Synthetic(0));
+                let len = entry.len().max(new_len);
+                *entry = Payload::Synthetic(len);
+            }
+            return;
+        }
+        for idx in self.replica_shards(&key) {
+            let mut map = self.shards[idx].objects.write();
+            let entry = map.entry(key).or_insert_with(|| Payload::Real(Vec::new()));
+            let v = match entry {
+                Payload::Real(v) => v,
+                Payload::Synthetic(n) => {
+                    *entry = Payload::Real(vec![0u8; *n as usize]);
+                    match entry {
+                        Payload::Real(v) => v,
+                        _ => unreachable!(),
+                    }
+                }
+                // Ranged writes on EC objects are rejected by the callers.
+                Payload::Fragment { .. } => unreachable!("fragment without EC config"),
+            };
+            let end = offset as usize + data.len();
+            if v.len() < end {
+                v.resize(end, 0);
+            }
+            v[offset as usize..end].copy_from_slice(data);
+        }
     }
 
     /// Store an object: full copies under replication, fragments under
@@ -342,7 +453,10 @@ impl ObjectCluster {
         if self.config.discard_payload && key.kind == KeyKind::Data {
             let payload = Payload::Synthetic(data.len() as u64);
             for idx in self.replica_shards(&key) {
-                self.shards[idx].objects.write().insert(key, payload.clone());
+                self.shards[idx]
+                    .objects
+                    .write()
+                    .insert(key, payload.clone());
             }
             return;
         }
@@ -350,7 +464,10 @@ impl ObjectCluster {
             None => {
                 let payload = Payload::Real(data.to_vec());
                 for idx in self.replica_shards(&key) {
-                    self.shards[idx].objects.write().insert(key, payload.clone());
+                    self.shards[idx]
+                        .objects
+                        .write()
+                        .insert(key, payload.clone());
                 }
             }
             Some(ec) => {
@@ -376,10 +493,19 @@ impl ObjectStore for ObjectCluster {
         (self.object_count() as u64, self.stored_bytes())
     }
 
+    fn batch_stats(&self) -> (u64, u64) {
+        (
+            self.stats.batch_calls.load(Ordering::Relaxed),
+            self.stats.batch_items.load(Ordering::Relaxed),
+        )
+    }
+
     fn put(&self, port: &Port, key: ObjectKey, data: Bytes) -> OsResult<()> {
         self.faults.check_put(key)?;
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.charge_write(port, &key, data.len() as u64);
         self.store_object(key, data);
         Ok(())
@@ -416,12 +542,17 @@ impl ObjectStore for ObjectCluster {
             Some(v) => Bytes::copy_from_slice(&v[start as usize..end as usize]),
             None => Bytes::from(vec![0u8; (end - start) as usize]),
         };
-        self.stats.bytes_out.fetch_add(slice.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(slice.len() as u64, Ordering::Relaxed);
         let arrival = port.advance(self.config.spec.net_half_rtt);
         let sources: Vec<(usize, u64)> = if self.config.ec.is_some() {
             sources
         } else {
-            sources.into_iter().map(|(idx, _)| (idx, slice.len() as u64)).collect()
+            sources
+                .into_iter()
+                .map(|(idx, _)| (idx, slice.len() as u64))
+                .collect()
         };
         let done = self.charge_read_sources(arrival, &sources);
         port.wait_until(done);
@@ -432,49 +563,21 @@ impl ObjectStore for ObjectCluster {
         if !self.config.profile.partial_writes {
             return Err(OsError::Unsupported("ranged write"));
         }
-        if self.config.ec.is_some() && !(self.config.discard_payload && key.kind == KeyKind::Data)
-        {
+        if self.config.ec.is_some() && !(self.config.discard_payload && key.kind == KeyKind::Data) {
             // Erasure-coded objects take full-stripe writes only; callers
             // fall back to read-modify-write of the whole object.
-            return Err(OsError::Unsupported("partial write on erasure-coded object"));
+            return Err(OsError::Unsupported(
+                "partial write on erasure-coded object",
+            ));
         }
         self.faults.check_put(key)?;
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.charge_write(port, &key, data.len() as u64);
-
         // Apply to all replicas under their own shard locks.
-        if self.config.discard_payload && key.kind == KeyKind::Data {
-            let new_len = offset + data.len() as u64;
-            for idx in self.replica_shards(&key) {
-                let mut map = self.shards[idx].objects.write();
-                let entry = map.entry(key).or_insert(Payload::Synthetic(0));
-                let len = entry.len().max(new_len);
-                *entry = Payload::Synthetic(len);
-            }
-            return Ok(());
-        }
-        for idx in self.replica_shards(&key) {
-            let mut map = self.shards[idx].objects.write();
-            let entry = map.entry(key).or_insert_with(|| Payload::Real(Vec::new()));
-            let v = match entry {
-                Payload::Real(v) => v,
-                Payload::Synthetic(n) => {
-                    *entry = Payload::Real(vec![0u8; *n as usize]);
-                    match entry {
-                        Payload::Real(v) => v,
-                        _ => unreachable!(),
-                    }
-                }
-                // put_range under EC was rejected above.
-                Payload::Fragment { .. } => unreachable!("fragment without EC config"),
-            };
-            let end = offset as usize + data.len();
-            if v.len() < end {
-                v.resize(end, 0);
-            }
-            v[offset as usize..end].copy_from_slice(&data);
-        }
+        self.apply_range_write(key, offset, &data);
         Ok(())
     }
 
@@ -510,6 +613,9 @@ impl ObjectStore for ObjectCluster {
     }
 
     fn get_many(&self, port: &Port, keys: &[ObjectKey]) -> Vec<OsResult<Bytes>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
         // Pipelined: all requests depart at the same arrival time; the
         // caller's port waits for the slowest completion.
         let t0 = port.advance(self.config.spec.net_half_rtt);
@@ -529,6 +635,7 @@ impl ObjectStore for ObjectCluster {
     }
 
     fn get_each(&self, arrival: u64, keys: &[ObjectKey]) -> Vec<OsResult<(Bytes, u64)>> {
+        self.stats.count_batch(keys.len());
         let mut out = Vec::with_capacity(keys.len());
         for &key in keys {
             self.stats.gets.fetch_add(1, Ordering::Relaxed);
@@ -553,6 +660,10 @@ impl ObjectStore for ObjectCluster {
     }
 
     fn put_many(&self, port: &Port, items: Vec<(ObjectKey, Bytes)>) -> Vec<OsResult<()>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        self.stats.count_batch(items.len());
         let t0 = port.advance(self.config.spec.net_half_rtt);
         let mut done = t0;
         let mut out = Vec::with_capacity(items.len());
@@ -562,22 +673,10 @@ impl ObjectStore for ObjectCluster {
                 continue;
             }
             self.stats.puts.fetch_add(1, Ordering::Relaxed);
-            let bytes = data.len() as u64;
-            self.stats.bytes_in.fetch_add(bytes, Ordering::Relaxed);
-            let per_shard = match self.config.ec {
-                Some(ec) if bytes > 0 => ec.stripe(bytes as usize) as u64,
-                _ => bytes,
-            };
-            let wire = per_shard * self.placement_shards(&key).len() as u64;
-            let t1 = if bytes > 0 { self.net.transfer(t0, wire) } else { t0 };
-            for idx in self.replica_shards(&key) {
-                let shard = &self.shards[idx];
-                let t2 = shard.op_server.reserve(t1, self.config.profile.op_service)
-                    + self.config.profile.op_latency;
-                let t3 =
-                    if per_shard > 0 { shard.disk.transfer(t2, per_shard) } else { t2 };
-                done = done.max(t3);
-            }
+            self.stats
+                .bytes_in
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            done = done.max(self.charge_write_at(t0, &key, data.len() as u64));
             self.store_object(key, data);
             out.push(Ok(()));
         }
@@ -585,8 +684,155 @@ impl ObjectStore for ObjectCluster {
         out
     }
 
-    fn list(&self, port: &Port, kind: Option<KeyKind>, ino: Option<u128>)
-        -> OsResult<Vec<ObjectKey>> {
+    fn get_range_many(
+        &self,
+        port: &Port,
+        reqs: &[(ObjectKey, u64, usize)],
+    ) -> Vec<OsResult<Bytes>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        if !self.config.profile.ranged_reads {
+            return reqs
+                .iter()
+                .map(|_| Err(OsError::Unsupported("ranged read")))
+                .collect();
+        }
+        self.stats.count_batch(reqs.len());
+        // All requests depart together; the caller waits for the slowest.
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let mut done = t0;
+        let out = reqs
+            .iter()
+            .map(|&(key, offset, len)| {
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                if self.faults.is_lost(key) {
+                    return Err(OsError::NotFound);
+                }
+                let (bytes, total_len, sources) = self.load_logical(key)?;
+                let start = offset.min(total_len);
+                let end = offset.saturating_add(len as u64).min(total_len);
+                let slice = match bytes {
+                    Some(v) => Bytes::copy_from_slice(&v[start as usize..end as usize]),
+                    None => Bytes::from(vec![0u8; (end - start) as usize]),
+                };
+                self.stats
+                    .bytes_out
+                    .fetch_add(slice.len() as u64, Ordering::Relaxed);
+                // Replication moves only the requested range; EC assembles
+                // whole fragments (same rule as get_range).
+                let sources: Vec<(usize, u64)> = if self.config.ec.is_some() {
+                    sources
+                } else {
+                    sources
+                        .into_iter()
+                        .map(|(idx, _)| (idx, slice.len() as u64))
+                        .collect()
+                };
+                done = done.max(self.charge_read_sources(t0, &sources));
+                Ok(slice)
+            })
+            .collect();
+        port.wait_until(done);
+        out
+    }
+
+    fn put_range_many(
+        &self,
+        port: &Port,
+        items: Vec<(ObjectKey, u64, Bytes)>,
+    ) -> Vec<OsResult<()>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        self.stats.count_batch(items.len());
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let mut done = t0;
+        let mut out = Vec::with_capacity(items.len());
+        for (key, offset, data) in items {
+            if let Err(e) = self.faults.check_put(key) {
+                out.push(Err(e));
+                continue;
+            }
+            if self.supports_range_write(&key) {
+                self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_in
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                done = done.max(self.charge_write_at(t0, &key, data.len() as u64));
+                self.apply_range_write(key, offset, &data);
+                out.push(Ok(()));
+                continue;
+            }
+            // Whole-object read-modify-write: the read departs with the
+            // batch; the rewrite departs at that item's read completion.
+            // Items still overlap each other.
+            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            let (bytes, total_len, sources) = match self.load_logical(key) {
+                Ok(v) => v,
+                Err(OsError::NotFound) => (Some(Vec::new()), 0, Vec::new()),
+                Err(e) => {
+                    out.push(Err(e));
+                    continue;
+                }
+            };
+            self.stats.bytes_out.fetch_add(total_len, Ordering::Relaxed);
+            let t_read = if sources.is_empty() {
+                t0
+            } else {
+                self.charge_read_sources(t0, &sources)
+            };
+            let mut whole = bytes.unwrap_or_else(|| vec![0u8; total_len as usize]);
+            let end = offset as usize + data.len();
+            if whole.len() < end {
+                whole.resize(end, 0);
+            }
+            whole[offset as usize..end].copy_from_slice(&data);
+            self.stats.puts.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_in
+                .fetch_add(whole.len() as u64, Ordering::Relaxed);
+            done = done.max(self.charge_write_at(t_read, &key, whole.len() as u64));
+            self.store_object(key, Bytes::from(whole));
+            out.push(Ok(()));
+        }
+        port.wait_until(done + self.config.spec.net_half_rtt);
+        out
+    }
+
+    fn delete_many(&self, port: &Port, keys: &[ObjectKey]) -> Vec<OsResult<()>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        self.stats.count_batch(keys.len());
+        let t0 = port.advance(self.config.spec.net_half_rtt);
+        let mut done = t0;
+        let out = keys
+            .iter()
+            .map(|&key| {
+                self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                done = done.max(self.charge_write_at(t0, &key, 0));
+                let mut found = false;
+                for idx in self.replica_shards(&key) {
+                    found |= self.shards[idx].objects.write().remove(&key).is_some();
+                }
+                if found {
+                    Ok(())
+                } else {
+                    Err(OsError::NotFound)
+                }
+            })
+            .collect();
+        port.wait_until(done + self.config.spec.net_half_rtt);
+        out
+    }
+
+    fn list(
+        &self,
+        port: &Port,
+        kind: Option<KeyKind>,
+        ino: Option<u128>,
+    ) -> OsResult<Vec<ObjectKey>> {
         self.stats.lists.fetch_add(1, Ordering::Relaxed);
         self.charge_read(port, &ObjectKey::inode(ino.unwrap_or(0)), 0);
         let mut out = Vec::new();
@@ -642,10 +888,17 @@ mod tests {
         let c = cluster();
         let port = Port::new();
         let key = ObjectKey::data_chunk(1, 0);
-        c.put(&port, key, Bytes::from_static(b"0123456789")).unwrap();
-        assert_eq!(c.get_range(&port, key, 2, 3).unwrap(), Bytes::from_static(b"234"));
+        c.put(&port, key, Bytes::from_static(b"0123456789"))
+            .unwrap();
+        assert_eq!(
+            c.get_range(&port, key, 2, 3).unwrap(),
+            Bytes::from_static(b"234")
+        );
         // past-EOF truncates / empties
-        assert_eq!(c.get_range(&port, key, 8, 10).unwrap(), Bytes::from_static(b"89"));
+        assert_eq!(
+            c.get_range(&port, key, 8, 10).unwrap(),
+            Bytes::from_static(b"89")
+        );
         assert_eq!(c.get_range(&port, key, 20, 5).unwrap(), Bytes::new());
     }
 
@@ -654,10 +907,12 @@ mod tests {
         let c = cluster();
         let port = Port::new();
         let key = ObjectKey::data_chunk(2, 0);
-        c.put_range(&port, key, 4, Bytes::from_static(b"abcd")).unwrap();
+        c.put_range(&port, key, 4, Bytes::from_static(b"abcd"))
+            .unwrap();
         let data = c.get(&port, key).unwrap();
         assert_eq!(&data[..], b"\0\0\0\0abcd");
-        c.put_range(&port, key, 0, Bytes::from_static(b"XY")).unwrap();
+        c.put_range(&port, key, 0, Bytes::from_static(b"XY"))
+            .unwrap();
         assert_eq!(&c.get(&port, key).unwrap()[..], b"XY\0\0abcd");
     }
 
@@ -684,8 +939,11 @@ mod tests {
         let key = ObjectKey::inode(77);
         c.put(&port, key, Bytes::from_static(b"meta")).unwrap();
         // Both shards hold a copy.
-        let copies: usize =
-            c.shards.iter().map(|s| s.objects.read().contains_key(&key) as usize).sum();
+        let copies: usize = c
+            .shards
+            .iter()
+            .map(|s| s.objects.read().contains_key(&key) as usize)
+            .sum();
         assert_eq!(copies, 2);
         // Delete removes all copies.
         c.delete(&port, key).unwrap();
@@ -697,9 +955,12 @@ mod tests {
         let c = cluster();
         let port = Port::new();
         c.put(&port, ObjectKey::inode(1), Bytes::new()).unwrap();
-        c.put(&port, ObjectKey::journal(1, 0), Bytes::new()).unwrap();
-        c.put(&port, ObjectKey::journal(1, 1), Bytes::new()).unwrap();
-        c.put(&port, ObjectKey::journal(2, 0), Bytes::new()).unwrap();
+        c.put(&port, ObjectKey::journal(1, 0), Bytes::new())
+            .unwrap();
+        c.put(&port, ObjectKey::journal(1, 1), Bytes::new())
+            .unwrap();
+        c.put(&port, ObjectKey::journal(2, 0), Bytes::new())
+            .unwrap();
         let j1 = c.list(&port, Some(KeyKind::Journal), Some(1)).unwrap();
         assert_eq!(j1, vec![ObjectKey::journal(1, 0), ObjectKey::journal(1, 1)]);
         let all_j = c.list(&port, Some(KeyKind::Journal), None).unwrap();
@@ -725,7 +986,8 @@ mod tests {
         c.put(&port, meta, Bytes::from_static(b"real")).unwrap();
         assert_eq!(c.get(&port, meta).unwrap(), Bytes::from_static(b"real"));
         // Ranged writes extend the synthetic length.
-        c.put_range(&port, key, 2000, Bytes::from(vec![1u8; 50])).unwrap();
+        c.put_range(&port, key, 2000, Bytes::from(vec![1u8; 50]))
+            .unwrap();
         assert_eq!(c.head(&port, key).unwrap(), 2050);
     }
 
@@ -735,7 +997,10 @@ mod tests {
         let port = Port::new();
         c.faults.fail_next_puts(1, None);
         let key = ObjectKey::inode(5);
-        assert!(matches!(c.put(&port, key, Bytes::new()), Err(OsError::Injected(_))));
+        assert!(matches!(
+            c.put(&port, key, Bytes::new()),
+            Err(OsError::Injected(_))
+        ));
         assert!(c.put(&port, key, Bytes::new()).is_ok());
     }
 
@@ -757,9 +1022,18 @@ mod tests {
         let c = ObjectCluster::new(ClusterConfig::rados(ClusterSpec::aws_paper()));
         let small = Port::new();
         let big = Port::new();
-        c.put(&small, ObjectKey::data_chunk(1, 0), Bytes::from(vec![0u8; 1024])).unwrap();
-        c.put(&big, ObjectKey::data_chunk(1, 1), Bytes::from(vec![0u8; 64 * 1024 * 1024]))
-            .unwrap();
+        c.put(
+            &small,
+            ObjectKey::data_chunk(1, 0),
+            Bytes::from(vec![0u8; 1024]),
+        )
+        .unwrap();
+        c.put(
+            &big,
+            ObjectKey::data_chunk(1, 1),
+            Bytes::from(vec![0u8; 64 * 1024 * 1024]),
+        )
+        .unwrap();
         assert!(big.now() > small.now());
     }
 
@@ -851,7 +1125,10 @@ mod tests {
         assert_eq!(c.get(&port, key).unwrap(), Bytes::from(data.clone()));
         assert_eq!(c.head(&port, key).unwrap(), 1000);
         // Ranged read assembles correctly.
-        assert_eq!(&c.get_range(&port, key, 300, 10).unwrap()[..], &data[300..310]);
+        assert_eq!(
+            &c.get_range(&port, key, 300, 10).unwrap()[..],
+            &data[300..310]
+        );
 
         // Any single shard failure reconstructs.
         let primary = key.shard(6);
@@ -866,7 +1143,9 @@ mod tests {
         // Partial writes are full-stripe only.
         assert_eq!(
             c.put_range(&port, key, 0, Bytes::from_static(b"x")),
-            Err(OsError::Unsupported("partial write on erasure-coded object"))
+            Err(OsError::Unsupported(
+                "partial write on erasure-coded object"
+            ))
         );
         // Delete removes every fragment.
         c.delete(&port, key).unwrap();
@@ -897,14 +1176,149 @@ mod tests {
         // moves 2 MB — EC completion must be cheaper on a fresh cluster.
         let spec = ClusterSpec::aws_paper();
         let data = Bytes::from(vec![7u8; 1024 * 1024]);
-        let ec_cluster = ObjectCluster::new(ClusterConfig::rados(spec.clone()).with_erasure_coding(4));
+        let ec_cluster =
+            ObjectCluster::new(ClusterConfig::rados(spec.clone()).with_erasure_coding(4));
         let rep_cluster = ObjectCluster::new(ClusterConfig::rados(spec));
         let ec_port = Port::new();
         let rep_port = Port::new();
-        ec_cluster.put(&ec_port, ObjectKey::data_chunk(1, 0), data.clone()).unwrap();
-        rep_cluster.put(&rep_port, ObjectKey::data_chunk(1, 0), data).unwrap();
-        assert!(ec_port.now() < rep_port.now(),
-            "EC {} vs replication {}", ec_port.now(), rep_port.now());
+        ec_cluster
+            .put(&ec_port, ObjectKey::data_chunk(1, 0), data.clone())
+            .unwrap();
+        rep_cluster
+            .put(&rep_port, ObjectKey::data_chunk(1, 0), data)
+            .unwrap();
+        assert!(
+            ec_port.now() < rep_port.now(),
+            "EC {} vs replication {}",
+            ec_port.now(),
+            rep_port.now()
+        );
+    }
+
+    #[test]
+    fn get_range_many_is_pipelined_not_serial() {
+        let reqs: Vec<(ObjectKey, u64, usize)> = (0..8)
+            .map(|i| (ObjectKey::data_chunk(1, i), 128, 512))
+            .collect();
+        let mk = || {
+            let c = ObjectCluster::new(ClusterConfig::rados(ClusterSpec::aws_paper()));
+            let setup = Port::new();
+            for &(k, ..) in &reqs {
+                c.put(&setup, k, Bytes::from(vec![9u8; 1024])).unwrap();
+            }
+            for shard in &c.shards {
+                shard.op_server.reset();
+                shard.disk.reset();
+            }
+            c.net.reset();
+            c
+        };
+        let c_seq = mk();
+        let seq = Port::new();
+        for &(k, off, len) in &reqs {
+            c_seq.get_range(&seq, k, off, len).unwrap();
+        }
+        let c_pipe = mk();
+        let pipe = Port::new();
+        let results = c_pipe.get_range_many(&pipe, &reqs);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().len(), 512);
+        }
+        assert!(pipe.now() < seq.now(), "pipelined must beat sequential");
+        // Missing keys report NotFound without failing the batch.
+        let r = c_pipe.get_range_many(&pipe, &[(ObjectKey::data_chunk(9, 9), 0, 4)]);
+        assert_eq!(r[0], Err(OsError::NotFound));
+    }
+
+    #[test]
+    fn put_range_many_is_pipelined_not_serial() {
+        let items: Vec<(ObjectKey, u64, Bytes)> = (0..8)
+            .map(|i| {
+                (
+                    ObjectKey::data_chunk(3, i),
+                    256,
+                    Bytes::from(vec![i as u8; 512]),
+                )
+            })
+            .collect();
+        let mk = || ObjectCluster::new(ClusterConfig::rados(ClusterSpec::aws_paper()));
+        let c_seq = mk();
+        let seq = Port::new();
+        for (k, off, d) in items.clone() {
+            c_seq.put_range(&seq, k, off, d).unwrap();
+        }
+        let c_pipe = mk();
+        let pipe = Port::new();
+        let results = c_pipe.put_range_many(&pipe, items);
+        assert!(results.iter().all(Result::is_ok));
+        assert!(pipe.now() < seq.now(), "pipelined must beat sequential");
+        // Both clusters end up with identical contents.
+        let p = Port::new();
+        for i in 0..8 {
+            let k = ObjectKey::data_chunk(3, i);
+            assert_eq!(c_pipe.get(&p, k).unwrap(), c_seq.get(&p, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn put_range_many_s3_degrades_to_whole_object_rmw() {
+        let mut cfg = ClusterConfig::test_tiny();
+        cfg.profile = StoreProfile::s3(&cfg.spec);
+        let c = ObjectCluster::new(cfg);
+        let port = Port::new();
+        let key = ObjectKey::data_chunk(1, 0);
+        c.put(&port, key, Bytes::from_static(b"0123456789"))
+            .unwrap();
+        let fresh = ObjectKey::data_chunk(1, 1);
+        // put_range would be Unsupported here; put_range_many must succeed
+        // by rewriting the whole object (and creating missing ones).
+        let results = c.put_range_many(
+            &port,
+            vec![
+                (key, 2, Bytes::from_static(b"AB")),
+                (fresh, 4, Bytes::from_static(b"xy")),
+            ],
+        );
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(&c.get(&port, key).unwrap()[..], b"01AB456789");
+        assert_eq!(&c.get(&port, fresh).unwrap()[..], b"\0\0\0\0xy");
+    }
+
+    #[test]
+    fn delete_many_removes_all_and_reports_missing() {
+        let c = cluster();
+        let port = Port::new();
+        let keys: Vec<ObjectKey> = (0..4).map(|i| ObjectKey::data_chunk(5, i)).collect();
+        for &k in &keys {
+            c.put(&port, k, Bytes::from_static(b"z")).unwrap();
+        }
+        let mut with_missing = keys.clone();
+        with_missing.push(ObjectKey::data_chunk(5, 99));
+        let results = c.delete_many(&port, &with_missing);
+        assert!(results[..4].iter().all(Result::is_ok));
+        assert_eq!(results[4], Err(OsError::NotFound));
+        assert_eq!(c.object_count(), 0);
+    }
+
+    #[test]
+    fn batch_stats_count_calls_and_items() {
+        let c = cluster();
+        let port = Port::new();
+        let keys: Vec<ObjectKey> = (0..3).map(|i| ObjectKey::data_chunk(6, i)).collect();
+        let items: Vec<(ObjectKey, Bytes)> = keys
+            .iter()
+            .map(|&k| (k, Bytes::from_static(b"q")))
+            .collect();
+        c.put_many(&port, items);
+        c.get_many(&port, &keys);
+        c.get_range_many(&port, &[(keys[0], 0, 1)]);
+        c.put_range_many(&port, vec![(keys[0], 0, Bytes::from_static(b"r"))]);
+        c.delete_many(&port, &keys);
+        assert_eq!(c.stats.batch_calls.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            c.stats.batch_items.load(Ordering::Relaxed),
+            3 + 3 + 1 + 1 + 3
+        );
     }
 
     #[test]

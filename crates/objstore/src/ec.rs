@@ -69,8 +69,7 @@ impl EcScheme {
         if frags.len() != self.width() {
             return None;
         }
-        let missing: Vec<usize> =
-            (0..self.width()).filter(|&i| frags[i].is_none()).collect();
+        let missing: Vec<usize> = (0..self.width()).filter(|&i| frags[i].is_none()).collect();
         if missing.len() > 1 {
             return None;
         }
@@ -135,8 +134,7 @@ mod tests {
         let data: Vec<u8> = (0..250u8).chain(0..33).collect();
         let encoded = ec.encode(&data);
         for lost in 0..ec.width() {
-            let mut frags: Vec<Option<Vec<u8>>> =
-                encoded.iter().cloned().map(Some).collect();
+            let mut frags: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
             frags[lost] = None;
             assert_eq!(
                 ec.reconstruct(data.len(), frags).unwrap(),
@@ -150,8 +148,7 @@ mod tests {
     fn double_loss_fails() {
         let ec = EcScheme::new(3);
         let data = vec![9u8; 50];
-        let mut frags: Vec<Option<Vec<u8>>> =
-            ec.encode(&data).into_iter().map(Some).collect();
+        let mut frags: Vec<Option<Vec<u8>>> = ec.encode(&data).into_iter().map(Some).collect();
         frags[0] = None;
         frags[2] = None;
         assert!(ec.reconstruct(50, frags).is_none());

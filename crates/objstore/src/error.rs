@@ -47,7 +47,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(OsError::NotFound.to_string().contains("not found"));
-        assert!(OsError::Unsupported("ranged put").to_string().contains("ranged put"));
+        assert!(OsError::Unsupported("ranged put")
+            .to_string()
+            .contains("ranged put"));
         assert!(OsError::Injected("crash").to_string().contains("crash"));
         assert!(!OsError::BadRange.to_string().is_empty());
         assert!(!OsError::BadKey.to_string().is_empty());

@@ -60,26 +60,45 @@ pub struct ObjectKey {
 
 impl ObjectKey {
     pub fn inode(ino: u128) -> Self {
-        ObjectKey { kind: KeyKind::Inode, ino, index: 0 }
+        ObjectKey {
+            kind: KeyKind::Inode,
+            ino,
+            index: 0,
+        }
     }
 
     pub fn dentry_bucket(ino: u128, bucket: u64) -> Self {
-        ObjectKey { kind: KeyKind::Dentry, ino, index: bucket }
+        ObjectKey {
+            kind: KeyKind::Dentry,
+            ino,
+            index: bucket,
+        }
     }
 
     pub fn journal(ino: u128, seq: u64) -> Self {
-        ObjectKey { kind: KeyKind::Journal, ino, index: seq }
+        ObjectKey {
+            kind: KeyKind::Journal,
+            ino,
+            index: seq,
+        }
     }
 
     pub fn data_chunk(ino: u128, chunk: u64) -> Self {
-        ObjectKey { kind: KeyKind::Data, ino, index: chunk }
+        ObjectKey {
+            kind: KeyKind::Data,
+            ino,
+            index: chunk,
+        }
     }
 
     /// Parse the canonical REST string form, e.g.
     /// `d000102030405060708090a0b0c0d0e0f.42`.
     pub fn parse(s: &str) -> OsResult<Self> {
         let mut chars = s.chars();
-        let kind = chars.next().and_then(KeyKind::from_prefix).ok_or(OsError::BadKey)?;
+        let kind = chars
+            .next()
+            .and_then(KeyKind::from_prefix)
+            .ok_or(OsError::BadKey)?;
         let rest = &s[1..];
         let (hex, index) = match rest.split_once('.') {
             Some((hex, idx)) => (hex, idx.parse::<u64>().map_err(|_| OsError::BadKey)?),
@@ -161,7 +180,12 @@ mod tests {
 
     #[test]
     fn prefixes_roundtrip() {
-        for kind in [KeyKind::Inode, KeyKind::Dentry, KeyKind::Journal, KeyKind::Data] {
+        for kind in [
+            KeyKind::Inode,
+            KeyKind::Dentry,
+            KeyKind::Journal,
+            KeyKind::Data,
+        ] {
             assert_eq!(KeyKind::from_prefix(kind.prefix()), Some(kind));
         }
         assert_eq!(KeyKind::from_prefix('z'), None);

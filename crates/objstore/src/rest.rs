@@ -15,11 +15,25 @@ use bytes::Bytes;
 /// A REST-style request with string object keys.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RestRequest {
-    Get { key: String, range: Option<(u64, usize)> },
-    Put { key: String, data: Bytes, offset: Option<u64> },
-    Delete { key: String },
-    Head { key: String },
-    List { kind: Option<char>, ino: Option<String> },
+    Get {
+        key: String,
+        range: Option<(u64, usize)>,
+    },
+    Put {
+        key: String,
+        data: Bytes,
+        offset: Option<u64>,
+    },
+    Delete {
+        key: String,
+    },
+    Head {
+        key: String,
+    },
+    List {
+        kind: Option<char>,
+        ino: Option<String>,
+    },
 }
 
 /// The matching response payloads.
@@ -33,11 +47,7 @@ pub enum RestResponse {
 
 /// Execute a REST request against a store, translating string keys into
 /// the typed key space.
-pub fn dispatch(
-    store: &dyn ObjectStore,
-    port: &Port,
-    req: RestRequest,
-) -> OsResult<RestResponse> {
+pub fn dispatch(store: &dyn ObjectStore, port: &Port, req: RestRequest) -> OsResult<RestResponse> {
     match req {
         RestRequest::Get { key, range } => {
             let key = ObjectKey::parse(&key)?;
@@ -59,22 +69,22 @@ pub fn dispatch(
             store.delete(port, ObjectKey::parse(&key)?)?;
             Ok(RestResponse::Ok)
         }
-        RestRequest::Head { key } => {
-            Ok(RestResponse::Size(store.head(port, ObjectKey::parse(&key)?)?))
-        }
+        RestRequest::Head { key } => Ok(RestResponse::Size(
+            store.head(port, ObjectKey::parse(&key)?)?,
+        )),
         RestRequest::List { kind, ino } => {
             let kind = match kind {
                 Some(c) => Some(KeyKind::from_prefix(c).ok_or(OsError::BadKey)?),
                 None => None,
             };
             let ino = match ino {
-                Some(hex) => {
-                    Some(u128::from_str_radix(&hex, 16).map_err(|_| OsError::BadKey)?)
-                }
+                Some(hex) => Some(u128::from_str_radix(&hex, 16).map_err(|_| OsError::BadKey)?),
                 None => None,
             };
             let keys = store.list(port, kind, ino)?;
-            Ok(RestResponse::Keys(keys.iter().map(|k| k.to_string()).collect()))
+            Ok(RestResponse::Keys(
+                keys.iter().map(|k| k.to_string()).collect(),
+            ))
         }
     }
 }
@@ -99,11 +109,23 @@ mod tests {
         let r = dispatch(
             &c,
             &p,
-            RestRequest::Put { key: key.clone(), data: Bytes::from_static(b"abc"), offset: None },
+            RestRequest::Put {
+                key: key.clone(),
+                data: Bytes::from_static(b"abc"),
+                offset: None,
+            },
         )
         .unwrap();
         assert_eq!(r, RestResponse::Ok);
-        let r = dispatch(&c, &p, RestRequest::Get { key: key.clone(), range: None }).unwrap();
+        let r = dispatch(
+            &c,
+            &p,
+            RestRequest::Get {
+                key: key.clone(),
+                range: None,
+            },
+        )
+        .unwrap();
         assert_eq!(r, RestResponse::Data(Bytes::from_static(b"abc")));
         let r = dispatch(&c, &p, RestRequest::Head { key }).unwrap();
         assert_eq!(r, RestResponse::Size(3));
@@ -123,8 +145,15 @@ mod tests {
             },
         )
         .unwrap();
-        let r =
-            dispatch(&c, &p, RestRequest::Get { key: key.clone(), range: Some((2, 2)) }).unwrap();
+        let r = dispatch(
+            &c,
+            &p,
+            RestRequest::Get {
+                key: key.clone(),
+                range: Some((2, 2)),
+            },
+        )
+        .unwrap();
         assert_eq!(r, RestResponse::Data(Bytes::from_static(b"yz")));
     }
 
@@ -137,14 +166,21 @@ mod tests {
             dispatch(
                 &c,
                 &p,
-                RestRequest::Put { key: key_str(k), data: Bytes::new(), offset: None },
+                RestRequest::Put {
+                    key: key_str(k),
+                    data: Bytes::new(),
+                    offset: None,
+                },
             )
             .unwrap();
         }
         let r = dispatch(
             &c,
             &p,
-            RestRequest::List { kind: Some('j'), ino: Some(format!("{:x}", 9)) },
+            RestRequest::List {
+                kind: Some('j'),
+                ino: Some(format!("{:x}", 9)),
+            },
         )
         .unwrap();
         match r {
@@ -152,7 +188,15 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         dispatch(&c, &p, RestRequest::Delete { key: key_str(k1) }).unwrap();
-        let r = dispatch(&c, &p, RestRequest::List { kind: Some('j'), ino: None }).unwrap();
+        let r = dispatch(
+            &c,
+            &p,
+            RestRequest::List {
+                kind: Some('j'),
+                ino: None,
+            },
+        )
+        .unwrap();
         assert_eq!(r, RestResponse::Keys(vec![key_str(k2)]));
     }
 
@@ -160,15 +204,36 @@ mod tests {
     fn malformed_keys_rejected() {
         let (c, p) = setup();
         assert_eq!(
-            dispatch(&c, &p, RestRequest::Get { key: "bogus".into(), range: None }),
+            dispatch(
+                &c,
+                &p,
+                RestRequest::Get {
+                    key: "bogus".into(),
+                    range: None
+                }
+            ),
             Err(OsError::BadKey)
         );
         assert_eq!(
-            dispatch(&c, &p, RestRequest::List { kind: Some('q'), ino: None }),
+            dispatch(
+                &c,
+                &p,
+                RestRequest::List {
+                    kind: Some('q'),
+                    ino: None
+                }
+            ),
             Err(OsError::BadKey)
         );
         assert_eq!(
-            dispatch(&c, &p, RestRequest::List { kind: None, ino: Some("zz".into()) }),
+            dispatch(
+                &c,
+                &p,
+                RestRequest::List {
+                    kind: None,
+                    ino: Some("zz".into())
+                }
+            ),
             Err(OsError::BadKey)
         );
     }

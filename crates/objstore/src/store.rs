@@ -1,6 +1,6 @@
 //! The REST-shaped object store trait.
 
-use crate::error::OsResult;
+use crate::error::{OsError, OsResult};
 use crate::key::{KeyKind, ObjectKey};
 use crate::profile::StoreProfile;
 use arkfs_simkit::Port;
@@ -18,6 +18,13 @@ pub trait ObjectStore: Send + Sync {
 
     /// (object count, logical bytes) currently stored — `df` support.
     fn usage(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// (batched calls issued, total items across them) — diagnostics for
+    /// the pipelined multi-ops. Backends that don't track them report
+    /// zeros.
+    fn batch_stats(&self) -> (u64, u64) {
         (0, 0)
     }
 
@@ -45,8 +52,12 @@ pub trait ObjectStore: Send + Sync {
 
     /// LIST keys, optionally filtered by kind and/or inode. Results are
     /// sorted. (Flat-namespace prefix listing, as on S3/RADOS.)
-    fn list(&self, port: &Port, kind: Option<KeyKind>, ino: Option<u128>)
-        -> OsResult<Vec<ObjectKey>>;
+    fn list(
+        &self,
+        port: &Port,
+        kind: Option<KeyKind>,
+        ino: Option<u128>,
+    ) -> OsResult<Vec<ObjectKey>>;
 
     /// Pipelined multi-GET: issue all requests concurrently; the caller
     /// waits for the *last* completion instead of the sum (this is what
@@ -72,6 +83,63 @@ pub trait ObjectStore: Send + Sync {
 
     /// Pipelined multi-PUT (cache write-back flushes).
     fn put_many(&self, port: &Port, items: Vec<(ObjectKey, Bytes)>) -> Vec<OsResult<()>> {
-        items.into_iter().map(|(k, d)| self.put(port, k, d)).collect()
+        items
+            .into_iter()
+            .map(|(k, d)| self.put(port, k, d))
+            .collect()
+    }
+
+    /// Pipelined ranged multi-GET: one `(key, offset, len)` request per
+    /// item, all issued concurrently. Per-item semantics match
+    /// [`ObjectStore::get_range`]. The default falls back to sequential
+    /// ranged GETs; clustered implementations override it.
+    fn get_range_many(
+        &self,
+        port: &Port,
+        reqs: &[(ObjectKey, u64, usize)],
+    ) -> Vec<OsResult<Bytes>> {
+        reqs.iter()
+            .map(|&(key, offset, len)| self.get_range(port, key, offset, len))
+            .collect()
+    }
+
+    /// Pipelined ranged multi-PUT: write each item's `data` at `offset`
+    /// within its object. Unlike [`ObjectStore::put_range`] this never
+    /// fails with `Unsupported`: backends without partial writes (the S3
+    /// profile) degrade per item to read-modify-write of the whole
+    /// object, which is exactly the S3FS behavior the paper describes —
+    /// confined to one chunk object rather than the whole file.
+    fn put_range_many(
+        &self,
+        port: &Port,
+        items: Vec<(ObjectKey, u64, Bytes)>,
+    ) -> Vec<OsResult<()>> {
+        items
+            .into_iter()
+            .map(
+                |(key, offset, data)| match self.put_range(port, key, offset, data.clone()) {
+                    Err(OsError::Unsupported(_)) => {
+                        let mut whole = match self.get(port, key) {
+                            Ok(existing) => existing.to_vec(),
+                            Err(OsError::NotFound) => Vec::new(),
+                            Err(e) => return Err(e),
+                        };
+                        let end = offset as usize + data.len();
+                        if whole.len() < end {
+                            whole.resize(end, 0);
+                        }
+                        whole[offset as usize..end].copy_from_slice(&data);
+                        self.put(port, key, Bytes::from(whole))
+                    }
+                    r => r,
+                },
+            )
+            .collect()
+    }
+
+    /// Pipelined multi-DELETE. Per-item results report `NotFound` for
+    /// missing objects without failing the batch.
+    fn delete_many(&self, port: &Port, keys: &[ObjectKey]) -> Vec<OsResult<()>> {
+        keys.iter().map(|&k| self.delete(port, k)).collect()
     }
 }

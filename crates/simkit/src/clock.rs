@@ -25,7 +25,9 @@ impl ManualClock {
     }
 
     pub fn starting_at(t: Nanos) -> Self {
-        ManualClock { now: AtomicU64::new(t) }
+        ManualClock {
+            now: AtomicU64::new(t),
+        }
     }
 
     /// Move time forward by `delta`.
@@ -53,7 +55,9 @@ pub struct SystemClock {
 
 impl SystemClock {
     pub fn new() -> Self {
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            origin: Instant::now(),
+        }
     }
 }
 

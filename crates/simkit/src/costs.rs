@@ -51,9 +51,9 @@ impl ClusterSpec {
         ClusterSpec {
             storage_nodes: 16,
             net_half_rtt: 50 * USEC,
-            client_net_bw: 6_250_000_000,  // 50 Gbit/s
-            store_net_bw: 25_000_000_000,  // aggregate across 16 nodes
-            disk_bw: 500_000_000,          // EBS-like, per OSD disk
+            client_net_bw: 6_250_000_000, // 50 Gbit/s
+            store_net_bw: 25_000_000_000, // aggregate across 16 nodes
+            disk_bw: 500_000_000,         // EBS-like, per OSD disk
             rados_op_service: 100 * USEC,
             s3_op_service: 25 * MSEC,
             fuse_op_cost: 8 * USEC,
@@ -94,16 +94,34 @@ impl ClusterSpec {
         vec![
             ("storage_nodes", self.storage_nodes.to_string()),
             ("net_half_rtt_us", (self.net_half_rtt / USEC).to_string()),
-            ("client_net_bw_gbit", format!("{:.1}", self.client_net_bw as f64 * 8.0 / 1e9)),
-            ("store_net_bw_gbit", format!("{:.1}", self.store_net_bw as f64 * 8.0 / 1e9)),
+            (
+                "client_net_bw_gbit",
+                format!("{:.1}", self.client_net_bw as f64 * 8.0 / 1e9),
+            ),
+            (
+                "store_net_bw_gbit",
+                format!("{:.1}", self.store_net_bw as f64 * 8.0 / 1e9),
+            ),
             ("disk_bw_gb_s", format!("{:.1}", self.disk_bw as f64 / 1e9)),
-            ("rados_op_service_us", (self.rados_op_service / USEC).to_string()),
+            (
+                "rados_op_service_us",
+                (self.rados_op_service / USEC).to_string(),
+            ),
             ("s3_op_service_ms", (self.s3_op_service / MSEC).to_string()),
             ("fuse_op_cost_us", (self.fuse_op_cost / USEC).to_string()),
             ("local_meta_op_us", (self.local_meta_op / USEC).to_string()),
-            ("mds_op_service_us", (self.mds_op_service / USEC).to_string()),
-            ("leader_op_service_us", (self.leader_op_service / USEC).to_string()),
-            ("lease_op_service_us", (self.lease_op_service / USEC).to_string()),
+            (
+                "mds_op_service_us",
+                (self.mds_op_service / USEC).to_string(),
+            ),
+            (
+                "leader_op_service_us",
+                (self.leader_op_service / USEC).to_string(),
+            ),
+            (
+                "lease_op_service_us",
+                (self.lease_op_service / USEC).to_string(),
+            ),
             ("ebs_bw_gb_s", format!("{:.1}", self.ebs_bw as f64 / 1e9)),
         ]
     }

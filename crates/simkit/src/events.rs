@@ -41,7 +41,11 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
     }
 }
 
@@ -154,7 +158,10 @@ mod tests {
             q.schedule_at(t, t);
         }
         let drained = q.drain_until(15);
-        assert_eq!(drained.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec![5, 10, 15]);
+        assert_eq!(
+            drained.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![5, 10, 15]
+        );
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
     }

@@ -18,7 +18,13 @@ const BUCKETS: usize = 64;
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: vec![0; BUCKETS], count: 0, sum: 0, min: Nanos::MAX, max: 0 }
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: Nanos::MAX,
+            max: 0,
+        }
     }
 }
 
@@ -73,7 +79,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return if i >= 63 { Nanos::MAX } else { (1u64 << i).saturating_sub(1).max(1) };
+                return if i >= 63 {
+                    Nanos::MAX
+                } else {
+                    (1u64 << i).saturating_sub(1).max(1)
+                };
             }
         }
         self.max

@@ -68,7 +68,9 @@ impl Port {
     }
 
     pub fn starting_at(t: Nanos) -> Self {
-        Port { inner: Mutex::new(Timeline::starting_at(t)) }
+        Port {
+            inner: Mutex::new(Timeline::starting_at(t)),
+        }
     }
 
     pub fn now(&self) -> Nanos {
@@ -105,7 +107,10 @@ pub struct ContentionModel {
 
 impl Default for ContentionModel {
     fn default() -> Self {
-        ContentionModel { alpha: 0.0, max_factor: 64.0 }
+        ContentionModel {
+            alpha: 0.0,
+            max_factor: 64.0,
+        }
     }
 }
 
@@ -115,7 +120,10 @@ impl ContentionModel {
     }
 
     pub fn degrading(alpha: f64) -> Self {
-        ContentionModel { alpha, max_factor: 64.0 }
+        ContentionModel {
+            alpha,
+            max_factor: 64.0,
+        }
     }
 
     fn factor(&self, in_flight: usize) -> f64 {
@@ -286,7 +294,8 @@ impl BandwidthResource {
     /// Reserve a transfer of `bytes` arriving at `arrival`; returns the
     /// completion time.
     pub fn transfer(&self, arrival: Nanos, bytes: u64) -> Nanos {
-        self.resource.reserve(arrival, transfer_time(bytes, self.bytes_per_sec))
+        self.resource
+            .reserve(arrival, transfer_time(bytes, self.bytes_per_sec))
     }
 
     pub fn reset(&self) {
@@ -362,7 +371,13 @@ mod tests {
         }
         assert!(t_deg > t_ideal);
         // And the degradation factor is capped.
-        let capped = SharedResource::new("c", ContentionModel { alpha: 10.0, max_factor: 4.0 });
+        let capped = SharedResource::new(
+            "c",
+            ContentionModel {
+                alpha: 10.0,
+                max_factor: 4.0,
+            },
+        );
         let mut last = 0;
         for _ in 0..100 {
             last = capped.reserve(0, 100);
@@ -399,7 +414,7 @@ mod tests {
         let r = SharedResource::ideal("x");
         assert_eq!(r.reserve(0, 10), 10); // [0,10)
         assert_eq!(r.reserve(20, 10), 30); // [20,30)
-        // Exactly fills the gap and coalesces all three.
+                                           // Exactly fills the gap and coalesces all three.
         assert_eq!(r.reserve(10, 10), 20);
         // Next arrival at 0 must queue after the merged [0,30).
         assert_eq!(r.reserve(0, 5), 35);
@@ -441,7 +456,11 @@ mod tests {
                 })
             })
             .collect();
-        let max = threads.into_iter().map(|h| h.join().unwrap()).max().unwrap();
+        let max = threads
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .max()
+            .unwrap();
         assert_eq!(max, 8 * 1000 * 10);
         assert_eq!(r.served(), 8000);
         assert_eq!(r.busy_time(), 80_000);

@@ -28,15 +28,24 @@ pub struct AclEntry {
 
 impl AclEntry {
     pub fn user(uid: u32, perms: u8) -> Self {
-        AclEntry { qualifier: AclQualifier::User(uid), perms: perms & 0o7 }
+        AclEntry {
+            qualifier: AclQualifier::User(uid),
+            perms: perms & 0o7,
+        }
     }
 
     pub fn group(gid: u32, perms: u8) -> Self {
-        AclEntry { qualifier: AclQualifier::Group(gid), perms: perms & 0o7 }
+        AclEntry {
+            qualifier: AclQualifier::Group(gid),
+            perms: perms & 0o7,
+        }
     }
 
     pub fn mask(perms: u8) -> Self {
-        AclEntry { qualifier: AclQualifier::Mask, perms: perms & 0o7 }
+        AclEntry {
+            qualifier: AclQualifier::Mask,
+            perms: perms & 0o7,
+        }
     }
 }
 
@@ -116,7 +125,11 @@ mod tests {
     use super::*;
 
     fn creds(uid: u32, gid: u32) -> Credentials {
-        Credentials { uid, gid, groups: vec![] }
+        Credentials {
+            uid,
+            gid,
+            groups: vec![],
+        }
     }
 
     #[test]

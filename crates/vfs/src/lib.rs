@@ -52,8 +52,13 @@ pub trait Vfs: Send + Sync {
 
     /// Read up to `buf.len()` bytes at `offset`. Returns bytes read
     /// (0 at or past EOF).
-    fn read(&self, ctx: &Credentials, fh: FileHandle, offset: u64, buf: &mut [u8])
-        -> FsResult<usize>;
+    fn read(
+        &self,
+        ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize>;
 
     /// Write `data` at `offset`, extending the file if needed.
     fn write(&self, ctx: &Credentials, fh: FileHandle, offset: u64, data: &[u8])

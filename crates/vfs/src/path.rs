@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn normal_split() {
-        assert_eq!(components("/home/user/f.txt").unwrap(), vec!["home", "user", "f.txt"]);
+        assert_eq!(
+            components("/home/user/f.txt").unwrap(),
+            vec!["home", "user", "f.txt"]
+        );
         // duplicated separators collapse
         assert_eq!(components("/home//user").unwrap(), vec!["home", "user"]);
     }

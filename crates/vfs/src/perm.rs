@@ -47,11 +47,7 @@ fn classic_perms(creds: &Credentials, owner_uid: u32, owner_gid: u32, mode: u32)
 
 /// Check that `creds` may modify attributes of the object (POSIX: owner or
 /// root for chmod; chown restricted to root).
-pub fn check_setattr(
-    creds: &Credentials,
-    owner_uid: u32,
-    changing_owner: bool,
-) -> FsResult<()> {
+pub fn check_setattr(creds: &Credentials, owner_uid: u32, changing_owner: bool) -> FsResult<()> {
     if creds.is_root() {
         return Ok(());
     }
@@ -76,7 +72,14 @@ pub fn check_delete(
     parent_acl: &Acl,
     victim_uid: u32,
 ) -> FsResult<()> {
-    check_access(creds, parent_uid, parent_gid, parent_mode, parent_acl, AM_WRITE | AM_EXEC)?;
+    check_access(
+        creds,
+        parent_uid,
+        parent_gid,
+        parent_mode,
+        parent_acl,
+        AM_WRITE | AM_EXEC,
+    )?;
     if parent_mode & 0o1000 != 0
         && !creds.is_root()
         && creds.uid != parent_uid

@@ -132,12 +132,20 @@ impl Credentials {
     /// The superuser, used by the "administrator daemon" workloads of the
     /// paper's controlled environment.
     pub fn root() -> Self {
-        Credentials { uid: 0, gid: 0, groups: Vec::new() }
+        Credentials {
+            uid: 0,
+            gid: 0,
+            groups: Vec::new(),
+        }
     }
 
     /// An unprivileged user with a primary group equal to its uid.
     pub fn user(uid: u32) -> Self {
-        Credentials { uid, gid: uid, groups: Vec::new() }
+        Credentials {
+            uid,
+            gid: uid,
+            groups: Vec::new(),
+        }
     }
 
     pub fn is_root(&self) -> bool {
@@ -173,11 +181,18 @@ pub struct SetAttr {
 
 impl SetAttr {
     pub fn chmod(mode: u32) -> Self {
-        SetAttr { mode: Some(mode), ..Default::default() }
+        SetAttr {
+            mode: Some(mode),
+            ..Default::default()
+        }
     }
 
     pub fn chown(uid: u32, gid: u32) -> Self {
-        SetAttr { uid: Some(uid), gid: Some(gid), ..Default::default() }
+        SetAttr {
+            uid: Some(uid),
+            gid: Some(gid),
+            ..Default::default()
+        }
     }
 
     pub fn is_empty(&self) -> bool {

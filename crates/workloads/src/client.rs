@@ -1,6 +1,6 @@
 //! The client abstraction the workload drivers run against.
 
-use arkfs::ArkClient;
+use arkfs::{ArkClient, ClientStats};
 use arkfs_baselines::{CephClient, GoofysFs, MarFs, S3Fs};
 use arkfs_simkit::Port;
 use arkfs_vfs::Vfs;
@@ -17,6 +17,12 @@ pub trait SimClient: Vfs {
     /// fio write and read phases ("drops the cache entries of written
     /// files", §IV-B).
     fn drop_caches(&self) {}
+
+    /// Data-path counters (cache hits/misses, batched store calls), for
+    /// clients that instrument them. Baselines return `None`.
+    fn client_stats(&self) -> Option<ClientStats> {
+        None
+    }
 }
 
 impl SimClient for ArkClient {
@@ -26,6 +32,10 @@ impl SimClient for ArkClient {
 
     fn drop_caches(&self) {
         let _ = self.drop_data_cache();
+    }
+
+    fn client_stats(&self) -> Option<ClientStats> {
+        Some(ArkClient::stats(self))
     }
 }
 
@@ -115,5 +125,8 @@ where
             std::thread::spawn(move || f(i, c))
         })
         .collect();
-    handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("workload thread panicked"))
+        .collect()
 }

@@ -25,7 +25,10 @@ pub struct FioConfig {
 
 impl Default for FioConfig {
     fn default() -> Self {
-        FioConfig { file_size: 64 * 1024 * 1024, request_size: 128 * 1024 }
+        FioConfig {
+            file_size: 64 * 1024 * 1024,
+            request_size: 128 * 1024,
+        }
     }
 }
 
@@ -130,15 +133,21 @@ mod tests {
     fn fio_reports_positive_bandwidth() {
         let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
         let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
-        let fleet: Vec<Arc<dyn SimClient>> =
-            (0..2).map(|_| cluster.client() as Arc<dyn SimClient>).collect();
-        let cfg = FioConfig { file_size: 4096, request_size: 256 };
+        let fleet: Vec<Arc<dyn SimClient>> = (0..2)
+            .map(|_| cluster.client() as Arc<dyn SimClient>)
+            .collect();
+        let cfg = FioConfig {
+            file_size: 4096,
+            request_size: 256,
+        };
         let result = fio(&fleet, &cfg).unwrap();
         assert_eq!(result.bytes, 8192);
         assert!(result.write_mib_s() > 0.0);
         assert!(result.read_mib_s() > 0.0);
         // Files really exist with the right size.
-        let st = fleet[0].stat(&Credentials::root(), "/fio/job0.bin").unwrap();
+        let st = fleet[0]
+            .stat(&Credentials::root(), "/fio/job0.bin")
+            .unwrap();
         assert_eq!(st.size, 4096);
     }
 }

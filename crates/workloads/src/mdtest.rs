@@ -28,7 +28,10 @@ pub struct MdtestEasyConfig {
 
 impl Default for MdtestEasyConfig {
     fn default() -> Self {
-        MdtestEasyConfig { files_total: 1_000_000, create_only: false }
+        MdtestEasyConfig {
+            files_total: 1_000_000,
+            create_only: false,
+        }
     }
 }
 
@@ -45,7 +48,12 @@ pub struct MdtestHardConfig {
 
 impl Default for MdtestHardConfig {
     fn default() -> Self {
-        MdtestHardConfig { files_total: 1_000_000, dirs: 16, file_size: 3901, seed: 42 }
+        MdtestHardConfig {
+            files_total: 1_000_000,
+            dirs: 16,
+            file_size: 3901,
+            seed: 42,
+        }
     }
 }
 
@@ -79,9 +87,8 @@ fn run_phase(
     let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
     // Round-robin interleaving keeps virtual arrivals of different
     // processes overlapped, as they would be on a real cluster.
-    let errors = crate::client::run_interleaved(clients, per_proc, |i, c, j| {
-        op(i, Arc::clone(c), j)
-    });
+    let errors =
+        crate::client::run_interleaved(clients, per_proc, |i, c, j| op(i, Arc::clone(c), j));
     // fsync after each phase (§IV-B).
     for (i, c) in clients.iter().enumerate() {
         let _ = c.sync_all(&ctx());
@@ -93,14 +100,18 @@ fn run_phase(
 
 /// Run mdtest-easy over the fleet. Directory layout: each process works
 /// in its own leaf directory `/mdtest-easy/p<i>`.
-pub fn mdtest_easy(clients: &[Arc<dyn SimClient>], cfg: &MdtestEasyConfig)
-    -> FsResult<MdtestResult> {
+pub fn mdtest_easy(
+    clients: &[Arc<dyn SimClient>],
+    cfg: &MdtestEasyConfig,
+) -> FsResult<MdtestResult> {
     assert!(!clients.is_empty());
     let per_proc = (cfg.files_total / clients.len() as u64).max(1);
     // Setup (unmetered): the shared parent, then each process creates its
     // own leaf directory so it becomes that directory's leader.
     clients[0].mkdir(&ctx(), "/mdtest-easy", 0o755)?;
-    run_fleet(clients, |i, c| c.mkdir(&ctx(), &format!("/mdtest-easy/p{i}"), 0o755));
+    run_fleet(clients, |i, c| {
+        c.mkdir(&ctx(), &format!("/mdtest-easy/p{i}"), 0o755)
+    });
 
     let mut phases = Vec::new();
     let mut errors = Vec::new();
@@ -114,7 +125,8 @@ pub fn mdtest_easy(clients: &[Arc<dyn SimClient>], cfg: &MdtestEasyConfig)
 
     if !cfg.create_only {
         let (stat, e) = run_phase(clients, "stat", per_proc, move |i, c, j| {
-            c.stat(&ctx(), &format!("/mdtest-easy/p{i}/f{j}")).map(|_| ())
+            c.stat(&ctx(), &format!("/mdtest-easy/p{i}/f{j}"))
+                .map(|_| ())
         });
         phases.push(stat);
         errors.push(e);
@@ -130,8 +142,10 @@ pub fn mdtest_easy(clients: &[Arc<dyn SimClient>], cfg: &MdtestEasyConfig)
 
 /// Run mdtest-hard over the fleet: small writes into a shared directory
 /// pool, arbitrary directory per file.
-pub fn mdtest_hard(clients: &[Arc<dyn SimClient>], cfg: &MdtestHardConfig)
-    -> FsResult<MdtestResult> {
+pub fn mdtest_hard(
+    clients: &[Arc<dyn SimClient>],
+    cfg: &MdtestHardConfig,
+) -> FsResult<MdtestResult> {
     assert!(!clients.is_empty());
     let per_proc = (cfg.files_total / clients.len() as u64).max(1);
     clients[0].mkdir(&ctx(), "/mdtest-hard", 0o755)?;
@@ -196,13 +210,18 @@ mod tests {
     fn ark_fleet(n: usize) -> Vec<Arc<dyn SimClient>> {
         let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
         let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
-        (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect()
+        (0..n)
+            .map(|_| cluster.client() as Arc<dyn SimClient>)
+            .collect()
     }
 
     #[test]
     fn mdtest_easy_runs_all_phases() {
         let fleet = ark_fleet(4);
-        let cfg = MdtestEasyConfig { files_total: 64, create_only: false };
+        let cfg = MdtestEasyConfig {
+            files_total: 64,
+            create_only: false,
+        };
         let result = mdtest_easy(&fleet, &cfg).unwrap();
         assert_eq!(result.phases.len(), 3);
         assert_eq!(result.errors, vec![0, 0, 0]);
@@ -211,13 +230,19 @@ mod tests {
             assert!(phase.ops_per_sec() > 0.0, "{} throughput", phase.name);
         }
         // After DELETE the per-process dirs are empty.
-        assert!(fleet[0].readdir(&Credentials::root(), "/mdtest-easy/p0").unwrap().is_empty());
+        assert!(fleet[0]
+            .readdir(&Credentials::root(), "/mdtest-easy/p0")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn mdtest_easy_create_only() {
         let fleet = ark_fleet(2);
-        let cfg = MdtestEasyConfig { files_total: 16, create_only: true };
+        let cfg = MdtestEasyConfig {
+            files_total: 16,
+            create_only: true,
+        };
         let result = mdtest_easy(&fleet, &cfg).unwrap();
         assert_eq!(result.phases.len(), 1);
         assert_eq!(result.phases[0].name, "create");
@@ -226,7 +251,12 @@ mod tests {
     #[test]
     fn mdtest_hard_round_trips_data() {
         let fleet = ark_fleet(4);
-        let cfg = MdtestHardConfig { files_total: 32, dirs: 4, file_size: 128, seed: 7 };
+        let cfg = MdtestHardConfig {
+            files_total: 32,
+            dirs: 4,
+            file_size: 128,
+            seed: 7,
+        };
         let result = mdtest_hard(&fleet, &cfg).unwrap();
         assert_eq!(result.phases.len(), 4);
         assert_eq!(result.errors, vec![0, 0, 0, 0]);
@@ -241,9 +271,15 @@ mod tests {
         use arkfs_simkit::ClusterSpec;
         let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
         let shared = MarFs::deployment(store, ClusterSpec::test_tiny(), 64);
-        let fleet: Vec<Arc<dyn SimClient>> =
-            (0..2).map(|_| MarFs::client(&shared) as Arc<dyn SimClient>).collect();
-        let cfg = MdtestHardConfig { files_total: 8, dirs: 2, file_size: 64, seed: 1 };
+        let fleet: Vec<Arc<dyn SimClient>> = (0..2)
+            .map(|_| MarFs::client(&shared) as Arc<dyn SimClient>)
+            .collect();
+        let cfg = MdtestHardConfig {
+            files_total: 8,
+            dirs: 2,
+            file_size: 64,
+            seed: 1,
+        };
         let result = mdtest_hard(&fleet, &cfg).unwrap();
         // Every READ fails on MarFS's interactive interface.
         assert_eq!(result.errors[2], 8);

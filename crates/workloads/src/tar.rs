@@ -64,8 +64,8 @@ fn parse_header(block: &[u8]) -> FsResult<Option<(String, u64)>> {
     let name = std::str::from_utf8(&block[..name_end])
         .map_err(|_| FsError::Io("bad tar name".into()))?
         .to_string();
-    let size_str = std::str::from_utf8(&block[124..135])
-        .map_err(|_| FsError::Io("bad tar size".into()))?;
+    let size_str =
+        std::str::from_utf8(&block[124..135]).map_err(|_| FsError::Io("bad tar size".into()))?;
     let size = u64::from_str_radix(size_str.trim_matches(['\0', ' ']), 8)
         .map_err(|_| FsError::Io("bad tar size".into()))?;
     Ok(Some((name, size)))
@@ -83,13 +83,20 @@ impl<'a> TarWriter<'a> {
     /// Create `path` and start writing a tar stream into it.
     pub fn create(fs: &'a dyn Vfs, ctx: &'a Credentials, path: &str) -> FsResult<Self> {
         let fh = fs.create(ctx, path, 0o644)?;
-        Ok(TarWriter { fs, ctx, fh, offset: 0 })
+        Ok(TarWriter {
+            fs,
+            ctx,
+            fh,
+            offset: 0,
+        })
     }
 
     fn put(&mut self, data: &[u8]) -> FsResult<()> {
         let mut off = 0usize;
         while off < data.len() {
-            let n = self.fs.write(self.ctx, self.fh, self.offset, &data[off..])?;
+            let n = self
+                .fs
+                .write(self.ctx, self.fh, self.offset, &data[off..])?;
             if n == 0 {
                 return Err(FsError::Io("short tar write".into()));
             }
@@ -131,13 +138,20 @@ pub struct TarReader<'a> {
 impl<'a> TarReader<'a> {
     pub fn open(fs: &'a dyn Vfs, ctx: &'a Credentials, path: &str) -> FsResult<Self> {
         let fh = fs.open(ctx, path, OpenFlags::RDONLY)?;
-        Ok(TarReader { fs, ctx, fh, offset: 0 })
+        Ok(TarReader {
+            fs,
+            ctx,
+            fh,
+            offset: 0,
+        })
     }
 
     fn read_exact(&mut self, buf: &mut [u8]) -> FsResult<()> {
         let mut off = 0usize;
         while off < buf.len() {
-            let n = self.fs.read(self.ctx, self.fh, self.offset, &mut buf[off..])?;
+            let n = self
+                .fs
+                .read(self.ctx, self.fh, self.offset, &mut buf[off..])?;
             if n == 0 {
                 return Err(FsError::Io("unexpected tar EOF".into()));
             }
@@ -181,7 +195,10 @@ pub struct ArchiveConfig {
 
 impl Default for ArchiveConfig {
     fn default() -> Self {
-        ArchiveConfig { dataset: DatasetSpec::ms_coco(), ebs_bw: 1_000_000_000 }
+        ArchiveConfig {
+            dataset: DatasetSpec::ms_coco(),
+            ebs_bw: 1_000_000_000,
+        }
     }
 }
 
@@ -302,7 +319,11 @@ pub fn archive_scenario(
     }
     let unarchive_ns = meter.finish("unarchive").makespan;
 
-    Ok(ArchiveResult { archive_ns, unarchive_ns, dataset_bytes })
+    Ok(ArchiveResult {
+        archive_ns,
+        unarchive_ns,
+        dataset_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -315,7 +336,9 @@ mod tests {
     fn ark_fleet(n: usize) -> Vec<Arc<dyn SimClient>> {
         let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
         let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
-        (0..n).map(|_| cluster.client() as Arc<dyn SimClient>).collect()
+        (0..n)
+            .map(|_| cluster.client() as Arc<dyn SimClient>)
+            .collect()
     }
 
     #[test]
@@ -330,7 +353,10 @@ mod tests {
         bad[0] ^= 0xFF;
         assert!(parse_header(&bad).is_err());
         // Overlong names rejected.
-        assert_eq!(header_block(&"x".repeat(101), 0).err(), Some(FsError::NameTooLong));
+        assert_eq!(
+            header_block(&"x".repeat(101), 0).err(),
+            Some(FsError::NameTooLong)
+        );
     }
 
     #[test]

@@ -9,19 +9,22 @@
 use arkfs::{ArkCluster, ArkConfig};
 use arkfs_objstore::{ClusterConfig, ObjectCluster};
 use arkfs_simkit::SEC;
+use arkfs_vfs::Credentials;
 use arkfs_workloads::tar::{archive_scenario, ArchiveConfig};
 use arkfs_workloads::{DatasetSpec, SimClient};
-use arkfs_vfs::Credentials;
 use std::sync::Arc;
 
 fn main() {
     let config = ArkConfig::default();
-    let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(config.spec.clone())));
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(
+        config.spec.clone(),
+    )));
     let cluster = ArkCluster::new(config, store);
 
     // Four archiving daemons, each handling one (scaled) dataset copy.
-    let daemons: Vec<Arc<dyn SimClient>> =
-        (0..4).map(|_| cluster.client() as Arc<dyn SimClient>).collect();
+    let daemons: Vec<Arc<dyn SimClient>> = (0..4)
+        .map(|_| cluster.client() as Arc<dyn SimClient>)
+        .collect();
 
     // MS-COCO-shaped dataset, scaled down: 1500 files, ~24 KB median.
     let dataset = DatasetSpec::scaled(1500, 24 * 1024, 7);
@@ -30,7 +33,10 @@ fn main() {
         dataset.files,
         dataset.total_bytes() as f64 / 1e6
     );
-    let cfg = ArchiveConfig { dataset, ebs_bw: 200_000_000 };
+    let cfg = ArchiveConfig {
+        dataset,
+        ebs_bw: 200_000_000,
+    };
 
     let result = archive_scenario(&daemons, &cfg).expect("archive scenario");
     println!(
@@ -50,6 +56,10 @@ fn main() {
     println!(
         "extracted-p0 holds {} files, e.g. {:?}",
         extracted.len(),
-        extracted.iter().take(3).map(|e| e.name.clone()).collect::<Vec<_>>()
+        extracted
+            .iter()
+            .take(3)
+            .map(|e| e.name.clone())
+            .collect::<Vec<_>>()
     );
 }

@@ -16,7 +16,9 @@ fn main() {
     let config = ArkConfig::default()
         .with_lease_period(50 * MSEC, 50 * MSEC)
         .with_journal_window(0); // commit every mutation (crash demo)
-    let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(config.spec.clone())));
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(
+        config.spec.clone(),
+    )));
     let cluster = ArkCluster::new(config, store);
     let ctx = Credentials::root();
 
@@ -33,7 +35,10 @@ fn main() {
     // admin2's operations on /ingest are forwarded to admin1 (Figure 3 of
     // the paper): strong metadata consistency with no metadata server.
     let st = admin2.stat(&ctx, "/ingest/run-001.log").unwrap();
-    println!("admin2 sees run-001.log: size={} (via leader forwarding)", st.size);
+    println!(
+        "admin2 sees run-001.log: size={} (via leader forwarding)",
+        st.size
+    );
     write_file(&*admin2, &ctx, "/ingest/run-002.log", b"from admin2").unwrap();
     println!(
         "admin2 created run-002.log through the leader; admin1 lists {:?}",
@@ -59,7 +64,13 @@ fn main() {
 
     // Crash: admin1 dies without checkpointing. Its journaled mutations
     // survive; after lease + grace, admin2 recovers the directory.
-    write_file(&*admin1, &ctx, "/ingest/run-003.log", b"journaled, not checkpointed").unwrap();
+    write_file(
+        &*admin1,
+        &ctx,
+        "/ingest/run-003.log",
+        b"journaled, not checkpointed",
+    )
+    .unwrap();
     admin1.crash();
     println!("admin1 crashed (journal left in the object store)");
     admin2.port().advance(200 * MSEC); // let the dead lease + grace drain

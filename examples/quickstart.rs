@@ -28,13 +28,28 @@ fn main() {
     // 3. Plain POSIX-style usage.
     client.mkdir(&root, "/projects", 0o755).unwrap();
     client.mkdir(&root, "/projects/alpha", 0o750).unwrap();
-    write_file(&*client, &root, "/projects/alpha/report.txt", b"quarterly numbers").unwrap();
+    write_file(
+        &*client,
+        &root,
+        "/projects/alpha/report.txt",
+        b"quarterly numbers",
+    )
+    .unwrap();
 
     let st = client.stat(&root, "/projects/alpha/report.txt").unwrap();
-    println!("report.txt: ino={:x} size={} mode={:o}", st.ino, st.size, st.mode);
+    println!(
+        "report.txt: ino={:x} size={} mode={:o}",
+        st.ino, st.size, st.mode
+    );
 
     // Appending through a handle.
-    let fh = client.open(&root, "/projects/alpha/report.txt", OpenFlags::WRONLY.append()).unwrap();
+    let fh = client
+        .open(
+            &root,
+            "/projects/alpha/report.txt",
+            OpenFlags::WRONLY.append(),
+        )
+        .unwrap();
     client.write(&root, fh, 0, b" -- appended").unwrap();
     client.close(&root, fh).unwrap();
     let body = read_file(&*client, &root, "/projects/alpha/report.txt").unwrap();
@@ -43,22 +58,42 @@ fn main() {
     // 4. Ownership and ACLs — the POSIX features the HPC community needs
     //    on top of object storage (§II of the paper).
     client
-        .setattr(&root, "/projects/alpha/report.txt", &SetAttr::chown(1001, 1001))
+        .setattr(
+            &root,
+            "/projects/alpha/report.txt",
+            &SetAttr::chown(1001, 1001),
+        )
         .unwrap();
     let reviewer = Credentials::user(2002);
-    assert!(client.access(&reviewer, "/projects/alpha/report.txt", AM_READ).is_err());
+    assert!(client
+        .access(&reviewer, "/projects/alpha/report.txt", AM_READ)
+        .is_err());
     client
-        .set_acl(&root, "/projects/alpha/report.txt", &Acl::new(vec![AclEntry::user(2002, 0o4)]))
+        .set_acl(
+            &root,
+            "/projects/alpha/report.txt",
+            &Acl::new(vec![AclEntry::user(2002, 0o4)]),
+        )
         .unwrap();
     // ...but the reviewer also needs search permission on /projects/alpha.
-    client.setattr(&root, "/projects/alpha", &SetAttr::chmod(0o751)).unwrap();
-    client.access(&reviewer, "/projects/alpha/report.txt", AM_READ).unwrap();
+    client
+        .setattr(&root, "/projects/alpha", &SetAttr::chmod(0o751))
+        .unwrap();
+    client
+        .access(&reviewer, "/projects/alpha/report.txt", AM_READ)
+        .unwrap();
     println!("reviewer granted read via ACL");
 
     // 5. Rename across directories (two-phase commit across the two
     //    per-directory journals) and listing.
     client.mkdir(&root, "/archive", 0o755).unwrap();
-    client.rename(&root, "/projects/alpha/report.txt", "/archive/report-2026.txt").unwrap();
+    client
+        .rename(
+            &root,
+            "/projects/alpha/report.txt",
+            "/archive/report-2026.txt",
+        )
+        .unwrap();
     for entry in client.readdir(&root, "/archive").unwrap() {
         println!("/archive/{} (ino {:x})", entry.name, entry.ino);
     }

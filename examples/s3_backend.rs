@@ -17,7 +17,10 @@ use std::sync::Arc;
 fn main() {
     let spec = ClusterSpec::aws_paper();
     let store = Arc::new(ObjectCluster::new(ClusterConfig::s3(spec)));
-    let cluster = ArkCluster::new(ArkConfig::default(), Arc::clone(&store) as Arc<dyn ObjectStore>);
+    let cluster = ArkCluster::new(
+        ArkConfig::default(),
+        Arc::clone(&store) as Arc<dyn ObjectStore>,
+    );
     let client = cluster.client();
     let ctx = Credentials::root();
 
@@ -27,25 +30,42 @@ fn main() {
     // Sub-chunk overwrite: S3 has no ranged PUT, so the PRT module
     // rewrites the affected chunk (read-modify-write) — but only that
     // chunk, not the whole file as S3FS would.
-    let fh = client.open(&ctx, "/bucket-data/object.bin", OpenFlags::RDWR).unwrap();
+    let fh = client
+        .open(&ctx, "/bucket-data/object.bin", OpenFlags::RDWR)
+        .unwrap();
     client.write(&ctx, fh, 100, b"patched!").unwrap();
     client.fsync(&ctx, fh).unwrap();
     client.close(&ctx, fh).unwrap();
     let data = read_file(&*client, &ctx, "/bucket-data/object.bin").unwrap();
     assert_eq!(&data[100..108], b"patched!");
-    println!("sub-chunk overwrite on S3 backend OK ({} bytes)", data.len());
+    println!(
+        "sub-chunk overwrite on S3 backend OK ({} bytes)",
+        data.len()
+    );
     client.release_all(&ctx).unwrap();
 
     // Peek under the hood with the REST facade: list the raw objects the
     // file system created (i=inode, e=dentry, j=journal, d=data).
     let port = Port::new();
-    let resp = dispatch(&*store, &port, RestRequest::List { kind: None, ino: None }).unwrap();
+    let resp = dispatch(
+        &*store,
+        &port,
+        RestRequest::List {
+            kind: None,
+            ino: None,
+        },
+    )
+    .unwrap();
     if let RestResponse::Keys(keys) = resp {
         let mut counts = std::collections::BTreeMap::new();
         for key in &keys {
             *counts.entry(key.chars().next().unwrap()).or_insert(0usize) += 1;
         }
-        println!("raw bucket contents: {} objects by prefix {:?}", keys.len(), counts);
+        println!(
+            "raw bucket contents: {} objects by prefix {:?}",
+            keys.len(),
+            counts
+        );
         for key in keys.iter().take(5) {
             println!("  {key}");
         }
@@ -56,9 +76,18 @@ fn main() {
         "S3 ops: {} PUT, {} GET, {} DELETE, {} LIST | {} B in / {} B out",
         store.stats.puts.load(std::sync::atomic::Ordering::Relaxed),
         store.stats.gets.load(std::sync::atomic::Ordering::Relaxed),
-        store.stats.deletes.load(std::sync::atomic::Ordering::Relaxed),
+        store
+            .stats
+            .deletes
+            .load(std::sync::atomic::Ordering::Relaxed),
         store.stats.lists.load(std::sync::atomic::Ordering::Relaxed),
-        store.stats.bytes_in.load(std::sync::atomic::Ordering::Relaxed),
-        store.stats.bytes_out.load(std::sync::atomic::Ordering::Relaxed),
+        store
+            .stats
+            .bytes_in
+            .load(std::sync::atomic::Ordering::Relaxed),
+        store
+            .stats
+            .bytes_out
+            .load(std::sync::atomic::Ordering::Relaxed),
     );
 }

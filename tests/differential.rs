@@ -47,12 +47,11 @@ fn norm<T, F: FnOnce(T) -> String>(r: Result<T, FsError>, f: F) -> Result<String
 fn apply(fs: &dyn Vfs, ctx: &Credentials, op: &Op) -> Result<String, &'static str> {
     match op {
         Op::Mkdir(d) => norm(fs.mkdir(ctx, &dir_path(*d), 0o755), |_| "ok".into()),
-        Op::Create(d, f) => {
-            norm(
-                fs.create(ctx, &file_path(*d, *f), 0o644).and_then(|fh| fs.close(ctx, fh)),
-                |_| "ok".into(),
-            )
-        }
+        Op::Create(d, f) => norm(
+            fs.create(ctx, &file_path(*d, *f), 0o644)
+                .and_then(|fh| fs.close(ctx, fh)),
+            |_| "ok".into(),
+        ),
         Op::WriteAt(sel, off, val, len) => {
             let path = file_path(*sel, sel / 4);
             let r = fs.open(ctx, &path, OpenFlags::WRONLY).and_then(|fh| {
@@ -69,7 +68,9 @@ fn apply(fs: &dyn Vfs, ctx: &Credentials, op: &Op) -> Result<String, &'static st
         }
         Op::Stat(sel) => {
             let path = file_path(*sel, sel / 4);
-            norm(fs.stat(ctx, &path), |st| format!("{:?}:{}", st.ftype, st.size))
+            norm(fs.stat(ctx, &path), |st| {
+                format!("{:?}:{}", st.ftype, st.size)
+            })
         }
         Op::Unlink(sel) => {
             let path = file_path(*sel, sel / 4);
@@ -82,8 +83,10 @@ fn apply(fs: &dyn Vfs, ctx: &Credentials, op: &Op) -> Result<String, &'static st
             norm(fs.rename(ctx, &from, &to), |_| "ok".into())
         }
         Op::Readdir(d) => norm(fs.readdir(ctx, &dir_path(*d)), |entries| {
-            let mut names: Vec<String> =
-                entries.into_iter().map(|e| format!("{}:{:?}", e.name, e.ftype)).collect();
+            let mut names: Vec<String> = entries
+                .into_iter()
+                .map(|e| format!("{}:{:?}", e.name, e.ftype))
+                .collect();
             names.sort();
             names.join(",")
         }),

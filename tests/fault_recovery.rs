@@ -10,7 +10,9 @@ use std::sync::Arc;
 fn crash_config() -> ArkConfig {
     // Journal window 0: every acknowledged mutation is durable in the
     // journal; short leases so takeovers run fast in virtual time.
-    ArkConfig::test_tiny().with_journal_window(0).with_lease_period(MSEC, MSEC)
+    ArkConfig::test_tiny()
+        .with_journal_window(0)
+        .with_lease_period(MSEC, MSEC)
 }
 
 fn setup(config: ArkConfig) -> (Arc<ObjectCluster>, Arc<ArkCluster>) {
@@ -38,8 +40,12 @@ fn crash_after_journal_commit_preserves_namespace_and_data() {
 
     let c2 = cluster.client();
     c2.port().advance(10 * MSEC);
-    let names: Vec<String> =
-        c2.readdir(&ctx, "/w").unwrap().into_iter().map(|e| e.name).collect();
+    let names: Vec<String> = c2
+        .readdir(&ctx, "/w")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
     assert_eq!(names, vec!["c.bin"]);
     assert_eq!(read_file(&*c2, &ctx, "/w/c.bin").unwrap(), [8u8; 100]);
     assert_eq!(c2.stat(&ctx, "/w/a.bin"), Err(FsError::NotFound));
@@ -61,7 +67,10 @@ fn crash_mid_cross_directory_rename_resolves_consistently() {
     // After recovery the file exists in exactly one place with its data.
     let in_s = c2.stat(&ctx, "/s/f").is_ok();
     let in_t = c2.stat(&ctx, "/t/g").is_ok();
-    assert!(in_t && !in_s, "rename must be atomic across crashes (s={in_s} t={in_t})");
+    assert!(
+        in_t && !in_s,
+        "rename must be atomic across crashes (s={in_s} t={in_t})"
+    );
     assert_eq!(read_file(&*c2, &ctx, "/t/g").unwrap(), b"moving");
 }
 
@@ -181,8 +190,12 @@ fn double_crash_double_recovery() {
 
     let c3 = cluster.client();
     c3.port().advance(c2.port().now() + 10 * MSEC);
-    let mut names: Vec<String> =
-        c3.readdir(&ctx, "/dd").unwrap().into_iter().map(|e| e.name).collect();
+    let mut names: Vec<String> = c3
+        .readdir(&ctx, "/dd")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
     names.sort();
     assert_eq!(names, vec!["one", "two"]);
     assert_eq!(read_file(&*c3, &ctx, "/dd/one").unwrap(), b"1");

@@ -42,8 +42,12 @@ fn lifecycle_and_listing() {
         fs.mkdir(&ctx, "/a/b", 0o755).unwrap();
         write_file(&*fs, &ctx, "/a/b/f1", b"one").unwrap();
         write_file(&*fs, &ctx, "/a/b/f2", b"two2").unwrap();
-        let names: Vec<String> =
-            fs.readdir(&ctx, "/a/b").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = fs
+            .readdir(&ctx, "/a/b")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["f1", "f2"], "{name}");
         assert_eq!(fs.stat(&ctx, "/a/b/f2").unwrap().size, 4, "{name}");
         fs.unlink(&ctx, "/a/b/f1").unwrap();
@@ -94,12 +98,24 @@ fn rename_semantics() {
         write_file(&*fs, &ctx, "/src/f", b"payload").unwrap();
         // Cross-directory move preserves data.
         fs.rename(&ctx, "/src/f", "/dst/g").unwrap();
-        assert_eq!(read_file(&*fs, &ctx, "/dst/g").unwrap(), b"payload", "{name}");
-        assert_eq!(fs.stat(&ctx, "/src/f").unwrap_err(), FsError::NotFound, "{name}");
+        assert_eq!(
+            read_file(&*fs, &ctx, "/dst/g").unwrap(),
+            b"payload",
+            "{name}"
+        );
+        assert_eq!(
+            fs.stat(&ctx, "/src/f").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
         // Same-directory replace of a file.
         write_file(&*fs, &ctx, "/dst/h", b"loser").unwrap();
         fs.rename(&ctx, "/dst/g", "/dst/h").unwrap();
-        assert_eq!(read_file(&*fs, &ctx, "/dst/h").unwrap(), b"payload", "{name}");
+        assert_eq!(
+            read_file(&*fs, &ctx, "/dst/h").unwrap(),
+            b"payload",
+            "{name}"
+        );
         // Self-rename is a no-op.
         fs.rename(&ctx, "/dst/h", "/dst/h").unwrap();
         // Directory into own subtree is rejected.
@@ -157,11 +173,18 @@ fn permissions_and_ownership() {
         // Open up the directory, lock down the file.
         fs.setattr(&ctx, "/priv", &SetAttr::chmod(0o755)).unwrap();
         fs.setattr(&ctx, "/priv/s", &SetAttr::chmod(0o600)).unwrap();
-        assert!(fs.stat(&alice, "/priv/s").is_ok(), "{name}: stat needs no read perm");
-        assert_eq!(fs.access(&alice, "/priv/s", AM_READ).unwrap_err(),
-            FsError::PermissionDenied, "{name}");
+        assert!(
+            fs.stat(&alice, "/priv/s").is_ok(),
+            "{name}: stat needs no read perm"
+        );
+        assert_eq!(
+            fs.access(&alice, "/priv/s", AM_READ).unwrap_err(),
+            FsError::PermissionDenied,
+            "{name}"
+        );
         // chown to alice, then she can read/write.
-        fs.setattr(&ctx, "/priv/s", &SetAttr::chown(100, 100)).unwrap();
+        fs.setattr(&ctx, "/priv/s", &SetAttr::chown(100, 100))
+            .unwrap();
         fs.access(&alice, "/priv/s", AM_READ | AM_WRITE).unwrap();
     }
 }
@@ -191,7 +214,11 @@ fn symlinks() {
         let st = fs.symlink(&ctx, "/ln", "/real").unwrap();
         assert_eq!(st.ftype, FileType::Symlink, "{name}");
         assert_eq!(fs.readlink(&ctx, "/ln").unwrap(), "/real", "{name}");
-        assert_eq!(read_file(&*fs, &ctx, "/ln").unwrap(), b"here", "{name}: open follows");
+        assert_eq!(
+            read_file(&*fs, &ctx, "/ln").unwrap(),
+            b"here",
+            "{name}: open follows"
+        );
         fs.unlink(&ctx, "/ln").unwrap();
         assert!(fs.stat(&ctx, "/real").is_ok(), "{name}: target survives");
     }

@@ -4,9 +4,7 @@
 
 use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
-use arkfs_bench::{
-    ark_fleet, ceph_fleet, goofys_fleet, marfs_fleet, s3fs_fleet, System,
-};
+use arkfs_bench::{ark_fleet, ceph_fleet, goofys_fleet, marfs_fleet, s3fs_fleet, System};
 use arkfs_workloads::fio::{fio, FioConfig};
 use arkfs_workloads::mdtest::{mdtest_easy, mdtest_hard, MdtestEasyConfig, MdtestHardConfig};
 use arkfs_workloads::tar::{archive_scenario, ArchiveConfig};
@@ -22,10 +20,13 @@ fn full_posix_systems() -> Vec<System> {
 
 #[test]
 fn mdtest_easy_runs_on_every_posix_system() {
-    let cfg = MdtestEasyConfig { files_total: 64, create_only: false };
+    let cfg = MdtestEasyConfig {
+        files_total: 64,
+        create_only: false,
+    };
     for system in full_posix_systems() {
-        let r = mdtest_easy(&system.clients, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", system.name));
+        let r =
+            mdtest_easy(&system.clients, &cfg).unwrap_or_else(|e| panic!("{}: {e}", system.name));
         assert_eq!(r.errors, vec![0, 0, 0], "{}", system.name);
         for phase in &r.phases {
             assert!(phase.ops_per_sec() > 0.0, "{}: {}", system.name, phase.name);
@@ -39,10 +40,15 @@ fn mdtest_easy_runs_on_every_posix_system() {
 
 #[test]
 fn mdtest_hard_error_expectations_per_system() {
-    let cfg = MdtestHardConfig { files_total: 32, dirs: 4, file_size: 512, seed: 3 };
+    let cfg = MdtestHardConfig {
+        files_total: 32,
+        dirs: 4,
+        file_size: 512,
+        seed: 3,
+    };
     for system in full_posix_systems() {
-        let r = mdtest_hard(&system.clients, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", system.name));
+        let r =
+            mdtest_hard(&system.clients, &cfg).unwrap_or_else(|e| panic!("{}: {e}", system.name));
         assert_eq!(r.errors, vec![0, 0, 0, 0], "{}", system.name);
     }
     // MarFS: WRITE/STAT/DELETE fine, READ errors (§IV-B).
@@ -56,7 +62,10 @@ fn mdtest_hard_error_expectations_per_system() {
 
 #[test]
 fn fio_runs_on_every_data_capable_system() {
-    let cfg = FioConfig { file_size: 256 * 1024, request_size: 16 * 1024 };
+    let cfg = FioConfig {
+        file_size: 256 * 1024,
+        request_size: 16 * 1024,
+    };
     let systems = vec![
         ark_fleet(2, ArkConfig::default(), false),
         ceph_fleet(2, 1, MountType::Kernel, 65536, false),
