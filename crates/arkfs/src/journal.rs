@@ -295,11 +295,12 @@ impl DirJournal {
         std::mem::take(&mut self.committed)
     }
 
-    /// Delete checkpointed journal objects up to (excluding) `next_seq`.
+    /// Delete checkpointed journal objects up to (excluding) `next_seq`
+    /// with one batched multi-DELETE: truncation pays the slowest object,
+    /// not one round trip per sealed transaction.
     pub fn truncate(&mut self, prt: &Prt, port: &Port) -> FsResult<()> {
-        for seq in self.oldest_live..self.next_seq {
-            prt.delete_journal(port, self.dir, seq)?;
-        }
+        let dead: Vec<u64> = (self.oldest_live..self.next_seq).collect();
+        prt.delete_journal_many(port, self.dir, &dead)?;
         self.oldest_live = self.next_seq;
         Ok(())
     }
@@ -310,17 +311,22 @@ impl DirJournal {
     }
 }
 
-/// Scan a directory's journal object stream, returning every intact
+/// Scan a directory's journal object stream: one LIST, then one batched
+/// multi-GET over every sequence number — recovery of an N-transaction
+/// stream pays the slowest object, not N round trips. Returns the listed
+/// sequence numbers (including torn objects, so callers can compute the
+/// resume point and truncate without re-listing) and every intact
 /// transaction in sequence order. Torn/corrupt objects are skipped (they
 /// were never acknowledged).
-pub fn scan_journal(prt: &Prt, port: &Port, dir: Ino) -> FsResult<Vec<Transaction>> {
+pub fn scan_journal_stream(
+    prt: &Prt,
+    port: &Port,
+    dir: Ino,
+) -> FsResult<(Vec<u64>, Vec<Transaction>)> {
+    let seqs = prt.list_journal(port, dir)?;
     let mut out = Vec::new();
-    for seq in prt.list_journal(port, dir)? {
-        let data = match prt.get_journal(port, dir, seq) {
-            Ok(d) => d,
-            Err(FsError::NotFound) => continue,
-            Err(e) => return Err(e),
-        };
+    for data in prt.get_journal_many(port, dir, &seqs)?.into_iter() {
+        let Some(data) = data else { continue };
         match Transaction::unseal(&data) {
             Ok(txn) => out.push(txn),
             Err(WireError::BadChecksum) | Err(WireError::Truncated) => continue,
@@ -328,7 +334,13 @@ pub fn scan_journal(prt: &Prt, port: &Port, dir: Ino) -> FsResult<Vec<Transactio
         }
     }
     out.sort_by_key(|t| t.seq);
-    Ok(out)
+    Ok((seqs, out))
+}
+
+/// Intact transactions of a directory's journal stream, in sequence
+/// order (see [`scan_journal_stream`]).
+pub fn scan_journal(prt: &Prt, port: &Port, dir: Ino) -> FsResult<Vec<Transaction>> {
+    scan_journal_stream(prt, port, dir).map(|(_, txns)| txns)
 }
 
 /// Resolve the fate of rename transactions found while scanning `dir`'s

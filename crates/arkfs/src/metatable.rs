@@ -14,7 +14,7 @@
 //! leases. Mutations update memory, append journal ops, and track dirty
 //! objects for checkpointing.
 
-use crate::journal::{resolve_renames, scan_journal, DirJournal, JournalOp};
+use crate::journal::{resolve_renames, scan_journal_stream, DirJournal, JournalOp};
 use crate::meta::{dentry_bucket, DentryBlock, DentryEntry, InodeRecord};
 use crate::prt::Prt;
 use arkfs_lease::FileLeaseTable;
@@ -45,6 +45,14 @@ impl Metatable {
     /// object storage, running journal recovery first if the stream is
     /// non-empty (§III-E: "the new leader checks whether the journal has
     /// any valid transactions").
+    ///
+    /// The pull is fully batched (§III-C at full fan-out): one GET for
+    /// the directory inode, one batched sweep over every dentry bucket,
+    /// then one batched fetch of every non-directory child inode — a
+    /// takeover of an N-entry directory pays three store round trips
+    /// (plus recovery), not N. Recovery already listed the journal
+    /// stream, so its returned resume point is reused instead of a
+    /// second LIST.
     pub fn load(
         prt: &Prt,
         port: &Port,
@@ -52,26 +60,36 @@ impl Metatable {
         buckets: u64,
         file_lease_period: Nanos,
     ) -> FsResult<Self> {
-        recover_directory(prt, port, dir_ino, buckets)?;
+        let recovery = recover_directory(prt, port, dir_ino, buckets)?;
         let dir = prt.load_inode(port, dir_ino)?;
         if dir.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
         let mut dentries = HashMap::new();
-        for bucket in 0..buckets {
-            let block = prt.load_bucket(port, dir_ino, bucket)?;
+        let bucket_ids: Vec<u64> = (0..buckets).collect();
+        for block in prt.load_buckets_many(port, dir_ino, &bucket_ids)? {
             for entry in block.entries {
                 dentries.insert(entry.name.clone(), entry);
             }
         }
+        let mut child_inos: Vec<Ino> = dentries
+            .values()
+            .filter(|e| e.ftype != FileType::Directory)
+            .map(|e| e.ino)
+            .collect();
+        // Deterministic fetch order (hash-order iteration would jitter
+        // virtual-time arrivals between runs).
+        child_inos.sort_unstable();
         let mut children = HashMap::new();
-        for entry in dentries.values() {
-            if entry.ftype != FileType::Directory {
-                let rec = prt.load_inode(port, entry.ino)?;
-                children.insert(entry.ino, rec);
-            }
+        for (ino, rec) in child_inos
+            .iter()
+            .zip(prt.load_inodes_many(port, &child_inos)?)
+        {
+            let rec = rec.ok_or(FsError::NotFound)?;
+            children.insert(*ino, rec);
         }
-        let resume = prt.list_journal(port, dir_ino)?.last().map_or(0, |s| s + 1);
+        prt.count_takeover(1 + buckets + child_inos.len() as u64);
+        let resume = recovery.next_seq;
         Ok(Metatable {
             dir,
             dentries,
@@ -428,28 +446,38 @@ impl Metatable {
 
     /// Write all dirty state to the home objects and truncate the
     /// journal. Caller must have committed the running transaction first
-    /// (see `flush`).
+    /// (see `flush`). Fully batched: all dirty inodes (directory +
+    /// children) go out as one multi-PUT, deleted children as one
+    /// multi-DELETE, dirty buckets as one batched bucket write-back, and
+    /// the journal stream as one multi-DELETE — a checkpoint of N dirty
+    /// objects pays a handful of fan-outs, not N round trips.
     pub fn checkpoint(&mut self, prt: &Prt, port: &Port) -> FsResult<()> {
         let _applied = self.journal.take_committed();
+        // Sorted drains: hash-order iteration varies between runs and
+        // would jitter the virtual-time arrival order on shard resources.
+        let mut dirty_children: Vec<Ino> = self.dirty_children.drain().collect();
+        dirty_children.sort_unstable();
+        let mut dirty_recs: Vec<&InodeRecord> = Vec::new();
         if self.dirty_dir {
-            prt.store_inode(port, &self.dir)?;
-            self.dirty_dir = false;
+            dirty_recs.push(&self.dir);
         }
-        let dirty_children: Vec<Ino> = self.dirty_children.drain().collect();
-        for ino in dirty_children {
-            if let Some(rec) = self.children.get(&ino) {
-                prt.store_inode(port, rec)?;
+        for ino in &dirty_children {
+            if let Some(rec) = self.children.get(ino) {
+                dirty_recs.push(rec);
             }
         }
-        let deleted: Vec<Ino> = self.deleted_children.drain().collect();
-        for ino in deleted {
-            prt.delete_inode(port, ino)?;
-        }
-        let dirty_buckets: Vec<u64> = self.dirty_buckets.drain().collect();
-        for bucket in dirty_buckets {
-            let block = self.bucket_block(bucket);
-            prt.store_bucket(port, self.dir.ino, bucket, &block)?;
-        }
+        prt.store_inodes_many(port, &dirty_recs)?;
+        self.dirty_dir = false;
+        let mut deleted: Vec<Ino> = self.deleted_children.drain().collect();
+        deleted.sort_unstable();
+        prt.delete_inodes_many(port, &deleted)?;
+        let mut dirty_bucket_ids: Vec<u64> = self.dirty_buckets.drain().collect();
+        dirty_bucket_ids.sort_unstable();
+        let dirty_buckets: Vec<(u64, DentryBlock)> = dirty_bucket_ids
+            .into_iter()
+            .map(|bucket| (bucket, self.bucket_block(bucket)))
+            .collect();
+        prt.store_buckets_many(port, self.dir.ino, &dirty_buckets)?;
         self.journal.truncate(prt, port)?;
         Ok(())
     }
@@ -505,26 +533,47 @@ fn apply_setattr(rec: &mut InodeRecord, attr: &SetAttr, now: Nanos) {
     rec.ctime = now;
 }
 
-/// Journal recovery for a directory (§III-E.1): scan the journal stream,
-/// fold 2PC decisions, apply the surviving ops onto the home objects, and
-/// delete the stream. Idempotent; a no-op when the journal is empty.
-/// Returns the number of transactions replayed.
-pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> FsResult<usize> {
-    let txns = scan_journal(prt, port, dir_ino)?;
+/// What [`recover_directory`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Intact transactions replayed onto the home objects.
+    pub replayed: usize,
+    /// The sequence number the next sealed transaction should use:
+    /// one past the highest journal object observed (torn ones
+    /// included, so a new leader never overwrites a stale object), or 0
+    /// on an empty stream. Returned so `Metatable::load` does not have
+    /// to LIST the journal a second time just to compute its resume
+    /// point.
+    pub next_seq: u64,
+}
+
+/// Journal recovery for a directory (§III-E.1): scan the journal stream
+/// (one LIST + one batched multi-GET), fold 2PC decisions, apply the
+/// surviving ops onto the home objects with batched base-state loads and
+/// write-backs, and delete the stream with one batched multi-DELETE.
+/// Idempotent; a no-op when the journal is empty.
+pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> FsResult<Recovery> {
+    let (seqs, txns) = scan_journal_stream(prt, port, dir_ino)?;
+    let next_seq = seqs.last().map_or(0, |s| s + 1);
     if txns.is_empty() {
-        return Ok(0);
+        return Ok(Recovery {
+            replayed: 0,
+            next_seq,
+        });
     }
     let ops = resolve_renames(prt, port, &txns)?;
 
-    // Base state: what the home objects currently say.
+    // Base state: what the home objects currently say — the directory
+    // inode plus one batched sweep over every dentry bucket.
     let mut dir = match prt.load_inode(port, dir_ino) {
         Ok(rec) => Some(rec),
         Err(FsError::NotFound) => None,
         Err(e) => return Err(e),
     };
     let mut dentries: HashMap<String, DentryEntry> = HashMap::new();
-    for bucket in 0..buckets {
-        for entry in prt.load_bucket(port, dir_ino, bucket)?.entries {
+    let bucket_ids: Vec<u64> = (0..buckets).collect();
+    for block in prt.load_buckets_many(port, dir_ino, &bucket_ids)? {
+        for entry in block.entries {
             dentries.insert(entry.name.clone(), entry);
         }
     }
@@ -558,29 +607,36 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
         }
     }
 
-    // Write everything back.
-    if let Some(dir) = &dir {
-        prt.store_inode(port, dir)?;
-    }
-    for rec in put_inodes.values() {
-        prt.store_inode(port, rec)?;
-    }
-    for ino in del_inodes {
-        prt.delete_inode(port, ino)?;
-    }
-    for bucket in 0..buckets {
-        let mut entries: Vec<DentryEntry> = dentries
-            .values()
-            .filter(|e| dentry_bucket(&e.name, buckets) == bucket)
-            .cloned()
-            .collect();
-        entries.sort_by(|a, b| a.name.cmp(&b.name));
-        prt.store_bucket(port, dir_ino, bucket, &DentryBlock { entries })?;
-    }
-    for seq in prt.list_journal(port, dir_ino)? {
-        prt.delete_journal(port, dir_ino, seq)?;
-    }
-    Ok(txns.len())
+    // Write everything back: one batched PUT for every surviving inode
+    // (directory included), one batched DELETE for the dead ones, one
+    // batched bucket write-back, and one batched DELETE of the journal
+    // stream (the scan already listed it — no second LIST).
+    let mut recs: Vec<&InodeRecord> = dir.iter().collect();
+    recs.extend(put_inodes.values());
+    // Deterministic write-back order (hash-order iteration would jitter
+    // virtual-time arrivals between runs).
+    recs.sort_unstable_by_key(|r| r.ino);
+    prt.store_inodes_many(port, &recs)?;
+    let mut dead: Vec<Ino> = del_inodes.into_iter().collect();
+    dead.sort_unstable();
+    prt.delete_inodes_many(port, &dead)?;
+    let blocks: Vec<(u64, DentryBlock)> = (0..buckets)
+        .map(|bucket| {
+            let mut entries: Vec<DentryEntry> = dentries
+                .values()
+                .filter(|e| dentry_bucket(&e.name, buckets) == bucket)
+                .cloned()
+                .collect();
+            entries.sort_by(|a, b| a.name.cmp(&b.name));
+            (bucket, DentryBlock { entries })
+        })
+        .collect();
+    prt.store_buckets_many(port, dir_ino, &blocks)?;
+    prt.delete_journal_many(port, dir_ino, &seqs)?;
+    Ok(Recovery {
+        replayed: txns.len(),
+        next_seq,
+    })
 }
 
 #[cfg(test)]
@@ -787,8 +843,11 @@ mod tests {
             ],
         };
         prt.put_journal(&port, DIR, 0, txn.seal()).unwrap();
-        assert_eq!(recover_directory(&prt, &port, DIR, BUCKETS).unwrap(), 1);
-        assert_eq!(recover_directory(&prt, &port, DIR, BUCKETS).unwrap(), 0);
+        let first = recover_directory(&prt, &port, DIR, BUCKETS).unwrap();
+        assert_eq!(first.replayed, 1);
+        assert_eq!(first.next_seq, 1);
+        let second = recover_directory(&prt, &port, DIR, BUCKETS).unwrap();
+        assert_eq!(second.replayed, 0);
         let mt = Metatable::load(&prt, &port, DIR, BUCKETS, 1000).unwrap();
         assert!(mt.lookup("f").is_some());
     }

@@ -17,6 +17,7 @@ use arkfs_objstore::{ObjectKey, ObjectStore, OsError};
 use arkfs_simkit::Port;
 use arkfs_vfs::{FsError, FsResult, Ino};
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Map an object-store error onto the file system error space.
@@ -33,16 +34,45 @@ pub fn map_os_err(e: OsError) -> FsError {
     }
 }
 
+/// Metadata-path counters for the batched helpers: how many metadata
+/// objects moved through `*_many` calls, and how many objects a leader
+/// takeover (`Metatable::load`) pulled. Deployment-wide (the `Prt` is
+/// shared by every client of a cluster).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetaPathStats {
+    /// Metadata objects fetched through batched GETs.
+    pub batched_gets: u64,
+    /// Metadata objects written through batched PUTs.
+    pub batched_puts: u64,
+    /// Metadata objects removed through batched DELETEs.
+    pub batched_deletes: u64,
+    /// Objects loaded by leader takeovers (metatable loads).
+    pub takeover_objects_loaded: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetaCounters {
+    batched_gets: AtomicU64,
+    batched_puts: AtomicU64,
+    batched_deletes: AtomicU64,
+    takeover_objects_loaded: AtomicU64,
+}
+
 /// Typed object-storage access for one ArkFS deployment.
 pub struct Prt {
     store: Arc<dyn ObjectStore>,
     chunk_size: u64,
+    meta: MetaCounters,
 }
 
 impl Prt {
     pub fn new(store: Arc<dyn ObjectStore>, chunk_size: u64) -> Self {
         assert!(chunk_size > 0);
-        Prt { store, chunk_size }
+        Prt {
+            store,
+            chunk_size,
+            meta: MetaCounters::default(),
+        }
     }
 
     pub fn store(&self) -> &Arc<dyn ObjectStore> {
@@ -53,7 +83,34 @@ impl Prt {
         self.chunk_size
     }
 
+    /// Snapshot of the metadata-path counters.
+    pub fn meta_stats(&self) -> MetaPathStats {
+        MetaPathStats {
+            batched_gets: self.meta.batched_gets.load(Ordering::Relaxed),
+            batched_puts: self.meta.batched_puts.load(Ordering::Relaxed),
+            batched_deletes: self.meta.batched_deletes.load(Ordering::Relaxed),
+            takeover_objects_loaded: self.meta.takeover_objects_loaded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record objects pulled by a leader takeover (`Metatable::load`).
+    pub(crate) fn count_takeover(&self, objects: u64) {
+        self.meta
+            .takeover_objects_loaded
+            .fetch_add(objects, Ordering::Relaxed);
+    }
+
     // ---- inode records -------------------------------------------------
+
+    /// Ceiling on the number of objects a single batched metadata flight
+    /// puts in the air at once. A whole-directory checkpoint or takeover
+    /// can touch thousands of objects; firing them all at one instant
+    /// drives the store's contention-depth model to its saturation
+    /// factor and monopolizes shard timelines against foreground
+    /// traffic. Flights of this size keep per-shard depth low (the win
+    /// over a serial loop is already ~FLIGHT× per flight) while the
+    /// next flight departs only when the previous one lands.
+    const MAX_META_FLIGHT: usize = 16;
 
     pub fn load_inode(&self, port: &Port, ino: Ino) -> FsResult<InodeRecord> {
         let data = self
@@ -74,6 +131,78 @@ impl Prt {
             Ok(()) | Err(OsError::NotFound) => Ok(()),
             Err(e) => Err(map_os_err(e)),
         }
+    }
+
+    /// Batched inode fetch: one pipelined multi-GET, the caller pays the
+    /// slowest record instead of one round trip per inode. A missing
+    /// inode yields `None` (recovery base states tolerate absent
+    /// objects); other errors fail the batch.
+    pub fn load_inodes_many(
+        &self,
+        port: &Port,
+        inos: &[Ino],
+    ) -> FsResult<Vec<Option<InodeRecord>>> {
+        if inos.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.meta
+            .batched_gets
+            .fetch_add(inos.len() as u64, Ordering::Relaxed);
+        let keys: Vec<ObjectKey> = inos.iter().map(|&i| ObjectKey::inode(i)).collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for flight in keys.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.get_many(port, flight) {
+                out.push(match res {
+                    Ok(data) => InodeRecord::from_bytes(&data)
+                        .map(Some)
+                        .map_err(|e| FsError::Io(e.to_string()))?,
+                    Err(OsError::NotFound) => None,
+                    Err(e) => return Err(map_os_err(e)),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched inode write-back: one pipelined multi-PUT.
+    pub fn store_inodes_many(&self, port: &Port, recs: &[&InodeRecord]) -> FsResult<()> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        self.meta
+            .batched_puts
+            .fetch_add(recs.len() as u64, Ordering::Relaxed);
+        let items: Vec<(ObjectKey, Bytes)> = recs
+            .iter()
+            .map(|rec| (ObjectKey::inode(rec.ino), Bytes::from(rec.to_bytes())))
+            .collect();
+        for flight in items.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.put_many(port, flight.to_vec()) {
+                res.map_err(map_os_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched inode removal: one pipelined multi-DELETE, missing inodes
+    /// tolerated (idempotent, like [`Prt::delete_inode`]).
+    pub fn delete_inodes_many(&self, port: &Port, inos: &[Ino]) -> FsResult<()> {
+        if inos.is_empty() {
+            return Ok(());
+        }
+        self.meta
+            .batched_deletes
+            .fetch_add(inos.len() as u64, Ordering::Relaxed);
+        let keys: Vec<ObjectKey> = inos.iter().map(|&i| ObjectKey::inode(i)).collect();
+        for flight in keys.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.delete_many(port, flight) {
+                match res {
+                    Ok(()) | Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
+            }
+        }
+        Ok(())
     }
 
     // ---- dentry buckets ------------------------------------------------
@@ -106,6 +235,85 @@ impl Prt {
             .map_err(map_os_err)
     }
 
+    /// Batched dentry-bucket sweep: one pipelined multi-GET over the
+    /// requested bucket indices; missing objects read as empty buckets.
+    /// A whole-directory load pays the slowest bucket, not the sum.
+    pub fn load_buckets_many(
+        &self,
+        port: &Port,
+        dir: Ino,
+        buckets: &[u64],
+    ) -> FsResult<Vec<DentryBlock>> {
+        if buckets.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.meta
+            .batched_gets
+            .fetch_add(buckets.len() as u64, Ordering::Relaxed);
+        let keys: Vec<ObjectKey> = buckets
+            .iter()
+            .map(|&b| ObjectKey::dentry_bucket(dir, b))
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for flight in keys.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.get_many(port, flight) {
+                out.push(match res {
+                    Ok(data) => {
+                        DentryBlock::from_bytes(&data).map_err(|e| FsError::Io(e.to_string()))?
+                    }
+                    Err(OsError::NotFound) => DentryBlock::default(),
+                    Err(e) => return Err(map_os_err(e)),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched dentry-bucket write-back. Empty blocks delete their
+    /// object (same rule as [`Prt::store_bucket`]); the non-empty blocks
+    /// go out as one multi-PUT and the empties as one multi-DELETE, so a
+    /// checkpoint of many dirty buckets pays two fan-outs at most.
+    pub fn store_buckets_many(
+        &self,
+        port: &Port,
+        dir: Ino,
+        blocks: &[(u64, DentryBlock)],
+    ) -> FsResult<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let mut puts = Vec::new();
+        let mut dels = Vec::new();
+        for (bucket, block) in blocks {
+            let key = ObjectKey::dentry_bucket(dir, *bucket);
+            if block.entries.is_empty() {
+                dels.push(key);
+            } else {
+                puts.push((key, Bytes::from(block.to_bytes())));
+            }
+        }
+        self.meta
+            .batched_puts
+            .fetch_add(puts.len() as u64, Ordering::Relaxed);
+        self.meta
+            .batched_deletes
+            .fetch_add(dels.len() as u64, Ordering::Relaxed);
+        for flight in puts.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.put_many(port, flight.to_vec()) {
+                res.map_err(map_os_err)?;
+            }
+        }
+        for flight in dels.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.delete_many(port, flight) {
+                match res {
+                    Ok(()) | Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Delete every dentry bucket of a directory.
     pub fn delete_buckets(&self, port: &Port, dir: Ino) -> FsResult<()> {
         let keys = self
@@ -115,10 +323,15 @@ impl Prt {
         if keys.is_empty() {
             return Ok(());
         }
-        for res in self.store.delete_many(port, &keys) {
-            match res {
-                Ok(()) | Err(OsError::NotFound) => {}
-                Err(e) => return Err(map_os_err(e)),
+        self.meta
+            .batched_deletes
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        for flight in keys.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.delete_many(port, flight) {
+                match res {
+                    Ok(()) | Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
             }
         }
         Ok(())
@@ -154,6 +367,55 @@ impl Prt {
             Ok(()) | Err(OsError::NotFound) => Ok(()),
             Err(e) => Err(map_os_err(e)),
         }
+    }
+
+    /// Batched journal-object fetch: one pipelined multi-GET over the
+    /// sequence numbers. A missing object (raced truncate) yields `None`.
+    pub fn get_journal_many(
+        &self,
+        port: &Port,
+        dir: Ino,
+        seqs: &[u64],
+    ) -> FsResult<Vec<Option<Bytes>>> {
+        if seqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.meta
+            .batched_gets
+            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+        let keys: Vec<ObjectKey> = seqs.iter().map(|&s| ObjectKey::journal(dir, s)).collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for flight in keys.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.get_many(port, flight) {
+                out.push(match res {
+                    Ok(data) => Some(data),
+                    Err(OsError::NotFound) => None,
+                    Err(e) => return Err(map_os_err(e)),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched journal truncation: one pipelined multi-DELETE, missing
+    /// objects tolerated (idempotent).
+    pub fn delete_journal_many(&self, port: &Port, dir: Ino, seqs: &[u64]) -> FsResult<()> {
+        if seqs.is_empty() {
+            return Ok(());
+        }
+        self.meta
+            .batched_deletes
+            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+        let keys: Vec<ObjectKey> = seqs.iter().map(|&s| ObjectKey::journal(dir, s)).collect();
+        for flight in keys.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.delete_many(port, flight) {
+                match res {
+                    Ok(()) | Err(OsError::NotFound) => {}
+                    Err(e) => return Err(map_os_err(e)),
+                }
+            }
+        }
+        Ok(())
     }
 
     // ---- file data -------------------------------------------------------

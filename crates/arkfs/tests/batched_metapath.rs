@@ -1,0 +1,602 @@
+//! Acceptance and differential tests for the batched metadata path:
+//! metatable load (leader takeover), checkpoint, and journal recovery
+//! must fan their object I/O out in batched store calls — paying the
+//! slowest object instead of one round trip per object — while leaving
+//! the store byte-identical to the seed's serial per-object loops.
+
+use arkfs::journal::{JournalOp, Transaction};
+use arkfs::meta::{dentry_bucket, DentryBlock, DentryEntry, InodeRecord};
+use arkfs::metatable::{recover_directory, Metatable};
+use arkfs::prt::Prt;
+use arkfs::wire::WireError;
+use arkfs_objstore::{ClusterConfig, ObjectCluster, ObjectKey, ObjectStore, StoreProfile};
+use arkfs_simkit::{ClusterSpec, Port, SharedResource};
+use arkfs_vfs::{FileType, FsError, Ino};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+const DIR: Ino = 100;
+
+fn dir_rec() -> InodeRecord {
+    InodeRecord::new(DIR, FileType::Directory, 0o755, 0, 0, 0)
+}
+
+fn file_rec(ino: Ino) -> InodeRecord {
+    InodeRecord::new(ino, FileType::Regular, 0o644, 0, 0, 0)
+}
+
+/// Every stored (key, bytes) pair, sorted by key; replicas dedupe.
+fn store_contents(cluster: &Arc<ObjectCluster>) -> Vec<(ObjectKey, Bytes)> {
+    let port = Port::new();
+    cluster
+        .list(&port, None, None)
+        .unwrap()
+        .into_iter()
+        .map(|key| {
+            let data = cluster.get(&port, key).unwrap();
+            (key, data)
+        })
+        .collect()
+}
+
+/// The seed's serial recovery loop, kept as the reference the batched
+/// [`recover_directory`] must agree with: one GET per journal object,
+/// one GET per base-state object, one PUT/DELETE per written-back
+/// object. Handles the four basic ops (no 2PC records — the callers
+/// here never generate them). Returns (replayed, next_seq).
+fn serial_recover(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> (usize, u64) {
+    let seqs = prt.list_journal(port, dir_ino).unwrap();
+    let next_seq = seqs.last().map_or(0, |s| s + 1);
+    let mut txns = Vec::new();
+    for &s in &seqs {
+        match prt.get_journal(port, dir_ino, s) {
+            Ok(data) => match Transaction::unseal(&data) {
+                Ok(t) => txns.push(t),
+                Err(WireError::BadChecksum) | Err(WireError::Truncated) => {}
+                Err(e) => panic!("reference recovery: {e:?}"),
+            },
+            Err(FsError::NotFound) => {}
+            Err(e) => panic!("reference recovery: {e:?}"),
+        }
+    }
+    txns.sort_by_key(|t| t.seq);
+    if txns.is_empty() {
+        return (0, next_seq);
+    }
+    let mut dir = match prt.load_inode(port, dir_ino) {
+        Ok(rec) => Some(rec),
+        Err(FsError::NotFound) => None,
+        Err(e) => panic!("reference recovery: {e:?}"),
+    };
+    let mut dentries: HashMap<String, DentryEntry> = HashMap::new();
+    for b in 0..buckets {
+        for e in prt.load_bucket(port, dir_ino, b).unwrap().entries {
+            dentries.insert(e.name.clone(), e);
+        }
+    }
+    let mut put_inodes: HashMap<Ino, InodeRecord> = HashMap::new();
+    let mut del_inodes: HashSet<Ino> = HashSet::new();
+    for txn in &txns {
+        for op in &txn.ops {
+            match op {
+                JournalOp::PutInode(rec) => {
+                    if rec.ino == dir_ino {
+                        dir = Some(rec.clone());
+                    } else {
+                        del_inodes.remove(&rec.ino);
+                        put_inodes.insert(rec.ino, rec.clone());
+                    }
+                }
+                JournalOp::DeleteInode(ino) => {
+                    put_inodes.remove(ino);
+                    del_inodes.insert(*ino);
+                }
+                JournalOp::UpsertDentry { name, ino, ftype } => {
+                    dentries.insert(
+                        name.clone(),
+                        DentryEntry {
+                            name: name.clone(),
+                            ino: *ino,
+                            ftype: *ftype,
+                        },
+                    );
+                }
+                JournalOp::RemoveDentry { name } => {
+                    dentries.remove(name);
+                }
+                other => panic!("reference recovery: unexpected 2PC op {other:?}"),
+            }
+        }
+    }
+    if let Some(d) = &dir {
+        prt.store_inode(port, d).unwrap();
+    }
+    for rec in put_inodes.values() {
+        prt.store_inode(port, rec).unwrap();
+    }
+    for &ino in &del_inodes {
+        prt.delete_inode(port, ino).unwrap();
+    }
+    for b in 0..buckets {
+        prt.store_bucket(port, dir_ino, b, &bucket_of(&dentries, b, buckets))
+            .unwrap();
+    }
+    for &s in &seqs {
+        prt.delete_journal(port, dir_ino, s).unwrap();
+    }
+    (txns.len(), next_seq)
+}
+
+fn bucket_of(dentries: &HashMap<String, DentryEntry>, bucket: u64, buckets: u64) -> DentryBlock {
+    let mut entries: Vec<DentryEntry> = dentries
+        .values()
+        .filter(|e| dentry_bucket(&e.name, buckets) == bucket)
+        .cloned()
+        .collect();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    DentryBlock { entries }
+}
+
+// ---- acceptance: takeover and checkpoint halve the serial virtual time --------
+
+mod acceptance {
+    use super::*;
+
+    const BUCKETS: u64 = 128;
+    const ENTRIES: u64 = 1024;
+    const EXTRA: u64 = 8;
+    const CHUNK: u64 = 64 * 1024;
+
+    fn rados_cluster() -> Arc<ObjectCluster> {
+        Arc::new(ObjectCluster::new(ClusterConfig::rados(
+            ClusterSpec::aws_paper(),
+        )))
+    }
+
+    /// A flushed 1024-entry directory plus a few committed-but-not-
+    /// checkpointed creates the crash leaves in the journal, so the next
+    /// leader's takeover includes recovery. Timelines reset afterwards so
+    /// the measured takeover starts on an idle store.
+    fn populate(cluster: &Arc<ObjectCluster>) {
+        let prt = Prt::new(Arc::clone(cluster) as Arc<dyn ObjectStore>, CHUNK);
+        let port = Port::new();
+        let lane = SharedResource::ideal("setup-lane");
+        prt.store_inode(&port, &dir_rec()).unwrap();
+        let mut mt = Metatable::fresh(dir_rec(), BUCKETS, 1000);
+        for i in 0..ENTRIES {
+            mt.create_child(file_rec(1000 + i as Ino), &format!("f{i:04}"), i)
+                .unwrap();
+        }
+        mt.flush(&prt, &port, &lane, 0).unwrap();
+        for i in 0..EXTRA {
+            mt.create_child(file_rec(5000 + i as Ino), &format!("x{i}"), 2000 + i)
+                .unwrap();
+        }
+        mt.journal.commit(&prt, &port, &lane, 0).unwrap();
+        drop(mt); // crash before checkpoint
+        cluster.reset_timelines();
+    }
+
+    /// The seed's serial takeover: serial recovery, then the double
+    /// journal LIST to compute the resume point, then one GET per bucket
+    /// and one GET per child inode.
+    fn serial_takeover(
+        prt: &Prt,
+        port: &Port,
+        dir_ino: Ino,
+        buckets: u64,
+    ) -> (
+        InodeRecord,
+        HashMap<String, DentryEntry>,
+        HashMap<Ino, InodeRecord>,
+    ) {
+        serial_recover(prt, port, dir_ino, buckets);
+        let _resume = prt
+            .list_journal(port, dir_ino)
+            .unwrap()
+            .last()
+            .map_or(0, |s| s + 1);
+        let dir = prt.load_inode(port, dir_ino).unwrap();
+        let mut dentries = HashMap::new();
+        for b in 0..buckets {
+            for e in prt.load_bucket(port, dir_ino, b).unwrap().entries {
+                dentries.insert(e.name.clone(), e);
+            }
+        }
+        let mut children = HashMap::new();
+        for e in dentries.values() {
+            if e.ftype != FileType::Directory {
+                children.insert(e.ino, prt.load_inode(port, e.ino).unwrap());
+            }
+        }
+        (dir, dentries, children)
+    }
+
+    #[test]
+    fn takeover_of_1024_entry_directory_halves_serial_virtual_time() {
+        let c_serial = rados_cluster();
+        populate(&c_serial);
+        let c_batched = rados_cluster();
+        populate(&c_batched);
+
+        let prt_serial = Prt::new(Arc::clone(&c_serial) as Arc<dyn ObjectStore>, CHUNK);
+        let serial_port = Port::new();
+        let (sdir, sdentries, schildren) = serial_takeover(&prt_serial, &serial_port, DIR, BUCKETS);
+
+        let prt_batched = Prt::new(Arc::clone(&c_batched) as Arc<dyn ObjectStore>, CHUNK);
+        let batched_port = Port::new();
+        let mt = Metatable::load(&prt_batched, &batched_port, DIR, BUCKETS, 1000).unwrap();
+
+        // Identical in-memory takeover results.
+        assert_eq!(mt.len() as u64, ENTRIES + EXTRA);
+        assert_eq!(mt.len(), sdentries.len());
+        assert_eq!(mt.dir, sdir);
+        for e in mt.readdir() {
+            let s = &sdentries[&e.name];
+            assert_eq!((s.ino, s.ftype), (e.ino, e.ftype), "dentry {}", e.name);
+            assert_eq!(
+                mt.child_inode(e.ino),
+                schildren.get(&e.ino),
+                "child inode {}",
+                e.name
+            );
+        }
+        // Identical store contents after the recovery write-back.
+        assert_eq!(store_contents(&c_batched), store_contents(&c_serial));
+        assert!(
+            batched_port.now() * 2 <= serial_port.now(),
+            "batched takeover must take <= 1/2 the serial virtual time \
+             (batched {} ns vs serial {} ns)",
+            batched_port.now(),
+            serial_port.now()
+        );
+    }
+
+    const CKPT_CHILDREN: u64 = 256;
+
+    /// A directory with 256 dirty (never-checkpointed) children and one
+    /// committed journal transaction, on a reset timeline.
+    fn dirty_table(cluster: &Arc<ObjectCluster>) -> (Prt, Metatable) {
+        let prt = Prt::new(Arc::clone(cluster) as Arc<dyn ObjectStore>, CHUNK);
+        let port = Port::new();
+        let lane = SharedResource::ideal("setup-lane");
+        prt.store_inode(&port, &dir_rec()).unwrap();
+        let mut mt = Metatable::fresh(dir_rec(), BUCKETS, 1000);
+        for i in 0..CKPT_CHILDREN {
+            mt.create_child(file_rec(1000 + i as Ino), &format!("c{i:03}"), i)
+                .unwrap();
+        }
+        mt.journal.commit(&prt, &port, &lane, 0).unwrap();
+        cluster.reset_timelines();
+        (prt, mt)
+    }
+
+    #[test]
+    fn checkpoint_of_dirty_children_halves_serial_virtual_time() {
+        // The seed's serial checkpoint: one round trip per dirty object.
+        let c_serial = rados_cluster();
+        let (prt_s, mt_s) = dirty_table(&c_serial);
+        let serial_port = Port::new();
+        prt_s.store_inode(&serial_port, &mt_s.dir).unwrap();
+        let entries: HashMap<String, DentryEntry> = mt_s
+            .readdir()
+            .into_iter()
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    DentryEntry {
+                        name: e.name,
+                        ino: e.ino,
+                        ftype: e.ftype,
+                    },
+                )
+            })
+            .collect();
+        for e in entries.values() {
+            prt_s
+                .store_inode(&serial_port, mt_s.child_inode(e.ino).unwrap())
+                .unwrap();
+        }
+        let dirty: HashSet<u64> = entries
+            .values()
+            .map(|e| dentry_bucket(&e.name, BUCKETS))
+            .collect();
+        for &b in &dirty {
+            prt_s
+                .store_bucket(&serial_port, DIR, b, &bucket_of(&entries, b, BUCKETS))
+                .unwrap();
+        }
+        prt_s.delete_journal(&serial_port, DIR, 0).unwrap();
+
+        // The batched checkpoint.
+        let c_batched = rados_cluster();
+        let (prt_b, mut mt_b) = dirty_table(&c_batched);
+        let batched_port = Port::new();
+        mt_b.checkpoint(&prt_b, &batched_port).unwrap();
+
+        assert_eq!(store_contents(&c_batched), store_contents(&c_serial));
+        assert!(
+            batched_port.now() * 2 <= serial_port.now(),
+            "batched checkpoint must take <= 1/2 the serial virtual time \
+             (batched {} ns vs serial {} ns)",
+            batched_port.now(),
+            serial_port.now()
+        );
+    }
+}
+
+// ---- property: batched paths are byte-identical to the serial reference -------
+
+const PBUCKETS: u64 = 4;
+
+fn test_cluster(s3: bool) -> (Arc<ObjectCluster>, Prt) {
+    let mut cfg = ClusterConfig::test_tiny();
+    if s3 {
+        cfg.profile = StoreProfile::s3(&cfg.spec);
+    }
+    let cluster = Arc::new(ObjectCluster::new(cfg));
+    let prt = Prt::new(Arc::clone(&cluster) as Arc<dyn ObjectStore>, 64);
+    (cluster, prt)
+}
+
+#[derive(Debug, Clone)]
+enum RecOp {
+    PutInode(u128, u64),
+    DeleteInode(u128),
+    Upsert(String, u128),
+    Remove(String),
+}
+
+fn arb_rec_op() -> impl Strategy<Value = RecOp> {
+    prop_oneof![
+        (2u128..60, any::<u64>()).prop_map(|(i, s)| RecOp::PutInode(i, s)),
+        (2u128..60).prop_map(RecOp::DeleteInode),
+        ("[a-e]{1,3}", 2u128..60).prop_map(|(n, i)| RecOp::Upsert(n, i)),
+        "[a-e]{1,3}".prop_map(RecOp::Remove),
+    ]
+}
+
+fn to_journal_op(op: &RecOp) -> JournalOp {
+    match op {
+        RecOp::PutInode(ino, size) => {
+            let mut rec = file_rec(*ino);
+            rec.size = *size;
+            JournalOp::PutInode(rec)
+        }
+        RecOp::DeleteInode(ino) => JournalOp::DeleteInode(*ino),
+        RecOp::Upsert(name, ino) => JournalOp::UpsertDentry {
+            name: name.clone(),
+            ino: *ino,
+            ftype: FileType::Regular,
+        },
+        RecOp::Remove(name) => JournalOp::RemoveDentry { name: name.clone() },
+    }
+}
+
+/// Differential recovery: identical base state + journal stream (some
+/// transactions torn) on two clusters; batched recovery on one, the
+/// serial reference on the other; both must agree on what was replayed
+/// and leave byte-identical stores.
+fn run_recovery_case(
+    base_inodes: &[(u128, u64)],
+    base_dentries: &[(String, u128)],
+    txns: &[(Vec<RecOp>, bool)],
+    s3: bool,
+) {
+    let (c_a, prt_a) = test_cluster(s3);
+    let (c_b, prt_b) = test_cluster(s3);
+    let setup = Port::new();
+    for prt in [&prt_a, &prt_b] {
+        prt.store_inode(&setup, &dir_rec()).unwrap();
+        for &(ino, size) in base_inodes {
+            let mut rec = file_rec(ino);
+            rec.size = size;
+            prt.store_inode(&setup, &rec).unwrap();
+        }
+        let mut dentries: HashMap<String, DentryEntry> = HashMap::new();
+        for (name, ino) in base_dentries {
+            dentries.insert(
+                name.clone(),
+                DentryEntry {
+                    name: name.clone(),
+                    ino: *ino,
+                    ftype: FileType::Regular,
+                },
+            );
+        }
+        for b in 0..PBUCKETS {
+            let block = bucket_of(&dentries, b, PBUCKETS);
+            if !block.entries.is_empty() {
+                prt.store_bucket(&setup, DIR, b, &block).unwrap();
+            }
+        }
+        for (seq, (ops, torn)) in txns.iter().enumerate() {
+            let sealed = Transaction {
+                dir: DIR,
+                seq: seq as u64,
+                ops: ops.iter().map(to_journal_op).collect(),
+            }
+            .seal();
+            let bytes = if *torn {
+                sealed.slice(..sealed.len().saturating_sub(3))
+            } else {
+                sealed
+            };
+            prt.put_journal(&setup, DIR, seq as u64, bytes).unwrap();
+        }
+    }
+
+    let port_a = Port::new();
+    let batched = recover_directory(&prt_a, &port_a, DIR, PBUCKETS).unwrap();
+    let port_b = Port::new();
+    let (replayed_s, next_s) = serial_recover(&prt_b, &port_b, DIR, PBUCKETS);
+
+    assert_eq!(batched.replayed, replayed_s);
+    assert_eq!(batched.next_seq, next_s);
+    assert_eq!(store_contents(&c_a), store_contents(&c_b));
+}
+
+proptest! {
+    #[test]
+    fn batched_recovery_matches_sequential_reference_rados(
+        base_inodes in prop::collection::vec((2u128..60, any::<u64>()), 0..8),
+        base_dentries in prop::collection::vec(("[a-e]{1,3}", 2u128..60), 0..8),
+        txns in prop::collection::vec((prop::collection::vec(arb_rec_op(), 1..6), any::<bool>()), 0..6),
+    ) {
+        run_recovery_case(&base_inodes, &base_dentries, &txns, false);
+    }
+
+    #[test]
+    fn batched_recovery_matches_sequential_reference_s3(
+        base_inodes in prop::collection::vec((2u128..60, any::<u64>()), 0..8),
+        base_dentries in prop::collection::vec(("[a-e]{1,3}", 2u128..60), 0..8),
+        txns in prop::collection::vec((prop::collection::vec(arb_rec_op(), 1..6), any::<bool>()), 0..6),
+    ) {
+        run_recovery_case(&base_inodes, &base_dentries, &txns, true);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LcOp {
+    Create(String, u128),
+    Unlink(String),
+    Rename(String, String),
+    SetSize(u8, u64),
+    Subdir(String, u128),
+    RmSubdir(String),
+    Commit,
+    Checkpoint,
+}
+
+fn arb_lc_op() -> impl Strategy<Value = LcOp> {
+    prop_oneof![
+        ("[a-f]{1,3}", 10u128..100).prop_map(|(n, i)| LcOp::Create(n, i)),
+        "[a-f]{1,3}".prop_map(LcOp::Unlink),
+        ("[a-f]{1,3}", "[a-f]{1,3}").prop_map(|(a, b)| LcOp::Rename(a, b)),
+        (any::<u8>(), any::<u64>()).prop_map(|(s, z)| LcOp::SetSize(s, z)),
+        ("[g-h]{1,2}", 200u128..250).prop_map(|(n, i)| LcOp::Subdir(n, i)),
+        "[g-h]{1,2}".prop_map(LcOp::RmSubdir),
+        Just(LcOp::Commit),
+        Just(LcOp::Checkpoint),
+    ]
+}
+
+/// Differential lifecycle: drive one metatable through a random op
+/// sequence with interleaved commits and (batched) checkpoints, then
+/// write the final durable state onto a second cluster with the serial
+/// per-object primitives. The stores must be byte-identical, and a
+/// batched reload must reproduce the in-memory table.
+fn run_lifecycle_case(ops: &[LcOp], s3: bool) {
+    let (c_a, prt_a) = test_cluster(s3);
+    let port = Port::new();
+    let lane = SharedResource::ideal("lane");
+    prt_a.store_inode(&port, &dir_rec()).unwrap();
+    let mut mt = Metatable::fresh(dir_rec(), PBUCKETS, 1000);
+    for (t, op) in ops.iter().enumerate() {
+        let now = t as u64;
+        match op {
+            LcOp::Create(name, base) => {
+                // Unique ino per creation event.
+                let rec = file_rec(base + 1000 * t as u128);
+                let _ = mt.create_child(rec, name, now);
+            }
+            LcOp::Unlink(name) => {
+                let _ = mt.unlink_child(name, now);
+            }
+            LcOp::Rename(from, to) => {
+                if from != to {
+                    let _ = mt.rename_local(from, to, now);
+                }
+            }
+            LcOp::SetSize(sel, size) => {
+                let files: Vec<Ino> = mt
+                    .readdir()
+                    .into_iter()
+                    .filter(|e| e.ftype != FileType::Directory)
+                    .map(|e| e.ino)
+                    .collect();
+                if !files.is_empty() {
+                    mt.set_child_size(files[*sel as usize % files.len()], *size, now)
+                        .unwrap();
+                }
+            }
+            LcOp::Subdir(name, ino) => {
+                let _ = mt.add_subdir(name, *ino, now);
+            }
+            LcOp::RmSubdir(name) => {
+                let _ = mt.remove_subdir(name, now);
+            }
+            LcOp::Commit => {
+                mt.journal.commit(&prt_a, &port, &lane, 0).unwrap();
+            }
+            LcOp::Checkpoint => {
+                mt.journal.commit(&prt_a, &port, &lane, 0).unwrap();
+                mt.checkpoint(&prt_a, &port).unwrap();
+            }
+        }
+    }
+    mt.journal.commit(&prt_a, &port, &lane, 0).unwrap();
+    mt.checkpoint(&prt_a, &port).unwrap();
+    assert!(mt.journal.is_quiescent());
+
+    // Serial reference: the final durable state, one object at a time.
+    // (A clean object's stored bytes always equal its current encoding,
+    // so writing everything live reproduces the incremental result.)
+    let (c_b, prt_b) = test_cluster(s3);
+    let port_b = Port::new();
+    prt_b.store_inode(&port_b, &mt.dir).unwrap();
+    let entries: HashMap<String, DentryEntry> = mt
+        .readdir()
+        .into_iter()
+        .map(|e| {
+            (
+                e.name.clone(),
+                DentryEntry {
+                    name: e.name,
+                    ino: e.ino,
+                    ftype: e.ftype,
+                },
+            )
+        })
+        .collect();
+    for e in entries.values() {
+        if e.ftype != FileType::Directory {
+            prt_b
+                .store_inode(&port_b, mt.child_inode(e.ino).unwrap())
+                .unwrap();
+        }
+    }
+    for b in 0..PBUCKETS {
+        let block = bucket_of(&entries, b, PBUCKETS);
+        if !block.entries.is_empty() {
+            prt_b.store_bucket(&port_b, DIR, b, &block).unwrap();
+        }
+    }
+    assert_eq!(store_contents(&c_a), store_contents(&c_b));
+
+    // A batched reload reproduces the table.
+    let loaded = Metatable::load(&prt_a, &port, DIR, PBUCKETS, 1000).unwrap();
+    assert_eq!(loaded.dir, mt.dir);
+    assert_eq!(loaded.readdir(), mt.readdir());
+    for e in loaded.readdir() {
+        assert_eq!(loaded.child_inode(e.ino), mt.child_inode(e.ino));
+    }
+}
+
+proptest! {
+    #[test]
+    fn batched_lifecycle_matches_sequential_reference_rados(
+        ops in prop::collection::vec(arb_lc_op(), 1..60),
+    ) {
+        run_lifecycle_case(&ops, false);
+    }
+
+    #[test]
+    fn batched_lifecycle_matches_sequential_reference_s3(
+        ops in prop::collection::vec(arb_lc_op(), 1..60),
+    ) {
+        run_lifecycle_case(&ops, true);
+    }
+}

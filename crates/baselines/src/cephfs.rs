@@ -429,9 +429,21 @@ impl Vfs for CephClient {
                 })
                 .collect()
         };
-        for (ino, size, path) in pending {
-            self.charge_meta(&path);
-            self.shared.ns.lock().set_size(ino, size, self.port.now())?;
+        if !pending.is_empty() {
+            // The kernel client coalesces dirty caps into one MDS
+            // request flight at fsync; grant the FUSE daemon the same
+            // single crossing. Batched with max-of-completions pricing
+            // like ArkFS's metadata flush, so the comparison stays fair.
+            if self.mount == MountType::Fuse {
+                let cost = 3 * self.shared.spec.fuse_op_cost * 2;
+                let done = self.shared.fuse_daemon.reserve(self.port.now(), cost);
+                self.port.wait_until(done);
+            }
+            let hints: Vec<u64> = pending.iter().map(|(_, _, p)| dir_hint(p)).collect();
+            self.shared.mds.metadata_ops_batched(&self.port, &hints);
+            for (ino, size, _) in pending {
+                self.shared.ns.lock().set_size(ino, size, self.port.now())?;
+            }
         }
         Ok(())
     }

@@ -250,7 +250,33 @@ impl Vfs for MarFs {
     }
 
     fn sync_all(&self, _ctx: &Credentials) -> FsResult<()> {
-        Ok(()) // nothing buffered client-side
+        // Data is unbuffered (writes go straight to the object tier),
+        // but written handles may still carry un-pushed size updates.
+        // Flush them as one FUSE crossing plus one batched GPFS-MDS
+        // flight (max-of-completions), matching the batched flush the
+        // other systems get.
+        let pending: Vec<(Ino, u64)> = {
+            let mut handles = self.handles.lock();
+            handles
+                .values_mut()
+                .filter(|h| h.2)
+                .map(|h| {
+                    h.2 = false;
+                    (h.0, h.1)
+                })
+                .collect()
+        };
+        if !pending.is_empty() {
+            let cost = self.shared.spec.fuse_op_cost * 2;
+            let done = self.fuse_lock.reserve(self.port.now(), cost);
+            self.port.wait_until(done);
+            let hints: Vec<u64> = pending.iter().map(|&(ino, _)| ino as u64).collect();
+            self.shared.mds.metadata_ops_batched(&self.port, &hints);
+            for (ino, size) in pending {
+                self.shared.ns.lock().set_size(ino, size, self.port.now())?;
+            }
+        }
+        Ok(())
     }
 }
 

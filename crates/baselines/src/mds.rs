@@ -126,6 +126,43 @@ impl MdsCluster {
         }
         port.wait_until(done + self.net_half_rtt);
     }
+
+    /// Charge a batch of metadata operations issued in one shot: the
+    /// caller pays one network half-RTT to get the batch onto the wire,
+    /// each op is serviced by its authoritative server (ops for the
+    /// same server still queue behind each other), and the caller waits
+    /// for the slowest completion plus the return half-RTT. This grants
+    /// the baselines the same max-of-completions pricing as ArkFS's
+    /// batched object path, so flush-time comparisons stay apples to
+    /// apples. Forwarding and migration penalties still apply per op.
+    pub fn metadata_ops_batched(&self, port: &Port, dir_hints: &[u64]) {
+        if dir_hints.is_empty() {
+            return;
+        }
+        let n = self.servers.len();
+        let t0 = port.advance(self.net_half_rtt);
+        let mut latest = t0;
+        for &hint in dir_hints {
+            let seq = self.ops.fetch_add(1, Ordering::Relaxed);
+            let primary = (hint % n as u64) as usize;
+            let mut done = self.servers[primary].reserve(t0, self.model.op_service);
+            if n > 1 {
+                if (seq + 1).is_multiple_of(self.model.forward_every) {
+                    let other = (primary + 1) % n;
+                    let t1 = done + self.net_half_rtt;
+                    done = self.servers[other].reserve(t1, self.model.op_service);
+                }
+                if seq % self.model.migrate_every == self.model.migrate_every - 1 {
+                    let other = (primary + 1) % n;
+                    let m1 = self.servers[primary].reserve(done, self.model.migrate_cost);
+                    let m2 = self.servers[other].reserve(done, self.model.migrate_cost);
+                    done = m1.max(m2);
+                }
+            }
+            latest = latest.max(done);
+        }
+        port.wait_until(latest + self.net_half_rtt);
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +255,29 @@ mod tests {
         mds.metadata_op(&port, 0);
         mds.metadata_op(&port, 0);
         assert!(port.now() >= spec.mds_op_service * 6);
+    }
+
+    #[test]
+    fn batched_ops_pay_max_of_completions() {
+        let spec = spec();
+        // 4 servers, no forwarding/migration: 4 ops on 4 distinct
+        // servers cost one RTT + one service time, not four.
+        let mds = MdsCluster::new(4, MdsModel::marfs(&spec), &spec);
+        let port = Port::new();
+        mds.metadata_ops_batched(&port, &[0, 1, 2, 3]);
+        assert_eq!(port.now(), spec.net_rtt() + spec.mds_op_service * 3);
+        assert_eq!(mds.ops_served(), 4);
+
+        // Same server: the batch serializes at the server but still
+        // pays only one round trip.
+        let serial = Port::new();
+        mds.metadata_ops_batched(&serial, &[4, 4, 4, 4]);
+        assert!(serial.now() >= spec.net_rtt() + spec.mds_op_service * 12);
+
+        // Empty batch is free.
+        let free = Port::new();
+        mds.metadata_ops_batched(&free, &[]);
+        assert_eq!(free.now(), 0);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
 use arkfs_bench::{
-    ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table, save_results,
-    System,
+    ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table,
+    save_bench_json, save_results, BenchRecord, System,
 };
 use arkfs_workloads::mdtest::{mdtest_easy, MdtestEasyConfig};
 
@@ -29,6 +29,7 @@ fn main() {
         create_only: false,
     };
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for system in systems {
         let result = mdtest_easy(&system.clients, &cfg).expect("mdtest-easy");
         let get = |name: &str| result.phase(name).map(|p| p.ops_per_sec()).unwrap_or(0.0);
@@ -38,6 +39,15 @@ fn main() {
             kops(get("stat")),
             kops(get("delete")),
         ]);
+        records.push(BenchRecord {
+            group: "mdtest-easy".to_string(),
+            system: system.name.clone(),
+            metrics: vec![
+                ("create_ops_s".to_string(), get("create")),
+                ("stat_ops_s".to_string(), get("stat")),
+                ("delete_ops_s".to_string(), get("delete")),
+            ],
+        });
         eprintln!("fig4: {} done", system.name);
     }
     let lines = print_table(
@@ -46,4 +56,9 @@ fn main() {
         &rows,
     );
     save_results("fig4", &lines);
+    save_bench_json(
+        "fig4",
+        &[("files", files as f64), ("procs", procs as f64)],
+        &records,
+    );
 }
