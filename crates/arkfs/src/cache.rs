@@ -12,8 +12,10 @@
 //! a dirty entry hands it back to the caller for write-back.
 
 use crate::radix::RadixTree;
+use arkfs_telemetry::Counter;
 use arkfs_vfs::Ino;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dirty entry displaced by eviction; the caller must write it back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +45,9 @@ pub struct DataCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Registry counters mirrored on hit/miss when attached
+    /// (`cache.hit.count` / `cache.miss.count`).
+    counters: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl DataCache {
@@ -56,7 +61,13 @@ impl DataCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            counters: None,
         }
+    }
+
+    /// Mirror hit/miss accounting into registry counters.
+    pub fn attach_counters(&mut self, hit: Arc<Counter>, miss: Arc<Counter>) {
+        self.counters = Some((hit, miss));
     }
 
     pub fn len(&self) -> usize {
@@ -94,10 +105,16 @@ impl DataCache {
             Some(entry) => {
                 entry.tick = tick;
                 self.hits += 1;
+                if let Some((hit, _)) = &self.counters {
+                    hit.inc();
+                }
                 Some((&entry.data, entry.ready_at))
             }
             None => {
                 self.misses += 1;
+                if let Some((_, miss)) = &self.counters {
+                    miss.inc();
+                }
                 None
             }
         }

@@ -18,6 +18,7 @@ use arkfs_lease::{FileLeaseDecision, LeaseRequest, LeaseResponse};
 use arkfs_netsim::{NetError, NodeId, Service};
 use arkfs_objstore::ObjectKey;
 use arkfs_simkit::{Nanos, Port, SharedResource};
+use arkfs_telemetry::{Counter, LatencyHistogram, Telemetry, PID_CLIENT};
 use arkfs_vfs::{
     path as vpath, perm, Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult,
     FsStats, Ino, OpenFlags, SetAttr, Stat, Vfs, AM_EXEC, AM_READ, AM_WRITE, ROOT_INO,
@@ -32,30 +33,6 @@ use std::sync::Arc;
 
 /// How often a non-leader retries lease acquisition before giving up.
 const MAX_LEASE_RETRIES: usize = 16;
-
-/// Data-path counters surfaced by [`ArkClient::stats`]: cache behaviour
-/// is per client, the batched-op totals come from the shared object
-/// store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ClientStats {
-    pub cache_hits: u64,
-    pub cache_misses: u64,
-    /// Batched multi-ops (get/put/range/delete `_many`) the store served.
-    pub store_batch_calls: u64,
-    /// Total items fanned out across those batched calls.
-    pub store_batch_items: u64,
-    /// Metadata objects fetched through batched GETs (metatable loads,
-    /// journal scans, recovery base states).
-    pub meta_batch_gets: u64,
-    /// Metadata objects written through batched PUTs (checkpoints,
-    /// recovery write-backs).
-    pub meta_batch_puts: u64,
-    /// Metadata objects removed through batched DELETEs (journal
-    /// truncation, deleted children, bucket sweeps).
-    pub meta_batch_deletes: u64,
-    /// Objects pulled by leader takeovers (`Metatable::load`).
-    pub takeover_objects_loaded: u64,
-}
 
 /// A cached view of a remote directory used in permission-cache mode
 /// (§III-C): its inode (permissions + stat) and recent lookup results,
@@ -108,6 +85,15 @@ pub(crate) struct ClientState {
     lanes: Vec<SharedResource>,
     rng: Mutex<StdRng>,
     crashed: AtomicBool,
+    /// Deployment-wide telemetry (shared with the object store and
+    /// lease managers).
+    telemetry: Arc<Telemetry>,
+    /// Registry handles for the data-cache hit/miss counters, cloned
+    /// into every [`DataCache`] this client creates.
+    cache_counters: (Arc<Counter>, Arc<Counter>),
+    /// Per-op latency histograms, resolved lazily from the registry
+    /// (`op.<name>.latency_ns`).
+    op_hists: Mutex<HashMap<&'static str, Arc<LatencyHistogram>>>,
     /// Flush epoch: bumped by every `sync_all`. `statfs` memoizes its
     /// inode count per epoch (see [`ArkClient::statfs`]).
     flush_epoch: AtomicU64,
@@ -142,6 +128,13 @@ impl ArkClient {
         let lanes = (0..config.journal_lanes.max(1))
             .map(|_| SharedResource::ideal("commit-lane"))
             .collect();
+        let telemetry = Arc::clone(cluster.telemetry());
+        let cache_counters = (
+            telemetry.registry.counter("cache.hit.count"),
+            telemetry.registry.counter("cache.miss.count"),
+        );
+        let mut cache = DataCache::new(config.cache_entries);
+        cache.attach_counters(Arc::clone(&cache_counters.0), Arc::clone(&cache_counters.1));
         let state = Arc::new(ClientState {
             id,
             cluster: Arc::clone(&cluster),
@@ -151,11 +144,14 @@ impl ArkClient {
             pcache: Mutex::new(HashMap::new()),
             handles: Mutex::new(HashMap::new()),
             next_handle: AtomicU64::new(1),
-            cache: Mutex::new(DataCache::new(config.cache_entries)),
+            cache: Mutex::new(cache),
             server: SharedResource::ideal("leader-server"),
             lanes,
             rng: Mutex::new(StdRng::seed_from_u64(0xA2F5_0000 ^ id.0 as u64)),
             crashed: AtomicBool::new(false),
+            telemetry,
+            cache_counters,
+            op_hists: Mutex::new(HashMap::new()),
             flush_epoch: AtomicU64::new(0),
             statfs_cache: Mutex::new(None),
         });
@@ -189,24 +185,12 @@ impl ArkClient {
         (c.hits(), c.misses())
     }
 
-    /// Data-path counters: this client's cache hits/misses plus the
-    /// batched-op totals of the shared object store (batch calls and the
-    /// items fanned out across them — store-wide, so multi-client fleets
-    /// see the same numbers from every client).
-    pub fn stats(&self) -> ClientStats {
-        let (cache_hits, cache_misses) = self.cache_stats();
-        let (store_batch_calls, store_batch_items) = self.prt().store().batch_stats();
-        let meta = self.prt().meta_stats();
-        ClientStats {
-            cache_hits,
-            cache_misses,
-            store_batch_calls,
-            store_batch_items,
-            meta_batch_gets: meta.batched_gets,
-            meta_batch_puts: meta.batched_puts,
-            meta_batch_deletes: meta.batched_deletes,
-            takeover_objects_loaded: meta.takeover_objects_loaded,
-        }
+    /// Deployment-wide telemetry: the metrics registry (counters,
+    /// gauges, latency histograms) and span tracer shared by this
+    /// client, the object store, the metadata path, and the lease
+    /// managers.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.state.telemetry
     }
 
     /// Drop all CLEAN cached data (the fio benchmark's "drop the cache
@@ -215,7 +199,7 @@ impl ArkClient {
     pub fn drop_data_cache(&self) -> FsResult<()> {
         let dirty = self.state.cache.lock().take_all_dirty();
         self.write_back(dirty)?;
-        *self.state.cache.lock() = DataCache::new(self.config().cache_entries);
+        *self.state.cache.lock() = self.state.fresh_cache(self.config().cache_entries);
         Ok(())
     }
 
@@ -229,7 +213,9 @@ impl ArkClient {
         self.state.leases.lock().clear();
         self.state.handles.lock().clear();
         self.state.pcache.lock().clear();
-        *self.state.cache.lock() = DataCache::new(self.state.cluster.config().cache_entries);
+        *self.state.cache.lock() = self
+            .state
+            .fresh_cache(self.state.cluster.config().cache_entries);
     }
 
     /// Flush everything and hand every directory lease back cleanly.
@@ -259,6 +245,21 @@ impl ArkClient {
 
     fn prt(&self) -> &Arc<Prt> {
         self.state.cluster.prt()
+    }
+
+    /// Run one client-facing op under telemetry: its virtual duration
+    /// feeds the `op.<name>.latency_ns` histogram, and (when tracing is
+    /// enabled) a span lands on this client's track.
+    fn traced<T>(&self, name: &'static str, f: impl FnOnce() -> FsResult<T>) -> FsResult<T> {
+        let start = self.port.now();
+        let r = f();
+        let end = self.port.now();
+        self.state.op_hist(name).record(end.saturating_sub(start));
+        let tracer = &self.state.telemetry.tracer;
+        if tracer.enabled() {
+            tracer.record(PID_CLIENT, self.state.id.0, name, "op", start, end);
+        }
+        r
     }
 
     fn fresh_ino(&self) -> Ino {
@@ -650,6 +651,30 @@ pub(crate) enum DirRef {
 }
 
 impl ClientState {
+    /// A new [`DataCache`] wired to the shared hit/miss counters.
+    fn fresh_cache(&self, entries: usize) -> DataCache {
+        let mut cache = DataCache::new(entries);
+        cache.attach_counters(
+            Arc::clone(&self.cache_counters.0),
+            Arc::clone(&self.cache_counters.1),
+        );
+        cache
+    }
+
+    /// The `op.<name>.latency_ns` histogram, memoized per op name.
+    fn op_hist(&self, name: &'static str) -> Arc<LatencyHistogram> {
+        let mut hists = self.op_hists.lock();
+        if let Some(h) = hists.get(name) {
+            return Arc::clone(h);
+        }
+        let h = self
+            .telemetry
+            .registry
+            .histogram(&format!("{name}.latency_ns"));
+        hists.insert(name, Arc::clone(&h));
+        h
+    }
+
     fn lane(&self, dir: Ino) -> &SharedResource {
         &self.lanes[(dir % self.lanes.len() as u128) as usize]
     }
@@ -1384,6 +1409,7 @@ impl ArkClient {
         if missing.is_empty() {
             return Ok(());
         }
+        let miss_start = self.port.now();
         // Chunks the request itself touches are fetched synchronously;
         // everything further out is the read-ahead window, fetched
         // *asynchronously* ("the file data belonging to the window is
@@ -1427,167 +1453,186 @@ impl ArkClient {
             }
         }
         self.port.wait_until(needed_done);
+        let tracer = &self.state.telemetry.tracer;
+        if tracer.enabled() {
+            tracer.record(
+                PID_CLIENT,
+                self.state.id.0,
+                "cache.miss",
+                "cache",
+                miss_start,
+                self.port.now(),
+            );
+        }
         self.write_back(evicted)
     }
 }
 
 impl Vfs for ArkClient {
     fn mkdir(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<Stat> {
-        let (parent, name) = self.resolve_parent(ctx, path)?;
-        vpath::validate_name(name)?;
-        let ino = self.fresh_ino();
-        let rec = InodeRecord::new(
-            ino,
-            FileType::Directory,
-            mode,
-            ctx.uid,
-            ctx.gid,
-            self.port.now(),
-        );
-        // The child directory's inode object is written eagerly so its
-        // first leader can load it (the dentry itself is journaled).
-        self.prt().store_inode(&self.port, &rec)?;
-        match self.on_dir(
-            ctx,
-            parent,
-            OpBody::AddSubdir {
-                dir: parent,
-                name: name.to_string(),
-                child: ino,
-            },
-        )? {
-            OpResponse::Ok => {
-                if self.config().permission_cache {
-                    self.pcache_note(parent, name, Some((ino, FileType::Directory)));
+        self.traced("op.mkdir", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            vpath::validate_name(name)?;
+            let ino = self.fresh_ino();
+            let rec = InodeRecord::new(
+                ino,
+                FileType::Directory,
+                mode,
+                ctx.uid,
+                ctx.gid,
+                self.port.now(),
+            );
+            // The child directory's inode object is written eagerly so its
+            // first leader can load it (the dentry itself is journaled).
+            self.prt().store_inode(&self.port, &rec)?;
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::AddSubdir {
+                    dir: parent,
+                    name: name.to_string(),
+                    child: ino,
+                },
+            )? {
+                OpResponse::Ok => {
+                    if self.config().permission_cache {
+                        self.pcache_note(parent, name, Some((ino, FileType::Directory)));
+                    }
+                    Ok(rec.to_stat())
                 }
-                Ok(rec.to_stat())
+                OpResponse::Err(e) => {
+                    let _ = self.prt().delete_inode(&self.port, ino);
+                    Err(e)
+                }
+                _ => Err(FsError::Io("unexpected mkdir response".into())),
             }
-            OpResponse::Err(e) => {
-                let _ = self.prt().delete_inode(&self.port, ino);
-                Err(e)
-            }
-            _ => Err(FsError::Io("unexpected mkdir response".into())),
-        }
+        })
     }
 
     fn rmdir(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
-        let (parent, name) = self.resolve_parent(ctx, path)?;
-        let (child, ftype) = self.lookup_step(ctx, parent, name)?;
-        if ftype != FileType::Directory {
-            return Err(FsError::NotADirectory);
-        }
-        if child == ROOT_INO {
-            return Err(FsError::InvalidArgument);
-        }
-        // Become the child's leader to guarantee a stable emptiness check.
-        match self.dir_ref(child)? {
-            DirRef::Local(table) => {
-                let mut t = table.lock();
-                if !t.is_empty() {
-                    return Err(FsError::NotEmpty);
-                }
-                let lane = self.state.lane(child);
-                t.flush(
-                    self.prt(),
-                    &self.port,
-                    lane,
-                    self.config().spec.local_meta_op,
-                )?;
+        self.traced("op.rmdir", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            let (child, ftype) = self.lookup_step(ctx, parent, name)?;
+            if ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
             }
-            DirRef::Remote(_) => return Err(FsError::Busy),
-        }
-        match self.on_dir(
-            ctx,
-            parent,
-            OpBody::RemoveSubdir {
-                dir: parent,
-                name: name.to_string(),
-            },
-        )? {
-            OpResponse::Ok => {}
-            OpResponse::Err(e) => return Err(e),
-            _ => return Err(FsError::Io("unexpected rmdir response".into())),
-        }
-        // Drop leadership and delete the directory's objects.
-        self.state.tables.lock().remove(&child);
-        self.state.leases.lock().remove(&child);
-        let _ = self.state.cluster.lease_bus().call(
-            &self.port,
-            manager_node(child, self.config().lease_managers),
-            LeaseRequest::Release {
-                client: self.state.id,
-                ino: child,
-            },
-        );
-        self.prt().delete_buckets(&self.port, child)?;
-        self.prt().delete_inode(&self.port, child)?;
-        self.pcache_forget(child);
-        if self.config().permission_cache {
-            self.pcache_note(parent, name, None);
-        }
-        Ok(())
+            if child == ROOT_INO {
+                return Err(FsError::InvalidArgument);
+            }
+            // Become the child's leader to guarantee a stable emptiness check.
+            match self.dir_ref(child)? {
+                DirRef::Local(table) => {
+                    let mut t = table.lock();
+                    if !t.is_empty() {
+                        return Err(FsError::NotEmpty);
+                    }
+                    let lane = self.state.lane(child);
+                    t.flush(
+                        self.prt(),
+                        &self.port,
+                        lane,
+                        self.config().spec.local_meta_op,
+                    )?;
+                }
+                DirRef::Remote(_) => return Err(FsError::Busy),
+            }
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::RemoveSubdir {
+                    dir: parent,
+                    name: name.to_string(),
+                },
+            )? {
+                OpResponse::Ok => {}
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected rmdir response".into())),
+            }
+            // Drop leadership and delete the directory's objects.
+            self.state.tables.lock().remove(&child);
+            self.state.leases.lock().remove(&child);
+            let _ = self.state.cluster.lease_bus().call(
+                &self.port,
+                manager_node(child, self.config().lease_managers),
+                LeaseRequest::Release {
+                    client: self.state.id,
+                    ino: child,
+                },
+            );
+            self.prt().delete_buckets(&self.port, child)?;
+            self.prt().delete_inode(&self.port, child)?;
+            self.pcache_forget(child);
+            if self.config().permission_cache {
+                self.pcache_note(parent, name, None);
+            }
+            Ok(())
+        })
     }
 
     fn create(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<FileHandle> {
-        let (parent, name) = self.resolve_parent(ctx, path)?;
-        vpath::validate_name(name)?;
-        let ino = self.fresh_ino();
-        let rec = InodeRecord::new(
-            ino,
-            FileType::Regular,
-            mode,
-            ctx.uid,
-            ctx.gid,
-            self.port.now(),
-        );
-        match self.on_dir(
-            ctx,
-            parent,
-            OpBody::Create {
-                dir: parent,
-                name: name.to_string(),
-                rec,
-            },
-        )? {
-            OpResponse::Ok => {}
-            OpResponse::Err(e) => return Err(e),
-            _ => return Err(FsError::Io("unexpected create response".into())),
-        }
-        if self.config().permission_cache {
-            self.pcache_note(parent, name, Some((ino, FileType::Regular)));
-        }
-        let cached = self.file_lease_read(parent, ino)?;
-        let id = self.state.next_handle.fetch_add(1, Ordering::Relaxed);
-        self.state.handles.lock().insert(
-            id,
-            OpenFile {
+        self.traced("op.create", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            vpath::validate_name(name)?;
+            let ino = self.fresh_ino();
+            let rec = InodeRecord::new(
                 ino,
+                FileType::Regular,
+                mode,
+                ctx.uid,
+                ctx.gid,
+                self.port.now(),
+            );
+            match self.on_dir(
+                ctx,
                 parent,
-                flags: OpenFlags::RDWR,
-                size: 0,
-                cached,
-                wrote: false,
-                ra_window: 0,
-                last_pos: 0,
-            },
-        );
-        Ok(FileHandle(id))
+                OpBody::Create {
+                    dir: parent,
+                    name: name.to_string(),
+                    rec,
+                },
+            )? {
+                OpResponse::Ok => {}
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected create response".into())),
+            }
+            if self.config().permission_cache {
+                self.pcache_note(parent, name, Some((ino, FileType::Regular)));
+            }
+            let cached = self.file_lease_read(parent, ino)?;
+            let id = self.state.next_handle.fetch_add(1, Ordering::Relaxed);
+            self.state.handles.lock().insert(
+                id,
+                OpenFile {
+                    ino,
+                    parent,
+                    flags: OpenFlags::RDWR,
+                    size: 0,
+                    cached,
+                    wrote: false,
+                    ra_window: 0,
+                    last_pos: 0,
+                },
+            );
+            Ok(FileHandle(id))
+        })
     }
 
     fn open(&self, ctx: &Credentials, path: &str, flags: OpenFlags) -> FsResult<FileHandle> {
-        self.open_inner(ctx, path, flags, 0)
+        self.traced("op.open", || self.open_inner(ctx, path, flags, 0))
     }
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
-        self.fsync(ctx, fh)?;
-        let h = self
-            .state
-            .handles
-            .lock()
-            .remove(&fh.0)
-            .ok_or(FsError::BadHandle)?;
-        self.release_file_lease(h.parent, h.ino);
-        Ok(())
+        self.traced("op.close", || {
+            self.fsync(ctx, fh)?;
+            let h = self
+                .state
+                .handles
+                .lock()
+                .remove(&fh.0)
+                .ok_or(FsError::BadHandle)?;
+            self.release_file_lease(h.parent, h.ino);
+            Ok(())
+        })
     }
 
     fn read(
@@ -1597,88 +1642,96 @@ impl Vfs for ArkClient {
         offset: u64,
         buf: &mut [u8],
     ) -> FsResult<usize> {
-        let _ = ctx;
-        self.fuse_charge(1);
-        let (ino, _parent, flags, size, cached) = self.handle_view(fh)?;
-        if !flags.readable() {
-            return Err(FsError::BadAccessMode);
-        }
-        if buf.is_empty() || offset >= size {
-            return Ok(0);
-        }
-        let want = (buf.len() as u64).min(size - offset) as usize;
-        if !cached {
-            let n = self
-                .prt()
-                .read_data(&self.port, ino, offset, &mut buf[..want], size)?;
+        self.traced("op.read", || {
+            let _ = ctx;
+            self.fuse_charge(1);
+            let (ino, _parent, flags, size, cached) = self.handle_view(fh)?;
+            if !flags.readable() {
+                return Err(FsError::BadAccessMode);
+            }
+            if buf.is_empty() || offset >= size {
+                return Ok(0);
+            }
+            let want = (buf.len() as u64).min(size - offset) as usize;
+            if !cached {
+                let n = self
+                    .prt()
+                    .read_data(&self.port, ino, offset, &mut buf[..want], size)?;
+                let mut handles = self.state.handles.lock();
+                if let Some(h) = handles.get_mut(&fh.0) {
+                    h.last_pos = offset + n as u64;
+                }
+                return Ok(n);
+            }
+
+            // Read-ahead window update (§III-D): double on sequential access,
+            // jump to max when the read starts at offset 0.
+            let config = self.config();
+            let ra_window = {
+                let mut handles = self.state.handles.lock();
+                let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
+                if offset == 0 && config.readahead_full_at_zero {
+                    h.ra_window = config.max_readahead;
+                } else if offset == h.last_pos && offset != 0 {
+                    h.ra_window =
+                        (h.ra_window.max(config.chunk_size) * 2).min(config.max_readahead);
+                } else if offset != h.last_pos {
+                    h.ra_window = 0;
+                }
+                h.ra_window
+            };
+            self.fill_cache_for_read(ino, offset, want, ra_window, size)?;
+
+            // Copy out of the cache; a chunk evicted between fill and copy is
+            // re-read straight from the store.
+            let chunk_size = config.chunk_size;
+            let mut filled = 0usize;
+            while filled < want {
+                let pos = offset + filled as u64;
+                let chunk = pos / chunk_size;
+                let within = (pos % chunk_size) as usize;
+                let n = ((chunk_size as usize) - within).min(want - filled);
+                let hit = {
+                    let mut cache = self.state.cache.lock();
+                    match cache.get_ready(ino, chunk) {
+                        Some((data, ready_at)) => {
+                            let out = &mut buf[filled..filled + n];
+                            let avail = data.len().saturating_sub(within);
+                            let take = avail.min(n);
+                            out[..take].copy_from_slice(&data[within..within + take]);
+                            out[take..].fill(0);
+                            Some(ready_at)
+                        }
+                        None => None,
+                    }
+                };
+                let hit = match hit {
+                    Some(ready_at) => {
+                        // Touched a chunk whose asynchronous prefetch has not
+                        // completed yet: wait for it.
+                        self.port.wait_until(ready_at);
+                        true
+                    }
+                    None => false,
+                };
+                if !hit {
+                    self.prt().read_data(
+                        &self.port,
+                        ino,
+                        pos,
+                        &mut buf[filled..filled + n],
+                        size,
+                    )?;
+                }
+                filled += n;
+            }
+            self.port.advance(config.spec.local_meta_op);
             let mut handles = self.state.handles.lock();
             if let Some(h) = handles.get_mut(&fh.0) {
-                h.last_pos = offset + n as u64;
+                h.last_pos = offset + filled as u64;
             }
-            return Ok(n);
-        }
-
-        // Read-ahead window update (§III-D): double on sequential access,
-        // jump to max when the read starts at offset 0.
-        let config = self.config();
-        let ra_window = {
-            let mut handles = self.state.handles.lock();
-            let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
-            if offset == 0 && config.readahead_full_at_zero {
-                h.ra_window = config.max_readahead;
-            } else if offset == h.last_pos && offset != 0 {
-                h.ra_window = (h.ra_window.max(config.chunk_size) * 2).min(config.max_readahead);
-            } else if offset != h.last_pos {
-                h.ra_window = 0;
-            }
-            h.ra_window
-        };
-        self.fill_cache_for_read(ino, offset, want, ra_window, size)?;
-
-        // Copy out of the cache; a chunk evicted between fill and copy is
-        // re-read straight from the store.
-        let chunk_size = config.chunk_size;
-        let mut filled = 0usize;
-        while filled < want {
-            let pos = offset + filled as u64;
-            let chunk = pos / chunk_size;
-            let within = (pos % chunk_size) as usize;
-            let n = ((chunk_size as usize) - within).min(want - filled);
-            let hit = {
-                let mut cache = self.state.cache.lock();
-                match cache.get_ready(ino, chunk) {
-                    Some((data, ready_at)) => {
-                        let out = &mut buf[filled..filled + n];
-                        let avail = data.len().saturating_sub(within);
-                        let take = avail.min(n);
-                        out[..take].copy_from_slice(&data[within..within + take]);
-                        out[take..].fill(0);
-                        Some(ready_at)
-                    }
-                    None => None,
-                }
-            };
-            let hit = match hit {
-                Some(ready_at) => {
-                    // Touched a chunk whose asynchronous prefetch has not
-                    // completed yet: wait for it.
-                    self.port.wait_until(ready_at);
-                    true
-                }
-                None => false,
-            };
-            if !hit {
-                self.prt()
-                    .read_data(&self.port, ino, pos, &mut buf[filled..filled + n], size)?;
-            }
-            filled += n;
-        }
-        self.port.advance(config.spec.local_meta_op);
-        let mut handles = self.state.handles.lock();
-        if let Some(h) = handles.get_mut(&fh.0) {
-            h.last_pos = offset + filled as u64;
-        }
-        Ok(filled)
+            Ok(filled)
+        })
     }
 
     fn write(
@@ -1688,567 +1741,599 @@ impl Vfs for ArkClient {
         offset: u64,
         data: &[u8],
     ) -> FsResult<usize> {
-        let _ = ctx;
-        self.fuse_charge(1);
-        let (ino, parent, flags, size, _) = self.handle_view(fh)?;
-        if !flags.writable() {
-            return Err(FsError::BadAccessMode);
-        }
-        if data.is_empty() {
-            return Ok(0);
-        }
-        let offset = if flags.is_append() { size } else { offset };
-
-        // First write upgrades the read lease (§III-D).
-        let (cached, first_write) = {
-            let handles = self.state.handles.lock();
-            let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
-            (h.cached, !h.wrote)
-        };
-        let cached = if first_write {
-            let granted = self.file_lease_write(parent, ino)?;
-            let mut handles = self.state.handles.lock();
-            let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
-            h.cached = h.cached && granted;
-            h.wrote = true;
-            h.cached
-        } else {
-            cached
-        };
-
-        if cached {
-            let chunk_size = self.config().chunk_size;
-            // Split the write into per-chunk pieces up front.
-            let mut pieces: Vec<(u64, usize, &[u8])> = Vec::new();
-            let mut written = 0usize;
-            while written < data.len() {
-                let pos = offset + written as u64;
-                let chunk = pos / chunk_size;
-                let within = (pos % chunk_size) as usize;
-                let n = (chunk_size as usize - within).min(data.len() - written);
-                pieces.push((chunk, within, &data[written..written + n]));
-                written += n;
+        self.traced("op.write", || {
+            let _ = ctx;
+            self.fuse_charge(1);
+            let (ino, parent, flags, size, _) = self.handle_view(fh)?;
+            if !flags.writable() {
+                return Err(FsError::BadAccessMode);
             }
-            // Partial overwrites of store-resident chunks need the old
-            // bytes in cache first (read-modify in cache); fetch every
-            // missing one in a single pipelined multi-GET.
-            let need_fill: Vec<u64> = {
-                let cache = self.state.cache.lock();
-                pieces
-                    .iter()
-                    .filter(|&&(chunk, within, piece)| {
-                        let covers_whole = within == 0 && piece.len() == chunk_size as usize;
-                        !covers_whole && chunk * chunk_size < size && !cache.contains(ino, chunk)
-                    })
-                    .map(|&(chunk, ..)| chunk)
-                    .collect()
+            if data.is_empty() {
+                return Ok(0);
+            }
+            let offset = if flags.is_append() { size } else { offset };
+
+            // First write upgrades the read lease (§III-D).
+            let (cached, first_write) = {
+                let handles = self.state.handles.lock();
+                let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
+                (h.cached, !h.wrote)
             };
-            let mut fills = HashMap::new();
-            if !need_fill.is_empty() {
-                let keys: Vec<ObjectKey> = need_fill
-                    .iter()
-                    .map(|&c| ObjectKey::data_chunk(ino, c))
-                    .collect();
-                let results = self.prt().store().get_many(&self.port, &keys);
-                for (&chunk, result) in need_fill.iter().zip(results) {
-                    match result {
-                        Ok(bytes) => {
-                            fills.insert(chunk, bytes.to_vec());
+            let cached = if first_write {
+                let granted = self.file_lease_write(parent, ino)?;
+                let mut handles = self.state.handles.lock();
+                let h = handles.get_mut(&fh.0).ok_or(FsError::BadHandle)?;
+                h.cached = h.cached && granted;
+                h.wrote = true;
+                h.cached
+            } else {
+                cached
+            };
+
+            if cached {
+                let chunk_size = self.config().chunk_size;
+                // Split the write into per-chunk pieces up front.
+                let mut pieces: Vec<(u64, usize, &[u8])> = Vec::new();
+                let mut written = 0usize;
+                while written < data.len() {
+                    let pos = offset + written as u64;
+                    let chunk = pos / chunk_size;
+                    let within = (pos % chunk_size) as usize;
+                    let n = (chunk_size as usize - within).min(data.len() - written);
+                    pieces.push((chunk, within, &data[written..written + n]));
+                    written += n;
+                }
+                // Partial overwrites of store-resident chunks need the old
+                // bytes in cache first (read-modify in cache); fetch every
+                // missing one in a single pipelined multi-GET.
+                let need_fill: Vec<u64> = {
+                    let cache = self.state.cache.lock();
+                    pieces
+                        .iter()
+                        .filter(|&&(chunk, within, piece)| {
+                            let covers_whole = within == 0 && piece.len() == chunk_size as usize;
+                            !covers_whole
+                                && chunk * chunk_size < size
+                                && !cache.contains(ino, chunk)
+                        })
+                        .map(|&(chunk, ..)| chunk)
+                        .collect()
+                };
+                let mut fills = HashMap::new();
+                if !need_fill.is_empty() {
+                    let keys: Vec<ObjectKey> = need_fill
+                        .iter()
+                        .map(|&c| ObjectKey::data_chunk(ino, c))
+                        .collect();
+                    let results = self.prt().store().get_many(&self.port, &keys);
+                    for (&chunk, result) in need_fill.iter().zip(results) {
+                        match result {
+                            Ok(bytes) => {
+                                fills.insert(chunk, bytes.to_vec());
+                            }
+                            Err(arkfs_objstore::OsError::NotFound) => {}
+                            Err(e) => return Err(crate::prt::map_os_err(e)),
                         }
-                        Err(arkfs_objstore::OsError::NotFound) => {}
-                        Err(e) => return Err(crate::prt::map_os_err(e)),
                     }
                 }
+                // One cache pass for the whole span; dirty evictions from the
+                // entire call flush as a single write-back batch.
+                let evicted = self.state.cache.lock().write_many(ino, fills, &pieces);
+                self.write_back(evicted)?;
+                self.port.advance(self.config().spec.local_meta_op);
+            } else {
+                self.prt().write_data(&self.port, ino, offset, data)?;
             }
-            // One cache pass for the whole span; dirty evictions from the
-            // entire call flush as a single write-back batch.
-            let evicted = self.state.cache.lock().write_many(ino, fills, &pieces);
-            self.write_back(evicted)?;
-            self.port.advance(self.config().spec.local_meta_op);
-        } else {
-            self.prt().write_data(&self.port, ino, offset, data)?;
-        }
-        let mut handles = self.state.handles.lock();
-        if let Some(h) = handles.get_mut(&fh.0) {
-            h.size = h.size.max(offset + data.len() as u64);
-        }
-        Ok(data.len())
+            let mut handles = self.state.handles.lock();
+            if let Some(h) = handles.get_mut(&fh.0) {
+                h.size = h.size.max(offset + data.len() as u64);
+            }
+            Ok(data.len())
+        })
     }
 
     fn fsync(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
-        self.fuse_charge(1);
-        let (ino, parent, size, wrote) = {
-            let handles = self.state.handles.lock();
-            let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
-            (h.ino, h.parent, h.size, h.wrote)
-        };
-        self.flush_file_data(ino)?;
-        if wrote {
-            self.push_size(ctx, parent, ino, size)?;
-            let mut handles = self.state.handles.lock();
-            if let Some(h) = handles.get_mut(&fh.0) {
-                h.wrote = false;
+        self.traced("op.fsync", || {
+            self.fuse_charge(1);
+            let (ino, parent, size, wrote) = {
+                let handles = self.state.handles.lock();
+                let h = handles.get(&fh.0).ok_or(FsError::BadHandle)?;
+                (h.ino, h.parent, h.size, h.wrote)
+            };
+            self.flush_file_data(ino)?;
+            if wrote {
+                self.push_size(ctx, parent, ino, size)?;
+                let mut handles = self.state.handles.lock();
+                if let Some(h) = handles.get_mut(&fh.0) {
+                    h.wrote = false;
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     fn stat(&self, ctx: &Credentials, path: &str) -> FsResult<Stat> {
-        let (ino, rec) = self.resolve_record(ctx, path)?;
-        let mut st = rec.to_stat();
-        // Reads-own-writes: unflushed writes are visible to this client.
-        for h in self.state.handles.lock().values() {
-            if h.ino == ino {
-                st.size = st.size.max(h.size);
+        self.traced("op.stat", || {
+            let (ino, rec) = self.resolve_record(ctx, path)?;
+            let mut st = rec.to_stat();
+            // Reads-own-writes: unflushed writes are visible to this client.
+            for h in self.state.handles.lock().values() {
+                if h.ino == ino {
+                    st.size = st.size.max(h.size);
+                }
             }
-        }
-        Ok(st)
+            Ok(st)
+        })
     }
 
     fn readdir(&self, ctx: &Credentials, path: &str) -> FsResult<Vec<DirEntry>> {
-        let (ino, ftype) = self.resolve(ctx, path)?;
-        if ftype != FileType::Directory {
-            return Err(FsError::NotADirectory);
-        }
-        match self.on_dir(ctx, ino, OpBody::Readdir { dir: ino })? {
-            OpResponse::Entries(entries) => Ok(entries),
-            OpResponse::Err(e) => Err(e),
-            _ => Err(FsError::Io("unexpected readdir response".into())),
-        }
+        self.traced("op.readdir", || {
+            let (ino, ftype) = self.resolve(ctx, path)?;
+            if ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            match self.on_dir(ctx, ino, OpBody::Readdir { dir: ino })? {
+                OpResponse::Entries(entries) => Ok(entries),
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected readdir response".into())),
+            }
+        })
     }
 
     fn unlink(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
-        let (parent, name) = self.resolve_parent(ctx, path)?;
-        match self.on_dir(
-            ctx,
-            parent,
-            OpBody::Unlink {
-                dir: parent,
-                name: name.to_string(),
-            },
-        )? {
-            OpResponse::Inode(rec) => {
-                self.state.cache.lock().invalidate_file(rec.ino);
-                self.prt().delete_data(&self.port, rec.ino, rec.size)?;
-                if self.config().permission_cache {
-                    self.pcache_note(parent, name, None);
-                }
-                Ok(())
-            }
-            OpResponse::Err(e) => Err(e),
-            _ => Err(FsError::Io("unexpected unlink response".into())),
-        }
-    }
-
-    fn rename(&self, ctx: &Credentials, from: &str, to: &str) -> FsResult<()> {
-        let from_comps = vpath::components(from)?;
-        let to_comps = vpath::components(to)?;
-        if from_comps == to_comps {
-            return Ok(());
-        }
-        if from_comps.is_empty() || to_comps.is_empty() {
-            return Err(FsError::InvalidArgument);
-        }
-        if vpath::is_prefix_of(&from_comps, &to_comps) {
-            return Err(FsError::InvalidArgument); // moving into own subtree
-        }
-        let (src_dir, src_name) = self.resolve_parent(ctx, from)?;
-        let (dst_dir, dst_name) = self.resolve_parent(ctx, to)?;
-
-        if src_dir == dst_dir {
-            // Existing directory target must be empty and is removed
-            // first (POSIX replace).
-            if let Ok((tino, tft)) = self.lookup_step(ctx, src_dir, dst_name) {
-                if tft == FileType::Directory {
-                    let (_, sft) = self.lookup_step(ctx, src_dir, src_name)?;
-                    if sft != FileType::Directory {
-                        return Err(FsError::IsADirectory);
-                    }
-                    match self.dir_ref(tino)? {
-                        DirRef::Local(table) => {
-                            if !table.lock().is_empty() {
-                                return Err(FsError::NotEmpty);
-                            }
-                        }
-                        DirRef::Remote(_) => return Err(FsError::Busy),
-                    }
-                    self.rmdir(ctx, to)?;
-                }
-            }
-            return match self.on_dir(
+        self.traced("op.unlink", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            match self.on_dir(
                 ctx,
-                src_dir,
-                OpBody::RenameLocal {
-                    dir: src_dir,
-                    from: src_name.to_string(),
-                    to: dst_name.to_string(),
+                parent,
+                OpBody::Unlink {
+                    dir: parent,
+                    name: name.to_string(),
                 },
             )? {
-                OpResponse::Ok => {
+                OpResponse::Inode(rec) => {
+                    self.state.cache.lock().invalidate_file(rec.ino);
+                    self.prt().delete_data(&self.port, rec.ino, rec.size)?;
                     if self.config().permission_cache {
-                        self.pcache_note(src_dir, src_name, None);
+                        self.pcache_note(parent, name, None);
                     }
                     Ok(())
                 }
                 OpResponse::Err(e) => Err(e),
-                _ => Err(FsError::Io("unexpected rename response".into())),
-            };
-        }
-
-        // Cross-directory rename: two-phase commit across both journals
-        // (§III-E, [18]). An existing file target is replaced atomically
-        // inside the destination's prepare; a directory target is
-        // rejected.
-        let txid: u128 = self.state.rng.lock().random();
-        let (ino, ftype, rec) = match self.on_dir(
-            ctx,
-            src_dir,
-            OpBody::RenameSrcPrepare {
-                dir: src_dir,
-                name: src_name.to_string(),
-                txid,
-                peer: dst_dir,
-            },
-        )? {
-            OpResponse::Detached { ino, ftype, rec } => (ino, ftype, rec),
-            OpResponse::Err(e) => return Err(e),
-            _ => return Err(FsError::Io("unexpected rename-src response".into())),
-        };
-        let dst_result = self.on_dir(
-            ctx,
-            dst_dir,
-            OpBody::RenameDstPrepare {
-                dir: dst_dir,
-                name: dst_name.to_string(),
-                txid,
-                peer: src_dir,
-                ino,
-                ftype,
-                rec: rec.clone(),
-            },
-        )?;
-        match dst_result {
-            OpResponse::Ok => {}
-            OpResponse::Inode(victim) => {
-                // The destination replaced an existing file; its data
-                // chunks are ours to reclaim.
-                self.state.cache.lock().invalidate_file(victim.ino);
-                self.prt()
-                    .delete_data(&self.port, victim.ino, victim.size)?;
+                _ => Err(FsError::Io("unexpected unlink response".into())),
             }
-            OpResponse::Err(e) => {
-                // Abort: undo the source detach.
-                let _ = self.on_dir(
+        })
+    }
+
+    fn rename(&self, ctx: &Credentials, from: &str, to: &str) -> FsResult<()> {
+        self.traced("op.rename", || {
+            let from_comps = vpath::components(from)?;
+            let to_comps = vpath::components(to)?;
+            if from_comps == to_comps {
+                return Ok(());
+            }
+            if from_comps.is_empty() || to_comps.is_empty() {
+                return Err(FsError::InvalidArgument);
+            }
+            if vpath::is_prefix_of(&from_comps, &to_comps) {
+                return Err(FsError::InvalidArgument); // moving into own subtree
+            }
+            let (src_dir, src_name) = self.resolve_parent(ctx, from)?;
+            let (dst_dir, dst_name) = self.resolve_parent(ctx, to)?;
+
+            if src_dir == dst_dir {
+                // Existing directory target must be empty and is removed
+                // first (POSIX replace).
+                if let Ok((tino, tft)) = self.lookup_step(ctx, src_dir, dst_name) {
+                    if tft == FileType::Directory {
+                        let (_, sft) = self.lookup_step(ctx, src_dir, src_name)?;
+                        if sft != FileType::Directory {
+                            return Err(FsError::IsADirectory);
+                        }
+                        match self.dir_ref(tino)? {
+                            DirRef::Local(table) => {
+                                if !table.lock().is_empty() {
+                                    return Err(FsError::NotEmpty);
+                                }
+                            }
+                            DirRef::Remote(_) => return Err(FsError::Busy),
+                        }
+                        self.rmdir(ctx, to)?;
+                    }
+                }
+                return match self.on_dir(
                     ctx,
                     src_dir,
-                    OpBody::RenameDecide {
+                    OpBody::RenameLocal {
                         dir: src_dir,
-                        txid,
-                        commit: false,
-                        undo: Some((src_name.to_string(), ino, ftype, rec)),
+                        from: src_name.to_string(),
+                        to: dst_name.to_string(),
                     },
-                );
-                return Err(e);
+                )? {
+                    OpResponse::Ok => {
+                        if self.config().permission_cache {
+                            self.pcache_note(src_dir, src_name, None);
+                        }
+                        Ok(())
+                    }
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected rename response".into())),
+                };
             }
-            _ => return Err(FsError::Io("unexpected rename-dst response".into())),
-        }
-        for dir in [src_dir, dst_dir] {
+
+            // Cross-directory rename: two-phase commit across both journals
+            // (§III-E, [18]). An existing file target is replaced atomically
+            // inside the destination's prepare; a directory target is
+            // rejected.
+            let txid: u128 = self.state.rng.lock().random();
+            let (ino, ftype, rec) = match self.on_dir(
+                ctx,
+                src_dir,
+                OpBody::RenameSrcPrepare {
+                    dir: src_dir,
+                    name: src_name.to_string(),
+                    txid,
+                    peer: dst_dir,
+                },
+            )? {
+                OpResponse::Detached { ino, ftype, rec } => (ino, ftype, rec),
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected rename-src response".into())),
+            };
+            let dst_result = self.on_dir(
+                ctx,
+                dst_dir,
+                OpBody::RenameDstPrepare {
+                    dir: dst_dir,
+                    name: dst_name.to_string(),
+                    txid,
+                    peer: src_dir,
+                    ino,
+                    ftype,
+                    rec: rec.clone(),
+                },
+            )?;
+            match dst_result {
+                OpResponse::Ok => {}
+                OpResponse::Inode(victim) => {
+                    // The destination replaced an existing file; its data
+                    // chunks are ours to reclaim.
+                    self.state.cache.lock().invalidate_file(victim.ino);
+                    self.prt()
+                        .delete_data(&self.port, victim.ino, victim.size)?;
+                }
+                OpResponse::Err(e) => {
+                    // Abort: undo the source detach.
+                    let _ = self.on_dir(
+                        ctx,
+                        src_dir,
+                        OpBody::RenameDecide {
+                            dir: src_dir,
+                            txid,
+                            commit: false,
+                            undo: Some((src_name.to_string(), ino, ftype, rec)),
+                        },
+                    );
+                    return Err(e);
+                }
+                _ => return Err(FsError::Io("unexpected rename-dst response".into())),
+            }
+            for dir in [src_dir, dst_dir] {
+                match self.on_dir(
+                    ctx,
+                    dir,
+                    OpBody::RenameDecide {
+                        dir,
+                        txid,
+                        commit: true,
+                        undo: None,
+                    },
+                )? {
+                    OpResponse::Ok => {}
+                    OpResponse::Err(e) => return Err(e),
+                    _ => return Err(FsError::Io("unexpected rename-decide response".into())),
+                }
+            }
+            if self.config().permission_cache {
+                self.pcache_note(src_dir, src_name, None);
+                self.pcache_note(dst_dir, dst_name, Some((ino, ftype)));
+            }
+            Ok(())
+        })
+    }
+
+    fn truncate(&self, ctx: &Credentials, path: &str, size: u64) -> FsResult<()> {
+        self.traced("op.truncate", || {
+            if vpath::components(path)?.is_empty() {
+                return Err(FsError::IsADirectory);
+            }
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            let (ino, rec) = self.lookup_record(ctx, parent, name)?;
+            if rec.ftype == FileType::Directory {
+                return Err(FsError::IsADirectory);
+            }
+            perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)?;
             match self.on_dir(
                 ctx,
-                dir,
-                OpBody::RenameDecide {
-                    dir,
-                    txid,
-                    commit: true,
-                    undo: None,
+                parent,
+                OpBody::SetSize {
+                    dir: parent,
+                    ino,
+                    size,
                 },
             )? {
                 OpResponse::Ok => {}
                 OpResponse::Err(e) => return Err(e),
-                _ => return Err(FsError::Io("unexpected rename-decide response".into())),
+                _ => return Err(FsError::Io("unexpected truncate response".into())),
             }
-        }
-        if self.config().permission_cache {
-            self.pcache_note(src_dir, src_name, None);
-            self.pcache_note(dst_dir, dst_name, Some((ino, ftype)));
-        }
-        Ok(())
-    }
-
-    fn truncate(&self, ctx: &Credentials, path: &str, size: u64) -> FsResult<()> {
-        if vpath::components(path)?.is_empty() {
-            return Err(FsError::IsADirectory);
-        }
-        let (parent, name) = self.resolve_parent(ctx, path)?;
-        let (ino, rec) = self.lookup_record(ctx, parent, name)?;
-        if rec.ftype == FileType::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)?;
-        match self.on_dir(
-            ctx,
-            parent,
-            OpBody::SetSize {
-                dir: parent,
-                ino,
-                size,
-            },
-        )? {
-            OpResponse::Ok => {}
-            OpResponse::Err(e) => return Err(e),
-            _ => return Err(FsError::Io("unexpected truncate response".into())),
-        }
-        if size < rec.size {
-            // Flush surviving dirty data, then drop all cached chunks:
-            // the boundary chunk's cached copy is stale after the store
-            // trims it.
-            self.flush_file_data(ino)?;
-            self.state.cache.lock().invalidate_file(ino);
-            self.prt().truncate_data(&self.port, ino, rec.size, size)?;
-        }
-        let mut handles = self.state.handles.lock();
-        for h in handles.values_mut() {
-            if h.ino == ino {
-                h.size = size;
+            if size < rec.size {
+                // Flush surviving dirty data, then drop all cached chunks:
+                // the boundary chunk's cached copy is stale after the store
+                // trims it.
+                self.flush_file_data(ino)?;
+                self.state.cache.lock().invalidate_file(ino);
+                self.prt().truncate_data(&self.port, ino, rec.size, size)?;
             }
-        }
-        Ok(())
+            let mut handles = self.state.handles.lock();
+            for h in handles.values_mut() {
+                if h.ino == ino {
+                    h.size = size;
+                }
+            }
+            Ok(())
+        })
     }
 
     fn setattr(&self, ctx: &Credentials, path: &str, attr: &SetAttr) -> FsResult<Stat> {
-        let comps = vpath::components(path)?;
-        let resp = if comps.is_empty() {
-            self.fuse_charge(1);
-            self.on_dir(
-                ctx,
-                ROOT_INO,
-                OpBody::SetAttrDir {
-                    dir: ROOT_INO,
-                    attr: attr.clone(),
-                },
-            )?
-        } else {
-            let (parent, name) = self.resolve_parent(ctx, path)?;
-            let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
-            if ftype == FileType::Directory {
-                self.pcache_forget(ino);
+        self.traced("op.setattr", || {
+            let comps = vpath::components(path)?;
+            let resp = if comps.is_empty() {
+                self.fuse_charge(1);
                 self.on_dir(
                     ctx,
-                    ino,
+                    ROOT_INO,
                     OpBody::SetAttrDir {
-                        dir: ino,
+                        dir: ROOT_INO,
                         attr: attr.clone(),
                     },
                 )?
             } else {
-                self.on_dir(
-                    ctx,
-                    parent,
-                    OpBody::SetAttrChild {
-                        dir: parent,
+                let (parent, name) = self.resolve_parent(ctx, path)?;
+                let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
+                if ftype == FileType::Directory {
+                    self.pcache_forget(ino);
+                    self.on_dir(
+                        ctx,
                         ino,
-                        attr: attr.clone(),
-                    },
-                )?
+                        OpBody::SetAttrDir {
+                            dir: ino,
+                            attr: attr.clone(),
+                        },
+                    )?
+                } else {
+                    self.on_dir(
+                        ctx,
+                        parent,
+                        OpBody::SetAttrChild {
+                            dir: parent,
+                            ino,
+                            attr: attr.clone(),
+                        },
+                    )?
+                }
+            };
+            match resp {
+                OpResponse::Inode(rec) => Ok(rec.to_stat()),
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected setattr response".into())),
             }
-        };
-        match resp {
-            OpResponse::Inode(rec) => Ok(rec.to_stat()),
-            OpResponse::Err(e) => Err(e),
-            _ => Err(FsError::Io("unexpected setattr response".into())),
-        }
+        })
     }
 
     fn symlink(&self, ctx: &Credentials, path: &str, target: &str) -> FsResult<Stat> {
-        let (parent, name) = self.resolve_parent(ctx, path)?;
-        vpath::validate_name(name)?;
-        let ino = self.fresh_ino();
-        let mut rec = InodeRecord::new(
-            ino,
-            FileType::Symlink,
-            0o777,
-            ctx.uid,
-            ctx.gid,
-            self.port.now(),
-        );
-        rec.symlink_target = target.to_string();
-        rec.size = target.len() as u64;
-        let stat = rec.to_stat();
-        match self.on_dir(
-            ctx,
-            parent,
-            OpBody::Create {
-                dir: parent,
-                name: name.to_string(),
-                rec,
-            },
-        )? {
-            OpResponse::Ok => {
-                if self.config().permission_cache {
-                    self.pcache_note(parent, name, Some((ino, FileType::Symlink)));
+        self.traced("op.symlink", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            vpath::validate_name(name)?;
+            let ino = self.fresh_ino();
+            let mut rec = InodeRecord::new(
+                ino,
+                FileType::Symlink,
+                0o777,
+                ctx.uid,
+                ctx.gid,
+                self.port.now(),
+            );
+            rec.symlink_target = target.to_string();
+            rec.size = target.len() as u64;
+            let stat = rec.to_stat();
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::Create {
+                    dir: parent,
+                    name: name.to_string(),
+                    rec,
+                },
+            )? {
+                OpResponse::Ok => {
+                    if self.config().permission_cache {
+                        self.pcache_note(parent, name, Some((ino, FileType::Symlink)));
+                    }
+                    Ok(stat)
                 }
-                Ok(stat)
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected symlink response".into())),
             }
-            OpResponse::Err(e) => Err(e),
-            _ => Err(FsError::Io("unexpected symlink response".into())),
-        }
+        })
     }
 
     fn readlink(&self, ctx: &Credentials, path: &str) -> FsResult<String> {
-        let (_, rec) = self.resolve_record(ctx, path)?;
-        if rec.ftype != FileType::Symlink {
-            return Err(FsError::InvalidArgument);
-        }
-        Ok(rec.symlink_target)
+        self.traced("op.readlink", || {
+            let (_, rec) = self.resolve_record(ctx, path)?;
+            if rec.ftype != FileType::Symlink {
+                return Err(FsError::InvalidArgument);
+            }
+            Ok(rec.symlink_target)
+        })
     }
 
     fn set_acl(&self, ctx: &Credentials, path: &str, acl: &Acl) -> FsResult<()> {
-        let comps = vpath::components(path)?;
-        let resp = if comps.is_empty() {
-            self.fuse_charge(1);
-            self.on_dir(
-                ctx,
-                ROOT_INO,
-                OpBody::SetAcl {
-                    dir: ROOT_INO,
-                    target: ROOT_INO,
-                    acl: acl.clone(),
-                },
-            )?
-        } else {
-            let (parent, name) = self.resolve_parent(ctx, path)?;
-            let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
-            if ftype == FileType::Directory {
-                self.pcache_forget(ino);
+        self.traced("op.set_acl", || {
+            let comps = vpath::components(path)?;
+            let resp = if comps.is_empty() {
+                self.fuse_charge(1);
                 self.on_dir(
                     ctx,
-                    ino,
+                    ROOT_INO,
                     OpBody::SetAcl {
-                        dir: ino,
-                        target: ino,
+                        dir: ROOT_INO,
+                        target: ROOT_INO,
                         acl: acl.clone(),
                     },
                 )?
             } else {
-                self.on_dir(
-                    ctx,
-                    parent,
-                    OpBody::SetAcl {
-                        dir: parent,
-                        target: ino,
-                        acl: acl.clone(),
-                    },
-                )?
+                let (parent, name) = self.resolve_parent(ctx, path)?;
+                let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
+                if ftype == FileType::Directory {
+                    self.pcache_forget(ino);
+                    self.on_dir(
+                        ctx,
+                        ino,
+                        OpBody::SetAcl {
+                            dir: ino,
+                            target: ino,
+                            acl: acl.clone(),
+                        },
+                    )?
+                } else {
+                    self.on_dir(
+                        ctx,
+                        parent,
+                        OpBody::SetAcl {
+                            dir: parent,
+                            target: ino,
+                            acl: acl.clone(),
+                        },
+                    )?
+                }
+            };
+            match resp {
+                OpResponse::Ok => Ok(()),
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected set_acl response".into())),
             }
-        };
-        match resp {
-            OpResponse::Ok => Ok(()),
-            OpResponse::Err(e) => Err(e),
-            _ => Err(FsError::Io("unexpected set_acl response".into())),
-        }
+        })
     }
 
     fn get_acl(&self, ctx: &Credentials, path: &str) -> FsResult<Acl> {
-        let (_, rec) = self.resolve_record(ctx, path)?;
-        Ok(rec.acl)
+        self.traced("op.get_acl", || {
+            let (_, rec) = self.resolve_record(ctx, path)?;
+            Ok(rec.acl)
+        })
     }
 
     fn access(&self, ctx: &Credentials, path: &str, mode: u8) -> FsResult<()> {
-        let (_, rec) = self.resolve_record(ctx, path)?;
-        perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, mode)
+        self.traced("op.access", || {
+            let (_, rec) = self.resolve_record(ctx, path)?;
+            perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, mode)
+        })
     }
 
     fn sync_all(&self, ctx: &Credentials) -> FsResult<()> {
-        // 1. All dirty data chunks, pipelined.
-        let dirty = self.state.cache.lock().take_all_dirty();
-        if !dirty.is_empty() {
-            let items: Vec<(ObjectKey, Bytes)> = dirty
-                .into_iter()
-                .map(|e| (ObjectKey::data_chunk(e.ino, e.chunk), Bytes::from(e.data)))
-                .collect();
-            for r in self.prt().store().put_many(&self.port, items) {
-                r.map_err(crate::prt::map_os_err)?;
+        self.traced("op.sync_all", || {
+            // 1. All dirty data chunks, pipelined.
+            let dirty = self.state.cache.lock().take_all_dirty();
+            if !dirty.is_empty() {
+                let items: Vec<(ObjectKey, Bytes)> = dirty
+                    .into_iter()
+                    .map(|e| (ObjectKey::data_chunk(e.ino, e.chunk), Bytes::from(e.data)))
+                    .collect();
+                for r in self.prt().store().put_many(&self.port, items) {
+                    r.map_err(crate::prt::map_os_err)?;
+                }
             }
-        }
-        // 2. Size updates for written handles.
-        let pending: Vec<(Ino, Ino, u64)> = {
-            let mut handles = self.state.handles.lock();
-            handles
-                .values_mut()
-                .filter(|h| h.wrote)
-                .map(|h| {
-                    h.wrote = false;
-                    (h.parent, h.ino, h.size)
-                })
-                .collect()
-        };
-        for (parent, ino, size) in pending {
-            self.push_size(ctx, parent, ino, size)?;
-        }
-        // 3. Commit + checkpoint every led directory, overlapped: each
-        // directory's flush runs on a port forked at the same instant,
-        // so independent directories' commits proceed in parallel and
-        // the caller pays the slowest one. Directories mapped to the
-        // same commit lane still serialize on that lane's
-        // `SharedResource` (§III-E: multiple commit threads), and
-        // checkpoints land on background timelines inside `flush`.
-        let mut tables: Vec<(Ino, Arc<Mutex<Metatable>>)> = self
-            .state
-            .tables
-            .lock()
-            .iter()
-            .map(|(&ino, t)| (ino, Arc::clone(t)))
-            .collect();
-        // Deterministic flush order (the map iterates in hash order,
-        // which varies between runs and would jitter the virtual-time
-        // arrival order on shared resources).
-        tables.sort_by_key(|&(ino, _)| ino);
-        let start = self.port.now();
-        let mut done = start;
-        for (ino, table) in tables {
-            let fork = Port::starting_at(start);
-            let mut t = table.lock();
-            t.flush(
-                self.prt(),
-                &fork,
-                self.state.lane(ino),
-                self.config().spec.local_meta_op,
-            )?;
-            done = done.max(fork.now());
-        }
-        self.port.wait_until(done);
-        self.state.flush_epoch.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+            // 2. Size updates for written handles.
+            let pending: Vec<(Ino, Ino, u64)> = {
+                let mut handles = self.state.handles.lock();
+                handles
+                    .values_mut()
+                    .filter(|h| h.wrote)
+                    .map(|h| {
+                        h.wrote = false;
+                        (h.parent, h.ino, h.size)
+                    })
+                    .collect()
+            };
+            for (parent, ino, size) in pending {
+                self.push_size(ctx, parent, ino, size)?;
+            }
+            // 3. Commit + checkpoint every led directory, overlapped: each
+            // directory's flush runs on a port forked at the same instant,
+            // so independent directories' commits proceed in parallel and
+            // the caller pays the slowest one. Directories mapped to the
+            // same commit lane still serialize on that lane's
+            // `SharedResource` (§III-E: multiple commit threads), and
+            // checkpoints land on background timelines inside `flush`.
+            let mut tables: Vec<(Ino, Arc<Mutex<Metatable>>)> = self
+                .state
+                .tables
+                .lock()
+                .iter()
+                .map(|(&ino, t)| (ino, Arc::clone(t)))
+                .collect();
+            // Deterministic flush order (the map iterates in hash order,
+            // which varies between runs and would jitter the virtual-time
+            // arrival order on shared resources).
+            tables.sort_by_key(|&(ino, _)| ino);
+            let start = self.port.now();
+            let mut done = start;
+            for (ino, table) in tables {
+                let fork = Port::starting_at(start);
+                let mut t = table.lock();
+                t.flush(
+                    self.prt(),
+                    &fork,
+                    self.state.lane(ino),
+                    self.config().spec.local_meta_op,
+                )?;
+                done = done.max(fork.now());
+            }
+            self.port.wait_until(done);
+            self.state.flush_epoch.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
     }
 
     fn statfs(&self, _ctx: &Credentials) -> FsResult<FsStats> {
-        // Inode count via a flat LIST of `i` objects. The LIST is charged
-        // as a single listing op in the cost model, but on S3-like
-        // profiles it is still the most expensive metadata call we issue,
-        // so the count is memoized per flush epoch: the namespace only
-        // changes durably at commit/checkpoint time, and `sync_all` bumps
-        // `flush_epoch`, so repeated statfs calls between flushes reuse
-        // the cached count without re-walking the store.
-        let epoch = self.state.flush_epoch.load(Ordering::Relaxed);
-        let mut cache = self.state.statfs_cache.lock();
-        let inodes = match *cache {
-            Some((e, n)) if e == epoch => n,
-            _ => {
-                let n = self
-                    .prt()
-                    .store()
-                    .list(&self.port, Some(arkfs_objstore::KeyKind::Inode), None)
-                    .map_err(crate::prt::map_os_err)?
-                    .len() as u64;
-                *cache = Some((epoch, n));
-                n
-            }
-        };
-        let (store_objects, store_bytes) = self.prt().store().usage();
-        Ok(FsStats {
-            inodes,
-            store_objects,
-            store_bytes,
+        self.traced("op.statfs", || {
+            // Inode count via a flat LIST of `i` objects. The LIST is charged
+            // as a single listing op in the cost model, but on S3-like
+            // profiles it is still the most expensive metadata call we issue,
+            // so the count is memoized per flush epoch: the namespace only
+            // changes durably at commit/checkpoint time, and `sync_all` bumps
+            // `flush_epoch`, so repeated statfs calls between flushes reuse
+            // the cached count without re-walking the store.
+            let epoch = self.state.flush_epoch.load(Ordering::Relaxed);
+            let mut cache = self.state.statfs_cache.lock();
+            let inodes = match *cache {
+                Some((e, n)) if e == epoch => n,
+                _ => {
+                    let n = self
+                        .prt()
+                        .store()
+                        .list(&self.port, Some(arkfs_objstore::KeyKind::Inode), None)
+                        .map_err(crate::prt::map_os_err)?
+                        .len() as u64;
+                    *cache = Some((epoch, n));
+                    n
+                }
+            };
+            let (store_objects, store_bytes) = self.prt().store().usage();
+            Ok(FsStats {
+                inodes,
+                store_objects,
+                store_bytes,
+            })
         })
     }
 }

@@ -50,7 +50,7 @@ impl ArkCluster {
         for k in 0..config.lease_managers.max(1) {
             lease_bus.register(
                 NodeId(MANAGER_BASE - k as u32),
-                Arc::new(LeaseManager::new(lease_cfg)),
+                Arc::new(LeaseManager::new(lease_cfg).with_telemetry(prt.telemetry())),
             );
         }
 
@@ -76,6 +76,11 @@ impl ArkCluster {
 
     pub fn prt(&self) -> &Arc<Prt> {
         &self.prt
+    }
+
+    /// Deployment-wide telemetry (shared with the object store).
+    pub fn telemetry(&self) -> &Arc<arkfs_telemetry::Telemetry> {
+        self.prt.telemetry()
     }
 
     pub fn lease_bus(&self) -> &Arc<Bus<LeaseRequest, LeaseResponse>> {
@@ -112,7 +117,9 @@ impl ArkCluster {
         for k in 0..self.config.lease_managers.max(1) {
             self.lease_bus.register(
                 NodeId(MANAGER_BASE - k as u32),
-                Arc::new(LeaseManager::restarted_at(lease_cfg, at)),
+                Arc::new(
+                    LeaseManager::restarted_at(lease_cfg, at).with_telemetry(self.telemetry()),
+                ),
             );
         }
     }

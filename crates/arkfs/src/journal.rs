@@ -270,12 +270,14 @@ impl DirJournal {
             ops: std::mem::take(&mut self.running),
         };
         self.running_since = None;
-        let done = lane.reserve(port.now(), lane_service);
+        let t0 = port.now();
+        let done = lane.reserve(t0, lane_service);
         port.wait_until(done);
         match prt.put_journal(port, self.dir, txn.seq, txn.seal()) {
             Ok(()) => {
                 self.next_seq += 1;
                 self.committed.push(txn);
+                prt.meta_span("journal.commit", self.dir, t0, port.now());
                 Ok(())
             }
             Err(e) => {

@@ -60,6 +60,7 @@ impl Metatable {
         buckets: u64,
         file_lease_period: Nanos,
     ) -> FsResult<Self> {
+        let t0 = port.now();
         let recovery = recover_directory(prt, port, dir_ino, buckets)?;
         let dir = prt.load_inode(port, dir_ino)?;
         if dir.ftype != FileType::Directory {
@@ -89,6 +90,7 @@ impl Metatable {
             children.insert(*ino, rec);
         }
         prt.count_takeover(1 + buckets + child_inos.len() as u64);
+        prt.meta_span("meta.takeover", dir_ino, t0, port.now());
         let resume = recovery.next_seq;
         Ok(Metatable {
             dir,
@@ -452,6 +454,7 @@ impl Metatable {
     /// the journal stream as one multi-DELETE — a checkpoint of N dirty
     /// objects pays a handful of fan-outs, not N round trips.
     pub fn checkpoint(&mut self, prt: &Prt, port: &Port) -> FsResult<()> {
+        let t0 = port.now();
         let _applied = self.journal.take_committed();
         // Sorted drains: hash-order iteration varies between runs and
         // would jitter the virtual-time arrival order on shard resources.
@@ -479,6 +482,7 @@ impl Metatable {
             .collect();
         prt.store_buckets_many(port, self.dir.ino, &dirty_buckets)?;
         self.journal.truncate(prt, port)?;
+        prt.meta_span("meta.checkpoint", self.dir.ino, t0, port.now());
         Ok(())
     }
 
@@ -553,6 +557,7 @@ pub struct Recovery {
 /// write-backs, and delete the stream with one batched multi-DELETE.
 /// Idempotent; a no-op when the journal is empty.
 pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> FsResult<Recovery> {
+    let t0 = port.now();
     let (seqs, txns) = scan_journal_stream(prt, port, dir_ino)?;
     let next_seq = seqs.last().map_or(0, |s| s + 1);
     if txns.is_empty() {
@@ -633,6 +638,7 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
         .collect();
     prt.store_buckets_many(port, dir_ino, &blocks)?;
     prt.delete_journal_many(port, dir_ino, &seqs)?;
+    prt.meta_span("meta.recover", dir_ino, t0, port.now());
     Ok(Recovery {
         replayed: txns.len(),
         next_seq,

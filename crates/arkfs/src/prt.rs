@@ -15,9 +15,9 @@ use crate::meta::{DentryBlock, InodeRecord};
 use crate::wire::WireCodec;
 use arkfs_objstore::{ObjectKey, ObjectStore, OsError};
 use arkfs_simkit::Port;
+use arkfs_telemetry::{Counter, Telemetry};
 use arkfs_vfs::{FsError, FsResult, Ino};
 use bytes::Bytes;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Map an object-store error onto the file system error space.
@@ -34,44 +34,48 @@ pub fn map_os_err(e: OsError) -> FsError {
     }
 }
 
-/// Metadata-path counters for the batched helpers: how many metadata
-/// objects moved through `*_many` calls, and how many objects a leader
-/// takeover (`Metatable::load`) pulled. Deployment-wide (the `Prt` is
-/// shared by every client of a cluster).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MetaPathStats {
-    /// Metadata objects fetched through batched GETs.
-    pub batched_gets: u64,
-    /// Metadata objects written through batched PUTs.
-    pub batched_puts: u64,
-    /// Metadata objects removed through batched DELETEs.
-    pub batched_deletes: u64,
-    /// Objects loaded by leader takeovers (metatable loads).
-    pub takeover_objects_loaded: u64,
-}
-
-#[derive(Debug, Default)]
+/// Metadata-path counter handles into the deployment's telemetry
+/// registry (`meta.*` names): how many metadata objects moved through
+/// the batched `*_many` helpers, and how many objects leader takeovers
+/// (`Metatable::load`) pulled. Deployment-wide (the `Prt` is shared by
+/// every client of a cluster).
 struct MetaCounters {
-    batched_gets: AtomicU64,
-    batched_puts: AtomicU64,
-    batched_deletes: AtomicU64,
-    takeover_objects_loaded: AtomicU64,
+    /// Metadata objects fetched through batched GETs.
+    batched_gets: Arc<Counter>,
+    /// Metadata objects written through batched PUTs.
+    batched_puts: Arc<Counter>,
+    /// Metadata objects removed through batched DELETEs.
+    batched_deletes: Arc<Counter>,
+    /// Objects loaded by leader takeovers (metatable loads).
+    takeover_objects_loaded: Arc<Counter>,
 }
 
 /// Typed object-storage access for one ArkFS deployment.
 pub struct Prt {
     store: Arc<dyn ObjectStore>,
     chunk_size: u64,
+    telemetry: Arc<Telemetry>,
     meta: MetaCounters,
 }
 
 impl Prt {
     pub fn new(store: Arc<dyn ObjectStore>, chunk_size: u64) -> Self {
         assert!(chunk_size > 0);
+        // Adopt the store's telemetry so one registry spans the whole
+        // deployment; stores without one get a private instance.
+        let telemetry = store.telemetry().cloned().unwrap_or_else(Telemetry::new);
+        let reg = &telemetry.registry;
+        let meta = MetaCounters {
+            batched_gets: reg.counter("meta.get.objects"),
+            batched_puts: reg.counter("meta.put.objects"),
+            batched_deletes: reg.counter("meta.delete.objects"),
+            takeover_objects_loaded: reg.counter("meta.takeover.objects"),
+        };
         Prt {
             store,
             chunk_size,
-            meta: MetaCounters::default(),
+            telemetry,
+            meta,
         }
     }
 
@@ -83,21 +87,37 @@ impl Prt {
         self.chunk_size
     }
 
-    /// Snapshot of the metadata-path counters.
-    pub fn meta_stats(&self) -> MetaPathStats {
-        MetaPathStats {
-            batched_gets: self.meta.batched_gets.load(Ordering::Relaxed),
-            batched_puts: self.meta.batched_puts.load(Ordering::Relaxed),
-            batched_deletes: self.meta.batched_deletes.load(Ordering::Relaxed),
-            takeover_objects_loaded: self.meta.takeover_objects_loaded.load(Ordering::Relaxed),
-        }
+    /// The deployment-wide telemetry this PRT (and its store) report to.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Record objects pulled by a leader takeover (`Metatable::load`).
     pub(crate) fn count_takeover(&self, objects: u64) {
-        self.meta
-            .takeover_objects_loaded
-            .fetch_add(objects, Ordering::Relaxed);
+        self.meta.takeover_objects_loaded.add(objects);
+    }
+
+    /// Record a metadata-path span on the directory's trace track
+    /// (no-op unless tracing is enabled). The track id is the low 32
+    /// bits of the directory inode.
+    pub(crate) fn meta_span(
+        &self,
+        name: &'static str,
+        dir: Ino,
+        start: arkfs_simkit::Nanos,
+        end: arkfs_simkit::Nanos,
+    ) {
+        let tracer = &self.telemetry.tracer;
+        if tracer.enabled() {
+            tracer.record(
+                arkfs_telemetry::PID_META,
+                dir as u32,
+                name,
+                "meta",
+                start,
+                end,
+            );
+        }
     }
 
     // ---- inode records -------------------------------------------------
@@ -145,9 +165,7 @@ impl Prt {
         if inos.is_empty() {
             return Ok(Vec::new());
         }
-        self.meta
-            .batched_gets
-            .fetch_add(inos.len() as u64, Ordering::Relaxed);
+        self.meta.batched_gets.add(inos.len() as u64);
         let keys: Vec<ObjectKey> = inos.iter().map(|&i| ObjectKey::inode(i)).collect();
         let mut out = Vec::with_capacity(keys.len());
         for flight in keys.chunks(Self::MAX_META_FLIGHT) {
@@ -169,9 +187,7 @@ impl Prt {
         if recs.is_empty() {
             return Ok(());
         }
-        self.meta
-            .batched_puts
-            .fetch_add(recs.len() as u64, Ordering::Relaxed);
+        self.meta.batched_puts.add(recs.len() as u64);
         let items: Vec<(ObjectKey, Bytes)> = recs
             .iter()
             .map(|rec| (ObjectKey::inode(rec.ino), Bytes::from(rec.to_bytes())))
@@ -190,9 +206,7 @@ impl Prt {
         if inos.is_empty() {
             return Ok(());
         }
-        self.meta
-            .batched_deletes
-            .fetch_add(inos.len() as u64, Ordering::Relaxed);
+        self.meta.batched_deletes.add(inos.len() as u64);
         let keys: Vec<ObjectKey> = inos.iter().map(|&i| ObjectKey::inode(i)).collect();
         for flight in keys.chunks(Self::MAX_META_FLIGHT) {
             for res in self.store.delete_many(port, flight) {
@@ -247,9 +261,7 @@ impl Prt {
         if buckets.is_empty() {
             return Ok(Vec::new());
         }
-        self.meta
-            .batched_gets
-            .fetch_add(buckets.len() as u64, Ordering::Relaxed);
+        self.meta.batched_gets.add(buckets.len() as u64);
         let keys: Vec<ObjectKey> = buckets
             .iter()
             .map(|&b| ObjectKey::dentry_bucket(dir, b))
@@ -292,12 +304,8 @@ impl Prt {
                 puts.push((key, Bytes::from(block.to_bytes())));
             }
         }
-        self.meta
-            .batched_puts
-            .fetch_add(puts.len() as u64, Ordering::Relaxed);
-        self.meta
-            .batched_deletes
-            .fetch_add(dels.len() as u64, Ordering::Relaxed);
+        self.meta.batched_puts.add(puts.len() as u64);
+        self.meta.batched_deletes.add(dels.len() as u64);
         for flight in puts.chunks(Self::MAX_META_FLIGHT) {
             for res in self.store.put_many(port, flight.to_vec()) {
                 res.map_err(map_os_err)?;
@@ -323,9 +331,7 @@ impl Prt {
         if keys.is_empty() {
             return Ok(());
         }
-        self.meta
-            .batched_deletes
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.meta.batched_deletes.add(keys.len() as u64);
         for flight in keys.chunks(Self::MAX_META_FLIGHT) {
             for res in self.store.delete_many(port, flight) {
                 match res {
@@ -380,9 +386,7 @@ impl Prt {
         if seqs.is_empty() {
             return Ok(Vec::new());
         }
-        self.meta
-            .batched_gets
-            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+        self.meta.batched_gets.add(seqs.len() as u64);
         let keys: Vec<ObjectKey> = seqs.iter().map(|&s| ObjectKey::journal(dir, s)).collect();
         let mut out = Vec::with_capacity(keys.len());
         for flight in keys.chunks(Self::MAX_META_FLIGHT) {
@@ -403,9 +407,7 @@ impl Prt {
         if seqs.is_empty() {
             return Ok(());
         }
-        self.meta
-            .batched_deletes
-            .fetch_add(seqs.len() as u64, Ordering::Relaxed);
+        self.meta.batched_deletes.add(seqs.len() as u64);
         let keys: Vec<ObjectKey> = seqs.iter().map(|&s| ObjectKey::journal(dir, s)).collect();
         for flight in keys.chunks(Self::MAX_META_FLIGHT) {
             for res in self.store.delete_many(port, flight) {

@@ -80,7 +80,7 @@ impl CephFs {
             mount,
             port: Port::new(),
             data: DataPath::new(Arc::clone(&self.store), self.chunk_size, max_ra),
-            cache: Mutex::new(DataCache::new(256)),
+            cache: Mutex::new(crate::datapath::counted_cache(&self.store, 256)),
             handles: Mutex::new(HashMap::new()),
             next_handle: AtomicU64::new(1),
         })
@@ -128,8 +128,13 @@ impl CephClient {
     /// Flush and drop the page cache (fio drop-caches step).
     pub fn drop_data_cache(&self) -> FsResult<()> {
         self.data.flush_all(&self.port, &self.cache)?;
-        *self.cache.lock() = DataCache::new(256);
+        *self.cache.lock() = crate::datapath::counted_cache(&self.shared.store, 256);
         Ok(())
+    }
+
+    /// The shared store's telemetry, if the backend exposes one.
+    pub fn telemetry(&self) -> Option<Arc<arkfs_telemetry::Telemetry>> {
+        self.shared.store.telemetry().cloned()
     }
 
     pub fn mount(&self) -> MountType {

@@ -42,7 +42,23 @@ impl DataPath {
     pub fn store(&self) -> &Arc<dyn ObjectStore> {
         &self.store
     }
+}
 
+/// A [`DataCache`] wired to the store's `cache.hit.count` /
+/// `cache.miss.count` registry counters, so baselines report cache
+/// behaviour through the same telemetry names as ArkFS clients.
+pub(crate) fn counted_cache(store: &Arc<dyn ObjectStore>, entries: usize) -> DataCache {
+    let mut cache = DataCache::new(entries);
+    if let Some(t) = store.telemetry() {
+        cache.attach_counters(
+            t.registry.counter("cache.hit.count"),
+            t.registry.counter("cache.miss.count"),
+        );
+    }
+    cache
+}
+
+impl DataPath {
     fn write_back(&self, port: &Port, evicted: Vec<arkfs::cache::Evicted>) -> FsResult<()> {
         if evicted.is_empty() {
             return Ok(());

@@ -56,12 +56,13 @@ impl GoofysFs {
         let data = DataPath::new(Arc::clone(bucket.store()), part, readahead);
         // Enough cache entries to hold a full read-ahead window.
         let entries = ((readahead / part) as usize + 8).max(16);
+        let cache = crate::datapath::counted_cache(bucket.store(), entries);
         Arc::new(GoofysFs {
             bucket,
             spec,
             port: Port::new(),
             data,
-            cache: Mutex::new(DataCache::new(entries)),
+            cache: Mutex::new(cache),
             handles: Mutex::new(HashMap::new()),
             next_handle: AtomicU64::new(1),
         })
@@ -79,7 +80,12 @@ impl GoofysFs {
             let _ = &*c;
             ((self.data.max_readahead / self.bucket.part_size) as usize + 8).max(16)
         };
-        *self.cache.lock() = DataCache::new(entries);
+        *self.cache.lock() = crate::datapath::counted_cache(self.bucket.store(), entries);
+    }
+
+    /// The bucket store's telemetry, if the backend exposes one.
+    pub fn telemetry(&self) -> Option<Arc<arkfs_telemetry::Telemetry>> {
+        self.bucket.store().telemetry().cloned()
     }
 
     fn fuse(&self) {

@@ -66,6 +66,11 @@ impl MarFs {
         &self.port
     }
 
+    /// The deployment's telemetry (shared with the object store).
+    pub fn telemetry(&self) -> Option<Arc<arkfs_telemetry::Telemetry>> {
+        Some(Arc::clone(self.shared.prt.telemetry()))
+    }
+
     fn charge(&self, path: &str) {
         // Heavy FUSE interactive path: one user↔kernel hop per component
         // plus the operation, then the GPFS metadata nodes.

@@ -64,6 +64,11 @@ impl S3Fs {
         &self.port
     }
 
+    /// The bucket store's telemetry, if the backend exposes one.
+    pub fn telemetry(&self) -> Option<Arc<arkfs_telemetry::Telemetry>> {
+        self.bucket.store().telemetry().cloned()
+    }
+
     fn fuse(&self) {
         self.port.advance(self.spec.fuse_op_cost);
     }

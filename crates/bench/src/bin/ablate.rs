@@ -162,108 +162,99 @@ fn main() {
         &rows,
     ));
 
-    // 6. Data-path instrumentation: DataCache hit/miss counters plus the
-    //    batched store-call counters behind the pipelined data path.
-    {
-        let mut cfg = ArkConfig::default();
-        cfg.chunk_size = 512 * 1024;
-        cfg.cache_entries = 256;
-        let system = ark_fleet(1, cfg, true);
-        let ctx = arkfs_vfs::Credentials::root();
-        let c: &Arc<dyn SimClient> = &system.clients[0];
-        let size: u64 = 16 * 1024 * 1024;
-        c.mkdir(&ctx, "/d", 0o755).unwrap();
-        let fh = c.create(&ctx, "/d/f", 0o644).unwrap();
-        let block = vec![0u8; 1024 * 1024];
-        let mut off = 0;
-        while off < size {
-            c.write(&ctx, fh, off, &block).unwrap();
-            off += block.len() as u64;
-        }
-        c.fsync(&ctx, fh).unwrap();
-        c.drop_caches();
-        let mut buf = vec![0u8; 128 * 1024];
-        let mut off = 0;
-        while off < size {
-            let n = c.read(&ctx, fh, off, &mut buf).unwrap();
-            off += n as u64;
-        }
-        c.close(&ctx, fh).unwrap();
-        let stats = c
-            .client_stats()
-            .expect("ark clients expose data-path stats");
-        let rows = vec![
-            vec!["data cache hits".to_string(), stats.cache_hits.to_string()],
-            vec![
-                "data cache misses".to_string(),
-                stats.cache_misses.to_string(),
-            ],
-            vec![
-                "batched store calls".to_string(),
-                stats.store_batch_calls.to_string(),
-            ],
-            vec![
-                "batched store items".to_string(),
-                stats.store_batch_items.to_string(),
-            ],
-        ];
-        lines.extend(print_table(
-            "Data path: cache and batched-I/O counters (16 MiB write + cold read)",
-            &["counter", "value"],
-            &rows,
-        ));
-    }
-
-    // 7. Metadata-path instrumentation: batched metatable GET/PUT/DELETE
-    //    fan-outs behind checkpoint/recovery, plus the objects pulled in
-    //    one shot when a second client takes over a flushed directory.
-    //    Counters are PRT-wide, so one snapshot covers the whole fleet.
+    // 6. Unified telemetry: one deployment runs the cached data path
+    //    (16 MiB write + cold read), then 64 creates, a clean lease
+    //    hand-back, and a leader takeover by a second client. Every
+    //    counter and latency histogram the stack recorded — cache,
+    //    store, meta, journal, lease, and per-op — comes out of a
+    //    single sorted `Registry::snapshot()`.
     {
         use arkfs::ArkCluster;
         use arkfs_objstore::{ClusterConfig, ObjectCluster};
+        use arkfs_telemetry::MetricValue;
         use arkfs_vfs::Vfs;
-        let config = ArkConfig::default();
-        let store_cfg = ClusterConfig::rados(config.spec.clone()).with_discard_payload(true);
+        let mut config = ArkConfig::default();
+        config.chunk_size = 512 * 1024;
+        config.cache_entries = 256;
+        let store_cfg = ClusterConfig::rados(config.spec.clone());
         let store = Arc::new(ObjectCluster::new(store_cfg));
         let cluster = ArkCluster::new(config, store);
+        let trace = arkfs_bench::trace_path();
+        if trace.is_some() {
+            cluster.telemetry().tracer.set_enabled(true);
+        }
         let writer = cluster.client();
         let reader = cluster.client();
         let ctx = arkfs_vfs::Credentials::root();
+
+        // Data path: write 16 MiB, drop the cache, read it back cold.
+        let size: u64 = 16 * 1024 * 1024;
+        writer.mkdir(&ctx, "/d", 0o755).unwrap();
+        let fh = writer.create(&ctx, "/d/f", 0o644).unwrap();
+        let block = vec![0u8; 1024 * 1024];
+        let mut off = 0;
+        while off < size {
+            writer.write(&ctx, fh, off, &block).unwrap();
+            off += block.len() as u64;
+        }
+        writer.fsync(&ctx, fh).unwrap();
+        writer.drop_data_cache().unwrap();
+        let mut buf = vec![0u8; 128 * 1024];
+        let mut off = 0;
+        while off < size {
+            let n = writer.read(&ctx, fh, off, &mut buf).unwrap();
+            off += n as u64;
+        }
+        writer.close(&ctx, fh).unwrap();
+
+        // Metadata path: 64 creates, then hand the lease back so the
+        // reader's first stat is an uncached leader takeover
+        // (batched Metatable::load from the store).
         writer.mkdir(&ctx, "/meta", 0o755).unwrap();
         for i in 0..64 {
             let fh = writer.create(&ctx, &format!("/meta/f{i}"), 0o644).unwrap();
             writer.close(&ctx, fh).unwrap();
         }
-        // Hand the lease back so the reader's first stat is an
-        // uncached leader takeover (Metatable::load from the store).
         writer.release_all(&ctx).unwrap();
         for i in 0..64 {
             reader.stat(&ctx, &format!("/meta/f{i}")).unwrap();
         }
-        let stats = reader.stats();
-        let rows = vec![
-            vec![
-                "batched meta gets".to_string(),
-                stats.meta_batch_gets.to_string(),
-            ],
-            vec![
-                "batched meta puts".to_string(),
-                stats.meta_batch_puts.to_string(),
-            ],
-            vec![
-                "batched meta deletes".to_string(),
-                stats.meta_batch_deletes.to_string(),
-            ],
-            vec![
-                "takeover objects loaded".to_string(),
-                stats.takeover_objects_loaded.to_string(),
-            ],
-        ];
+
+        let rows: Vec<Vec<String>> = cluster
+            .telemetry()
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| {
+                let rendered = match value {
+                    MetricValue::Counter(v) => v.to_string(),
+                    MetricValue::Gauge(v) => v.to_string(),
+                    MetricValue::Histogram(h) => format!(
+                        "count={} p50={}ns p99={}ns max={}ns",
+                        h.count(),
+                        h.quantile(0.50),
+                        h.quantile(0.99),
+                        h.max()
+                    ),
+                };
+                vec![name, rendered]
+            })
+            .collect();
         lines.extend(print_table(
-            "Metadata path: batched-op counters (64 creates, flush, takeover)",
-            &["counter", "value"],
+            "Telemetry registry snapshot (data path + takeover workload)",
+            &["metric", "value"],
             &rows,
         ));
+        if let Some(path) = trace {
+            match cluster
+                .telemetry()
+                .tracer
+                .write_chrome_trace(std::path::Path::new(&path))
+            {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
     }
 
     save_results("ablations", &lines);

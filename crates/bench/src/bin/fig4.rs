@@ -8,8 +8,9 @@
 use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
 use arkfs_bench::{
-    ark_fleet, bench_files, bench_procs, ceph_fleet, kops, marfs_fleet, print_table,
-    save_bench_json, save_results, BenchRecord, System,
+    ark_fleet, bench_files, bench_procs, ceph_fleet, enable_tracing, kops, marfs_fleet,
+    phase_latency_metrics, print_table, save_bench_json, save_results, trace_path,
+    write_chrome_trace, BenchRecord, System,
 };
 use arkfs_workloads::mdtest::{mdtest_easy, MdtestEasyConfig};
 
@@ -17,6 +18,7 @@ fn main() {
     let procs = bench_procs(16);
     let files = bench_files(100_000);
     let chunk = 64 * 1024;
+    let trace = trace_path();
     let systems: Vec<System> = vec![
         ark_fleet(procs, ArkConfig::default(), true),
         ceph_fleet(procs, 1, MountType::Fuse, chunk, true),
@@ -24,13 +26,17 @@ fn main() {
         ceph_fleet(procs, 16, MountType::Kernel, chunk, true),
         marfs_fleet(procs, chunk),
     ];
+    let refs: Vec<&System> = systems.iter().collect();
+    if trace.is_some() {
+        enable_tracing(&refs);
+    }
     let cfg = MdtestEasyConfig {
         files_total: files,
         create_only: false,
     };
     let mut rows = Vec::new();
     let mut records = Vec::new();
-    for system in systems {
+    for system in &systems {
         let result = mdtest_easy(&system.clients, &cfg).expect("mdtest-easy");
         let get = |name: &str| result.phase(name).map(|p| p.ops_per_sec()).unwrap_or(0.0);
         rows.push(vec![
@@ -39,14 +45,18 @@ fn main() {
             kops(get("stat")),
             kops(get("delete")),
         ]);
+        let mut metrics = vec![
+            ("create_ops_s".to_string(), get("create")),
+            ("stat_ops_s".to_string(), get("stat")),
+            ("delete_ops_s".to_string(), get("delete")),
+        ];
+        for phase in &result.phases {
+            metrics.extend(phase_latency_metrics(phase));
+        }
         records.push(BenchRecord {
             group: "mdtest-easy".to_string(),
             system: system.name.clone(),
-            metrics: vec![
-                ("create_ops_s".to_string(), get("create")),
-                ("stat_ops_s".to_string(), get("stat")),
-                ("delete_ops_s".to_string(), get("delete")),
-            ],
+            metrics,
         });
         eprintln!("fig4: {} done", system.name);
     }
@@ -61,4 +71,7 @@ fn main() {
         &[("files", files as f64), ("procs", procs as f64)],
         &records,
     );
+    if let Some(path) = trace {
+        write_chrome_trace(&path, &refs);
+    }
 }

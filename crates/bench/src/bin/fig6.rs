@@ -12,12 +12,13 @@
 use arkfs::ArkConfig;
 use arkfs_baselines::MountType;
 use arkfs_bench::{
-    ark_fleet, ark_fleet_s3, bench_procs, ceph_fleet, goofys_fleet, print_table, s3fs_fleet,
-    save_bench_json, save_results, BenchRecord, System,
+    ark_fleet, ark_fleet_s3, bench_procs, ceph_fleet, enable_tracing, goofys_fleet,
+    phase_latency_metrics, print_table, s3fs_fleet, save_bench_json, save_results, trace_path,
+    write_chrome_trace, BenchRecord, System,
 };
 use arkfs_workloads::fio::{fio, FioConfig};
 
-fn run(systems: Vec<System>, cfg: &FioConfig, title: &str, out: &str) -> Vec<BenchRecord> {
+fn run(systems: &[System], cfg: &FioConfig, title: &str, out: &str) -> Vec<BenchRecord> {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for system in systems {
@@ -27,13 +28,16 @@ fn run(systems: Vec<System>, cfg: &FioConfig, title: &str, out: &str) -> Vec<Ben
             format!("{:.0}", result.write_mib_s()),
             format!("{:.0}", result.read_mib_s()),
         ]);
+        let mut metrics = vec![
+            ("write_mib_s".to_string(), result.write_mib_s()),
+            ("read_mib_s".to_string(), result.read_mib_s()),
+        ];
+        metrics.extend(phase_latency_metrics(&result.write));
+        metrics.extend(phase_latency_metrics(&result.read));
         records.push(BenchRecord {
             group: out.to_string(),
             system: system.name.clone(),
-            metrics: vec![
-                ("write_mib_s".to_string(), result.write_mib_s()),
-                ("read_mib_s".to_string(), result.read_mib_s()),
-            ],
+            metrics,
         });
         eprintln!("fig6: {} done", system.name);
     }
@@ -56,18 +60,22 @@ fn main() {
         file_size,
         request_size: 128 * 1024,
     };
+    let trace = trace_path();
 
     // (a) RADOS backend.
     let mut ark_cfg = ArkConfig::default();
     ark_cfg.chunk_size = chunk;
     ark_cfg.cache_entries = 256;
-    let systems = vec![
+    let systems_a = vec![
         ark_fleet(procs, ark_cfg, true),
         ceph_fleet(procs, 1, MountType::Kernel, chunk, true),
         ceph_fleet(procs, 1, MountType::Fuse, chunk, true),
     ];
+    if trace.is_some() {
+        enable_tracing(&systems_a.iter().collect::<Vec<_>>());
+    }
     let mut records = run(
-        systems,
+        &systems_a,
         &cfg,
         &format!(
             "Figure 6(a): large-file bandwidth on RADOS ({procs} procs, {} MiB files)",
@@ -77,14 +85,17 @@ fn main() {
     );
 
     // (b) S3 backend.
-    let systems = vec![
+    let systems_b = vec![
         ark_fleet_s3(procs, 8 * 1024 * 1024, chunk, true),
         ark_fleet_s3(procs, 400 * 1024 * 1024, chunk, true),
         s3fs_fleet(procs, chunk, true),
         goofys_fleet(procs, chunk, 400 * 1024 * 1024, true),
     ];
+    if trace.is_some() {
+        enable_tracing(&systems_b.iter().collect::<Vec<_>>());
+    }
     records.extend(run(
-        systems,
+        &systems_b,
         &cfg,
         &format!(
             "Figure 6(b): large-file bandwidth on S3 ({procs} procs, {} MiB files)",
@@ -101,4 +112,8 @@ fn main() {
         ],
         &records,
     );
+    if let Some(path) = trace {
+        let refs: Vec<&System> = systems_a.iter().chain(systems_b.iter()).collect();
+        write_chrome_trace(&path, &refs);
+    }
 }

@@ -1,0 +1,53 @@
+//! Regenerate every committed results artifact in one go:
+//! `results/*.txt` and the `BENCH_*.json` regression baselines.
+//!
+//! ```text
+//! cargo run --release --bin regen-results
+//! ```
+//!
+//! Runs the figure/table binaries in sequence at the default committed
+//! scales (honouring `ARKFS_BENCH_FILES` / `ARKFS_BENCH_PROCS` /
+//! `ARKFS_BENCH_FULL` like the binaries themselves). Prefers sibling
+//! binaries from the same build; falls back to `cargo run` when a
+//! binary is missing from the target directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig1", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "ablate",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().map(PathBuf::from).unwrap_or_default();
+    let mut failed: Vec<&str> = Vec::new();
+    for name in BINS {
+        eprintln!("regen-results: running {name}");
+        let sibling = dir.join(name);
+        let status = if sibling.is_file() {
+            Command::new(&sibling).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--release", "--quiet", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("regen-results: {name} exited with {s}");
+                failed.push(name);
+            }
+            Err(e) => {
+                eprintln!("regen-results: {name} failed to start: {e}");
+                failed.push(name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("regen-results: all {} binaries succeeded", BINS.len());
+    } else {
+        eprintln!("regen-results: FAILED: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+}

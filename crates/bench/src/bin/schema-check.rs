@@ -1,0 +1,471 @@
+//! Validate the committed `BENCH_*.json` regression baselines against
+//! the versioned schema, and (optionally) a Chrome `trace_event` JSON
+//! produced with `--trace`.
+//!
+//! ```text
+//! schema-check [--trace <trace.json>] [BENCH_fig4.json ...]
+//! ```
+//!
+//! With no file arguments, checks `BENCH_fig4.json`, `BENCH_fig5.json`
+//! and `BENCH_fig6.json` in the working directory. The check is strict
+//! both ways: a document fails on *missing* fields (a phase lost its
+//! percentiles) and on *unknown* fields (someone added a metric without
+//! extending this checker and, if needed, bumping the schema version).
+//! Latency percentiles must be ordered: p50 <= p99 <= max.
+
+use arkfs_bench::BENCH_SCHEMA_VERSION;
+use std::collections::BTreeSet;
+
+// ---- minimal JSON parser (no external deps) ----------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data"));
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|_| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    Parser::new(text).parse()
+}
+
+// ---- bench schema -------------------------------------------------------
+
+/// The exact metric keys every record of a bench must carry.
+fn expected_metrics(bench: &str) -> Option<Vec<String>> {
+    let lat = |phase: &str| {
+        vec![
+            format!("{phase}_p50_ns"),
+            format!("{phase}_p99_ns"),
+            format!("{phase}_max_ns"),
+        ]
+    };
+    let mut keys: Vec<String> = Vec::new();
+    match bench {
+        "fig4" => {
+            for phase in ["create", "stat", "delete"] {
+                keys.push(format!("{phase}_ops_s"));
+                keys.extend(lat(phase));
+            }
+        }
+        "fig5" => {
+            for phase in ["write", "stat", "read", "delete"] {
+                keys.push(format!("{phase}_ops_s"));
+                keys.extend(lat(phase));
+            }
+            keys.push("read_errors".to_string());
+        }
+        "fig6" => {
+            for phase in ["write", "read"] {
+                keys.push(format!("{phase}_mib_s"));
+                keys.extend(lat(phase));
+            }
+        }
+        _ => return None,
+    }
+    Some(keys)
+}
+
+/// Phases whose percentiles must be ordered p50 <= p99 <= max.
+fn latency_phases(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "fig4" => &["create", "stat", "delete"],
+        "fig5" => &["write", "stat", "read", "delete"],
+        "fig6" => &["write", "read"],
+        _ => &[],
+    }
+}
+
+fn check_bench_doc(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = parse(&text)?;
+
+    let top: BTreeSet<&str> = doc.keys().into_iter().collect();
+    let want: BTreeSet<&str> = ["bench", "schema", "config", "results"].into();
+    if top != want {
+        return Err(format!("top-level keys {top:?}, expected {want:?}"));
+    }
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_num)
+        .ok_or("schema: not a number")?;
+    if schema != BENCH_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema version {schema}, expected {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("bench: not a string")?;
+    let expected = expected_metrics(bench)
+        .ok_or_else(|| format!("unknown bench '{bench}' — extend schema-check"))?;
+    let expected: BTreeSet<&str> = expected.iter().map(String::as_str).collect();
+
+    for (key, value) in match doc.get("config") {
+        Some(Json::Obj(fields)) => fields.iter(),
+        _ => return Err("config: not an object".to_string()),
+    } {
+        if value.as_num().is_none() {
+            return Err(format!("config.{key}: not a number"));
+        }
+    }
+
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("results: not an array")?;
+    if results.is_empty() {
+        return Err("results: empty".to_string());
+    }
+    for (i, rec) in results.iter().enumerate() {
+        let rkeys: BTreeSet<&str> = rec.keys().into_iter().collect();
+        let rwant: BTreeSet<&str> = ["group", "system", "metrics"].into();
+        if rkeys != rwant {
+            return Err(format!("results[{i}] keys {rkeys:?}, expected {rwant:?}"));
+        }
+        let system = rec.get("system").and_then(Json::as_str).unwrap_or("?");
+        let metrics = rec.get("metrics").ok_or("metrics missing")?;
+        let mkeys: BTreeSet<&str> = metrics.keys().into_iter().collect();
+        let missing: Vec<&&str> = expected.difference(&mkeys).collect();
+        let unknown: Vec<&&str> = mkeys.difference(&expected).collect();
+        if !missing.is_empty() || !unknown.is_empty() {
+            return Err(format!(
+                "results[{i}] ({system}): missing {missing:?}, unknown {unknown:?}"
+            ));
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            metrics
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("results[{i}] ({system}): {key} is not a number"))
+        };
+        for phase in latency_phases(bench) {
+            let p50 = num(&format!("{phase}_p50_ns"))?;
+            let p99 = num(&format!("{phase}_p99_ns"))?;
+            let max = num(&format!("{phase}_max_ns"))?;
+            if !(p50 <= p99 && p99 <= max) {
+                return Err(format!(
+                    "results[{i}] ({system}): {phase} percentiles unordered: \
+                     p50={p50} p99={p99} max={max}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- Chrome trace -------------------------------------------------------
+
+fn check_trace_doc(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = parse(&text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("traceEvents: not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents: empty (was tracing enabled?)".to_string());
+    }
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}]: missing ph"))?;
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("traceEvents[{i}]: missing numeric {key}"));
+            }
+        }
+        match ph {
+            "X" => {
+                complete += 1;
+                if ev.get("name").and_then(Json::as_str).is_none() {
+                    return Err(format!("traceEvents[{i}]: X event without name"));
+                }
+                for key in ["ts", "dur"] {
+                    if ev.get(key).and_then(Json::as_num).is_none() {
+                        return Err(format!("traceEvents[{i}]: X event missing {key}"));
+                    }
+                }
+            }
+            "M" => {}
+            other => return Err(format!("traceEvents[{i}]: unexpected ph '{other}'")),
+        }
+    }
+    if complete == 0 {
+        return Err("no complete ('X') span events".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut benches: Vec<String> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            traces.extend(args.next());
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            traces.push(p.to_string());
+        } else {
+            benches.push(a);
+        }
+    }
+    if benches.is_empty() && traces.is_empty() {
+        benches = ["BENCH_fig4.json", "BENCH_fig5.json", "BENCH_fig6.json"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    let mut failed = false;
+    for path in &benches {
+        match check_bench_doc(path) {
+            Ok(()) => println!("{path}: OK"),
+            Err(e) => {
+                println!("{path}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    for path in &traces {
+        match check_trace_doc(path) {
+            Ok(()) => println!("{path}: OK (trace)"),
+            Err(e) => {
+                println!("{path}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -15,9 +15,15 @@ use arkfs::{ArkCluster, ArkConfig};
 use arkfs_baselines::pathfs::Bucket;
 use arkfs_baselines::{CephFs, GoofysFs, MarFs, MountType, S3Fs};
 use arkfs_objstore::{ClusterConfig, ObjectCluster};
-use arkfs_simkit::ClusterSpec;
+use arkfs_simkit::{ClusterSpec, PhaseResult};
+use arkfs_telemetry::{merged_chrome_trace, Telemetry, Tracer};
 use arkfs_workloads::SimClient;
 use std::sync::Arc;
+
+/// Version of the `BENCH_*.json` document layout. Consumers should
+/// reject documents with an unknown version; purely additive metric
+/// fields do not bump it.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// A named fleet of clients of one file system under test.
 pub struct System {
@@ -201,6 +207,59 @@ pub struct BenchRecord {
     pub metrics: Vec<(String, f64)>,
 }
 
+/// Latency percentiles of one workload phase as benchmark metrics:
+/// `<phase>_p50_ns`, `<phase>_p99_ns`, `<phase>_max_ns`.
+pub fn phase_latency_metrics(phase: &PhaseResult) -> Vec<(String, f64)> {
+    vec![
+        (format!("{}_p50_ns", phase.name), phase.latency_p50 as f64),
+        (format!("{}_p99_ns", phase.name), phase.latency_p99 as f64),
+        (format!("{}_max_ns", phase.name), phase.latency_max as f64),
+    ]
+}
+
+/// The `--trace <path>` / `--trace=<path>` CLI argument, if present.
+pub fn trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+fn system_telemetry(system: &System) -> Option<Arc<Telemetry>> {
+    system.clients.first().and_then(|c| c.telemetry())
+}
+
+/// Turn span tracing on for every deployment in `systems` (clients of
+/// one system share a deployment, so the first client's telemetry
+/// covers the fleet).
+pub fn enable_tracing(systems: &[&System]) {
+    for s in systems {
+        if let Some(t) = system_telemetry(s) {
+            t.tracer.set_enabled(true);
+        }
+    }
+}
+
+/// Write one merged Chrome `trace_event` JSON covering every traced
+/// system — load it in chrome://tracing or https://ui.perfetto.dev.
+pub fn write_chrome_trace(path: &str, systems: &[&System]) {
+    let tels: Vec<(String, Arc<Telemetry>)> = systems
+        .iter()
+        .filter_map(|s| system_telemetry(s).map(|t| (s.name.clone(), t)))
+        .collect();
+    let groups: Vec<(&str, &Tracer)> = tels.iter().map(|(n, t)| (n.as_str(), &t.tracer)).collect();
+    match std::fs::write(path, merged_chrome_trace(&groups)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -229,6 +288,7 @@ pub fn bench_json_string(name: &str, config: &[(&str, f64)], records: &[BenchRec
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
+    s.push_str(&format!("  \"schema\": {BENCH_SCHEMA_VERSION},\n"));
     s.push_str("  \"config\": {");
     let cfg: Vec<String> = config
         .iter()
@@ -317,6 +377,7 @@ mod tests {
         }];
         let doc = bench_json_string("fig9", &[("procs", 16.0)], &records);
         assert!(doc.contains("\"bench\": \"fig9\""));
+        assert!(doc.contains(&format!("\"schema\": {BENCH_SCHEMA_VERSION}")));
         assert!(doc.contains("\"procs\": 16"));
         assert!(doc.contains("\"group\": \"a\\\"b\""));
         assert!(doc.contains("\"write_ops_s\": 1234.5"));

@@ -7,8 +7,10 @@
 use crate::Ino;
 use arkfs_netsim::{NodeId, Service};
 use arkfs_simkit::{Nanos, SharedResource, SEC};
+use arkfs_telemetry::{Counter, Telemetry, PID_LEASE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Lease-manager tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +93,17 @@ pub struct LeaseManager {
     /// Virtual boot time. After a restart the manager refuses grants for
     /// one lease period so stale leaders can expire (§III-E.2).
     boot_at: Nanos,
+    tel: Option<LeaseTelemetry>,
+}
+
+/// Pre-resolved registry handles (see [`LeaseManager::with_telemetry`]).
+struct LeaseTelemetry {
+    telemetry: Arc<Telemetry>,
+    acquires: Arc<Counter>,
+    grants: Arc<Counter>,
+    redirects: Arc<Counter>,
+    retries: Arc<Counter>,
+    releases: Arc<Counter>,
 }
 
 impl LeaseManager {
@@ -109,7 +122,23 @@ impl LeaseManager {
                 now: boot_at,
             }),
             boot_at,
+            tel: None,
         }
+    }
+
+    /// Record request/outcome counters (`lease.*`) and service spans
+    /// into a deployment's shared telemetry.
+    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        let reg = &telemetry.registry;
+        self.tel = Some(LeaseTelemetry {
+            telemetry: Arc::clone(telemetry),
+            acquires: reg.counter("lease.acquire.count"),
+            grants: reg.counter("lease.grant.count"),
+            redirects: reg.counter("lease.redirect.count"),
+            retries: reg.counter("lease.retry.count"),
+            releases: reg.counter("lease.release.count"),
+        });
+        self
     }
 
     pub fn config(&self) -> &LeaseConfig {
@@ -214,10 +243,32 @@ impl Service<LeaseRequest, LeaseResponse> for LeaseManager {
         // "Acquiring/extending a lease is a very lightweight operation"
         // (§III-B) — but it is still serialized at the single manager.
         let done = self.server.reserve(arrival, self.config.op_service);
+        let is_acquire = matches!(req, LeaseRequest::Acquire { .. });
         let resp = match req {
             LeaseRequest::Acquire { client, ino } => self.acquire(done, client, ino),
             LeaseRequest::Release { client, ino } => self.release(done, client, ino),
         };
+        if let Some(tel) = &self.tel {
+            if is_acquire {
+                tel.acquires.inc();
+            }
+            match &resp {
+                LeaseResponse::Granted { .. } => tel.grants.inc(),
+                LeaseResponse::Redirect { .. } => tel.redirects.inc(),
+                LeaseResponse::Retry { .. } => tel.retries.inc(),
+                LeaseResponse::Released => tel.releases.inc(),
+            }
+            if tel.telemetry.tracer.enabled() {
+                let name = if is_acquire {
+                    "lease.acquire"
+                } else {
+                    "lease.release"
+                };
+                tel.telemetry
+                    .tracer
+                    .record(PID_LEASE, 0, name, "lease", arrival, done);
+            }
+        }
         (resp, done)
     }
 }

@@ -6,10 +6,11 @@ use crate::key::{KeyKind, ObjectKey};
 use crate::profile::StoreProfile;
 use crate::store::ObjectStore;
 use arkfs_simkit::{BandwidthResource, ClusterSpec, Nanos, Port, SharedResource};
+use arkfs_telemetry::{Counter, Registry, Telemetry, BATCH_TID, PID_STORE};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Construction parameters for an [`ObjectCluster`].
 #[derive(Debug, Clone)]
@@ -128,26 +129,41 @@ struct Shard {
     disk: BandwidthResource,
 }
 
-/// Aggregate operation counters, for EXPERIMENTS.md accounting.
-#[derive(Debug, Default)]
+/// Aggregate operation counters. These are handles into the cluster's
+/// telemetry [`Registry`] (under `store.*` names), kept as named fields
+/// so hot-path increments skip the registry map entirely.
+#[derive(Debug)]
 pub struct ClusterStats {
-    pub gets: AtomicU64,
-    pub puts: AtomicU64,
-    pub deletes: AtomicU64,
-    pub lists: AtomicU64,
-    pub bytes_in: AtomicU64,
-    pub bytes_out: AtomicU64,
+    pub gets: Arc<Counter>,
+    pub puts: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    pub lists: Arc<Counter>,
+    pub bytes_in: Arc<Counter>,
+    pub bytes_out: Arc<Counter>,
     /// Batched multi-object calls (`get_each`/`get_many`, `put_many`,
     /// `get_range_many`, `put_range_many`, `delete_many`).
-    pub batch_calls: AtomicU64,
+    pub batch_calls: Arc<Counter>,
     /// Total items carried by those batched calls.
-    pub batch_items: AtomicU64,
+    pub batch_items: Arc<Counter>,
 }
 
 impl ClusterStats {
+    fn attached(reg: &Registry) -> Self {
+        ClusterStats {
+            gets: reg.counter("store.get.count"),
+            puts: reg.counter("store.put.count"),
+            deletes: reg.counter("store.delete.count"),
+            lists: reg.counter("store.list.count"),
+            bytes_in: reg.counter("store.write.bytes"),
+            bytes_out: reg.counter("store.read.bytes"),
+            batch_calls: reg.counter("store.batch.calls"),
+            batch_items: reg.counter("store.batch.items"),
+        }
+    }
+
     fn count_batch(&self, items: usize) {
-        self.batch_calls.fetch_add(1, Ordering::Relaxed);
-        self.batch_items.fetch_add(items as u64, Ordering::Relaxed);
+        self.batch_calls.inc();
+        self.batch_items.add(items as u64);
     }
 }
 
@@ -160,6 +176,7 @@ pub struct ObjectCluster {
     net: BandwidthResource,
     pub faults: FaultPlan,
     pub stats: ClusterStats,
+    telemetry: Arc<Telemetry>,
 }
 
 impl ObjectCluster {
@@ -180,12 +197,15 @@ impl ObjectCluster {
             })
             .collect();
         let net = BandwidthResource::new("store-net", config.spec.store_net_bw);
+        let telemetry = Telemetry::new();
+        let stats = ClusterStats::attached(&telemetry.registry);
         ObjectCluster {
             config,
             shards,
             net,
             faults: FaultPlan::new(),
-            stats: ClusterStats::default(),
+            stats,
+            telemetry,
         }
     }
 
@@ -320,11 +340,21 @@ impl ObjectCluster {
         }
     }
 
+    /// Record a whole-batch span on the store's synthetic batch track.
+    fn batch_span(&self, name: &'static str, start: Nanos, end: Nanos) {
+        if self.telemetry.tracer.enabled() {
+            self.telemetry
+                .tracer
+                .record(PID_STORE, BATCH_TID, name, "store", start, end);
+        }
+    }
+
     /// Virtual cost of reading from the given (shard, bytes) sources in
     /// parallel, all departing at `arrival`. Returns the completion time.
     fn charge_read_sources(&self, arrival: Nanos, sources: &[(usize, u64)]) -> Nanos {
         let mut done = arrival;
         let mut total = 0u64;
+        let traced = self.telemetry.tracer.enabled();
         for &(idx, bytes) in sources {
             let shard = &self.shards[idx];
             let t1 = shard
@@ -336,6 +366,16 @@ impl ObjectCluster {
             } else {
                 t1
             };
+            if traced {
+                self.telemetry.tracer.record(
+                    PID_STORE,
+                    idx as u32,
+                    "shard.read",
+                    "store",
+                    arrival,
+                    t2,
+                );
+            }
             done = done.max(t2);
             total += bytes;
         }
@@ -361,6 +401,7 @@ impl ObjectCluster {
             depart
         };
         let mut done = t1;
+        let traced = self.telemetry.tracer.enabled();
         for idx in self.replica_shards(key) {
             let shard = &self.shards[idx];
             let t2 = shard.op_server.reserve(t1, self.config.profile.op_service)
@@ -370,6 +411,11 @@ impl ObjectCluster {
             } else {
                 t2
             };
+            if traced {
+                self.telemetry
+                    .tracer
+                    .record(PID_STORE, idx as u32, "shard.write", "store", t1, t3);
+            }
             done = done.max(t3);
         }
         done
@@ -494,27 +540,26 @@ impl ObjectStore for ObjectCluster {
     }
 
     fn batch_stats(&self) -> (u64, u64) {
-        (
-            self.stats.batch_calls.load(Ordering::Relaxed),
-            self.stats.batch_items.load(Ordering::Relaxed),
-        )
+        (self.stats.batch_calls.get(), self.stats.batch_items.get())
+    }
+
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        Some(&self.telemetry)
     }
 
     fn put(&self, port: &Port, key: ObjectKey, data: Bytes) -> OsResult<()> {
         self.faults.check_put(key)?;
-        self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_in
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.puts.inc();
+        self.stats.bytes_in.add(data.len() as u64);
         self.charge_write(port, &key, data.len() as u64);
         self.store_object(key, data);
         Ok(())
     }
 
     fn get(&self, port: &Port, key: ObjectKey) -> OsResult<Bytes> {
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.gets.inc();
         let (bytes, total_len, sources) = self.load_logical(key)?;
-        self.stats.bytes_out.fetch_add(total_len, Ordering::Relaxed);
+        self.stats.bytes_out.add(total_len);
         let arrival = port.advance(self.config.spec.net_half_rtt);
         let done = self.charge_read_sources(arrival, &sources);
         port.wait_until(done);
@@ -528,7 +573,7 @@ impl ObjectStore for ObjectCluster {
         if !self.config.profile.ranged_reads {
             return Err(OsError::Unsupported("ranged read"));
         }
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.gets.inc();
         if self.faults.is_lost(key) {
             return Err(OsError::NotFound);
         }
@@ -542,9 +587,7 @@ impl ObjectStore for ObjectCluster {
             Some(v) => Bytes::copy_from_slice(&v[start as usize..end as usize]),
             None => Bytes::from(vec![0u8; (end - start) as usize]),
         };
-        self.stats
-            .bytes_out
-            .fetch_add(slice.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_out.add(slice.len() as u64);
         let arrival = port.advance(self.config.spec.net_half_rtt);
         let sources: Vec<(usize, u64)> = if self.config.ec.is_some() {
             sources
@@ -571,10 +614,8 @@ impl ObjectStore for ObjectCluster {
             ));
         }
         self.faults.check_put(key)?;
-        self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_in
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.puts.inc();
+        self.stats.bytes_in.add(data.len() as u64);
         self.charge_write(port, &key, data.len() as u64);
         // Apply to all replicas under their own shard locks.
         self.apply_range_write(key, offset, &data);
@@ -582,7 +623,7 @@ impl ObjectStore for ObjectCluster {
     }
 
     fn delete(&self, port: &Port, key: ObjectKey) -> OsResult<()> {
-        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.stats.deletes.inc();
         self.charge_write(port, &key, 0);
         let mut found = false;
         for idx in self.replica_shards(&key) {
@@ -630,6 +671,7 @@ impl ObjectStore for ObjectCluster {
                 })
             })
             .collect();
+        self.batch_span("store.get_many", t0, done);
         port.wait_until(done);
         out
     }
@@ -638,7 +680,7 @@ impl ObjectStore for ObjectCluster {
         self.stats.count_batch(keys.len());
         let mut out = Vec::with_capacity(keys.len());
         for &key in keys {
-            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            self.stats.gets.inc();
             let (bytes, total_len, sources) = match self.load_logical(key) {
                 Ok(v) => v,
                 Err(e) => {
@@ -646,7 +688,7 @@ impl ObjectStore for ObjectCluster {
                     continue;
                 }
             };
-            self.stats.bytes_out.fetch_add(total_len, Ordering::Relaxed);
+            self.stats.bytes_out.add(total_len);
             let completion = self.charge_read_sources(arrival, &sources);
             out.push(Ok((
                 match bytes {
@@ -672,14 +714,13 @@ impl ObjectStore for ObjectCluster {
                 out.push(Err(e));
                 continue;
             }
-            self.stats.puts.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_in
-                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            self.stats.puts.inc();
+            self.stats.bytes_in.add(data.len() as u64);
             done = done.max(self.charge_write_at(t0, &key, data.len() as u64));
             self.store_object(key, data);
             out.push(Ok(()));
         }
+        self.batch_span("store.put_many", t0, done);
         port.wait_until(done + self.config.spec.net_half_rtt);
         out
     }
@@ -705,7 +746,7 @@ impl ObjectStore for ObjectCluster {
         let out = reqs
             .iter()
             .map(|&(key, offset, len)| {
-                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                self.stats.gets.inc();
                 if self.faults.is_lost(key) {
                     return Err(OsError::NotFound);
                 }
@@ -716,9 +757,7 @@ impl ObjectStore for ObjectCluster {
                     Some(v) => Bytes::copy_from_slice(&v[start as usize..end as usize]),
                     None => Bytes::from(vec![0u8; (end - start) as usize]),
                 };
-                self.stats
-                    .bytes_out
-                    .fetch_add(slice.len() as u64, Ordering::Relaxed);
+                self.stats.bytes_out.add(slice.len() as u64);
                 // Replication moves only the requested range; EC assembles
                 // whole fragments (same rule as get_range).
                 let sources: Vec<(usize, u64)> = if self.config.ec.is_some() {
@@ -733,6 +772,7 @@ impl ObjectStore for ObjectCluster {
                 Ok(slice)
             })
             .collect();
+        self.batch_span("store.get_range_many", t0, done);
         port.wait_until(done);
         out
     }
@@ -755,10 +795,8 @@ impl ObjectStore for ObjectCluster {
                 continue;
             }
             if self.supports_range_write(&key) {
-                self.stats.puts.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .bytes_in
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                self.stats.puts.inc();
+                self.stats.bytes_in.add(data.len() as u64);
                 done = done.max(self.charge_write_at(t0, &key, data.len() as u64));
                 self.apply_range_write(key, offset, &data);
                 out.push(Ok(()));
@@ -767,7 +805,7 @@ impl ObjectStore for ObjectCluster {
             // Whole-object read-modify-write: the read departs with the
             // batch; the rewrite departs at that item's read completion.
             // Items still overlap each other.
-            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            self.stats.gets.inc();
             let (bytes, total_len, sources) = match self.load_logical(key) {
                 Ok(v) => v,
                 Err(OsError::NotFound) => (Some(Vec::new()), 0, Vec::new()),
@@ -776,7 +814,7 @@ impl ObjectStore for ObjectCluster {
                     continue;
                 }
             };
-            self.stats.bytes_out.fetch_add(total_len, Ordering::Relaxed);
+            self.stats.bytes_out.add(total_len);
             let t_read = if sources.is_empty() {
                 t0
             } else {
@@ -788,14 +826,13 @@ impl ObjectStore for ObjectCluster {
                 whole.resize(end, 0);
             }
             whole[offset as usize..end].copy_from_slice(&data);
-            self.stats.puts.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_in
-                .fetch_add(whole.len() as u64, Ordering::Relaxed);
+            self.stats.puts.inc();
+            self.stats.bytes_in.add(whole.len() as u64);
             done = done.max(self.charge_write_at(t_read, &key, whole.len() as u64));
             self.store_object(key, Bytes::from(whole));
             out.push(Ok(()));
         }
+        self.batch_span("store.put_range_many", t0, done);
         port.wait_until(done + self.config.spec.net_half_rtt);
         out
     }
@@ -810,7 +847,7 @@ impl ObjectStore for ObjectCluster {
         let out = keys
             .iter()
             .map(|&key| {
-                self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                self.stats.deletes.inc();
                 done = done.max(self.charge_write_at(t0, &key, 0));
                 let mut found = false;
                 for idx in self.replica_shards(&key) {
@@ -823,6 +860,7 @@ impl ObjectStore for ObjectCluster {
                 }
             })
             .collect();
+        self.batch_span("store.delete_many", t0, done);
         port.wait_until(done + self.config.spec.net_half_rtt);
         out
     }
@@ -833,7 +871,7 @@ impl ObjectStore for ObjectCluster {
         kind: Option<KeyKind>,
         ino: Option<u128>,
     ) -> OsResult<Vec<ObjectKey>> {
-        self.stats.lists.fetch_add(1, Ordering::Relaxed);
+        self.stats.lists.inc();
         self.charge_read(port, &ObjectKey::inode(ino.unwrap_or(0)), 0);
         let mut out = Vec::new();
         let mut seen = std::collections::HashSet::new();
@@ -1046,12 +1084,12 @@ mod tests {
         c.get(&port, key).unwrap();
         c.list(&port, None, None).unwrap();
         c.delete(&port, key).unwrap();
-        assert_eq!(c.stats.puts.load(Ordering::Relaxed), 1);
-        assert_eq!(c.stats.gets.load(Ordering::Relaxed), 1);
-        assert_eq!(c.stats.deletes.load(Ordering::Relaxed), 1);
-        assert_eq!(c.stats.lists.load(Ordering::Relaxed), 1);
-        assert_eq!(c.stats.bytes_in.load(Ordering::Relaxed), 3);
-        assert_eq!(c.stats.bytes_out.load(Ordering::Relaxed), 3);
+        assert_eq!(c.stats.puts.get(), 1);
+        assert_eq!(c.stats.gets.get(), 1);
+        assert_eq!(c.stats.deletes.get(), 1);
+        assert_eq!(c.stats.lists.get(), 1);
+        assert_eq!(c.stats.bytes_in.get(), 3);
+        assert_eq!(c.stats.bytes_out.get(), 3);
     }
 
     #[test]
@@ -1314,11 +1352,8 @@ mod tests {
         c.get_range_many(&port, &[(keys[0], 0, 1)]);
         c.put_range_many(&port, vec![(keys[0], 0, Bytes::from_static(b"r"))]);
         c.delete_many(&port, &keys);
-        assert_eq!(c.stats.batch_calls.load(Ordering::Relaxed), 5);
-        assert_eq!(
-            c.stats.batch_items.load(Ordering::Relaxed),
-            3 + 3 + 1 + 1 + 3
-        );
+        assert_eq!(c.stats.batch_calls.get(), 5);
+        assert_eq!(c.stats.batch_items.get(), 3 + 3 + 1 + 1 + 3);
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub trait ObjectStore: Send + Sync {
         (0, 0)
     }
 
+    /// The deployment-wide telemetry handle (registry + span tracer)
+    /// this store records into, if it has one. Everything layered above
+    /// a store adopts this handle so one registry covers the stack.
+    fn telemetry(&self) -> Option<&std::sync::Arc<arkfs_telemetry::Telemetry>> {
+        None
+    }
+
     /// PUT a whole object (creates or replaces).
     fn put(&self, port: &Port, key: ObjectKey, data: Bytes) -> OsResult<()>;
 

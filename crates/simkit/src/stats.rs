@@ -2,6 +2,7 @@
 //! phase throughput accounting.
 
 use crate::{Nanos, SEC};
+use arkfs_telemetry::HistogramSnapshot;
 use parking_lot::Mutex;
 
 /// A log-scaled latency histogram (powers of two from 1 ns to ~18 s).
@@ -113,7 +114,8 @@ struct MeterInner {
     ops: u64,
     start: Option<Nanos>,
     end: Nanos,
-    lat: Histogram,
+    /// Per-op latency distribution (log-linear, ~6% quantile error).
+    lat: HistogramSnapshot,
 }
 
 impl ThroughputMeter {
@@ -144,13 +146,19 @@ impl ThroughputMeter {
             name: name.into(),
             ops: inner.ops,
             makespan,
-            latency_mean: inner.lat.mean(),
+            latency_mean: inner.lat.mean() as f64,
+            latency_p50: inner.lat.quantile(0.50),
+            latency_p90: inner.lat.quantile(0.90),
             latency_p99: inner.lat.quantile(0.99),
+            latency_p999: inner.lat.quantile(0.999),
+            latency_max: inner.lat.max(),
         }
     }
 }
 
-/// One benchmark phase's aggregate result.
+/// One benchmark phase's aggregate result. Latency percentiles are in
+/// virtual nanoseconds over whatever per-op latencies were recorded
+/// (all zero when none were), with p50 ≤ p90 ≤ p99 ≤ p999 ≤ max.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseResult {
     pub name: String,
@@ -158,7 +166,11 @@ pub struct PhaseResult {
     /// Virtual makespan of the phase.
     pub makespan: Nanos,
     pub latency_mean: f64,
+    pub latency_p50: Nanos,
+    pub latency_p90: Nanos,
     pub latency_p99: Nanos,
+    pub latency_p999: Nanos,
+    pub latency_max: Nanos,
 }
 
 impl PhaseResult {
@@ -247,5 +259,31 @@ mod tests {
         let r = m.finish("noop");
         assert_eq!(r.ops_per_sec(), 0.0);
         assert_eq!(r.bandwidth_mib_s(100), 0.0);
+    }
+
+    #[test]
+    fn meter_reports_ordered_latency_percentiles() {
+        let m = ThroughputMeter::new();
+        m.record_span(1000, 0, SEC);
+        for i in 1..=1000u64 {
+            m.record_latency(i * 1_000);
+        }
+        let r = m.finish("read");
+        assert!(r.latency_p50 >= 500_000 && r.latency_p50 <= 540_000);
+        assert!(r.latency_p50 <= r.latency_p90);
+        assert!(r.latency_p90 <= r.latency_p99);
+        assert!(r.latency_p99 <= r.latency_p999);
+        assert!(r.latency_p999 <= r.latency_max);
+        assert_eq!(r.latency_max, 1_000_000);
+    }
+
+    #[test]
+    fn no_latencies_means_zero_percentiles() {
+        let m = ThroughputMeter::new();
+        m.record_span(10, 0, SEC);
+        let r = m.finish("stat");
+        assert_eq!(r.latency_p50, 0);
+        assert_eq!(r.latency_p99, 0);
+        assert_eq!(r.latency_max, 0);
     }
 }

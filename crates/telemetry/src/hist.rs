@@ -1,0 +1,306 @@
+//! Log-linear latency histograms.
+//!
+//! Values (virtual nanoseconds) are bucketed into 16 sub-buckets per
+//! power of two: values below 16 get exact unit buckets, and every
+//! octave `[2^h, 2^{h+1})` above that is split into 16 equal slices.
+//! Relative quantile error is therefore bounded by 1/16 (~6%), and the
+//! top bucket's upper bound is exactly `u64::MAX`, so out-of-range
+//! values clamp instead of wrapping.
+//!
+//! Two forms share the bucket layout: [`LatencyHistogram`] is atomic
+//! and lock-free for concurrent recording through a
+//! [`crate::Registry`], while [`HistogramSnapshot`] is a plain value
+//! type used for point-in-time reads, merging, and quantile queries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` slices.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Total bucket count: 16 unit buckets + 16 slices for each of the 60
+/// octaves `[2^4, 2^64)`.
+pub const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Bucket index for a value. The top bucket absorbs `u64::MAX`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros(); // 4..=63
+    let sub = ((v >> (h - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    (SUBS + (h - SUB_BITS) as usize * SUBS + sub).min(BUCKETS - 1)
+}
+
+/// Inclusive `(lo, hi)` value range covered by a bucket. The last
+/// bucket's `hi` is exactly `u64::MAX`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUBS {
+        return (idx as u64, idx as u64);
+    }
+    let j = idx - SUBS;
+    let h = (j / SUBS) as u32 + SUB_BITS;
+    let sub = (j % SUBS) as u64;
+    let lo = (1u64 << h) + (sub << (h - SUB_BITS));
+    let hi = lo + ((1u64 << (h - SUB_BITS)) - 1);
+    (lo, hi)
+}
+
+fn saturating_add(cell: &AtomicU64, n: u64) {
+    // fetch_update with a total closure never fails; saturating rather
+    // than wrapping so counters pin at u64::MAX instead of rolling over.
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(n))
+    });
+}
+
+/// Thread-safe log-linear histogram; recording is wait-free-ish
+/// (CAS loops on saturation only).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (saturating on every internal counter).
+    pub fn record(&self, v: u64) {
+        saturating_add(&self.buckets[bucket_index(v)], 1);
+        saturating_add(&self.count, 1);
+        saturating_add(&self.sum, v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy for quantile queries and merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Plain-value histogram with the same bucket layout; supports
+/// recording, merging (associative and commutative), and quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q·count)`-th smallest sample, clamped to the
+    /// recorded maximum — so `quantile(a) <= quantile(b)` for `a <= b`
+    /// and `quantile(1.0) == max()` always hold.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(n);
+            if cum >= rank {
+                return bucket_bounds(idx).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_tile_the_u64_line() {
+        // Every bucket's lo is the previous bucket's hi + 1, the first
+        // bucket starts at 0, and the last ends at u64::MAX.
+        assert_eq!(bucket_bounds(0).0, 0);
+        for idx in 1..BUCKETS {
+            assert_eq!(bucket_bounds(idx).0, bucket_bounds(idx - 1).1 + 1);
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn index_matches_bounds() {
+        for idx in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            assert_eq!(bucket_index(lo + (hi - lo) / 2), idx);
+        }
+    }
+
+    #[test]
+    fn u64_max_clamps_to_top_bucket() {
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+        assert_eq!(s.quantile(0.5), u64::MAX);
+        // sum saturates instead of wrapping
+        assert_eq!(s.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut s = HistogramSnapshot::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            s.record(v);
+        }
+        let p50 = s.quantile(0.50);
+        let p90 = s.quantile(0.90);
+        let p99 = s.quantile(0.99);
+        let p999 = s.quantile(0.999);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p999 <= s.max());
+        assert_eq!(s.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = HistogramSnapshot::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        let mut both = HistogramSnapshot::new();
+        for v in 0..100u64 {
+            a.record(v * 7);
+            both.record(v * 7);
+        }
+        for v in 0..50u64 {
+            b.record(v * 1_000);
+            both.record(v * 1_000);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, both);
+    }
+}

@@ -1,0 +1,43 @@
+//! Virtual-time telemetry for the ArkFS workspace.
+//!
+//! One [`Telemetry`] instance per simulated deployment bundles a
+//! [`Registry`] of named counters/gauges/latency histograms and a
+//! [`Tracer`] of virtual-time spans exportable as Chrome
+//! `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+//! Both ride the simulation's virtual clock: all stamps are virtual
+//! nanoseconds supplied by callers, so a given workload produces a
+//! deterministic trace and deterministic histograms.
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use registry::{Counter, Gauge, MetricValue, Registry};
+pub use trace::{
+    merged_chrome_trace, SpanEvent, Tracer, BATCH_TID, PID_CLIENT, PID_LEASE, PID_META, PID_STORE,
+};
+
+use std::sync::Arc;
+
+/// Shared telemetry handle: the registry plus the span tracer.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    pub registry: Registry,
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    /// Fresh instance with the default process labels; tracing starts
+    /// disabled.
+    pub fn new() -> Arc<Self> {
+        let t = Telemetry::default();
+        t.tracer.name_process(PID_CLIENT, "clients");
+        t.tracer.name_process(PID_STORE, "object store");
+        t.tracer.name_process(PID_META, "metadata");
+        t.tracer.name_process(PID_LEASE, "lease managers");
+        Arc::new(t)
+    }
+}

@@ -1,0 +1,383 @@
+//! Virtual-time span tracer with Chrome `trace_event` export.
+//!
+//! Spans are complete events (`ph: "X"`) stamped with virtual
+//! start/end nanoseconds and grouped onto tracks keyed by
+//! `(pid, tid)`: pid identifies a subsystem (see the `PID_*`
+//! constants), tid a timeline within it (client id, shard index, …).
+//! Each track is a bounded ring — when full, the oldest span is
+//! dropped and counted — so tracing is safe to leave on for arbitrary
+//! run lengths. Virtual nanoseconds map to Chrome's microsecond `ts`
+//! field as `ns / 1000` with three decimals, so Perfetto renders the
+//! virtual timeline losslessly.
+//!
+//! Recording is gated on an atomic enable flag; when disabled (the
+//! default) `record` is a single relaxed load.
+
+use parking_lot::Mutex;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Track group for client-side operation spans (tid = client node id).
+pub const PID_CLIENT: u32 = 1;
+/// Track group for object store spans (tid = shard index or [`BATCH_TID`]).
+pub const PID_STORE: u32 = 2;
+/// Track group for metadata spans (tid = directory ino low bits).
+pub const PID_META: u32 = 3;
+/// Track group for lease-manager spans.
+pub const PID_LEASE: u32 = 4;
+/// Synthetic tid under [`PID_STORE`] carrying whole-batch spans
+/// (`store.get_many`, …) as opposed to per-shard service spans.
+pub const BATCH_TID: u32 = u32::MAX;
+
+/// Default per-track ring capacity.
+pub const DEFAULT_TRACK_CAPACITY: usize = 16 * 1024;
+
+/// One completed span on a `(pid, tid)` track, in virtual nanoseconds.
+///
+/// `name` is a `Cow` so the hot path (every call site in the stack
+/// passes a `&'static str`) records without allocating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub pid: u32,
+    pub tid: u32,
+    pub name: Cow<'static, str>,
+    pub cat: &'static str,
+    pub start: u64,
+    pub end: u64,
+}
+
+#[derive(Debug, Default)]
+struct Track {
+    buf: VecDeque<SpanEvent>,
+}
+
+/// Number of independent track-map locks. Tracks hash onto stripes by
+/// `(pid, tid)`, so concurrent recorders (clients, shards) rarely
+/// contend on the same mutex.
+const STRIPES: usize = 64;
+
+fn stripe_of(pid: u32, tid: u32) -> usize {
+    let h = ((pid as u64) << 32 | tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 58) as usize % STRIPES
+}
+
+/// Bounded multi-track span recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    capacity: usize,
+    stripes: Vec<Mutex<HashMap<(u32, u32), Track>>>,
+    process_names: Mutex<BTreeMap<u32, String>>,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACK_CAPACITY)
+    }
+
+    /// `capacity` bounds each `(pid, tid)` ring.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Tracer {
+            enabled: AtomicBool::new(false),
+            capacity,
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            process_names: Mutex::new(BTreeMap::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Cheap gate for callers that want to skip stamping entirely.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Label a pid group in the exported trace (`process_name` metadata).
+    pub fn name_process(&self, pid: u32, name: &str) {
+        self.process_names.lock().insert(pid, name.to_string());
+    }
+
+    /// Record one completed span. No-op while disabled.
+    pub fn record(
+        &self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        start: u64,
+        end: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let ev = SpanEvent {
+            pid,
+            tid,
+            name: name.into(),
+            cat,
+            start,
+            end: end.max(start),
+        };
+        let mut tracks = self.stripes[stripe_of(pid, tid)].lock();
+        let track = tracks.entry((pid, tid)).or_default();
+        if track.buf.len() == self.capacity {
+            track.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        track.buf.push_back(ev);
+    }
+
+    /// Spans dropped to ring bounds so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// All retained spans, deterministically ordered by
+    /// `(pid, tid, start, end, name)`.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut out: Vec<SpanEvent> = Vec::new();
+        for stripe in &self.stripes {
+            let tracks = stripe.lock();
+            out.extend(tracks.values().flat_map(|t| t.buf.iter().cloned()));
+        }
+        out.sort_by(|a, b| {
+            (a.pid, a.tid, a.start, a.end, &a.name).cmp(&(b.pid, b.tid, b.start, b.end, &b.name))
+        });
+        out
+    }
+
+    /// Registered `pid → process name` labels.
+    pub fn process_names(&self) -> BTreeMap<u32, String> {
+        self.process_names.lock().clone()
+    }
+
+    /// Chrome `trace_event` JSON for this tracer's spans.
+    pub fn chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        render_group(&mut out, &mut first, &self.process_names(), &events, 0);
+        out.push_str("]}");
+        out
+    }
+
+    /// Write [`Tracer::chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace())
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Merge several tracers (e.g. one per benchmarked system) into one
+/// Chrome trace, remapping pids so the groups don't collide; each
+/// process is labelled `"{label} {process}"`.
+pub fn merged_chrome_trace(groups: &[(&str, &Tracer)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (gi, (label, tracer)) in groups.iter().enumerate() {
+        let base = (gi as u32) * 16;
+        let events = tracer.events();
+        let mut names = tracer.process_names();
+        for ev in &events {
+            names
+                .entry(ev.pid)
+                .or_insert_with(|| format!("pid{}", ev.pid));
+        }
+        let named: BTreeMap<u32, String> = names
+            .into_iter()
+            .map(|(pid, name)| (pid, format!("{label} {name}")))
+            .collect();
+        out.reserve(events.len() * 96);
+        render_group(&mut out, &mut first, &named, &events, base);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `ns / 1000` appended with three decimals: Chrome `ts`/`dur` are
+/// microseconds, and three decimals keep nanosecond precision.
+fn push_micros(out: &mut String, ns: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append one group's `process_name` metadata and span events to the
+/// shared `traceEvents` array body (everything between `[` and `]`).
+fn render_group(
+    out: &mut String,
+    first: &mut bool,
+    process_names: &BTreeMap<u32, String>,
+    events: &[SpanEvent],
+    pid_base: u32,
+) {
+    use std::fmt::Write;
+    for (pid, name) in process_names {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"",
+            pid_base + pid
+        );
+        push_escaped(out, name);
+        out.push_str("\"}}");
+    }
+    for ev in events {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("{\"ph\":\"X\",\"name\":\"");
+        push_escaped(out, &ev.name);
+        out.push_str("\",\"cat\":\"");
+        push_escaped(out, ev.cat);
+        out.push_str("\",\"ts\":");
+        push_micros(out, ev.start);
+        out.push_str(",\"dur\":");
+        push_micros(out, ev.end - ev.start);
+        let _ = write!(out, ",\"pid\":{},\"tid\":{}}}", pid_base + ev.pid, ev.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.record(PID_CLIENT, 0, "op.read", "op", 0, 10);
+        assert!(t.events().is_empty());
+        t.set_enabled(true);
+        t.record(PID_CLIENT, 0, "op.read", "op", 0, 10);
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(2);
+        t.set_enabled(true);
+        for i in 0..5u64 {
+            t.record(PID_STORE, 7, format!("s{i}"), "store", i * 10, i * 10 + 1);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "s3");
+        assert_eq!(evs[1].name, "s4");
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn events_are_deterministically_ordered() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.record(PID_STORE, 1, "b", "store", 50, 60);
+        t.record(PID_CLIENT, 2, "c", "op", 0, 100);
+        t.record(PID_CLIENT, 1, "a", "op", 10, 20);
+        t.record(PID_CLIENT, 1, "a0", "op", 10, 15);
+        let keys: Vec<(u32, u32, u64)> =
+            t.events().iter().map(|e| (e.pid, e.tid, e.start)).collect();
+        assert_eq!(keys, vec![(1, 1, 10), (1, 1, 10), (1, 2, 0), (2, 1, 50)]);
+        // Ties broken by (end, name): shorter span first.
+        assert_eq!(t.events()[0].name, "a0");
+    }
+
+    #[test]
+    fn nested_spans_stay_within_parent() {
+        // Concurrent timelines: four "clients" record parent + child
+        // spans with deterministic virtual stamps from different
+        // threads; the export must be identical regardless of thread
+        // interleaving.
+        let t = std::sync::Arc::new(Tracer::new());
+        t.set_enabled(true);
+        let mut handles = Vec::new();
+        for tid in 0..4u32 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let base = tid as u64 * 1_000;
+                t.record(PID_CLIENT, tid, "op.read", "op", base, base + 100);
+                t.record(PID_CLIENT, tid, "cache.miss", "cache", base + 10, base + 90);
+                t.record(
+                    PID_CLIENT,
+                    tid,
+                    "store.get_many",
+                    "store",
+                    base + 20,
+                    base + 80,
+                );
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 12);
+        for tid in 0..4u32 {
+            let per: Vec<&SpanEvent> = evs.iter().filter(|e| e.tid == tid).collect();
+            let parent = per.iter().find(|e| e.name == "op.read").unwrap();
+            for child in per.iter().filter(|e| e.name != "op.read") {
+                assert!(child.start >= parent.start && child.end <= parent.end);
+            }
+        }
+        // Deterministic stamps ⇒ byte-identical export across runs.
+        assert_eq!(t.chrome_trace(), t.chrome_trace());
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.name_process(PID_CLIENT, "clients");
+        t.record(PID_CLIENT, 3, "op.write", "op", 1_234, 5_678);
+        let json = t.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"args\":{\"name\":\"clients\"}"));
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"op.write\",\"cat\":\"op\",\"ts\":1.234,\"dur\":4.444,\"pid\":1,\"tid\":3"));
+    }
+
+    #[test]
+    fn merged_trace_remaps_pids() {
+        let a = Tracer::new();
+        a.set_enabled(true);
+        a.name_process(PID_CLIENT, "clients");
+        a.record(PID_CLIENT, 0, "op.read", "op", 0, 10);
+        let b = Tracer::new();
+        b.set_enabled(true);
+        b.record(PID_STORE, 1, "shard.read", "store", 5, 9);
+        let json = merged_chrome_trace(&[("arkfs", &a), ("s3fs", &b)]);
+        assert!(json.contains("\"name\":\"arkfs clients\""));
+        assert!(json.contains("\"pid\":1,"));
+        assert!(json.contains("\"pid\":18,")); // second group: base 16 + PID_STORE
+        assert!(json.contains("\"name\":\"s3fs pid2\""));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the log-linear histogram: quantile correctness
+//! against an exact sorted reference, and merge associativity.
+
+use arkfs_telemetry::HistogramSnapshot;
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let mut s = HistogramSnapshot::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// Exact quantile on a sorted copy: the `ceil(q·n)`-th smallest value.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantile_tracks_exact_sorted_reference(
+        values in prop::collection::vec(0u64..1_000_000_000_000, 1..300),
+        qs in prop::collection::vec(0u32..1001, 1..8),
+    ) {
+        let s = snapshot_of(&values);
+        for q in qs.into_iter().map(|q| q as f64 / 1000.0) {
+            let approx = s.quantile(q);
+            let exact = exact_quantile(&values, q);
+            // The histogram reports the bucket upper bound (clamped to
+            // the recorded max), so it never under-reports, and the
+            // log-linear layout (16 sub-buckets per octave) bounds the
+            // overshoot at 1/16 relative.
+            prop_assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            prop_assert!(
+                approx - exact <= exact / 16 + 1,
+                "q={q}: {approx} overshoots exact {exact} by more than 1/16"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let s = snapshot_of(&values);
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.max(), max);
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= prev, "quantile not monotone at q={q}");
+            prop_assert!(v <= max, "quantile {v} exceeds max {max} at q={q}");
+            prev = v;
+        }
+        prop_assert_eq!(s.quantile(1.0), max);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+        c in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+}

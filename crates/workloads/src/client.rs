@@ -1,8 +1,9 @@
 //! The client abstraction the workload drivers run against.
 
-use arkfs::{ArkClient, ClientStats};
+use arkfs::ArkClient;
 use arkfs_baselines::{CephClient, GoofysFs, MarFs, S3Fs};
 use arkfs_simkit::Port;
+use arkfs_telemetry::Telemetry;
 use arkfs_vfs::Vfs;
 use std::sync::Arc;
 
@@ -18,9 +19,9 @@ pub trait SimClient: Vfs {
     /// files", §IV-B).
     fn drop_caches(&self) {}
 
-    /// Data-path counters (cache hits/misses, batched store calls), for
-    /// clients that instrument them. Baselines return `None`.
-    fn client_stats(&self) -> Option<ClientStats> {
+    /// The deployment-wide telemetry (metrics registry + span tracer)
+    /// behind this client, for systems that expose one.
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
         None
     }
 }
@@ -34,8 +35,8 @@ impl SimClient for ArkClient {
         let _ = self.drop_data_cache();
     }
 
-    fn client_stats(&self) -> Option<ClientStats> {
-        Some(ArkClient::stats(self))
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        Some(Arc::clone(ArkClient::telemetry(self)))
     }
 }
 
@@ -47,17 +48,29 @@ impl SimClient for CephClient {
     fn drop_caches(&self) {
         let _ = self.drop_data_cache();
     }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        CephClient::telemetry(self)
+    }
 }
 
 impl SimClient for MarFs {
     fn port(&self) -> &Port {
         MarFs::port(self)
     }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        MarFs::telemetry(self)
+    }
 }
 
 impl SimClient for S3Fs {
     fn port(&self) -> &Port {
         S3Fs::port(self)
+    }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        S3Fs::telemetry(self)
     }
 }
 
@@ -68,6 +81,10 @@ impl SimClient for GoofysFs {
 
     fn drop_caches(&self) {
         GoofysFs::drop_data_cache(self);
+    }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        GoofysFs::telemetry(self)
     }
 }
 

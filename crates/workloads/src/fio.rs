@@ -80,7 +80,9 @@ pub fn fio(clients: &[Arc<dyn SimClient>], cfg: &FioConfig) -> FsResult<FioResul
         let off = j * req as u64;
         let n = req.min((file_size - off) as usize);
         for (c, &fh) in clients.iter().zip(&handles) {
+            let t0 = c.port().now();
             c.write(&ctx(), fh, off, &block[..n])?;
+            meter.record_latency(c.port().now().saturating_sub(t0));
         }
     }
     for (i, (c, &fh)) in clients.iter().zip(&handles).enumerate() {
@@ -104,7 +106,9 @@ pub fn fio(clients: &[Arc<dyn SimClient>], cfg: &FioConfig) -> FsResult<FioResul
     for j in 0..requests {
         let off = j * req as u64;
         for (c, &fh) in clients.iter().zip(&handles) {
+            let t0 = c.port().now();
             let n = c.read(&ctx(), fh, off, &mut buf)?;
+            meter.record_latency(c.port().now().saturating_sub(t0));
             let expect = req.min((file_size - off) as usize);
             if n != expect {
                 return Err(arkfs_vfs::FsError::Io(format!(

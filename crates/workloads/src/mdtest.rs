@@ -87,8 +87,12 @@ fn run_phase(
     let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
     // Round-robin interleaving keeps virtual arrivals of different
     // processes overlapped, as they would be on a real cluster.
-    let errors =
-        crate::client::run_interleaved(clients, per_proc, |i, c, j| op(i, Arc::clone(c), j));
+    let errors = crate::client::run_interleaved(clients, per_proc, |i, c, j| {
+        let t0 = c.port().now();
+        let r = op(i, Arc::clone(c), j);
+        meter.record_latency(c.port().now().saturating_sub(t0));
+        r
+    });
     // fsync after each phase (§IV-B).
     for (i, c) in clients.iter().enumerate() {
         let _ = c.sync_all(&ctx());

@@ -74,20 +74,11 @@ fn main() {
     // Stats the S3 "bill" would show.
     println!(
         "S3 ops: {} PUT, {} GET, {} DELETE, {} LIST | {} B in / {} B out",
-        store.stats.puts.load(std::sync::atomic::Ordering::Relaxed),
-        store.stats.gets.load(std::sync::atomic::Ordering::Relaxed),
-        store
-            .stats
-            .deletes
-            .load(std::sync::atomic::Ordering::Relaxed),
-        store.stats.lists.load(std::sync::atomic::Ordering::Relaxed),
-        store
-            .stats
-            .bytes_in
-            .load(std::sync::atomic::Ordering::Relaxed),
-        store
-            .stats
-            .bytes_out
-            .load(std::sync::atomic::Ordering::Relaxed),
+        store.stats.puts.get(),
+        store.stats.gets.get(),
+        store.stats.deletes.get(),
+        store.stats.lists.get(),
+        store.stats.bytes_in.get(),
+        store.stats.bytes_out.get(),
     );
 }
