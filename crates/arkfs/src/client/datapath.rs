@@ -1,0 +1,316 @@
+//! Data-cache interaction: read-ahead policy, write-back, and the
+//! cached read/write paths (§III-D).
+//!
+//! All data I/O funnels through here: reads fill the [`DataCache`]
+//! (including the asynchronous read-ahead window) with pipelined
+//! multi-GETs, writes land dirty in the cache (or go direct after a
+//! lease conflict) and dirty evictions flush as batched multi-PUTs.
+//!
+//! The data cache is a rank-*Leaf* lock (see [`super::lockorder`]):
+//! every acquisition here is scoped to one cache pass and released
+//! before any store round-trip is awaited.
+//!
+//! [`DataCache`]: crate::cache::DataCache
+
+use super::ArkClient;
+use arkfs_objstore::ObjectKey;
+use arkfs_telemetry::PID_CLIENT;
+use arkfs_vfs::{FileHandle, FsError, FsResult, Ino};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+impl ArkClient {
+    /// Write back this client's dirty chunks of one file.
+    pub(crate) fn flush_file_data(&self, file: Ino) -> FsResult<()> {
+        let dirty = self.state.lock_cache().take_dirty(file);
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<(ObjectKey, Bytes)> = dirty
+            .into_iter()
+            .map(|(chunk, data)| (ObjectKey::data_chunk(file, chunk), Bytes::from(data)))
+            .collect();
+        for r in self.prt().store().put_many(&self.port, items) {
+            r.map_err(crate::prt::map_os_err)?;
+        }
+        Ok(())
+    }
+
+    /// Write back evicted dirty chunks returned by the cache.
+    pub(crate) fn write_back(&self, evicted: Vec<crate::cache::Evicted>) -> FsResult<()> {
+        if evicted.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<(ObjectKey, Bytes)> = evicted
+            .into_iter()
+            .map(|e| (ObjectKey::data_chunk(e.ino, e.chunk), Bytes::from(e.data)))
+            .collect();
+        for r in self.prt().store().put_many(&self.port, items) {
+            r.map_err(crate::prt::map_os_err)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch the chunks needed for a cached read, including the
+    /// read-ahead window, in one pipelined multi-GET.
+    fn fill_cache_for_read(
+        &self,
+        ino: Ino,
+        offset: u64,
+        want: usize,
+        ra_window: u64,
+        size: u64,
+    ) -> FsResult<()> {
+        let chunk_size = self.config().chunk_size;
+        let first = offset / chunk_size;
+        let read_end = (offset + want as u64).min(size);
+        let ra_end = read_end.saturating_add(ra_window).min(size);
+        let last = ra_end.div_ceil(chunk_size).max(first + 1);
+        let missing: Vec<u64> = {
+            let cache = self.state.lock_cache();
+            (first..last).filter(|&c| !cache.contains(ino, c)).collect()
+        };
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let miss_start = self.port.now();
+        // Chunks the request itself touches are fetched synchronously;
+        // everything further out is the read-ahead window, fetched
+        // *asynchronously* ("the file data belonging to the window is
+        // asynchronously read in advance", §III-D): it still loads the
+        // store, but the application only waits if it touches a chunk
+        // before its completion.
+        let last_needed = (offset + want as u64 - 1) / chunk_size;
+        let keys: Vec<ObjectKey> = missing
+            .iter()
+            .map(|&c| ObjectKey::data_chunk(ino, c))
+            .collect();
+        let depart = self.port.now() + self.config().spec.net_half_rtt;
+        let results = self.prt().store().get_each(depart, &keys);
+        let mut evicted = Vec::new();
+        let mut needed_done = self.port.now();
+        {
+            // Insert in reverse so the chunk about to be read carries the
+            // freshest LRU tick and is not displaced by its own
+            // read-ahead companions.
+            let mut cache = self.state.lock_cache();
+            for (&chunk, result) in missing.iter().zip(results).rev() {
+                let chunk_start = chunk * chunk_size;
+                let logical_len = (size - chunk_start).min(chunk_size) as usize;
+                let (data, ready_at) = match result {
+                    Ok((bytes, completion)) => {
+                        let mut v = bytes.to_vec();
+                        if v.len() < logical_len {
+                            v.resize(logical_len, 0); // sparse tail
+                        }
+                        (v, completion)
+                    }
+                    Err(arkfs_objstore::OsError::NotFound) => (vec![0u8; logical_len], depart),
+                    Err(e) => return Err(crate::prt::map_os_err(e)),
+                };
+                if chunk <= last_needed {
+                    needed_done = needed_done.max(ready_at);
+                    evicted.extend(cache.insert_clean(ino, chunk, data));
+                } else {
+                    evicted.extend(cache.insert_prefetched(ino, chunk, data, ready_at));
+                }
+            }
+        }
+        self.port.wait_until(needed_done);
+        let tracer = &self.state.telemetry.tracer;
+        if tracer.enabled() {
+            tracer.record(
+                PID_CLIENT,
+                self.state.id.0,
+                "cache.miss",
+                "cache",
+                miss_start,
+                self.port.now(),
+            );
+        }
+        self.write_back(evicted)
+    }
+
+    /// The body of [`Vfs::read`]: direct mode or cache-with-read-ahead.
+    ///
+    /// [`Vfs::read`]: arkfs_vfs::Vfs::read
+    pub(crate) fn read_impl(&self, fh: FileHandle, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.fuse_charge(1);
+        let (ino, _parent, flags, size, cached) =
+            self.state.files.view(fh.0).ok_or(FsError::BadHandle)?;
+        if !flags.readable() {
+            return Err(FsError::BadAccessMode);
+        }
+        if buf.is_empty() || offset >= size {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(size - offset) as usize;
+        if !cached {
+            let n = self
+                .prt()
+                .read_data(&self.port, ino, offset, &mut buf[..want], size)?;
+            let _ = self.state.files.update(fh.0, |h| {
+                h.last_pos = offset + n as u64;
+            });
+            return Ok(n);
+        }
+
+        // Read-ahead window update (§III-D): double on sequential access,
+        // jump to max when the read starts at offset 0.
+        let config = self.config();
+        let ra_window = self
+            .state
+            .files
+            .update(fh.0, |h| {
+                if offset == 0 && config.readahead_full_at_zero {
+                    h.ra_window = config.max_readahead;
+                } else if offset == h.last_pos && offset != 0 {
+                    h.ra_window =
+                        (h.ra_window.max(config.chunk_size) * 2).min(config.max_readahead);
+                } else if offset != h.last_pos {
+                    h.ra_window = 0;
+                }
+                h.ra_window
+            })
+            .ok_or(FsError::BadHandle)?;
+        self.fill_cache_for_read(ino, offset, want, ra_window, size)?;
+
+        // Copy out of the cache; a chunk evicted between fill and copy is
+        // re-read straight from the store.
+        let chunk_size = config.chunk_size;
+        let mut filled = 0usize;
+        while filled < want {
+            let pos = offset + filled as u64;
+            let chunk = pos / chunk_size;
+            let within = (pos % chunk_size) as usize;
+            let n = ((chunk_size as usize) - within).min(want - filled);
+            let hit = {
+                let mut cache = self.state.lock_cache();
+                match cache.get_ready(ino, chunk) {
+                    Some((data, ready_at)) => {
+                        let out = &mut buf[filled..filled + n];
+                        let avail = data.len().saturating_sub(within);
+                        let take = avail.min(n);
+                        out[..take].copy_from_slice(&data[within..within + take]);
+                        out[take..].fill(0);
+                        Some(ready_at)
+                    }
+                    None => None,
+                }
+            };
+            let hit = match hit {
+                Some(ready_at) => {
+                    // Touched a chunk whose asynchronous prefetch has not
+                    // completed yet: wait for it.
+                    self.port.wait_until(ready_at);
+                    true
+                }
+                None => false,
+            };
+            if !hit {
+                self.prt()
+                    .read_data(&self.port, ino, pos, &mut buf[filled..filled + n], size)?;
+            }
+            filled += n;
+        }
+        self.port.advance(config.spec.local_meta_op);
+        let _ = self.state.files.update(fh.0, |h| {
+            h.last_pos = offset + filled as u64;
+        });
+        Ok(filled)
+    }
+
+    /// The body of [`Vfs::write`]: write-back caching with lease upgrade
+    /// on first write, or direct PUTs after a conflict.
+    ///
+    /// [`Vfs::write`]: arkfs_vfs::Vfs::write
+    pub(crate) fn write_impl(&self, fh: FileHandle, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.fuse_charge(1);
+        let (ino, parent, flags, size, _) =
+            self.state.files.view(fh.0).ok_or(FsError::BadHandle)?;
+        if !flags.writable() {
+            return Err(FsError::BadAccessMode);
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let offset = if flags.is_append() { size } else { offset };
+
+        // First write upgrades the read lease (§III-D).
+        let (cached, first_write) = self
+            .state
+            .files
+            .get(fh.0, |h| (h.cached, !h.wrote))
+            .ok_or(FsError::BadHandle)?;
+        let cached = if first_write {
+            let granted = self.file_lease_write(parent, ino)?;
+            self.state
+                .files
+                .update(fh.0, |h| {
+                    h.cached = h.cached && granted;
+                    h.wrote = true;
+                    h.cached
+                })
+                .ok_or(FsError::BadHandle)?
+        } else {
+            cached
+        };
+
+        if cached {
+            let chunk_size = self.config().chunk_size;
+            // Split the write into per-chunk pieces up front.
+            let mut pieces: Vec<(u64, usize, &[u8])> = Vec::new();
+            let mut written = 0usize;
+            while written < data.len() {
+                let pos = offset + written as u64;
+                let chunk = pos / chunk_size;
+                let within = (pos % chunk_size) as usize;
+                let n = (chunk_size as usize - within).min(data.len() - written);
+                pieces.push((chunk, within, &data[written..written + n]));
+                written += n;
+            }
+            // Partial overwrites of store-resident chunks need the old
+            // bytes in cache first (read-modify in cache); fetch every
+            // missing one in a single pipelined multi-GET.
+            let need_fill: Vec<u64> = {
+                let cache = self.state.lock_cache();
+                pieces
+                    .iter()
+                    .filter(|&&(chunk, within, piece)| {
+                        let covers_whole = within == 0 && piece.len() == chunk_size as usize;
+                        !covers_whole && chunk * chunk_size < size && !cache.contains(ino, chunk)
+                    })
+                    .map(|&(chunk, ..)| chunk)
+                    .collect()
+            };
+            let mut fills = HashMap::new();
+            if !need_fill.is_empty() {
+                let keys: Vec<ObjectKey> = need_fill
+                    .iter()
+                    .map(|&c| ObjectKey::data_chunk(ino, c))
+                    .collect();
+                let results = self.prt().store().get_many(&self.port, &keys);
+                for (&chunk, result) in need_fill.iter().zip(results) {
+                    match result {
+                        Ok(bytes) => {
+                            fills.insert(chunk, bytes.to_vec());
+                        }
+                        Err(arkfs_objstore::OsError::NotFound) => {}
+                        Err(e) => return Err(crate::prt::map_os_err(e)),
+                    }
+                }
+            }
+            // One cache pass for the whole span; dirty evictions from the
+            // entire call flush as a single write-back batch.
+            let evicted = self.state.lock_cache().write_many(ino, fills, &pieces);
+            self.write_back(evicted)?;
+            self.port.advance(self.config().spec.local_meta_op);
+        } else {
+            self.prt().write_data(&self.port, ino, offset, data)?;
+        }
+        let _ = self.state.files.update(fh.0, |h| {
+            h.size = h.size.max(offset + data.len() as u64);
+        });
+        Ok(data.len())
+    }
+}

@@ -1,0 +1,464 @@
+//! Directory-leadership lifecycle and local-vs-remote routing.
+//!
+//! For every directory a client touches it either *leads* (holds the
+//! lease from the lease manager and the loaded [`Metatable`]) or knows
+//! (or learns) the current leader and forwards over RPC (§III-B,
+//! Figure 3). This module owns:
+//!
+//! * the striped leadership state ([`DirService`]): led tables, lease
+//!   expiries, and remote-leader hints, all keyed by directory ino;
+//! * lease acquire/extend/release and the takeover/recovery entry point
+//!   ([`ClientState::dir_ref`] → [`Metatable::load`]);
+//! * the leader-side RPC service ([`ClientService`], [`ClientState::serve`])
+//!   and leader-initiated cache-flush broadcasts (§III-D);
+//! * client-side routing helpers ([`ArkClient::on_dir`],
+//!   [`ArkClient::remote_call`]).
+//!
+//! Lock order (see [`super::lockorder`]): a dir stripe is rank
+//! *Stripe*; it may be held while acquiring a lease or loading a
+//! metatable from the store, but never while locking another ranked
+//! client lock except a [`Metatable`] (rank above it).
+
+mod ops;
+
+pub(crate) use ops::target_dir;
+
+use super::lockorder::{self, Rank, RankGuard};
+use super::{ArkClient, ClientState, MAX_LEASE_RETRIES};
+use crate::cluster::manager_node;
+use crate::meta::InodeRecord;
+use crate::metatable::Metatable;
+use crate::rpc::{OpBody, OpRequest, OpResponse};
+use arkfs_lease::{LeaseRequest, LeaseResponse};
+use arkfs_netsim::{NetError, NodeId, Service};
+use arkfs_objstore::ObjectKey;
+use arkfs_simkit::{Nanos, Port};
+use arkfs_vfs::{Credentials, FsError, FsResult, Ino};
+use bytes::Bytes;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A directory as seen from one client.
+pub(crate) enum DirRef {
+    Local(Arc<Mutex<Metatable>>),
+    Remote(NodeId),
+}
+
+/// One stripe of directory-leadership state. All three maps are keyed
+/// by directory ino and updated atomically under the stripe lock, so a
+/// table entry and its lease expiry can never be observed out of sync.
+#[derive(Debug, Default)]
+pub(crate) struct DirStripe {
+    /// Directories this client currently leads (within this stripe).
+    pub(crate) tables: HashMap<Ino, Arc<Mutex<Metatable>>>,
+    /// Lease expiry per led directory.
+    pub(crate) leases: HashMap<Ino, Nanos>,
+    /// Last-known leaders of remote directories.
+    pub(crate) remote_hints: HashMap<Ino, NodeId>,
+    /// Acquisitions of this stripe's lock (maintained under the lock).
+    locks: u64,
+}
+
+/// A locked [`DirStripe`] plus its rank guard.
+pub(crate) struct StripeGuard<'a> {
+    guard: MutexGuard<'a, DirStripe>,
+    _rank: RankGuard,
+}
+
+impl Deref for StripeGuard<'_> {
+    type Target = DirStripe;
+    fn deref(&self) -> &DirStripe {
+        &self.guard
+    }
+}
+
+impl DerefMut for StripeGuard<'_> {
+    fn deref_mut(&mut self) -> &mut DirStripe {
+        &mut self.guard
+    }
+}
+
+/// Lock-striped directory-leadership state: directory `d` lives in
+/// stripe `d % N`, so threads working on directories in different
+/// stripes never contend on each other's leadership bookkeeping.
+#[derive(Debug)]
+pub(crate) struct DirService {
+    stripes: Vec<Mutex<DirStripe>>,
+    node: u32,
+    pub(crate) contention: super::Contention,
+}
+
+impl DirService {
+    pub(crate) fn new(stripes: usize, node: u32) -> Self {
+        DirService {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::default()).collect(),
+            node,
+            contention: super::Contention::default(),
+        }
+    }
+
+    /// Lock the stripe owning `dir` (rank: Stripe).
+    pub(crate) fn stripe(&self, dir: Ino) -> StripeGuard<'_> {
+        self.stripe_at((dir % self.stripes.len() as u128) as usize)
+    }
+
+    /// Number of directories this client currently leads.
+    pub(crate) fn led_directories(&self) -> usize {
+        (0..self.stripes.len())
+            .map(|i| self.stripe_at(i).tables.len())
+            .sum()
+    }
+
+    /// Inos of every led directory.
+    pub(crate) fn led_inos(&self) -> Vec<Ino> {
+        (0..self.stripes.len())
+            .flat_map(|i| self.stripe_at(i).tables.keys().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Every led directory with its metatable.
+    pub(crate) fn led_tables(&self) -> Vec<(Ino, Arc<Mutex<Metatable>>)> {
+        (0..self.stripes.len())
+            .flat_map(|i| {
+                self.stripe_at(i)
+                    .tables
+                    .iter()
+                    .map(|(&ino, t)| (ino, Arc::clone(t)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Drop leadership bookkeeping for `dir` (table + lease expiry).
+    pub(crate) fn forget(&self, dir: Ino) {
+        let mut s = self.stripe(dir);
+        s.tables.remove(&dir);
+        s.leases.remove(&dir);
+    }
+
+    /// Drop the remote-leader hint for `dir`.
+    pub(crate) fn forget_hint(&self, dir: Ino) {
+        self.stripe(dir).remote_hints.remove(&dir);
+    }
+
+    /// Drop everything (crash).
+    pub(crate) fn clear(&self) {
+        for i in 0..self.stripes.len() {
+            let mut s = self.stripe_at(i);
+            s.tables.clear();
+            s.leases.clear();
+            s.remote_hints.clear();
+        }
+    }
+
+    /// Total stripe-lock acquisitions so far.
+    pub(crate) fn lock_count(&self) -> u64 {
+        (0..self.stripes.len())
+            .map(|i| {
+                let s = self.stripe_at(i);
+                // Don't count this read itself.
+                s.locks - 1
+            })
+            .sum()
+    }
+
+    fn stripe_at(&self, i: usize) -> StripeGuard<'_> {
+        let rank = lockorder::acquire(self.node, Rank::Stripe);
+        let mut guard = self.contention.lock(&self.stripes[i]);
+        guard.locks += 1;
+        StripeGuard { guard, _rank: rank }
+    }
+}
+
+/// The RPC face of a client: leaders serve forwarded operations here,
+/// on the *caller's* thread.
+pub(crate) struct ClientService(pub(crate) Arc<ClientState>);
+
+impl Service<OpRequest, OpResponse> for ClientService {
+    fn handle(&self, arrival: Nanos, req: OpRequest) -> (OpResponse, Nanos) {
+        if self.0.crashed.load(Ordering::Acquire) {
+            return (OpResponse::NotLeader, arrival);
+        }
+        let spec = &self.0.cluster.config().spec;
+        let start = self.0.server.reserve(arrival, spec.leader_op_service);
+        let port = Port::starting_at(start);
+        let resp = self.0.serve(&port, req);
+        (resp, port.now())
+    }
+}
+
+impl ClientState {
+    /// Resolve a directory to a local metatable (leading it, acquiring or
+    /// extending the lease as needed) or the current remote leader.
+    ///
+    /// The stripe lock is held across the lease-manager exchange and any
+    /// [`Metatable::load`], so concurrent threads racing for the same
+    /// directory converge on one acquisition instead of double-loading.
+    pub(crate) fn dir_ref(&self, port: &Port, dir: Ino) -> FsResult<DirRef> {
+        let config = self.cluster.config();
+        for _ in 0..MAX_LEASE_RETRIES {
+            let mut s = self.dirs.stripe(dir);
+            let now = port.now();
+            if let Some(table) = s.tables.get(&dir).cloned() {
+                let expiry = s.leases.get(&dir).copied().unwrap_or(0);
+                if expiry > now.saturating_add(config.lease_renew_margin) {
+                    return Ok(DirRef::Local(table));
+                }
+                // Extend (or same-holder re-acquire).
+                match self.cluster.lease_bus().call(
+                    port,
+                    manager_node(dir, config.lease_managers),
+                    LeaseRequest::Acquire {
+                        client: self.id,
+                        ino: dir,
+                    },
+                ) {
+                    Ok(LeaseResponse::Granted {
+                        expires_at,
+                        must_load,
+                        ..
+                    }) => {
+                        if must_load {
+                            // Defensive: the manager believes our state is
+                            // stale; rebuild.
+                            let fresh = Metatable::load(
+                                self.cluster.prt(),
+                                port,
+                                dir,
+                                config.dentry_buckets,
+                                config.lease_period,
+                            )?;
+                            let fresh = Arc::new(Mutex::new(fresh));
+                            s.tables.insert(dir, Arc::clone(&fresh));
+                            s.leases.insert(dir, expires_at);
+                            return Ok(DirRef::Local(fresh));
+                        }
+                        s.leases.insert(dir, expires_at);
+                        return Ok(DirRef::Local(table));
+                    }
+                    Ok(LeaseResponse::Redirect { leader }) => {
+                        // We lost the directory; discard stale state.
+                        s.tables.remove(&dir);
+                        s.leases.remove(&dir);
+                        s.remote_hints.insert(dir, leader);
+                        return Ok(DirRef::Remote(leader));
+                    }
+                    Ok(LeaseResponse::Retry { until }) => {
+                        drop(s);
+                        port.wait_until(until);
+                        continue;
+                    }
+                    Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
+                    Err(NetError::Unreachable) => {
+                        // Manager down but our lease may still be valid.
+                        if expiry > now {
+                            return Ok(DirRef::Local(table));
+                        }
+                        return Err(FsError::TimedOut);
+                    }
+                }
+            }
+            if let Some(leader) = s.remote_hints.get(&dir).copied() {
+                return Ok(DirRef::Remote(leader));
+            }
+            match self.cluster.lease_bus().call(
+                port,
+                manager_node(dir, config.lease_managers),
+                LeaseRequest::Acquire {
+                    client: self.id,
+                    ino: dir,
+                },
+            ) {
+                Ok(LeaseResponse::Granted { expires_at, .. }) => {
+                    // Build the metatable; §III-C: load inode, check, pull
+                    // dentries and child inodes. Metatable::load runs
+                    // journal recovery first.
+                    let table = match Metatable::load(
+                        self.cluster.prt(),
+                        port,
+                        dir,
+                        config.dentry_buckets,
+                        config.lease_period,
+                    ) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            let _ = self.cluster.lease_bus().call(
+                                port,
+                                manager_node(dir, config.lease_managers),
+                                LeaseRequest::Release {
+                                    client: self.id,
+                                    ino: dir,
+                                },
+                            );
+                            return Err(e);
+                        }
+                    };
+                    let table = Arc::new(Mutex::new(table));
+                    s.tables.insert(dir, Arc::clone(&table));
+                    s.leases.insert(dir, expires_at);
+                    return Ok(DirRef::Local(table));
+                }
+                Ok(LeaseResponse::Redirect { leader }) => {
+                    s.remote_hints.insert(dir, leader);
+                    return Ok(DirRef::Remote(leader));
+                }
+                Ok(LeaseResponse::Retry { until }) => {
+                    drop(s);
+                    port.wait_until(until);
+                    continue;
+                }
+                Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
+                Err(NetError::Unreachable) => return Err(FsError::TimedOut),
+            }
+        }
+        Err(FsError::TimedOut)
+    }
+
+    /// Service entry point: leadership checks + dispatch.
+    pub(crate) fn serve(&self, port: &Port, req: OpRequest) -> OpResponse {
+        // Cache flushes are addressed to the client, not a directory.
+        if let OpBody::FlushCache { file } = req.body {
+            return self.serve_flush(port, file);
+        }
+        let dir = match target_dir(&req.body) {
+            Some(d) => d,
+            None => return OpResponse::Err(FsError::InvalidArgument),
+        };
+        let table = {
+            let mut s = self.dirs.stripe(dir);
+            let Some(table) = s.tables.get(&dir).cloned() else {
+                return OpResponse::NotLeader;
+            };
+            let valid = s.leases.get(&dir).is_some_and(|&e| e > port.now());
+            if !valid {
+                // Try a same-holder extension before turning the caller
+                // away.
+                match self.cluster.lease_bus().call(
+                    port,
+                    manager_node(dir, self.cluster.config().lease_managers),
+                    LeaseRequest::Acquire {
+                        client: self.id,
+                        ino: dir,
+                    },
+                ) {
+                    Ok(LeaseResponse::Granted {
+                        expires_at,
+                        must_load: false,
+                        ..
+                    }) => {
+                        s.leases.insert(dir, expires_at);
+                    }
+                    _ => {
+                        s.tables.remove(&dir);
+                        s.leases.remove(&dir);
+                        return OpResponse::NotLeader;
+                    }
+                }
+            }
+            table
+        };
+        self.serve_local(port, &table, req)
+    }
+
+    /// Write back and drop our cached chunks of `file` (leader-initiated
+    /// cache flush, §III-D). Also flips matching open handles to direct
+    /// mode.
+    pub(crate) fn serve_flush(&self, port: &Port, file: Ino) -> OpResponse {
+        let dirty = self.lock_cache().take_dirty(file);
+        if !dirty.is_empty() {
+            let items: Vec<(ObjectKey, Bytes)> = dirty
+                .into_iter()
+                .map(|(chunk, data)| (ObjectKey::data_chunk(file, chunk), Bytes::from(data)))
+                .collect();
+            for r in self.cluster.prt().store().put_many(port, items) {
+                if let Err(e) = r {
+                    return OpResponse::Err(crate::prt::map_os_err(e));
+                }
+            }
+        }
+        self.lock_cache().invalidate_file(file);
+        let size = self.files.flip_to_direct(file);
+        OpResponse::Flushed { size }
+    }
+}
+
+impl ArkClient {
+    /// Local-or-remote handle on a directory.
+    pub(crate) fn dir_ref(&self, dir: Ino) -> FsResult<DirRef> {
+        self.state.dir_ref(&self.port, dir)
+    }
+
+    /// The inode record of a directory, local or remote.
+    pub(crate) fn dir_inode(&self, dir: Ino) -> FsResult<InodeRecord> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                Ok(self.state.lock_table(&table).dir.clone())
+            }
+            DirRef::Remote(leader) => {
+                let resp =
+                    self.remote_call(&Credentials::root(), dir, leader, OpBody::DirInode { dir })?;
+                match resp {
+                    OpResponse::Inode(rec) => Ok(rec),
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected dir-inode response".into())),
+                }
+            }
+        }
+    }
+
+    /// RPC to a directory's leader, retrying through the lease manager
+    /// when the leader changed.
+    pub(crate) fn remote_call(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        mut leader: NodeId,
+        body: OpBody,
+    ) -> FsResult<OpResponse> {
+        for _ in 0..MAX_LEASE_RETRIES {
+            let req = OpRequest {
+                creds: ctx.clone(),
+                body: body.clone(),
+            };
+            match self.state.cluster.ops_bus().call(&self.port, leader, req) {
+                Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+                    self.state.dirs.forget_hint(dir);
+                    match self.dir_ref(dir)? {
+                        DirRef::Remote(next) => leader = next,
+                        DirRef::Local(table) => {
+                            // We became the leader ourselves; execute
+                            // locally through the common serve path.
+                            let req = OpRequest {
+                                creds: ctx.clone(),
+                                body: body.clone(),
+                            };
+                            return Ok(self.state.serve_local(&self.port, &table, req));
+                        }
+                    }
+                }
+                Ok(resp) => return Ok(resp),
+            }
+        }
+        Err(FsError::TimedOut)
+    }
+
+    /// Run an operation against a directory: locally when we lead it,
+    /// else forwarded to the leader.
+    pub(crate) fn on_dir(&self, ctx: &Credentials, dir: Ino, body: OpBody) -> FsResult<OpResponse> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let req = OpRequest {
+                    creds: ctx.clone(),
+                    body,
+                };
+                Ok(self.state.serve_local(&self.port, &table, req))
+            }
+            DirRef::Remote(leader) => self.remote_call(ctx, dir, leader, body),
+        }
+    }
+}

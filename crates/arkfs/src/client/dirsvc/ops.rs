@@ -1,0 +1,421 @@
+//! Leader-side execution of directory operations.
+//!
+//! [`ClientState::serve_local`] runs an operation against a led
+//! directory's [`Metatable`] — for forwarded RPCs and for the client's
+//! own local operations alike — journaling every mutation (§III-E) and
+//! enforcing permissions at the leader. Holds the metatable (rank
+//! *Metatable*); the only lower-rank lock it touches is the data cache
+//! / handle shards (rank *Leaf*) via lease-conflict flush broadcasts.
+
+use super::super::{ClientState, TableGuard};
+use crate::metatable::Metatable;
+use crate::rpc::{OpBody, OpRequest, OpResponse};
+use arkfs_lease::FileLeaseDecision;
+use arkfs_simkit::Port;
+use arkfs_vfs::{perm, Credentials, FileType, FsError, FsResult, Ino, AM_EXEC, AM_READ, AM_WRITE};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+impl ClientState {
+    /// Execute an operation as the leader of its directory. Runs both for
+    /// forwarded RPCs and for the client's own local operations.
+    pub(crate) fn serve_local(
+        &self,
+        port: &Port,
+        table: &Arc<Mutex<Metatable>>,
+        req: OpRequest,
+    ) -> OpResponse {
+        let OpRequest { creds, body } = req;
+        let config = self.cluster.config();
+        let prt = self.cluster.prt();
+        let now = port.now();
+        let mut t: TableGuard<'_> = self.lock_table(table);
+        let dir_ino = t.ino();
+
+        // Seal the running compound transaction when its buffering window
+        // elapsed (§III-E). Forced commits (fsync semantics) are charged
+        // to the caller; window-triggered commits are the commit threads'
+        // work and run on a background timeline that does not stall the
+        // application (the store still sees their load).
+        let maybe_commit = |t: &mut Metatable, force: bool| -> FsResult<()> {
+            if force {
+                t.journal
+                    .commit(prt, port, self.lane(dir_ino), config.spec.local_meta_op)?;
+            } else if t.journal.commit_due(
+                port.now(),
+                config.journal_window,
+                config.journal_max_entries,
+            ) {
+                let background = Port::starting_at(port.now());
+                t.journal.commit(
+                    prt,
+                    &background,
+                    self.lane(dir_ino),
+                    config.spec.local_meta_op,
+                )?;
+            }
+            Ok(())
+        };
+
+        let dir_perm = |t: &Metatable, want: u8| -> FsResult<()> {
+            perm::check_access(&creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, want)
+        };
+
+        match body {
+            OpBody::Lookup { name, .. } => {
+                if let Err(e) = dir_perm(&t, AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                match t.lookup(&name) {
+                    Some(entry) => OpResponse::Entry {
+                        ino: entry.ino,
+                        ftype: entry.ftype,
+                        rec: t.child_inode(entry.ino).cloned(),
+                    },
+                    None => OpResponse::Err(FsError::NotFound),
+                }
+            }
+            OpBody::DirInode { .. } => OpResponse::Inode(t.dir.clone()),
+            OpBody::Create { name, rec, .. } => {
+                if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                match t
+                    .create_child(rec, &name, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::AddSubdir { name, child, .. } => {
+                if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                match t
+                    .add_subdir(&name, child, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::Unlink { name, .. } => {
+                let victim_uid = match t.lookup(&name) {
+                    Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                match t.unlink_child(&name, now) {
+                    Ok(rec) => match maybe_commit(&mut t, false) {
+                        Ok(()) => OpResponse::Inode(rec),
+                        Err(e) => OpResponse::Err(e),
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RemoveSubdir { name, .. } => {
+                let child_ino = match t.lookup(&name) {
+                    Some(e) if e.ftype == FileType::Directory => e.ino,
+                    Some(_) => return OpResponse::Err(FsError::NotADirectory),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                let victim_uid = prt
+                    .load_inode(port, child_ino)
+                    .map(|r| r.uid)
+                    .unwrap_or(t.dir.uid);
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                match t
+                    .remove_subdir(&name, now)
+                    .and_then(|_| maybe_commit(&mut t, false))
+                {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::Readdir { .. } => {
+                if let Err(e) = dir_perm(&t, AM_READ) {
+                    return OpResponse::Err(e);
+                }
+                OpResponse::Entries(t.readdir())
+            }
+            OpBody::SetSize { ino, size, .. } => {
+                if let Some(rec) = t.child_inode(ino) {
+                    if let Err(e) =
+                        perm::check_access(&creds, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)
+                    {
+                        return OpResponse::Err(e);
+                    }
+                }
+                // fsync semantics: the size update must be durable.
+                match t
+                    .set_child_size(ino, size, now)
+                    .and_then(|()| maybe_commit(&mut t, true))
+                {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::SetAttrChild { ino, attr, .. } => {
+                let owner = match t.child_inode(ino) {
+                    Some(rec) => rec.uid,
+                    None => return OpResponse::Err(FsError::Stale),
+                };
+                let changing_owner = attr.uid.is_some() || attr.gid.is_some();
+                if let Err(e) = perm::check_setattr(&creds, owner, changing_owner) {
+                    return OpResponse::Err(e);
+                }
+                match t.set_child_attr(ino, &attr, now) {
+                    Ok(rec) => match maybe_commit(&mut t, false) {
+                        Ok(()) => OpResponse::Inode(rec),
+                        Err(e) => OpResponse::Err(e),
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::SetAttrDir { attr, .. } => {
+                let changing_owner = attr.uid.is_some() || attr.gid.is_some();
+                if let Err(e) = perm::check_setattr(&creds, t.dir.uid, changing_owner) {
+                    return OpResponse::Err(e);
+                }
+                let rec = t.set_dir_attr(&attr, now);
+                match maybe_commit(&mut t, false) {
+                    Ok(()) => OpResponse::Inode(rec),
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::SetAcl { target, acl, .. } => {
+                let owner = if target == t.ino() {
+                    t.dir.uid
+                } else {
+                    match t.child_inode(target) {
+                        Some(rec) => rec.uid,
+                        None => return OpResponse::Err(FsError::Stale),
+                    }
+                };
+                if let Err(e) = perm::check_setattr(&creds, owner, false) {
+                    return OpResponse::Err(e);
+                }
+                match t
+                    .set_acl(target, acl, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameLocal { from, to, .. } => {
+                let victim_uid = match t.lookup(&from) {
+                    Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                match t
+                    .rename_local(&from, &to, now)
+                    .and_then(|()| maybe_commit(&mut t, false))
+                {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameSrcPrepare {
+                name, txid, peer, ..
+            } => {
+                let victim_uid = match t.lookup(&name) {
+                    Some(entry) => t.child_inode(entry.ino).map(|r| r.uid).unwrap_or(t.dir.uid),
+                    None => return OpResponse::Err(FsError::NotFound),
+                };
+                if let Err(e) = perm::check_delete(
+                    &creds, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, victim_uid,
+                ) {
+                    return OpResponse::Err(e);
+                }
+                t.journal.append(
+                    crate::journal::JournalOp::RenamePrepare {
+                        txid,
+                        peer_dir: peer,
+                        ops: vec![crate::journal::JournalOp::RemoveDentry { name: name.clone() }],
+                    },
+                    now,
+                );
+                let (entry, rec) = match t.detach_child(&name, now) {
+                    Ok(v) => v,
+                    Err(e) => return OpResponse::Err(e),
+                };
+                match maybe_commit(&mut t, true) {
+                    Ok(()) => OpResponse::Detached {
+                        ino: entry.ino,
+                        ftype: entry.ftype,
+                        rec,
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameDstPrepare {
+                name,
+                txid,
+                peer,
+                ino,
+                ftype,
+                rec,
+                ..
+            } => {
+                if let Err(e) = dir_perm(&t, AM_WRITE | AM_EXEC) {
+                    return OpResponse::Err(e);
+                }
+                // POSIX rename replaces an existing file target; the
+                // victim's removal rides inside the 2PC prepare so it is
+                // atomic with the move. Directory targets are rejected
+                // (cross-directory directory replacement is out of scope).
+                let existing = t.lookup(&name).map(|e| (e.name.clone(), e.ftype));
+                let victim = match existing {
+                    Some((_, FileType::Directory)) => {
+                        return OpResponse::Err(FsError::AlreadyExists);
+                    }
+                    Some((victim_name, _)) => match t.unlink_child(&victim_name, now) {
+                        Ok(rec) => Some(rec),
+                        Err(e) => return OpResponse::Err(e),
+                    },
+                    None => None,
+                };
+                let mut ops = vec![crate::journal::JournalOp::UpsertDentry {
+                    name: name.clone(),
+                    ino,
+                    ftype,
+                }];
+                if let Some(rec) = &rec {
+                    ops.push(crate::journal::JournalOp::PutInode(rec.clone()));
+                }
+                t.journal.append(
+                    crate::journal::JournalOp::RenamePrepare {
+                        txid,
+                        peer_dir: peer,
+                        ops,
+                    },
+                    now,
+                );
+                if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
+                    return OpResponse::Err(e);
+                }
+                match maybe_commit(&mut t, true) {
+                    Ok(()) => match victim {
+                        Some(rec) => OpResponse::Inode(rec),
+                        None => OpResponse::Ok,
+                    },
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::RenameDecide {
+                txid, commit, undo, ..
+            } => {
+                if commit {
+                    t.journal
+                        .append(crate::journal::JournalOp::RenameCommit { txid }, now);
+                } else {
+                    t.journal
+                        .append(crate::journal::JournalOp::RenameAbort { txid }, now);
+                    if let Some((name, ino, ftype, rec)) = undo {
+                        if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
+                            return OpResponse::Err(e);
+                        }
+                    }
+                }
+                match maybe_commit(&mut t, true) {
+                    Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::AcquireReadLease { file, client, .. } => {
+                let decision = t.file_leases.acquire_read(client, file, now);
+                self.broadcast_flushes(port, &mut t, file, &decision);
+                OpResponse::Lease(decision)
+            }
+            OpBody::AcquireWriteLease { file, client, .. } => {
+                let decision = t.file_leases.acquire_write(client, file, now);
+                self.broadcast_flushes(port, &mut t, file, &decision);
+                OpResponse::Lease(decision)
+            }
+            OpBody::ReleaseFileLease { file, client, .. } => {
+                t.file_leases.release(client, file, now);
+                OpResponse::Ok
+            }
+            OpBody::FlushCache { .. } => unreachable!("handled in serve()"),
+        }
+    }
+
+    /// On a lease conflict the leader "broadcasts cache flushing requests
+    /// to prevent stale cache entries on other clients' object cache"
+    /// (§III-D). Flushed sizes feed back into the child's inode.
+    fn broadcast_flushes(
+        &self,
+        port: &Port,
+        t: &mut Metatable,
+        file: Ino,
+        decision: &FileLeaseDecision,
+    ) {
+        let FileLeaseDecision::Direct { flush, .. } = decision else {
+            return;
+        };
+        let now = port.now();
+        for &target in flush {
+            if target == self.id {
+                // Flush our own cache inline.
+                if let OpResponse::Flushed { size: Some(size) } = self.serve_flush(port, file) {
+                    let _ = t.set_child_size(file, size, now);
+                }
+                continue;
+            }
+            // Crashed holders simply drain via lease expiry.
+            if let Ok(OpResponse::Flushed { size: Some(size) }) = self.cluster.ops_bus().call(
+                port,
+                target,
+                OpRequest {
+                    creds: Credentials::root(),
+                    body: OpBody::FlushCache { file },
+                },
+            ) {
+                let current = t.child_inode(file).map(|r| r.size).unwrap_or(0);
+                if size > current {
+                    let _ = t.set_child_size(file, size, now);
+                }
+            }
+        }
+    }
+}
+
+/// The directory an operation must be served by.
+pub(crate) fn target_dir(body: &OpBody) -> Option<Ino> {
+    Some(match body {
+        OpBody::Lookup { dir, .. }
+        | OpBody::DirInode { dir }
+        | OpBody::Create { dir, .. }
+        | OpBody::AddSubdir { dir, .. }
+        | OpBody::Unlink { dir, .. }
+        | OpBody::RemoveSubdir { dir, .. }
+        | OpBody::Readdir { dir }
+        | OpBody::SetSize { dir, .. }
+        | OpBody::SetAttrChild { dir, .. }
+        | OpBody::SetAttrDir { dir, .. }
+        | OpBody::SetAcl { dir, .. }
+        | OpBody::RenameLocal { dir, .. }
+        | OpBody::RenameSrcPrepare { dir, .. }
+        | OpBody::RenameDstPrepare { dir, .. }
+        | OpBody::RenameDecide { dir, .. }
+        | OpBody::AcquireReadLease { dir, .. }
+        | OpBody::AcquireWriteLease { dir, .. }
+        | OpBody::ReleaseFileLease { dir, .. } => *dir,
+        OpBody::FlushCache { .. } => return None,
+    })
+}

@@ -1,0 +1,281 @@
+//! Open-file handles and per-file lease acquisition/release (§III-D).
+//!
+//! The [`FileTable`] shards open handles by handle id (`id % N`), so
+//! threads reading/writing different files never contend on one handle
+//! map. Handle ids are *composed* so that `id % N == ino % N`: every
+//! handle on the same file lives in that file's home shard, which lets
+//! the per-file scans (flush-to-direct, reads-own-writes stat,
+//! truncate) lock exactly one shard instead of walking all N. Shards
+//! are rank-*Leaf* locks (see [`super::lockorder`]): a shard is only
+//! ever held for the duration of one map access, never across an RPC,
+//! a metatable, or the data cache. The remaining whole-table scans
+//! (sync-all size pushes, crash clear) lock shards one at a time,
+//! sequentially.
+//!
+//! Client-side file-lease calls live here too: read/write lease
+//! acquisition against the parent's leader, the write-upgrade
+//! flush-on-conflict, and lease release (failed releases are counted on
+//! `lease.release_failed.count`, not silently dropped).
+
+use super::lockorder::{self, Rank, RankGuard};
+use super::ArkClient;
+use crate::rpc::{OpBody, OpResponse};
+use arkfs_lease::FileLeaseDecision;
+use arkfs_vfs::{Credentials, FsError, FsResult, Ino, OpenFlags};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-open-file state, including the read-ahead window (§III-D).
+#[derive(Debug)]
+pub(crate) struct OpenFile {
+    pub(crate) ino: Ino,
+    pub(crate) parent: Ino,
+    pub(crate) flags: OpenFlags,
+    /// Local view of the file size (updated by writes; pushed to the
+    /// leader on fsync/close).
+    pub(crate) size: u64,
+    /// True while data goes through the cache (valid file lease); false
+    /// in direct-I/O mode after a lease conflict.
+    pub(crate) cached: bool,
+    pub(crate) wrote: bool,
+    /// Current read-ahead window in bytes (0 = no prefetch).
+    pub(crate) ra_window: u64,
+    /// End offset of the previous read (sequentiality detection).
+    pub(crate) last_pos: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    handles: HashMap<u64, OpenFile>,
+    locks: u64,
+}
+
+struct ShardGuard<'a> {
+    guard: MutexGuard<'a, Shard>,
+    _rank: RankGuard,
+}
+
+/// Open-file handles, sharded by handle id.
+#[derive(Debug)]
+pub(crate) struct FileTable {
+    shards: Vec<Mutex<Shard>>,
+    next_handle: AtomicU64,
+    node: u32,
+    pub(crate) contention: super::Contention,
+}
+
+impl FileTable {
+    pub(crate) fn new(shards: usize, node: u32) -> Self {
+        FileTable {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            next_handle: AtomicU64::new(1),
+            node,
+            contention: super::Contention::default(),
+        }
+    }
+
+    fn shard_at(&self, i: usize) -> ShardGuard<'_> {
+        let rank = lockorder::acquire(self.node, Rank::Leaf);
+        let mut guard = self.contention.lock(&self.shards[i]);
+        guard.locks += 1;
+        ShardGuard { guard, _rank: rank }
+    }
+
+    fn shard(&self, id: u64) -> ShardGuard<'_> {
+        self.shard_at((id % self.shards.len() as u64) as usize)
+    }
+
+    /// The shard every handle on `file` lives in (`ino % N`).
+    fn home_shard(&self, file: Ino) -> usize {
+        (file % self.shards.len() as u128) as usize
+    }
+
+    /// Register an open file; returns its handle id. Ids are composed
+    /// as `seq * N + (ino % N)` so that `id % N` is the file's home
+    /// shard: lookups by id and scans by ino hit the same shard.
+    pub(crate) fn insert(&self, file: OpenFile) -> u64 {
+        let n = self.shards.len() as u64;
+        let seq = self.next_handle.fetch_add(1, Ordering::Relaxed);
+        let id = seq * n + self.home_shard(file.ino) as u64;
+        self.shard(id).guard.handles.insert(id, file);
+        id
+    }
+
+    pub(crate) fn remove(&self, id: u64) -> Option<OpenFile> {
+        self.shard(id).guard.handles.remove(&id)
+    }
+
+    /// Snapshot of an open handle's fields used by read/write.
+    pub(crate) fn view(&self, id: u64) -> Option<(Ino, Ino, OpenFlags, u64, bool)> {
+        let s = self.shard(id);
+        let h = s.guard.handles.get(&id)?;
+        Some((h.ino, h.parent, h.flags, h.size, h.cached))
+    }
+
+    /// Read fields of one handle under its shard lock.
+    pub(crate) fn get<R>(&self, id: u64, f: impl FnOnce(&OpenFile) -> R) -> Option<R> {
+        self.shard(id).guard.handles.get(&id).map(f)
+    }
+
+    /// Mutate one handle under its shard lock.
+    pub(crate) fn update<R>(&self, id: u64, f: impl FnOnce(&mut OpenFile) -> R) -> Option<R> {
+        self.shard(id).guard.handles.get_mut(&id).map(f)
+    }
+
+    /// Flip every handle on `file` to direct-I/O mode (leader-initiated
+    /// flush); returns the largest locally-known size, if any matched.
+    /// Only `file`'s home shard can hold matching handles.
+    pub(crate) fn flip_to_direct(&self, file: Ino) -> Option<u64> {
+        let mut size = None;
+        let mut s = self.shard_at(self.home_shard(file));
+        for h in s.guard.handles.values_mut() {
+            if h.ino == file {
+                h.cached = false;
+                size = Some(size.unwrap_or(0).max(h.size));
+            }
+        }
+        size
+    }
+
+    /// Largest size any open handle knows for `file` (reads-own-writes).
+    pub(crate) fn max_open_size(&self, file: Ino) -> Option<u64> {
+        let mut size = None;
+        let s = self.shard_at(self.home_shard(file));
+        for h in s.guard.handles.values() {
+            if h.ino == file {
+                size = Some(size.unwrap_or(0).max(h.size));
+            }
+        }
+        size
+    }
+
+    /// Force every handle on `file` to `size` (truncate).
+    pub(crate) fn set_size_for(&self, file: Ino, size: u64) {
+        let mut s = self.shard_at(self.home_shard(file));
+        for h in s.guard.handles.values_mut() {
+            if h.ino == file {
+                h.size = size;
+            }
+        }
+    }
+
+    /// Clear every written handle's dirty flag and collect its
+    /// `(parent, ino, size)` for a size push (sync_all).
+    pub(crate) fn take_pending_sizes(&self) -> Vec<(Ino, Ino, u64)> {
+        let mut pending = Vec::new();
+        for i in 0..self.shards.len() {
+            let mut s = self.shard_at(i);
+            for h in s.guard.handles.values_mut() {
+                if h.wrote {
+                    h.wrote = false;
+                    pending.push((h.parent, h.ino, h.size));
+                }
+            }
+        }
+        pending
+    }
+
+    /// Number of currently open handles.
+    pub(crate) fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard_at(i).guard.handles.len())
+            .sum()
+    }
+
+    /// Drop every handle (crash).
+    pub(crate) fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.shard_at(i).guard.handles.clear();
+        }
+    }
+
+    /// Total shard-lock acquisitions so far.
+    pub(crate) fn lock_count(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| {
+                let s = self.shard_at(i);
+                // Don't count this read itself.
+                s.guard.locks - 1
+            })
+            .sum()
+    }
+}
+
+impl ArkClient {
+    /// Acquire a read lease on `file` from the leader of `parent`.
+    /// Returns whether caching is allowed.
+    pub(crate) fn file_lease_read(&self, parent: Ino, file: Ino) -> FsResult<bool> {
+        let body = OpBody::AcquireReadLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
+        match self.on_dir(&Credentials::root(), parent, body)? {
+            OpResponse::Lease(FileLeaseDecision::Granted { .. }) => Ok(true),
+            OpResponse::Lease(FileLeaseDecision::Direct { .. }) => Ok(false),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected lease response".into())),
+        }
+    }
+
+    pub(crate) fn file_lease_write(&self, parent: Ino, file: Ino) -> FsResult<bool> {
+        let body = OpBody::AcquireWriteLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
+        match self.on_dir(&Credentials::root(), parent, body)? {
+            OpResponse::Lease(FileLeaseDecision::Granted { .. }) => Ok(true),
+            OpResponse::Lease(FileLeaseDecision::Direct { .. }) => {
+                // Our own cached data must go to the store before direct
+                // mode.
+                self.flush_file_data(file)?;
+                self.state.lock_cache().invalidate_file(file);
+                Ok(false)
+            }
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected lease response".into())),
+        }
+    }
+
+    /// Hand a file lease back to the parent's leader. A rejected or
+    /// undeliverable release is not an error for the caller (the lease
+    /// drains by expiry), but it is *counted* so operators can see
+    /// leaders serving stale lease tables.
+    pub(crate) fn release_file_lease(&self, parent: Ino, file: Ino) {
+        let body = OpBody::ReleaseFileLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
+        match self.on_dir(&Credentials::root(), parent, body) {
+            Ok(OpResponse::Ok) => {}
+            Ok(_) | Err(_) => self.state.lease_release_failed.inc(),
+        }
+    }
+
+    /// Push size/mtime to the parent leader and make the journal durable
+    /// (fsync semantics).
+    pub(crate) fn push_size(
+        &self,
+        ctx: &Credentials,
+        parent: Ino,
+        file: Ino,
+        size: u64,
+    ) -> FsResult<()> {
+        match self.on_dir(
+            ctx,
+            parent,
+            OpBody::SetSize {
+                dir: parent,
+                ino: file,
+                size,
+            },
+        )? {
+            OpResponse::Ok => Ok(()),
+            OpResponse::Err(e) => Err(e),
+            _ => Err(FsError::Io("unexpected setsize response".into())),
+        }
+    }
+}

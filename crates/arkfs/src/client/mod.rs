@@ -1,0 +1,500 @@
+//! The ArkFS client: near-POSIX operations with client-driven metadata.
+//!
+//! Each [`ArkClient`] is one simulated process. It resolves paths
+//! component by component; for every directory it either *leads* (holds
+//! the lease and the [`Metatable`]) or forwards to the leader over RPC
+//! (§III-B, Figure 3). Data I/O goes through the write-back
+//! [`DataCache`] under per-file read/write leases (§III-D), and all
+//! mutations are journaled per directory (§III-E).
+//!
+//! The client is decomposed into layered services, each in its own
+//! submodule:
+//!
+//! * [`dirsvc`] — directory-leadership lifecycle: lease
+//!   acquire/extend/release, takeover and recovery entry, local-vs-remote
+//!   routing, and the leader-side RPC service.
+//! * [`namei`] — path resolution, permission checks, and the permission
+//!   cache (§III-C).
+//! * [`filetable`] — open-file handles and per-file lease
+//!   acquisition/release with flush-on-conflict (§III-D).
+//! * [`datapath`] — [`DataCache`] interaction: read-ahead policy,
+//!   write-back, and the cached read/write paths.
+//! * [`vfs_impl`] — the thin [`Vfs`] surface composing the layers.
+//!
+//! Hot shared state is lock-striped so threads operating on distinct
+//! directories/files proceed without contending on a single client
+//! lock; the stripe count is [`ArkConfig::client_lock_stripes`]. The
+//! lock-ordering rule (**stripe → metatable → cache**) is documented
+//! and enforced (in debug builds) by [`lockorder`].
+
+pub(crate) mod datapath;
+pub(crate) mod dirsvc;
+pub(crate) mod filetable;
+pub(crate) mod lockorder;
+pub(crate) mod namei;
+pub(crate) mod vfs_impl;
+
+use crate::cache::DataCache;
+use crate::cluster::{manager_node, ArkCluster};
+use crate::config::ArkConfig;
+use crate::metatable::Metatable;
+use crate::prt::Prt;
+use arkfs_lease::LeaseRequest;
+use arkfs_netsim::NodeId;
+use arkfs_simkit::{Port, SharedResource};
+use arkfs_telemetry::{Counter, HistogramSet, Telemetry, PID_CLIENT};
+use arkfs_vfs::{Credentials, FsResult, Ino, Vfs, ROOT_INO};
+use dirsvc::{ClientService, DirService};
+use filetable::FileTable;
+use lockorder::{Rank, RankGuard};
+use namei::Pcache;
+use parking_lot::{Mutex, MutexGuard};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How often a non-leader retries lease acquisition before giving up.
+pub(crate) const MAX_LEASE_RETRIES: usize = 16;
+
+/// Every `op.<name>` latency histogram the client records, preregistered
+/// at construction so no Vfs op ever takes a registry lock.
+const OP_NAMES: &[&str] = &[
+    "op.mkdir",
+    "op.rmdir",
+    "op.create",
+    "op.open",
+    "op.close",
+    "op.read",
+    "op.write",
+    "op.fsync",
+    "op.stat",
+    "op.readdir",
+    "op.unlink",
+    "op.rename",
+    "op.truncate",
+    "op.setattr",
+    "op.symlink",
+    "op.readlink",
+    "op.set_acl",
+    "op.get_acl",
+    "op.access",
+    "op.sync_all",
+    "op.statfs",
+];
+
+/// The client's seeded RNG stream (ino and txid draws). Deliberately a
+/// single stream, not striped: it is drawn from once per create/txid
+/// (never hot), and keeping one deterministic sequence per client keeps
+/// simulated object placement — and thus benchmark figures —
+/// reproducible across refactors.
+#[derive(Debug)]
+pub(crate) struct ClientRng {
+    rng: Mutex<StdRng>,
+}
+
+impl ClientRng {
+    fn new(node: u32) -> Self {
+        ClientRng {
+            rng: Mutex::new(StdRng::seed_from_u64(0xA2F5_0000 ^ node as u64)),
+        }
+    }
+
+    pub(crate) fn random_u128(&self) -> u128 {
+        self.rng.lock().random()
+    }
+}
+
+/// Acquisition and contention counts for one family of client locks.
+/// Acquisition counts are exact (maintained under the respective locks,
+/// adding no cross-stripe contention); `contended`/`wait_ns` measure
+/// *real* blocking on the host machine, never the virtual timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockFamilyStats {
+    /// Total lock acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+    /// Total wall-clock time spent blocked, in nanoseconds.
+    pub wait_ns: u64,
+}
+
+/// Lock statistics of the client's hot state, per lock family (for the
+/// `shared-client` ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Directory-table stripes ([`dirsvc::DirService`]), striped by ino.
+    pub dir_stripe: LockFamilyStats,
+    /// Permission-cache stripes ([`namei::Pcache`]), striped by ino.
+    pub pcache: LockFamilyStats,
+    /// Open-handle shards ([`filetable::FileTable`]), sharded by id.
+    pub handle_shard: LockFamilyStats,
+    /// The data-cache lock (a single lock regardless of stripe count).
+    pub data_cache: LockFamilyStats,
+}
+
+impl LockStats {
+    /// Combined stats of the three *striped* families (the state this
+    /// refactor striped; excludes the always-single data-cache lock).
+    pub fn striped(&self) -> LockFamilyStats {
+        let mut total = LockFamilyStats::default();
+        for f in [&self.dir_stripe, &self.pcache, &self.handle_shard] {
+            total.acquisitions += f.acquisitions;
+            total.contended += f.contended;
+            total.wait_ns += f.wait_ns;
+        }
+        total
+    }
+}
+
+/// Contention diagnostics for one lock family: how many acquisitions
+/// blocked, and for how long (real time — this is *observability of the
+/// host machine*, never fed back into the virtual timeline).
+#[derive(Debug, Default)]
+pub(crate) struct Contention {
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+impl Contention {
+    /// Lock `m`, recording whether (and how long) the caller blocked.
+    /// The fast path is a single uncontended `try_lock`.
+    pub(crate) fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        if let Some(guard) = m.try_lock() {
+            return guard;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        let guard = m.lock();
+        self.wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        guard
+    }
+
+    pub(crate) fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// The data cache plus its rank guard; derefs to [`DataCache`].
+pub(crate) struct CacheGuard<'a> {
+    guard: MutexGuard<'a, DataCache>,
+    _rank: RankGuard,
+}
+
+impl Deref for CacheGuard<'_> {
+    type Target = DataCache;
+    fn deref(&self) -> &DataCache {
+        &self.guard
+    }
+}
+
+impl DerefMut for CacheGuard<'_> {
+    fn deref_mut(&mut self) -> &mut DataCache {
+        &mut self.guard
+    }
+}
+
+/// A locked [`Metatable`] plus its rank guard; derefs to the table.
+pub(crate) struct TableGuard<'a> {
+    guard: MutexGuard<'a, Metatable>,
+    _rank: RankGuard,
+}
+
+impl Deref for TableGuard<'_> {
+    type Target = Metatable;
+    fn deref(&self) -> &Metatable {
+        &self.guard
+    }
+}
+
+impl DerefMut for TableGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Metatable {
+        &mut self.guard
+    }
+}
+
+/// Everything shared between the client's own thread(s) and its RPC
+/// service handler (which runs on the *caller's* thread).
+pub(crate) struct ClientState {
+    pub(crate) id: NodeId,
+    pub(crate) cluster: Arc<ArkCluster>,
+    /// Directory-leadership state, striped by directory ino.
+    pub(crate) dirs: DirService,
+    /// Permission cache (pcache mode), striped by directory ino.
+    pub(crate) pcache: Pcache,
+    /// Open-file handles, sharded by handle id.
+    pub(crate) files: FileTable,
+    pub(crate) cache: Mutex<DataCache>,
+    /// Exact count of data-cache lock acquisitions, bumped while the
+    /// lock is held (zero cross-thread contention).
+    cache_locks: AtomicU64,
+    /// Contention diagnostics for the data-cache lock.
+    cache_contention: Contention,
+    /// Serializes operations this client serves as a leader (its "CPU").
+    pub(crate) server: SharedResource,
+    /// Commit lanes; directories map statically by inode number.
+    pub(crate) lanes: Vec<SharedResource>,
+    pub(crate) rngs: ClientRng,
+    pub(crate) crashed: AtomicBool,
+    /// Deployment-wide telemetry (shared with the object store and
+    /// lease managers).
+    pub(crate) telemetry: Arc<Telemetry>,
+    /// Registry handles for the data-cache hit/miss counters, cloned
+    /// into every [`DataCache`] this client creates.
+    pub(crate) cache_counters: (Arc<Counter>, Arc<Counter>),
+    /// Per-op latency histograms, preregistered at construction
+    /// (`op.<name>.latency_ns`).
+    pub(crate) op_hists: HistogramSet,
+    /// `lease.release_failed.count`: file-lease releases the leader
+    /// rejected or that never reached it.
+    pub(crate) lease_release_failed: Arc<Counter>,
+    /// Flush epoch: bumped by every `sync_all`. `statfs` memoizes its
+    /// inode count per epoch (see [`vfs_impl`]).
+    pub(crate) flush_epoch: AtomicU64,
+    /// `(epoch, inode count)` of the last full inode LIST.
+    pub(crate) statfs_cache: Mutex<Option<(u64, u64)>>,
+}
+
+/// One ArkFS client process.
+pub struct ArkClient {
+    pub(crate) state: Arc<ClientState>,
+    pub(crate) port: Port,
+}
+
+impl ArkClient {
+    pub(crate) fn new(cluster: Arc<ArkCluster>, id: NodeId) -> Arc<Self> {
+        let config = cluster.config().clone();
+        let stripes = config.client_lock_stripes.max(1);
+        let lanes = (0..config.journal_lanes.max(1))
+            .map(|_| SharedResource::ideal("commit-lane"))
+            .collect();
+        let telemetry = Arc::clone(cluster.telemetry());
+        let cache_counters = (
+            telemetry.registry.counter("cache.hit.count"),
+            telemetry.registry.counter("cache.miss.count"),
+        );
+        let mut cache = DataCache::new(config.cache_entries);
+        cache.attach_counters(Arc::clone(&cache_counters.0), Arc::clone(&cache_counters.1));
+        let op_hists = telemetry.registry.histogram_set(OP_NAMES, ".latency_ns");
+        let lease_release_failed = telemetry.registry.counter("lease.release_failed.count");
+        let state = Arc::new(ClientState {
+            id,
+            cluster: Arc::clone(&cluster),
+            dirs: DirService::new(stripes, id.0),
+            pcache: Pcache::new(stripes, id.0),
+            files: FileTable::new(stripes, id.0),
+            cache: Mutex::new(cache),
+            cache_locks: AtomicU64::new(0),
+            cache_contention: Contention::default(),
+            server: SharedResource::ideal("leader-server"),
+            lanes,
+            rngs: ClientRng::new(id.0),
+            crashed: AtomicBool::new(false),
+            telemetry,
+            cache_counters,
+            op_hists,
+            lease_release_failed,
+            flush_epoch: AtomicU64::new(0),
+            statfs_cache: Mutex::new(None),
+        });
+        cluster
+            .ops_bus()
+            .register(id, Arc::new(ClientService(Arc::clone(&state))));
+        Arc::new(ArkClient {
+            state,
+            port: Port::new(),
+        })
+    }
+
+    /// This client's network identity.
+    pub fn id(&self) -> NodeId {
+        self.state.id
+    }
+
+    /// The client's virtual timeline (benchmark harness access).
+    pub fn port(&self) -> &Port {
+        &self.port
+    }
+
+    /// Number of directories this client currently leads.
+    pub fn led_directories(&self) -> usize {
+        self.state.dirs.led_directories()
+    }
+
+    /// Number of currently open file handles.
+    pub fn open_handles(&self) -> usize {
+        self.state.files.len()
+    }
+
+    /// Data-cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.state.lock_cache();
+        (c.hits(), c.misses())
+    }
+
+    /// File-lease releases the leader rejected or that never reached it
+    /// (`lease.release_failed.count`).
+    pub fn lease_release_failures(&self) -> u64 {
+        self.state.lease_release_failed.get()
+    }
+
+    /// Per-family lock acquisition and contention statistics of the
+    /// client's hot state.
+    pub fn lock_stats(&self) -> LockStats {
+        let family = |acquisitions: u64, c: &Contention| LockFamilyStats {
+            acquisitions,
+            contended: c.contended(),
+            wait_ns: c.wait_ns(),
+        };
+        LockStats {
+            dir_stripe: family(self.state.dirs.lock_count(), &self.state.dirs.contention),
+            pcache: family(
+                self.state.pcache.lock_count(),
+                &self.state.pcache.contention,
+            ),
+            handle_shard: family(self.state.files.lock_count(), &self.state.files.contention),
+            data_cache: family(
+                self.state.cache_locks.load(Ordering::Relaxed),
+                &self.state.cache_contention,
+            ),
+        }
+    }
+
+    /// Deployment-wide telemetry: the metrics registry (counters,
+    /// gauges, latency histograms) and span tracer shared by this
+    /// client, the object store, the metadata path, and the lease
+    /// managers.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.state.telemetry
+    }
+
+    /// Drop all CLEAN cached data (the fio benchmark's "drop the cache
+    /// entries of written files" step, §IV-B). Dirty chunks are flushed
+    /// first.
+    pub fn drop_data_cache(&self) -> FsResult<()> {
+        let dirty = self.state.lock_cache().take_all_dirty();
+        self.write_back(dirty)?;
+        *self.state.lock_cache() = self.state.fresh_cache(self.config().cache_entries);
+        Ok(())
+    }
+
+    /// Simulate a hard crash: stop serving, drop ALL in-memory state
+    /// without flushing. Journaled-but-unapplied transactions stay in the
+    /// object store for the next leader to recover (§III-E.1).
+    pub fn crash(&self) {
+        self.state.crashed.store(true, Ordering::Release);
+        self.state.cluster.ops_bus().disconnect(self.state.id);
+        self.state.dirs.clear();
+        self.state.files.clear();
+        self.state.pcache.clear();
+        *self.state.lock_cache() = self
+            .state
+            .fresh_cache(self.state.cluster.config().cache_entries);
+    }
+
+    /// Flush everything and hand every directory lease back cleanly.
+    pub fn release_all(&self, ctx: &Credentials) -> FsResult<()> {
+        self.sync_all(ctx)?;
+        let mut dirs: Vec<Ino> = self.state.dirs.led_inos();
+        dirs.sort_unstable();
+        for dir in dirs {
+            self.state.dirs.forget(dir);
+            let _ = self.state.cluster.lease_bus().call(
+                &self.port,
+                manager_node(dir, self.config().lease_managers),
+                LeaseRequest::Release {
+                    client: self.state.id,
+                    ino: dir,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // ---- internal helpers --------------------------------------------------
+
+    pub(crate) fn config(&self) -> &ArkConfig {
+        self.state.cluster.config()
+    }
+
+    pub(crate) fn prt(&self) -> &Arc<Prt> {
+        self.state.cluster.prt()
+    }
+
+    /// Run one client-facing op under telemetry: its virtual duration
+    /// feeds the `op.<name>.latency_ns` histogram, and (when tracing is
+    /// enabled) a span lands on this client's track.
+    pub(crate) fn traced<T>(
+        &self,
+        name: &'static str,
+        f: impl FnOnce() -> FsResult<T>,
+    ) -> FsResult<T> {
+        let start = self.port.now();
+        let r = f();
+        let end = self.port.now();
+        self.state
+            .op_hists
+            .get(name)
+            .record(end.saturating_sub(start));
+        let tracer = &self.state.telemetry.tracer;
+        if tracer.enabled() {
+            tracer.record(PID_CLIENT, self.state.id.0, name, "op", start, end);
+        }
+        r
+    }
+
+    pub(crate) fn fresh_ino(&self) -> Ino {
+        loop {
+            let ino: u128 = self.state.rngs.random_u128();
+            if ino > ROOT_INO {
+                return ino;
+            }
+        }
+    }
+
+    pub(crate) fn fuse_charge(&self, requests: usize) {
+        if self.config().fuse_model {
+            self.port
+                .advance(self.config().spec.fuse_op_cost * requests as u64);
+        }
+    }
+}
+
+impl ClientState {
+    /// A new [`DataCache`] wired to the shared hit/miss counters.
+    pub(crate) fn fresh_cache(&self, entries: usize) -> DataCache {
+        let mut cache = DataCache::new(entries);
+        cache.attach_counters(
+            Arc::clone(&self.cache_counters.0),
+            Arc::clone(&self.cache_counters.1),
+        );
+        cache
+    }
+
+    /// Acquire the data-cache lock (rank: Leaf).
+    pub(crate) fn lock_cache(&self) -> CacheGuard<'_> {
+        let rank = lockorder::acquire(self.id.0, Rank::Leaf);
+        let guard = self.cache_contention.lock(&self.cache);
+        self.cache_locks.fetch_add(1, Ordering::Relaxed);
+        CacheGuard { guard, _rank: rank }
+    }
+
+    /// Acquire a led directory's metatable (rank: Metatable).
+    pub(crate) fn lock_table<'a>(&self, table: &'a Arc<Mutex<Metatable>>) -> TableGuard<'a> {
+        let rank = lockorder::acquire(self.id.0, Rank::Metatable);
+        TableGuard {
+            guard: table.lock(),
+            _rank: rank,
+        }
+    }
+
+    pub(crate) fn lane(&self, dir: Ino) -> &SharedResource {
+        &self.lanes[(dir % self.lanes.len() as u128) as usize]
+    }
+}

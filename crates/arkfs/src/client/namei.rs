@@ -1,0 +1,372 @@
+//! Path resolution, permission checks, and the permission cache.
+//!
+//! Paths resolve component by component through [`ArkClient::lookup_step`];
+//! every step checks exec permission on the containing directory. For
+//! *remote* directories, permission-cache mode (§III-C) caches the
+//! directory's inode (permissions + stat) and recent lookup results for
+//! one lease period in the [`Pcache`], trading a little consistency for
+//! local-speed resolution.
+//!
+//! The pcache is lock-striped by directory ino (rank *Stripe*, see
+//! [`super::lockorder`]); a stripe is never held across an RPC or a
+//! [`super::dirsvc`] call — cache fills release the stripe first.
+
+use super::dirsvc::DirRef;
+use super::lockorder::{self, Rank, RankGuard};
+use super::ArkClient;
+use crate::meta::InodeRecord;
+use crate::rpc::{OpBody, OpResponse};
+use arkfs_simkit::Nanos;
+use arkfs_vfs::{
+    path as vpath, perm, Credentials, FileType, FsError, FsResult, Ino, AM_EXEC, ROOT_INO,
+};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+
+/// A cached view of a remote directory used in permission-cache mode
+/// (§III-C): its inode (permissions + stat) and recent lookup results,
+/// valid for one lease period.
+#[derive(Debug, Clone)]
+pub(crate) struct PermCacheEntry {
+    pub(crate) dir: InodeRecord,
+    pub(crate) lookups: HashMap<String, Option<(Ino, FileType)>>,
+    pub(crate) expires_at: Nanos,
+}
+
+#[derive(Debug, Default)]
+struct PcacheStripe {
+    entries: HashMap<Ino, PermCacheEntry>,
+    locks: u64,
+}
+
+/// A locked pcache stripe; derefs to its entry map.
+pub(crate) struct PcacheGuard<'a> {
+    guard: MutexGuard<'a, PcacheStripe>,
+    _rank: RankGuard,
+}
+
+impl Deref for PcacheGuard<'_> {
+    type Target = HashMap<Ino, PermCacheEntry>;
+    fn deref(&self) -> &Self::Target {
+        &self.guard.entries
+    }
+}
+
+impl DerefMut for PcacheGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard.entries
+    }
+}
+
+/// The permission cache, lock-striped by directory ino.
+#[derive(Debug)]
+pub(crate) struct Pcache {
+    stripes: Vec<Mutex<PcacheStripe>>,
+    node: u32,
+    pub(crate) contention: super::Contention,
+}
+
+impl Pcache {
+    pub(crate) fn new(stripes: usize, node: u32) -> Self {
+        Pcache {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::default()).collect(),
+            node,
+            contention: super::Contention::default(),
+        }
+    }
+
+    /// Lock stripe `i` (rank: Stripe).
+    fn stripe_at(&self, i: usize) -> PcacheGuard<'_> {
+        let rank = lockorder::acquire(self.node, Rank::Stripe);
+        let mut guard = self.contention.lock(&self.stripes[i]);
+        guard.locks += 1;
+        PcacheGuard { guard, _rank: rank }
+    }
+
+    /// Lock the stripe owning `dir` (rank: Stripe).
+    pub(crate) fn stripe(&self, dir: Ino) -> PcacheGuard<'_> {
+        self.stripe_at((dir % self.stripes.len() as u128) as usize)
+    }
+
+    /// Drop the cached view of one directory.
+    pub(crate) fn forget(&self, dir: Ino) {
+        self.stripe(dir).remove(&dir);
+    }
+
+    /// Drop everything (crash).
+    pub(crate) fn clear(&self) {
+        for i in 0..self.stripes.len() {
+            self.stripe_at(i).clear();
+        }
+    }
+
+    /// Total stripe-lock acquisitions so far.
+    pub(crate) fn lock_count(&self) -> u64 {
+        (0..self.stripes.len())
+            .map(|i| {
+                let s = self.stripe_at(i);
+                // Don't count this read itself.
+                s.guard.locks - 1
+            })
+            .sum()
+    }
+}
+
+impl ArkClient {
+    /// One path-resolution step: find `name` in `dir`, checking exec
+    /// permission on `dir` for `ctx`.
+    pub(crate) fn lookup_step(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        name: &str,
+    ) -> FsResult<(Ino, FileType)> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let t = self.state.lock_table(&table);
+                perm::check_access(ctx, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, AM_EXEC)?;
+                let entry = t.lookup(name).ok_or(FsError::NotFound)?;
+                Ok((entry.ino, entry.ftype))
+            }
+            DirRef::Remote(leader) => {
+                if self.config().permission_cache {
+                    if let Some(hit) = self.pcache_lookup(ctx, dir, name)? {
+                        return hit;
+                    }
+                }
+                let resp = self.remote_call(
+                    ctx,
+                    dir,
+                    leader,
+                    OpBody::Lookup {
+                        dir,
+                        name: name.to_string(),
+                    },
+                )?;
+                match resp {
+                    OpResponse::Entry { ino, ftype, .. } => {
+                        if self.config().permission_cache {
+                            self.pcache_note(dir, name, Some((ino, ftype)));
+                        }
+                        Ok((ino, ftype))
+                    }
+                    OpResponse::Err(FsError::NotFound) => {
+                        if self.config().permission_cache {
+                            self.pcache_note(dir, name, None);
+                        }
+                        Err(FsError::NotFound)
+                    }
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected lookup response".into())),
+                }
+            }
+        }
+    }
+
+    /// Try the permission cache: returns `Some(result)` on a conclusive
+    /// hit, `None` when the caller must RPC. Also checks exec permission
+    /// locally from the cached directory inode.
+    fn pcache_lookup(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        name: &str,
+    ) -> FsResult<Option<FsResult<(Ino, FileType)>>> {
+        let now = self.port.now();
+        let pc = self.state.pcache.stripe(dir);
+        let entry = match pc.get(&dir) {
+            Some(e) if e.expires_at > now => e,
+            _ => {
+                drop(pc);
+                self.pcache_fill(ctx, dir)?;
+                return Ok(None);
+            }
+        };
+        perm::check_access(
+            ctx,
+            entry.dir.uid,
+            entry.dir.gid,
+            entry.dir.mode,
+            &entry.dir.acl,
+            AM_EXEC,
+        )?;
+        self.port.advance(self.config().spec.local_meta_op);
+        Ok(entry.lookups.get(name).map(|cached| match cached {
+            Some(hit) => Ok(*hit),
+            None => Err(FsError::NotFound),
+        }))
+    }
+
+    /// Fetch and cache a remote directory's inode (permission info).
+    fn pcache_fill(&self, _ctx: &Credentials, dir: Ino) -> FsResult<()> {
+        let rec = self.dir_inode(dir)?;
+        let expires_at = self.port.now() + self.config().lease_period;
+        self.state.pcache.stripe(dir).insert(
+            dir,
+            PermCacheEntry {
+                dir: rec,
+                lookups: HashMap::new(),
+                expires_at,
+            },
+        );
+        Ok(())
+    }
+
+    pub(crate) fn pcache_note(&self, dir: Ino, name: &str, result: Option<(Ino, FileType)>) {
+        if let Some(entry) = self.state.pcache.stripe(dir).get_mut(&dir) {
+            entry.lookups.insert(name.to_string(), result);
+        }
+    }
+
+    pub(crate) fn pcache_forget(&self, dir: Ino) {
+        self.state.pcache.forget(dir);
+    }
+
+    /// Resolve all but the final component of `path`, checking exec
+    /// permission along the way. Returns (parent dir ino, final name).
+    pub(crate) fn resolve_parent<'p>(
+        &self,
+        ctx: &Credentials,
+        path: &'p str,
+    ) -> FsResult<(Ino, &'p str)> {
+        let (parents, name) = vpath::split_parent(path)?;
+        // FUSE sends one LOOKUP per component plus the final request.
+        self.fuse_charge(parents.len() + 2);
+        let mut dir = ROOT_INO;
+        for comp in parents {
+            let (ino, ftype) = self.lookup_step(ctx, dir, comp)?;
+            if ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            dir = ino;
+        }
+        Ok((dir, name))
+    }
+
+    /// Resolve a full path to (ino, ftype), where the final component may
+    /// be anything. `/` resolves to the root directory.
+    pub(crate) fn resolve(&self, ctx: &Credentials, path: &str) -> FsResult<(Ino, FileType)> {
+        let comps = vpath::components(path)?;
+        if comps.is_empty() {
+            self.fuse_charge(1);
+            return Ok((ROOT_INO, FileType::Directory));
+        }
+        let (dir, name) = self.resolve_parent(ctx, path)?;
+        self.lookup_step(ctx, dir, name)
+    }
+
+    /// The final inode record of a path (for stat/open/ACL reads).
+    pub(crate) fn resolve_record(
+        &self,
+        ctx: &Credentials,
+        path: &str,
+    ) -> FsResult<(Ino, InodeRecord)> {
+        let comps = vpath::components(path)?;
+        if comps.is_empty() {
+            self.fuse_charge(1);
+            let rec = self.dir_inode(ROOT_INO)?;
+            return Ok((ROOT_INO, rec));
+        }
+        let (dir, name) = self.resolve_parent(ctx, path)?;
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let t = self.state.lock_table(&table);
+                perm::check_access(ctx, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, AM_EXEC)?;
+                let entry = t.lookup(name).ok_or(FsError::NotFound)?;
+                if entry.ftype == FileType::Directory {
+                    let ino = entry.ino;
+                    drop(t);
+                    let rec = self.dir_inode(ino)?;
+                    Ok((ino, rec))
+                } else {
+                    let rec = t
+                        .child_inode(entry.ino)
+                        .cloned()
+                        .ok_or_else(|| FsError::Io("dangling dentry".into()))?;
+                    Ok((entry.ino, rec))
+                }
+            }
+            DirRef::Remote(leader) => {
+                let resp = self.remote_call(
+                    ctx,
+                    dir,
+                    leader,
+                    OpBody::Lookup {
+                        dir,
+                        name: name.to_string(),
+                    },
+                )?;
+                match resp {
+                    OpResponse::Entry { ino, ftype, rec } => {
+                        if self.config().permission_cache {
+                            self.pcache_note(dir, name, Some((ino, ftype)));
+                        }
+                        match rec {
+                            Some(rec) => Ok((ino, rec)),
+                            None => {
+                                // Directory: ask its own leader.
+                                let rec = self.dir_inode(ino)?;
+                                Ok((ino, rec))
+                            }
+                        }
+                    }
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected lookup response".into())),
+                }
+            }
+        }
+    }
+
+    /// Resolve (parent, name) → the child's inode record, through the
+    /// appropriate leader.
+    pub(crate) fn lookup_record(
+        &self,
+        ctx: &Credentials,
+        dir: Ino,
+        name: &str,
+    ) -> FsResult<(Ino, InodeRecord)> {
+        match self.dir_ref(dir)? {
+            DirRef::Local(table) => {
+                self.port.advance(self.config().spec.local_meta_op);
+                let t = self.state.lock_table(&table);
+                perm::check_access(ctx, t.dir.uid, t.dir.gid, t.dir.mode, &t.dir.acl, AM_EXEC)?;
+                let entry = t.lookup(name).ok_or(FsError::NotFound)?;
+                if entry.ftype == FileType::Directory {
+                    let ino = entry.ino;
+                    drop(t);
+                    Ok((ino, self.dir_inode(ino)?))
+                } else {
+                    let rec = t
+                        .child_inode(entry.ino)
+                        .cloned()
+                        .ok_or_else(|| FsError::Io("dangling dentry".into()))?;
+                    Ok((entry.ino, rec))
+                }
+            }
+            DirRef::Remote(leader) => {
+                let resp = self.remote_call(
+                    ctx,
+                    dir,
+                    leader,
+                    OpBody::Lookup {
+                        dir,
+                        name: name.to_string(),
+                    },
+                )?;
+                match resp {
+                    OpResponse::Entry {
+                        ino,
+                        rec: Some(rec),
+                        ..
+                    } => Ok((ino, rec)),
+                    OpResponse::Entry { ino, rec: None, .. } => Ok((ino, self.dir_inode(ino)?)),
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected lookup response".into())),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,747 @@
+//! The near-POSIX [`Vfs`] surface of [`ArkClient`].
+//!
+//! A thin composition layer: each operation resolves paths via
+//! [`super::namei`], routes directory mutations through
+//! [`super::dirsvc`], manages handles and file leases via
+//! [`super::filetable`], and moves bytes via [`super::datapath`]. Every
+//! op runs under [`ArkClient::traced`] so its virtual-time latency
+//! lands in the preregistered `op.<name>.latency_ns` histogram.
+
+use super::dirsvc::DirRef;
+use super::filetable::OpenFile;
+use super::ArkClient;
+use crate::cluster::manager_node;
+use crate::meta::InodeRecord;
+use crate::metatable::Metatable;
+use crate::rpc::{OpBody, OpResponse};
+use arkfs_lease::LeaseRequest;
+use arkfs_simkit::Port;
+use arkfs_vfs::{
+    path as vpath, perm, Acl, Credentials, DirEntry, FileHandle, FileType, FsError, FsResult,
+    FsStats, Ino, OpenFlags, SetAttr, Stat, Vfs, AM_READ, AM_WRITE, ROOT_INO,
+};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+impl ArkClient {
+    fn open_inner(
+        &self,
+        ctx: &Credentials,
+        path: &str,
+        flags: OpenFlags,
+        depth: usize,
+    ) -> FsResult<FileHandle> {
+        if depth > 8 {
+            return Err(FsError::InvalidArgument); // ELOOP
+        }
+        let (parent, name) = self.resolve_parent(ctx, path)?;
+        let (ino, rec) = self.lookup_record(ctx, parent, name)?;
+        match rec.ftype {
+            FileType::Directory => return Err(FsError::IsADirectory),
+            FileType::Symlink => {
+                let target = rec.symlink_target.clone();
+                return self.open_inner(ctx, &target, flags, depth + 1);
+            }
+            FileType::Regular => {}
+        }
+        let mut want = 0u8;
+        if flags.readable() {
+            want |= AM_READ;
+        }
+        if flags.writable() {
+            want |= AM_WRITE;
+        }
+        perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, want)?;
+        let mut size = rec.size;
+        if flags.is_trunc() && flags.writable() && size > 0 {
+            self.push_size(ctx, parent, ino, 0)?;
+            self.prt().truncate_data(&self.port, ino, size, 0)?;
+            self.state.lock_cache().truncate_file(ino, 0);
+            size = 0;
+        }
+        let cached = self.file_lease_read(parent, ino)?;
+        let id = self.state.files.insert(OpenFile {
+            ino,
+            parent,
+            flags,
+            size,
+            cached,
+            wrote: false,
+            ra_window: 0,
+            last_pos: 0,
+        });
+        Ok(FileHandle(id))
+    }
+}
+
+impl Vfs for ArkClient {
+    fn mkdir(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<Stat> {
+        self.traced("op.mkdir", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            vpath::validate_name(name)?;
+            let ino = self.fresh_ino();
+            let rec = InodeRecord::new(
+                ino,
+                FileType::Directory,
+                mode,
+                ctx.uid,
+                ctx.gid,
+                self.port.now(),
+            );
+            // The child directory's inode object is written eagerly so its
+            // first leader can load it (the dentry itself is journaled).
+            self.prt().store_inode(&self.port, &rec)?;
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::AddSubdir {
+                    dir: parent,
+                    name: name.to_string(),
+                    child: ino,
+                },
+            )? {
+                OpResponse::Ok => {
+                    if self.config().permission_cache {
+                        self.pcache_note(parent, name, Some((ino, FileType::Directory)));
+                    }
+                    Ok(rec.to_stat())
+                }
+                OpResponse::Err(e) => {
+                    let _ = self.prt().delete_inode(&self.port, ino);
+                    Err(e)
+                }
+                _ => Err(FsError::Io("unexpected mkdir response".into())),
+            }
+        })
+    }
+
+    fn rmdir(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
+        self.traced("op.rmdir", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            let (child, ftype) = self.lookup_step(ctx, parent, name)?;
+            if ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            if child == ROOT_INO {
+                return Err(FsError::InvalidArgument);
+            }
+            // Become the child's leader to guarantee a stable emptiness check.
+            match self.dir_ref(child)? {
+                DirRef::Local(table) => {
+                    let mut t = self.state.lock_table(&table);
+                    if !t.is_empty() {
+                        return Err(FsError::NotEmpty);
+                    }
+                    let lane = self.state.lane(child);
+                    t.flush(
+                        self.prt(),
+                        &self.port,
+                        lane,
+                        self.config().spec.local_meta_op,
+                    )?;
+                }
+                DirRef::Remote(_) => return Err(FsError::Busy),
+            }
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::RemoveSubdir {
+                    dir: parent,
+                    name: name.to_string(),
+                },
+            )? {
+                OpResponse::Ok => {}
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected rmdir response".into())),
+            }
+            // Drop leadership and delete the directory's objects.
+            self.state.dirs.forget(child);
+            let _ = self.state.cluster.lease_bus().call(
+                &self.port,
+                manager_node(child, self.config().lease_managers),
+                LeaseRequest::Release {
+                    client: self.state.id,
+                    ino: child,
+                },
+            );
+            self.prt().delete_buckets(&self.port, child)?;
+            self.prt().delete_inode(&self.port, child)?;
+            self.pcache_forget(child);
+            if self.config().permission_cache {
+                self.pcache_note(parent, name, None);
+            }
+            Ok(())
+        })
+    }
+
+    fn create(&self, ctx: &Credentials, path: &str, mode: u32) -> FsResult<FileHandle> {
+        self.traced("op.create", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            vpath::validate_name(name)?;
+            let ino = self.fresh_ino();
+            let rec = InodeRecord::new(
+                ino,
+                FileType::Regular,
+                mode,
+                ctx.uid,
+                ctx.gid,
+                self.port.now(),
+            );
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::Create {
+                    dir: parent,
+                    name: name.to_string(),
+                    rec,
+                },
+            )? {
+                OpResponse::Ok => {}
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected create response".into())),
+            }
+            if self.config().permission_cache {
+                self.pcache_note(parent, name, Some((ino, FileType::Regular)));
+            }
+            let cached = self.file_lease_read(parent, ino)?;
+            let id = self.state.files.insert(OpenFile {
+                ino,
+                parent,
+                flags: OpenFlags::RDWR,
+                size: 0,
+                cached,
+                wrote: false,
+                ra_window: 0,
+                last_pos: 0,
+            });
+            Ok(FileHandle(id))
+        })
+    }
+
+    fn open(&self, ctx: &Credentials, path: &str, flags: OpenFlags) -> FsResult<FileHandle> {
+        self.traced("op.open", || self.open_inner(ctx, path, flags, 0))
+    }
+
+    fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
+        self.traced("op.close", || {
+            self.fsync(ctx, fh)?;
+            let h = self.state.files.remove(fh.0).ok_or(FsError::BadHandle)?;
+            self.release_file_lease(h.parent, h.ino);
+            Ok(())
+        })
+    }
+
+    fn read(
+        &self,
+        ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
+        self.traced("op.read", || {
+            let _ = ctx;
+            self.read_impl(fh, offset, buf)
+        })
+    }
+
+    fn write(
+        &self,
+        ctx: &Credentials,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
+        self.traced("op.write", || {
+            let _ = ctx;
+            self.write_impl(fh, offset, data)
+        })
+    }
+
+    fn fsync(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
+        self.traced("op.fsync", || {
+            self.fuse_charge(1);
+            let (ino, parent, size, wrote) = self
+                .state
+                .files
+                .get(fh.0, |h| (h.ino, h.parent, h.size, h.wrote))
+                .ok_or(FsError::BadHandle)?;
+            self.flush_file_data(ino)?;
+            if wrote {
+                self.push_size(ctx, parent, ino, size)?;
+                let _ = self.state.files.update(fh.0, |h| {
+                    h.wrote = false;
+                });
+            }
+            Ok(())
+        })
+    }
+
+    fn stat(&self, ctx: &Credentials, path: &str) -> FsResult<Stat> {
+        self.traced("op.stat", || {
+            let (ino, rec) = self.resolve_record(ctx, path)?;
+            let mut st = rec.to_stat();
+            // Reads-own-writes: unflushed writes are visible to this client.
+            if let Some(open_size) = self.state.files.max_open_size(ino) {
+                st.size = st.size.max(open_size);
+            }
+            Ok(st)
+        })
+    }
+
+    fn readdir(&self, ctx: &Credentials, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.traced("op.readdir", || {
+            let (ino, ftype) = self.resolve(ctx, path)?;
+            if ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            match self.on_dir(ctx, ino, OpBody::Readdir { dir: ino })? {
+                OpResponse::Entries(entries) => Ok(entries),
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected readdir response".into())),
+            }
+        })
+    }
+
+    fn unlink(&self, ctx: &Credentials, path: &str) -> FsResult<()> {
+        self.traced("op.unlink", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::Unlink {
+                    dir: parent,
+                    name: name.to_string(),
+                },
+            )? {
+                OpResponse::Inode(rec) => {
+                    self.state.lock_cache().invalidate_file(rec.ino);
+                    self.prt().delete_data(&self.port, rec.ino, rec.size)?;
+                    if self.config().permission_cache {
+                        self.pcache_note(parent, name, None);
+                    }
+                    Ok(())
+                }
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected unlink response".into())),
+            }
+        })
+    }
+
+    fn rename(&self, ctx: &Credentials, from: &str, to: &str) -> FsResult<()> {
+        self.traced("op.rename", || {
+            let from_comps = vpath::components(from)?;
+            let to_comps = vpath::components(to)?;
+            if from_comps == to_comps {
+                return Ok(());
+            }
+            if from_comps.is_empty() || to_comps.is_empty() {
+                return Err(FsError::InvalidArgument);
+            }
+            if vpath::is_prefix_of(&from_comps, &to_comps) {
+                return Err(FsError::InvalidArgument); // moving into own subtree
+            }
+            let (src_dir, src_name) = self.resolve_parent(ctx, from)?;
+            let (dst_dir, dst_name) = self.resolve_parent(ctx, to)?;
+
+            if src_dir == dst_dir {
+                // Existing directory target must be empty and is removed
+                // first (POSIX replace).
+                if let Ok((tino, tft)) = self.lookup_step(ctx, src_dir, dst_name) {
+                    if tft == FileType::Directory {
+                        let (_, sft) = self.lookup_step(ctx, src_dir, src_name)?;
+                        if sft != FileType::Directory {
+                            return Err(FsError::IsADirectory);
+                        }
+                        match self.dir_ref(tino)? {
+                            DirRef::Local(table) => {
+                                if !self.state.lock_table(&table).is_empty() {
+                                    return Err(FsError::NotEmpty);
+                                }
+                            }
+                            DirRef::Remote(_) => return Err(FsError::Busy),
+                        }
+                        self.rmdir(ctx, to)?;
+                    }
+                }
+                return match self.on_dir(
+                    ctx,
+                    src_dir,
+                    OpBody::RenameLocal {
+                        dir: src_dir,
+                        from: src_name.to_string(),
+                        to: dst_name.to_string(),
+                    },
+                )? {
+                    OpResponse::Ok => {
+                        if self.config().permission_cache {
+                            self.pcache_note(src_dir, src_name, None);
+                        }
+                        Ok(())
+                    }
+                    OpResponse::Err(e) => Err(e),
+                    _ => Err(FsError::Io("unexpected rename response".into())),
+                };
+            }
+
+            // Cross-directory rename: two-phase commit across both journals
+            // (§III-E, [18]). An existing file target is replaced atomically
+            // inside the destination's prepare; a directory target is
+            // rejected.
+            let txid: u128 = self.state.rngs.random_u128();
+            let (ino, ftype, rec) = match self.on_dir(
+                ctx,
+                src_dir,
+                OpBody::RenameSrcPrepare {
+                    dir: src_dir,
+                    name: src_name.to_string(),
+                    txid,
+                    peer: dst_dir,
+                },
+            )? {
+                OpResponse::Detached { ino, ftype, rec } => (ino, ftype, rec),
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected rename-src response".into())),
+            };
+            let dst_result = self.on_dir(
+                ctx,
+                dst_dir,
+                OpBody::RenameDstPrepare {
+                    dir: dst_dir,
+                    name: dst_name.to_string(),
+                    txid,
+                    peer: src_dir,
+                    ino,
+                    ftype,
+                    rec: rec.clone(),
+                },
+            )?;
+            match dst_result {
+                OpResponse::Ok => {}
+                OpResponse::Inode(victim) => {
+                    // The destination replaced an existing file; its data
+                    // chunks are ours to reclaim.
+                    self.state.lock_cache().invalidate_file(victim.ino);
+                    self.prt()
+                        .delete_data(&self.port, victim.ino, victim.size)?;
+                }
+                OpResponse::Err(e) => {
+                    // Abort: undo the source detach.
+                    let _ = self.on_dir(
+                        ctx,
+                        src_dir,
+                        OpBody::RenameDecide {
+                            dir: src_dir,
+                            txid,
+                            commit: false,
+                            undo: Some((src_name.to_string(), ino, ftype, rec)),
+                        },
+                    );
+                    return Err(e);
+                }
+                _ => return Err(FsError::Io("unexpected rename-dst response".into())),
+            }
+            for dir in [src_dir, dst_dir] {
+                match self.on_dir(
+                    ctx,
+                    dir,
+                    OpBody::RenameDecide {
+                        dir,
+                        txid,
+                        commit: true,
+                        undo: None,
+                    },
+                )? {
+                    OpResponse::Ok => {}
+                    OpResponse::Err(e) => return Err(e),
+                    _ => return Err(FsError::Io("unexpected rename-decide response".into())),
+                }
+            }
+            if self.config().permission_cache {
+                self.pcache_note(src_dir, src_name, None);
+                self.pcache_note(dst_dir, dst_name, Some((ino, ftype)));
+            }
+            Ok(())
+        })
+    }
+
+    fn truncate(&self, ctx: &Credentials, path: &str, size: u64) -> FsResult<()> {
+        self.traced("op.truncate", || {
+            if vpath::components(path)?.is_empty() {
+                return Err(FsError::IsADirectory);
+            }
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            let (ino, rec) = self.lookup_record(ctx, parent, name)?;
+            if rec.ftype == FileType::Directory {
+                return Err(FsError::IsADirectory);
+            }
+            perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, AM_WRITE)?;
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::SetSize {
+                    dir: parent,
+                    ino,
+                    size,
+                },
+            )? {
+                OpResponse::Ok => {}
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected truncate response".into())),
+            }
+            if size < rec.size {
+                // Flush surviving dirty data, then drop all cached chunks:
+                // the boundary chunk's cached copy is stale after the store
+                // trims it.
+                self.flush_file_data(ino)?;
+                self.state.lock_cache().invalidate_file(ino);
+                self.prt().truncate_data(&self.port, ino, rec.size, size)?;
+            }
+            self.state.files.set_size_for(ino, size);
+            Ok(())
+        })
+    }
+
+    fn setattr(&self, ctx: &Credentials, path: &str, attr: &SetAttr) -> FsResult<Stat> {
+        self.traced("op.setattr", || {
+            let comps = vpath::components(path)?;
+            let resp = if comps.is_empty() {
+                self.fuse_charge(1);
+                self.on_dir(
+                    ctx,
+                    ROOT_INO,
+                    OpBody::SetAttrDir {
+                        dir: ROOT_INO,
+                        attr: attr.clone(),
+                    },
+                )?
+            } else {
+                let (parent, name) = self.resolve_parent(ctx, path)?;
+                let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
+                if ftype == FileType::Directory {
+                    self.pcache_forget(ino);
+                    self.on_dir(
+                        ctx,
+                        ino,
+                        OpBody::SetAttrDir {
+                            dir: ino,
+                            attr: attr.clone(),
+                        },
+                    )?
+                } else {
+                    self.on_dir(
+                        ctx,
+                        parent,
+                        OpBody::SetAttrChild {
+                            dir: parent,
+                            ino,
+                            attr: attr.clone(),
+                        },
+                    )?
+                }
+            };
+            match resp {
+                OpResponse::Inode(rec) => Ok(rec.to_stat()),
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected setattr response".into())),
+            }
+        })
+    }
+
+    fn symlink(&self, ctx: &Credentials, path: &str, target: &str) -> FsResult<Stat> {
+        self.traced("op.symlink", || {
+            let (parent, name) = self.resolve_parent(ctx, path)?;
+            vpath::validate_name(name)?;
+            let ino = self.fresh_ino();
+            let mut rec = InodeRecord::new(
+                ino,
+                FileType::Symlink,
+                0o777,
+                ctx.uid,
+                ctx.gid,
+                self.port.now(),
+            );
+            rec.symlink_target = target.to_string();
+            rec.size = target.len() as u64;
+            let stat = rec.to_stat();
+            match self.on_dir(
+                ctx,
+                parent,
+                OpBody::Create {
+                    dir: parent,
+                    name: name.to_string(),
+                    rec,
+                },
+            )? {
+                OpResponse::Ok => {
+                    if self.config().permission_cache {
+                        self.pcache_note(parent, name, Some((ino, FileType::Symlink)));
+                    }
+                    Ok(stat)
+                }
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected symlink response".into())),
+            }
+        })
+    }
+
+    fn readlink(&self, ctx: &Credentials, path: &str) -> FsResult<String> {
+        self.traced("op.readlink", || {
+            let (_, rec) = self.resolve_record(ctx, path)?;
+            if rec.ftype != FileType::Symlink {
+                return Err(FsError::InvalidArgument);
+            }
+            Ok(rec.symlink_target)
+        })
+    }
+
+    fn set_acl(&self, ctx: &Credentials, path: &str, acl: &Acl) -> FsResult<()> {
+        self.traced("op.set_acl", || {
+            let comps = vpath::components(path)?;
+            let resp = if comps.is_empty() {
+                self.fuse_charge(1);
+                self.on_dir(
+                    ctx,
+                    ROOT_INO,
+                    OpBody::SetAcl {
+                        dir: ROOT_INO,
+                        target: ROOT_INO,
+                        acl: acl.clone(),
+                    },
+                )?
+            } else {
+                let (parent, name) = self.resolve_parent(ctx, path)?;
+                let (ino, ftype) = self.lookup_step(ctx, parent, name)?;
+                if ftype == FileType::Directory {
+                    self.pcache_forget(ino);
+                    self.on_dir(
+                        ctx,
+                        ino,
+                        OpBody::SetAcl {
+                            dir: ino,
+                            target: ino,
+                            acl: acl.clone(),
+                        },
+                    )?
+                } else {
+                    self.on_dir(
+                        ctx,
+                        parent,
+                        OpBody::SetAcl {
+                            dir: parent,
+                            target: ino,
+                            acl: acl.clone(),
+                        },
+                    )?
+                }
+            };
+            match resp {
+                OpResponse::Ok => Ok(()),
+                OpResponse::Err(e) => Err(e),
+                _ => Err(FsError::Io("unexpected set_acl response".into())),
+            }
+        })
+    }
+
+    fn get_acl(&self, ctx: &Credentials, path: &str) -> FsResult<Acl> {
+        self.traced("op.get_acl", || {
+            let (_, rec) = self.resolve_record(ctx, path)?;
+            Ok(rec.acl)
+        })
+    }
+
+    fn access(&self, ctx: &Credentials, path: &str, mode: u8) -> FsResult<()> {
+        self.traced("op.access", || {
+            let (_, rec) = self.resolve_record(ctx, path)?;
+            perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, mode)
+        })
+    }
+
+    fn sync_all(&self, ctx: &Credentials) -> FsResult<()> {
+        self.traced("op.sync_all", || {
+            // 1. All dirty data chunks, pipelined.
+            let dirty = self.state.lock_cache().take_all_dirty();
+            if !dirty.is_empty() {
+                let items: Vec<(arkfs_objstore::ObjectKey, Bytes)> = dirty
+                    .into_iter()
+                    .map(|e| {
+                        (
+                            arkfs_objstore::ObjectKey::data_chunk(e.ino, e.chunk),
+                            Bytes::from(e.data),
+                        )
+                    })
+                    .collect();
+                for r in self.prt().store().put_many(&self.port, items) {
+                    r.map_err(crate::prt::map_os_err)?;
+                }
+            }
+            // 2. Size updates for written handles.
+            let pending = self.state.files.take_pending_sizes();
+            for (parent, ino, size) in pending {
+                self.push_size(ctx, parent, ino, size)?;
+            }
+            // 3. Commit + checkpoint every led directory, overlapped: each
+            // directory's flush runs on a port forked at the same instant,
+            // so independent directories' commits proceed in parallel and
+            // the caller pays the slowest one. Directories mapped to the
+            // same commit lane still serialize on that lane's
+            // `SharedResource` (§III-E: multiple commit threads), and
+            // checkpoints land on background timelines inside `flush`.
+            let mut tables: Vec<(Ino, Arc<Mutex<Metatable>>)> = self.state.dirs.led_tables();
+            // Deterministic flush order (the map iterates in hash order,
+            // which varies between runs and would jitter the virtual-time
+            // arrival order on shared resources).
+            tables.sort_by_key(|&(ino, _)| ino);
+            let start = self.port.now();
+            let mut done = start;
+            for (ino, table) in tables {
+                let fork = Port::starting_at(start);
+                let mut t = self.state.lock_table(&table);
+                t.flush(
+                    self.prt(),
+                    &fork,
+                    self.state.lane(ino),
+                    self.config().spec.local_meta_op,
+                )?;
+                done = done.max(fork.now());
+            }
+            self.port.wait_until(done);
+            self.state.flush_epoch.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+    }
+
+    fn statfs(&self, _ctx: &Credentials) -> FsResult<FsStats> {
+        self.traced("op.statfs", || {
+            // Inode count via a flat LIST of `i` objects. The LIST is charged
+            // as a single listing op in the cost model, but on S3-like
+            // profiles it is still the most expensive metadata call we issue,
+            // so the count is memoized per flush epoch: the namespace only
+            // changes durably at commit/checkpoint time, and `sync_all` bumps
+            // `flush_epoch`, so repeated statfs calls between flushes reuse
+            // the cached count without re-walking the store.
+            let epoch = self.state.flush_epoch.load(Ordering::Relaxed);
+            let mut cache = self.state.statfs_cache.lock();
+            let inodes = match *cache {
+                Some((e, n)) if e == epoch => n,
+                _ => {
+                    let n = self
+                        .prt()
+                        .store()
+                        .list(&self.port, Some(arkfs_objstore::KeyKind::Inode), None)
+                        .map_err(crate::prt::map_os_err)?
+                        .len() as u64;
+                    *cache = Some((epoch, n));
+                    n
+                }
+            };
+            let (store_objects, store_bytes) = self.prt().store().usage();
+            Ok(FsStats {
+                inodes,
+                store_objects,
+                store_bytes,
+            })
+        })
+    }
+}

@@ -46,6 +46,12 @@ pub struct ArkConfig {
     /// of lease managers" as future work (§III-B); values > 1 partition
     /// directories across managers by inode number.
     pub lease_managers: usize,
+    /// Lock stripes for the client's hot shared state (led-directory
+    /// table, permission cache, open-handle table, ino RNG pool).
+    /// Threads operating on distinct directories/files only contend
+    /// when they hash to the same stripe; `1` restores a single global
+    /// lock per table (the pre-striping behavior, kept for ablation).
+    pub client_lock_stripes: usize,
     /// Cost constants for the simulated cluster.
     pub spec: ClusterSpec,
 }
@@ -67,6 +73,7 @@ impl Default for ArkConfig {
             permission_cache: true,
             fuse_model: true,
             lease_managers: 1,
+            client_lock_stripes: 16,
             spec: ClusterSpec::aws_paper(),
         }
     }
@@ -92,6 +99,8 @@ impl ArkConfig {
             permission_cache: true,
             fuse_model: false,
             lease_managers: 1,
+            // Few stripes so unit tests exercise stripe collisions.
+            client_lock_stripes: 4,
             spec: ClusterSpec::test_tiny(),
         }
     }
@@ -120,6 +129,13 @@ impl ArkConfig {
 
     pub fn with_lease_managers(mut self, n: usize) -> Self {
         self.lease_managers = n.max(1);
+        self
+    }
+
+    /// `1` collapses every client-side table to one global lock (the
+    /// ablation baseline); the default is 16.
+    pub fn with_client_lock_stripes(mut self, n: usize) -> Self {
+        self.client_lock_stripes = n.max(1);
         self
     }
 

@@ -46,6 +46,6 @@ pub mod radix;
 pub mod rpc;
 pub mod wire;
 
-pub use client::ArkClient;
+pub use client::{ArkClient, LockStats};
 pub use cluster::ArkCluster;
 pub use config::ArkConfig;

@@ -15,7 +15,7 @@ pub mod registry;
 pub mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKETS};
-pub use registry::{Counter, Gauge, MetricValue, Registry};
+pub use registry::{Counter, Gauge, HistogramSet, MetricValue, Registry};
 pub use trace::{
     merged_chrome_trace, SpanEvent, Tracer, BATCH_TID, PID_CLIENT, PID_LEASE, PID_META, PID_STORE,
 };

@@ -7,7 +7,7 @@
 
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -89,6 +89,20 @@ impl Registry {
         Arc::clone(m.entry(name.to_string()).or_default())
     }
 
+    /// Preregister one histogram per entry in `names` (each registered
+    /// as `{name}{suffix}`) and return a lock-free handle set keyed by
+    /// the bare `name`. Hot paths that record into a fixed family of
+    /// histograms (e.g. one per Vfs op) resolve their handles once at
+    /// construction instead of taking the registry lock per record.
+    pub fn histogram_set(&self, names: &[&'static str], suffix: &str) -> HistogramSet {
+        HistogramSet {
+            map: names
+                .iter()
+                .map(|&name| (name, self.histogram(&format!("{name}{suffix}"))))
+                .collect(),
+        }
+    }
+
     /// All metrics, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
         let mut out: Vec<(String, MetricValue)> = Vec::new();
@@ -103,6 +117,36 @@ impl Registry {
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+}
+
+/// An immutable bundle of histogram handles resolved once from a
+/// [`Registry`] (see [`Registry::histogram_set`]). Lookups never lock.
+#[derive(Debug)]
+pub struct HistogramSet {
+    map: HashMap<&'static str, Arc<LatencyHistogram>>,
+}
+
+impl HistogramSet {
+    /// The preregistered histogram for `name`.
+    ///
+    /// # Panics
+    /// Panics when `name` was not in the set passed to
+    /// [`Registry::histogram_set`] — the set is meant for fixed,
+    /// compile-time families of names, so an unknown name is a bug.
+    pub fn get(&self, name: &'static str) -> &Arc<LatencyHistogram> {
+        self.map
+            .get(name)
+            .unwrap_or_else(|| panic!("histogram {name:?} was not preregistered"))
+    }
+
+    /// Number of preregistered histograms.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -129,6 +173,28 @@ mod tests {
         a.add(3);
         b.add(4);
         assert_eq!(r.counter("store.put.count").get(), 7);
+    }
+
+    #[test]
+    fn histogram_set_shares_registry_handles() {
+        let r = Registry::new();
+        let set = r.histogram_set(&["op.read", "op.write"], ".latency_ns");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        set.get("op.read").record(7);
+        // The set's handle and a later registry resolution are the same
+        // histogram.
+        assert_eq!(r.histogram("op.read.latency_ns").snapshot().count(), 1);
+        r.histogram("op.write.latency_ns").record(3);
+        assert_eq!(set.get("op.write").snapshot().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not preregistered")]
+    fn histogram_set_rejects_unknown_names() {
+        let r = Registry::new();
+        let set = r.histogram_set(&["op.read"], ".latency_ns");
+        let _ = set.get("op.unknown");
     }
 
     #[test]
