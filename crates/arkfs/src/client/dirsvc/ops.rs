@@ -8,6 +8,7 @@
 //! / handle shards (rank *Leaf*) via lease-conflict flush broadcasts.
 
 use super::super::{ClientState, TableGuard};
+use crate::config::CommitMode;
 use crate::metatable::Metatable;
 use crate::rpc::{OpBody, OpRequest, OpResponse};
 use arkfs_lease::FileLeaseDecision;
@@ -33,28 +34,65 @@ impl ClientState {
         let dir_ino = t.ino();
 
         // Seal the running compound transaction when its buffering window
-        // elapsed (§III-E). Forced commits (fsync semantics) are charged
-        // to the caller; window-triggered commits are the commit threads'
-        // work and run on a background timeline that does not stall the
-        // application (the store still sees their load).
+        // elapsed (§III-E). Forced commits (2PC prepares/decisions, sync-
+        // mode fsync semantics) are charged to the caller; window-
+        // triggered commits are the commit threads' work and run on a
+        // background timeline that does not stall the application (the
+        // store still sees their load). Every background flush is tracked
+        // on the directory's commit lane so fsync/sync_all barriers can
+        // drain it; in async mode the lane's in-flight bound pushes back
+        // on the caller when the pipeline runs ahead of the store.
         let maybe_commit = |t: &mut Metatable, force: bool| -> FsResult<()> {
+            let lane = self.lane(dir_ino);
             if force {
                 t.journal
-                    .commit(prt, port, self.lane(dir_ino), config.spec.local_meta_op)?;
-            } else if t.journal.commit_due(
-                port.now(),
-                config.journal_window,
-                config.journal_max_entries,
-            ) {
-                let background = Port::starting_at(port.now());
-                t.journal.commit(
-                    prt,
-                    &background,
-                    self.lane(dir_ino),
-                    config.spec.local_meta_op,
-                )?;
+                    .commit(prt, port, &lane.res, config.spec.local_meta_op)?;
+                return Ok(());
+            }
+            match config.commit_mode {
+                CommitMode::Sync => {
+                    if t.journal.commit_due(
+                        port.now(),
+                        config.journal_window,
+                        config.journal_max_entries,
+                    ) {
+                        let background = Port::starting_at(port.now());
+                        t.journal
+                            .commit(prt, &background, &lane.res, config.spec.local_meta_op)?;
+                        lane.record_flight(background.now());
+                    }
+                }
+                CommitMode::Async => {
+                    if t.journal.commit_due(
+                        port.now(),
+                        config.async_commit_window,
+                        config.journal_max_entries,
+                    ) {
+                        // Backpressure: a full in-flight window stalls the
+                        // caller until the lane's oldest flight lands.
+                        let admitted = lane.admit(port.now(), config.async_commit_max_inflight);
+                        port.wait_until(admitted);
+                        if t.journal.seal().is_some() {
+                            let background = Port::starting_at(port.now());
+                            t.journal.flush_sealed(
+                                prt,
+                                &background,
+                                &lane.res,
+                                config.spec.local_meta_op,
+                            )?;
+                            lane.record_flight(background.now());
+                        }
+                    }
+                }
             }
             Ok(())
+        };
+
+        // Stamp a mutation for `op.<name>.durable_ns` attribution, then
+        // run the commit policy.
+        let stamp_commit = |t: &mut Metatable, op: &'static str, force: bool| -> FsResult<()> {
+            t.journal.stamp(op, now);
+            maybe_commit(t, force)
         };
 
         let dir_perm = |t: &Metatable, want: u8| -> FsResult<()> {
@@ -82,7 +120,7 @@ impl ClientState {
                 }
                 match t
                     .create_child(rec, &name, now)
-                    .and_then(|()| maybe_commit(&mut t, false))
+                    .and_then(|()| stamp_commit(&mut t, "op.create", false))
                 {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
@@ -94,7 +132,7 @@ impl ClientState {
                 }
                 match t
                     .add_subdir(&name, child, now)
-                    .and_then(|()| maybe_commit(&mut t, false))
+                    .and_then(|()| stamp_commit(&mut t, "op.mkdir", false))
                 {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
@@ -111,7 +149,7 @@ impl ClientState {
                     return OpResponse::Err(e);
                 }
                 match t.unlink_child(&name, now) {
-                    Ok(rec) => match maybe_commit(&mut t, false) {
+                    Ok(rec) => match stamp_commit(&mut t, "op.unlink", false) {
                         Ok(()) => OpResponse::Inode(rec),
                         Err(e) => OpResponse::Err(e),
                     },
@@ -135,7 +173,7 @@ impl ClientState {
                 }
                 match t
                     .remove_subdir(&name, now)
-                    .and_then(|_| maybe_commit(&mut t, false))
+                    .and_then(|_| stamp_commit(&mut t, "op.rmdir", false))
                 {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
@@ -155,10 +193,14 @@ impl ClientState {
                         return OpResponse::Err(e);
                     }
                 }
-                // fsync semantics: the size update must be durable.
+                // fsync semantics: in sync mode the size update must be
+                // durable before the ack; in async mode it seals into the
+                // pipeline and the explicit fsync/sync_all barrier
+                // (FsyncDir) provides durability.
+                let force = config.commit_mode == CommitMode::Sync;
                 match t
                     .set_child_size(ino, size, now)
-                    .and_then(|()| maybe_commit(&mut t, true))
+                    .and_then(|()| stamp_commit(&mut t, "op.setsize", force))
                 {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
@@ -174,7 +216,7 @@ impl ClientState {
                     return OpResponse::Err(e);
                 }
                 match t.set_child_attr(ino, &attr, now) {
-                    Ok(rec) => match maybe_commit(&mut t, false) {
+                    Ok(rec) => match stamp_commit(&mut t, "op.setattr", false) {
                         Ok(()) => OpResponse::Inode(rec),
                         Err(e) => OpResponse::Err(e),
                     },
@@ -187,7 +229,7 @@ impl ClientState {
                     return OpResponse::Err(e);
                 }
                 let rec = t.set_dir_attr(&attr, now);
-                match maybe_commit(&mut t, false) {
+                match stamp_commit(&mut t, "op.setattr", false) {
                     Ok(()) => OpResponse::Inode(rec),
                     Err(e) => OpResponse::Err(e),
                 }
@@ -206,7 +248,7 @@ impl ClientState {
                 }
                 match t
                     .set_acl(target, acl, now)
-                    .and_then(|()| maybe_commit(&mut t, false))
+                    .and_then(|()| stamp_commit(&mut t, "op.set_acl", false))
                 {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
@@ -224,7 +266,7 @@ impl ClientState {
                 }
                 match t
                     .rename_local(&from, &to, now)
-                    .and_then(|()| maybe_commit(&mut t, false))
+                    .and_then(|()| stamp_commit(&mut t, "op.rename", false))
                 {
                     Ok(()) => OpResponse::Ok,
                     Err(e) => OpResponse::Err(e),
@@ -254,7 +296,9 @@ impl ClientState {
                     Ok(v) => v,
                     Err(e) => return OpResponse::Err(e),
                 };
-                match maybe_commit(&mut t, true) {
+                // 2PC prepares stay forced-durable in both modes: the
+                // decision protocol presumes the prepare record survives.
+                match stamp_commit(&mut t, "op.rename", true) {
                     Ok(()) => OpResponse::Detached {
                         ino: entry.ino,
                         ftype: entry.ftype,
@@ -309,7 +353,7 @@ impl ClientState {
                 if let Err(e) = t.attach_child(&name, ino, ftype, rec, now) {
                     return OpResponse::Err(e);
                 }
-                match maybe_commit(&mut t, true) {
+                match stamp_commit(&mut t, "op.rename", true) {
                     Ok(()) => match victim {
                         Some(rec) => OpResponse::Inode(rec),
                         None => OpResponse::Ok,
@@ -332,8 +376,26 @@ impl ClientState {
                         }
                     }
                 }
-                match maybe_commit(&mut t, true) {
+                match stamp_commit(&mut t, "op.rename", true) {
                     Ok(()) => OpResponse::Ok,
+                    Err(e) => OpResponse::Err(e),
+                }
+            }
+            OpBody::FsyncDir { .. } => {
+                // Durability barrier: flush running + sealed transactions
+                // on the caller's timeline, then drain the lane's tracked
+                // in-flight background flushes, so everything this
+                // directory acked is durable when we respond.
+                let lane = self.lane(dir_ino);
+                match t
+                    .journal
+                    .commit(prt, port, &lane.res, config.spec.local_meta_op)
+                {
+                    Ok(()) => {
+                        let done = lane.drain_until(port.now());
+                        port.wait_until(done);
+                        OpResponse::Ok
+                    }
                     Err(e) => OpResponse::Err(e),
                 }
             }
@@ -415,7 +477,8 @@ pub(crate) fn target_dir(body: &OpBody) -> Option<Ino> {
         | OpBody::RenameDecide { dir, .. }
         | OpBody::AcquireReadLease { dir, .. }
         | OpBody::AcquireWriteLease { dir, .. }
-        | OpBody::ReleaseFileLease { dir, .. } => *dir,
+        | OpBody::ReleaseFileLease { dir, .. }
+        | OpBody::FsyncDir { dir } => *dir,
         OpBody::FlushCache { .. } => return None,
     })
 }

@@ -17,10 +17,12 @@
 //! flush-on-conflict, and lease release (failed releases are counted on
 //! `lease.release_failed.count`, not silently dropped).
 
+use super::dirsvc::DirRef;
 use super::lockorder::{self, Rank, RankGuard};
 use super::ArkClient;
-use crate::rpc::{OpBody, OpResponse};
+use crate::rpc::{OpBody, OpRequest, OpResponse};
 use arkfs_lease::FileLeaseDecision;
+use arkfs_simkit::Port;
 use arkfs_vfs::{Credentials, FsError, FsResult, Ino, OpenFlags};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
@@ -252,6 +254,43 @@ impl ArkClient {
         match self.on_dir(&Credentials::root(), parent, body) {
             Ok(OpResponse::Ok) => {}
             Ok(_) | Err(_) => self.state.lease_release_failed.inc(),
+        }
+    }
+
+    /// [`Self::release_file_lease`] on a background timeline (async
+    /// close): the release still executes — and still counts failures —
+    /// but the caller's clock does not wait for it. A single delivery
+    /// attempt suffices; an undelivered release drains by expiry.
+    pub(crate) fn release_file_lease_background(&self, parent: Ino, file: Ino) {
+        let fork = Port::starting_at(self.port.now());
+        let body = OpBody::ReleaseFileLease {
+            dir: parent,
+            file,
+            client: self.state.id,
+        };
+        let ok = match self.state.dir_ref(&fork, parent) {
+            Ok(DirRef::Local(table)) => {
+                fork.advance(self.config().spec.local_meta_op);
+                let req = OpRequest {
+                    creds: Credentials::root(),
+                    body,
+                };
+                matches!(self.state.serve_local(&fork, &table, req), OpResponse::Ok)
+            }
+            Ok(DirRef::Remote(leader)) => {
+                let req = OpRequest {
+                    creds: Credentials::root(),
+                    body,
+                };
+                matches!(
+                    self.state.cluster.ops_bus().call(&fork, leader, req),
+                    Ok(OpResponse::Ok)
+                )
+            }
+            Err(_) => false,
+        };
+        if !ok {
+            self.state.lease_release_failed.inc();
         }
     }
 

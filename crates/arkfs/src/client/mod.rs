@@ -41,8 +41,8 @@ use crate::metatable::Metatable;
 use crate::prt::Prt;
 use arkfs_lease::LeaseRequest;
 use arkfs_netsim::NodeId;
-use arkfs_simkit::{Port, SharedResource};
-use arkfs_telemetry::{Counter, HistogramSet, Telemetry, PID_CLIENT};
+use arkfs_simkit::{Nanos, Port, SharedResource};
+use arkfs_telemetry::{Counter, Gauge, HistogramSet, Telemetry, PID_CLIENT};
 use arkfs_vfs::{Credentials, FsResult, Ino, Vfs, ROOT_INO};
 use dirsvc::{ClientService, DirService};
 use filetable::FileTable;
@@ -83,6 +83,80 @@ const OP_NAMES: &[&str] = &[
     "op.sync_all",
     "op.statfs",
 ];
+
+/// One commit lane: the per-lane "commit thread" of the journal
+/// pipeline (§III-E). The [`SharedResource`] serializes journal appends
+/// sharing the lane in virtual time; `flights` tracks the virtual
+/// completion times of sealed batches flushed on background timelines,
+/// which is what lets `fsync`/`sync_all` act as durability barriers
+/// (drain) and what bounds the async pipeline's in-flight window
+/// (admission backpressure).
+pub(crate) struct CommitLane {
+    pub(crate) res: SharedResource,
+    /// Virtual completion times of tracked in-flight flushes, ascending.
+    flights: Mutex<Vec<Nanos>>,
+    /// `journal.sealed_depth`: deployment-wide count of tracked
+    /// in-flight sealed batches (shared by all lanes of all clients).
+    depth: Arc<Gauge>,
+}
+
+impl CommitLane {
+    fn new(depth: Arc<Gauge>) -> Self {
+        CommitLane {
+            res: SharedResource::ideal("commit-lane"),
+            flights: Mutex::new(Vec::new()),
+            depth,
+        }
+    }
+
+    fn prune(&self, flights: &mut Vec<Nanos>, now: Nanos) {
+        let before = flights.len();
+        flights.retain(|&c| c > now);
+        let landed = before - flights.len();
+        if landed > 0 {
+            self.depth.add(-(landed as i64));
+        }
+    }
+
+    /// Admission control for a new sealed batch: the virtual time at
+    /// which the lane has a free slot under the `max_inflight` bound.
+    /// Returns `now` when the window has room; otherwise the completion
+    /// time of the flight whose landing frees a slot — the caller waits
+    /// until then (backpressure) before sealing.
+    pub(crate) fn admit(&self, now: Nanos, max_inflight: usize) -> Nanos {
+        let mut flights = self.flights.lock();
+        self.prune(&mut flights, now);
+        let max = max_inflight.max(1);
+        if flights.len() < max {
+            now
+        } else {
+            flights[flights.len() - max]
+        }
+    }
+
+    /// Track one sealed batch flushed on a background timeline.
+    pub(crate) fn record_flight(&self, completion: Nanos) {
+        let mut flights = self.flights.lock();
+        let at = flights.partition_point(|&c| c <= completion);
+        flights.insert(at, completion);
+        self.depth.add(1);
+    }
+
+    /// Durability barrier: the virtual time by which every tracked
+    /// in-flight flush has landed (at least `now`). The tracked flights
+    /// are consumed — the caller commits to waiting until the returned
+    /// time.
+    pub(crate) fn drain_until(&self, now: Nanos) -> Nanos {
+        let mut flights = self.flights.lock();
+        let done = flights.last().copied().unwrap_or(now).max(now);
+        let n = flights.len();
+        flights.clear();
+        if n > 0 {
+            self.depth.add(-(n as i64));
+        }
+        done
+    }
+}
 
 /// The client's seeded RNG stream (ino and txid draws). Deliberately a
 /// single stream, not striped: it is drawn from once per create/txid
@@ -239,7 +313,7 @@ pub(crate) struct ClientState {
     /// Serializes operations this client serves as a leader (its "CPU").
     pub(crate) server: SharedResource,
     /// Commit lanes; directories map statically by inode number.
-    pub(crate) lanes: Vec<SharedResource>,
+    pub(crate) lanes: Vec<CommitLane>,
     pub(crate) rngs: ClientRng,
     pub(crate) crashed: AtomicBool,
     /// Deployment-wide telemetry (shared with the object store and
@@ -251,6 +325,11 @@ pub(crate) struct ClientState {
     /// Per-op latency histograms, preregistered at construction
     /// (`op.<name>.latency_ns`).
     pub(crate) op_hists: HistogramSet,
+    /// Per-op ack-latency histograms (`op.<name>.ack_ns`): time until
+    /// the op returned to the caller. In sync mode ack equals
+    /// durability wherever the op implies it; in async mode the gap to
+    /// `op.<name>.durable_ns` is the pipeline's win.
+    pub(crate) op_ack_hists: HistogramSet,
     /// `lease.release_failed.count`: file-lease releases the leader
     /// rejected or that never reached it.
     pub(crate) lease_release_failed: Arc<Counter>,
@@ -271,10 +350,11 @@ impl ArkClient {
     pub(crate) fn new(cluster: Arc<ArkCluster>, id: NodeId) -> Arc<Self> {
         let config = cluster.config().clone();
         let stripes = config.client_lock_stripes.max(1);
-        let lanes = (0..config.journal_lanes.max(1))
-            .map(|_| SharedResource::ideal("commit-lane"))
-            .collect();
         let telemetry = Arc::clone(cluster.telemetry());
+        let sealed_depth = telemetry.registry.gauge("journal.sealed_depth");
+        let lanes = (0..config.journal_lanes.max(1))
+            .map(|_| CommitLane::new(Arc::clone(&sealed_depth)))
+            .collect();
         let cache_counters = (
             telemetry.registry.counter("cache.hit.count"),
             telemetry.registry.counter("cache.miss.count"),
@@ -282,6 +362,7 @@ impl ArkClient {
         let mut cache = DataCache::new(config.cache_entries);
         cache.attach_counters(Arc::clone(&cache_counters.0), Arc::clone(&cache_counters.1));
         let op_hists = telemetry.registry.histogram_set(OP_NAMES, ".latency_ns");
+        let op_ack_hists = telemetry.registry.histogram_set(OP_NAMES, ".ack_ns");
         let lease_release_failed = telemetry.registry.counter("lease.release_failed.count");
         let state = Arc::new(ClientState {
             id,
@@ -299,6 +380,7 @@ impl ArkClient {
             telemetry,
             cache_counters,
             op_hists,
+            op_ack_hists,
             lease_release_failed,
             flush_epoch: AtomicU64::new(0),
             statfs_cache: Mutex::new(None),
@@ -438,10 +520,11 @@ impl ArkClient {
         let start = self.port.now();
         let r = f();
         let end = self.port.now();
-        self.state
-            .op_hists
-            .get(name)
-            .record(end.saturating_sub(start));
+        let elapsed = end.saturating_sub(start);
+        self.state.op_hists.get(name).record(elapsed);
+        // The return to the caller IS the ack; `op.*.durable_ns` (stamped
+        // when the mutation's transaction lands) measures the rest.
+        self.state.op_ack_hists.get(name).record(elapsed);
         let tracer = &self.state.telemetry.tracer;
         if tracer.enabled() {
             tracer.record(PID_CLIENT, self.state.id.0, name, "op", start, end);
@@ -494,7 +577,7 @@ impl ClientState {
         }
     }
 
-    pub(crate) fn lane(&self, dir: Ino) -> &SharedResource {
+    pub(crate) fn lane(&self, dir: Ino) -> &CommitLane {
         &self.lanes[(dir % self.lanes.len() as u128) as usize]
     }
 }

@@ -11,6 +11,7 @@ use super::dirsvc::DirRef;
 use super::filetable::OpenFile;
 use super::ArkClient;
 use crate::cluster::manager_node;
+use crate::config::CommitMode;
 use crate::meta::InodeRecord;
 use crate::metatable::Metatable;
 use crate::rpc::{OpBody, OpResponse};
@@ -134,11 +135,10 @@ impl Vfs for ArkClient {
                     if !t.is_empty() {
                         return Err(FsError::NotEmpty);
                     }
-                    let lane = self.state.lane(child);
                     t.flush(
                         self.prt(),
                         &self.port,
-                        lane,
+                        &self.state.lane(child).res,
                         self.config().spec.local_meta_op,
                     )?;
                 }
@@ -226,9 +226,28 @@ impl Vfs for ArkClient {
 
     fn close(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.traced("op.close", || {
-            self.fsync(ctx, fh)?;
-            let h = self.state.files.remove(fh.0).ok_or(FsError::BadHandle)?;
-            self.release_file_lease(h.parent, h.ino);
+            if self.config().commit_mode == CommitMode::Sync {
+                self.fsync(ctx, fh)?;
+                let h = self.state.files.remove(fh.0).ok_or(FsError::BadHandle)?;
+                self.release_file_lease(h.parent, h.ino);
+                return Ok(());
+            }
+            // Async pipeline: the kernel's FLUSH on close is suppressed
+            // (FOPEN_NOFLUSH semantics), so close pays no FUSE round
+            // trip and no durability wait. Dirty data and the size
+            // update still reach the leader — acked, not yet durable;
+            // an explicit `fsync`/`sync_all` is the durability barrier.
+            let (ino, parent, size, wrote) = self
+                .state
+                .files
+                .get(fh.0, |h| (h.ino, h.parent, h.size, h.wrote))
+                .ok_or(FsError::BadHandle)?;
+            self.flush_file_data(ino)?;
+            if wrote {
+                self.push_size(ctx, parent, ino, size)?;
+            }
+            self.state.files.remove(fh.0);
+            self.release_file_lease_background(parent, ino);
             Ok(())
         })
     }
@@ -273,6 +292,17 @@ impl Vfs for ArkClient {
                 let _ = self.state.files.update(fh.0, |h| {
                     h.wrote = false;
                 });
+            }
+            if self.config().commit_mode == CommitMode::Async {
+                // Durability barrier: the size push (and any earlier
+                // metadata on this file) was acked before durability, so
+                // seal + flush the parent's running transaction and
+                // drain its commit lane before fsync returns.
+                match self.on_dir(ctx, parent, OpBody::FsyncDir { dir: parent })? {
+                    OpResponse::Ok => {}
+                    OpResponse::Err(e) => return Err(e),
+                    _ => return Err(FsError::Io("unexpected fsync response".into())),
+                }
             }
             Ok(())
         })
@@ -676,10 +706,15 @@ impl Vfs for ArkClient {
                     r.map_err(crate::prt::map_os_err)?;
                 }
             }
-            // 2. Size updates for written handles.
+            // 2. Size updates for written handles. In async mode a push
+            // to a *remote* leader is acked before durability, so each
+            // parent is remembered: any not flushed locally below gets
+            // an explicit FsyncDir barrier.
             let pending = self.state.files.take_pending_sizes();
+            let mut pushed_parents: Vec<Ino> = Vec::new();
             for (parent, ino, size) in pending {
                 self.push_size(ctx, parent, ino, size)?;
+                pushed_parents.push(parent);
             }
             // 3. Commit + checkpoint every led directory, overlapped: each
             // directory's flush runs on a port forked at the same instant,
@@ -693,6 +728,7 @@ impl Vfs for ArkClient {
             // which varies between runs and would jitter the virtual-time
             // arrival order on shared resources).
             tables.sort_by_key(|&(ino, _)| ino);
+            let led: std::collections::HashSet<Ino> = tables.iter().map(|&(ino, _)| ino).collect();
             let start = self.port.now();
             let mut done = start;
             for (ino, table) in tables {
@@ -701,12 +737,36 @@ impl Vfs for ArkClient {
                 t.flush(
                     self.prt(),
                     &fork,
-                    self.state.lane(ino),
+                    &self.state.lane(ino).res,
                     self.config().spec.local_meta_op,
                 )?;
                 done = done.max(fork.now());
             }
+            // 4. Drain every commit lane: window commits and sealed
+            // batches flushed on background timelines (recorded as
+            // in-flight on their lane) must land before sync_all
+            // returns — this is the global durability barrier.
+            for lane in &self.state.lanes {
+                done = done.max(lane.drain_until(start));
+            }
             self.port.wait_until(done);
+            // 5. Async mode: size pushes forwarded to remote leaders were
+            // acked before durability; a FsyncDir barrier per distinct
+            // remote parent makes those journals durable too.
+            if self.config().commit_mode == CommitMode::Async {
+                pushed_parents.sort_unstable();
+                pushed_parents.dedup();
+                for parent in pushed_parents {
+                    if led.contains(&parent) {
+                        continue; // flushed locally above
+                    }
+                    match self.on_dir(ctx, parent, OpBody::FsyncDir { dir: parent })? {
+                        OpResponse::Ok => {}
+                        OpResponse::Err(e) => return Err(e),
+                        _ => return Err(FsError::Io("unexpected fsync-dir response".into())),
+                    }
+                }
+            }
             self.state.flush_epoch.fetch_add(1, Ordering::Relaxed);
             Ok(())
         })

@@ -2,6 +2,21 @@
 
 use arkfs_simkit::{ClusterSpec, Nanos, MSEC, SEC};
 
+/// How metadata mutations reach the journal object stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Commits run on the mutating operation's own timeline wherever
+    /// durability is implied (`fsync` semantics on size pushes, every
+    /// forced commit): the pre-pipeline behavior, kept as the ablation
+    /// baseline.
+    Sync,
+    /// Ack as soon as the mutation is sealed into an in-flight journal
+    /// append; per-lane commit drivers flush sealed batches on
+    /// background timelines. `fsync`/`sync_all` become durability
+    /// barriers that drain the caller's lanes.
+    Async,
+}
+
 /// Tunable parameters of an ArkFS deployment. Defaults follow §III and
 /// §IV of the paper.
 #[derive(Debug, Clone)]
@@ -34,6 +49,16 @@ pub struct ArkConfig {
     /// lanes by directory inode (§III-E: "statically mapped ... depending
     /// on the directory inode numbers").
     pub journal_lanes: usize,
+    /// Sync vs async commit pipeline (see [`CommitMode`]).
+    pub commit_mode: CommitMode,
+    /// Async mode: seal the running transaction once it has buffered
+    /// this long (instead of waiting out the full `journal_window`),
+    /// bounding how much acked-but-unsealed work a crash can lose.
+    pub async_commit_window: Nanos,
+    /// Async mode: per-lane bound on in-flight sealed batches. A
+    /// mutation that would seal past this bound stalls (backpressure)
+    /// until the lane's oldest flight lands.
+    pub async_commit_max_inflight: usize,
     /// Dentry hash buckets per directory.
     pub dentry_buckets: u64,
     /// Permission caching mode (§III-C): cache remote directories'
@@ -69,6 +94,9 @@ impl Default for ArkConfig {
             journal_window: SEC,
             journal_max_entries: 4096,
             journal_lanes: 4,
+            commit_mode: CommitMode::Async,
+            async_commit_window: 100 * MSEC,
+            async_commit_max_inflight: 8,
             dentry_buckets: 16,
             permission_cache: true,
             fuse_model: true,
@@ -95,6 +123,10 @@ impl ArkConfig {
             journal_window: MSEC,
             journal_max_entries: 64,
             journal_lanes: 2,
+            commit_mode: CommitMode::Async,
+            // Tiny in-flight bound so unit tests exercise backpressure.
+            async_commit_window: MSEC / 10,
+            async_commit_max_inflight: 2,
             dentry_buckets: 4,
             permission_cache: true,
             fuse_model: false,
@@ -117,8 +149,26 @@ impl ArkConfig {
 
     /// Zero makes every operation seal its own journal transaction —
     /// useful for crash tests that need mutations durable immediately.
+    /// Sets the async seal window too (it is a tighter bound on the same
+    /// trigger).
     pub fn with_journal_window(mut self, window: Nanos) -> Self {
         self.journal_window = window;
+        self.async_commit_window = self.async_commit_window.min(window);
+        self
+    }
+
+    /// Select the commit pipeline ([`CommitMode::Sync`] is the ablation
+    /// baseline).
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit_mode = mode;
+        self
+    }
+
+    /// Tune the async pipeline: seal window and per-lane in-flight bound
+    /// (clamped to at least 1).
+    pub fn with_async_commit(mut self, window: Nanos, max_inflight: usize) -> Self {
+        self.async_commit_window = window;
+        self.async_commit_max_inflight = max_inflight.max(1);
         self
     }
 
@@ -191,5 +241,21 @@ mod tests {
             .with_max_readahead(400 * 1024 * 1024);
         assert!(!c.permission_cache);
         assert_eq!(c.max_readahead, 400 * 1024 * 1024);
+    }
+
+    #[test]
+    fn commit_mode_builders() {
+        let c = ArkConfig::default();
+        assert_eq!(c.commit_mode, CommitMode::Async);
+        let c = c.with_commit_mode(CommitMode::Sync).with_async_commit(7, 0);
+        assert_eq!(c.commit_mode, CommitMode::Sync);
+        assert_eq!(c.async_commit_window, 7);
+        assert_eq!(
+            c.async_commit_max_inflight, 1,
+            "in-flight bound clamps to 1"
+        );
+        // A zero journal window drags the async seal window down with it.
+        let c = ArkConfig::default().with_journal_window(0);
+        assert_eq!(c.async_commit_window, 0);
     }
 }

@@ -18,6 +18,7 @@ use crate::wire::{crc32, Decoder, Encoder, WireCodec, WireError, WireResult};
 use arkfs_simkit::{Nanos, Port, SharedResource};
 use arkfs_vfs::{FileType, FsError, FsResult, Ino};
 use bytes::Bytes;
+use std::collections::VecDeque;
 
 /// One logged namespace mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,6 +188,12 @@ impl Transaction {
 }
 
 /// The in-memory journaling state of one directory at its leader.
+///
+/// A transaction moves through three states: **running** (buffering,
+/// mutable), **sealed** (sequence number assigned, ops frozen, waiting
+/// for its commit lane's durable flush — the state that lets the async
+/// pipeline ack before durability), and **committed** (in the journal
+/// object stream, awaiting checkpoint).
 #[derive(Debug)]
 pub struct DirJournal {
     dir: Ino,
@@ -197,6 +204,16 @@ pub struct DirJournal {
     /// The running (buffering) transaction.
     running: Vec<JournalOp>,
     running_since: Option<Nanos>,
+    /// `(op name, start time)` stamps of the mutations buffered in
+    /// `running`, used to attribute durability latency
+    /// (`op.*.durable_ns`) once the transaction lands in the store.
+    running_stamps: Vec<(&'static str, Nanos)>,
+    /// Sealed transactions awaiting their lane's durable flush. Nothing
+    /// here has reached the object store: on a crash these are lost
+    /// exactly like `running` ops.
+    sealed: VecDeque<Transaction>,
+    /// Stamps riding with each sealed transaction (parallel to `sealed`).
+    sealed_stamps: VecDeque<Vec<(&'static str, Nanos)>>,
     /// Sealed-and-journaled transactions awaiting checkpoint.
     committed: Vec<Transaction>,
 }
@@ -211,6 +228,9 @@ impl DirJournal {
             oldest_live: resume_from,
             running: Vec::new(),
             running_since: None,
+            running_stamps: Vec::new(),
+            sealed: VecDeque::new(),
+            sealed_stamps: VecDeque::new(),
             committed: Vec::new(),
         }
     }
@@ -227,8 +247,21 @@ impl DirJournal {
         self.running.push(op);
     }
 
+    /// Record which operation produced the mutation(s) just appended and
+    /// when it started, so its durability latency (`op.*.durable_ns`)
+    /// can be attributed once the transaction holding it lands in the
+    /// store.
+    pub fn stamp(&mut self, op: &'static str, start: Nanos) {
+        self.running_stamps.push((op, start));
+    }
+
     pub fn running_len(&self) -> usize {
         self.running.len()
+    }
+
+    /// Number of sealed transactions waiting for their durable flush.
+    pub fn sealed_len(&self) -> usize {
+        self.sealed.len()
     }
 
     pub fn committed_len(&self) -> usize {
@@ -250,10 +283,84 @@ impl DirJournal {
         }
     }
 
-    /// Seal the running transaction and write it to the journal object
-    /// stream. The `lane` models the commit thread this directory is
-    /// statically mapped to; its reservation serializes commits sharing a
-    /// lane in virtual time.
+    /// Seal the running transaction: assign it the next sequence number,
+    /// freeze its ops, and queue it for the commit lane's durable flush.
+    /// From this point the caller may ack — later ops observe the
+    /// mutation through the in-memory metatable — but nothing is durable
+    /// until [`DirJournal::flush_sealed`] lands it. Returns the sealed
+    /// sequence number, or `None` when the running transaction was empty.
+    pub fn seal(&mut self) -> Option<u64> {
+        if self.running.is_empty() {
+            return None;
+        }
+        let txn = Transaction {
+            dir: self.dir,
+            seq: self.next_seq,
+            ops: std::mem::take(&mut self.running),
+        };
+        self.next_seq += 1;
+        self.running_since = None;
+        self.sealed_stamps
+            .push_back(std::mem::take(&mut self.running_stamps));
+        let seq = txn.seq;
+        self.sealed.push_back(txn);
+        Some(seq)
+    }
+
+    /// Flush every sealed transaction to the journal object stream in
+    /// sequence order. The `lane` models the commit thread this directory
+    /// is statically mapped to; its reservation serializes flushes
+    /// sharing a lane in virtual time. On failure the failed transaction
+    /// and everything sealed behind it are unsealed back into `running`
+    /// (ahead of any ops buffered meanwhile) and the sequence counter
+    /// rolls back — safe because none of them reached the store — so a
+    /// later commit retries them; each pushback bumps
+    /// `journal.commit_retry.count`.
+    pub fn flush_sealed(
+        &mut self,
+        prt: &Prt,
+        port: &Port,
+        lane: &SharedResource,
+        lane_service: Nanos,
+    ) -> FsResult<()> {
+        while let Some(txn) = self.sealed.pop_front() {
+            let stamps = self.sealed_stamps.pop_front().unwrap_or_default();
+            let t0 = port.now();
+            let done = lane.reserve(t0, lane_service);
+            port.wait_until(done);
+            match prt.put_journal(port, self.dir, txn.seq, txn.seal()) {
+                Ok(()) => {
+                    let end = port.now();
+                    for (op, start) in stamps {
+                        prt.record_durable(op, end.saturating_sub(start));
+                    }
+                    self.committed.push(txn);
+                    prt.meta_span("journal.commit", self.dir, t0, end);
+                }
+                Err(e) => {
+                    prt.count_commit_retry();
+                    self.next_seq = txn.seq;
+                    let mut ops = txn.ops;
+                    let mut restored = stamps;
+                    while let Some(t) = self.sealed.pop_front() {
+                        ops.extend(t.ops);
+                        restored.extend(self.sealed_stamps.pop_front().unwrap_or_default());
+                    }
+                    ops.extend(std::mem::take(&mut self.running));
+                    restored.extend(std::mem::take(&mut self.running_stamps));
+                    self.running = ops;
+                    self.running_stamps = restored;
+                    self.running_since.get_or_insert(port.now());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the running transaction and flush everything sealed: the
+    /// synchronous commit path (the caller's timeline pays the journal
+    /// append).
     pub fn commit(
         &mut self,
         prt: &Prt,
@@ -261,33 +368,8 @@ impl DirJournal {
         lane: &SharedResource,
         lane_service: Nanos,
     ) -> FsResult<()> {
-        if self.running.is_empty() {
-            return Ok(());
-        }
-        let txn = Transaction {
-            dir: self.dir,
-            seq: self.next_seq,
-            ops: std::mem::take(&mut self.running),
-        };
-        self.running_since = None;
-        let t0 = port.now();
-        let done = lane.reserve(t0, lane_service);
-        port.wait_until(done);
-        match prt.put_journal(port, self.dir, txn.seq, txn.seal()) {
-            Ok(()) => {
-                self.next_seq += 1;
-                self.committed.push(txn);
-                prt.meta_span("journal.commit", self.dir, t0, port.now());
-                Ok(())
-            }
-            Err(e) => {
-                // Put the ops back so a retry can re-commit them.
-                let mut ops = txn.ops;
-                ops.extend(std::mem::take(&mut self.running));
-                self.running = ops;
-                Err(e)
-            }
-        }
+        self.seal();
+        self.flush_sealed(prt, port, lane, lane_service)
     }
 
     /// Take the committed transactions for checkpointing. The caller
@@ -309,7 +391,7 @@ impl DirJournal {
 
     /// Whether everything is durable and applied.
     pub fn is_quiescent(&self) -> bool {
-        self.running.is_empty() && self.committed.is_empty()
+        self.running.is_empty() && self.sealed.is_empty() && self.committed.is_empty()
     }
 }
 
@@ -529,6 +611,77 @@ mod tests {
         assert_eq!(j.running_len(), 1, "ops restored for retry");
         j.commit(&prt, &port, &lane, 10).unwrap();
         assert_eq!(j.committed_len(), 1);
+    }
+
+    #[test]
+    fn seal_freezes_ops_without_touching_the_store() {
+        let prt = prt();
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 0);
+        j.append(JournalOp::DeleteInode(1), 0);
+        assert_eq!(j.seal(), Some(0));
+        assert_eq!(j.running_len(), 0);
+        assert_eq!(j.sealed_len(), 1);
+        assert!(
+            prt.list_journal(&port, 7).unwrap().is_empty(),
+            "sealed is not durable"
+        );
+        // Ops appended after the seal start a new running transaction.
+        j.append(JournalOp::DeleteInode(2), 5);
+        assert_eq!(j.seal(), Some(1));
+        assert_eq!(j.sealed_len(), 2);
+        j.flush_sealed(&prt, &port, &lane, 10).unwrap();
+        assert_eq!(j.sealed_len(), 0);
+        assert_eq!(j.committed_len(), 2);
+        assert_eq!(prt.list_journal(&port, 7).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_seal_is_none() {
+        let mut j = DirJournal::new(7, 0);
+        assert_eq!(j.seal(), None);
+        assert_eq!(j.sealed_len(), 0);
+    }
+
+    #[test]
+    fn failed_flush_unseals_in_order_and_rolls_back_seq() {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let prt = Prt::new(store.clone(), 64);
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 0);
+        // Two sealed transactions plus fresh running ops.
+        j.append(JournalOp::DeleteInode(1), 0);
+        j.seal();
+        j.append(JournalOp::DeleteInode(2), 0);
+        j.seal();
+        j.append(JournalOp::DeleteInode(3), 0);
+        let retries = prt
+            .telemetry()
+            .registry
+            .counter("journal.commit_retry.count");
+        store.faults.fail_next_puts(1, None);
+        assert!(j.flush_sealed(&prt, &port, &lane, 10).is_err());
+        assert_eq!(retries.get(), 1, "pushback is counted");
+        assert_eq!(j.sealed_len(), 0);
+        assert_eq!(
+            j.running_len(),
+            3,
+            "unflushed sealed ops land ahead of the running tail"
+        );
+        // Retry commits everything at the original sequence number.
+        j.commit(&prt, &port, &lane, 10).unwrap();
+        assert_eq!(prt.list_journal(&port, 7).unwrap(), vec![0]);
+        let txn = Transaction::unseal(&prt.get_journal(&port, 7, 0).unwrap()).unwrap();
+        assert_eq!(
+            txn.ops,
+            vec![
+                JournalOp::DeleteInode(1),
+                JournalOp::DeleteInode(2),
+                JournalOp::DeleteInode(3),
+            ]
+        );
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub mod wire;
 
 pub use client::{ArkClient, LockStats};
 pub use cluster::ArkCluster;
-pub use config::ArkConfig;
+pub use config::{ArkConfig, CommitMode};

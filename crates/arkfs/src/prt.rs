@@ -48,6 +48,9 @@ struct MetaCounters {
     batched_deletes: Arc<Counter>,
     /// Objects loaded by leader takeovers (metatable loads).
     takeover_objects_loaded: Arc<Counter>,
+    /// Sealed transactions pushed back to `running` after a failed
+    /// journal append (`journal.commit_retry.count`).
+    commit_retries: Arc<Counter>,
 }
 
 /// Typed object-storage access for one ArkFS deployment.
@@ -70,6 +73,7 @@ impl Prt {
             batched_puts: reg.counter("meta.put.objects"),
             batched_deletes: reg.counter("meta.delete.objects"),
             takeover_objects_loaded: reg.counter("meta.takeover.objects"),
+            commit_retries: reg.counter("journal.commit_retry.count"),
         };
         Prt {
             store,
@@ -95,6 +99,23 @@ impl Prt {
     /// Record objects pulled by a leader takeover (`Metatable::load`).
     pub(crate) fn count_takeover(&self, objects: u64) {
         self.meta.takeover_objects_loaded.add(objects);
+    }
+
+    /// Record a sealed transaction pushed back for retry after a failed
+    /// journal append (`journal.commit_retry.count`).
+    pub(crate) fn count_commit_retry(&self) {
+        self.meta.commit_retries.inc();
+    }
+
+    /// Record the start-to-durable latency of one mutation into
+    /// `op.<name>.durable_ns`. Resolves the histogram through the
+    /// registry: this runs once per mutation when its transaction lands,
+    /// off every op's ack path.
+    pub(crate) fn record_durable(&self, op: &str, ns: arkfs_simkit::Nanos) {
+        self.telemetry
+            .registry
+            .histogram(&format!("{op}.durable_ns"))
+            .record(ns);
     }
 
     /// Record a metadata-path span on the directory's trace track

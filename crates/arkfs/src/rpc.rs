@@ -137,6 +137,13 @@ pub enum OpBody {
     FlushCache {
         file: Ino,
     },
+    /// Durability barrier on one directory (async commit pipeline):
+    /// seal and flush the running transaction and drain the directory's
+    /// commit lane before responding, so the caller's `fsync` contract
+    /// holds even when the leader acks mutations before durability.
+    FsyncDir {
+        dir: Ino,
+    },
 }
 
 /// Responses to [`OpRequest`]s.

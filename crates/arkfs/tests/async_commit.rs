@@ -1,0 +1,209 @@
+//! End-to-end tests for the asynchronous metadata commit pipeline:
+//! speculative dependent operations against acked-but-not-durable
+//! entries, `fsync`/`sync_all` durability-barrier semantics, the
+//! sync-mode ablation contrast, and per-lane in-flight backpressure.
+
+use arkfs::{ArkCluster, ArkConfig, CommitMode};
+use arkfs_objstore::{ClusterConfig, ObjectCluster};
+use arkfs_simkit::{ClusterSpec, Port, MSEC, SEC};
+use arkfs_vfs::{Credentials, FsError, Vfs};
+use std::sync::Arc;
+
+fn cluster_with(config: ArkConfig) -> Arc<ArkCluster> {
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+    ArkCluster::new(config, store)
+}
+
+/// Async config whose seal window never fires on its own: everything
+/// acked stays in the running (unsealed) transaction until a barrier.
+fn async_wide_window() -> ArkConfig {
+    ArkConfig::test_tiny()
+        .with_lease_period(MSEC, MSEC)
+        .with_async_commit(10 * SEC, 8)
+}
+
+fn root() -> Credentials {
+    Credentials::root()
+}
+
+/// Journal object count for one directory (0 = nothing durable there).
+fn journal_len(cl: &Arc<ArkCluster>, dir: u128) -> usize {
+    cl.prt().list_journal(&Port::new(), dir).unwrap().len()
+}
+
+#[test]
+fn speculative_ops_hit_uncommitted_entries() {
+    let cl = cluster_with(async_wide_window());
+    let c = cl.client();
+    let ctx = root();
+    c.mkdir(&ctx, "/d", 0o755).unwrap();
+    let dir = c.stat(&ctx, "/d").unwrap().ino;
+
+    // create is acked with its transaction still running (not even
+    // sealed): no journal object exists yet.
+    let fh = c.create(&ctx, "/d/f", 0o644).unwrap();
+    c.close(&ctx, fh).unwrap();
+    assert_eq!(journal_len(&cl, dir), 0, "create acked before durability");
+
+    // Dependent operations resolve against the uncommitted entry.
+    let st = c.stat(&ctx, "/d/f").unwrap();
+    assert_eq!(st.size, 0);
+    let names: Vec<String> = c
+        .readdir(&ctx, "/d")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["f"]);
+    c.unlink(&ctx, "/d/f").unwrap();
+    assert_eq!(c.stat(&ctx, "/d/f"), Err(FsError::NotFound));
+    assert_eq!(journal_len(&cl, dir), 0, "all speculative, none durable");
+}
+
+#[test]
+fn fsync_is_a_durability_barrier() {
+    let cl = cluster_with(async_wide_window());
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/d", 0o755).unwrap();
+    // Make the parent dentry (root's journal) durable first, as POSIX
+    // would require fsyncing the parent directory.
+    c1.sync_all(&ctx).unwrap();
+    let dir = c1.stat(&ctx, "/d").unwrap().ino;
+
+    let fh = c1.create(&ctx, "/d/f", 0o644).unwrap();
+    assert_eq!(journal_len(&cl, dir), 0, "acked, not durable");
+    c1.fsync(&ctx, fh).unwrap();
+    assert_eq!(journal_len(&cl, dir), 1, "fsync sealed + flushed the txn");
+
+    // The acked-then-fsynced create survives a hard crash.
+    c1.crash();
+    c2.port().advance(10 * MSEC);
+    assert_eq!(c2.stat(&ctx, "/d/f").unwrap().size, 0);
+}
+
+#[test]
+fn sync_all_is_a_durability_barrier() {
+    let cl = cluster_with(async_wide_window());
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/d", 0o755).unwrap();
+    for i in 0..5 {
+        let fh = c1.create(&ctx, &format!("/d/f{i}"), 0o644).unwrap();
+        c1.close(&ctx, fh).unwrap();
+    }
+    c1.sync_all(&ctx).unwrap();
+    c1.crash();
+    c2.port().advance(10 * MSEC);
+    let entries = c2.readdir(&ctx, "/d").unwrap();
+    assert_eq!(entries.len(), 5, "sync_all made every acked create durable");
+}
+
+#[test]
+fn ack_without_barrier_can_lose_ops_that_sync_mode_keeps() {
+    let payload = b"payload";
+    // Identical workload on both pipelines: mkdir (made durable), then
+    // create + write + close, then a hard crash with no barrier.
+    let run = |mode: CommitMode| -> Result<u64, FsError> {
+        let cl = cluster_with(
+            async_wide_window()
+                .with_commit_mode(mode)
+                .with_journal_window(10 * SEC),
+        );
+        let c1 = cl.client();
+        let c2 = cl.client();
+        let ctx = root();
+        c1.mkdir(&ctx, "/d", 0o755).unwrap();
+        c1.sync_all(&ctx).unwrap();
+        let fh = c1.create(&ctx, "/d/f", 0o644).unwrap();
+        c1.write(&ctx, fh, 0, payload).unwrap();
+        c1.close(&ctx, fh).unwrap();
+        c1.crash();
+        c2.port().advance(10 * MSEC);
+        c2.stat(&ctx, "/d/f").map(|st| st.size)
+    };
+    // Sync mode (the seed's pipeline): close implies fsync, whose size
+    // push forces the whole running transaction durable before the ack.
+    assert_eq!(run(CommitMode::Sync), Ok(payload.len() as u64));
+    // Async mode: create/write/close were acked before durability; the
+    // crash erases the file. This is the window the barriers close.
+    assert_eq!(run(CommitMode::Async), Err(FsError::NotFound));
+}
+
+#[test]
+fn eager_seal_window_makes_every_acked_op_durable() {
+    // Window 0: every mutation seals its own transaction and the lane
+    // driver flushes it immediately — a crash loses nothing acked even
+    // without barriers (the async pipeline's tightest loss bound).
+    let cl = cluster_with(
+        ArkConfig::test_tiny()
+            .with_lease_period(MSEC, MSEC)
+            .with_journal_window(0),
+    );
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/d", 0o755).unwrap();
+    for i in 0..3 {
+        let fh = c1.create(&ctx, &format!("/d/f{i}"), 0o644).unwrap();
+        c1.close(&ctx, fh).unwrap();
+    }
+    c1.crash();
+    c2.port().advance(10 * MSEC);
+    assert_eq!(c2.readdir(&ctx, "/d").unwrap().len(), 3);
+}
+
+#[test]
+fn sealed_depth_gauge_tracks_inflight_and_drains() {
+    let cl = cluster_with(
+        ArkConfig::test_tiny()
+            .with_lease_period(MSEC, MSEC)
+            .with_journal_window(0),
+    );
+    let c = cl.client();
+    let ctx = root();
+    let depth = cl.telemetry().registry.gauge("journal.sealed_depth");
+    c.mkdir(&ctx, "/d", 0o755).unwrap();
+    let fh = c.create(&ctx, "/d/f", 0o644).unwrap();
+    c.close(&ctx, fh).unwrap();
+    assert!(
+        depth.get() > 0,
+        "sealed batches in flight after eager seals"
+    );
+    c.sync_all(&ctx).unwrap();
+    assert_eq!(depth.get(), 0, "sync_all drains every lane");
+}
+
+#[test]
+fn backpressure_stalls_seals_past_the_inflight_window() {
+    // A slow (paper-cost) store makes each journal flush a long flight;
+    // window 0 seals per mutation. With an in-flight bound of 1 every
+    // seal must wait out the previous flight; with 8 they overlap.
+    let elapsed = |max_inflight: usize| {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(
+            ClusterSpec::aws_paper(),
+        )));
+        let config = ArkConfig::test_tiny()
+            .with_journal_window(0)
+            .with_async_commit(0, max_inflight);
+        let cl = ArkCluster::new(config, store);
+        let c = cl.client();
+        let ctx = root();
+        c.mkdir(&ctx, "/d", 0o755).unwrap();
+        let start = c.port().now();
+        for i in 0..10 {
+            let fh = c.create(&ctx, &format!("/d/f{i}"), 0o644).unwrap();
+            c.close(&ctx, fh).unwrap();
+        }
+        c.port().now() - start
+    };
+    let narrow = elapsed(1);
+    let wide = elapsed(8);
+    assert!(
+        narrow > wide,
+        "in-flight bound 1 must stall behind journal flights \
+         (narrow {narrow} ns vs wide {wide} ns)"
+    );
+}

@@ -4,12 +4,12 @@
 //! slowest object instead of one round trip per object — while leaving
 //! the store byte-identical to the seed's serial per-object loops.
 
-use arkfs::journal::{JournalOp, Transaction};
+use arkfs::journal::{DirJournal, JournalOp, Transaction};
 use arkfs::meta::{dentry_bucket, DentryBlock, DentryEntry, InodeRecord};
 use arkfs::metatable::{recover_directory, Metatable};
 use arkfs::prt::Prt;
 use arkfs::wire::WireError;
-use arkfs_objstore::{ClusterConfig, ObjectCluster, ObjectKey, ObjectStore, StoreProfile};
+use arkfs_objstore::{ClusterConfig, KeyKind, ObjectCluster, ObjectKey, ObjectStore, StoreProfile};
 use arkfs_simkit::{ClusterSpec, Port, SharedResource};
 use arkfs_vfs::{FileType, FsError, Ino};
 use bytes::Bytes;
@@ -20,7 +20,11 @@ use std::sync::Arc;
 const DIR: Ino = 100;
 
 fn dir_rec() -> InodeRecord {
-    InodeRecord::new(DIR, FileType::Directory, 0o755, 0, 0, 0)
+    dir_rec_at(DIR)
+}
+
+fn dir_rec_at(ino: Ino) -> InodeRecord {
+    InodeRecord::new(ino, FileType::Directory, 0o755, 0, 0, 0)
 }
 
 fn file_rec(ino: Ino) -> InodeRecord {
@@ -599,4 +603,251 @@ proptest! {
     ) {
         run_lifecycle_case(&ops, true);
     }
+}
+
+// ---- property: crashes at seal/commit boundaries match the sync pipeline ------
+
+/// Store contents with journal objects filtered out: a crash can leave a
+/// torn, never-acknowledged journal tail that recovery skips and only
+/// truncates lazily, so namespace equivalence is judged on the durable
+/// home objects (inodes and dentry buckets).
+fn namespace_contents(cluster: &Arc<ObjectCluster>) -> Vec<(ObjectKey, Bytes)> {
+    store_contents(cluster)
+        .into_iter()
+        .filter(|(k, _)| k.kind != KeyKind::Journal)
+        .collect()
+}
+
+const LANES: usize = 2;
+
+/// Differential crash test for the async commit pipeline. Each directory
+/// gets a stream of transaction batches driven through the real
+/// [`DirJournal`] seal/flush machinery on its (shared) commit lane:
+/// `durable` batches are sealed and flushed before the crash, the next
+/// batch is optionally caught mid-append (torn bytes in the store), and
+/// later batches never seal. The sync-mode reference commits exactly the
+/// durable prefix on a second cluster. After per-directory recovery both
+/// namespaces must be byte-identical.
+fn run_seal_crash_case(dirs: &[(Vec<Vec<RecOp>>, usize, bool)], s3: bool) {
+    let (c_a, prt_a) = test_cluster(s3);
+    let (c_b, prt_b) = test_cluster(s3);
+    let port = Port::new();
+    let lanes: Vec<SharedResource> = (0..LANES)
+        .map(|_| SharedResource::ideal("commit-lane"))
+        .collect();
+    for (i, (batches, durable_raw, torn)) in dirs.iter().enumerate() {
+        let dir = DIR + i as Ino;
+        let lane = &lanes[i % LANES];
+        let durable = durable_raw % (batches.len() + 1);
+        for prt in [&prt_a, &prt_b] {
+            prt.store_inode(&port, &dir_rec_at(dir)).unwrap();
+        }
+
+        // Async pipeline up to the crash.
+        let mut j = DirJournal::new(dir, 0);
+        for ops in &batches[..durable] {
+            for (k, op) in ops.iter().enumerate() {
+                j.append(to_journal_op(op), k as u64);
+            }
+            j.seal();
+            j.flush_sealed(&prt_a, &port, lane, 0).unwrap();
+        }
+        if *torn && durable < batches.len() {
+            let txn = Transaction {
+                dir,
+                seq: durable as u64,
+                ops: batches[durable].iter().map(to_journal_op).collect(),
+            };
+            let sealed = txn.seal();
+            prt_a
+                .put_journal(
+                    &port,
+                    dir,
+                    durable as u64,
+                    sealed.slice(..sealed.len().saturating_sub(3)),
+                )
+                .unwrap();
+        }
+
+        // Sync reference: the durable prefix committed on the caller's
+        // timeline; everything past the crash point never happened.
+        let mut jr = DirJournal::new(dir, 0);
+        for ops in &batches[..durable] {
+            for (k, op) in ops.iter().enumerate() {
+                jr.append(to_journal_op(op), k as u64);
+            }
+            jr.commit(&prt_b, &port, lane, 0).unwrap();
+        }
+    }
+
+    for (i, (batches, durable_raw, _)) in dirs.iter().enumerate() {
+        let dir = DIR + i as Ino;
+        let durable = durable_raw % (batches.len() + 1);
+        let ra = recover_directory(&prt_a, &Port::new(), dir, PBUCKETS).unwrap();
+        let rb = recover_directory(&prt_b, &Port::new(), dir, PBUCKETS).unwrap();
+        assert_eq!(
+            ra.replayed, durable,
+            "async side replays the durable prefix"
+        );
+        assert_eq!(rb.replayed, durable, "sync side replays the same prefix");
+        assert!(ra.next_seq >= rb.next_seq, "torn tail may advance next_seq");
+    }
+    assert_eq!(namespace_contents(&c_a), namespace_contents(&c_b));
+}
+
+proptest! {
+    #[test]
+    fn async_seal_crash_recovers_to_sync_reference_rados(
+        dirs in prop::collection::vec(
+            (
+                prop::collection::vec(prop::collection::vec(arb_rec_op(), 1..5), 1..5),
+                any::<usize>(),
+                any::<bool>(),
+            ),
+            2..4,
+        ),
+    ) {
+        run_seal_crash_case(&dirs, false);
+    }
+
+    #[test]
+    fn async_seal_crash_recovers_to_sync_reference_s3(
+        dirs in prop::collection::vec(
+            (
+                prop::collection::vec(prop::collection::vec(arb_rec_op(), 1..5), 1..5),
+                any::<usize>(),
+                any::<bool>(),
+            ),
+            2..4,
+        ),
+    ) {
+        run_seal_crash_case(&dirs, true);
+    }
+}
+
+// ---- cross-directory rename 2PC caught between seal and durability ------------
+
+/// Base state shared by the 2PC crash tests: `src` holds file "f" (9).
+fn rename_base(prt: &Prt, port: &Port, src: Ino, dst: Ino) {
+    for d in [src, dst] {
+        prt.store_inode(port, &dir_rec_at(d)).unwrap();
+    }
+    prt.store_inode(port, &file_rec(9)).unwrap();
+    let mut dentries = HashMap::new();
+    dentries.insert(
+        "f".to_string(),
+        DentryEntry {
+            name: "f".into(),
+            ino: 9,
+            ftype: FileType::Regular,
+        },
+    );
+    let b = dentry_bucket("f", PBUCKETS);
+    prt.store_bucket(port, src, b, &bucket_of(&dentries, b, PBUCKETS))
+        .unwrap();
+}
+
+#[test]
+fn rename_2pc_caught_mid_prepare_presumed_aborts() {
+    let (_c, prt) = test_cluster(false);
+    let port = Port::new();
+    let (src, dst) = (DIR, DIR + 1);
+    let lane = SharedResource::ideal("commit-lane");
+    rename_base(&prt, &port, src, dst);
+
+    // Crash point: the source prepare was sealed and flushed (durable),
+    // the destination prepare was caught mid-append (torn bytes), and no
+    // decision was journaled anywhere.
+    let txid = 7777u128;
+    let mut js = DirJournal::new(src, 0);
+    js.append(
+        JournalOp::RenamePrepare {
+            txid,
+            peer_dir: dst,
+            ops: vec![JournalOp::RemoveDentry { name: "f".into() }],
+        },
+        0,
+    );
+    js.seal();
+    js.flush_sealed(&prt, &port, &lane, 0).unwrap();
+    let dst_prep = Transaction {
+        dir: dst,
+        seq: 0,
+        ops: vec![JournalOp::RenamePrepare {
+            txid,
+            peer_dir: src,
+            ops: vec![JournalOp::UpsertDentry {
+                name: "f".into(),
+                ino: 9,
+                ftype: FileType::Regular,
+            }],
+        }],
+    }
+    .seal();
+    prt.put_journal(&port, dst, 0, dst_prep.slice(..dst_prep.len() - 3))
+        .unwrap();
+
+    // Recovery: the undecided source prepare consults the peer journal,
+    // finds no commit record (the torn prepare was never acknowledged),
+    // and presumed-aborts — the file stays in the source directory.
+    let src_table = Metatable::load(&prt, &port, src, PBUCKETS, 1000).unwrap();
+    let dst_table = Metatable::load(&prt, &port, dst, PBUCKETS, 1000).unwrap();
+    let entries = src_table.readdir();
+    assert_eq!(entries.len(), 1);
+    assert_eq!((entries[0].name.as_str(), entries[0].ino), ("f", 9));
+    assert_eq!(src_table.child_inode(9), Some(&file_rec(9)));
+    assert!(dst_table.readdir().is_empty());
+}
+
+#[test]
+fn rename_2pc_commit_record_in_peer_journal_wins() {
+    let (_c, prt) = test_cluster(false);
+    let port = Port::new();
+    let (src, dst) = (DIR, DIR + 1);
+    let lane = SharedResource::ideal("commit-lane");
+    rename_base(&prt, &port, src, dst);
+
+    // Crash point: both prepares durable, the destination's commit
+    // decision durable, the source's decision lost with its running
+    // transaction. The peer journal proves the transaction committed.
+    let txid = 8888u128;
+    let mut js = DirJournal::new(src, 0);
+    js.append(
+        JournalOp::RenamePrepare {
+            txid,
+            peer_dir: dst,
+            ops: vec![JournalOp::RemoveDentry { name: "f".into() }],
+        },
+        0,
+    );
+    js.seal();
+    js.flush_sealed(&prt, &port, &lane, 0).unwrap();
+    let mut jd = DirJournal::new(dst, 0);
+    jd.append(
+        JournalOp::RenamePrepare {
+            txid,
+            peer_dir: src,
+            ops: vec![JournalOp::UpsertDentry {
+                name: "f".into(),
+                ino: 9,
+                ftype: FileType::Regular,
+            }],
+        },
+        0,
+    );
+    jd.append(JournalOp::RenameCommit { txid }, 1);
+    jd.seal();
+    jd.flush_sealed(&prt, &port, &lane, 0).unwrap();
+
+    // The source recovers first (its consult must read the peer journal
+    // before the destination's own recovery truncates it).
+    let src_table = Metatable::load(&prt, &port, src, PBUCKETS, 1000).unwrap();
+    let dst_table = Metatable::load(&prt, &port, dst, PBUCKETS, 1000).unwrap();
+    assert!(
+        src_table.readdir().is_empty(),
+        "committed: source entry gone"
+    );
+    let entries = dst_table.readdir();
+    assert_eq!(entries.len(), 1);
+    assert_eq!((entries[0].name.as_str(), entries[0].ino), ("f", 9));
 }

@@ -1,6 +1,7 @@
 //! Ablation studies of ArkFS design choices (§III), in virtual time:
 //!
 //! * compound-transaction buffering window (1 s vs commit-per-op),
+//! * commit pipeline (async ack-at-seal vs sync ack-at-durable),
 //! * read-ahead policy (none / doubling / immediate-max-at-zero),
 //! * permission caching (also Figure 7, measured here at small scale),
 //! * dentry bucket count (dirty-bucket write amplification),
@@ -86,6 +87,46 @@ fn main() {
     lines.extend(print_table(
         "Ablation: compound-transaction window (create kops/s)",
         &["window", "kops/s"],
+        &rows,
+    ));
+
+    // 1b. Commit pipeline: async acks at seal, sync acks at durable.
+    //     Same create workload; the async rows also split latency into
+    //     ack (exact phase percentile — the return to the caller) vs
+    //     durable (`op.create.durable_ns`, stamped when the sealed
+    //     batch lands on the object store). Sync mode has no separate
+    //     ack: the caller waits out the forced commit.
+    let rows: Vec<Vec<String>> = [
+        ("async (pipeline)", ArkConfig::default()),
+        (
+            "sync (ack at durable)",
+            ArkConfig::default().with_commit_mode(arkfs::CommitMode::Sync),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        let system = ark_fleet(procs, cfg, true);
+        let wl = MdtestEasyConfig {
+            files_total: files,
+            create_only: true,
+        };
+        let result = mdtest_easy(&system.clients, &wl).expect("mdtest");
+        let phase = &result.phases[0];
+        let durable = system.clients[0]
+            .telemetry()
+            .map(|t| t.registry.histogram("op.create.durable_ns").snapshot())
+            .filter(|h| h.count() > 0);
+        vec![
+            name.to_string(),
+            format!("{:.1}", phase.ops_per_sec() / 1000.0),
+            phase.latency_p50.to_string(),
+            durable.map_or_else(|| "-".to_string(), |h| h.quantile(0.5).to_string()),
+        ]
+    })
+    .collect();
+    lines.extend(print_table(
+        "Ablation: commit pipeline (create kops/s, ack vs durable p50 ns)",
+        &["mode", "kops/s", "ack p50", "durable p50"],
         &rows,
     ));
 

@@ -53,6 +53,41 @@ fn main() {
         for phase in &result.phases {
             metrics.extend(phase_latency_metrics(phase));
         }
+        // ArkFS decouples ack from durability: report both sides of the
+        // pipeline. Ack percentiles are the exact phase order statistics
+        // (the return to the caller is the ack); durable percentiles
+        // come from the `op.<name>.durable_ns` histograms stamped when
+        // the sealed batch lands on the object store (stat mutates
+        // nothing, so it has no durable side). Baselines have neither
+        // histogram and emit neither key.
+        if let Some(tel) = system.clients.first().and_then(|c| c.telemetry()) {
+            let phase_ops = [
+                ("create", "op.create"),
+                ("stat", "op.stat"),
+                ("delete", "op.unlink"),
+            ];
+            for (phase_name, op) in phase_ops {
+                if tel.registry.histogram(&format!("{op}.ack_ns")).count() == 0 {
+                    continue;
+                }
+                if let Some(p) = result.phase(phase_name) {
+                    metrics.push((format!("{phase_name}_ack_p50_ns"), p.latency_p50 as f64));
+                    metrics.push((format!("{phase_name}_ack_p99_ns"), p.latency_p99 as f64));
+                }
+                let durable = tel.registry.histogram(&format!("{op}.durable_ns"));
+                if durable.count() > 0 {
+                    let snap = durable.snapshot();
+                    metrics.push((
+                        format!("{phase_name}_durable_p50_ns"),
+                        snap.quantile(0.5) as f64,
+                    ));
+                    metrics.push((
+                        format!("{phase_name}_durable_p99_ns"),
+                        snap.quantile(0.99) as f64,
+                    ));
+                }
+            }
+        }
         records.push(BenchRecord {
             group: "mdtest-easy".to_string(),
             system: system.name.clone(),

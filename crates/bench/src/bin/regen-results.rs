@@ -2,7 +2,7 @@
 //! `results/*.txt` and the `BENCH_*.json` regression baselines.
 //!
 //! ```text
-//! cargo run --release --bin regen-results
+//! cargo run --release --bin regen-results [-- --check]
 //! ```
 //!
 //! Runs the figure/table binaries in sequence at the default committed
@@ -10,6 +10,16 @@
 //! `ARKFS_BENCH_FULL` like the binaries themselves). Prefers sibling
 //! binaries from the same build; falls back to `cargo run` when a
 //! binary is missing from the target directory.
+//!
+//! With `--check`, after regenerating, fail if any committed artifact
+//! drifted from what the binaries now produce (`git diff --exit-code`).
+//! The single-thread-per-client benches are virtual-time deterministic
+//! (verified by back-to-back runs), so a diff means code changed
+//! benchmark behaviour without `regen-results` being re-run. Excluded
+//! from the check, having real run-to-run variance: `ablations.txt`
+//! (wall-clock lock-striping section) and `fig7.txt` / `table2.txt`
+//! (many OS threads racing on shared virtual resources, so reservation
+//! order varies with the scheduler).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -19,6 +29,7 @@ const BINS: &[&str] = &[
 ];
 
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let exe = std::env::current_exe().expect("current_exe");
     let dir = exe.parent().map(PathBuf::from).unwrap_or_default();
     let mut failed: Vec<&str> = Vec::new();
@@ -44,10 +55,32 @@ fn main() {
             }
         }
     }
-    if failed.is_empty() {
-        eprintln!("regen-results: all {} binaries succeeded", BINS.len());
-    } else {
+    if !failed.is_empty() {
         eprintln!("regen-results: FAILED: {}", failed.join(", "));
         std::process::exit(1);
+    }
+    eprintln!("regen-results: all {} binaries succeeded", BINS.len());
+    if check {
+        let status = Command::new("git")
+            .args([
+                "diff",
+                "--exit-code",
+                "--",
+                "BENCH_*.json",
+                "results",
+                ":(exclude)results/ablations.txt",
+                ":(exclude)results/fig7.txt",
+                ":(exclude)results/table2.txt",
+            ])
+            .status()
+            .expect("git diff");
+        if !status.success() {
+            eprintln!(
+                "regen-results: committed artifacts drifted from regenerated \
+                 output (see diff above); re-run regen-results and commit"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("regen-results: committed artifacts match regenerated output");
     }
 }

@@ -12,6 +12,11 @@
 //! percentiles) and on *unknown* fields (someone added a metric without
 //! extending this checker and, if needed, bumping the schema version).
 //! Latency percentiles must be ordered: p50 <= p99 <= max.
+//!
+//! Some metrics are *optional*: the ack/durable latency split is only
+//! reported by systems whose client decouples ack from durability
+//! (ArkFS), so baselines legitimately omit those keys. Optional keys
+//! come in p50/p99 pairs that must appear together and be ordered.
 
 use arkfs_bench::BENCH_SCHEMA_VERSION;
 use std::collections::BTreeSet;
@@ -293,6 +298,26 @@ fn expected_metrics(bench: &str) -> Option<Vec<String>> {
     Some(keys)
 }
 
+/// Optional metric keys, as (p50, p99) pairs: only systems exposing
+/// the ack/durable split (ArkFS) carry them. Each pair is
+/// all-or-nothing and must be ordered p50 <= p99. Stat mutates
+/// nothing, so it has an ack pair but no durable pair.
+fn optional_metric_pairs(bench: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    if bench == "fig4" {
+        for phase in ["create", "stat", "delete"] {
+            pairs.push((format!("{phase}_ack_p50_ns"), format!("{phase}_ack_p99_ns")));
+        }
+        for phase in ["create", "delete"] {
+            pairs.push((
+                format!("{phase}_durable_p50_ns"),
+                format!("{phase}_durable_p99_ns"),
+            ));
+        }
+    }
+    pairs
+}
+
 /// Phases whose percentiles must be ordered p50 <= p99 <= max.
 fn latency_phases(bench: &str) -> &'static [&'static str] {
     match bench {
@@ -328,6 +353,11 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
     let expected = expected_metrics(bench)
         .ok_or_else(|| format!("unknown bench '{bench}' — extend schema-check"))?;
     let expected: BTreeSet<&str> = expected.iter().map(String::as_str).collect();
+    let pairs = optional_metric_pairs(bench);
+    let optional: BTreeSet<&str> = pairs
+        .iter()
+        .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+        .collect();
 
     for (key, value) in match doc.get("config") {
         Some(Json::Obj(fields)) => fields.iter(),
@@ -355,7 +385,10 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
         let metrics = rec.get("metrics").ok_or("metrics missing")?;
         let mkeys: BTreeSet<&str> = metrics.keys().into_iter().collect();
         let missing: Vec<&&str> = expected.difference(&mkeys).collect();
-        let unknown: Vec<&&str> = mkeys.difference(&expected).collect();
+        let unknown: Vec<&&str> = mkeys
+            .difference(&expected)
+            .filter(|k| !optional.contains(*k))
+            .collect();
         if !missing.is_empty() || !unknown.is_empty() {
             return Err(format!(
                 "results[{i}] ({system}): missing {missing:?}, unknown {unknown:?}"
@@ -376,6 +409,23 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
                     "results[{i}] ({system}): {phase} percentiles unordered: \
                      p50={p50} p99={p99} max={max}"
                 ));
+            }
+        }
+        for (lo, hi) in &pairs {
+            let p50 = metrics.get(lo).and_then(Json::as_num);
+            let p99 = metrics.get(hi).and_then(Json::as_num);
+            match (p50, p99) {
+                (None, None) => {}
+                (Some(p50), Some(p99)) => {
+                    if p50 > p99 {
+                        return Err(format!("results[{i}] ({system}): {lo}={p50} > {hi}={p99}"));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "results[{i}] ({system}): {lo} and {hi} must appear together"
+                    ));
+                }
             }
         }
     }

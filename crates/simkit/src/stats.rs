@@ -2,7 +2,6 @@
 //! phase throughput accounting.
 
 use crate::{Nanos, SEC};
-use arkfs_telemetry::HistogramSnapshot;
 use parking_lot::Mutex;
 
 /// A log-scaled latency histogram (powers of two from 1 ns to ~18 s).
@@ -114,8 +113,11 @@ struct MeterInner {
     ops: u64,
     start: Option<Nanos>,
     end: Nanos,
-    /// Per-op latency distribution (log-linear, ~6% quantile error).
-    lat: HistogramSnapshot,
+    /// Every recorded per-op latency, raw. Percentiles are computed
+    /// exactly at `finish`: benchmark phases where many ops share one
+    /// deterministic cost would otherwise collapse p50 and p99 onto
+    /// the same log-linear bucket upper bound, overstating both.
+    lat: Vec<Nanos>,
 }
 
 impl ThroughputMeter {
@@ -134,31 +136,48 @@ impl ThroughputMeter {
 
     /// Record one operation's latency.
     pub fn record_latency(&self, lat: Nanos) {
-        self.inner.lock().lat.record(lat);
+        self.inner.lock().lat.push(lat);
     }
 
-    /// Finish the phase and produce its result.
+    /// Finish the phase and produce its result. Percentiles are exact
+    /// order statistics over the recorded samples (nearest-rank).
     pub fn finish(&self, name: impl Into<String>) -> PhaseResult {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
         let start = inner.start.unwrap_or(0);
         let makespan = inner.end.saturating_sub(start);
+        inner.lat.sort_unstable();
+        let lat = &inner.lat;
+        let n = lat.len();
+        let pct = |q: f64| -> Nanos {
+            if n == 0 {
+                return 0;
+            }
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            lat[rank - 1]
+        };
+        let mean = if n == 0 {
+            0.0
+        } else {
+            lat.iter().map(|&v| v as u128).sum::<u128>() as f64 / n as f64
+        };
         PhaseResult {
             name: name.into(),
             ops: inner.ops,
             makespan,
-            latency_mean: inner.lat.mean() as f64,
-            latency_p50: inner.lat.quantile(0.50),
-            latency_p90: inner.lat.quantile(0.90),
-            latency_p99: inner.lat.quantile(0.99),
-            latency_p999: inner.lat.quantile(0.999),
-            latency_max: inner.lat.max(),
+            latency_mean: mean,
+            latency_p50: pct(0.50),
+            latency_p90: pct(0.90),
+            latency_p99: pct(0.99),
+            latency_p999: pct(0.999),
+            latency_max: lat.last().copied().unwrap_or(0),
         }
     }
 }
 
-/// One benchmark phase's aggregate result. Latency percentiles are in
-/// virtual nanoseconds over whatever per-op latencies were recorded
-/// (all zero when none were), with p50 ≤ p90 ≤ p99 ≤ p999 ≤ max.
+/// One benchmark phase's aggregate result. Latency percentiles are
+/// exact (nearest-rank) order statistics in virtual nanoseconds over
+/// whatever per-op latencies were recorded (all zero when none were),
+/// with p50 ≤ p90 ≤ p99 ≤ p999 ≤ max.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseResult {
     pub name: String,
@@ -269,12 +288,28 @@ mod tests {
             m.record_latency(i * 1_000);
         }
         let r = m.finish("read");
-        assert!(r.latency_p50 >= 500_000 && r.latency_p50 <= 540_000);
-        assert!(r.latency_p50 <= r.latency_p90);
-        assert!(r.latency_p90 <= r.latency_p99);
-        assert!(r.latency_p99 <= r.latency_p999);
-        assert!(r.latency_p999 <= r.latency_max);
+        assert_eq!(r.latency_p50, 500_000, "exact nearest-rank p50");
+        assert_eq!(r.latency_p90, 900_000);
+        assert_eq!(r.latency_p99, 990_000);
+        assert_eq!(r.latency_p999, 999_000);
         assert_eq!(r.latency_max, 1_000_000);
+    }
+
+    #[test]
+    fn exact_percentiles_do_not_quantize() {
+        // The old log-linear summary reported the bucket's upper bound:
+        // 1000 identical 50 µs ops came back as p50 = p99 = 51_199 ns.
+        // Exact order statistics return the recorded value itself.
+        let m = ThroughputMeter::new();
+        m.record_span(1000, 0, SEC);
+        for _ in 0..1000 {
+            m.record_latency(50_000);
+        }
+        let r = m.finish("create");
+        assert_eq!(r.latency_p50, 50_000);
+        assert_eq!(r.latency_p99, 50_000);
+        assert_eq!(r.latency_max, 50_000);
+        assert!((r.latency_mean - 50_000.0).abs() < 1e-9);
     }
 
     #[test]
