@@ -6,13 +6,32 @@
 //! Figure 3). This module owns:
 //!
 //! * the striped leadership state ([`DirService`]): led tables, lease
-//!   expiries, and remote-leader hints, all keyed by directory ino;
+//!   expiries, and remote-leader hints, all keyed by **partition key**
+//!   (== the directory ino for unpartitioned directories), plus cached
+//!   [`PartitionMap`]s keyed by directory ino;
 //! * lease acquire/extend/release and the takeover/recovery entry point
-//!   ([`ClientState::dir_ref`] → [`Metatable::load`]);
+//!   ([`ClientState::dir_ref_part`] → [`Metatable::load_partition`]);
 //! * the leader-side RPC service ([`ClientService`], [`ClientState::serve`])
 //!   and leader-initiated cache-flush broadcasts (§III-D);
 //! * client-side routing helpers ([`ArkClient::on_dir`],
-//!   [`ArkClient::remote_call`]).
+//!   [`ArkClient::remote_call`]) and the split/merge protocol
+//!   ([`ArkClient::set_dir_partitions`]).
+//!
+//! ## Partition routing
+//!
+//! Cached partition maps are *hints*: a client with no cached map
+//! assumes the singleton layout, and every authority check happens at
+//! the serving side — [`Metatable::load_partition`] validates the
+//! routed `(partition, count)` against the store's map (`Stale` on
+//! mismatch) and `serve_local` rejects names outside the led partition's
+//! bucket range (`NotLeader`). Either signal makes the router refresh
+//! its cached map from the store (one GET) and re-route.
+//!
+//! The split/merge protocol drains — commits *and* checkpoints — every
+//! old partition's journal **before** installing the new map. That
+//! ordering is the barrier-safety invariant: anything a client acked
+//! under an older map is already durable, so `fsync`'s fan-out may trust
+//! a cached (possibly stale) map.
 //!
 //! Lock order (see [`super::lockorder`]): a dir stripe is rank
 //! *Stripe*; it may be held while acquiring a lease or loading a
@@ -28,12 +47,13 @@ use super::{ArkClient, ClientState, MAX_LEASE_RETRIES};
 use crate::cluster::manager_node;
 use crate::meta::InodeRecord;
 use crate::metatable::Metatable;
+use crate::partition::{partition_ino, PartitionMap};
 use crate::rpc::{OpBody, OpRequest, OpResponse};
 use arkfs_lease::{LeaseRequest, LeaseResponse};
 use arkfs_netsim::{NetError, NodeId, Service};
 use arkfs_objstore::ObjectKey;
 use arkfs_simkit::{Nanos, Port};
-use arkfs_vfs::{Credentials, FsError, FsResult, Ino};
+use arkfs_vfs::{Credentials, FileType, FsError, FsResult, Ino};
 use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
@@ -47,17 +67,26 @@ pub(crate) enum DirRef {
     Remote(NodeId),
 }
 
-/// One stripe of directory-leadership state. All three maps are keyed
-/// by directory ino and updated atomically under the stripe lock, so a
-/// table entry and its lease expiry can never be observed out of sync.
+/// One stripe of directory-leadership state. The leadership maps are
+/// keyed by **partition key** (== the directory ino for partition 0 and
+/// for unpartitioned directories) and updated atomically under the
+/// stripe lock, so a table entry and its lease expiry can never be
+/// observed out of sync.
 #[derive(Debug, Default)]
 pub(crate) struct DirStripe {
-    /// Directories this client currently leads (within this stripe).
+    /// Directory partitions this client currently leads (within this
+    /// stripe), keyed by partition key.
     pub(crate) tables: HashMap<Ino, Arc<Mutex<Metatable>>>,
-    /// Lease expiry per led directory.
+    /// Lease expiry per led partition key.
     pub(crate) leases: HashMap<Ino, Nanos>,
-    /// Last-known leaders of remote directories.
+    /// Last-known leaders of remote directory partitions, keyed by
+    /// partition key.
     pub(crate) remote_hints: HashMap<Ino, NodeId>,
+    /// Cached partition maps, keyed by (real) directory ino. Routing
+    /// hints only — never authoritative; a directory with no entry is
+    /// treated as unpartitioned until a `Stale`/`NotLeader` forces a
+    /// refresh from the store.
+    pub(crate) pmaps: HashMap<Ino, Arc<PartitionMap>>,
     /// Acquisitions of this stripe's lock (maintained under the lock).
     locks: u64,
 }
@@ -132,16 +161,17 @@ impl DirService {
             .collect()
     }
 
-    /// Drop leadership bookkeeping for `dir` (table + lease expiry).
-    pub(crate) fn forget(&self, dir: Ino) {
-        let mut s = self.stripe(dir);
-        s.tables.remove(&dir);
-        s.leases.remove(&dir);
+    /// Drop leadership bookkeeping for partition key `pkey` (table +
+    /// lease expiry).
+    pub(crate) fn forget(&self, pkey: Ino) {
+        let mut s = self.stripe(pkey);
+        s.tables.remove(&pkey);
+        s.leases.remove(&pkey);
     }
 
-    /// Drop the remote-leader hint for `dir`.
-    pub(crate) fn forget_hint(&self, dir: Ino) {
-        self.stripe(dir).remote_hints.remove(&dir);
+    /// Drop the remote-leader hint for partition key `pkey`.
+    pub(crate) fn forget_hint(&self, pkey: Ino) {
+        self.stripe(pkey).remote_hints.remove(&pkey);
     }
 
     /// Drop everything (crash).
@@ -151,6 +181,7 @@ impl DirService {
             s.tables.clear();
             s.leases.clear();
             s.remote_hints.clear();
+            s.pmaps.clear();
         }
     }
 
@@ -191,29 +222,95 @@ impl Service<OpRequest, OpResponse> for ClientService {
 }
 
 impl ClientState {
-    /// Resolve a directory to a local metatable (leading it, acquiring or
-    /// extending the lease as needed) or the current remote leader.
+    /// The cached partition map for `dir` (singleton when none cached).
+    pub(crate) fn cached_pmap(&self, dir: Ino) -> Arc<PartitionMap> {
+        if let Some(m) = self.dirs.stripe(dir).pmaps.get(&dir) {
+            return Arc::clone(m);
+        }
+        Arc::new(PartitionMap::singleton(dir))
+    }
+
+    /// Install a partition map into the cache. Singleton maps are stored
+    /// as absence, matching the store's convention.
+    pub(crate) fn cache_pmap(&self, map: PartitionMap) {
+        let mut s = self.dirs.stripe(map.dir);
+        if map.partitions <= 1 {
+            s.pmaps.remove(&map.dir);
+        } else {
+            s.pmaps.insert(map.dir, Arc::new(map));
+        }
+    }
+
+    /// Re-read `dir`'s partition map from the store (absent == singleton)
+    /// and cache the result.
+    pub(crate) fn refresh_pmap(&self, port: &Port, dir: Ino) -> FsResult<Arc<PartitionMap>> {
+        let map = self
+            .cluster
+            .prt()
+            .load_pmap(port, dir)?
+            .unwrap_or_else(|| PartitionMap::singleton(dir));
+        let arc = Arc::new(map);
+        let mut s = self.dirs.stripe(dir);
+        if arc.partitions <= 1 {
+            s.pmaps.remove(&dir);
+        } else {
+            s.pmaps.insert(dir, Arc::clone(&arc));
+        }
+        Ok(arc)
+    }
+
+    /// Resolve partition 0 of a directory (== the whole directory when
+    /// unpartitioned), refreshing the cached partition map on `Stale`.
+    /// Partition 0's key is the directory ino itself, so callers that
+    /// only need the dir inode, file leases, or dir-level attributes can
+    /// stay partition-agnostic.
+    pub(crate) fn dir_ref(&self, port: &Port, dir: Ino) -> FsResult<DirRef> {
+        for _ in 0..MAX_LEASE_RETRIES {
+            let pmap = self.cached_pmap(dir);
+            match self.dir_ref_part(port, dir, 0, pmap.partitions) {
+                Err(FsError::Stale) => {
+                    self.refresh_pmap(port, dir)?;
+                }
+                r => return r,
+            }
+        }
+        Err(FsError::TimedOut)
+    }
+
+    /// Resolve one partition of a directory to a local metatable (leading
+    /// it, acquiring or extending the lease as needed) or the current
+    /// remote leader. `pcount` is the *routed* partition count; if it
+    /// disagrees with the store's map at load time, the load fails with
+    /// [`FsError::Stale`] and the caller refreshes its cached map.
     ///
     /// The stripe lock is held across the lease-manager exchange and any
-    /// [`Metatable::load`], so concurrent threads racing for the same
-    /// directory converge on one acquisition instead of double-loading.
-    pub(crate) fn dir_ref(&self, port: &Port, dir: Ino) -> FsResult<DirRef> {
+    /// [`Metatable::load_partition`], so concurrent threads racing for
+    /// the same partition converge on one acquisition instead of
+    /// double-loading.
+    pub(crate) fn dir_ref_part(
+        &self,
+        port: &Port,
+        dir: Ino,
+        pidx: u32,
+        pcount: u32,
+    ) -> FsResult<DirRef> {
         let config = self.cluster.config();
+        let pkey = partition_ino(dir, pidx);
         for _ in 0..MAX_LEASE_RETRIES {
-            let mut s = self.dirs.stripe(dir);
+            let mut s = self.dirs.stripe(pkey);
             let now = port.now();
-            if let Some(table) = s.tables.get(&dir).cloned() {
-                let expiry = s.leases.get(&dir).copied().unwrap_or(0);
+            if let Some(table) = s.tables.get(&pkey).cloned() {
+                let expiry = s.leases.get(&pkey).copied().unwrap_or(0);
                 if expiry > now.saturating_add(config.lease_renew_margin) {
                     return Ok(DirRef::Local(table));
                 }
                 // Extend (or same-holder re-acquire).
                 match self.cluster.lease_bus().call(
                     port,
-                    manager_node(dir, config.lease_managers),
+                    manager_node(pkey, config.lease_managers),
                     LeaseRequest::Acquire {
                         client: self.id,
-                        ino: dir,
+                        ino: pkey,
                     },
                 ) {
                     Ok(LeaseResponse::Granted {
@@ -223,27 +320,47 @@ impl ClientState {
                     }) => {
                         if must_load {
                             // Defensive: the manager believes our state is
-                            // stale; rebuild.
-                            let fresh = Metatable::load(
+                            // stale; rebuild. On failure drop the old
+                            // table too — it may have been built under a
+                            // superseded partition map.
+                            let fresh = match Metatable::load_partition(
                                 self.cluster.prt(),
                                 port,
                                 dir,
+                                pidx,
+                                pcount,
                                 config.dentry_buckets,
                                 config.lease_period,
-                            )?;
+                            ) {
+                                Ok(t) => t,
+                                Err(e) => {
+                                    s.tables.remove(&pkey);
+                                    s.leases.remove(&pkey);
+                                    let _ = self.cluster.lease_bus().call(
+                                        port,
+                                        manager_node(pkey, config.lease_managers),
+                                        LeaseRequest::Release {
+                                            client: self.id,
+                                            ino: pkey,
+                                        },
+                                    );
+                                    return Err(e);
+                                }
+                            };
                             let fresh = Arc::new(Mutex::new(fresh));
-                            s.tables.insert(dir, Arc::clone(&fresh));
-                            s.leases.insert(dir, expires_at);
+                            s.tables.insert(pkey, Arc::clone(&fresh));
+                            s.leases.insert(pkey, expires_at);
+                            self.lane(pkey).register(pkey, &fresh);
                             return Ok(DirRef::Local(fresh));
                         }
-                        s.leases.insert(dir, expires_at);
+                        s.leases.insert(pkey, expires_at);
                         return Ok(DirRef::Local(table));
                     }
                     Ok(LeaseResponse::Redirect { leader }) => {
-                        // We lost the directory; discard stale state.
-                        s.tables.remove(&dir);
-                        s.leases.remove(&dir);
-                        s.remote_hints.insert(dir, leader);
+                        // We lost the partition; discard stale state.
+                        s.tables.remove(&pkey);
+                        s.leases.remove(&pkey);
+                        s.remote_hints.insert(pkey, leader);
                         return Ok(DirRef::Remote(leader));
                     }
                     Ok(LeaseResponse::Retry { until }) => {
@@ -261,25 +378,28 @@ impl ClientState {
                     }
                 }
             }
-            if let Some(leader) = s.remote_hints.get(&dir).copied() {
+            if let Some(leader) = s.remote_hints.get(&pkey).copied() {
                 return Ok(DirRef::Remote(leader));
             }
             match self.cluster.lease_bus().call(
                 port,
-                manager_node(dir, config.lease_managers),
+                manager_node(pkey, config.lease_managers),
                 LeaseRequest::Acquire {
                     client: self.id,
-                    ino: dir,
+                    ino: pkey,
                 },
             ) {
                 Ok(LeaseResponse::Granted { expires_at, .. }) => {
                     // Build the metatable; §III-C: load inode, check, pull
-                    // dentries and child inodes. Metatable::load runs
-                    // journal recovery first.
-                    let table = match Metatable::load(
+                    // dentries and child inodes. Metatable::load_partition
+                    // validates the partition map and runs journal
+                    // recovery on this partition's stream first.
+                    let table = match Metatable::load_partition(
                         self.cluster.prt(),
                         port,
                         dir,
+                        pidx,
+                        pcount,
                         config.dentry_buckets,
                         config.lease_period,
                     ) {
@@ -287,22 +407,23 @@ impl ClientState {
                         Err(e) => {
                             let _ = self.cluster.lease_bus().call(
                                 port,
-                                manager_node(dir, config.lease_managers),
+                                manager_node(pkey, config.lease_managers),
                                 LeaseRequest::Release {
                                     client: self.id,
-                                    ino: dir,
+                                    ino: pkey,
                                 },
                             );
                             return Err(e);
                         }
                     };
                     let table = Arc::new(Mutex::new(table));
-                    s.tables.insert(dir, Arc::clone(&table));
-                    s.leases.insert(dir, expires_at);
+                    s.tables.insert(pkey, Arc::clone(&table));
+                    s.leases.insert(pkey, expires_at);
+                    self.lane(pkey).register(pkey, &table);
                     return Ok(DirRef::Local(table));
                 }
                 Ok(LeaseResponse::Redirect { leader }) => {
-                    s.remote_hints.insert(dir, leader);
+                    s.remote_hints.insert(pkey, leader);
                     return Ok(DirRef::Remote(leader));
                 }
                 Ok(LeaseResponse::Retry { until }) => {
@@ -318,30 +439,44 @@ impl ClientState {
     }
 
     /// Service entry point: leadership checks + dispatch.
+    ///
+    /// The routed partition is computed from *our* cached map; if the
+    /// sender routed under a different map the partition's own ownership
+    /// checks in `serve_local` still reject misdirected names, so a map
+    /// disagreement degrades to `NotLeader` + refresh, never to serving
+    /// out of the wrong partition.
     pub(crate) fn serve(&self, port: &Port, req: OpRequest) -> OpResponse {
         // Cache flushes are addressed to the client, not a directory.
         if let OpBody::FlushCache { file } = req.body {
             return self.serve_flush(port, file);
         }
+        // Partition handoffs drain and drop leadership rather than
+        // dispatching into a table.
+        if let OpBody::RelinquishPartition { dir, partition } = req.body {
+            return self.serve_relinquish(port, dir, partition);
+        }
         let dir = match target_dir(&req.body) {
             Some(d) => d,
             None => return OpResponse::Err(FsError::InvalidArgument),
         };
+        let pmap = self.cached_pmap(dir);
+        let pidx = ops::route_of(&req.body, &pmap, self.cluster.config().dentry_buckets);
+        let pkey = pmap.pkey(pidx);
         let table = {
-            let mut s = self.dirs.stripe(dir);
-            let Some(table) = s.tables.get(&dir).cloned() else {
+            let mut s = self.dirs.stripe(pkey);
+            let Some(table) = s.tables.get(&pkey).cloned() else {
                 return OpResponse::NotLeader;
             };
-            let valid = s.leases.get(&dir).is_some_and(|&e| e > port.now());
+            let valid = s.leases.get(&pkey).is_some_and(|&e| e > port.now());
             if !valid {
                 // Try a same-holder extension before turning the caller
                 // away.
                 match self.cluster.lease_bus().call(
                     port,
-                    manager_node(dir, self.cluster.config().lease_managers),
+                    manager_node(pkey, self.cluster.config().lease_managers),
                     LeaseRequest::Acquire {
                         client: self.id,
-                        ino: dir,
+                        ino: pkey,
                     },
                 ) {
                     Ok(LeaseResponse::Granted {
@@ -349,11 +484,11 @@ impl ClientState {
                         must_load: false,
                         ..
                     }) => {
-                        s.leases.insert(dir, expires_at);
+                        s.leases.insert(pkey, expires_at);
                     }
                     _ => {
-                        s.tables.remove(&dir);
-                        s.leases.remove(&dir);
+                        s.tables.remove(&pkey);
+                        s.leases.remove(&pkey);
                         return OpResponse::NotLeader;
                     }
                 }
@@ -361,6 +496,66 @@ impl ClientState {
             table
         };
         self.serve_local(port, &table, req)
+    }
+
+    /// Split/merge handoff (the "seal and hand off" step of the
+    /// repartition protocol): quiesce one led partition — commit its
+    /// journal, drain its commit lane, checkpoint — then drop the table
+    /// and release the lease so the repartitioning client can install
+    /// the new map knowing this partition's stream is empty.
+    ///
+    /// `NotLeader` tells the caller to take the partition over itself
+    /// (its own takeover recovery then drains whatever stream a crashed
+    /// leader may have left).
+    pub(crate) fn serve_relinquish(&self, port: &Port, dir: Ino, partition: u32) -> OpResponse {
+        let pkey = partition_ino(dir, partition);
+        let config = self.cluster.config();
+        let table = {
+            let s = self.dirs.stripe(pkey);
+            match s.tables.get(&pkey).cloned() {
+                Some(t) => t,
+                None => return OpResponse::NotLeader,
+            }
+        };
+        {
+            let mut t = self.lock_table(&table);
+            if t.frozen {
+                // Another repartition already owns this handoff.
+                return OpResponse::Err(FsError::Busy);
+            }
+            t.frozen = true;
+            let lane = self.lane(pkey);
+            let drained = t
+                .journal
+                .commit(
+                    self.cluster.prt(),
+                    port,
+                    &lane.res,
+                    config.spec.local_meta_op,
+                )
+                .and_then(|()| {
+                    let done = lane.drain_until(port.now());
+                    port.wait_until(done);
+                    t.checkpoint(self.cluster.prt(), port)
+                });
+            if let Err(e) = drained {
+                // Stay leader (unfrozen); the caller counts the failed
+                // handoff and falls back to takeover or aborts.
+                t.frozen = false;
+                return OpResponse::Err(e);
+            }
+        }
+        self.dirs.forget(pkey);
+        let _ = self.cluster.lease_bus().call(
+            port,
+            manager_node(pkey, config.lease_managers),
+            LeaseRequest::Release {
+                client: self.id,
+                ino: pkey,
+            },
+        );
+        self.partition_handoffs.inc();
+        OpResponse::Ok
     }
 
     /// Write back and drop our cached chunks of `file` (leader-initiated
@@ -386,9 +581,40 @@ impl ClientState {
 }
 
 impl ArkClient {
-    /// Local-or-remote handle on a directory.
+    /// Local-or-remote handle on a directory (partition 0).
     pub(crate) fn dir_ref(&self, dir: Ino) -> FsResult<DirRef> {
         self.state.dir_ref(&self.port, dir)
+    }
+
+    /// Local-or-remote handle on the partition of `dir` owning `name`'s
+    /// dentry bucket. A `Local` result is re-validated against the name
+    /// (a table loaded under a superseded map no longer owns the bucket);
+    /// on mismatch or `Stale` the cached map is refreshed and routing
+    /// retried.
+    pub(crate) fn dir_ref_name(&self, dir: Ino, name: &str) -> FsResult<DirRef> {
+        let buckets = self.config().dentry_buckets;
+        for _ in 0..MAX_LEASE_RETRIES {
+            let pmap = self.state.cached_pmap(dir);
+            let pidx = pmap.partition_of_name(name, buckets);
+            match self
+                .state
+                .dir_ref_part(&self.port, dir, pidx, pmap.partitions)
+            {
+                Ok(DirRef::Local(table)) => {
+                    let owned = self.state.lock_table(&table).owns_name(name);
+                    if owned {
+                        return Ok(DirRef::Local(table));
+                    }
+                    self.state.refresh_pmap(&self.port, dir)?;
+                }
+                Ok(remote) => return Ok(remote),
+                Err(FsError::Stale) => {
+                    self.state.refresh_pmap(&self.port, dir)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FsError::TimedOut)
     }
 
     /// The inode record of a directory, local or remote.
@@ -410,55 +636,285 @@ impl ArkClient {
         }
     }
 
-    /// RPC to a directory's leader, retrying through the lease manager
-    /// when the leader changed.
+    /// RPC to a known leader of the partition owning `body`; falls back
+    /// into the full routing loop when the leader changed.
     pub(crate) fn remote_call(
         &self,
         ctx: &Credentials,
         dir: Ino,
-        mut leader: NodeId,
+        leader: NodeId,
         body: OpBody,
     ) -> FsResult<OpResponse> {
+        let req = OpRequest {
+            creds: ctx.clone(),
+            body: body.clone(),
+        };
+        match self.state.cluster.ops_bus().call(&self.port, leader, req) {
+            Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+                let pmap = self.state.cached_pmap(dir);
+                let pidx = ops::route_of(&body, &pmap, self.config().dentry_buckets);
+                self.state.dirs.forget_hint(pmap.pkey(pidx));
+                self.on_dir_port(&self.port, ctx, dir, body)
+            }
+            Ok(resp) => Ok(resp),
+        }
+    }
+
+    /// Run an operation against a directory: locally when we lead the
+    /// partition it routes to, else forwarded to that partition's leader.
+    pub(crate) fn on_dir(&self, ctx: &Credentials, dir: Ino, body: OpBody) -> FsResult<OpResponse> {
+        self.on_dir_port(&self.port, ctx, dir, body)
+    }
+
+    /// [`Self::on_dir`] on an explicit timeline — fan-out paths (readdir
+    /// merge, fsync barrier) run partitions on forked ports so the
+    /// caller pays the slowest partition, not the sum.
+    pub(crate) fn on_dir_port(
+        &self,
+        port: &Port,
+        ctx: &Credentials,
+        dir: Ino,
+        body: OpBody,
+    ) -> FsResult<OpResponse> {
+        let config = self.config();
+        if body.mutates() && config.commit_mode == crate::config::CommitMode::Async {
+            // Whoever serves this (us or a remote partition leader) may
+            // ack before durability: remember the directory so this
+            // client's next `sync_all` barriers every partition of it.
+            self.state.dirty_dirs.lock().insert(dir);
+        }
         for _ in 0..MAX_LEASE_RETRIES {
-            let req = OpRequest {
-                creds: ctx.clone(),
-                body: body.clone(),
-            };
-            match self.state.cluster.ops_bus().call(&self.port, leader, req) {
-                Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
-                    self.state.dirs.forget_hint(dir);
-                    match self.dir_ref(dir)? {
-                        DirRef::Remote(next) => leader = next,
-                        DirRef::Local(table) => {
-                            // We became the leader ourselves; execute
-                            // locally through the common serve path.
-                            let req = OpRequest {
-                                creds: ctx.clone(),
-                                body: body.clone(),
-                            };
-                            return Ok(self.state.serve_local(&self.port, &table, req));
+            let pmap = self.state.cached_pmap(dir);
+            let pidx = ops::route_of(&body, &pmap, config.dentry_buckets);
+            let pkey = pmap.pkey(pidx);
+            match self.state.dir_ref_part(port, dir, pidx, pmap.partitions) {
+                Ok(DirRef::Local(table)) => {
+                    port.advance(config.spec.local_meta_op);
+                    let req = OpRequest {
+                        creds: ctx.clone(),
+                        body: body.clone(),
+                    };
+                    match self.state.serve_local(port, &table, req) {
+                        OpResponse::NotLeader => {
+                            // Our own table rejected the op: routed under
+                            // a stale map, or frozen by an in-flight
+                            // split. Refresh and re-route.
+                            self.state.refresh_pmap(port, dir)?;
                         }
+                        resp => return Ok(resp),
                     }
                 }
-                Ok(resp) => return Ok(resp),
+                Ok(DirRef::Remote(leader)) => {
+                    let req = OpRequest {
+                        creds: ctx.clone(),
+                        body: body.clone(),
+                    };
+                    match self.state.cluster.ops_bus().call(port, leader, req) {
+                        Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+                            self.state.dirs.forget_hint(pkey);
+                            self.state.refresh_pmap(port, dir)?;
+                        }
+                        Ok(resp) => return Ok(resp),
+                    }
+                }
+                Err(FsError::Stale) => {
+                    self.state.refresh_pmap(port, dir)?;
+                }
+                Err(e) => return Err(e),
             }
         }
         Err(FsError::TimedOut)
     }
 
-    /// Run an operation against a directory: locally when we lead it,
-    /// else forwarded to the leader.
-    pub(crate) fn on_dir(&self, ctx: &Credentials, dir: Ino, body: OpBody) -> FsResult<OpResponse> {
-        match self.dir_ref(dir)? {
-            DirRef::Local(table) => {
-                self.port.advance(self.config().spec.local_meta_op);
-                let req = OpRequest {
-                    creds: ctx.clone(),
-                    body,
-                };
-                Ok(self.state.serve_local(&self.port, &table, req))
+    /// Repartition `path` (a directory) to `partitions` dentry
+    /// partitions. This is the explicit form of the load-triggered
+    /// split/merge; fig8 uses it to pin partition counts.
+    pub fn set_dir_partitions(
+        &self,
+        ctx: &Credentials,
+        path: &str,
+        partitions: u32,
+    ) -> FsResult<()> {
+        let (ino, ftype) = self.resolve(ctx, path)?;
+        if ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        self.repartition(ino, partitions)
+    }
+
+    /// Change `dir`'s partition count to `target`, preserving the
+    /// namespace exactly. Protocol (crash-safe at every boundary):
+    ///
+    /// 1. Read the authoritative map; no-op if already at `target`.
+    /// 2. For each *old* partition: drain its journal to the checkpoint
+    ///    — by freezing our own table, by a `RelinquishPartition` RPC to
+    ///    the remote leader, or (failed handoff, counted on
+    ///    `lease.handoff_failed.count`) by taking the partition over and
+    ///    letting recovery replay + drain the stream locally.
+    /// 3. Install the new map (delete it when `target == 1`).
+    /// 4. Drop our frozen leaderships and release their leases; fresh
+    ///    leaders load under the new map with empty journal streams.
+    ///
+    /// A crash before step 3 leaves the old map governing streams that
+    /// are drained or recoverable under the old ranges; a crash after
+    /// leaves frozen tables refusing service until their leases lapse.
+    /// Because step 2 completes before step 3, an op acked under the old
+    /// map is durable before the new map exists — the invariant fsync's
+    /// cached-map fan-out relies on.
+    pub(crate) fn repartition(&self, dir: Ino, target: u32) -> FsResult<()> {
+        let config = self.config();
+        let max = config.dir_partition_max.max(1);
+        let buckets32 = u32::try_from(config.dentry_buckets).unwrap_or(u32::MAX);
+        let target = target.clamp(1, max.min(buckets32.max(1)));
+        let old = self.state.refresh_pmap(&self.port, dir)?;
+        if old.partitions == target {
+            return Ok(());
+        }
+        let growing = target > old.partitions;
+        // Step 2: quiesce every old partition so no journal stream
+        // outlives the map it was written under.
+        let mut frozen: Vec<Ino> = Vec::new();
+        for p in 0..old.partitions {
+            let pkey = old.pkey(p);
+            let mut quiesced = false;
+            for _ in 0..MAX_LEASE_RETRIES {
+                match self.state.dir_ref_part(&self.port, dir, p, old.partitions) {
+                    Ok(DirRef::Local(table)) => {
+                        let mut t = self.state.lock_table(&table);
+                        if t.frozen {
+                            // A concurrent repartition beat us to it.
+                            drop(t);
+                            self.unfreeze(&frozen);
+                            return Err(FsError::Busy);
+                        }
+                        t.frozen = true;
+                        let lane = self.state.lane(pkey);
+                        let drained = t
+                            .journal
+                            .commit(self.prt(), &self.port, &lane.res, config.spec.local_meta_op)
+                            .and_then(|()| {
+                                let done = lane.drain_until(self.port.now());
+                                self.port.wait_until(done);
+                                t.checkpoint(self.prt(), &self.port)
+                            });
+                        match drained {
+                            Ok(()) => {
+                                frozen.push(pkey);
+                                quiesced = true;
+                            }
+                            Err(e) => {
+                                t.frozen = false;
+                                drop(t);
+                                self.unfreeze(&frozen);
+                                return Err(e);
+                            }
+                        }
+                        break;
+                    }
+                    Ok(DirRef::Remote(leader)) => {
+                        let req = OpRequest {
+                            creds: Credentials::root(),
+                            body: OpBody::RelinquishPartition { dir, partition: p },
+                        };
+                        match self.state.cluster.ops_bus().call(&self.port, leader, req) {
+                            Ok(OpResponse::Ok) => {
+                                self.state.dirs.forget_hint(pkey);
+                                self.state.partition_handoffs.inc();
+                                quiesced = true;
+                                break;
+                            }
+                            Ok(OpResponse::Err(FsError::Busy)) => {
+                                self.unfreeze(&frozen);
+                                return Err(FsError::Busy);
+                            }
+                            _ => {
+                                // Failed handoff: counted, then retried
+                                // via takeover — the next dir_ref_part
+                                // acquires the lease (once it lapses) and
+                                // recovery drains the stream for us.
+                                self.state.lease_handoff_failed.inc();
+                                self.state.dirs.forget_hint(pkey);
+                            }
+                        }
+                    }
+                    Err(FsError::Stale) => {
+                        // The map changed under us mid-protocol.
+                        self.unfreeze(&frozen);
+                        return Err(FsError::Busy);
+                    }
+                    Err(e) => {
+                        self.unfreeze(&frozen);
+                        return Err(e);
+                    }
+                }
             }
-            DirRef::Remote(leader) => self.remote_call(ctx, dir, leader, body),
+            if !quiesced {
+                self.unfreeze(&frozen);
+                return Err(FsError::TimedOut);
+            }
+        }
+        // Step 3: install the new map (absence == singleton).
+        let map = PartitionMap {
+            dir,
+            epoch: old.epoch + 1,
+            partitions: target,
+        };
+        let installed = if target == 1 {
+            self.prt().delete_pmap(&self.port, dir)
+        } else {
+            self.prt().store_pmap(&self.port, &map)
+        };
+        if let Err(e) = installed {
+            self.unfreeze(&frozen);
+            return Err(e);
+        }
+        // Step 4: hand off our frozen leaderships.
+        for pkey in frozen {
+            self.state.dirs.forget(pkey);
+            let _ = self.state.cluster.lease_bus().call(
+                &self.port,
+                manager_node(pkey, config.lease_managers),
+                LeaseRequest::Release {
+                    client: self.state.id,
+                    ino: pkey,
+                },
+            );
+            self.state.partition_handoffs.inc();
+        }
+        self.state.cache_pmap(map);
+        if growing {
+            self.state.partition_splits.inc();
+        } else {
+            self.state.partition_merges.inc();
+        }
+        Ok(())
+    }
+
+    /// Undo step-2 freezes after an aborted repartition: the old map
+    /// still governs, so the frozen tables are valid and resume serving.
+    fn unfreeze(&self, pkeys: &[Ino]) {
+        for &pkey in pkeys {
+            let table = {
+                let s = self.state.dirs.stripe(pkey);
+                s.tables.get(&pkey).cloned()
+            };
+            if let Some(table) = table {
+                self.state.lock_table(&table).frozen = false;
+            }
+        }
+    }
+
+    /// Apply load-triggered splits/merges queued by `serve_local`'s
+    /// append-rate sampling. Runs at op entry (no locks held); failures
+    /// are dropped — sustained load re-queues on the next rate window.
+    pub(crate) fn drain_pending_splits(&self) {
+        loop {
+            let next = {
+                let mut pending = self.state.pending_splits.lock();
+                pending.pop()
+            };
+            let Some((dir, target)) = next else { return };
+            let _ = self.repartition(dir, target);
         }
     }
 }

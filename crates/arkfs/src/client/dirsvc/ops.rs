@@ -9,11 +9,15 @@
 
 use super::super::{ClientState, TableGuard};
 use crate::config::CommitMode;
+use crate::journal::{OpStamps, Transaction};
 use crate::metatable::Metatable;
+use crate::partition::PartitionMap;
+use crate::prt::Prt;
 use crate::rpc::{OpBody, OpRequest, OpResponse};
 use arkfs_lease::FileLeaseDecision;
 use arkfs_simkit::Port;
 use arkfs_vfs::{perm, Credentials, FileType, FsError, FsResult, Ino, AM_EXEC, AM_READ, AM_WRITE};
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -31,7 +35,19 @@ impl ClientState {
         let prt = self.cluster.prt();
         let now = port.now();
         let mut t: TableGuard<'_> = self.lock_table(table);
-        let dir_ino = t.ino();
+        // A frozen table is mid-handoff (split/merge drain): its journal
+        // is being sealed under the *old* map, so no new work may enter.
+        if t.frozen {
+            return OpResponse::NotLeader;
+        }
+        // Authority: the routed table must own the op. A mismatch means
+        // the sender (or our serve()) routed under a stale partition map;
+        // NotLeader makes it refresh and re-route — we never serve a name
+        // outside our bucket range.
+        if !owned_by(&t, &body) {
+            return OpResponse::NotLeader;
+        }
+        let pkey = t.pkey();
 
         // Seal the running compound transaction when its buffering window
         // elapsed (§III-E). Forced commits (2PC prepares/decisions, sync-
@@ -43,7 +59,7 @@ impl ClientState {
         // drain it; in async mode the lane's in-flight bound pushes back
         // on the caller when the pipeline runs ahead of the store.
         let maybe_commit = |t: &mut Metatable, force: bool| -> FsResult<()> {
-            let lane = self.lane(dir_ino);
+            let lane = self.lane(pkey);
             if force {
                 t.journal
                     .commit(prt, port, &lane.res, config.spec.local_meta_op)?;
@@ -74,12 +90,16 @@ impl ClientState {
                         port.wait_until(admitted);
                         if t.journal.seal().is_some() {
                             let background = Port::starting_at(port.now());
-                            t.journal.flush_sealed(
-                                prt,
-                                &background,
-                                &lane.res,
-                                config.spec.local_meta_op,
-                            )?;
+                            if config.group_commit {
+                                self.flush_group(prt, &background, pkey, t)?;
+                            } else {
+                                t.journal.flush_sealed(
+                                    prt,
+                                    &background,
+                                    &lane.res,
+                                    config.spec.local_meta_op,
+                                )?;
+                            }
                             lane.record_flight(background.now());
                         }
                     }
@@ -88,11 +108,40 @@ impl ClientState {
             Ok(())
         };
 
-        // Stamp a mutation for `op.<name>.durable_ns` attribution, then
-        // run the commit policy.
+        // Stamp a mutation for `op.<name>.durable_ns` attribution, run
+        // the commit policy, then sample this partition's sealed depth
+        // and feed the append-rate split/merge trigger.
         let stamp_commit = |t: &mut Metatable, op: &'static str, force: bool| -> FsResult<()> {
             t.journal.stamp(op, now);
-            maybe_commit(t, force)
+            let result = maybe_commit(t, force);
+            if let Some(depth) = &t.sealed_depth {
+                depth.set(t.journal.sealed_len() as i64);
+            }
+            if config.partition_split_rate > 0 || config.partition_merge_rate > 0 {
+                let rate = t.note_append(now);
+                if rate > 0 {
+                    let max = config
+                        .dir_partition_max
+                        .min(u32::try_from(config.dentry_buckets).unwrap_or(u32::MAX))
+                        .max(1);
+                    let pcount = t.pcount();
+                    if config.partition_split_rate > 0
+                        && rate >= config.partition_split_rate
+                        && pcount < max
+                    {
+                        self.pending_splits
+                            .lock()
+                            .push((t.ino(), (pcount * 2).min(max)));
+                    } else if config.partition_merge_rate > 0
+                        && t.partition() == 0
+                        && pcount > 1
+                        && rate < config.partition_merge_rate
+                    {
+                        self.pending_splits.lock().push((t.ino(), pcount / 2));
+                    }
+                }
+            }
+            result
         };
 
         let dir_perm = |t: &Metatable, want: u8| -> FsResult<()> {
@@ -183,7 +232,14 @@ impl ClientState {
                 if let Err(e) = dir_perm(&t, AM_READ) {
                     return OpResponse::Err(e);
                 }
-                OpResponse::Entries(t.readdir())
+                // The partition count rides along as the staleness guard:
+                // readdir carries no name for the ownership check, so the
+                // caller compares this against the count it fanned out
+                // over and redoes the merge on mismatch.
+                OpResponse::Entries {
+                    entries: t.readdir(),
+                    partitions: t.pcount(),
+                }
             }
             OpBody::SetSize { ino, size, .. } => {
                 if let Some(rec) = t.child_inode(ino) {
@@ -385,8 +441,8 @@ impl ClientState {
                 // Durability barrier: flush running + sealed transactions
                 // on the caller's timeline, then drain the lane's tracked
                 // in-flight background flushes, so everything this
-                // directory acked is durable when we respond.
-                let lane = self.lane(dir_ino);
+                // partition acked is durable when we respond.
+                let lane = self.lane(pkey);
                 match t
                     .journal
                     .commit(prt, port, &lane.res, config.spec.local_meta_op)
@@ -413,7 +469,102 @@ impl ClientState {
                 t.file_leases.release(client, file, now);
                 OpResponse::Ok
             }
-            OpBody::FlushCache { .. } => unreachable!("handled in serve()"),
+            OpBody::FlushCache { .. } | OpBody::RelinquishPartition { .. } => {
+                unreachable!("handled in serve()")
+            }
+        }
+    }
+
+    /// One *group* flight: our freshly-sealed transactions ride together
+    /// with any co-laned directories' due work in a single batched
+    /// multi-PUT, so directories sharing a commit lane amortize the lane
+    /// reservation and the store round trip instead of queueing one
+    /// flight each.
+    ///
+    /// Donor tables are reached through the lane's member registry with
+    /// raw `try_lock` — deliberately bypassing the lock-order checker,
+    /// which (correctly) forbids *blocking* on a second rank-Metatable
+    /// lock while one is held. `try_lock` cannot deadlock: a busy donor
+    /// is simply left for its own next commit. Frozen (mid-handoff)
+    /// donors are skipped too.
+    fn flush_group(&self, prt: &Prt, port: &Port, pkey: Ino, own: &mut Metatable) -> FsResult<()> {
+        let config = self.cluster.config();
+        let lane = self.lane(pkey);
+        let members = lane.members_snapshot();
+        let mut donors = Vec::new();
+        for (member, table) in &members {
+            if *member == pkey {
+                continue;
+            }
+            if let Some(mut g) = table.try_lock() {
+                // A donor rides once its window is at least half elapsed:
+                // this flight is already paid for, and co-laned windows
+                // opened within scheduling jitter of each other would
+                // otherwise each miss "due" by microseconds and pay their
+                // own flight moments later. The half-window floor bounds
+                // compound-transaction fragmentation at 2× the seal rate.
+                if !g.frozen
+                    && g.journal.commit_due(
+                        port.now(),
+                        config.async_commit_window / 2,
+                        config.journal_max_entries,
+                    )
+                {
+                    g.journal.seal();
+                }
+                if g.journal.sealed_len() > 0 {
+                    donors.push(g);
+                }
+            }
+        }
+        let own_taken = own.journal.take_sealed();
+        let donor_taken: Vec<Vec<(Transaction, OpStamps)>> =
+            donors.iter_mut().map(|g| g.journal.take_sealed()).collect();
+        let t0 = port.now();
+        let done = lane.res.reserve(t0, config.spec.local_meta_op);
+        port.wait_until(done);
+        let items: Vec<(Ino, u64, Bytes)> = own_taken
+            .iter()
+            .chain(donor_taken.iter().flatten())
+            .map(|(txn, _)| (txn.dir, txn.seq, txn.seal()))
+            .collect();
+        match prt.put_journal_many(port, &items) {
+            Ok(()) => {
+                let end = port.now();
+                if !own_taken.is_empty() {
+                    prt.meta_span("journal.commit", pkey, t0, end);
+                }
+                for (txn, stamps) in own_taken {
+                    for (op, start) in stamps {
+                        prt.record_durable(op, end.saturating_sub(start));
+                    }
+                    own.journal.push_committed(txn);
+                }
+                for (g, taken) in donors.iter_mut().zip(donor_taken) {
+                    prt.meta_span("journal.commit", g.pkey(), t0, end);
+                    for (txn, stamps) in taken {
+                        for (op, start) in stamps {
+                            prt.record_durable(op, end.saturating_sub(start));
+                        }
+                        g.journal.push_committed(txn);
+                    }
+                    if let Some(depth) = &g.sealed_depth {
+                        depth.set(g.journal.sealed_len() as i64);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Unseal everything: the group retries from its members'
+                // running windows, exactly like a failed solo flush.
+                prt.count_commit_retry();
+                let now = port.now();
+                own.journal.restore_sealed(own_taken, now);
+                for (g, taken) in donors.iter_mut().zip(donor_taken) {
+                    g.journal.restore_sealed(taken, now);
+                }
+                Err(e)
+            }
         }
     }
 
@@ -466,7 +617,7 @@ pub(crate) fn target_dir(body: &OpBody) -> Option<Ino> {
         | OpBody::AddSubdir { dir, .. }
         | OpBody::Unlink { dir, .. }
         | OpBody::RemoveSubdir { dir, .. }
-        | OpBody::Readdir { dir }
+        | OpBody::Readdir { dir, .. }
         | OpBody::SetSize { dir, .. }
         | OpBody::SetAttrChild { dir, .. }
         | OpBody::SetAttrDir { dir, .. }
@@ -478,7 +629,111 @@ pub(crate) fn target_dir(body: &OpBody) -> Option<Ino> {
         | OpBody::AcquireReadLease { dir, .. }
         | OpBody::AcquireWriteLease { dir, .. }
         | OpBody::ReleaseFileLease { dir, .. }
-        | OpBody::FsyncDir { dir } => *dir,
+        | OpBody::FsyncDir { dir, .. }
+        | OpBody::RelinquishPartition { dir, .. } => *dir,
         OpBody::FlushCache { .. } => return None,
     })
+}
+
+/// The partition index an operation routes to under `pmap`.
+///
+/// Name-carrying ops hash the name straight to the owning partition;
+/// readdir/fsync/relinquish address a partition explicitly (the pkey
+/// formula is count-independent, so an explicit index stays meaningful
+/// even under a stale map); directory-level ops (dir inode, dir attrs)
+/// live on partition 0; file-lease ops shard by file ino.
+pub(crate) fn route_of(body: &OpBody, pmap: &PartitionMap, buckets: u64) -> u32 {
+    // Explicitly-addressed ops keep their index regardless of the map.
+    if let OpBody::Readdir { partition, .. }
+    | OpBody::FsyncDir { partition, .. }
+    | OpBody::RelinquishPartition { partition, .. } = body
+    {
+        return *partition;
+    }
+    if pmap.partitions <= 1 {
+        return 0;
+    }
+    match body {
+        OpBody::Lookup { name, .. }
+        | OpBody::Create { name, .. }
+        | OpBody::AddSubdir { name, .. }
+        | OpBody::Unlink { name, .. }
+        | OpBody::RemoveSubdir { name, .. }
+        | OpBody::SetSize { name, .. }
+        | OpBody::SetAttrChild { name, .. }
+        | OpBody::RenameSrcPrepare { name, .. }
+        | OpBody::RenameDstPrepare { name, .. }
+        | OpBody::RenameDecide { name, .. } => pmap.partition_of_name(name, buckets),
+        // Same-partition by construction (the client falls back to the
+        // 2PC path otherwise); route by the source name.
+        OpBody::RenameLocal { from, .. } => pmap.partition_of_name(from, buckets),
+        OpBody::SetAcl {
+            name, target, dir, ..
+        } => {
+            if target == dir {
+                0
+            } else {
+                pmap.partition_of_name(name, buckets)
+            }
+        }
+        // File-lease service shards by file ino, which (unlike the
+        // name) is stable across renames: every request for one file
+        // meets at one partition, but a hot directory's lease traffic
+        // spreads over all leaders instead of serializing on partition
+        // 0's — with per-create acquire + release RPCs that would cap
+        // aggregate create throughput at one leader's service rate no
+        // matter the partition count.
+        OpBody::AcquireReadLease { file, .. }
+        | OpBody::AcquireWriteLease { file, .. }
+        | OpBody::ReleaseFileLease { file, .. } => (file % pmap.partitions as u128) as u32,
+        OpBody::DirInode { .. }
+        | OpBody::SetAttrDir { .. }
+        | OpBody::FlushCache { .. }
+        | OpBody::Readdir { .. }
+        | OpBody::FsyncDir { .. }
+        | OpBody::RelinquishPartition { .. } => 0,
+    }
+}
+
+/// Leader-side authority check for a routed op against the led
+/// partition (see `serve_local`). Unpartitioned tables own everything
+/// that reaches them: wrong-partition requests route to a pkey nobody
+/// leads and bounce as `NotLeader` before getting here.
+fn owned_by(t: &Metatable, body: &OpBody) -> bool {
+    if t.pcount() <= 1 {
+        return true;
+    }
+    match body {
+        OpBody::Lookup { name, .. }
+        | OpBody::Create { name, .. }
+        | OpBody::AddSubdir { name, .. }
+        | OpBody::Unlink { name, .. }
+        | OpBody::RemoveSubdir { name, .. }
+        | OpBody::SetSize { name, .. }
+        | OpBody::SetAttrChild { name, .. }
+        | OpBody::RenameSrcPrepare { name, .. }
+        | OpBody::RenameDstPrepare { name, .. }
+        | OpBody::RenameDecide { name, .. } => t.owns_name(name),
+        OpBody::RenameLocal { from, to, .. } => t.owns_name(from) && t.owns_name(to),
+        OpBody::SetAcl {
+            name, target, dir, ..
+        } => {
+            if target == dir {
+                t.partition() == 0
+            } else {
+                t.owns_name(name)
+            }
+        }
+        OpBody::Readdir { partition, .. } | OpBody::FsyncDir { partition, .. } => {
+            t.partition() == *partition
+        }
+        OpBody::AcquireReadLease { file, .. }
+        | OpBody::AcquireWriteLease { file, .. }
+        | OpBody::ReleaseFileLease { file, .. } => {
+            t.partition() == (*file % t.pcount() as u128) as u32
+        }
+        OpBody::DirInode { .. } | OpBody::SetAttrDir { .. } => t.partition() == 0,
+        // Addressed before dispatch (serve()'s special cases).
+        OpBody::FlushCache { .. } | OpBody::RelinquishPartition { .. } => true,
+    }
 }

@@ -17,10 +17,9 @@
 //! flush-on-conflict, and lease release (failed releases are counted on
 //! `lease.release_failed.count`, not silently dropped).
 
-use super::dirsvc::DirRef;
 use super::lockorder::{self, Rank, RankGuard};
 use super::ArkClient;
-use crate::rpc::{OpBody, OpRequest, OpResponse};
+use crate::rpc::{OpBody, OpResponse};
 use arkfs_lease::FileLeaseDecision;
 use arkfs_simkit::Port;
 use arkfs_vfs::{Credentials, FsError, FsResult, Ino, OpenFlags};
@@ -33,6 +32,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct OpenFile {
     pub(crate) ino: Ino,
     pub(crate) parent: Ino,
+    /// Dentry name under `parent` at open time; size pushes route by it
+    /// to the partition owning the dentry when `parent` is partitioned.
+    pub(crate) name: String,
     pub(crate) flags: OpenFlags,
     /// Local view of the file size (updated by writes; pushed to the
     /// leader on fsync/close).
@@ -163,15 +165,15 @@ impl FileTable {
     }
 
     /// Clear every written handle's dirty flag and collect its
-    /// `(parent, ino, size)` for a size push (sync_all).
-    pub(crate) fn take_pending_sizes(&self) -> Vec<(Ino, Ino, u64)> {
+    /// `(parent, name, ino, size)` for a size push (sync_all).
+    pub(crate) fn take_pending_sizes(&self) -> Vec<(Ino, String, Ino, u64)> {
         let mut pending = Vec::new();
         for i in 0..self.shards.len() {
             let mut s = self.shard_at(i);
             for h in s.guard.handles.values_mut() {
                 if h.wrote {
                     h.wrote = false;
-                    pending.push((h.parent, h.ino, h.size));
+                    pending.push((h.parent, h.name.clone(), h.ino, h.size));
                 }
             }
         }
@@ -268,29 +270,11 @@ impl ArkClient {
             file,
             client: self.state.id,
         };
-        let ok = match self.state.dir_ref(&fork, parent) {
-            Ok(DirRef::Local(table)) => {
-                fork.advance(self.config().spec.local_meta_op);
-                let req = OpRequest {
-                    creds: Credentials::root(),
-                    body,
-                };
-                matches!(self.state.serve_local(&fork, &table, req), OpResponse::Ok)
-            }
-            Ok(DirRef::Remote(leader)) => {
-                let req = OpRequest {
-                    creds: Credentials::root(),
-                    body,
-                };
-                matches!(
-                    self.state.cluster.ops_bus().call(&fork, leader, req),
-                    Ok(OpResponse::Ok)
-                )
-            }
-            Err(_) => false,
-        };
-        if !ok {
-            self.state.lease_release_failed.inc();
+        // Routed like the acquire (lease service shards by file ino),
+        // so the release reaches the partition holding the lease entry.
+        match self.on_dir_port(&fork, &Credentials::root(), parent, body) {
+            Ok(OpResponse::Ok) => {}
+            Ok(_) | Err(_) => self.state.lease_release_failed.inc(),
         }
     }
 
@@ -300,6 +284,7 @@ impl ArkClient {
         &self,
         ctx: &Credentials,
         parent: Ino,
+        name: &str,
         file: Ino,
         size: u64,
     ) -> FsResult<()> {
@@ -308,6 +293,7 @@ impl ArkClient {
             parent,
             OpBody::SetSize {
                 dir: parent,
+                name: name.to_string(),
                 ino: file,
                 size,
             },

@@ -51,9 +51,10 @@ use namei::Pcache;
 use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// How often a non-leader retries lease acquisition before giving up.
 pub(crate) const MAX_LEASE_RETRIES: usize = 16;
@@ -95,6 +96,13 @@ pub(crate) struct CommitLane {
     pub(crate) res: SharedResource,
     /// Virtual completion times of tracked in-flight flushes, ascending.
     flights: Mutex<Vec<Nanos>>,
+    /// Led tables mapped to this lane, for group commit: a sealing
+    /// directory's flight carries co-laned members' due transactions in
+    /// the same multi-PUT. Weak so a forgotten table (lease loss,
+    /// handoff) drops out on its own; entries are pruned on snapshot.
+    /// Guarded by a plain mutex outside the rank order — it is only ever
+    /// held for map access, never while taking a ranked lock.
+    members: Mutex<HashMap<Ino, Weak<Mutex<crate::metatable::Metatable>>>>,
     /// `journal.sealed_depth`: deployment-wide count of tracked
     /// in-flight sealed batches (shared by all lanes of all clients).
     depth: Arc<Gauge>,
@@ -105,8 +113,24 @@ impl CommitLane {
         CommitLane {
             res: SharedResource::ideal("commit-lane"),
             flights: Mutex::new(Vec::new()),
+            members: Mutex::new(HashMap::new()),
             depth,
         }
+    }
+
+    /// Register a led table as a group-commit member of this lane.
+    pub(crate) fn register(&self, pkey: Ino, table: &Arc<Mutex<crate::metatable::Metatable>>) {
+        self.members.lock().insert(pkey, Arc::downgrade(table));
+    }
+
+    /// Live members of this lane (dead entries pruned as a side effect).
+    pub(crate) fn members_snapshot(&self) -> Vec<(Ino, Arc<Mutex<crate::metatable::Metatable>>)> {
+        let mut members = self.members.lock();
+        members.retain(|_, w| w.strong_count() > 0);
+        members
+            .iter()
+            .filter_map(|(&pkey, w)| w.upgrade().map(|t| (pkey, t)))
+            .collect()
     }
 
     fn prune(&self, flights: &mut Vec<Nanos>, now: Nanos) {
@@ -333,6 +357,24 @@ pub(crate) struct ClientState {
     /// `lease.release_failed.count`: file-lease releases the leader
     /// rejected or that never reached it.
     pub(crate) lease_release_failed: Arc<Counter>,
+    /// `lease.handoff_failed.count`: partition-lease handoffs
+    /// (RelinquishPartition) the old leader rejected or that never
+    /// reached it — the repartitioner falls back to takeover recovery.
+    pub(crate) lease_handoff_failed: Arc<Counter>,
+    /// `meta.partition.split.count` / `meta.partition.merge.count` /
+    /// `meta.partition.handoff.count`.
+    pub(crate) partition_splits: Arc<Counter>,
+    pub(crate) partition_merges: Arc<Counter>,
+    pub(crate) partition_handoffs: Arc<Counter>,
+    /// Repartition requests raised by the load trigger inside
+    /// `serve_local` (which holds the metatable and cannot run the split
+    /// protocol itself): `(dir, target partition count)` pairs drained at
+    /// the top of the next client-facing op.
+    pub(crate) pending_splits: Mutex<Vec<(Ino, u32)>>,
+    /// Directories this client has acked async-mode mutations against
+    /// (local or remote leader) since the last `sync_all`: each owes a
+    /// partition-barrier fan-out before that barrier may return.
+    pub(crate) dirty_dirs: Mutex<HashSet<Ino>>,
     /// Flush epoch: bumped by every `sync_all`. `statfs` memoizes its
     /// inode count per epoch (see [`vfs_impl`]).
     pub(crate) flush_epoch: AtomicU64,
@@ -364,6 +406,10 @@ impl ArkClient {
         let op_hists = telemetry.registry.histogram_set(OP_NAMES, ".latency_ns");
         let op_ack_hists = telemetry.registry.histogram_set(OP_NAMES, ".ack_ns");
         let lease_release_failed = telemetry.registry.counter("lease.release_failed.count");
+        let lease_handoff_failed = telemetry.registry.counter("lease.handoff_failed.count");
+        let partition_splits = telemetry.registry.counter("meta.partition.split.count");
+        let partition_merges = telemetry.registry.counter("meta.partition.merge.count");
+        let partition_handoffs = telemetry.registry.counter("meta.partition.handoff.count");
         let state = Arc::new(ClientState {
             id,
             cluster: Arc::clone(&cluster),
@@ -382,6 +428,12 @@ impl ArkClient {
             op_hists,
             op_ack_hists,
             lease_release_failed,
+            lease_handoff_failed,
+            partition_splits,
+            partition_merges,
+            partition_handoffs,
+            pending_splits: Mutex::new(Vec::new()),
+            dirty_dirs: Mutex::new(HashSet::new()),
             flush_epoch: AtomicU64::new(0),
             statfs_cache: Mutex::new(None),
         });
@@ -424,6 +476,18 @@ impl ArkClient {
     /// (`lease.release_failed.count`).
     pub fn lease_release_failures(&self) -> u64 {
         self.state.lease_release_failed.get()
+    }
+
+    /// Partition lifecycle counters: `(splits, merges, handoffs,
+    /// handoff failures)` — `meta.partition.{split,merge,handoff}.count`
+    /// and `lease.handoff_failed.count`.
+    pub fn partition_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.state.partition_splits.get(),
+            self.state.partition_merges.get(),
+            self.state.partition_handoffs.get(),
+            self.state.lease_handoff_failed.get(),
+        )
     }
 
     /// Per-family lock acquisition and contention statistics of the
@@ -517,6 +581,9 @@ impl ArkClient {
         name: &'static str,
         f: impl FnOnce() -> FsResult<T>,
     ) -> FsResult<T> {
+        // Load-triggered repartitions requested by serve_local run here,
+        // between ops, where no table or stripe lock is held.
+        self.drain_pending_splits();
         let start = self.port.now();
         let r = f();
         let end = self.port.now();
@@ -577,7 +644,11 @@ impl ClientState {
         }
     }
 
-    pub(crate) fn lane(&self, dir: Ino) -> &CommitLane {
-        &self.lanes[(dir % self.lanes.len() as u128) as usize]
+    /// The commit lane a directory partition maps to, keyed by its
+    /// partition key (== the directory ino for unpartitioned
+    /// directories), so a split directory's partitions spread across
+    /// lanes and commit in parallel.
+    pub(crate) fn lane(&self, pkey: Ino) -> &CommitLane {
+        &self.lanes[(pkey % self.lanes.len() as u128) as usize]
     }
 }

@@ -122,7 +122,7 @@ impl ArkClient {
         dir: Ino,
         name: &str,
     ) -> FsResult<(Ino, FileType)> {
-        match self.dir_ref(dir)? {
+        match self.dir_ref_name(dir, name)? {
             DirRef::Local(table) => {
                 self.port.advance(self.config().spec.local_meta_op);
                 let t = self.state.lock_table(&table);
@@ -270,7 +270,7 @@ impl ArkClient {
             return Ok((ROOT_INO, rec));
         }
         let (dir, name) = self.resolve_parent(ctx, path)?;
-        match self.dir_ref(dir)? {
+        match self.dir_ref_name(dir, name)? {
             DirRef::Local(table) => {
                 self.port.advance(self.config().spec.local_meta_op);
                 let t = self.state.lock_table(&table);
@@ -328,7 +328,7 @@ impl ArkClient {
         dir: Ino,
         name: &str,
     ) -> FsResult<(Ino, InodeRecord)> {
-        match self.dir_ref(dir)? {
+        match self.dir_ref_name(dir, name)? {
             DirRef::Local(table) => {
                 self.port.advance(self.config().spec.local_meta_op);
                 let t = self.state.lock_table(&table);

@@ -9,7 +9,7 @@
 
 use super::dirsvc::DirRef;
 use super::filetable::OpenFile;
-use super::ArkClient;
+use super::{ArkClient, MAX_LEASE_RETRIES};
 use crate::cluster::manager_node;
 use crate::config::CommitMode;
 use crate::meta::InodeRecord;
@@ -23,6 +23,7 @@ use arkfs_vfs::{
 };
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -57,7 +58,7 @@ impl ArkClient {
         perm::check_access(ctx, rec.uid, rec.gid, rec.mode, &rec.acl, want)?;
         let mut size = rec.size;
         if flags.is_trunc() && flags.writable() && size > 0 {
-            self.push_size(ctx, parent, ino, 0)?;
+            self.push_size(ctx, parent, name, ino, 0)?;
             self.prt().truncate_data(&self.port, ino, size, 0)?;
             self.state.lock_cache().truncate_file(ino, 0);
             size = 0;
@@ -66,6 +67,7 @@ impl ArkClient {
         let id = self.state.files.insert(OpenFile {
             ino,
             parent,
+            name: name.to_string(),
             flags,
             size,
             cached,
@@ -74,6 +76,111 @@ impl ArkClient {
             last_pos: 0,
         });
         Ok(FileHandle(id))
+    }
+
+    /// Durability barrier across *every* partition commit lane of `dir`.
+    ///
+    /// Size pushes route by name to one partition, but earlier metadata
+    /// acked on this directory may sit in other partitions' lanes (the
+    /// create that predated a split, a sibling handle's push), so fsync
+    /// fans the barrier out to all of them. Partitions whose pkey is in
+    /// `led` were already committed and drained locally by the caller.
+    ///
+    /// The cached partition map is the right fan-out set: every ack this
+    /// client received was routed with it or with an older map, and a
+    /// split/merge drains all old partition streams durable *before*
+    /// installing its new map. A partition the current store map no
+    /// longer has therefore holds nothing of ours that is not already
+    /// durable, so a bounce on a since-merged partition is tolerated.
+    fn fsync_dir_barrier(&self, ctx: &Credentials, dir: Ino, led: &HashSet<Ino>) -> FsResult<()> {
+        let pmap = self.state.cached_pmap(dir);
+        let start = self.port.now();
+        let mut done = start;
+        for p in 0..pmap.partitions {
+            if led.contains(&pmap.pkey(p)) {
+                continue; // committed + drained locally by the caller
+            }
+            let fork = Port::starting_at(start);
+            match self.on_dir_port(&fork, ctx, dir, OpBody::FsyncDir { dir, partition: p }) {
+                Ok(OpResponse::Ok) => {}
+                Ok(OpResponse::Err(e)) => return Err(e),
+                Ok(_) => return Err(FsError::Io("unexpected fsync-dir response".into())),
+                Err(e @ (FsError::Stale | FsError::TimedOut)) if p > 0 => {
+                    let fresh = self.state.refresh_pmap(&fork, dir)?;
+                    if p < fresh.partitions {
+                        return Err(e); // real partition, real failure
+                    }
+                    // Merged away: drained durable before the map changed.
+                }
+                Err(e) => return Err(e),
+            }
+            done = done.max(fork.now());
+        }
+        self.port.wait_until(done);
+        Ok(())
+    }
+
+    /// Merge-scan of a (possibly partitioned) directory.
+    ///
+    /// Partition 0 is queried first — the partition count its table
+    /// serves is authoritative — then the remaining partitions fan out
+    /// on ports forked at one instant, so the caller pays the slowest
+    /// slice, not the sum. Every slice carries the serving table's
+    /// partition count; a mismatch means the map changed mid-scan
+    /// (split/merge landed between slices), so the cached map is
+    /// refreshed and the whole merge redone.
+    fn readdir_merged(&self, ctx: &Credentials, ino: Ino) -> FsResult<Vec<DirEntry>> {
+        'scan: for _ in 0..MAX_LEASE_RETRIES {
+            let mut merged: Vec<DirEntry>;
+            let parts = match self.on_dir(
+                ctx,
+                ino,
+                OpBody::Readdir {
+                    dir: ino,
+                    partition: 0,
+                },
+            )? {
+                OpResponse::Entries {
+                    entries,
+                    partitions,
+                } => {
+                    merged = entries;
+                    partitions
+                }
+                OpResponse::Err(e) => return Err(e),
+                _ => return Err(FsError::Io("unexpected readdir response".into())),
+            };
+            let start = self.port.now();
+            let mut done = start;
+            for p in 1..parts {
+                let fork = Port::starting_at(start);
+                let body = OpBody::Readdir {
+                    dir: ino,
+                    partition: p,
+                };
+                match self.on_dir_port(&fork, ctx, ino, body) {
+                    Ok(OpResponse::Entries {
+                        entries,
+                        partitions,
+                    }) if partitions == parts => merged.extend(entries),
+                    Ok(OpResponse::Entries { .. })
+                    | Err(FsError::Stale)
+                    | Err(FsError::TimedOut) => {
+                        self.port.wait_until(done.max(fork.now()));
+                        let _ = self.state.refresh_pmap(&self.port, ino);
+                        continue 'scan;
+                    }
+                    Ok(OpResponse::Err(e)) => return Err(e),
+                    Ok(_) => return Err(FsError::Io("unexpected readdir response".into())),
+                    Err(e) => return Err(e),
+                }
+                done = done.max(fork.now());
+            }
+            self.port.wait_until(done);
+            merged.sort_by(|a, b| a.name.cmp(&b.name));
+            return Ok(merged);
+        }
+        Err(FsError::TimedOut)
     }
 }
 
@@ -128,21 +235,39 @@ impl Vfs for ArkClient {
             if child == ROOT_INO {
                 return Err(FsError::InvalidArgument);
             }
-            // Become the child's leader to guarantee a stable emptiness check.
-            match self.dir_ref(child)? {
-                DirRef::Local(table) => {
-                    let mut t = self.state.lock_table(&table);
-                    if !t.is_empty() {
-                        return Err(FsError::NotEmpty);
+            // Become the child's leader to guarantee a stable emptiness
+            // check. A partitioned child is first merged back to one
+            // partition so a single table sees the whole namespace slice
+            // (and so no orphan partition journals outlive the removal).
+            let mut checked = false;
+            for _ in 0..MAX_LEASE_RETRIES {
+                match self.dir_ref(child)? {
+                    DirRef::Local(table) => {
+                        {
+                            let mut t = self.state.lock_table(&table);
+                            if t.pcount() <= 1 {
+                                if !t.is_empty() {
+                                    return Err(FsError::NotEmpty);
+                                }
+                                t.flush(
+                                    self.prt(),
+                                    &self.port,
+                                    &self.state.lane(child).res,
+                                    self.config().spec.local_meta_op,
+                                )?;
+                                checked = true;
+                            }
+                        }
+                        if checked {
+                            break;
+                        }
+                        self.repartition(child, 1)?;
                     }
-                    t.flush(
-                        self.prt(),
-                        &self.port,
-                        &self.state.lane(child).res,
-                        self.config().spec.local_meta_op,
-                    )?;
+                    DirRef::Remote(_) => return Err(FsError::Busy),
                 }
-                DirRef::Remote(_) => return Err(FsError::Busy),
+            }
+            if !checked {
+                return Err(FsError::Busy);
             }
             match self.on_dir(
                 ctx,
@@ -209,6 +334,7 @@ impl Vfs for ArkClient {
             let id = self.state.files.insert(OpenFile {
                 ino,
                 parent,
+                name: name.to_string(),
                 flags: OpenFlags::RDWR,
                 size: 0,
                 cached,
@@ -237,14 +363,14 @@ impl Vfs for ArkClient {
             // trip and no durability wait. Dirty data and the size
             // update still reach the leader — acked, not yet durable;
             // an explicit `fsync`/`sync_all` is the durability barrier.
-            let (ino, parent, size, wrote) = self
+            let (ino, parent, name, size, wrote) = self
                 .state
                 .files
-                .get(fh.0, |h| (h.ino, h.parent, h.size, h.wrote))
+                .get(fh.0, |h| (h.ino, h.parent, h.name.clone(), h.size, h.wrote))
                 .ok_or(FsError::BadHandle)?;
             self.flush_file_data(ino)?;
             if wrote {
-                self.push_size(ctx, parent, ino, size)?;
+                self.push_size(ctx, parent, &name, ino, size)?;
             }
             self.state.files.remove(fh.0);
             self.release_file_lease_background(parent, ino);
@@ -281,14 +407,14 @@ impl Vfs for ArkClient {
     fn fsync(&self, ctx: &Credentials, fh: FileHandle) -> FsResult<()> {
         self.traced("op.fsync", || {
             self.fuse_charge(1);
-            let (ino, parent, size, wrote) = self
+            let (ino, parent, name, size, wrote) = self
                 .state
                 .files
-                .get(fh.0, |h| (h.ino, h.parent, h.size, h.wrote))
+                .get(fh.0, |h| (h.ino, h.parent, h.name.clone(), h.size, h.wrote))
                 .ok_or(FsError::BadHandle)?;
             self.flush_file_data(ino)?;
             if wrote {
-                self.push_size(ctx, parent, ino, size)?;
+                self.push_size(ctx, parent, &name, ino, size)?;
                 let _ = self.state.files.update(fh.0, |h| {
                     h.wrote = false;
                 });
@@ -297,12 +423,10 @@ impl Vfs for ArkClient {
                 // Durability barrier: the size push (and any earlier
                 // metadata on this file) was acked before durability, so
                 // seal + flush the parent's running transaction and
-                // drain its commit lane before fsync returns.
-                match self.on_dir(ctx, parent, OpBody::FsyncDir { dir: parent })? {
-                    OpResponse::Ok => {}
-                    OpResponse::Err(e) => return Err(e),
-                    _ => return Err(FsError::Io("unexpected fsync response".into())),
-                }
+                // drain its commit lane before fsync returns — on every
+                // partition of the parent, not just the one the name
+                // hashes to.
+                self.fsync_dir_barrier(ctx, parent, &HashSet::new())?;
             }
             Ok(())
         })
@@ -326,11 +450,7 @@ impl Vfs for ArkClient {
             if ftype != FileType::Directory {
                 return Err(FsError::NotADirectory);
             }
-            match self.on_dir(ctx, ino, OpBody::Readdir { dir: ino })? {
-                OpResponse::Entries(entries) => Ok(entries),
-                OpResponse::Err(e) => Err(e),
-                _ => Err(FsError::Io("unexpected readdir response".into())),
-            }
+            self.readdir_merged(ctx, ino)
         })
     }
 
@@ -395,7 +515,25 @@ impl Vfs for ArkClient {
                         self.rmdir(ctx, to)?;
                     }
                 }
-                return match self.on_dir(
+            }
+
+            // Same directory, both names in one partition: single-journal
+            // rename. When the names hash to different partitions of one
+            // directory the entry still moves between two journals, so
+            // that case falls through to the 2PC below just like a
+            // cross-directory move.
+            // Drawn up front so every rename consumes exactly one RNG
+            // value no matter which path serves it: partition routing must
+            // not perturb the ino stream later operations draw from.
+            let txid: u128 = self.state.rngs.random_u128();
+            let buckets = self.config().dentry_buckets;
+            let same_partition = |pmap: &crate::partition::PartitionMap| {
+                pmap.partitions <= 1
+                    || pmap.partition_of_name(src_name, buckets)
+                        == pmap.partition_of_name(dst_name, buckets)
+            };
+            if src_dir == dst_dir && same_partition(&self.state.cached_pmap(src_dir)) {
+                let local = self.on_dir(
                     ctx,
                     src_dir,
                     OpBody::RenameLocal {
@@ -403,23 +541,37 @@ impl Vfs for ArkClient {
                         from: src_name.to_string(),
                         to: dst_name.to_string(),
                     },
-                )? {
-                    OpResponse::Ok => {
+                );
+                match local {
+                    Ok(OpResponse::Ok) => {
                         if self.config().permission_cache {
                             self.pcache_note(src_dir, src_name, None);
                         }
-                        Ok(())
+                        return Ok(());
                     }
-                    OpResponse::Err(e) => Err(e),
-                    _ => Err(FsError::Io("unexpected rename response".into())),
-                };
+                    Ok(OpResponse::Err(e)) => return Err(e),
+                    Ok(_) => return Err(FsError::Io("unexpected rename response".into())),
+                    // A stale singleton map can route a cross-partition
+                    // pair as RenameLocal; no partition owns both names,
+                    // so the request bounces until it times out. Check
+                    // against a fresh map and fall through to the 2PC if
+                    // that is what happened.
+                    Err(FsError::TimedOut)
+                        if !same_partition(&*self.state.refresh_pmap(&self.port, src_dir)?) => {}
+                    Err(e) => return Err(e),
+                }
             }
 
-            // Cross-directory rename: two-phase commit across both journals
-            // (§III-E, [18]). An existing file target is replaced atomically
-            // inside the destination's prepare; a directory target is
-            // rejected.
-            let txid: u128 = self.state.rngs.random_u128();
+            // Cross-directory (or cross-partition) rename: two-phase commit
+            // across both journals (§III-E, [18]). An existing file target
+            // is replaced atomically inside the destination's prepare; a
+            // directory target is rejected. Each half's `peer` is the
+            // *partition key* of the other half's journal stream, so
+            // recovery's presumed-abort scan consults the right stream.
+            let src_pmap = self.state.cached_pmap(src_dir);
+            let dst_pmap = self.state.cached_pmap(dst_dir);
+            let src_peer = src_pmap.pkey(src_pmap.partition_of_name(src_name, buckets));
+            let dst_peer = dst_pmap.pkey(dst_pmap.partition_of_name(dst_name, buckets));
             let (ino, ftype, rec) = match self.on_dir(
                 ctx,
                 src_dir,
@@ -427,7 +579,7 @@ impl Vfs for ArkClient {
                     dir: src_dir,
                     name: src_name.to_string(),
                     txid,
-                    peer: dst_dir,
+                    peer: dst_peer,
                 },
             )? {
                 OpResponse::Detached { ino, ftype, rec } => (ino, ftype, rec),
@@ -441,7 +593,7 @@ impl Vfs for ArkClient {
                     dir: dst_dir,
                     name: dst_name.to_string(),
                     txid,
-                    peer: src_dir,
+                    peer: src_peer,
                     ino,
                     ftype,
                     rec: rec.clone(),
@@ -463,6 +615,7 @@ impl Vfs for ArkClient {
                         src_dir,
                         OpBody::RenameDecide {
                             dir: src_dir,
+                            name: src_name.to_string(),
                             txid,
                             commit: false,
                             undo: Some((src_name.to_string(), ino, ftype, rec)),
@@ -472,12 +625,13 @@ impl Vfs for ArkClient {
                 }
                 _ => return Err(FsError::Io("unexpected rename-dst response".into())),
             }
-            for dir in [src_dir, dst_dir] {
+            for (dir, name) in [(src_dir, src_name), (dst_dir, dst_name)] {
                 match self.on_dir(
                     ctx,
                     dir,
                     OpBody::RenameDecide {
                         dir,
+                        name: name.to_string(),
                         txid,
                         commit: true,
                         undo: None,
@@ -512,6 +666,7 @@ impl Vfs for ArkClient {
                 parent,
                 OpBody::SetSize {
                     dir: parent,
+                    name: name.to_string(),
                     ino,
                     size,
                 },
@@ -565,6 +720,7 @@ impl Vfs for ArkClient {
                         parent,
                         OpBody::SetAttrChild {
                             dir: parent,
+                            name: name.to_string(),
                             ino,
                             attr: attr.clone(),
                         },
@@ -636,6 +792,7 @@ impl Vfs for ArkClient {
                     ROOT_INO,
                     OpBody::SetAcl {
                         dir: ROOT_INO,
+                        name: String::new(),
                         target: ROOT_INO,
                         acl: acl.clone(),
                     },
@@ -650,6 +807,7 @@ impl Vfs for ArkClient {
                         ino,
                         OpBody::SetAcl {
                             dir: ino,
+                            name: String::new(),
                             target: ino,
                             acl: acl.clone(),
                         },
@@ -660,6 +818,7 @@ impl Vfs for ArkClient {
                         parent,
                         OpBody::SetAcl {
                             dir: parent,
+                            name: name.to_string(),
                             target: ino,
                             acl: acl.clone(),
                         },
@@ -711,10 +870,10 @@ impl Vfs for ArkClient {
             // parent is remembered: any not flushed locally below gets
             // an explicit FsyncDir barrier.
             let pending = self.state.files.take_pending_sizes();
-            let mut pushed_parents: Vec<Ino> = Vec::new();
-            for (parent, ino, size) in pending {
-                self.push_size(ctx, parent, ino, size)?;
-                pushed_parents.push(parent);
+            for (parent, name, ino, size) in pending {
+                // Routed through `on_dir`, so the parent lands in
+                // `dirty_dirs` and gets its barrier in step 5.
+                self.push_size(ctx, parent, &name, ino, size)?;
             }
             // 3. Commit + checkpoint every led directory, overlapped: each
             // directory's flush runs on a port forked at the same instant,
@@ -728,7 +887,10 @@ impl Vfs for ArkClient {
             // which varies between runs and would jitter the virtual-time
             // arrival order on shared resources).
             tables.sort_by_key(|&(ino, _)| ino);
-            let led: std::collections::HashSet<Ino> = tables.iter().map(|&(ino, _)| ino).collect();
+            // Keyed by *partition key*: a led partition of a remote-led
+            // directory is flushed here, and the per-partition barrier
+            // below skips exactly those lanes.
+            let led: HashSet<Ino> = tables.iter().map(|&(ino, _)| ino).collect();
             let start = self.port.now();
             let mut done = start;
             for (ino, table) in tables {
@@ -750,20 +912,22 @@ impl Vfs for ArkClient {
                 done = done.max(lane.drain_until(start));
             }
             self.port.wait_until(done);
-            // 5. Async mode: size pushes forwarded to remote leaders were
-            // acked before durability; a FsyncDir barrier per distinct
-            // remote parent makes those journals durable too.
+            // 5. Async mode: any mutation this client acked against a
+            // *remote* partition leader (creates, size pushes, rename
+            // halves — `dirty_dirs` collects their directories at the
+            // `on_dir` layer) lives in that leader's running transaction,
+            // not ours; a FsyncDir barrier per remote-led partition of
+            // each dirty directory makes those journals durable too
+            // (partitions flushed locally in step 3 are skipped by pkey).
             if self.config().commit_mode == CommitMode::Async {
-                pushed_parents.sort_unstable();
-                pushed_parents.dedup();
-                for parent in pushed_parents {
-                    if led.contains(&parent) {
-                        continue; // flushed locally above
-                    }
-                    match self.on_dir(ctx, parent, OpBody::FsyncDir { dir: parent })? {
-                        OpResponse::Ok => {}
-                        OpResponse::Err(e) => return Err(e),
-                        _ => return Err(FsError::Io("unexpected fsync-dir response".into())),
+                let mut dirty: Vec<Ino> = self.state.dirty_dirs.lock().drain().collect();
+                dirty.sort_unstable();
+                for dir in dirty {
+                    match self.fsync_dir_barrier(ctx, dir, &led) {
+                        // The directory may have been removed since it
+                        // was dirtied; rmdir already flushed it.
+                        Ok(()) | Err(FsError::NotFound) => {}
+                        Err(e) => return Err(e),
                     }
                 }
             }

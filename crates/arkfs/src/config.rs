@@ -61,6 +61,22 @@ pub struct ArkConfig {
     pub async_commit_max_inflight: usize,
     /// Dentry hash buckets per directory.
     pub dentry_buckets: u64,
+    /// Ceiling on partitions a hot directory may split into. Partition
+    /// counts double on each split (1→2→…→max) and never exceed
+    /// `dentry_buckets` (a partition owns at least one bucket).
+    pub dir_partition_max: u32,
+    /// Journal append rate (appends per virtual second, measured over a
+    /// sliding window by the leader) above which a directory partition
+    /// requests a split. `0` disables load-triggered splitting —
+    /// directories still partition via `ArkClient::set_dir_partitions`.
+    pub partition_split_rate: u64,
+    /// Append rate below which a multi-partition directory's partition-0
+    /// leader requests a merge step (halving). `0` disables auto-merge.
+    pub partition_merge_rate: u64,
+    /// Group commit: one sealed journal flight may carry the sealed
+    /// transactions of *other* locally-led directories mapped to the
+    /// same commit lane, amortizing the per-flight store round trip.
+    pub group_commit: bool,
     /// Permission caching mode (§III-C): cache remote directories'
     /// permissions + lookups until lease expiry, relaxing ACL consistency.
     pub permission_cache: bool,
@@ -98,6 +114,10 @@ impl Default for ArkConfig {
             async_commit_window: 100 * MSEC,
             async_commit_max_inflight: 8,
             dentry_buckets: 16,
+            dir_partition_max: 8,
+            partition_split_rate: 0,
+            partition_merge_rate: 0,
+            group_commit: true,
             permission_cache: true,
             fuse_model: true,
             lease_managers: 1,
@@ -128,6 +148,10 @@ impl ArkConfig {
             async_commit_window: MSEC / 10,
             async_commit_max_inflight: 2,
             dentry_buckets: 4,
+            dir_partition_max: 4,
+            partition_split_rate: 0,
+            partition_merge_rate: 0,
+            group_commit: true,
             permission_cache: true,
             fuse_model: false,
             lease_managers: 1,
@@ -186,6 +210,23 @@ impl ArkConfig {
     /// ablation baseline); the default is 16.
     pub fn with_client_lock_stripes(mut self, n: usize) -> Self {
         self.client_lock_stripes = n.max(1);
+        self
+    }
+
+    /// Configure hot-directory partitioning: the split ceiling and the
+    /// load-trigger thresholds (appends per virtual second; `0` leaves a
+    /// trigger disabled). The ceiling clamps to at least 1.
+    pub fn with_dir_partitions(mut self, max: u32, split_rate: u64, merge_rate: u64) -> Self {
+        self.dir_partition_max = max.max(1);
+        self.partition_split_rate = split_rate;
+        self.partition_merge_rate = merge_rate;
+        self
+    }
+
+    /// Toggle cross-directory group commit on shared lanes (`true` is the
+    /// default; `false` is the per-directory-flight ablation baseline).
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
         self
     }
 
@@ -257,5 +298,20 @@ mod tests {
         // A zero journal window drags the async seal window down with it.
         let c = ArkConfig::default().with_journal_window(0);
         assert_eq!(c.async_commit_window, 0);
+    }
+
+    #[test]
+    fn partition_builders() {
+        let c = ArkConfig::default();
+        assert_eq!(c.dir_partition_max, 8);
+        assert_eq!(c.partition_split_rate, 0);
+        assert!(c.group_commit);
+        let c = c
+            .with_dir_partitions(0, 50_000, 1_000)
+            .with_group_commit(false);
+        assert_eq!(c.dir_partition_max, 1, "ceiling clamps to 1");
+        assert_eq!(c.partition_split_rate, 50_000);
+        assert_eq!(c.partition_merge_rate, 1_000);
+        assert!(!c.group_commit);
     }
 }

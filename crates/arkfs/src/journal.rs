@@ -187,6 +187,10 @@ impl Transaction {
     }
 }
 
+/// Stamps attributing durability latency to the mutations inside one
+/// sealed transaction: `(op name, mutation start time)` pairs.
+pub type OpStamps = Vec<(&'static str, Nanos)>;
+
 /// The in-memory journaling state of one directory at its leader.
 ///
 /// A transaction moves through three states: **running** (buffering,
@@ -356,6 +360,56 @@ impl DirJournal {
             }
         }
         Ok(())
+    }
+
+    /// Drain the sealed queue for a *group* flight (see
+    /// `ArkConfig::group_commit`): the caller batches the returned
+    /// transactions — possibly together with other directories' — into
+    /// one multi-PUT, then reports back per transaction with
+    /// [`DirJournal::push_committed`], or gives everything back with
+    /// [`DirJournal::restore_sealed`] if the flight failed.
+    pub fn take_sealed(&mut self) -> Vec<(Transaction, OpStamps)> {
+        let txns = std::mem::take(&mut self.sealed);
+        let stamps = std::mem::take(&mut self.sealed_stamps);
+        txns.into_iter()
+            .zip(stamps.into_iter().chain(std::iter::repeat_with(Vec::new)))
+            .collect()
+    }
+
+    /// Record a group-flight transaction as durable (its journal object
+    /// was written by the caller's batched flight).
+    pub fn push_committed(&mut self, txn: Transaction) {
+        self.committed.push(txn);
+    }
+
+    /// Give back transactions taken by [`DirJournal::take_sealed`] after
+    /// a failed group flight: they unseal — together with anything sealed
+    /// or buffered since — back into `running` at the front, and the
+    /// sequence counter rolls back, exactly like a failed
+    /// [`DirJournal::flush_sealed`]. Re-putting the same sequence numbers
+    /// on retry is safe even if part of the flight landed: those ops were
+    /// already acked and a replay applies them idempotently. The caller
+    /// counts the retry.
+    pub fn restore_sealed(&mut self, taken: Vec<(Transaction, OpStamps)>, now: Nanos) {
+        let Some((first, _)) = taken.first() else {
+            return;
+        };
+        self.next_seq = first.seq;
+        let mut ops = Vec::new();
+        let mut stamps = Vec::new();
+        for (txn, st) in taken {
+            ops.extend(txn.ops);
+            stamps.extend(st);
+        }
+        while let Some(t) = self.sealed.pop_front() {
+            ops.extend(t.ops);
+            stamps.extend(self.sealed_stamps.pop_front().unwrap_or_default());
+        }
+        ops.extend(std::mem::take(&mut self.running));
+        stamps.extend(std::mem::take(&mut self.running_stamps));
+        self.running = ops;
+        self.running_stamps = stamps;
+        self.running_since.get_or_insert(now);
     }
 
     /// Seal the running transaction and flush everything sealed: the
@@ -682,6 +736,44 @@ mod tests {
                 JournalOp::DeleteInode(3),
             ]
         );
+    }
+
+    #[test]
+    fn group_take_restore_roundtrip() {
+        let prt = prt();
+        let port = Port::new();
+        let lane = SharedResource::ideal("commit");
+        let mut j = DirJournal::new(7, 0);
+        j.append(JournalOp::DeleteInode(1), 0);
+        j.stamp("unlink", 0);
+        j.seal();
+        j.append(JournalOp::DeleteInode(2), 0);
+        j.seal();
+        let taken = j.take_sealed();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].1, vec![("unlink", 0)]);
+        assert_eq!(j.sealed_len(), 0);
+        // Failed flight: everything (taken + ops buffered meanwhile)
+        // unseals for retry at the original sequence number.
+        j.append(JournalOp::DeleteInode(3), 1);
+        j.restore_sealed(taken, 1);
+        assert_eq!(j.running_len(), 3);
+        j.commit(&prt, &port, &lane, 0).unwrap();
+        assert_eq!(prt.list_journal(&port, 7).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn group_push_committed_feeds_checkpoint() {
+        let mut j = DirJournal::new(7, 0);
+        j.append(JournalOp::DeleteInode(1), 0);
+        j.seal();
+        let taken = j.take_sealed();
+        for (txn, _) in taken {
+            j.push_committed(txn);
+        }
+        assert_eq!(j.committed_len(), 1);
+        assert!(!j.is_quiescent(), "committed still awaits checkpoint");
+        assert_eq!(j.take_committed().len(), 1);
     }
 
     #[test]

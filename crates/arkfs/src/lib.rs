@@ -41,6 +41,7 @@ pub mod config;
 pub mod journal;
 pub mod meta;
 pub mod metatable;
+pub mod partition;
 pub mod prt;
 pub mod radix;
 pub mod rpc;

@@ -16,16 +16,28 @@
 
 use crate::journal::{resolve_renames, scan_journal_stream, DirJournal, JournalOp};
 use crate::meta::{dentry_bucket, DentryBlock, DentryEntry, InodeRecord};
+use crate::partition::{partition_hi, partition_ino, partition_lo};
 use crate::prt::Prt;
 use arkfs_lease::FileLeaseTable;
-use arkfs_simkit::{Nanos, Port};
+use arkfs_simkit::{Nanos, Port, MSEC, SEC};
+use arkfs_telemetry::Gauge;
 use arkfs_vfs::{DirEntry, FileType, FsError, FsResult, Ino, SetAttr};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-/// In-memory authoritative state of one directory at its leader.
+/// Window over which a partition leader measures its journal append
+/// rate for load-triggered split/merge decisions.
+const RATE_WINDOW: Nanos = 10 * MSEC;
+
+/// In-memory authoritative state of one directory *partition* at its
+/// leader. An unpartitioned directory is the single partition `0 of 1`,
+/// whose partition key equals the directory inode — byte-identical to
+/// the pre-partitioning layout.
 #[derive(Debug)]
 pub struct Metatable {
-    /// The directory's own inode.
+    /// The directory's own inode. Partitions > 0 hold a read-only copy
+    /// loaded at takeover: the inode object (mtime, nlink, ACL) is
+    /// maintained by partition 0 only.
     pub dir: InodeRecord,
     dentries: HashMap<String, DentryEntry>,
     /// Inodes of non-directory children (child directories are owned by
@@ -34,6 +46,22 @@ pub struct Metatable {
     pub journal: DirJournal,
     pub file_leases: FileLeaseTable,
     buckets: u64,
+    /// This table's partition index and the directory's partition count
+    /// at load time; the table owns dentry buckets `[bucket_lo,
+    /// bucket_hi)` and journals under `pkey`.
+    partition: u32,
+    pcount: u32,
+    pkey: Ino,
+    bucket_lo: u64,
+    bucket_hi: u64,
+    /// Split/merge quiesce: a frozen partition refuses service so its
+    /// journal can be drained before the new map is installed.
+    pub frozen: bool,
+    /// `journal.sealed_depth.p<idx>`: this partition's sealed-but-not-
+    /// durable transaction count, sampled after each mutation.
+    pub(crate) sealed_depth: Option<Arc<Gauge>>,
+    rate_window_start: Nanos,
+    rate_appends: u64,
     dirty_dir: bool,
     dirty_children: HashSet<Ino>,
     deleted_children: HashSet<Ino>,
@@ -60,14 +88,38 @@ impl Metatable {
         buckets: u64,
         file_lease_period: Nanos,
     ) -> FsResult<Self> {
+        Self::load_partition(prt, port, dir_ino, 0, 1, buckets, file_lease_period)
+    }
+
+    /// Load partition `pidx` of `pcount` of a directory: the map read is
+    /// validated against the store's partition map first (a mismatch
+    /// means the caller routed with a stale map and gets `Stale` to
+    /// refresh), recovery replays only this partition's journal stream,
+    /// and the bucket sweep covers only the owned range.
+    pub fn load_partition(
+        prt: &Prt,
+        port: &Port,
+        dir_ino: Ino,
+        pidx: u32,
+        pcount: u32,
+        buckets: u64,
+        file_lease_period: Nanos,
+    ) -> FsResult<Self> {
         let t0 = port.now();
-        let recovery = recover_directory(prt, port, dir_ino, buckets)?;
+        let store_p = prt.load_pmap(port, dir_ino)?.map_or(1, |m| m.partitions);
+        if store_p != pcount || pidx >= pcount {
+            return Err(FsError::Stale);
+        }
+        let pkey = partition_ino(dir_ino, pidx);
+        let lo = partition_lo(pidx, buckets, pcount);
+        let hi = partition_hi(pidx, buckets, pcount);
+        let recovery = recover_directory_scoped(prt, port, dir_ino, pkey, buckets, lo, hi)?;
         let dir = prt.load_inode(port, dir_ino)?;
         if dir.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
         let mut dentries = HashMap::new();
-        let bucket_ids: Vec<u64> = (0..buckets).collect();
+        let bucket_ids: Vec<u64> = (lo..hi).collect();
         for block in prt.load_buckets_many(port, dir_ino, &bucket_ids)? {
             for entry in block.entries {
                 dentries.insert(entry.name.clone(), entry);
@@ -89,16 +141,29 @@ impl Metatable {
             let rec = rec.ok_or(FsError::NotFound)?;
             children.insert(*ino, rec);
         }
-        prt.count_takeover(1 + buckets + child_inos.len() as u64);
-        prt.meta_span("meta.takeover", dir_ino, t0, port.now());
+        prt.count_takeover(1 + (hi - lo) + child_inos.len() as u64);
+        prt.meta_span("meta.takeover", pkey, t0, port.now());
         let resume = recovery.next_seq;
         Ok(Metatable {
             dir,
             dentries,
             children,
-            journal: DirJournal::new(dir_ino, resume),
+            journal: DirJournal::new(pkey, resume),
             file_leases: FileLeaseTable::new(file_lease_period),
             buckets,
+            partition: pidx,
+            pcount,
+            pkey,
+            bucket_lo: lo,
+            bucket_hi: hi,
+            frozen: false,
+            sealed_depth: Some(
+                prt.telemetry()
+                    .registry
+                    .gauge(&format!("journal.sealed_depth.p{pidx}")),
+            ),
+            rate_window_start: 0,
+            rate_appends: 0,
             dirty_dir: false,
             dirty_children: HashSet::new(),
             deleted_children: HashSet::new(),
@@ -117,6 +182,15 @@ impl Metatable {
             journal: DirJournal::new(ino, 0),
             file_leases: FileLeaseTable::new(file_lease_period),
             buckets,
+            partition: 0,
+            pcount: 1,
+            pkey: ino,
+            bucket_lo: 0,
+            bucket_hi: buckets,
+            frozen: false,
+            sealed_depth: None,
+            rate_window_start: 0,
+            rate_appends: 0,
             dirty_dir: false,
             dirty_children: HashSet::new(),
             deleted_children: HashSet::new(),
@@ -126,6 +200,48 @@ impl Metatable {
 
     pub fn ino(&self) -> Ino {
         self.dir.ino
+    }
+
+    /// The key this partition leases and journals under (== [`Self::ino`]
+    /// for partition 0 / unpartitioned directories).
+    pub fn pkey(&self) -> Ino {
+        self.pkey
+    }
+
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    pub fn pcount(&self) -> u32 {
+        self.pcount
+    }
+
+    /// Does this partition own `name`'s dentry bucket?
+    pub fn owns_name(&self, name: &str) -> bool {
+        if self.pcount == 1 {
+            return true;
+        }
+        let b = dentry_bucket(name, self.buckets);
+        b >= self.bucket_lo && b < self.bucket_hi
+    }
+
+    /// Record one journal append for the load trigger. Returns the
+    /// measured append rate (per virtual second) each time a full rate
+    /// window closes, `0` otherwise — so a caller polling per mutation
+    /// sees at most one non-zero reading per window.
+    pub fn note_append(&mut self, now: Nanos) -> u64 {
+        if self.rate_appends == 0 {
+            self.rate_window_start = now;
+        }
+        self.rate_appends += 1;
+        let elapsed = now.saturating_sub(self.rate_window_start);
+        if elapsed >= RATE_WINDOW {
+            let rate = self.rate_appends.saturating_mul(SEC) / elapsed.max(1);
+            self.rate_appends = 0;
+            rate
+        } else {
+            0
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -167,6 +283,14 @@ impl Metatable {
     }
 
     fn touch_dir(&mut self, now: Nanos) {
+        // Partitions > 0 hold a read-only directory-inode copy: mtime /
+        // nlink maintenance belongs to partition 0 alone, so concurrent
+        // partitions never write conflicting `i<dir>` updates. A
+        // partitioned directory's mtime therefore tracks partition-0
+        // activity only (documented relaxation, DESIGN.md §9).
+        if self.partition != 0 {
+            return;
+        }
         self.dir.mtime = now;
         self.dir.ctime = now;
         self.dirty_dir = true;
@@ -230,7 +354,9 @@ impl Metatable {
             },
         );
         self.mark_dentry(name);
-        self.dir.nlink += 1;
+        if self.partition == 0 {
+            self.dir.nlink += 1;
+        }
         self.touch_dir(now);
         Ok(())
     }
@@ -279,7 +405,9 @@ impl Metatable {
         );
         self.journal.append(JournalOp::DeleteInode(ino), now);
         self.mark_dentry(name);
-        self.dir.nlink = self.dir.nlink.saturating_sub(1);
+        if self.partition == 0 {
+            self.dir.nlink = self.dir.nlink.saturating_sub(1);
+        }
         self.touch_dir(now);
         Ok(ino)
     }
@@ -403,7 +531,9 @@ impl Metatable {
             self.dirty_children.remove(&entry.ino);
             rec
         } else {
-            self.dir.nlink = self.dir.nlink.saturating_sub(1);
+            if self.partition == 0 {
+                self.dir.nlink = self.dir.nlink.saturating_sub(1);
+            }
             None
         };
         self.dentries.remove(name);
@@ -432,7 +562,7 @@ impl Metatable {
                 ftype,
             },
         );
-        if ftype == FileType::Directory {
+        if ftype == FileType::Directory && self.partition == 0 {
             self.dir.nlink += 1;
         }
         if let Some(rec) = rec {
@@ -482,7 +612,7 @@ impl Metatable {
             .collect();
         prt.store_buckets_many(port, self.dir.ino, &dirty_buckets)?;
         self.journal.truncate(prt, port)?;
-        prt.meta_span("meta.checkpoint", self.dir.ino, t0, port.now());
+        prt.meta_span("meta.checkpoint", self.pkey, t0, port.now());
         Ok(())
     }
 
@@ -557,8 +687,26 @@ pub struct Recovery {
 /// write-backs, and delete the stream with one batched multi-DELETE.
 /// Idempotent; a no-op when the journal is empty.
 pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> FsResult<Recovery> {
+    recover_directory_scoped(prt, port, dir_ino, dir_ino, buckets, 0, buckets)
+}
+
+/// Partition-scoped journal recovery: replay the journal stream of
+/// `journal_key` (a partition key of `dir_home`) against the owned
+/// bucket range `[lo, hi)` only. Other partitions' buckets — possibly
+/// being recovered or checkpointed concurrently by *their* leaders — are
+/// never read or written. With `journal_key == dir_home` and the full
+/// range this is exactly the classic single-journal recovery.
+pub fn recover_directory_scoped(
+    prt: &Prt,
+    port: &Port,
+    dir_home: Ino,
+    journal_key: Ino,
+    buckets: u64,
+    lo: u64,
+    hi: u64,
+) -> FsResult<Recovery> {
     let t0 = port.now();
-    let (seqs, txns) = scan_journal_stream(prt, port, dir_ino)?;
+    let (seqs, txns) = scan_journal_stream(prt, port, journal_key)?;
     let next_seq = seqs.last().map_or(0, |s| s + 1);
     if txns.is_empty() {
         return Ok(Recovery {
@@ -569,15 +717,16 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
     let ops = resolve_renames(prt, port, &txns)?;
 
     // Base state: what the home objects currently say — the directory
-    // inode plus one batched sweep over every dentry bucket.
-    let mut dir = match prt.load_inode(port, dir_ino) {
+    // inode plus one batched sweep over the owned dentry buckets.
+    let mut dir = match prt.load_inode(port, dir_home) {
         Ok(rec) => Some(rec),
         Err(FsError::NotFound) => None,
         Err(e) => return Err(e),
     };
+    let mut dir_replayed = false;
     let mut dentries: HashMap<String, DentryEntry> = HashMap::new();
-    let bucket_ids: Vec<u64> = (0..buckets).collect();
-    for block in prt.load_buckets_many(port, dir_ino, &bucket_ids)? {
+    let bucket_ids: Vec<u64> = (lo..hi).collect();
+    for block in prt.load_buckets_many(port, dir_home, &bucket_ids)? {
         for entry in block.entries {
             dentries.insert(entry.name.clone(), entry);
         }
@@ -585,11 +734,16 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
     let mut put_inodes: HashMap<Ino, InodeRecord> = HashMap::new();
     let mut del_inodes: HashSet<Ino> = HashSet::new();
 
+    let owned = |name: &str| {
+        let b = dentry_bucket(name, buckets);
+        b >= lo && b < hi
+    };
     for op in ops {
         match op {
             JournalOp::PutInode(rec) => {
-                if rec.ino == dir_ino {
+                if rec.ino == dir_home {
                     dir = Some(rec);
+                    dir_replayed = true;
                 } else {
                     del_inodes.remove(&rec.ino);
                     put_inodes.insert(rec.ino, rec);
@@ -599,11 +753,19 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
                 put_inodes.remove(&ino);
                 del_inodes.insert(ino);
             }
+            // Dentry ops outside the owned range cannot appear in this
+            // partition's journal (leaders validate ownership before
+            // journaling); the filter is a defensive bound so a corrupt
+            // stream can never clobber a peer partition's buckets.
             JournalOp::UpsertDentry { name, ino, ftype } => {
-                dentries.insert(name.clone(), DentryEntry { name, ino, ftype });
+                if owned(&name) {
+                    dentries.insert(name.clone(), DentryEntry { name, ino, ftype });
+                }
             }
             JournalOp::RemoveDentry { name } => {
-                dentries.remove(&name);
+                if owned(&name) {
+                    dentries.remove(&name);
+                }
             }
             // 2PC records were folded by resolve_renames.
             JournalOp::RenamePrepare { .. }
@@ -612,11 +774,18 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
         }
     }
 
-    // Write everything back: one batched PUT for every surviving inode
-    // (directory included), one batched DELETE for the dead ones, one
-    // batched bucket write-back, and one batched DELETE of the journal
-    // stream (the scan already listed it — no second LIST).
-    let mut recs: Vec<&InodeRecord> = dir.iter().collect();
+    // Write everything back: one batched PUT for every surviving inode,
+    // one batched DELETE for the dead ones, one batched bucket
+    // write-back, and one batched DELETE of the journal stream (the scan
+    // already listed it — no second LIST). The directory inode is
+    // written by its own partition (journal_key == dir_home) or when the
+    // journal replayed an update to it; secondary partitions otherwise
+    // leave `i<dir>` alone so they never clobber partition 0's copy.
+    let mut recs: Vec<&InodeRecord> = if journal_key == dir_home || dir_replayed {
+        dir.iter().collect()
+    } else {
+        Vec::new()
+    };
     recs.extend(put_inodes.values());
     // Deterministic write-back order (hash-order iteration would jitter
     // virtual-time arrivals between runs).
@@ -625,7 +794,7 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
     let mut dead: Vec<Ino> = del_inodes.into_iter().collect();
     dead.sort_unstable();
     prt.delete_inodes_many(port, &dead)?;
-    let blocks: Vec<(u64, DentryBlock)> = (0..buckets)
+    let blocks: Vec<(u64, DentryBlock)> = (lo..hi)
         .map(|bucket| {
             let mut entries: Vec<DentryEntry> = dentries
                 .values()
@@ -636,9 +805,9 @@ pub fn recover_directory(prt: &Prt, port: &Port, dir_ino: Ino, buckets: u64) -> 
             (bucket, DentryBlock { entries })
         })
         .collect();
-    prt.store_buckets_many(port, dir_ino, &blocks)?;
-    prt.delete_journal_many(port, dir_ino, &seqs)?;
-    prt.meta_span("meta.recover", dir_ino, t0, port.now());
+    prt.store_buckets_many(port, dir_home, &blocks)?;
+    prt.delete_journal_many(port, journal_key, &seqs)?;
+    prt.meta_span("meta.recover", journal_key, t0, port.now());
     Ok(Recovery {
         replayed: txns.len(),
         next_seq,
@@ -876,6 +1045,115 @@ mod tests {
         // Attach over existing name fails.
         let err = dst.attach_child("moved.txt", 9, FileType::Regular, None, 2);
         assert_eq!(err, Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn note_append_reports_once_per_window() {
+        let mut mt = fresh_table();
+        assert_eq!(mt.note_append(0), 0);
+        for _ in 0..98 {
+            assert_eq!(mt.note_append(MSEC), 0);
+        }
+        // The 100th append closes the window: 100 appends over 10 ms.
+        assert_eq!(mt.note_append(RATE_WINDOW), 100 * SEC / RATE_WINDOW);
+        // Counter reset: the next append opens a fresh window.
+        assert_eq!(mt.note_append(RATE_WINDOW + 1), 0);
+    }
+
+    #[test]
+    fn partitioned_load_splits_namespace_and_validates_map() {
+        use crate::partition::PartitionMap;
+        let (prt, port) = setup();
+        let lane = SharedResource::ideal("lane");
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        let mut mt = fresh_table();
+        for i in 0..16u64 {
+            mt.create_child(file_inode(i as Ino + 1), &format!("f{i}"), 0)
+                .unwrap();
+        }
+        mt.flush(&prt, &port, &lane, 0).unwrap();
+
+        prt.store_pmap(
+            &port,
+            &PartitionMap {
+                dir: DIR,
+                epoch: 1,
+                partitions: 2,
+            },
+        )
+        .unwrap();
+
+        // Loads routed with a stale or out-of-range view are refused.
+        assert_eq!(
+            Metatable::load(&prt, &port, DIR, BUCKETS, 1000).err(),
+            Some(FsError::Stale)
+        );
+        assert_eq!(
+            Metatable::load_partition(&prt, &port, DIR, 2, 2, BUCKETS, 1000).err(),
+            Some(FsError::Stale)
+        );
+
+        let p0 = Metatable::load_partition(&prt, &port, DIR, 0, 2, BUCKETS, 1000).unwrap();
+        let p1 = Metatable::load_partition(&prt, &port, DIR, 1, 2, BUCKETS, 1000).unwrap();
+        assert_eq!(p0.pkey(), DIR, "partition 0 keys by the real inode");
+        assert_ne!(p1.pkey(), DIR);
+        assert_eq!((p0.partition(), p0.pcount()), (0, 2));
+        assert_eq!(p0.len() + p1.len(), 16, "partitions tile the namespace");
+        for e in p0.readdir() {
+            assert!(p0.owns_name(&e.name) && !p1.owns_name(&e.name));
+        }
+        for e in p1.readdir() {
+            assert!(p1.owns_name(&e.name) && !p0.owns_name(&e.name));
+        }
+    }
+
+    #[test]
+    fn partitioned_recovery_replays_each_partition_stream() {
+        use crate::partition::PartitionMap;
+        let (prt, port) = setup();
+        let lane = SharedResource::ideal("lane");
+        prt.store_inode(&port, &dir_inode()).unwrap();
+        prt.store_pmap(
+            &port,
+            &PartitionMap {
+                dir: DIR,
+                epoch: 1,
+                partitions: 2,
+            },
+        )
+        .unwrap();
+        let mut p0 = Metatable::load_partition(&prt, &port, DIR, 0, 2, BUCKETS, 1000).unwrap();
+        let mut p1 = Metatable::load_partition(&prt, &port, DIR, 1, 2, BUCKETS, 1000).unwrap();
+        let name0 = (0..)
+            .map(|i| format!("a{i}"))
+            .find(|n| p0.owns_name(n))
+            .unwrap();
+        let name1 = (0..)
+            .map(|i| format!("a{i}"))
+            .find(|n| p1.owns_name(n))
+            .unwrap();
+        p0.create_child(file_inode(1), &name0, 1).unwrap();
+        p1.create_child(file_inode(2), &name1, 1).unwrap();
+        p0.journal.commit(&prt, &port, &lane, 0).unwrap();
+        p1.journal.commit(&prt, &port, &lane, 0).unwrap();
+        let pkey1 = p1.pkey();
+        drop(p0);
+        drop(p1); // crash both leaders before checkpoint
+        assert_eq!(prt.list_journal(&port, DIR).unwrap().len(), 1);
+        assert_eq!(prt.list_journal(&port, pkey1).unwrap().len(), 1);
+
+        // Partition 1's takeover replays only its own stream.
+        let p1 = Metatable::load_partition(&prt, &port, DIR, 1, 2, BUCKETS, 1000).unwrap();
+        assert_eq!(p1.lookup(&name1).unwrap().ino, 2);
+        assert!(prt.list_journal(&port, pkey1).unwrap().is_empty());
+        assert_eq!(
+            prt.list_journal(&port, DIR).unwrap().len(),
+            1,
+            "partition 0's stream is untouched by partition 1's recovery"
+        );
+        let p0 = Metatable::load_partition(&prt, &port, DIR, 0, 2, BUCKETS, 1000).unwrap();
+        assert_eq!(p0.lookup(&name0).unwrap().ino, 1);
+        assert!(p0.lookup(&name1).is_none());
     }
 
     #[test]

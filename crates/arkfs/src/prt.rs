@@ -12,6 +12,7 @@
 //! rather than the whole file.
 
 use crate::meta::{DentryBlock, InodeRecord};
+use crate::partition::{PartitionMap, PMAP_BUCKET};
 use crate::wire::WireCodec;
 use arkfs_objstore::{ObjectKey, ObjectStore, OsError};
 use arkfs_simkit::Port;
@@ -51,6 +52,13 @@ struct MetaCounters {
     /// Sealed transactions pushed back to `running` after a failed
     /// journal append (`journal.commit_retry.count`).
     commit_retries: Arc<Counter>,
+    /// Journal append flights: store round trips carrying sealed
+    /// transactions (a batched multi-PUT is one flight per pipelined
+    /// chunk). With `journal.flight.txns` this exposes the group-commit
+    /// amortization — grouped sealing means fewer, fatter flights.
+    journal_flights: Arc<Counter>,
+    /// Sealed transactions carried by journal append flights.
+    journal_flight_txns: Arc<Counter>,
 }
 
 /// Typed object-storage access for one ArkFS deployment.
@@ -74,6 +82,8 @@ impl Prt {
             batched_deletes: reg.counter("meta.delete.objects"),
             takeover_objects_loaded: reg.counter("meta.takeover.objects"),
             commit_retries: reg.counter("journal.commit_retry.count"),
+            journal_flights: reg.counter("journal.flight.count"),
+            journal_flight_txns: reg.counter("journal.flight.txns"),
         };
         Prt {
             store,
@@ -364,9 +374,82 @@ impl Prt {
         Ok(())
     }
 
+    // ---- partition maps --------------------------------------------------
+
+    /// Load a directory's partition map; an absent object means the
+    /// directory is unpartitioned.
+    pub fn load_pmap(&self, port: &Port, dir: Ino) -> FsResult<Option<PartitionMap>> {
+        match self
+            .store
+            .get(port, ObjectKey::dentry_bucket(dir, PMAP_BUCKET))
+        {
+            Ok(data) => PartitionMap::from_bytes(&data)
+                .map(Some)
+                .map_err(|e| FsError::Io(e.to_string())),
+            Err(OsError::NotFound) => Ok(None),
+            Err(e) => Err(map_os_err(e)),
+        }
+    }
+
+    /// Install a directory's partition map (split/merge epoch change).
+    pub fn store_pmap(&self, port: &Port, map: &PartitionMap) -> FsResult<()> {
+        self.store
+            .put(
+                port,
+                ObjectKey::dentry_bucket(map.dir, PMAP_BUCKET),
+                Bytes::from(map.to_bytes()),
+            )
+            .map_err(map_os_err)
+    }
+
+    /// Remove a directory's partition map (merge back to one partition).
+    /// Idempotent: an absent map already means "one partition".
+    pub fn delete_pmap(&self, port: &Port, dir: Ino) -> FsResult<()> {
+        match self
+            .store
+            .delete(port, ObjectKey::dentry_bucket(dir, PMAP_BUCKET))
+        {
+            Ok(()) | Err(OsError::NotFound) => Ok(()),
+            Err(e) => Err(map_os_err(e)),
+        }
+    }
+
+    /// Batched fetch of a directory's inode and its partition map in one
+    /// two-object flight — max-of-completions pricing makes the map read
+    /// free on the leader-takeover path, where both are always needed.
+    pub fn load_inode_and_pmap(
+        &self,
+        port: &Port,
+        dir: Ino,
+    ) -> FsResult<(Option<InodeRecord>, Option<PartitionMap>)> {
+        self.meta.batched_gets.add(2);
+        let keys = [
+            ObjectKey::inode(dir),
+            ObjectKey::dentry_bucket(dir, PMAP_BUCKET),
+        ];
+        let mut results = self.store.get_many(port, &keys).into_iter();
+        let inode = match results.next().expect("inode slot") {
+            Ok(data) => {
+                Some(InodeRecord::from_bytes(&data).map_err(|e| FsError::Io(e.to_string()))?)
+            }
+            Err(OsError::NotFound) => None,
+            Err(e) => return Err(map_os_err(e)),
+        };
+        let pmap = match results.next().expect("pmap slot") {
+            Ok(data) => {
+                Some(PartitionMap::from_bytes(&data).map_err(|e| FsError::Io(e.to_string()))?)
+            }
+            Err(OsError::NotFound) => None,
+            Err(e) => return Err(map_os_err(e)),
+        };
+        Ok((inode, pmap))
+    }
+
     // ---- journal objects -------------------------------------------------
 
     pub fn put_journal(&self, port: &Port, dir: Ino, seq: u64, data: Bytes) -> FsResult<()> {
+        self.meta.journal_flights.inc();
+        self.meta.journal_flight_txns.inc();
         self.store
             .put(port, ObjectKey::journal(dir, seq), data)
             .map_err(map_os_err)
@@ -394,6 +477,31 @@ impl Prt {
             Ok(()) | Err(OsError::NotFound) => Ok(()),
             Err(e) => Err(map_os_err(e)),
         }
+    }
+
+    /// Group-commit append: one pipelined multi-PUT of sealed
+    /// transactions that may belong to *different* directories sharing a
+    /// commit lane. One flight pays the slowest append instead of one
+    /// store round trip per directory.
+    pub fn put_journal_many(&self, port: &Port, items: &[(Ino, u64, Bytes)]) -> FsResult<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        self.meta.batched_puts.add(items.len() as u64);
+        self.meta.journal_flight_txns.add(items.len() as u64);
+        self.meta
+            .journal_flights
+            .add(items.chunks(Self::MAX_META_FLIGHT).len() as u64);
+        let puts: Vec<(ObjectKey, Bytes)> = items
+            .iter()
+            .map(|(dir, seq, data)| (ObjectKey::journal(*dir, *seq), data.clone()))
+            .collect();
+        for flight in puts.chunks(Self::MAX_META_FLIGHT) {
+            for res in self.store.put_many(port, flight.to_vec()) {
+                res.map_err(map_os_err)?;
+            }
+        }
+        Ok(())
     }
 
     /// Batched journal-object fetch: one pipelined multi-GET over the
@@ -767,5 +875,47 @@ mod tests {
         assert_eq!(prt.list_journal(&port, 10).unwrap(), vec![1, 2]);
         // Other directory's journal is separate.
         assert!(prt.list_journal(&port, 11).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pmap_roundtrip_and_bucket_sweep() {
+        let prt = rados_prt();
+        let port = Port::new();
+        assert_eq!(prt.load_pmap(&port, 5).unwrap(), None);
+        let map = PartitionMap {
+            dir: 5,
+            epoch: 2,
+            partitions: 4,
+        };
+        prt.store_pmap(&port, &map).unwrap();
+        assert_eq!(prt.load_pmap(&port, 5).unwrap(), Some(map.clone()));
+        let (ino, got) = prt.load_inode_and_pmap(&port, 5).unwrap();
+        assert_eq!(ino, None);
+        assert_eq!(got, Some(map));
+        // rmdir's dentry sweep removes the map along with the buckets.
+        prt.delete_buckets(&port, 5).unwrap();
+        assert_eq!(prt.load_pmap(&port, 5).unwrap(), None);
+        prt.delete_pmap(&port, 5).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn grouped_journal_append_lands_per_stream() {
+        let prt = rados_prt();
+        let port = Port::new();
+        prt.put_journal_many(
+            &port,
+            &[
+                (20, 0, Bytes::from_static(b"a")),
+                (21, 0, Bytes::from_static(b"b")),
+                (20, 1, Bytes::from_static(b"c")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(prt.list_journal(&port, 20).unwrap(), vec![0, 1]);
+        assert_eq!(prt.list_journal(&port, 21).unwrap(), vec![0]);
+        assert_eq!(
+            prt.get_journal(&port, 21, 0).unwrap(),
+            Bytes::from_static(b"b")
+        );
     }
 }

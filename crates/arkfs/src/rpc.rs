@@ -57,18 +57,24 @@ pub enum OpBody {
         dir: Ino,
         name: String,
     },
+    /// List one partition's slice of the directory (`partition` is 0 for
+    /// unpartitioned directories); the caller merges the slices.
     Readdir {
         dir: Ino,
+        partition: u32,
     },
-    /// Post-write size/mtime update for a child file.
+    /// Post-write size/mtime update for a child file. `name` routes the
+    /// request to the partition owning the child's dentry.
     SetSize {
         dir: Ino,
+        name: String,
         ino: Ino,
         size: u64,
     },
-    /// setattr on a child file/symlink.
+    /// setattr on a child file/symlink (`name` routes, as in `SetSize`).
     SetAttrChild {
         dir: Ino,
+        name: String,
         ino: Ino,
         attr: SetAttr,
     },
@@ -77,9 +83,11 @@ pub enum OpBody {
         dir: Ino,
         attr: SetAttr,
     },
-    /// Replace the ACL of the directory (`target == dir`) or a child.
+    /// Replace the ACL of the directory (`target == dir`, empty `name`,
+    /// handled by partition 0) or a child (`name` routes).
     SetAcl {
         dir: Ino,
+        name: String,
         target: Ino,
         acl: Acl,
     },
@@ -108,10 +116,12 @@ pub enum OpBody {
         ftype: FileType,
         rec: Option<InodeRecord>,
     },
-    /// 2PC decision. On abort of a source half, `undo` carries the
-    /// detached entry to re-attach.
+    /// 2PC decision; `name` routes it to the partition that journaled
+    /// the matching prepare. On abort of a source half, `undo` carries
+    /// the detached entry to re-attach.
     RenameDecide {
         dir: Ino,
+        name: String,
         txid: u128,
         commit: bool,
         undo: Option<(String, Ino, FileType, Option<InodeRecord>)>,
@@ -137,13 +147,46 @@ pub enum OpBody {
     FlushCache {
         file: Ino,
     },
-    /// Durability barrier on one directory (async commit pipeline):
-    /// seal and flush the running transaction and drain the directory's
-    /// commit lane before responding, so the caller's `fsync` contract
-    /// holds even when the leader acks mutations before durability.
+    /// Durability barrier on one directory partition (async commit
+    /// pipeline): seal and flush the running transaction and drain the
+    /// partition's commit lane before responding, so the caller's
+    /// `fsync` contract holds even when the leader acks mutations before
+    /// durability. A partitioned directory's fsync fans this out to
+    /// every partition.
     FsyncDir {
         dir: Ino,
+        partition: u32,
     },
+    /// Split/merge handoff: ask the current leader of `partition` to
+    /// quiesce it — commit and checkpoint its journal — and release its
+    /// lease so the new partition map can take effect.
+    RelinquishPartition {
+        dir: Ino,
+        partition: u32,
+    },
+}
+
+impl OpBody {
+    /// Whether a successful serve of this op changes directory state
+    /// that an async-mode leader may ack before it is durable. `sync_all`
+    /// uses this to track which directories still owe a barrier.
+    pub fn mutates(&self) -> bool {
+        matches!(
+            self,
+            OpBody::Create { .. }
+                | OpBody::AddSubdir { .. }
+                | OpBody::Unlink { .. }
+                | OpBody::RemoveSubdir { .. }
+                | OpBody::SetSize { .. }
+                | OpBody::SetAttrChild { .. }
+                | OpBody::SetAttrDir { .. }
+                | OpBody::SetAcl { .. }
+                | OpBody::RenameLocal { .. }
+                | OpBody::RenameSrcPrepare { .. }
+                | OpBody::RenameDstPrepare { .. }
+                | OpBody::RenameDecide { .. }
+        )
+    }
 }
 
 /// Responses to [`OpRequest`]s.
@@ -158,7 +201,15 @@ pub enum OpResponse {
     },
     /// An inode record (DirInode, Unlink, SetAttr*).
     Inode(InodeRecord),
-    Entries(Vec<DirEntry>),
+    /// One partition's slice of a readdir, plus the serving table's
+    /// partition count. `partitions` is the staleness guard: a caller
+    /// that routed with an out-of-date map (readdir carries no name for
+    /// the server to validate) sees a count different from the one it
+    /// fanned out over, refreshes its map, and redoes the merge.
+    Entries {
+        entries: Vec<DirEntry>,
+        partitions: u32,
+    },
     /// Rename source half: what was detached.
     Detached {
         ino: Ino,

@@ -177,6 +177,94 @@ fn sealed_depth_gauge_tracks_inflight_and_drains() {
 }
 
 #[test]
+fn fsync_barriers_every_partition_lane() {
+    // Regression: fsync on a file in a partitioned directory must drain
+    // *all* partition commit lanes, not just the lane of the partition
+    // the fsynced name hashes to — other handles' acked creates live in
+    // the other partitions' running transactions.
+    let cl = cluster_with(async_wide_window());
+    let c1 = cl.client();
+    let c2 = cl.client();
+    let ctx = root();
+    c1.mkdir(&ctx, "/d", 0o755).unwrap();
+    c1.sync_all(&ctx).unwrap();
+    let dir = c1.stat(&ctx, "/d").unwrap().ino;
+    c1.set_dir_partitions(&ctx, "/d", 4).unwrap();
+
+    let fhs: Vec<_> = (0..16)
+        .map(|i| c1.create(&ctx, &format!("/d/f{i:02}"), 0o644).unwrap())
+        .collect();
+    for p in 0..4 {
+        let pkey = arkfs::partition::partition_ino(dir, p);
+        assert_eq!(journal_len(&cl, pkey), 0, "partition {p}: acked only");
+    }
+    // One fsync, on one handle; every partition's stream must flush.
+    c1.fsync(&ctx, fhs[0]).unwrap();
+    let durable: usize = (0..4)
+        .map(|p| journal_len(&cl, arkfs::partition::partition_ino(dir, p)))
+        .sum();
+    assert!(
+        durable >= 2,
+        "fsync flushed more than the fsynced partition"
+    );
+
+    // The real contract: a crash right after the single fsync loses
+    // none of the 16 acked creates, whichever partition holds them.
+    c1.crash();
+    c2.port().advance(10 * MSEC);
+    assert_eq!(c2.readdir(&ctx, "/d").unwrap().len(), 16);
+}
+
+#[test]
+fn group_commit_carries_colaned_directories_in_one_flight() {
+    // Two directories sharing a commit lane (test_tiny has 2 lanes, so
+    // inos of equal parity co-lane): when one directory's window
+    // expires and it flushes, the co-laned directory's due work rides
+    // in the same grouped flight instead of queueing its own.
+    let window = 5 * MSEC;
+    let cl = cluster_with(
+        ArkConfig::test_tiny()
+            .with_lease_period(SEC, SEC)
+            .with_async_commit(window, 8),
+    );
+    let c = cl.client();
+    let ctx = root();
+    c.mkdir(&ctx, "/a", 0o755).unwrap();
+    c.mkdir(&ctx, "/b", 0o755).unwrap();
+    c.mkdir(&ctx, "/c", 0o755).unwrap();
+    let (a, b, cc) = (
+        c.stat(&ctx, "/a").unwrap().ino,
+        c.stat(&ctx, "/b").unwrap().ino,
+        c.stat(&ctx, "/c").unwrap().ino,
+    );
+    // Pick two directories on the same lane (same ino parity).
+    let (donor_path, donor) = if a % 2 == cc % 2 {
+        ("/c", cc)
+    } else {
+        ("/b", b)
+    };
+    c.sync_all(&ctx).unwrap();
+
+    // Donor: one acked create, left running (no barrier on it, ever).
+    let fh = c.create(&ctx, &format!("{donor_path}/d0"), 0o644).unwrap();
+    c.close(&ctx, fh).unwrap();
+    assert_eq!(journal_len(&cl, donor), 0, "donor acked, not durable");
+    // Primary: a create, then another after the window expires — the
+    // second mutation seals + flushes /a, and the donor's expired
+    // window makes its transaction ride the same flight.
+    let fh = c.create(&ctx, "/a/f0", 0o644).unwrap();
+    c.close(&ctx, fh).unwrap();
+    c.port().advance(2 * window);
+    let fh = c.create(&ctx, "/a/f1", 0o644).unwrap();
+    c.close(&ctx, fh).unwrap();
+    assert_eq!(
+        journal_len(&cl, donor),
+        1,
+        "donor's running txn rode the primary's grouped flight"
+    );
+}
+
+#[test]
 fn backpressure_stalls_seals_past_the_inflight_window() {
     // A slow (paper-cost) store makes each journal flush a long flight;
     // window 0 seals per mutation. With an in-flight bound of 1 every

@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 const BINS: &[&str] = &[
-    "fig1", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "ablate",
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "ablate",
 ];
 
 fn main() {

@@ -6,8 +6,8 @@
 //! schema-check [--trace <trace.json>] [BENCH_fig4.json ...]
 //! ```
 //!
-//! With no file arguments, checks `BENCH_fig4.json`, `BENCH_fig5.json`
-//! and `BENCH_fig6.json` in the working directory. The check is strict
+//! With no file arguments, checks `BENCH_fig4.json`, `BENCH_fig5.json`,
+//! `BENCH_fig6.json` and `BENCH_fig8.json` in the working directory. The check is strict
 //! both ways: a document fails on *missing* fields (a phase lost its
 //! percentiles) and on *unknown* fields (someone added a metric without
 //! extending this checker and, if needed, bumping the schema version).
@@ -293,6 +293,17 @@ fn expected_metrics(bench: &str) -> Option<Vec<String>> {
                 keys.extend(lat(phase));
             }
         }
+        // fig8 also carries one `sealed_depth_p<i>` gauge per partition,
+        // validated per record against its own `partitions` metric (the
+        // key set varies across records of one document).
+        "fig8" => {
+            keys.push("partitions".to_string());
+            keys.push("create_ops_s".to_string());
+            keys.extend(lat("create"));
+            keys.push("partition_splits".to_string());
+            keys.push("partition_handoffs".to_string());
+            keys.push("lease_handoff_failed".to_string());
+        }
         _ => return None,
     }
     Some(keys)
@@ -315,6 +326,13 @@ fn optional_metric_pairs(bench: &str) -> Vec<(String, String)> {
             ));
         }
     }
+    if bench == "fig8" {
+        pairs.push(("create_ack_p50_ns".into(), "create_ack_p99_ns".into()));
+        pairs.push((
+            "create_durable_p50_ns".into(),
+            "create_durable_p99_ns".into(),
+        ));
+    }
     pairs
 }
 
@@ -324,6 +342,7 @@ fn latency_phases(bench: &str) -> &'static [&'static str] {
         "fig4" => &["create", "stat", "delete"],
         "fig5" => &["write", "stat", "read", "delete"],
         "fig6" => &["write", "read"],
+        "fig8" => &["create"],
         _ => &[],
     }
 }
@@ -384,6 +403,21 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
         let system = rec.get("system").and_then(Json::as_str).unwrap_or("?");
         let metrics = rec.get("metrics").ok_or("metrics missing")?;
         let mkeys: BTreeSet<&str> = metrics.keys().into_iter().collect();
+        // fig8 carries one sealed-depth gauge per partition; the record's
+        // own `partitions` metric says how many this record must have.
+        let per_record: Vec<String> = if bench == "fig8" {
+            let parts = metrics
+                .get("partitions")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("results[{i}] ({system}): partitions missing"))?;
+            (0..parts as usize)
+                .map(|p| format!("sealed_depth_p{p}"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut expected = expected.clone();
+        expected.extend(per_record.iter().map(String::as_str));
         let missing: Vec<&&str> = expected.difference(&mkeys).collect();
         let unknown: Vec<&&str> = mkeys
             .difference(&expected)
@@ -491,9 +525,14 @@ fn main() {
         }
     }
     if benches.is_empty() && traces.is_empty() {
-        benches = ["BENCH_fig4.json", "BENCH_fig5.json", "BENCH_fig6.json"]
-            .map(String::from)
-            .to_vec();
+        benches = [
+            "BENCH_fig4.json",
+            "BENCH_fig5.json",
+            "BENCH_fig6.json",
+            "BENCH_fig8.json",
+        ]
+        .map(String::from)
+        .to_vec();
     }
 
     let mut failed = false;

@@ -144,6 +144,75 @@ pub fn mdtest_easy(
     Ok(MdtestResult { phases, errors })
 }
 
+/// CREATE phase with each process spreading its files round-robin over
+/// `dirs_per_proc` directories it leads itself. With more led
+/// directories than commit lanes, async seals of co-laned directories
+/// land on the same lane — the workload where grouped sealing (one
+/// batched flight carrying every co-laned directory's due
+/// transactions) amortizes against per-dir flights. Setup (unmetered)
+/// creates the per-process directories.
+pub fn fanned_dir_create(
+    clients: &[Arc<dyn SimClient>],
+    dirs_per_proc: u64,
+    files_total: u64,
+) -> FsResult<MdtestResult> {
+    assert!(!clients.is_empty() && dirs_per_proc > 0);
+    let per_proc = (files_total / clients.len() as u64).max(1);
+    clients[0].mkdir(&ctx(), "/fan", 0o755)?;
+    run_fleet(clients, move |i, c| -> FsResult<()> {
+        for d in 0..dirs_per_proc {
+            c.mkdir(&ctx(), &format!("/fan/p{i}-d{d}"), 0o755)?;
+        }
+        Ok(())
+    });
+    let (create, e) = run_phase(clients, "create", per_proc, move |i, c, j| {
+        let d = j % dirs_per_proc;
+        let fh = c.create(&ctx(), &format!("/fan/p{i}-d{d}/f{j}"), 0o644)?;
+        c.close(&ctx(), fh)
+    });
+    Ok(MdtestResult {
+        phases: vec![create],
+        errors: vec![e],
+    })
+}
+
+/// CREATE phase into ONE shared directory: every process creates empty
+/// files into the same directory — the hot-directory worst case that
+/// partitioned dentry leadership targets (Fig. 8). The caller creates
+/// `dir` beforehand (choosing its partition count); `before_sync` runs
+/// after the last create and before the per-client durability barriers,
+/// so in-flight state (e.g. per-partition sealed-depth gauges) can be
+/// observed before the drain zeroes it.
+pub fn shared_dir_create(
+    clients: &[Arc<dyn SimClient>],
+    dir: &str,
+    files_total: u64,
+    before_sync: impl FnOnce(),
+) -> FsResult<MdtestResult> {
+    assert!(!clients.is_empty());
+    let per_proc = (files_total / clients.len() as u64).max(1);
+    let meter = ThroughputMeter::new();
+    let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
+    let errors = crate::client::run_interleaved(clients, per_proc, |i, c, j| {
+        let t0 = c.port().now();
+        let r = c
+            .create(&ctx(), &format!("{dir}/p{i}-f{j}"), 0o644)
+            .and_then(|fh| c.close(&ctx(), fh));
+        meter.record_latency(c.port().now().saturating_sub(t0));
+        r
+    });
+    before_sync();
+    for (i, c) in clients.iter().enumerate() {
+        let _ = c.sync_all(&ctx());
+        meter.record_span(per_proc, starts[i], c.port().now());
+    }
+    barrier(clients);
+    Ok(MdtestResult {
+        phases: vec![meter.finish("create")],
+        errors: vec![errors.into_iter().sum()],
+    })
+}
+
 /// Run mdtest-hard over the fleet: small writes into a shared directory
 /// pool, arbitrary directory per file.
 pub fn mdtest_hard(
