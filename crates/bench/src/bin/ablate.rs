@@ -22,6 +22,7 @@ fn create_throughput(config: ArkConfig, procs: usize, files: u64) -> f64 {
     let cfg = MdtestEasyConfig {
         files_total: files,
         create_only: true,
+        ..Default::default()
     };
     mdtest_easy(&system.clients, &cfg).expect("mdtest").phases[0].ops_per_sec()
 }
@@ -111,6 +112,7 @@ fn main() {
         let wl = MdtestEasyConfig {
             files_total: files,
             create_only: true,
+            ..Default::default()
         };
         let result = mdtest_easy(&system.clients, &wl).expect("mdtest");
         let phase = &result.phases[0];
@@ -354,6 +356,29 @@ fn main() {
         }
     }
 
+    // 7a. Shared-client op/lock-acquisition counts, measured
+    //     deterministically: the same 8-worker op mix multiplexed onto
+    //     the ONE client by the discrete-event engine on one host
+    //     thread. Wall-clock contention cannot show up here — the point
+    //     is that the op count and the striped-lock acquisition count
+    //     are exact, reproducible numbers, so a change in either is a
+    //     code change, not scheduler noise. The wall-clock section below
+    //     keeps measuring the real contention.
+    {
+        let rows: Vec<Vec<String>> = [("striped (16)", 16usize), ("global lock (1)", 1)]
+            .into_iter()
+            .map(|(name, stripes)| {
+                let (ops, acquisitions) = shared_client_engine_counts(stripes);
+                vec![name.to_string(), ops.to_string(), acquisitions.to_string()]
+            })
+            .collect();
+        lines.extend(print_table(
+            "Ablation: shared-client op/lock counts (event engine, deterministic)",
+            &["mode", "ops", "striped lock acquisitions"],
+            &rows,
+        ));
+    }
+
     // 7. Shared-client lock striping: 8 real OS threads hammer ONE
     //    ArkClient with mixed create/write/stat across 8 directories.
     //    Virtual time is oblivious to real-thread contention (the
@@ -431,19 +456,19 @@ fn main() {
     save_results("ablations", &lines);
 }
 
-/// One `ArkClient`, 8 real worker threads, mixed ops across 8 directories.
-/// Returns wall-clock ops/s and the client's lock-acquisition counters.
-fn shared_client_run(stripes: usize) -> (f64, arkfs::LockStats) {
+const SHARED_THREADS: usize = 8;
+const SHARED_FILES: usize = 1000;
+const SHARED_STATS_PER_FILE: usize = 8;
+
+/// Build the one-client deployment and its per-worker directory tree
+/// for the shared-client scenarios. Two path levels per worker: the
+/// root directory's stripe is shared by every resolution no matter the
+/// stripe count, so deeper paths shift lock traffic onto the per-worker
+/// stripes where striping can actually spread it.
+fn shared_client_setup(stripes: usize) -> Arc<arkfs::ArkClient> {
     use arkfs::ArkCluster;
     use arkfs_objstore::{ClusterConfig, ObjectCluster};
     use arkfs_vfs::{Credentials, Vfs};
-    use std::thread;
-    use std::time::Instant;
-
-    const THREADS: usize = 8;
-    const FILES: usize = 1000;
-    const STATS_PER_FILE: usize = 8;
-    const OPS_PER_FILE: u64 = 3 + STATS_PER_FILE as u64; // create, write, close, stats
 
     let config = ArkConfig::default().with_client_lock_stripes(stripes);
     let store_cfg = ClusterConfig::rados(config.spec.clone());
@@ -451,16 +476,64 @@ fn shared_client_run(stripes: usize) -> (f64, arkfs::LockStats) {
     let cluster = ArkCluster::new(config, store);
     let client = cluster.client();
     let ctx = Credentials::root();
-    // Two path levels per thread: the root directory's stripe is shared
-    // by every resolution no matter the stripe count, so deeper paths
-    // shift lock traffic onto the per-thread stripes where striping can
-    // actually spread it.
-    for i in 0..THREADS {
+    for i in 0..SHARED_THREADS {
         client.mkdir(&ctx, &format!("/d{i}"), 0o755).unwrap();
         for j in 0..4 {
             client.mkdir(&ctx, &format!("/d{i}/s{j}"), 0o755).unwrap();
         }
     }
+    client
+}
+
+/// The shared-client op mix as engine-driven generators: 8 per-worker
+/// op streams multiplexed onto ONE client. Returns (ops executed,
+/// striped lock acquisitions) — both deterministic.
+fn shared_client_engine_counts(stripes: usize) -> (u64, u64) {
+    use arkfs_workloads::{gen_iter, run_ops, Drive, Op, OpGen};
+
+    let client = shared_client_setup(stripes);
+    let clients: Vec<Arc<dyn SimClient>> = (0..SHARED_THREADS)
+        .map(|_| Arc::clone(&client) as Arc<dyn SimClient>)
+        .collect();
+    let gens: Vec<Box<dyn OpGen>> = (0..SHARED_THREADS)
+        .map(|i| {
+            gen_iter((0..SHARED_FILES).flat_map(move |k| {
+                let path = format!("/d{i}/s{}/f{k}", k % 4);
+                let mut ops = vec![
+                    Op::OpenCreate { path: path.clone() },
+                    Op::Write {
+                        off: 0,
+                        len: 4096,
+                        fill: i as u8,
+                    },
+                    Op::Close,
+                ];
+                ops.extend((0..SHARED_STATS_PER_FILE).map(|_| Op::Stat { path: path.clone() }));
+                ops.into_iter()
+            }))
+        })
+        .collect();
+    let report = run_ops(&clients, gens, Drive::Engine, None);
+    assert_eq!(report.total_errors(), 0, "shared-client engine ops failed");
+    (
+        report.ops.iter().sum(),
+        client.lock_stats().striped().acquisitions,
+    )
+}
+
+/// One `ArkClient`, 8 real worker threads, mixed ops across 8 directories.
+/// Returns wall-clock ops/s and the client's lock-acquisition counters.
+fn shared_client_run(stripes: usize) -> (f64, arkfs::LockStats) {
+    use arkfs_vfs::{Credentials, Vfs};
+    use std::thread;
+    use std::time::Instant;
+
+    const THREADS: usize = SHARED_THREADS;
+    const FILES: usize = SHARED_FILES;
+    const STATS_PER_FILE: usize = SHARED_STATS_PER_FILE;
+    const OPS_PER_FILE: u64 = 3 + STATS_PER_FILE as u64; // create, write, close, stats
+
+    let client = shared_client_setup(stripes);
 
     let t0 = Instant::now();
     let workers: Vec<_> = (0..THREADS)

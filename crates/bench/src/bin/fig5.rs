@@ -36,6 +36,7 @@ fn main() {
         dirs: 16,
         file_size: 3901,
         seed: 42,
+        ..Default::default()
     };
     let mut rows = Vec::new();
     let mut records = Vec::new();

@@ -13,19 +13,20 @@
 //!
 //! With `--check`, after regenerating, fail if any committed artifact
 //! drifted from what the binaries now produce (`git diff --exit-code`).
-//! The single-thread-per-client benches are virtual-time deterministic
-//! (verified by back-to-back runs), so a diff means code changed
-//! benchmark behaviour without `regen-results` being re-run. Excluded
-//! from the check, having real run-to-run variance: `ablations.txt`
-//! (wall-clock lock-striping section) and `fig7.txt` / `table2.txt`
-//! (many OS threads racing on shared virtual resources, so reservation
-//! order varies with the scheduler).
+//! The engine-driven benches are virtual-time deterministic (verified
+//! by back-to-back runs), so a diff means code changed benchmark
+//! behaviour without `regen-results` being re-run. `fig7` is included
+//! since the discrete-event engine replaced its threaded setup.
+//! Excluded from the check, having real run-to-run variance:
+//! `ablations.txt` (wall-clock lock-striping section) and `table2.txt`
+//! (tar workloads still race OS threads on shared virtual resources,
+//! so reservation order varies with the scheduler).
 
 use std::path::PathBuf;
 use std::process::Command;
 
 const BINS: &[&str] = &[
-    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "ablate",
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "ablate",
 ];
 
 fn main() {
@@ -69,7 +70,6 @@ fn main() {
                 "BENCH_*.json",
                 "results",
                 ":(exclude)results/ablations.txt",
-                ":(exclude)results/fig7.txt",
                 ":(exclude)results/table2.txt",
             ])
             .status()

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! With no file arguments, checks `BENCH_fig4.json`, `BENCH_fig5.json`,
-//! `BENCH_fig6.json` and `BENCH_fig8.json` in the working directory. The check is strict
+//! `BENCH_fig6.json`, `BENCH_fig8.json` and `BENCH_fig9.json` in the
+//! working directory. The check is strict
 //! both ways: a document fails on *missing* fields (a phase lost its
 //! percentiles) and on *unknown* fields (someone added a metric without
 //! extending this checker and, if needed, bumping the schema version).
@@ -304,6 +305,18 @@ fn expected_metrics(bench: &str) -> Option<Vec<String>> {
             keys.push("partition_handoffs".to_string());
             keys.push("lease_handoff_failed".to_string());
         }
+        // fig9 is the event-engine scaling curve: one record per client
+        // count, each carrying the saturation telemetry for that point.
+        "fig9" => {
+            keys.push("clients".to_string());
+            keys.push("create_ops_s".to_string());
+            keys.extend(lat("create"));
+            keys.push("lease_acquires".to_string());
+            keys.push("lease_retries".to_string());
+            keys.push("lease_redirects".to_string());
+            keys.push("journal_flights".to_string());
+            keys.push("partition_splits".to_string());
+        }
         _ => return None,
     }
     Some(keys)
@@ -326,7 +339,7 @@ fn optional_metric_pairs(bench: &str) -> Vec<(String, String)> {
             ));
         }
     }
-    if bench == "fig8" {
+    if bench == "fig8" || bench == "fig9" {
         pairs.push(("create_ack_p50_ns".into(), "create_ack_p99_ns".into()));
         pairs.push((
             "create_durable_p50_ns".into(),
@@ -343,6 +356,7 @@ fn latency_phases(bench: &str) -> &'static [&'static str] {
         "fig5" => &["write", "stat", "read", "delete"],
         "fig6" => &["write", "read"],
         "fig8" => &["create"],
+        "fig9" => &["create"],
         _ => &[],
     }
 }
@@ -463,6 +477,25 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
             }
         }
     }
+    // fig9 is a scaling curve: one record per client count, strictly
+    // increasing, so consumers can treat the results array as the X axis.
+    if bench == "fig9" {
+        let mut prev = 0.0f64;
+        for (i, rec) in results.iter().enumerate() {
+            let clients = rec
+                .get("metrics")
+                .and_then(|m| m.get("clients"))
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("results[{i}]: clients missing"))?;
+            if clients <= prev {
+                return Err(format!(
+                    "results[{i}]: client counts must be strictly increasing \
+                     ({clients} after {prev})"
+                ));
+            }
+            prev = clients;
+        }
+    }
     Ok(())
 }
 
@@ -530,6 +563,7 @@ fn main() {
             "BENCH_fig5.json",
             "BENCH_fig6.json",
             "BENCH_fig8.json",
+            "BENCH_fig9.json",
         ]
         .map(String::from)
         .to_vec();

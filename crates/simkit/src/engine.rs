@@ -1,0 +1,250 @@
+//! Discrete-event client engine: one host thread multiplexing thousands
+//! of simulated clients in causal virtual-time order.
+//!
+//! Every workload operation in this workspace is a *synchronous* call
+//! that advances the calling client's [`crate::Port`] — an RPC's reply
+//! time, a store round trip, a commit-lane wait are all folded into the
+//! completion time the op returns at. Concurrency between simulated
+//! clients therefore does not need OS threads at all; it needs the ops
+//! of different clients to arrive at the shared resources in the order
+//! their virtual clocks dictate. The [`Engine`] provides exactly that: a
+//! binary-heap run queue keyed by each actor's current virtual time that
+//! always steps the *earliest* actor next.
+//!
+//! Stepping the minimum-time actor gives two properties the thread pool
+//! and the round-robin interleaver cannot:
+//!
+//! * **Causality.** When an actor's step jumps its clock far ahead (an
+//!   RPC reply, a lease wait), it is not stepped again until every other
+//!   actor has caught up past its old time — so no actor issues a
+//!   request *after* (in virtual time) a reply it has not yet received,
+//!   and arrivals at [`crate::SharedResource`]s are near-sorted.
+//! * **Determinism.** One host thread, one heap, stable FIFO tie-break:
+//!   the step sequence — and every reservation order derived from it —
+//!   is a pure function of the actors' op streams.
+//!
+//! Cost is O(log n) per step with zero per-client OS state, so 10k–100k
+//! simulated clients multiplex comfortably on one thread.
+
+use crate::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One schedulable simulated client.
+///
+/// `now()` is the run-queue key: the virtual time at which the actor's
+/// next step would begin. `step()` performs one unit of work (typically
+/// one workload op), advancing the actor's clock, and returns `false`
+/// once the actor is exhausted.
+pub trait Actor {
+    /// Virtual time of the actor's next step.
+    fn now(&self) -> Nanos;
+
+    /// Run one unit of work. Returns `true` while more work remains.
+    fn step(&mut self) -> bool;
+}
+
+/// Aggregate statistics of one [`Engine::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total steps executed across all actors.
+    pub steps: u64,
+    /// Maximum virtual time reached by any actor.
+    pub end_time: Nanos,
+}
+
+/// The discrete-event run queue. See the module docs.
+#[derive(Debug, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Drive `actors` to completion on the calling thread, always
+    /// stepping the actor with the smallest `now()`. Ties are broken
+    /// FIFO (by re-queue order), so actors whose clocks advance in
+    /// lock-step are stepped round-robin, matching how simultaneous
+    /// requests from distinct processes would interleave.
+    ///
+    /// The run queue never steps an actor while another live actor's
+    /// virtual time is smaller — the causal-ordering invariant the unit
+    /// tests pin. In debug builds it is asserted on every pop.
+    pub fn run<A: Actor>(actors: &mut [A]) -> EngineStats {
+        // Min-heap of (next-step time, FIFO seq) → actor index.
+        let mut heap: BinaryHeap<Reverse<(Nanos, u64, usize)>> =
+            BinaryHeap::with_capacity(actors.len());
+        let mut seq: u64 = 0;
+        for (i, a) in actors.iter().enumerate() {
+            heap.push(Reverse((a.now(), seq, i)));
+            seq += 1;
+        }
+        let mut stats = EngineStats::default();
+        let mut frontier: Nanos = 0;
+        while let Some(Reverse((t, _, i))) = heap.pop() {
+            debug_assert!(
+                t >= frontier,
+                "run queue stepped backwards: {t} < frontier {frontier}"
+            );
+            debug_assert!(
+                heap.peek().is_none_or(|Reverse((u, _, _))| *u >= t),
+                "popped actor is not the global minimum"
+            );
+            frontier = t;
+            stats.steps += 1;
+            let more = actors[i].step();
+            let now = actors[i].now();
+            stats.end_time = stats.end_time.max(now);
+            if more {
+                // Re-queue at the actor's post-step time. A step that
+                // did not advance the clock re-queues behind every other
+                // actor already waiting at the same instant (FIFO seq).
+                heap.push(Reverse((now.max(t), seq, i)));
+                seq += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type StepLog = std::rc::Rc<std::cell::RefCell<Vec<(Nanos, usize)>>>;
+
+    /// A scripted actor: each entry is the absolute virtual time its
+    /// clock lands on after that step (e.g. an RPC reply arrival).
+    struct Scripted {
+        id: usize,
+        now: Nanos,
+        script: Vec<Nanos>,
+        next: usize,
+        log: StepLog,
+    }
+
+    impl Actor for Scripted {
+        fn now(&self) -> Nanos {
+            self.now
+        }
+
+        fn step(&mut self) -> bool {
+            self.log.borrow_mut().push((self.now, self.id));
+            self.now = self.now.max(self.script[self.next]);
+            self.next += 1;
+            self.next < self.script.len()
+        }
+    }
+
+    fn scripted(scripts: Vec<Vec<Nanos>>) -> (Vec<Scripted>, StepLog) {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let actors = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(id, script)| Scripted {
+                id,
+                now: 0,
+                script,
+                next: 0,
+                log: std::rc::Rc::clone(&log),
+            })
+            .collect();
+        (actors, log)
+    }
+
+    #[test]
+    fn steps_in_global_time_order() {
+        // Client 0's first step jumps it to t=100 (a slow RPC); client 1
+        // takes small steps. Client 1 must be stepped repeatedly before
+        // client 0 runs again.
+        let (mut actors, log) = scripted(vec![vec![100, 110], vec![10, 20, 30, 120]]);
+        let stats = Engine::run(&mut actors);
+        assert_eq!(stats.steps, 6);
+        let order: Vec<(Nanos, usize)> = log.borrow().clone();
+        assert_eq!(
+            order,
+            vec![(0, 0), (0, 1), (10, 1), (20, 1), (30, 1), (100, 0)]
+        );
+        assert_eq!(stats.end_time, 120);
+    }
+
+    #[test]
+    fn never_steps_ahead_of_a_causally_pending_reply() {
+        // The causal invariant: when an actor is stepped at time t,
+        // every other live actor's clock is >= t. An actor whose
+        // in-flight RPC reply lands at time R is keyed at R, so no
+        // other actor observes the world "between" its request and its
+        // reply out of order. Pin it over a pseudo-random schedule.
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        let mut rand = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let scripts: Vec<Vec<Nanos>> = (0..32)
+            .map(|_| {
+                let mut t = 0u64;
+                (0..64)
+                    .map(|_| {
+                        // Mostly short local ops, occasionally a long
+                        // "RPC" that parks the client far in the future.
+                        let jump = if rand() % 8 == 0 { 10_000 } else { 10 };
+                        t += 1 + rand() % jump;
+                        t
+                    })
+                    .collect()
+            })
+            .collect();
+        let (mut actors, log) = scripted(scripts);
+        let stats = Engine::run(&mut actors);
+        assert_eq!(stats.steps, 32 * 64);
+        // Replay the log and check the global step times never decrease:
+        // a decrease would mean some client was stepped while another
+        // (earlier) client still had a pending reply to act on.
+        let order = log.borrow();
+        for w in order.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0,
+                "step at t={} for client {} after t={} for client {}",
+                w[1].0,
+                w[1].1,
+                w[0].0,
+                w[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn equal_times_step_fifo() {
+        // Three actors whose clocks never move: each step re-queues at
+        // the same time, behind the others — round-robin, not
+        // starvation of the higher-indexed actors.
+        let (mut actors, log) = scripted(vec![vec![0, 0], vec![0, 0], vec![0, 0]]);
+        Engine::run(&mut actors);
+        let ids: Vec<usize> = log.borrow().iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single_actor_runs() {
+        let (mut none, _) = scripted(vec![]);
+        assert_eq!(Engine::run(&mut none), EngineStats::default());
+        let (mut one, log) = scripted(vec![vec![5, 7, 9]]);
+        let stats = Engine::run(&mut one);
+        assert_eq!(stats.steps, 3);
+        assert_eq!(stats.end_time, 9);
+        assert_eq!(log.borrow().len(), 3);
+    }
+
+    #[test]
+    fn scales_to_many_actors_on_one_thread() {
+        // 20k actors, a few steps each: completes instantly and the
+        // step count is exact — the "multiplex 10k+ clients with zero
+        // OS-thread cost" claim in miniature.
+        let scripts: Vec<Vec<Nanos>> = (0..20_000u64)
+            .map(|i| (1..=4).map(|s| i + s * 100).collect())
+            .collect();
+        let (mut actors, _) = scripted(scripts);
+        let stats = Engine::run(&mut actors);
+        assert_eq!(stats.steps, 80_000);
+    }
+}

@@ -10,17 +10,21 @@
 //! deterministically and at laptop speed.
 //!
 //! The kit also provides a deterministic [`events::EventQueue`] for
-//! single-threaded scenario tests (lease expiry, crash/recovery timing)
+//! single-threaded scenario tests (lease expiry, crash/recovery timing),
+//! the discrete-event [`engine::Engine`] that multiplexes thousands of
+//! simulated clients on one host thread in causal virtual-time order,
 //! and [`stats`] utilities used to emit the paper's tables and figures.
 
 pub mod clock;
 pub mod costs;
+pub mod engine;
 pub mod events;
 pub mod stats;
 pub mod timeline;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use costs::ClusterSpec;
+pub use engine::{Actor, Engine, EngineStats};
 pub use events::EventQueue;
 pub use stats::{Histogram, PhaseResult, ThroughputMeter};
 pub use timeline::{BandwidthResource, Port, SharedResource, Timeline};

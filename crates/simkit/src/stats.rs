@@ -108,21 +108,51 @@ pub struct ThroughputMeter {
     inner: Mutex<MeterInner>,
 }
 
+/// Raw samples kept before the meter switches from exact order
+/// statistics to reservoir sampling. Sized so every committed bench
+/// phase (≤ 100k ops at default scales) stays exact to the nanosecond,
+/// while a 16k-client scaling run recording millions of per-op
+/// latencies holds at most ~2 MiB instead of growing without bound.
+pub const SAMPLE_CAP: usize = 262_144;
+
 #[derive(Debug, Default)]
 struct MeterInner {
     ops: u64,
     start: Option<Nanos>,
     end: Nanos,
-    /// Every recorded per-op latency, raw. Percentiles are computed
-    /// exactly at `finish`: benchmark phases where many ops share one
-    /// deterministic cost would otherwise collapse p50 and p99 onto
-    /// the same log-linear bucket upper bound, overstating both.
+    /// Recorded per-op latencies: every sample raw up to the cap, a
+    /// uniform reservoir (Algorithm R) beyond it. Exact percentiles for
+    /// phases where many ops share one deterministic cost would
+    /// otherwise collapse p50 and p99 onto the same log-linear bucket
+    /// upper bound; the reservoir keeps that exactness below the cap
+    /// and bounds host memory above it.
     lat: Vec<Nanos>,
+    /// Total samples recorded (may exceed `lat.len()` once capped).
+    lat_count: u64,
+    /// Exact running sum and max, independent of sampling.
+    lat_sum: u128,
+    lat_max: Nanos,
+    /// SplitMix64 state for reservoir replacement. Fixed seed: with a
+    /// deterministic record order (the event engine's), the sampled
+    /// percentiles are reproducible run to run.
+    rng: u64,
+}
+
+const RESERVOIR_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl ThroughputMeter {
     pub fn new() -> Self {
-        Self::default()
+        let meter = Self::default();
+        meter.inner.lock().rng = RESERVOIR_SEED;
+        meter
     }
 
     /// Record one client's span: it performed `ops` operations between
@@ -134,13 +164,42 @@ impl ThroughputMeter {
         inner.end = inner.end.max(end);
     }
 
-    /// Record one operation's latency.
+    /// Record one operation's latency. The first [`SAMPLE_CAP`] samples
+    /// are kept raw; beyond that each new sample replaces a uniformly
+    /// chosen reservoir slot with probability cap/n (Algorithm R), so
+    /// the retained set stays a uniform sample of everything recorded.
     pub fn record_latency(&self, lat: Nanos) {
-        self.inner.lock().lat.push(lat);
+        let mut inner = self.inner.lock();
+        inner.lat_count += 1;
+        inner.lat_sum += lat as u128;
+        inner.lat_max = inner.lat_max.max(lat);
+        if inner.lat.len() < SAMPLE_CAP {
+            inner.lat.push(lat);
+        } else {
+            let n = inner.lat_count;
+            let j = splitmix(&mut inner.rng) % n;
+            if (j as usize) < SAMPLE_CAP {
+                inner.lat[j as usize] = lat;
+            }
+        }
+    }
+
+    /// Total latency samples recorded (including ones the reservoir has
+    /// since replaced).
+    pub fn latency_samples(&self) -> u64 {
+        self.inner.lock().lat_count
+    }
+
+    /// Whether percentiles will be reservoir estimates rather than
+    /// exact order statistics.
+    pub fn is_sampled(&self) -> bool {
+        self.inner.lock().lat_count as usize > SAMPLE_CAP
     }
 
     /// Finish the phase and produce its result. Percentiles are exact
-    /// order statistics over the recorded samples (nearest-rank).
+    /// order statistics (nearest-rank) while at most [`SAMPLE_CAP`]
+    /// latencies were recorded, and nearest-rank estimates over the
+    /// uniform reservoir beyond that; mean and max are always exact.
     pub fn finish(&self, name: impl Into<String>) -> PhaseResult {
         let mut inner = self.inner.lock();
         let start = inner.start.unwrap_or(0);
@@ -155,10 +214,10 @@ impl ThroughputMeter {
             let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
             lat[rank - 1]
         };
-        let mean = if n == 0 {
+        let mean = if inner.lat_count == 0 {
             0.0
         } else {
-            lat.iter().map(|&v| v as u128).sum::<u128>() as f64 / n as f64
+            inner.lat_sum as f64 / inner.lat_count as f64
         };
         PhaseResult {
             name: name.into(),
@@ -169,7 +228,7 @@ impl ThroughputMeter {
             latency_p90: pct(0.90),
             latency_p99: pct(0.99),
             latency_p999: pct(0.999),
-            latency_max: lat.last().copied().unwrap_or(0),
+            latency_max: inner.lat_max,
         }
     }
 }
@@ -310,6 +369,61 @@ mod tests {
         assert_eq!(r.latency_p99, 50_000);
         assert_eq!(r.latency_max, 50_000);
         assert!((r.latency_mean - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_bounds_memory_and_stays_accurate() {
+        // 4x the cap: retained samples never exceed SAMPLE_CAP, mean
+        // and max stay exact, and percentile estimates of a uniform
+        // ramp stay within 1% of truth.
+        let m = ThroughputMeter::new();
+        let total = (SAMPLE_CAP * 4) as u64;
+        m.record_span(total, 0, SEC);
+        for i in 1..=total {
+            m.record_latency(i);
+        }
+        assert!(m.is_sampled());
+        assert_eq!(m.latency_samples(), total);
+        assert!(m.inner.lock().lat.len() <= SAMPLE_CAP);
+        let r = m.finish("hot");
+        assert_eq!(r.latency_max, total, "max is exact");
+        assert!((r.latency_mean - (total + 1) as f64 / 2.0).abs() < 1e-3);
+        for (q, v) in [(0.50, r.latency_p50), (0.99, r.latency_p99)] {
+            let truth = (q * total as f64) as u64;
+            let err = (v as f64 - truth as f64).abs() / total as f64;
+            assert!(err < 0.01, "p{q}: estimate {v} vs truth {truth}");
+        }
+        assert!(r.latency_p50 <= r.latency_p90);
+        assert!(r.latency_p90 <= r.latency_p99);
+        assert!(r.latency_p99 <= r.latency_p999);
+        assert!(r.latency_p999 <= r.latency_max);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let run = || {
+            let m = ThroughputMeter::new();
+            m.record_span(1, 0, SEC);
+            for i in 0..(SAMPLE_CAP as u64 + 50_000) {
+                m.record_latency(i.wrapping_mul(0x9E37_79B9) % 1_000_000);
+            }
+            m.finish("x")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn below_cap_stays_exact() {
+        let m = ThroughputMeter::new();
+        m.record_span(100, 0, SEC);
+        for i in 1..=100u64 {
+            m.record_latency(i);
+        }
+        assert!(!m.is_sampled());
+        let r = m.finish("cold");
+        assert_eq!(r.latency_p50, 50);
+        assert_eq!(r.latency_p99, 99);
+        assert_eq!(r.latency_max, 100);
     }
 
     #[test]

@@ -102,28 +102,6 @@ pub fn barrier(clients: &[Arc<dyn SimClient>]) {
     }
 }
 
-/// Drive one operation per `(client, index)` pair in round-robin order on
-/// the calling thread. Virtual arrivals of different clients interleave
-/// the way concurrent processes' requests would, which keeps the shared
-/// resources' queueing model honest (thread scheduling skew would
-/// otherwise let one client's whole run land on the timeline first).
-/// Returns the per-client error counts.
-pub fn run_interleaved(
-    clients: &[Arc<dyn SimClient>],
-    per_client: u64,
-    op: impl Fn(usize, &Arc<dyn SimClient>, u64) -> arkfs_vfs::FsResult<()>,
-) -> Vec<u64> {
-    let mut errors = vec![0u64; clients.len()];
-    for j in 0..per_client {
-        for (i, c) in clients.iter().enumerate() {
-            if op(i, c, j).is_err() {
-                errors[i] += 1;
-            }
-        }
-    }
-    errors
-}
-
 /// Run one closure per client on its own OS thread, returning the
 /// per-client results. The closures drive real concurrency; time is
 /// virtual per client.

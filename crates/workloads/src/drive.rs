@@ -1,0 +1,280 @@
+//! Workload drivers: run per-client op generators on either the
+//! discrete-event engine (default — one host thread, causal
+//! virtual-time order, deterministic) or the legacy one-OS-thread-per-
+//! client pool (kept as the differential oracle and for wall-clock
+//! lock-contention scenarios).
+
+use crate::client::SimClient;
+use crate::ops::{exec_op, Op, OpGen, OpState};
+use arkfs_simkit::{Actor, Engine, Nanos, ThroughputMeter};
+use std::sync::Arc;
+
+/// Which driver executes the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Drive {
+    /// Discrete-event engine: one host thread multiplexes every client,
+    /// stepping the one with the smallest virtual time. Deterministic.
+    #[default]
+    Engine,
+    /// Legacy pool: one OS thread per client, each draining its
+    /// generator. Real thread racing; virtual arrival order varies with
+    /// the scheduler. Only sensible for small fleets.
+    Threads,
+}
+
+/// Outcome of driving one fleet of generators.
+#[derive(Debug, Clone, Default)]
+pub struct DriveReport {
+    /// Per-client executed op count.
+    pub ops: Vec<u64>,
+    /// Per-client error count.
+    pub errors: Vec<u64>,
+    /// Per-client op outcomes in generation order (`true` = ok), for
+    /// differential checks between drivers.
+    pub outcomes: Vec<Vec<bool>>,
+}
+
+impl DriveReport {
+    pub fn total_errors(&self) -> u64 {
+        self.errors.iter().sum()
+    }
+}
+
+/// One simulated client bound to its op stream: the engine's actor.
+struct ClientActor<'a, G> {
+    client: &'a Arc<dyn SimClient>,
+    gen: G,
+    state: OpState,
+    /// Next op, pre-fetched so `now()` can be consulted before stepping.
+    pending: Option<Op>,
+    meter: Option<&'a ThroughputMeter>,
+    ops: u64,
+    errors: u64,
+    outcomes: Vec<bool>,
+}
+
+impl<'a, G: OpGen> ClientActor<'a, G> {
+    fn new(client: &'a Arc<dyn SimClient>, mut gen: G, meter: Option<&'a ThroughputMeter>) -> Self {
+        let pending = gen.next_op();
+        ClientActor {
+            client,
+            gen,
+            state: OpState::new(),
+            pending,
+            meter,
+            ops: 0,
+            errors: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
+    fn exec_pending(&mut self) -> bool {
+        let Some(op) = self.pending.take() else {
+            return false;
+        };
+        let t0 = self.client.port().now();
+        let ok = exec_op(self.client.as_ref(), &mut self.state, &op).is_ok();
+        if let Some(meter) = self.meter {
+            if !matches!(op, Op::Unmetered(_)) {
+                meter.record_latency(self.client.port().now().saturating_sub(t0));
+            }
+        }
+        self.ops += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        self.outcomes.push(ok);
+        self.pending = self.gen.next_op();
+        self.pending.is_some()
+    }
+}
+
+impl<G: OpGen> Actor for ClientActor<'_, G> {
+    fn now(&self) -> Nanos {
+        self.client.port().now()
+    }
+
+    fn step(&mut self) -> bool {
+        self.exec_pending()
+    }
+}
+
+/// Drive one generator per client. `clients` and `gens` pair up by
+/// index (the same client may appear more than once — e.g. several
+/// workers multiplexed onto one mounted client). When `meter` is given,
+/// every op's virtual-time latency is recorded on it.
+pub fn run_ops(
+    clients: &[Arc<dyn SimClient>],
+    gens: Vec<Box<dyn OpGen>>,
+    drive: Drive,
+    meter: Option<&ThroughputMeter>,
+) -> DriveReport {
+    assert_eq!(
+        clients.len(),
+        gens.len(),
+        "one generator per client required"
+    );
+    match drive {
+        Drive::Engine => {
+            let mut actors: Vec<ClientActor<Box<dyn OpGen>>> = clients
+                .iter()
+                .zip(gens)
+                .map(|(c, g)| ClientActor::new(c, g, meter))
+                .collect();
+            // Drop already-exhausted generators from the run queue.
+            Engine::run(&mut actors);
+            let mut report = DriveReport::default();
+            for a in actors {
+                report.ops.push(a.ops);
+                report.errors.push(a.errors);
+                report.outcomes.push(a.outcomes);
+            }
+            report
+        }
+        Drive::Threads => {
+            let results: Vec<(u64, u64, Vec<bool>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = clients
+                    .iter()
+                    .zip(gens)
+                    .map(|(c, g)| {
+                        scope.spawn(move || {
+                            let mut actor = ClientActor::new(c, g, meter);
+                            while actor.exec_pending() {}
+                            (actor.ops, actor.errors, actor.outcomes)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("workload thread panicked"))
+                    .collect()
+            });
+            let mut report = DriveReport::default();
+            for (ops, errors, outcomes) in results {
+                report.ops.push(ops);
+                report.errors.push(errors);
+                report.outcomes.push(outcomes);
+            }
+            report
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gen_iter;
+    use arkfs::{ArkCluster, ArkConfig};
+    use arkfs_objstore::{ClusterConfig, ObjectCluster};
+    use arkfs_vfs::Credentials;
+
+    fn fleet(n: usize) -> Vec<Arc<dyn SimClient>> {
+        let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
+        let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
+        (0..n)
+            .map(|_| cluster.client() as Arc<dyn SimClient>)
+            .collect()
+    }
+
+    fn create_gens(n: usize, per: u64) -> Vec<Box<dyn OpGen>> {
+        (0..n)
+            .map(|i| {
+                gen_iter((0..per).map(move |j| Op::Create {
+                    path: format!("/w/p{i}-f{j}"),
+                }))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_drive_executes_everything() {
+        let clients = fleet(4);
+        clients[0].mkdir(&Credentials::root(), "/w", 0o755).unwrap();
+        let meter = ThroughputMeter::new();
+        let report = run_ops(&clients, create_gens(4, 8), Drive::Engine, Some(&meter));
+        assert_eq!(report.ops, vec![8, 8, 8, 8]);
+        assert_eq!(report.total_errors(), 0);
+        assert_eq!(meter.latency_samples(), 32);
+        assert!(report.outcomes.iter().all(|o| o.iter().all(|&b| b)));
+        assert_eq!(
+            clients[0]
+                .readdir(&Credentials::root(), "/w")
+                .unwrap()
+                .len(),
+            32
+        );
+    }
+
+    #[test]
+    fn thread_drive_matches_engine_namespace() {
+        let run = |drive: Drive| {
+            let clients = fleet(3);
+            clients[0].mkdir(&Credentials::root(), "/w", 0o755).unwrap();
+            let report = run_ops(&clients, create_gens(3, 5), drive, None);
+            let mut names: Vec<String> = clients[0]
+                .readdir(&Credentials::root(), "/w")
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
+            names.sort();
+            (report.outcomes, names)
+        };
+        let (eng_out, eng_ns) = run(Drive::Engine);
+        let (thr_out, thr_ns) = run(Drive::Threads);
+        assert_eq!(eng_out, thr_out);
+        assert_eq!(eng_ns, thr_ns);
+    }
+
+    #[test]
+    fn errors_are_counted_per_client() {
+        let clients = fleet(2);
+        let gens: Vec<Box<dyn OpGen>> = vec![
+            gen_iter(std::iter::once(Op::Stat {
+                path: "/missing".into(),
+            })),
+            gen_iter(std::iter::once(Op::Mkdir { path: "/ok".into() })),
+        ];
+        let report = run_ops(&clients, gens, Drive::Engine, None);
+        assert_eq!(report.errors, vec![1, 0]);
+        assert_eq!(report.outcomes, vec![vec![false], vec![true]]);
+    }
+
+    #[test]
+    fn unmetered_ops_skip_the_latency_distribution() {
+        let clients = fleet(1);
+        let meter = ThroughputMeter::new();
+        let gens: Vec<Box<dyn OpGen>> = vec![gen_iter(
+            [
+                Op::Unmetered(Box::new(Op::Mkdir { path: "/w".into() })),
+                Op::Create {
+                    path: "/w/f0".into(),
+                },
+                Op::Create {
+                    path: "/w/f1".into(),
+                },
+                Op::Unmetered(Box::new(Op::SyncAll)),
+            ]
+            .into_iter(),
+        )];
+        let report = run_ops(&clients, gens, Drive::Engine, Some(&meter));
+        // All four ops executed, but only the two creates were sampled.
+        assert_eq!(report.ops, vec![4]);
+        assert_eq!(meter.latency_samples(), 2);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let clients = fleet(8);
+            clients[0].mkdir(&Credentials::root(), "/w", 0o755).unwrap();
+            let meter = ThroughputMeter::new();
+            run_ops(&clients, create_gens(8, 16), Drive::Engine, Some(&meter));
+            for c in &clients {
+                meter.record_span(16, 0, c.port().now());
+            }
+            meter.finish("create")
+        };
+        assert_eq!(run(), run());
+    }
+}

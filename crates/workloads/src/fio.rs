@@ -8,10 +8,16 @@
 //! File sizes are scaled down by default so the harness fits in memory;
 //! bandwidth *ratios* are preserved because the virtual-time model
 //! charges per byte.
+//!
+//! Each process is one resumable op generator — create/fsync/close are
+//! [`Op::Unmetered`] so only the data requests land in the latency
+//! distribution, exactly what the old hand-interleaved loop metered.
 
 use crate::client::{barrier, SimClient};
+use crate::drive::{run_ops, Drive};
+use crate::ops::{gen_iter, Op, OpGen};
 use arkfs_simkit::{PhaseResult, ThroughputMeter};
-use arkfs_vfs::{Credentials, FsResult, OpenFlags};
+use arkfs_vfs::{Credentials, FsError, FsResult};
 use std::sync::Arc;
 
 /// fio parameters.
@@ -21,6 +27,8 @@ pub struct FioConfig {
     pub file_size: u64,
     /// Request size (paper: 128 KiB).
     pub request_size: usize,
+    /// Which driver executes the op generators.
+    pub drive: Drive,
 }
 
 impl Default for FioConfig {
@@ -28,6 +36,7 @@ impl Default for FioConfig {
         FioConfig {
             file_size: 64 * 1024 * 1024,
             request_size: 128 * 1024,
+            drive: Drive::Engine,
         }
     }
 }
@@ -55,6 +64,30 @@ fn ctx() -> Credentials {
     Credentials::root()
 }
 
+fn run_fio_phase(
+    clients: &[Arc<dyn SimClient>],
+    name: &str,
+    drive: Drive,
+    gen_of: impl Fn(usize) -> Box<dyn OpGen>,
+) -> FsResult<PhaseResult> {
+    let meter = ThroughputMeter::new();
+    let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
+    let gens: Vec<Box<dyn OpGen>> = (0..clients.len()).map(&gen_of).collect();
+    let report = run_ops(clients, gens, drive, Some(&meter));
+    if report.total_errors() > 0 {
+        return Err(FsError::Io(format!(
+            "fio {name} phase: {} ops failed",
+            report.total_errors()
+        )));
+    }
+    for (i, c) in clients.iter().enumerate() {
+        // One span per process: fio reports bandwidth, not ops/s.
+        meter.record_span(1, starts[i], c.port().now());
+    }
+    barrier(clients);
+    Ok(meter.finish(name))
+}
+
 /// Run the fio workload over the fleet.
 pub fn fio(clients: &[Arc<dyn SimClient>], cfg: &FioConfig) -> FsResult<FioResult> {
     assert!(!clients.is_empty());
@@ -63,66 +96,41 @@ pub fn fio(clients: &[Arc<dyn SimClient>], cfg: &FioConfig) -> FsResult<FioResul
     let file_size = cfg.file_size;
     let req = cfg.request_size;
     let bytes = file_size * clients.len() as u64;
-
     let requests = file_size.div_ceil(req as u64);
 
-    // WRITE phase: sequential writes, request-interleaved across
-    // processes, then fsync and drop caches.
-    let meter = ThroughputMeter::new();
-    let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
-    let handles: Vec<_> = clients
-        .iter()
-        .enumerate()
-        .map(|(i, c)| c.create(&ctx(), &format!("/fio/job{i}.bin"), 0o644))
-        .collect::<FsResult<_>>()?;
-    let block = vec![0x5Au8; req];
-    for j in 0..requests {
-        let off = j * req as u64;
-        let n = req.min((file_size - off) as usize);
-        for (c, &fh) in clients.iter().zip(&handles) {
-            let t0 = c.port().now();
-            c.write(&ctx(), fh, off, &block[..n])?;
-            meter.record_latency(c.port().now().saturating_sub(t0));
-        }
-    }
-    for (i, (c, &fh)) in clients.iter().zip(&handles).enumerate() {
-        c.fsync(&ctx(), fh)?;
-        c.close(&ctx(), fh)?;
-        c.drop_caches();
-        meter.record_span(1, starts[i], c.port().now());
-    }
-    barrier(clients);
-    let write = meter.finish("write");
+    // WRITE phase: sequential writes, interleaved across processes in
+    // virtual-time order, then fsync and drop caches.
+    let write = run_fio_phase(clients, "write", cfg.drive, |i| {
+        let open = std::iter::once(Op::Unmetered(Box::new(Op::OpenCreate {
+            path: format!("/fio/job{i}.bin"),
+        })));
+        let writes = (0..requests).map(move |j| {
+            let off = j * req as u64;
+            Op::Write {
+                off,
+                len: req.min((file_size - off) as usize),
+                fill: 0x5A,
+            }
+        });
+        let finish = [Op::Fsync, Op::Close, Op::DropCaches]
+            .map(|op| Op::Unmetered(Box::new(op)))
+            .into_iter();
+        gen_iter(open.chain(writes).chain(finish))
+    })?;
 
     // READ phase: sequential reads of the same files, interleaved.
-    let meter = ThroughputMeter::new();
-    let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
-    let handles: Vec<_> = clients
-        .iter()
-        .enumerate()
-        .map(|(i, c)| c.open(&ctx(), &format!("/fio/job{i}.bin"), OpenFlags::RDONLY))
-        .collect::<FsResult<_>>()?;
-    let mut buf = vec![0u8; req];
-    for j in 0..requests {
-        let off = j * req as u64;
-        for (c, &fh) in clients.iter().zip(&handles) {
-            let t0 = c.port().now();
-            let n = c.read(&ctx(), fh, off, &mut buf)?;
-            meter.record_latency(c.port().now().saturating_sub(t0));
-            let expect = req.min((file_size - off) as usize);
-            if n != expect {
-                return Err(arkfs_vfs::FsError::Io(format!(
-                    "short read: {n} of {expect} at {off}"
-                )));
-            }
-        }
-    }
-    for (i, (c, &fh)) in clients.iter().zip(&handles).enumerate() {
-        c.close(&ctx(), fh)?;
-        meter.record_span(1, starts[i], c.port().now());
-    }
-    barrier(clients);
-    let read = meter.finish("read");
+    let read = run_fio_phase(clients, "read", cfg.drive, |i| {
+        let open = std::iter::once(Op::Unmetered(Box::new(Op::Open {
+            path: format!("/fio/job{i}.bin"),
+        })));
+        let reads = (0..requests).map(move |j| Op::Read {
+            off: j * req as u64,
+            len: req,
+            eof: file_size,
+        });
+        let close = std::iter::once(Op::Unmetered(Box::new(Op::Close)));
+        gen_iter(open.chain(reads).chain(close))
+    })?;
 
     Ok(FioResult { write, read, bytes })
 }
@@ -133,16 +141,21 @@ mod tests {
     use arkfs::{ArkCluster, ArkConfig};
     use arkfs_objstore::{ClusterConfig, ObjectCluster};
 
-    #[test]
-    fn fio_reports_positive_bandwidth() {
+    fn ark_fleet(n: usize) -> Vec<Arc<dyn SimClient>> {
         let store = Arc::new(ObjectCluster::new(ClusterConfig::test_tiny()));
         let cluster = ArkCluster::new(ArkConfig::test_tiny(), store);
-        let fleet: Vec<Arc<dyn SimClient>> = (0..2)
+        (0..n)
             .map(|_| cluster.client() as Arc<dyn SimClient>)
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn fio_reports_positive_bandwidth() {
+        let fleet = ark_fleet(2);
         let cfg = FioConfig {
             file_size: 4096,
             request_size: 256,
+            drive: Drive::Engine,
         };
         let result = fio(&fleet, &cfg).unwrap();
         assert_eq!(result.bytes, 8192);
@@ -153,5 +166,20 @@ mod tests {
             .stat(&Credentials::root(), "/fio/job0.bin")
             .unwrap();
         assert_eq!(st.size, 4096);
+    }
+
+    #[test]
+    fn fio_is_deterministic_on_the_engine() {
+        let run = || {
+            let fleet = ark_fleet(4);
+            let cfg = FioConfig {
+                file_size: 8192,
+                request_size: 512,
+                drive: Drive::Engine,
+            };
+            let r = fio(&fleet, &cfg).unwrap();
+            (r.write, r.read)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -9,12 +9,18 @@
 
 pub mod client;
 pub mod dataset;
+pub mod drive;
 pub mod fio;
 pub mod mdtest;
+pub mod ops;
 pub mod tar;
+pub mod zipf;
 
 pub use client::SimClient;
 pub use dataset::DatasetSpec;
+pub use drive::{run_ops, Drive, DriveReport};
 pub use fio::{FioConfig, FioResult};
 pub use mdtest::{MdtestEasyConfig, MdtestHardConfig, MdtestResult};
+pub use ops::{exec_op, gen_iter, Op, OpGen, OpState};
 pub use tar::{ArchiveConfig, ArchiveResult};
+pub use zipf::Zipf;

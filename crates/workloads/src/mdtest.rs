@@ -9,10 +9,19 @@
 //!
 //! `fsync()` is called after each phase, flushing all modifications to
 //! the underlying storage, exactly as in §IV-B.
+//!
+//! Each phase is expressed as one resumable op generator per process
+//! (see [`crate::ops`]) and driven by [`run_ops`] — by default on the
+//! discrete-event engine, which multiplexes the whole fleet on one host
+//! thread in causal virtual-time order and makes every phase
+//! deterministic; `Drive::Threads` keeps the legacy
+//! one-OS-thread-per-client pool as a differential oracle.
 
-use crate::client::{barrier, run_fleet, SimClient};
+use crate::client::{barrier, SimClient};
+use crate::drive::{run_ops, Drive};
+use crate::ops::{gen_iter, Op, OpGen};
 use arkfs_simkit::{PhaseResult, ThroughputMeter};
-use arkfs_vfs::{Credentials, FsResult, OpenFlags};
+use arkfs_vfs::{Credentials, FsResult};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -24,6 +33,8 @@ pub struct MdtestEasyConfig {
     pub files_total: u64,
     /// Only run the CREATE phase (the Fig. 1 / Fig. 7 scalability test).
     pub create_only: bool,
+    /// Which driver executes the op generators.
+    pub drive: Drive,
 }
 
 impl Default for MdtestEasyConfig {
@@ -31,6 +42,7 @@ impl Default for MdtestEasyConfig {
         MdtestEasyConfig {
             files_total: 1_000_000,
             create_only: false,
+            drive: Drive::Engine,
         }
     }
 }
@@ -44,6 +56,8 @@ pub struct MdtestHardConfig {
     /// Bytes written per file (IO500 default: 3901).
     pub file_size: usize,
     pub seed: u64,
+    /// Which driver executes the op generators.
+    pub drive: Drive,
 }
 
 impl Default for MdtestHardConfig {
@@ -53,6 +67,7 @@ impl Default for MdtestHardConfig {
             dirs: 16,
             file_size: 3901,
             seed: 42,
+            drive: Drive::Engine,
         }
     }
 }
@@ -75,31 +90,40 @@ fn ctx() -> Credentials {
     Credentials::root()
 }
 
-/// One benchmark phase across the fleet: runs `op` per (proc, file index)
-/// and meters aggregate throughput. Returns (result, errors).
+/// One benchmark phase across the fleet: drives one op generator per
+/// process (built by `gen_of(proc)`) and meters aggregate throughput.
+/// Returns (result, errors).
 fn run_phase(
     clients: &[Arc<dyn SimClient>],
     name: &str,
     per_proc: u64,
-    op: impl Fn(usize, Arc<dyn SimClient>, u64) -> FsResult<()> + Send + Sync + 'static,
+    drive: Drive,
+    gen_of: impl Fn(usize) -> Box<dyn OpGen>,
 ) -> (PhaseResult, u64) {
     let meter = ThroughputMeter::new();
     let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
-    // Round-robin interleaving keeps virtual arrivals of different
-    // processes overlapped, as they would be on a real cluster.
-    let errors = crate::client::run_interleaved(clients, per_proc, |i, c, j| {
-        let t0 = c.port().now();
-        let r = op(i, Arc::clone(c), j);
-        meter.record_latency(c.port().now().saturating_sub(t0));
-        r
-    });
+    let gens: Vec<Box<dyn OpGen>> = (0..clients.len()).map(&gen_of).collect();
+    let report = run_ops(clients, gens, drive, Some(&meter));
+    debug_assert!(report.ops.iter().all(|&n| n == per_proc));
     // fsync after each phase (§IV-B).
     for (i, c) in clients.iter().enumerate() {
         let _ = c.sync_all(&ctx());
         meter.record_span(per_proc, starts[i], c.port().now());
     }
     barrier(clients);
-    (meter.finish(name), errors.into_iter().sum())
+    (meter.finish(name), report.total_errors())
+}
+
+/// Unmetered setup: run one op stream per process through the same
+/// driver as the metered phases (so setup ordering is as deterministic
+/// as the run itself), ignoring errors like the old threaded setup did.
+fn run_setup(
+    clients: &[Arc<dyn SimClient>],
+    drive: Drive,
+    gen_of: impl Fn(usize) -> Box<dyn OpGen>,
+) {
+    let gens: Vec<Box<dyn OpGen>> = (0..clients.len()).map(&gen_of).collect();
+    let _ = run_ops(clients, gens, drive, None);
 }
 
 /// Run mdtest-easy over the fleet. Directory layout: each process works
@@ -113,30 +137,36 @@ pub fn mdtest_easy(
     // Setup (unmetered): the shared parent, then each process creates its
     // own leaf directory so it becomes that directory's leader.
     clients[0].mkdir(&ctx(), "/mdtest-easy", 0o755)?;
-    run_fleet(clients, |i, c| {
-        c.mkdir(&ctx(), &format!("/mdtest-easy/p{i}"), 0o755)
+    run_setup(clients, cfg.drive, |i| {
+        gen_iter(std::iter::once(Op::Mkdir {
+            path: format!("/mdtest-easy/p{i}"),
+        }))
     });
 
     let mut phases = Vec::new();
     let mut errors = Vec::new();
 
-    let (create, e) = run_phase(clients, "create", per_proc, move |i, c, j| {
-        let fh = c.create(&ctx(), &format!("/mdtest-easy/p{i}/f{j}"), 0o644)?;
-        c.close(&ctx(), fh)
+    let (create, e) = run_phase(clients, "create", per_proc, cfg.drive, |i| {
+        gen_iter((0..per_proc).map(move |j| Op::Create {
+            path: format!("/mdtest-easy/p{i}/f{j}"),
+        }))
     });
     phases.push(create);
     errors.push(e);
 
     if !cfg.create_only {
-        let (stat, e) = run_phase(clients, "stat", per_proc, move |i, c, j| {
-            c.stat(&ctx(), &format!("/mdtest-easy/p{i}/f{j}"))
-                .map(|_| ())
+        let (stat, e) = run_phase(clients, "stat", per_proc, cfg.drive, |i| {
+            gen_iter((0..per_proc).map(move |j| Op::Stat {
+                path: format!("/mdtest-easy/p{i}/f{j}"),
+            }))
         });
         phases.push(stat);
         errors.push(e);
 
-        let (delete, e) = run_phase(clients, "delete", per_proc, move |i, c, j| {
-            c.unlink(&ctx(), &format!("/mdtest-easy/p{i}/f{j}"))
+        let (delete, e) = run_phase(clients, "delete", per_proc, cfg.drive, |i| {
+            gen_iter((0..per_proc).map(move |j| Op::Unlink {
+                path: format!("/mdtest-easy/p{i}/f{j}"),
+            }))
         });
         phases.push(delete);
         errors.push(e);
@@ -159,16 +189,18 @@ pub fn fanned_dir_create(
     assert!(!clients.is_empty() && dirs_per_proc > 0);
     let per_proc = (files_total / clients.len() as u64).max(1);
     clients[0].mkdir(&ctx(), "/fan", 0o755)?;
-    run_fleet(clients, move |i, c| -> FsResult<()> {
-        for d in 0..dirs_per_proc {
-            c.mkdir(&ctx(), &format!("/fan/p{i}-d{d}"), 0o755)?;
-        }
-        Ok(())
+    run_setup(clients, Drive::Engine, |i| {
+        gen_iter((0..dirs_per_proc).map(move |d| Op::Mkdir {
+            path: format!("/fan/p{i}-d{d}"),
+        }))
     });
-    let (create, e) = run_phase(clients, "create", per_proc, move |i, c, j| {
-        let d = j % dirs_per_proc;
-        let fh = c.create(&ctx(), &format!("/fan/p{i}-d{d}/f{j}"), 0o644)?;
-        c.close(&ctx(), fh)
+    let (create, e) = run_phase(clients, "create", per_proc, Drive::Engine, |i| {
+        gen_iter((0..per_proc).map(move |j| {
+            let d = j % dirs_per_proc;
+            Op::Create {
+                path: format!("/fan/p{i}-d{d}/f{j}"),
+            }
+        }))
     });
     Ok(MdtestResult {
         phases: vec![create],
@@ -187,20 +219,22 @@ pub fn shared_dir_create(
     clients: &[Arc<dyn SimClient>],
     dir: &str,
     files_total: u64,
+    drive: Drive,
     before_sync: impl FnOnce(),
 ) -> FsResult<MdtestResult> {
     assert!(!clients.is_empty());
     let per_proc = (files_total / clients.len() as u64).max(1);
     let meter = ThroughputMeter::new();
     let starts: Vec<u64> = clients.iter().map(|c| c.port().now()).collect();
-    let errors = crate::client::run_interleaved(clients, per_proc, |i, c, j| {
-        let t0 = c.port().now();
-        let r = c
-            .create(&ctx(), &format!("{dir}/p{i}-f{j}"), 0o644)
-            .and_then(|fh| c.close(&ctx(), fh));
-        meter.record_latency(c.port().now().saturating_sub(t0));
-        r
-    });
+    let gens: Vec<Box<dyn OpGen>> = (0..clients.len())
+        .map(|i| {
+            let dir = dir.to_string();
+            gen_iter((0..per_proc).map(move |j| Op::Create {
+                path: format!("{dir}/p{i}-f{j}"),
+            }))
+        })
+        .collect();
+    let report = run_ops(clients, gens, drive, Some(&meter));
     before_sync();
     for (i, c) in clients.iter().enumerate() {
         let _ = c.sync_all(&ctx());
@@ -209,7 +243,7 @@ pub fn shared_dir_create(
     barrier(clients);
     Ok(MdtestResult {
         phases: vec![meter.finish("create")],
-        errors: vec![errors.into_iter().sum()],
+        errors: vec![report.total_errors()],
     })
 }
 
@@ -234,39 +268,42 @@ pub fn mdtest_hard(
         let d = rng.random_range(0..dirs);
         format!("/mdtest-hard/d{d}/p{proc}-f{j}")
     };
-    let payload = Arc::new(vec![0xA5u8; cfg.file_size]);
+    let size = cfg.file_size;
 
     let mut phases = Vec::new();
     let mut errors = Vec::new();
 
-    let p = Arc::clone(&payload);
-    let (write, e) = run_phase(clients, "write", per_proc, move |i, c, j| {
-        let fh = c.create(&ctx(), &path_of(i, j), 0o644)?;
-        c.write(&ctx(), fh, 0, &p)?;
-        c.close(&ctx(), fh)
+    let (write, e) = run_phase(clients, "write", per_proc, cfg.drive, |i| {
+        gen_iter((0..per_proc).map(move |j| Op::CreateWrite {
+            path: path_of(i, j),
+            size,
+            fill: 0xA5,
+        }))
     });
     phases.push(write);
     errors.push(e);
 
-    let (stat, e) = run_phase(clients, "stat", per_proc, move |i, c, j| {
-        c.stat(&ctx(), &path_of(i, j)).map(|_| ())
+    let (stat, e) = run_phase(clients, "stat", per_proc, cfg.drive, |i| {
+        gen_iter((0..per_proc).map(move |j| Op::Stat {
+            path: path_of(i, j),
+        }))
     });
     phases.push(stat);
     errors.push(e);
 
-    let size = cfg.file_size;
-    let (read, e) = run_phase(clients, "read", per_proc, move |i, c, j| {
-        let fh = c.open(&ctx(), &path_of(i, j), OpenFlags::RDONLY)?;
-        let mut buf = vec![0u8; size];
-        let r = c.read(&ctx(), fh, 0, &mut buf);
-        let _ = c.close(&ctx(), fh);
-        r.map(|_| ())
+    let (read, e) = run_phase(clients, "read", per_proc, cfg.drive, |i| {
+        gen_iter((0..per_proc).map(move |j| Op::OpenRead {
+            path: path_of(i, j),
+            size,
+        }))
     });
     phases.push(read);
     errors.push(e);
 
-    let (delete, e) = run_phase(clients, "delete", per_proc, move |i, c, j| {
-        c.unlink(&ctx(), &path_of(i, j))
+    let (delete, e) = run_phase(clients, "delete", per_proc, cfg.drive, |i| {
+        gen_iter((0..per_proc).map(move |j| Op::Unlink {
+            path: path_of(i, j),
+        }))
     });
     phases.push(delete);
     errors.push(e);
@@ -294,6 +331,7 @@ mod tests {
         let cfg = MdtestEasyConfig {
             files_total: 64,
             create_only: false,
+            drive: Drive::Engine,
         };
         let result = mdtest_easy(&fleet, &cfg).unwrap();
         assert_eq!(result.phases.len(), 3);
@@ -315,10 +353,26 @@ mod tests {
         let cfg = MdtestEasyConfig {
             files_total: 16,
             create_only: true,
+            drive: Drive::Engine,
         };
         let result = mdtest_easy(&fleet, &cfg).unwrap();
         assert_eq!(result.phases.len(), 1);
         assert_eq!(result.phases[0].name, "create");
+    }
+
+    #[test]
+    fn mdtest_easy_is_deterministic_on_the_engine() {
+        let run = || {
+            let fleet = ark_fleet(4);
+            let cfg = MdtestEasyConfig {
+                files_total: 64,
+                create_only: true,
+                drive: Drive::Engine,
+            };
+            let r = mdtest_easy(&fleet, &cfg).unwrap();
+            r.phases[0].clone()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
@@ -329,6 +383,7 @@ mod tests {
             dirs: 4,
             file_size: 128,
             seed: 7,
+            drive: Drive::Engine,
         };
         let result = mdtest_hard(&fleet, &cfg).unwrap();
         assert_eq!(result.phases.len(), 4);
@@ -352,6 +407,7 @@ mod tests {
             dirs: 2,
             file_size: 64,
             seed: 1,
+            drive: Drive::Engine,
         };
         let result = mdtest_hard(&fleet, &cfg).unwrap();
         // Every READ fails on MarFS's interactive interface.

@@ -1,0 +1,114 @@
+//! Seeded Zipf-distributed directory popularity.
+//!
+//! A deep-learning dataset directory does not spread file churn
+//! uniformly: a handful of class/shard directories absorb most of the
+//! small-file storm (FalconFS's motivating workload), which is exactly
+//! the regime that stresses hot-directory partitioning and commit-lane
+//! backpressure. [`Zipf`] samples ranks `0..n` with
+//! `P(k) ∝ 1 / (k+1)^s`, deterministically per seed, via inverse-CDF
+//! binary search — O(log n) per sample, O(n) setup.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A seeded Zipf(n, s) sampler over ranks `0..n` (rank 0 hottest).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[k]` = P(rank <= k); last is 1.0.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s >= 0` (`s = 0`
+    /// is uniform; the bench default `s = 0.9` is web/dataset-like
+    /// skew).
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw the next rank in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        // 53-bit uniform in [0, 1).
+        let u = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(n: usize, s: f64, seed: u64, draws: usize) -> Vec<u64> {
+        let mut z = Zipf::new(n, s, seed);
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.sample()] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(counts(64, 0.9, 7, 10_000), counts(64, 0.9, 7, 10_000));
+        assert_ne!(counts(64, 0.9, 7, 10_000), counts(64, 0.9, 8, 10_000));
+    }
+
+    #[test]
+    fn skew_matches_exponent() {
+        // s = 0.9 over 256 ranks: rank 0 gets ~13.5% of the mass
+        // (1 / H_{256,0.9}); uniform would give 0.39%.
+        let c = counts(256, 0.9, 42, 100_000);
+        let hot = c[0] as f64 / 100_000.0;
+        assert!(hot > 0.10 && hot < 0.18, "rank-0 share {hot}");
+        // Monotone head: the top ranks dominate the tail.
+        let head: u64 = c[..16].iter().sum();
+        let tail: u64 = c[240..].iter().sum();
+        assert!(head > 20 * tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let c = counts(16, 0.0, 3, 160_000);
+        for (k, &v) in c.iter().enumerate() {
+            let share = v as f64 / 160_000.0;
+            assert!((share - 1.0 / 16.0).abs() < 0.01, "rank {k} share {share}");
+        }
+    }
+
+    #[test]
+    fn all_ranks_reachable_and_bounded() {
+        let mut z = Zipf::new(4, 2.0, 1);
+        let mut seen = [false; 4];
+        for _ in 0..100_000 {
+            seen[z.sample()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        assert_eq!(z.ranks(), 4);
+    }
+}
