@@ -53,6 +53,7 @@ use arkfs_lease::{LeaseRequest, LeaseResponse};
 use arkfs_netsim::{NetError, NodeId, Service};
 use arkfs_objstore::ObjectKey;
 use arkfs_simkit::{Nanos, Port};
+use arkfs_telemetry::PID_CLIENT;
 use arkfs_vfs::{Credentials, FileType, FsError, FsResult, Ino};
 use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard};
@@ -244,11 +245,24 @@ impl ClientState {
     /// Re-read `dir`'s partition map from the store (absent == singleton)
     /// and cache the result.
     pub(crate) fn refresh_pmap(&self, port: &Port, dir: Ino) -> FsResult<Arc<PartitionMap>> {
+        let t0 = port.now();
         let map = self
             .cluster
             .prt()
             .load_pmap(port, dir)?
             .unwrap_or_else(|| PartitionMap::singleton(dir));
+        // The refresh GET is time the op spends re-routing, not serving.
+        let tracer = &self.telemetry.tracer;
+        if tracer.enabled() && port.now() > t0 {
+            tracer.record(
+                PID_CLIENT,
+                self.id.0,
+                "route.refresh",
+                "route",
+                t0,
+                port.now(),
+            );
+        }
         let arc = Arc::new(map);
         let mut s = self.dirs.stripe(dir);
         if arc.partitions <= 1 {
@@ -361,11 +375,37 @@ impl ClientState {
                         s.tables.remove(&pkey);
                         s.leases.remove(&pkey);
                         s.remote_hints.insert(pkey, leader);
+                        self.telemetry.flight.record(
+                            self.id.0,
+                            port.now(),
+                            "lease.redirect",
+                            leader.0 as i64,
+                            "lost partition lease; redirected to leader",
+                        );
                         return Ok(DirRef::Remote(leader));
                     }
                     Ok(LeaseResponse::Retry { until }) => {
                         drop(s);
+                        self.telemetry.flight.record(
+                            self.id.0,
+                            port.now(),
+                            "lease.retry",
+                            pidx as i64,
+                            "lease busy; backing off",
+                        );
+                        let wait_start = port.now();
                         port.wait_until(until);
+                        let tracer = &self.telemetry.tracer;
+                        if tracer.enabled() && port.now() > wait_start {
+                            tracer.record(
+                                PID_CLIENT,
+                                self.id.0,
+                                "lease.wait",
+                                "lease",
+                                wait_start,
+                                port.now(),
+                            );
+                        }
                         continue;
                     }
                     Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
@@ -424,11 +464,37 @@ impl ClientState {
                 }
                 Ok(LeaseResponse::Redirect { leader }) => {
                     s.remote_hints.insert(pkey, leader);
+                    self.telemetry.flight.record(
+                        self.id.0,
+                        port.now(),
+                        "lease.redirect",
+                        leader.0 as i64,
+                        "partition led elsewhere",
+                    );
                     return Ok(DirRef::Remote(leader));
                 }
                 Ok(LeaseResponse::Retry { until }) => {
                     drop(s);
+                    self.telemetry.flight.record(
+                        self.id.0,
+                        port.now(),
+                        "lease.retry",
+                        pidx as i64,
+                        "lease busy; backing off",
+                    );
+                    let wait_start = port.now();
                     port.wait_until(until);
+                    let tracer = &self.telemetry.tracer;
+                    if tracer.enabled() && port.now() > wait_start {
+                        tracer.record(
+                            PID_CLIENT,
+                            self.id.0,
+                            "lease.wait",
+                            "lease",
+                            wait_start,
+                            port.now(),
+                        );
+                    }
                     continue;
                 }
                 Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
@@ -555,6 +621,13 @@ impl ClientState {
             },
         );
         self.partition_handoffs.inc();
+        self.telemetry.flight.record(
+            self.id.0,
+            port.now(),
+            "lease.handoff",
+            partition as i64,
+            "partition quiesced and relinquished",
+        );
         OpResponse::Ok
     }
 
@@ -645,10 +718,7 @@ impl ArkClient {
         leader: NodeId,
         body: OpBody,
     ) -> FsResult<OpResponse> {
-        let req = OpRequest {
-            creds: ctx.clone(),
-            body: body.clone(),
-        };
+        let req = OpRequest::new(ctx.clone(), body.clone());
         match self.state.cluster.ops_bus().call(&self.port, leader, req) {
             Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
                 let pmap = self.state.cached_pmap(dir);
@@ -690,27 +760,35 @@ impl ArkClient {
             match self.state.dir_ref_part(port, dir, pidx, pmap.partitions) {
                 Ok(DirRef::Local(table)) => {
                     port.advance(config.spec.local_meta_op);
-                    let req = OpRequest {
-                        creds: ctx.clone(),
-                        body: body.clone(),
-                    };
+                    let req = OpRequest::new(ctx.clone(), body.clone());
                     match self.state.serve_local(port, &table, req) {
                         OpResponse::NotLeader => {
                             // Our own table rejected the op: routed under
                             // a stale map, or frozen by an in-flight
                             // split. Refresh and re-route.
+                            self.state.telemetry.flight.record(
+                                self.state.id.0,
+                                port.now(),
+                                "op.notleader",
+                                pidx as i64,
+                                "own table rejected op; refreshing map",
+                            );
                             self.state.refresh_pmap(port, dir)?;
                         }
                         resp => return Ok(resp),
                     }
                 }
                 Ok(DirRef::Remote(leader)) => {
-                    let req = OpRequest {
-                        creds: ctx.clone(),
-                        body: body.clone(),
-                    };
+                    let req = OpRequest::new(ctx.clone(), body.clone());
                     match self.state.cluster.ops_bus().call(port, leader, req) {
                         Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+                            self.state.telemetry.flight.record(
+                                self.state.id.0,
+                                port.now(),
+                                "op.notleader",
+                                leader.0 as i64,
+                                "remote leader bounced op; refreshing map",
+                            );
                             self.state.dirs.forget_hint(pkey);
                             self.state.refresh_pmap(port, dir)?;
                         }
@@ -812,10 +890,10 @@ impl ArkClient {
                         break;
                     }
                     Ok(DirRef::Remote(leader)) => {
-                        let req = OpRequest {
-                            creds: Credentials::root(),
-                            body: OpBody::RelinquishPartition { dir, partition: p },
-                        };
+                        let req = OpRequest::new(
+                            Credentials::root(),
+                            OpBody::RelinquishPartition { dir, partition: p },
+                        );
                         match self.state.cluster.ops_bus().call(&self.port, leader, req) {
                             Ok(OpResponse::Ok) => {
                                 self.state.dirs.forget_hint(pkey);

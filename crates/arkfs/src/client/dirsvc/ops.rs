@@ -16,6 +16,7 @@ use crate::prt::Prt;
 use crate::rpc::{OpBody, OpRequest, OpResponse};
 use arkfs_lease::FileLeaseDecision;
 use arkfs_simkit::Port;
+use arkfs_telemetry::{CtxGuard, PID_CLIENT};
 use arkfs_vfs::{perm, Credentials, FileType, FsError, FsResult, Ino, AM_EXEC, AM_READ, AM_WRITE};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -30,7 +31,12 @@ impl ClientState {
         table: &Arc<Mutex<Metatable>>,
         req: OpRequest,
     ) -> OpResponse {
-        let OpRequest { creds, body } = req;
+        let OpRequest { creds, trace, body } = req;
+        // Serve under the originating op's trace context: spans recorded
+        // below (journal commits, store I/O, meta churn) link back to the
+        // client op that issued the request, whether it arrived over the
+        // bus or was served locally.
+        let _trace_guard = CtxGuard::install(trace);
         let config = self.cluster.config();
         let prt = self.cluster.prt();
         let now = port.now();
@@ -73,6 +79,10 @@ impl ClientState {
                         config.journal_max_entries,
                     ) {
                         let background = Port::starting_at(port.now());
+                        // Spans on the background timeline follow from
+                        // (rather than nest under) the op that tripped
+                        // the window: the ack does not wait for them.
+                        let _bg = CtxGuard::install(trace.as_background());
                         t.journal
                             .commit(prt, &background, &lane.res, config.spec.local_meta_op)?;
                         lane.record_flight(background.now());
@@ -86,10 +96,28 @@ impl ClientState {
                     ) {
                         // Backpressure: a full in-flight window stalls the
                         // caller until the lane's oldest flight lands.
-                        let admitted = lane.admit(port.now(), config.async_commit_max_inflight);
+                        let wait_start = port.now();
+                        let admitted = lane.admit(wait_start, config.async_commit_max_inflight);
                         port.wait_until(admitted);
+                        let wait_end = port.now();
+                        if wait_end > wait_start {
+                            let tracer = &self.telemetry.tracer;
+                            if tracer.enabled() {
+                                tracer.record(
+                                    PID_CLIENT,
+                                    self.id.0,
+                                    "lane.wait",
+                                    "lane",
+                                    wait_start,
+                                    wait_end,
+                                );
+                            }
+                        }
                         if t.journal.seal().is_some() {
                             let background = Port::starting_at(port.now());
+                            // Background flush: follow-from, not child
+                            // (see the Sync arm above).
+                            let _bg = CtxGuard::install(trace.as_background());
                             if config.group_commit {
                                 self.flush_group(prt, &background, pkey, t)?;
                             } else {
@@ -112,7 +140,7 @@ impl ClientState {
         // the commit policy, then sample this partition's sealed depth
         // and feed the append-rate split/merge trigger.
         let stamp_commit = |t: &mut Metatable, op: &'static str, force: bool| -> FsResult<()> {
-            t.journal.stamp(op, now);
+            t.journal.stamp(op, now, trace);
             let result = maybe_commit(t, force);
             if let Some(depth) = &t.sealed_depth {
                 depth.set(t.journal.sealed_len() as i64);
@@ -535,16 +563,16 @@ impl ClientState {
                     prt.meta_span("journal.commit", pkey, t0, end);
                 }
                 for (txn, stamps) in own_taken {
-                    for (op, start) in stamps {
-                        prt.record_durable(op, end.saturating_sub(start));
+                    for (op, start, ctx) in stamps {
+                        prt.record_durable(op, pkey, start, end, ctx);
                     }
                     own.journal.push_committed(txn);
                 }
                 for (g, taken) in donors.iter_mut().zip(donor_taken) {
                     prt.meta_span("journal.commit", g.pkey(), t0, end);
                     for (txn, stamps) in taken {
-                        for (op, start) in stamps {
-                            prt.record_durable(op, end.saturating_sub(start));
+                        for (op, start, ctx) in stamps {
+                            prt.record_durable(op, g.pkey(), start, end, ctx);
                         }
                         g.journal.push_committed(txn);
                     }
@@ -559,6 +587,13 @@ impl ClientState {
                 // running windows, exactly like a failed solo flush.
                 prt.count_commit_retry();
                 let now = port.now();
+                self.telemetry.flight.record(
+                    self.id.0,
+                    now,
+                    "commit.rollback",
+                    donors.len() as i64,
+                    "group flush failed; transactions unsealed for retry",
+                );
                 own.journal.restore_sealed(own_taken, now);
                 for (g, taken) in donors.iter_mut().zip(donor_taken) {
                     g.journal.restore_sealed(taken, now);
@@ -594,10 +629,7 @@ impl ClientState {
             if let Ok(OpResponse::Flushed { size: Some(size) }) = self.cluster.ops_bus().call(
                 port,
                 target,
-                OpRequest {
-                    creds: Credentials::root(),
-                    body: OpBody::FlushCache { file },
-                },
+                OpRequest::new(Credentials::root(), OpBody::FlushCache { file }),
             ) {
                 let current = t.child_inode(file).map(|r| r.size).unwrap_or(0);
                 if size > current {

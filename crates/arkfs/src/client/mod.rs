@@ -42,7 +42,7 @@ use crate::prt::Prt;
 use arkfs_lease::LeaseRequest;
 use arkfs_netsim::NodeId;
 use arkfs_simkit::{Nanos, Port, SharedResource};
-use arkfs_telemetry::{Counter, Gauge, HistogramSet, Telemetry, PID_CLIENT};
+use arkfs_telemetry::{Counter, CtxGuard, Gauge, HistogramSet, Telemetry, TraceCtx, PID_CLIENT};
 use arkfs_vfs::{Credentials, FsResult, Ino, Vfs, ROOT_INO};
 use dirsvc::{ClientService, DirService};
 use filetable::FileTable;
@@ -380,6 +380,11 @@ pub(crate) struct ClientState {
     pub(crate) flush_epoch: AtomicU64,
     /// `(epoch, inode count)` of the last full inode LIST.
     pub(crate) statfs_cache: Mutex<Option<(u64, u64)>>,
+    /// Per-client op sequence number: the source of deterministic trace
+    /// ids and head-based sampling decisions. Deliberately NOT drawn
+    /// from [`ClientRng`] — tracing must never perturb the seeded
+    /// streams that make benchmark figures reproducible.
+    pub(crate) op_seq: AtomicU64,
 }
 
 /// One ArkFS client process.
@@ -436,6 +441,7 @@ impl ArkClient {
             dirty_dirs: Mutex::new(HashSet::new()),
             flush_epoch: AtomicU64::new(0),
             statfs_cache: Mutex::new(None),
+            op_seq: AtomicU64::new(0),
         });
         cluster
             .ops_bus()
@@ -520,6 +526,32 @@ impl ArkClient {
         &self.state.telemetry
     }
 
+    /// Publish [`ArkClient::lock_stats`] into the registry as
+    /// `lock.<family>.{acquisitions,contended,blocked_ns}` gauges so
+    /// registry consumers (the `ablate` table, `cli obs dump`) print
+    /// lock diagnostics uniformly with every other metric. Contended /
+    /// blocked_ns measure *host* wall-clock blocking and are therefore
+    /// nondeterministic — callers that diff committed output must not
+    /// snapshot them (the ablation table is exempt from the drift
+    /// check for exactly this reason).
+    pub fn publish_lock_stats(&self) {
+        let stats = self.lock_stats();
+        let reg = &self.state.telemetry.registry;
+        for (family, s) in [
+            ("dir_stripe", stats.dir_stripe),
+            ("pcache", stats.pcache),
+            ("handle_shard", stats.handle_shard),
+            ("data_cache", stats.data_cache),
+        ] {
+            reg.gauge(&format!("lock.{family}.acquisitions"))
+                .set(s.acquisitions as i64);
+            reg.gauge(&format!("lock.{family}.contended"))
+                .set(s.contended as i64);
+            reg.gauge(&format!("lock.{family}.blocked_ns"))
+                .set(s.wait_ns as i64);
+        }
+    }
+
     /// Drop all CLEAN cached data (the fio benchmark's "drop the cache
     /// entries of written files" step, §IV-B). Dirty chunks are flushed
     /// first.
@@ -575,7 +607,9 @@ impl ArkClient {
 
     /// Run one client-facing op under telemetry: its virtual duration
     /// feeds the `op.<name>.latency_ns` histogram, and (when tracing is
-    /// enabled) a span lands on this client's track.
+    /// enabled) a root span lands on this client's track with every
+    /// span recorded downstream — RPC serving, journal flushes, store
+    /// I/O — causally linked to it through the ambient [`TraceCtx`].
     pub(crate) fn traced<T>(
         &self,
         name: &'static str,
@@ -584,17 +618,43 @@ impl ArkClient {
         // Load-triggered repartitions requested by serve_local run here,
         // between ops, where no table or stripe lock is held.
         self.drain_pending_splits();
+        // Deterministic trace identity: a per-client sequence number,
+        // never the seeded RNG streams. Head-based sampling decides here
+        // — one modulus on the sequence — so two traced runs of the same
+        // workload sample the same ops and produce identical span graphs.
+        let seq = self.state.op_seq.fetch_add(1, Ordering::Relaxed);
+        let trace_id = ((self.state.id.0 as u64 + 1) << 32) | (seq & 0xFFFF_FFFF);
+        let tracer = &self.state.telemetry.tracer;
+        let every = tracer.sample_every();
+        let sampled = every == 0 || seq.is_multiple_of(every);
+        let ctx = TraceCtx::root(trace_id, sampled);
+        let _trace = CtxGuard::install(ctx);
+        let flight = &self.state.telemetry.flight;
         let start = self.port.now();
+        flight.record(self.state.id.0, start, "op.begin", seq as i64, name);
         let r = f();
         let end = self.port.now();
+        flight.record(self.state.id.0, end, "op.end", i64::from(r.is_err()), name);
         let elapsed = end.saturating_sub(start);
         self.state.op_hists.get(name).record(elapsed);
         // The return to the caller IS the ack; `op.*.durable_ns` (stamped
         // when the mutation's transaction lands) measures the rest.
         self.state.op_ack_hists.get(name).record(elapsed);
-        let tracer = &self.state.telemetry.tracer;
         if tracer.enabled() {
-            tracer.record(PID_CLIENT, self.state.id.0, name, "op", start, end);
+            // parent_span 0 marks the trace root; the trace id doubles
+            // as the root span id children link to.
+            tracer.record_with_ctx(
+                TraceCtx {
+                    parent_span: 0,
+                    ..ctx
+                },
+                PID_CLIENT,
+                self.state.id.0,
+                name,
+                "op",
+                start,
+                end,
+            );
         }
         r
     }

@@ -16,6 +16,7 @@ use crate::meta::InodeRecord;
 use crate::prt::Prt;
 use crate::wire::{crc32, Decoder, Encoder, WireCodec, WireError, WireResult};
 use arkfs_simkit::{Nanos, Port, SharedResource};
+use arkfs_telemetry::TraceCtx;
 use arkfs_vfs::{FileType, FsError, FsResult, Ino};
 use bytes::Bytes;
 use std::collections::VecDeque;
@@ -188,8 +189,10 @@ impl Transaction {
 }
 
 /// Stamps attributing durability latency to the mutations inside one
-/// sealed transaction: `(op name, mutation start time)` pairs.
-pub type OpStamps = Vec<(&'static str, Nanos)>;
+/// sealed transaction: `(op name, mutation start time, trace context)`
+/// triples. The context links the eventual durable landing back to the
+/// originating client op as a follow-from span.
+pub type OpStamps = Vec<(&'static str, Nanos, TraceCtx)>;
 
 /// The in-memory journaling state of one directory at its leader.
 ///
@@ -208,16 +211,16 @@ pub struct DirJournal {
     /// The running (buffering) transaction.
     running: Vec<JournalOp>,
     running_since: Option<Nanos>,
-    /// `(op name, start time)` stamps of the mutations buffered in
-    /// `running`, used to attribute durability latency
+    /// `(op name, start time, trace ctx)` stamps of the mutations
+    /// buffered in `running`, used to attribute durability latency
     /// (`op.*.durable_ns`) once the transaction lands in the store.
-    running_stamps: Vec<(&'static str, Nanos)>,
+    running_stamps: OpStamps,
     /// Sealed transactions awaiting their lane's durable flush. Nothing
     /// here has reached the object store: on a crash these are lost
     /// exactly like `running` ops.
     sealed: VecDeque<Transaction>,
     /// Stamps riding with each sealed transaction (parallel to `sealed`).
-    sealed_stamps: VecDeque<Vec<(&'static str, Nanos)>>,
+    sealed_stamps: VecDeque<OpStamps>,
     /// Sealed-and-journaled transactions awaiting checkpoint.
     committed: Vec<Transaction>,
 }
@@ -254,9 +257,10 @@ impl DirJournal {
     /// Record which operation produced the mutation(s) just appended and
     /// when it started, so its durability latency (`op.*.durable_ns`)
     /// can be attributed once the transaction holding it lands in the
-    /// store.
-    pub fn stamp(&mut self, op: &'static str, start: Nanos) {
-        self.running_stamps.push((op, start));
+    /// store. `ctx` is the op's causal context: the durable landing is
+    /// recorded as a follow-from span of its trace.
+    pub fn stamp(&mut self, op: &'static str, start: Nanos, ctx: TraceCtx) {
+        self.running_stamps.push((op, start, ctx));
     }
 
     pub fn running_len(&self) -> usize {
@@ -335,8 +339,8 @@ impl DirJournal {
             match prt.put_journal(port, self.dir, txn.seq, txn.seal()) {
                 Ok(()) => {
                     let end = port.now();
-                    for (op, start) in stamps {
-                        prt.record_durable(op, end.saturating_sub(start));
+                    for (op, start, ctx) in stamps {
+                        prt.record_durable(op, self.dir, start, end, ctx);
                     }
                     self.committed.push(txn);
                     prt.meta_span("journal.commit", self.dir, t0, end);
@@ -745,13 +749,13 @@ mod tests {
         let lane = SharedResource::ideal("commit");
         let mut j = DirJournal::new(7, 0);
         j.append(JournalOp::DeleteInode(1), 0);
-        j.stamp("unlink", 0);
+        j.stamp("unlink", 0, TraceCtx::NONE);
         j.seal();
         j.append(JournalOp::DeleteInode(2), 0);
         j.seal();
         let taken = j.take_sealed();
         assert_eq!(taken.len(), 2);
-        assert_eq!(taken[0].1, vec![("unlink", 0)]);
+        assert_eq!(taken[0].1, vec![("unlink", 0, TraceCtx::NONE)]);
         assert_eq!(j.sealed_len(), 0);
         // Failed flight: everything (taken + ops buffered meanwhile)
         // unseals for retry at the original sequence number.

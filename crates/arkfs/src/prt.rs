@@ -16,9 +16,11 @@ use crate::partition::{PartitionMap, PMAP_BUCKET};
 use crate::wire::WireCodec;
 use arkfs_objstore::{ObjectKey, ObjectStore, OsError};
 use arkfs_simkit::Port;
-use arkfs_telemetry::{Counter, Telemetry};
+use arkfs_telemetry::{Counter, LatencyHistogram, Telemetry, TraceCtx};
 use arkfs_vfs::{FsError, FsResult, Ino};
 use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Map an object-store error onto the file system error space.
@@ -67,6 +69,11 @@ pub struct Prt {
     chunk_size: u64,
     telemetry: Arc<Telemetry>,
     meta: MetaCounters,
+    /// `op.<name>.durable_ns` histogram handles, cached per static op
+    /// name so the per-landing path neither allocates the formatted
+    /// name nor walks the registry map again (the op-name family is a
+    /// small compile-time set).
+    durable_hists: Mutex<HashMap<&'static str, Arc<LatencyHistogram>>>,
 }
 
 impl Prt {
@@ -90,6 +97,7 @@ impl Prt {
             chunk_size,
             telemetry,
             meta,
+            durable_hists: Mutex::new(HashMap::new()),
         }
     }
 
@@ -118,14 +126,40 @@ impl Prt {
     }
 
     /// Record the start-to-durable latency of one mutation into
-    /// `op.<name>.durable_ns`. Resolves the histogram through the
-    /// registry: this runs once per mutation when its transaction lands,
-    /// off every op's ack path.
-    pub(crate) fn record_durable(&self, op: &str, ns: arkfs_simkit::Nanos) {
-        self.telemetry
-            .registry
-            .histogram(&format!("{op}.durable_ns"))
-            .record(ns);
+    /// `op.<name>.durable_ns`, and — when tracing is on — emit the
+    /// durable landing as a *follow-from* span of the mutation's
+    /// trace: causally linked to the originating client op, flagged
+    /// background so the critical-path analyzer excludes it from the
+    /// op's ack window (the op already acked when this ran).
+    pub(crate) fn record_durable(
+        &self,
+        op: &'static str,
+        dir: Ino,
+        start: arkfs_simkit::Nanos,
+        end: arkfs_simkit::Nanos,
+        ctx: TraceCtx,
+    ) {
+        let hist = {
+            let mut m = self.durable_hists.lock();
+            Arc::clone(m.entry(op).or_insert_with(|| {
+                self.telemetry
+                    .registry
+                    .histogram(&format!("{op}.durable_ns"))
+            }))
+        };
+        hist.record(end.saturating_sub(start));
+        let tracer = &self.telemetry.tracer;
+        if tracer.enabled() {
+            tracer.record_with_ctx(
+                ctx.as_background(),
+                arkfs_telemetry::PID_META,
+                dir as u32,
+                op,
+                "durable",
+                start,
+                end,
+            );
+        }
     }
 
     /// Record a metadata-path span on the directory's trace track

@@ -7,16 +7,32 @@
 use crate::meta::InodeRecord;
 use arkfs_lease::FileLeaseDecision;
 use arkfs_netsim::NodeId;
+use arkfs_telemetry::{ctx, TraceCtx};
 use arkfs_vfs::{Acl, Credentials, DirEntry, FileType, FsError, Ino, SetAttr};
 
 /// A forwarded file-system operation, carrying the originator's
 /// credentials so the leader can enforce permissions ("If C1 does not
 /// have a permission to access /home/doc/bar.txt, C2 will return a
-/// permission error").
+/// permission error") and the causal [`TraceCtx`] of the client op
+/// that issued it, so spans recorded while serving the request link
+/// back to the originating trace.
 #[derive(Debug, Clone)]
 pub struct OpRequest {
     pub creds: Credentials,
+    pub trace: TraceCtx,
     pub body: OpBody,
+}
+
+impl OpRequest {
+    /// Build a request stamped with the calling thread's ambient
+    /// trace context (see [`arkfs_telemetry::ctx`]).
+    pub fn new(creds: Credentials, body: OpBody) -> OpRequest {
+        OpRequest {
+            creds,
+            trace: ctx::current(),
+            body,
+        }
+    }
 }
 
 /// The operation itself. `dir` is always the directory the destination

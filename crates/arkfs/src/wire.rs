@@ -190,6 +190,25 @@ pub trait WireCodec: Sized {
     }
 }
 
+/// The RPC envelope's causal trace context has a stable wire shape so
+/// the future real-transport mode (ROADMAP item 4) propagates it
+/// unchanged: `trace_id:u64, parent_span:u64, flags:u8`.
+impl WireCodec for arkfs_telemetry::TraceCtx {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.trace_id);
+        enc.put_u64(self.parent_span);
+        enc.put_u8(self.flags);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(arkfs_telemetry::TraceCtx {
+            trace_id: dec.get_u64()?,
+            parent_span: dec.get_u64()?,
+            flags: dec.get_u8()?,
+        })
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected) used for journal transaction integrity.
 pub fn crc32(data: &[u8]) -> u32 {
     // Small table generated at first use.
@@ -270,6 +289,22 @@ mod tests {
         let bytes = e.into_bytes();
         let mut d = Decoder::new(&bytes);
         assert_eq!(d.get_str(), Err(WireError::Invalid("utf8")));
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips() {
+        let ctx = arkfs_telemetry::TraceCtx {
+            trace_id: 0xDEAD_BEEF_0000_0001,
+            parent_span: 42,
+            flags: arkfs_telemetry::TraceCtx::SAMPLED | arkfs_telemetry::TraceCtx::BACKGROUND,
+        };
+        let bytes = ctx.to_bytes();
+        assert_eq!(bytes.len(), 17);
+        assert_eq!(arkfs_telemetry::TraceCtx::from_bytes(&bytes).unwrap(), ctx);
+        assert_eq!(
+            arkfs_telemetry::TraceCtx::from_bytes(&bytes[..10]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

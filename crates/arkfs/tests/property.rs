@@ -408,6 +408,114 @@ proptest! {
     }
 }
 
+// ---- causal tracing: critical-path conservation -------------------------------
+
+/// Run a random op mix on a fully-traced single-client deployment and
+/// check the critical-path analyzer's conservation law: every trace's
+/// segment attribution sums *exactly* to its root span duration, and
+/// the per-op totals agree with the client's own ack-latency histograms
+/// (same count, same exact sum/min/max — i.e. well within the ±1
+/// log-linear bucket the histogram itself can resolve).
+fn run_critpath_conservation(ops: &[(u8, u8, u8)], s3: bool) {
+    use arkfs::{ArkCluster, ArkConfig};
+    use arkfs_telemetry::{critpath, FlightDumpGuard};
+    use arkfs_vfs::{Credentials, OpenFlags, Vfs};
+
+    let config = ArkConfig::default();
+    let store_cfg = if s3 {
+        ClusterConfig::s3(config.spec.clone())
+    } else {
+        ClusterConfig::rados(config.spec.clone())
+    };
+    let cluster = ArkCluster::new(config, Arc::new(ObjectCluster::new(store_cfg)));
+    let tel = Arc::clone(cluster.telemetry());
+    // sample_every = 0 records every op's trace; the flight recorder
+    // dumps the per-op event trail if this test panics.
+    tel.tracer.set_enabled(true);
+    tel.flight.set_enabled(true);
+    let _dump = FlightDumpGuard::new(&tel.flight, "property.critpath");
+
+    let client = cluster.client();
+    let ctx = Credentials::root();
+    for &(dir, file, kind) in ops {
+        let d = format!("/d{}", dir % 4);
+        let p = format!("{d}/f{}", file % 6);
+        // Every call goes through `traced()`, so errors (AlreadyExists,
+        // NotFound, ...) still produce a root span and a histogram
+        // sample; conservation must hold for them too.
+        match kind % 4 {
+            0 => {
+                let _ = client.mkdir(&ctx, &d, 0o755);
+            }
+            1 => {
+                if let Ok(fh) = client.create(&ctx, &p, 0o644) {
+                    let _ = client.write(&ctx, fh, 0, &[kind; 512]);
+                    let _ = client.close(&ctx, fh);
+                }
+            }
+            2 => {
+                let _ = client.stat(&ctx, &p);
+            }
+            _ => {
+                if let Ok(fh) = client.open(&ctx, &p, OpenFlags::RDONLY) {
+                    let mut buf = [0u8; 256];
+                    let _ = client.read(&ctx, fh, 0, &mut buf);
+                    let _ = client.close(&ctx, fh);
+                }
+            }
+        }
+    }
+    let _ = client.sync_all(&ctx);
+
+    let breakdowns = critpath::analyze(&tel.tracer.events());
+    assert!(!breakdowns.is_empty(), "no complete traces analyzed");
+    let mut by_op: HashMap<String, (u64, u64, u64, u64)> = HashMap::new();
+    for b in &breakdowns {
+        assert_eq!(
+            b.segs.iter().sum::<u64>(),
+            b.total,
+            "trace {:#x} ({}): segments must sum to the ack window",
+            b.trace_id,
+            b.root_name
+        );
+        let e = by_op
+            .entry(b.root_name.clone())
+            .or_insert((0, 0, u64::MAX, 0));
+        e.0 += 1;
+        e.1 += b.total;
+        e.2 = e.2.min(b.total);
+        e.3 = e.3.max(b.total);
+    }
+    for (name, (count, sum, min, max)) in by_op {
+        let hist = tel
+            .registry
+            .histogram(&format!("{name}.latency_ns"))
+            .snapshot();
+        assert_eq!(hist.count(), count, "{name}: trace count vs histogram");
+        assert_eq!(hist.sum(), sum, "{name}: ack-latency sum vs histogram");
+        assert_eq!(hist.min(), min, "{name}: min vs histogram");
+        assert_eq!(hist.max(), max, "{name}: max vs histogram");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn critpath_segments_sum_to_ack_latency_rados(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        run_critpath_conservation(&ops, false);
+    }
+
+    #[test]
+    fn critpath_segments_sum_to_ack_latency_s3(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        run_critpath_conservation(&ops, true);
+    }
+}
+
 // ---- cache LRU invariants -----------------------------------------------------
 
 proptest! {

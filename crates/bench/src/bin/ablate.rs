@@ -319,6 +319,15 @@ fn main() {
             reader.stat(&ctx, &format!("/meta/f{i}")).unwrap();
         }
 
+        // Fold the observability-layer loss counters and the client's
+        // lock-contention counters into the registry so the snapshot
+        // below is the one uniform view of everything the stack
+        // recorded. Lock contended/blocked_ns are host wall-clock
+        // (nondeterministic), which is fine here: the ablation report
+        // is exempt from the byte-identical drift check.
+        cluster.telemetry().publish_ring_losses();
+        writer.publish_lock_stats();
+
         let rows: Vec<Vec<String>> = cluster
             .telemetry()
             .registry
@@ -345,6 +354,31 @@ fn main() {
             &rows,
         ));
         if let Some(path) = trace {
+            // Critical-path attribution from the causal spans: for each
+            // op family, how the mean ack latency splits across the
+            // pipeline segments.
+            use arkfs_telemetry::critpath;
+            let events = cluster.telemetry().tracer.events();
+            let cp_rows: Vec<Vec<String>> = critpath::aggregate(&events)
+                .into_iter()
+                .map(|(root, agg)| {
+                    let mut row = vec![root, format!("{:.0}", agg.mean_total())];
+                    row.extend(
+                        (0..critpath::SEGMENTS.len())
+                            .map(|i| format!("{:.1}%", agg.share(i) * 100.0)),
+                    );
+                    row
+                })
+                .collect();
+            if !cp_rows.is_empty() {
+                let mut headers = vec!["op", "mean ns"];
+                headers.extend(critpath::SEGMENTS);
+                lines.extend(print_table(
+                    "Critical-path attribution (mean ack latency by segment)",
+                    &headers,
+                    &cp_rows,
+                ));
+            }
             match cluster
                 .telemetry()
                 .tracer

@@ -12,9 +12,11 @@
 
 use arkfs::{ArkCluster, ArkConfig};
 use arkfs_bench::{
-    bench_files, bench_procs, kops, print_table, save_bench_json, save_results, BenchRecord,
+    bench_files, bench_procs, kops, print_table, save_bench_json, save_results, trace_path,
+    BenchRecord,
 };
 use arkfs_objstore::{ClusterConfig, ObjectCluster};
+use arkfs_telemetry::{critpath, merged_chrome_trace, Telemetry, Tracer};
 use arkfs_vfs::{Credentials, Vfs};
 use arkfs_workloads::mdtest::shared_dir_create;
 use arkfs_workloads::Drive;
@@ -24,6 +26,8 @@ use std::sync::Arc;
 fn main() {
     let procs = bench_procs(64);
     let files = bench_files(100_000);
+    let trace = trace_path();
+    let mut traced_tels: Vec<(String, Arc<Telemetry>)> = Vec::new();
     let ctx = Credentials::root();
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -32,6 +36,13 @@ fn main() {
         let config = ArkConfig::default();
         let store_cfg = ClusterConfig::rados(config.spec.clone()).with_discard_payload(true);
         let cluster = ArkCluster::new(config, Arc::new(ObjectCluster::new(store_cfg)));
+        if trace.is_some() {
+            // Deterministic sampled causal tracing (head-based, every
+            // 64th op per client); never advances virtual time, so the
+            // figures match an untraced run exactly.
+            cluster.telemetry().tracer.set_sample_every(64);
+            cluster.telemetry().tracer.set_enabled(true);
+        }
         let admin = cluster.client();
         admin.mkdir(&ctx, "/shared", 0o755).unwrap();
         admin.sync_all(&ctx).unwrap();
@@ -97,6 +108,16 @@ fn main() {
         for (p, depth) in sealed_depth.iter().enumerate() {
             metrics.push((format!("sealed_depth_p{p}"), *depth as f64));
         }
+        if trace.is_some() {
+            let aggs = critpath::aggregate(&tel.tracer.events());
+            if let Some(agg) = aggs.get("op.create") {
+                for (i, seg) in critpath::SEGMENTS.iter().enumerate() {
+                    metrics.push((format!("create_cp_{seg}_ns"), agg.mean_seg(i)));
+                }
+                metrics.push(("create_cp_total_ns".to_string(), agg.mean_total()));
+            }
+            traced_tels.push((format!("ArkFS-P{pcount}"), Arc::clone(&tel)));
+        }
         rows.push(vec![
             pcount.to_string(),
             kops(ops_s),
@@ -148,4 +169,14 @@ fn main() {
         speedup8 >= 3.0,
         "acceptance: 8 partitions must be >= 3x of 1 partition (got {speedup8:.2}x)"
     );
+    if let Some(path) = trace {
+        let groups: Vec<(&str, &Tracer)> = traced_tels
+            .iter()
+            .map(|(name, tel)| (name.as_str(), &tel.tracer))
+            .collect();
+        match std::fs::write(&path, merged_chrome_trace(&groups)) {
+            Ok(()) => eprintln!("fig8: wrote causal trace to {path}"),
+            Err(err) => eprintln!("fig8: failed to write trace {path}: {err}"),
+        }
+    }
 }

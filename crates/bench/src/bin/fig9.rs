@@ -21,6 +21,7 @@ use arkfs::{ArkCluster, ArkConfig};
 use arkfs_bench::{bench_files, kops, print_table, save_bench_json, save_results, BenchRecord};
 use arkfs_objstore::{ClusterConfig, ObjectCluster};
 use arkfs_simkit::ThroughputMeter;
+use arkfs_telemetry::critpath;
 use arkfs_vfs::{Credentials, Vfs};
 use arkfs_workloads::client::barrier;
 use arkfs_workloads::{gen_iter, run_ops, Drive, Op, OpGen, SimClient, Zipf};
@@ -30,6 +31,11 @@ use std::time::Instant;
 const DIRS: usize = 256;
 const ZIPF_S: f64 = 0.9;
 const SEED: u64 = 0xF19;
+/// Head-based sampling period for the causal tracer: every 64th op per
+/// client is traced end to end. Deterministic (a modulus on the
+/// per-client op sequence), and tracing never advances virtual time,
+/// so the committed figures are byte-identical with or without it.
+const SAMPLE_EVERY: u64 = 64;
 
 /// One point of the scaling curve.
 struct Point {
@@ -45,6 +51,12 @@ struct Point {
     lease_redirects: u64,
     journal_flights: u64,
     partition_splits: u64,
+    /// Mean critical-path nanoseconds per segment of the sampled
+    /// create traces, indexed by [`critpath::SEGMENTS`].
+    cp_segs: [f64; critpath::SEGMENTS.len()],
+    /// Mean end-to-end ack latency of the sampled traces (the segments
+    /// sum to this exactly, by construction of the sweep).
+    cp_total: f64,
 }
 
 fn run_point(n_clients: usize, files_total: u64) -> Point {
@@ -52,6 +64,10 @@ fn run_point(n_clients: usize, files_total: u64) -> Point {
     let config = ArkConfig::default();
     let store_cfg = ClusterConfig::rados(config.spec.clone()).with_discard_payload(true);
     let cluster = ArkCluster::new(config, Arc::new(ObjectCluster::new(store_cfg)));
+    // Deterministic sampled causal tracing: the knee attribution below
+    // reads real span data instead of guessing from counters.
+    cluster.telemetry().tracer.set_sample_every(SAMPLE_EVERY);
+    cluster.telemetry().tracer.set_enabled(true);
 
     // Admin creates the directory pool, then hands every lease back so
     // leadership lands on the writers that first touch each directory.
@@ -99,6 +115,18 @@ fn run_point(n_clients: usize, files_total: u64) -> Point {
         phase.ops,
         phase.ops as f64 / host_secs.max(1e-9),
     );
+    // Critical-path attribution of the sampled create traces.
+    let aggs = critpath::aggregate(&tel.tracer.events());
+    let (cp_segs, cp_total) = match aggs.get("op.create") {
+        Some(a) => {
+            let mut segs = [0.0f64; critpath::SEGMENTS.len()];
+            for (i, s) in segs.iter_mut().enumerate() {
+                *s = a.mean_seg(i);
+            }
+            (segs, a.mean_total())
+        }
+        None => ([0.0; critpath::SEGMENTS.len()], 0.0),
+    };
     Point {
         clients: n_clients,
         ops_s: phase.ops_per_sec(),
@@ -112,6 +140,8 @@ fn run_point(n_clients: usize, files_total: u64) -> Point {
         lease_redirects: counter("lease.redirect.count"),
         journal_flights: counter("journal.flight.count"),
         partition_splits: counter("meta.partition.split.count"),
+        cp_segs,
+        cp_total,
     }
 }
 
@@ -125,35 +155,28 @@ fn knee_index(points: &[Point]) -> Option<usize> {
     })
 }
 
-/// Which resource saturated at the knee: the telemetry stream whose
-/// per-op rate grew the most from the pre-knee point to the post-knee
-/// point.
-fn saturated_resource(pre: &Point, post: &Point) -> (String, f64) {
-    // Every point runs the same total op count, so raw counter growth
-    // is already per-op growth.
-    let growth = |a: u64, b: u64| (b as f64 + 1.0) / (a as f64 + 1.0);
-    let candidates = [
-        (
-            "lease traffic (acquire+retry+redirect)",
-            growth(
-                pre.lease_acquires + pre.lease_retries + pre.lease_redirects,
-                post.lease_acquires + post.lease_retries + post.lease_redirects,
-            ),
-        ),
-        (
-            "commit lanes (journal flights)",
-            growth(pre.journal_flights, post.journal_flights),
-        ),
-        (
-            "hot-directory splits",
-            growth(pre.partition_splits, post.partition_splits),
-        ),
-    ];
-    let (name, g) = candidates
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap();
-    (name.to_string(), *g)
+/// Which pipeline segment saturated at the knee: the critical-path
+/// segment whose *share* of the mean ack latency grew the most from
+/// the pre-knee point to the post-knee point. Attribution comes from
+/// real sampled span graphs, not counter heuristics — a segment can
+/// only win here if traced ops actually spent more of their ack time
+/// in it.
+fn saturated_segment(pre: &Point, post: &Point) -> (&'static str, f64) {
+    let share = |p: &Point, i: usize| {
+        if p.cp_total > 0.0 {
+            p.cp_segs[i] / p.cp_total
+        } else {
+            0.0
+        }
+    };
+    let mut best = (critpath::SEGMENTS[0], f64::NEG_INFINITY);
+    for (i, seg) in critpath::SEGMENTS.iter().enumerate() {
+        let delta = share(post, i) - share(pre, i);
+        if delta > best.1 {
+            best = (seg, delta);
+        }
+    }
+    best
 }
 
 fn main() {
@@ -182,25 +205,30 @@ fn main() {
             p.journal_flights.to_string(),
             p.partition_splits.to_string(),
         ]);
+        let mut metrics = vec![
+            ("clients".to_string(), p.clients as f64),
+            ("create_ops_s".to_string(), p.ops_s),
+            ("create_p50_ns".to_string(), p.ack_p50 as f64),
+            ("create_p99_ns".to_string(), p.ack_p99 as f64),
+            ("create_max_ns".to_string(), p.ack_max as f64),
+            ("create_ack_p50_ns".to_string(), p.ack_p50 as f64),
+            ("create_ack_p99_ns".to_string(), p.ack_p99 as f64),
+            ("create_durable_p50_ns".to_string(), p.durable_p50 as f64),
+            ("create_durable_p99_ns".to_string(), p.durable_p99 as f64),
+            ("lease_acquires".to_string(), p.lease_acquires as f64),
+            ("lease_retries".to_string(), p.lease_retries as f64),
+            ("lease_redirects".to_string(), p.lease_redirects as f64),
+            ("journal_flights".to_string(), p.journal_flights as f64),
+            ("partition_splits".to_string(), p.partition_splits as f64),
+        ];
+        for (i, seg) in critpath::SEGMENTS.iter().enumerate() {
+            metrics.push((format!("create_cp_{seg}_ns"), p.cp_segs[i]));
+        }
+        metrics.push(("create_cp_total_ns".to_string(), p.cp_total));
         records.push(BenchRecord {
             group: "zipf-create".to_string(),
             system: format!("ArkFS-C{}", p.clients),
-            metrics: vec![
-                ("clients".to_string(), p.clients as f64),
-                ("create_ops_s".to_string(), p.ops_s),
-                ("create_p50_ns".to_string(), p.ack_p50 as f64),
-                ("create_p99_ns".to_string(), p.ack_p99 as f64),
-                ("create_max_ns".to_string(), p.ack_max as f64),
-                ("create_ack_p50_ns".to_string(), p.ack_p50 as f64),
-                ("create_ack_p99_ns".to_string(), p.ack_p99 as f64),
-                ("create_durable_p50_ns".to_string(), p.durable_p50 as f64),
-                ("create_durable_p99_ns".to_string(), p.durable_p99 as f64),
-                ("lease_acquires".to_string(), p.lease_acquires as f64),
-                ("lease_retries".to_string(), p.lease_retries as f64),
-                ("lease_redirects".to_string(), p.lease_redirects as f64),
-                ("journal_flights".to_string(), p.journal_flights as f64),
-                ("partition_splits".to_string(), p.partition_splits as f64),
-            ],
+            metrics,
         });
     }
     let mut lines = print_table(
@@ -222,19 +250,41 @@ fn main() {
 
     let knee = knee_index(&points);
     if let Some(k) = knee {
-        let (resource, growth) = saturated_resource(&points[k], &points[k + 1]);
+        let (segment, delta) = saturated_segment(&points[k], &points[k + 1]);
         let knee_line = format!(
             "knee between {} and {} clients: ack p99 {} -> {} ns, \
-             {:.2} kops/s -> {:.2} kops/s; saturated resource: {resource} ({growth:.2}x)",
+             {:.2} kops/s -> {:.2} kops/s; critical path shifted into: \
+             {segment} (+{:.1} pp of mean ack latency)",
             points[k].clients,
             points[k + 1].clients,
             points[k].ack_p99,
             points[k + 1].ack_p99,
             points[k].ops_s / 1000.0,
             points[k + 1].ops_s / 1000.0,
+            delta * 100.0,
         );
         println!("{knee_line}");
         lines.push(knee_line);
+        // Per-point breakdown under the table, from the same span data.
+        for p in &points {
+            let mut parts = Vec::new();
+            for (i, seg) in critpath::SEGMENTS.iter().enumerate() {
+                let share = if p.cp_total > 0.0 {
+                    100.0 * p.cp_segs[i] / p.cp_total
+                } else {
+                    0.0
+                };
+                parts.push(format!("{seg} {share:.1}%"));
+            }
+            let line = format!(
+                "critpath @{} clients (mean ack {:.0} ns): {}",
+                p.clients,
+                p.cp_total,
+                parts.join(", ")
+            );
+            println!("{line}");
+            lines.push(line);
+        }
     }
     save_results("fig9", &lines);
     save_bench_json(

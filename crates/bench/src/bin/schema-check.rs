@@ -18,6 +18,14 @@
 //! reported by systems whose client decouples ack from durability
 //! (ArkFS), so baselines legitimately omit those keys. Optional keys
 //! come in p50/p99 pairs that must appear together and be ordered.
+//!
+//! Schema v3 adds critical-path attribution groups
+//! (`<phase>_cp_<segment>_ns` + `<phase>_cp_total_ns`, derived from
+//! sampled causal traces). A cp group is all-or-nothing per phase: if
+//! any key appears, all must, every value must be non-negative, and the
+//! segment means must sum to the total mean (within fp tolerance). The
+//! group is *required* for fig9 (the knee attribution depends on it)
+//! and optional for fig8 (only emitted on traced runs).
 
 use arkfs_bench::BENCH_SCHEMA_VERSION;
 use std::collections::BTreeSet;
@@ -349,6 +357,103 @@ fn optional_metric_pairs(bench: &str) -> Vec<(String, String)> {
     pairs
 }
 
+/// Critical-path segments, mirroring `telemetry::critpath::SEGMENTS`.
+const CP_SEGMENTS: [&str; 6] = [
+    "lease_wait",
+    "partition_route",
+    "lane_queue",
+    "seal_flush",
+    "store_io",
+    "client_cpu",
+];
+
+/// Phases that may carry a critical-path attribution group, and whether
+/// the group is mandatory for this bench.
+fn cp_phases(bench: &str) -> &'static [(&'static str, bool)] {
+    match bench {
+        // fig9's knee attribution is computed from these, so every
+        // record must carry the full group.
+        "fig9" => &[("create", true)],
+        // fig8 emits the group only when run with `--trace`.
+        "fig8" => &[("create", false)],
+        _ => &[],
+    }
+}
+
+fn cp_keys(bench: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    for (phase, _) in cp_phases(bench) {
+        for seg in CP_SEGMENTS {
+            keys.push(format!("{phase}_cp_{seg}_ns"));
+        }
+        keys.push(format!("{phase}_cp_total_ns"));
+    }
+    keys
+}
+
+/// Validate one record's cp groups: all-or-nothing per phase,
+/// non-negative values, and segment means summing to the total mean.
+fn check_cp_groups(bench: &str, metrics: &Json, i: usize, system: &str) -> Result<(), String> {
+    for (phase, required) in cp_phases(bench) {
+        let seg_keys: Vec<String> = CP_SEGMENTS
+            .iter()
+            .map(|seg| format!("{phase}_cp_{seg}_ns"))
+            .collect();
+        let total_key = format!("{phase}_cp_total_ns");
+        let present = seg_keys
+            .iter()
+            .chain(std::iter::once(&total_key))
+            .filter(|k| metrics.get(k).is_some())
+            .count();
+        if present == 0 {
+            if *required {
+                return Err(format!(
+                    "results[{i}] ({system}): {phase} critical-path group missing \
+                     (required for {bench})"
+                ));
+            }
+            continue;
+        }
+        if present != seg_keys.len() + 1 {
+            return Err(format!(
+                "results[{i}] ({system}): {phase} critical-path group is partial \
+                 ({present} of {} keys); cp keys are all-or-nothing",
+                seg_keys.len() + 1
+            ));
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            metrics
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("results[{i}] ({system}): {key} is not a number"))
+        };
+        let total = num(&total_key)?;
+        let mut sum = 0.0;
+        for key in &seg_keys {
+            let v = num(key)?;
+            if v < 0.0 {
+                return Err(format!("results[{i}] ({system}): {key}={v} is negative"));
+            }
+            sum += v;
+        }
+        if total < 0.0 {
+            return Err(format!(
+                "results[{i}] ({system}): {total_key}={total} is negative"
+            ));
+        }
+        // The analyzer charges every interval of the root window to
+        // exactly one segment, so the means agree up to fp rounding.
+        let tolerance = 1e-6 * total.max(1.0) + 1e-3;
+        if sum > total + tolerance {
+            return Err(format!(
+                "results[{i}] ({system}): {phase} cp segments sum to {sum} \
+                 > total {total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Phases whose percentiles must be ordered p50 <= p99 <= max.
 fn latency_phases(bench: &str) -> &'static [&'static str] {
     match bench {
@@ -387,10 +492,15 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
         .ok_or_else(|| format!("unknown bench '{bench}' — extend schema-check"))?;
     let expected: BTreeSet<&str> = expected.iter().map(String::as_str).collect();
     let pairs = optional_metric_pairs(bench);
-    let optional: BTreeSet<&str> = pairs
+    let cp = cp_keys(bench);
+    let mut optional: BTreeSet<&str> = pairs
         .iter()
         .flat_map(|(a, b)| [a.as_str(), b.as_str()])
         .collect();
+    // cp keys are exempt from the unknown-key check; their presence
+    // rules (all-or-nothing, required for fig9) are enforced per record
+    // by `check_cp_groups`.
+    optional.extend(cp.iter().map(String::as_str));
 
     for (key, value) in match doc.get("config") {
         Some(Json::Obj(fields)) => fields.iter(),
@@ -476,6 +586,7 @@ fn check_bench_doc(path: &str) -> Result<(), String> {
                 }
             }
         }
+        check_cp_groups(bench, metrics, i, system)?;
     }
     // fig9 is a scaling curve: one record per client count, strictly
     // increasing, so consumers can treat the results array as the X axis.
@@ -531,6 +642,20 @@ fn check_trace_doc(path: &str) -> Result<(), String> {
                 for key in ["ts", "dur"] {
                     if ev.get(key).and_then(Json::as_num).is_none() {
                         return Err(format!("traceEvents[{i}]: X event missing {key}"));
+                    }
+                }
+                // Spans from causally-traced ops carry an args object
+                // linking them to the originating client op. It is
+                // optional (untraced spans omit it), but when present
+                // must be well-formed.
+                if let Some(args) = ev.get("args") {
+                    for key in ["trace", "parent"] {
+                        if args.get(key).and_then(Json::as_num).is_none() {
+                            return Err(format!("traceEvents[{i}]: args missing numeric {key}"));
+                        }
+                    }
+                    if !matches!(args.get("follows"), Some(Json::Bool(_))) {
+                        return Err(format!("traceEvents[{i}]: args missing boolean follows"));
                     }
                 }
             }

@@ -16,14 +16,16 @@ use arkfs_baselines::pathfs::Bucket;
 use arkfs_baselines::{CephFs, GoofysFs, MarFs, MountType, S3Fs};
 use arkfs_objstore::{ClusterConfig, ObjectCluster};
 use arkfs_simkit::{ClusterSpec, PhaseResult};
-use arkfs_telemetry::{merged_chrome_trace, Telemetry, Tracer};
+use arkfs_telemetry::{critpath, merged_chrome_trace, Telemetry, Tracer};
 use arkfs_workloads::SimClient;
 use std::sync::Arc;
 
 /// Version of the `BENCH_*.json` document layout. Consumers should
 /// reject documents with an unknown version; purely additive metric
-/// fields do not bump it.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// fields do not bump it. v3 adds critical-path attribution metrics
+/// (`<phase>_cp_<segment>_ns`, from the causal tracing layer) to
+/// benches that run traced.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// A named fleet of clients of one file system under test.
 pub struct System {
@@ -244,6 +246,43 @@ pub fn enable_tracing(systems: &[&System]) {
             t.tracer.set_enabled(true);
         }
     }
+}
+
+/// Turn *deterministic sampled* tracing on for every deployment in
+/// `systems`: every `every`-th op per client is traced end to end
+/// (head-based — the decision is a modulus on the client's op
+/// sequence, so it never perturbs seeded RNG streams and two runs of
+/// the same workload trace the same ops). Tracing rides the virtual
+/// clock and never advances it, so enabling this leaves every
+/// committed benchmark figure byte-identical.
+pub fn enable_sampled_tracing(systems: &[&System], every: u64) {
+    for s in systems {
+        if let Some(t) = system_telemetry(s) {
+            t.tracer.set_sample_every(every);
+            t.tracer.set_enabled(true);
+        }
+    }
+}
+
+/// Mean critical-path attribution of a traced system's retained spans,
+/// keyed per op phase: `<phase>_cp_<segment>_ns` for each segment in
+/// [`critpath::SEGMENTS`] plus `<phase>_cp_total_ns` (phase = the root
+/// span name minus its `op.` prefix). Empty when the system records no
+/// telemetry or tracing was off.
+pub fn critpath_metrics(system: &System) -> Vec<(String, f64)> {
+    let Some(tel) = system_telemetry(system) else {
+        return Vec::new();
+    };
+    let events = tel.tracer.events();
+    let mut out = Vec::new();
+    for (root, agg) in critpath::aggregate(&events) {
+        let phase = root.strip_prefix("op.").unwrap_or(&root);
+        for (i, seg) in critpath::SEGMENTS.iter().enumerate() {
+            out.push((format!("{phase}_cp_{seg}_ns"), agg.mean_seg(i)));
+        }
+        out.push((format!("{phase}_cp_total_ns"), agg.mean_total()));
+    }
+    out
 }
 
 /// Write one merged Chrome `trace_event` JSON covering every traced

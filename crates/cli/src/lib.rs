@@ -44,6 +44,10 @@ impl Shell {
             Arc::clone(&store) as Arc<dyn ObjectStore>,
         );
         let client = cluster.client();
+        // The shell is a debugging surface, so the flight recorder is
+        // always on: every op leaves a bounded trail of structured
+        // events that `obs dump` can surface after the fact.
+        cluster.telemetry().flight.set_enabled(true);
         Shell {
             cluster,
             store,
@@ -258,6 +262,41 @@ impl Shell {
                 "virtual time: {:.6} s",
                 self.client.port().now() as f64 / SEC as f64
             )),
+            "obs" => {
+                let tel = self.cluster.telemetry();
+                match args.first().copied() {
+                    Some("dump") => {
+                        // Fold the ring-loss and lock-contention counters
+                        // into the registry so the dump is self-contained.
+                        tel.publish_ring_losses();
+                        self.client.publish_lock_stats();
+                        let json = tel.flight.dump_json();
+                        if let Some(path) = args.get(1) {
+                            std::fs::write(path, &json).map_err(|e| FsError::Io(e.to_string()))?;
+                            Ok(format!("wrote flight recorder dump to {path}"))
+                        } else {
+                            Ok(json)
+                        }
+                    }
+                    Some(other) => Err(FsError::Io(format!(
+                        "unknown obs subcommand '{other}' (try `obs` or `obs dump`)"
+                    ))),
+                    None => {
+                        let spans = tel.tracer.events().len();
+                        Ok(format!(
+                            "tracing: {} ({} spans buffered, {} dropped)\n\
+                             flight recorder: {} ({} events buffered, {} truncated)\n\
+                             subcommands: obs dump [file]  write flight events as JSON",
+                            if tel.tracer.enabled() { "on" } else { "off" },
+                            spans,
+                            tel.tracer.dropped(),
+                            if tel.flight.enabled() { "on" } else { "off" },
+                            tel.flight.events().len(),
+                            tel.flight.truncated(),
+                        ))
+                    }
+                }
+            }
             _ => Err(FsError::Unsupported("unknown command (try `help`)")),
         }
     }
@@ -327,7 +366,8 @@ commands:
   ln <target> <link> symlink               readlink <p>        read link
   tree [p]           recursive listing     su <uid>            switch identity
   objects            raw object layout     leases              led directories
-  df                 filesystem stats
+  df                 filesystem stats      obs                 observability status
+  obs dump [file]    flight-recorder JSON (per-op event trail)
   sync               flush everything      time                virtual clock
 ";
 
@@ -386,6 +426,23 @@ mod tests {
         // Errors are readable strings.
         let err = sh.exec("cat /missing").unwrap_err();
         assert!(err.contains("no such file"), "{err}");
+    }
+
+    #[test]
+    fn obs_dump_surfaces_flight_events() {
+        let mut sh = Shell::new();
+        sh.exec("mkdir d").unwrap();
+        sh.exec(r#"put d/f.txt "hello""#).unwrap();
+        sh.exec("cat d/f.txt").unwrap();
+        let status = sh.exec("obs").unwrap();
+        assert!(status.contains("flight recorder: on"), "{status}");
+        let dump = sh.exec("obs dump").unwrap();
+        // Every traced op leaves op.begin/op.end flight events, each
+        // stamped with the originating trace id.
+        assert!(dump.contains("\"kind\":\"op.begin\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"op.end\""), "{dump}");
+        assert!(dump.contains("\"trace\":"), "{dump}");
+        assert!(sh.exec("obs bogus").is_err());
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Critical-path attribution over completed causal traces.
+//!
+//! Walks the span graph of each trace (all [`SpanEvent`]s sharing a
+//! `trace_id`) and partitions the root op's ack window — exactly, to
+//! the nanosecond — into named segments:
+//!
+//! | segment           | spans attributed to it                          |
+//! |-------------------|--------------------------------------------------|
+//! | `lease_wait`      | `lease.*` waits/service, leader takeover/recover |
+//! | `partition_route` | partition-map refresh after NotLeader/Stale      |
+//! | `lane_queue`      | commit-lane admission backpressure (`lane.wait`)  |
+//! | `seal_flush`      | journal commit + checkpoint on the ack path      |
+//! | `store_io`        | object-store round trips (`store.*`, `shard.*`)  |
+//! | `client_cpu`      | residual: root window covered by no child span   |
+//!
+//! Overlapping children are resolved by fixed priority (`store_io`
+//! highest), so each elementary interval of the root window is counted
+//! once and the segment sum equals the root duration by construction.
+//! Follow-from spans (`follows == true`, the asynchronous durability
+//! path) are causally part of the trace but *excluded* from the ack
+//! window: the op already acked when they ran.
+
+use crate::trace::SpanEvent;
+use std::collections::BTreeMap;
+
+/// Segment names, in emission order. `client_cpu` is the residual and
+/// always last.
+pub const SEGMENTS: [&str; 6] = [
+    "lease_wait",
+    "partition_route",
+    "lane_queue",
+    "seal_flush",
+    "store_io",
+    "client_cpu",
+];
+
+/// Index of the residual segment in [`SEGMENTS`].
+pub const CLIENT_CPU: usize = 5;
+
+/// Map a span to its segment index in [`SEGMENTS`], or `None` for
+/// spans that carry no attribution of their own (op roots, flight
+/// markers).
+pub fn segment_index(name: &str, cat: &str) -> Option<usize> {
+    match (name, cat) {
+        ("meta.takeover" | "meta.recover", _) => Some(0),
+        (_, "lease") => Some(0),
+        (_, "route") => Some(1),
+        ("lane.wait", _) => Some(2),
+        ("journal.commit" | "meta.checkpoint", _) => Some(3),
+        (_, "durable") => Some(3),
+        (_, "store" | "cache") => Some(4),
+        _ => None,
+    }
+}
+
+/// Overlap-resolution priority: when two child spans cover the same
+/// instant, the instant is charged to the higher-priority segment
+/// (the one closest to the hardware).
+fn priority(seg: usize) -> u8 {
+    match seg {
+        4 => 5, // store_io
+        2 => 4, // lane_queue
+        3 => 3, // seal_flush
+        0 => 2, // lease_wait
+        1 => 1, // partition_route
+        _ => 0,
+    }
+}
+
+/// Exact partition of one trace's ack window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBreakdown {
+    pub trace_id: u64,
+    /// Name of the root span (the client op, e.g. `op.create`).
+    pub root_name: String,
+    /// Root span duration in virtual nanoseconds (ack latency).
+    pub total: u64,
+    /// Per-segment nanoseconds, indexed like [`SEGMENTS`];
+    /// `segs.iter().sum() == total` always.
+    pub segs: [u64; 6],
+}
+
+/// Analyze every complete trace in `events`: group by `trace_id`,
+/// find the root span (`parent_span == 0`), and attribute its window.
+/// Traces whose root was dropped from a bounded ring are skipped.
+/// Results are sorted by `trace_id` (deterministic).
+pub fn analyze(events: &[SpanEvent]) -> Vec<TraceBreakdown> {
+    let mut traces: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for ev in events {
+        if ev.trace_id != 0 {
+            traces.entry(ev.trace_id).or_default().push(ev);
+        }
+    }
+    let mut out = Vec::with_capacity(traces.len());
+    for (trace_id, spans) in traces {
+        let mut roots = spans.iter().filter(|s| s.parent_span == 0 && !s.follows);
+        let root = match (roots.next(), roots.next()) {
+            (Some(r), None) => *r,
+            _ => continue, // root dropped, or ambiguous — incomplete trace
+        };
+        let mut segs = [0u64; 6];
+        sweep(root, &spans, &mut segs);
+        out.push(TraceBreakdown {
+            trace_id,
+            root_name: root.name.to_string(),
+            total: root.end - root.start,
+            segs,
+        });
+    }
+    out
+}
+
+/// Priority sweep of the root window: each elementary interval between
+/// child-span boundaries is charged to the highest-priority covering
+/// segment, or to `client_cpu` when nothing covers it.
+fn sweep(root: &SpanEvent, spans: &[&SpanEvent], segs: &mut [u64; 6]) {
+    // Clip attributable, ack-path children to the root window.
+    let mut children: Vec<(u64, u64, usize)> = Vec::new();
+    let mut cuts: Vec<u64> = vec![root.start, root.end];
+    for s in spans {
+        if s.follows || s.parent_span == 0 {
+            continue;
+        }
+        let Some(seg) = segment_index(&s.name, s.cat) else {
+            continue;
+        };
+        let (a, b) = (s.start.max(root.start), s.end.min(root.end));
+        if a < b {
+            children.push((a, b, seg));
+            cuts.push(a);
+            cuts.push(b);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let seg = children
+            .iter()
+            .filter(|&&(ca, cb, _)| ca <= a && b <= cb)
+            .map(|&(_, _, seg)| seg)
+            .max_by_key(|&seg| priority(seg))
+            .unwrap_or(CLIENT_CPU);
+        segs[seg] += b - a;
+    }
+}
+
+/// Per-op-name aggregate of [`TraceBreakdown`]s (sums, not means, so
+/// callers can derive exact shares).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Aggregate {
+    pub count: u64,
+    pub total_ns: u64,
+    pub segs_ns: [u64; 6],
+}
+
+impl Aggregate {
+    /// Mean nanoseconds per op for segment `i`.
+    pub fn mean_seg(&self, i: usize) -> f64 {
+        self.segs_ns[i] as f64 / (self.count.max(1)) as f64
+    }
+
+    /// Mean total (ack) nanoseconds per op.
+    pub fn mean_total(&self) -> f64 {
+        self.total_ns as f64 / (self.count.max(1)) as f64
+    }
+
+    /// Share of the total attributed to segment `i` (0..=1).
+    pub fn share(&self, i: usize) -> f64 {
+        self.segs_ns[i] as f64 / (self.total_ns.max(1)) as f64
+    }
+}
+
+/// Aggregate all complete traces by root span name.
+pub fn aggregate(events: &[SpanEvent]) -> BTreeMap<String, Aggregate> {
+    let mut out: BTreeMap<String, Aggregate> = BTreeMap::new();
+    for b in analyze(events) {
+        let agg = out.entry(b.root_name).or_default();
+        agg.count += 1;
+        agg.total_ns += b.total;
+        for (dst, src) in agg.segs_ns.iter_mut().zip(b.segs) {
+            *dst += src;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{CtxGuard, TraceCtx};
+    use crate::trace::{Tracer, PID_CLIENT, PID_LEASE, PID_META, PID_STORE};
+
+    fn record_trace(t: &Tracer, id: u64) {
+        // Root 0..100; lease wait 5..25 (manager service 10..20 inside
+        // it); store IO 30..60 overlapping journal.commit 50..70; lane
+        // wait 70..80. Background durability span ignored.
+        let ctx = TraceCtx::root(id, true);
+        t.record_with_ctx(
+            TraceCtx {
+                parent_span: 0,
+                ..ctx
+            },
+            PID_CLIENT,
+            1,
+            "op.create",
+            "op",
+            1000,
+            1100,
+        );
+        let _g = CtxGuard::install(ctx);
+        t.record(PID_CLIENT, 1, "lease.wait", "lease", 1005, 1025);
+        t.record(PID_LEASE, 0, "lease.acquire", "lease", 1010, 1020);
+        t.record(PID_STORE, 0, "store.put_many", "store", 1030, 1060);
+        t.record(PID_META, 7, "journal.commit", "meta", 1050, 1070);
+        t.record(PID_CLIENT, 1, "lane.wait", "lane", 1070, 1080);
+        let _bg = CtxGuard::install(ctx.as_background());
+        t.record(PID_META, 7, "journal.commit", "meta", 1200, 1300);
+    }
+
+    #[test]
+    fn segment_sum_equals_root_duration_exactly() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        record_trace(&t, 42);
+        let bds = analyze(&t.events());
+        assert_eq!(bds.len(), 1);
+        let b = &bds[0];
+        assert_eq!(b.root_name, "op.create");
+        assert_eq!(b.total, 100);
+        assert_eq!(b.segs.iter().sum::<u64>(), b.total);
+        // lease 5..25 → 20; store 30..60 → 30; journal.commit 50..70
+        // loses 50..60 to store_io (higher priority) → 10; lane 70..80
+        // → 10; residual client_cpu = 100 - 70 = 30.
+        assert_eq!(b.segs[0], 20, "lease_wait");
+        assert_eq!(b.segs[4], 30, "store_io");
+        assert_eq!(b.segs[3], 10, "seal_flush");
+        assert_eq!(b.segs[2], 10, "lane_queue");
+        assert_eq!(b.segs[5], 30, "client_cpu");
+        assert_eq!(b.segs[1], 0, "partition_route");
+    }
+
+    #[test]
+    fn follow_from_spans_are_excluded_from_ack_window() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let ctx = TraceCtx::root(7, true);
+        t.record_with_ctx(
+            TraceCtx {
+                parent_span: 0,
+                ..ctx
+            },
+            PID_CLIENT,
+            1,
+            "op.mkdir",
+            "op",
+            0,
+            50,
+        );
+        let _bg = CtxGuard::install(ctx.as_background());
+        // Durable flush overlapping the ack window must still not count.
+        t.record(PID_STORE, 0, "store.put_many", "store", 10, 40);
+        let b = &analyze(&t.events())[0];
+        assert_eq!(b.segs[4], 0);
+        assert_eq!(b.segs[CLIENT_CPU], 50);
+    }
+
+    #[test]
+    fn traces_without_roots_are_skipped() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let _g = CtxGuard::install(TraceCtx::root(9, true));
+        t.record(PID_STORE, 0, "shard.read", "store", 0, 10);
+        assert!(analyze(&t.events()).is_empty());
+    }
+
+    #[test]
+    fn aggregate_sums_per_op_name() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        record_trace(&t, 1);
+        record_trace(&t, 2);
+        let aggs = aggregate(&t.events());
+        let a = &aggs["op.create"];
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_ns, 200);
+        assert_eq!(a.segs_ns.iter().sum::<u64>(), 200);
+        assert!((a.mean_total() - 100.0).abs() < 1e-9);
+        assert!((a.share(4) - 0.3).abs() < 1e-9);
+        assert!((a.mean_seg(0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_mapping_covers_span_taxonomy() {
+        assert_eq!(segment_index("lease.acquire", "lease"), Some(0));
+        assert_eq!(segment_index("meta.takeover", "meta"), Some(0));
+        assert_eq!(segment_index("route.refresh", "route"), Some(1));
+        assert_eq!(segment_index("lane.wait", "lane"), Some(2));
+        assert_eq!(segment_index("journal.commit", "meta"), Some(3));
+        assert_eq!(segment_index("op.create", "durable"), Some(3));
+        assert_eq!(segment_index("store.get_many", "store"), Some(4));
+        assert_eq!(segment_index("cache.miss", "cache"), Some(4));
+        assert_eq!(segment_index("op.create", "op"), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Causal trace context: the per-request identity that links every
+//! span in the stack back to the client operation that caused it.
+//!
+//! A [`TraceCtx`] is allocated once per Vfs operation (head-based,
+//! deterministic sampling — see [`crate::Tracer::set_sample_every`]),
+//! carried in the RPC envelope across the simulated bus, stamped into
+//! journal transactions, and installed as an *ambient* thread-local so
+//! every `Tracer::record` call between install and drop is causally
+//! attached without touching its call site. This works because the
+//! simulator executes an operation — bus calls and background `Port`
+//! forks included — synchronously on the op's host thread.
+//!
+//! Background durability (the sealed-commit flush that completes after
+//! the op already acked) re-installs the ctx with the [`BACKGROUND`]
+//! flag: spans recorded under it are *follow-from* links — causally
+//! attributed to the op's trace but excluded from its ack critical
+//! path (see [`crate::critpath`]).
+//!
+//! [`BACKGROUND`]: TraceCtx::BACKGROUND
+
+use std::cell::Cell;
+
+/// Compact causal context carried per request.
+///
+/// `trace_id == 0` means "no context" ([`TraceCtx::NONE`]): spans
+/// record exactly as before this layer existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Identity of the originating client op's trace (0 = none).
+    pub trace_id: u64,
+    /// Span id of the enclosing span (the op's root span).
+    pub parent_span: u64,
+    /// [`TraceCtx::SAMPLED`] | [`TraceCtx::BACKGROUND`].
+    pub flags: u8,
+}
+
+impl TraceCtx {
+    /// This trace was head-sampled: record its spans even when
+    /// sampling is active.
+    pub const SAMPLED: u8 = 1;
+    /// Executing on the asynchronous durability path: spans are
+    /// follow-from links, not ack-critical children.
+    pub const BACKGROUND: u8 = 2;
+
+    /// The absent context.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent_span: 0,
+        flags: 0,
+    };
+
+    /// A fresh root context for trace `trace_id` (also used as the
+    /// root span id), sampled or not.
+    pub fn root(trace_id: u64, sampled: bool) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            parent_span: trace_id,
+            flags: if sampled { Self::SAMPLED } else { 0 },
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    pub fn sampled(&self) -> bool {
+        self.flags & Self::SAMPLED != 0
+    }
+
+    pub fn background(&self) -> bool {
+        self.flags & Self::BACKGROUND != 0
+    }
+
+    /// The same context with the follow-from bit set (entering the
+    /// async durability path).
+    pub fn as_background(&self) -> TraceCtx {
+        TraceCtx {
+            flags: self.flags | Self::BACKGROUND,
+            ..*self
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<TraceCtx> = const { Cell::new(TraceCtx::NONE) };
+}
+
+/// The ambient context of the current thread ([`TraceCtx::NONE`] when
+/// no op is in flight).
+pub fn current() -> TraceCtx {
+    CURRENT.with(|c| c.get())
+}
+
+/// RAII installer for the ambient context; restores the previous
+/// context on drop so nested installs (op → RPC service → background
+/// flush) unwind correctly.
+#[derive(Debug)]
+pub struct CtxGuard {
+    prev: TraceCtx,
+}
+
+impl CtxGuard {
+    /// Install `ctx` as the ambient context until the guard drops.
+    pub fn install(ctx: TraceCtx) -> CtxGuard {
+        let prev = CURRENT.with(|c| c.replace(ctx));
+        CtxGuard { prev }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(current(), TraceCtx::NONE);
+        assert!(TraceCtx::default().is_none());
+    }
+
+    #[test]
+    fn guard_installs_and_restores_nested() {
+        let outer = TraceCtx::root(7, true);
+        let g1 = CtxGuard::install(outer);
+        assert_eq!(current(), outer);
+        {
+            let inner = outer.as_background();
+            let _g2 = CtxGuard::install(inner);
+            assert!(current().background());
+            assert!(current().sampled());
+            assert_eq!(current().trace_id, 7);
+        }
+        assert_eq!(current(), outer);
+        drop(g1);
+        assert_eq!(current(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn root_ctx_uses_trace_id_as_parent_span() {
+        let c = TraceCtx::root(42, false);
+        assert_eq!(c.parent_span, 42);
+        assert!(!c.sampled());
+        assert!(!c.background());
+        assert!(!c.is_none());
+    }
+
+    #[test]
+    fn ambient_is_per_thread() {
+        let _g = CtxGuard::install(TraceCtx::root(9, true));
+        std::thread::spawn(|| assert_eq!(current(), TraceCtx::NONE))
+            .join()
+            .unwrap();
+        assert_eq!(current().trace_id, 9);
+    }
+}

@@ -12,7 +12,16 @@
 //!
 //! Recording is gated on an atomic enable flag; when disabled (the
 //! default) `record` is a single relaxed load.
+//!
+//! Spans are causally linked: every record call attaches the ambient
+//! [`TraceCtx`] (see [`crate::ctx`]) installed by the originating
+//! client op, so a store PUT or lease grant recorded deep in the
+//! stack carries the `trace_id` of the op that caused it. Head-based
+//! sampling ([`Tracer::set_sample_every`]) keeps traced runs
+//! deterministic: whether an op is sampled depends only on its
+//! per-client sequence number, never on wall clock or RNG state.
 
+use crate::ctx::{self, TraceCtx};
 use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -45,6 +54,13 @@ pub struct SpanEvent {
     pub cat: &'static str,
     pub start: u64,
     pub end: u64,
+    /// Trace of the originating client op (0 = uncorrelated span).
+    pub trace_id: u64,
+    /// Enclosing span id; 0 marks the trace's root span.
+    pub parent_span: u64,
+    /// Recorded on the asynchronous durability path: a follow-from
+    /// link, excluded from the op's ack critical path.
+    pub follows: bool,
 }
 
 #[derive(Debug, Default)]
@@ -66,6 +82,10 @@ fn stripe_of(pid: u32, tid: u32) -> usize {
 #[derive(Debug)]
 pub struct Tracer {
     enabled: AtomicBool,
+    /// Head-based sampling period: 0 records every span, N > 0 records
+    /// only spans whose ambient [`TraceCtx`] carries the SAMPLED flag
+    /// (set by the op allocator on every Nth op per client).
+    sample_every: AtomicU64,
     capacity: usize,
     stripes: Vec<Mutex<HashMap<(u32, u32), Track>>>,
     process_names: Mutex<BTreeMap<u32, String>>,
@@ -82,6 +102,7 @@ impl Tracer {
         assert!(capacity > 0);
         Tracer {
             enabled: AtomicBool::new(false),
+            sample_every: AtomicU64::new(0),
             capacity,
             stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
             process_names: Mutex::new(BTreeMap::new()),
@@ -98,12 +119,29 @@ impl Tracer {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Head-based sampling period: with `every == 0` (the default)
+    /// every span records; with `every == N > 0` only spans whose
+    /// ambient [`TraceCtx`] is head-sampled record. The per-op
+    /// sampling decision is made by the op allocator from its op
+    /// sequence number (`seq % N == 0`), so it is deterministic across
+    /// runs and independent of workload RNG streams.
+    pub fn set_sample_every(&self, every: u64) {
+        self.sample_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Current sampling period (see [`Tracer::set_sample_every`]).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
     /// Label a pid group in the exported trace (`process_name` metadata).
     pub fn name_process(&self, pid: u32, name: &str) {
         self.process_names.lock().insert(pid, name.to_string());
     }
 
-    /// Record one completed span. No-op while disabled.
+    /// Record one completed span, causally attached to the calling
+    /// thread's ambient [`TraceCtx`]. No-op while disabled; one
+    /// relaxed load on the disabled path.
     pub fn record(
         &self,
         pid: u32,
@@ -116,13 +154,57 @@ impl Tracer {
         if !self.enabled() {
             return;
         }
+        self.push(ctx::current(), pid, tid, name.into(), cat, start, end);
+    }
+
+    /// Record one completed span under an *explicit* context instead
+    /// of the ambient one — used where the causal owner differs from
+    /// the currently executing op (e.g. the follow-from durability
+    /// span of a journal stamp landed by another op's group commit).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_ctx(
+        &self,
+        ctx: TraceCtx,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        start: u64,
+        end: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(ctx, pid, tid, name.into(), cat, start, end);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &self,
+        ctx: TraceCtx,
+        pid: u32,
+        tid: u32,
+        name: Cow<'static, str>,
+        cat: &'static str,
+        start: u64,
+        end: u64,
+    ) {
+        // With sampling active, only head-sampled contexts record;
+        // context-free spans (setup paths outside any op) are skipped
+        // too, keeping sampled span volume strictly bounded.
+        if self.sample_every() > 0 && !ctx.sampled() {
+            return;
+        }
         let ev = SpanEvent {
             pid,
             tid,
-            name: name.into(),
+            name,
             cat,
             start,
             end: end.max(start),
+            trace_id: ctx.trace_id,
+            parent_span: if ctx.is_none() { 0 } else { ctx.parent_span },
+            follows: ctx.background(),
         };
         let mut tracks = self.stripes[stripe_of(pid, tid)].lock();
         let track = tracks.entry((pid, tid)).or_default();
@@ -263,7 +345,17 @@ fn render_group(
         push_micros(out, ev.start);
         out.push_str(",\"dur\":");
         push_micros(out, ev.end - ev.start);
-        let _ = write!(out, ",\"pid\":{},\"tid\":{}}}", pid_base + ev.pid, ev.tid);
+        let _ = write!(out, ",\"pid\":{},\"tid\":{}", pid_base + ev.pid, ev.tid);
+        // Causal linkage rides in `args` so uncorrelated spans keep the
+        // legacy shape byte for byte.
+        if ev.trace_id != 0 {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"trace\":{},\"parent\":{},\"follows\":{}}}",
+                ev.trace_id, ev.parent_span, ev.follows
+            );
+        }
+        out.push('}');
     }
 }
 
@@ -362,6 +454,64 @@ mod tests {
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("\"args\":{\"name\":\"clients\"}"));
         assert!(json.contains("\"ph\":\"X\",\"name\":\"op.write\",\"cat\":\"op\",\"ts\":1.234,\"dur\":4.444,\"pid\":1,\"tid\":3"));
+    }
+
+    #[test]
+    fn ambient_ctx_attaches_to_recorded_spans() {
+        use crate::ctx::{CtxGuard, TraceCtx};
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.record(PID_CLIENT, 1, "op.free", "op", 0, 5);
+        {
+            let _g = CtxGuard::install(TraceCtx::root(99, true));
+            t.record(PID_STORE, 2, "shard.write", "store", 1, 4);
+            let _bg = CtxGuard::install(TraceCtx::root(99, true).as_background());
+            t.record(PID_META, 3, "journal.commit", "meta", 2, 6);
+        }
+        let evs = t.events();
+        let free = evs.iter().find(|e| e.name == "op.free").unwrap();
+        assert_eq!(
+            (free.trace_id, free.parent_span, free.follows),
+            (0, 0, false)
+        );
+        let store = evs.iter().find(|e| e.name == "shard.write").unwrap();
+        assert_eq!(
+            (store.trace_id, store.parent_span, store.follows),
+            (99, 99, false)
+        );
+        let meta = evs.iter().find(|e| e.name == "journal.commit").unwrap();
+        assert!(meta.follows);
+        assert_eq!(meta.trace_id, 99);
+        // Causal linkage shows up in the export args.
+        let json = t.chrome_trace();
+        assert!(json.contains("\"args\":{\"trace\":99,\"parent\":99,\"follows\":true}"));
+    }
+
+    #[test]
+    fn sampling_gates_unsampled_and_ctx_free_spans() {
+        use crate::ctx::{CtxGuard, TraceCtx};
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.set_sample_every(16);
+        assert_eq!(t.sample_every(), 16);
+        // No ambient ctx: skipped while sampling is active.
+        t.record(PID_CLIENT, 1, "op.skip", "op", 0, 5);
+        {
+            // Unsampled ctx: skipped too.
+            let _g = CtxGuard::install(TraceCtx::root(5, false));
+            t.record(PID_CLIENT, 1, "op.unsampled", "op", 0, 5);
+        }
+        {
+            let _g = CtxGuard::install(TraceCtx::root(6, true));
+            t.record(PID_CLIENT, 1, "op.kept", "op", 0, 5);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "op.kept");
+        // Explicit-ctx record respects the same gate.
+        t.record_with_ctx(TraceCtx::root(7, false), PID_META, 1, "d", "meta", 0, 1);
+        t.record_with_ctx(TraceCtx::root(8, true), PID_META, 1, "e", "meta", 0, 1);
+        assert_eq!(t.events().len(), 2);
     }
 
     #[test]
