@@ -50,7 +50,7 @@ use crate::metatable::Metatable;
 use crate::partition::{partition_ino, PartitionMap};
 use crate::rpc::{OpBody, OpRequest, OpResponse};
 use arkfs_lease::{LeaseRequest, LeaseResponse};
-use arkfs_netsim::{NetError, NodeId, Service};
+use arkfs_netsim::{NodeId, Service};
 use arkfs_objstore::ObjectKey;
 use arkfs_simkit::{Nanos, Port};
 use arkfs_telemetry::PID_CLIENT;
@@ -319,7 +319,7 @@ impl ClientState {
                     return Ok(DirRef::Local(table));
                 }
                 // Extend (or same-holder re-acquire).
-                match self.cluster.lease_bus().call(
+                match self.cluster.call_lease(
                     port,
                     manager_node(pkey, config.lease_managers),
                     LeaseRequest::Acquire {
@@ -350,7 +350,7 @@ impl ClientState {
                                 Err(e) => {
                                     s.tables.remove(&pkey);
                                     s.leases.remove(&pkey);
-                                    let _ = self.cluster.lease_bus().call(
+                                    let _ = self.cluster.call_lease(
                                         port,
                                         manager_node(pkey, config.lease_managers),
                                         LeaseRequest::Release {
@@ -409,8 +409,10 @@ impl ClientState {
                         continue;
                     }
                     Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
-                    Err(NetError::Unreachable) => {
-                        // Manager down but our lease may still be valid.
+                    Err(_) => {
+                        // Manager unreachable (crash, or exhausted retries
+                        // on a real transport) but our lease may still be
+                        // valid.
                         if expiry > now {
                             return Ok(DirRef::Local(table));
                         }
@@ -421,7 +423,7 @@ impl ClientState {
             if let Some(leader) = s.remote_hints.get(&pkey).copied() {
                 return Ok(DirRef::Remote(leader));
             }
-            match self.cluster.lease_bus().call(
+            match self.cluster.call_lease(
                 port,
                 manager_node(pkey, config.lease_managers),
                 LeaseRequest::Acquire {
@@ -445,7 +447,7 @@ impl ClientState {
                     ) {
                         Ok(t) => t,
                         Err(e) => {
-                            let _ = self.cluster.lease_bus().call(
+                            let _ = self.cluster.call_lease(
                                 port,
                                 manager_node(pkey, config.lease_managers),
                                 LeaseRequest::Release {
@@ -498,7 +500,7 @@ impl ClientState {
                     continue;
                 }
                 Ok(LeaseResponse::Released) => unreachable!("release response to acquire"),
-                Err(NetError::Unreachable) => return Err(FsError::TimedOut),
+                Err(_) => return Err(FsError::TimedOut),
             }
         }
         Err(FsError::TimedOut)
@@ -537,7 +539,7 @@ impl ClientState {
             if !valid {
                 // Try a same-holder extension before turning the caller
                 // away.
-                match self.cluster.lease_bus().call(
+                match self.cluster.call_lease(
                     port,
                     manager_node(pkey, self.cluster.config().lease_managers),
                     LeaseRequest::Acquire {
@@ -612,7 +614,7 @@ impl ClientState {
             }
         }
         self.dirs.forget(pkey);
-        let _ = self.cluster.lease_bus().call(
+        let _ = self.cluster.call_lease(
             port,
             manager_node(pkey, config.lease_managers),
             LeaseRequest::Release {
@@ -719,8 +721,8 @@ impl ArkClient {
         body: OpBody,
     ) -> FsResult<OpResponse> {
         let req = OpRequest::new(ctx.clone(), body.clone());
-        match self.state.cluster.ops_bus().call(&self.port, leader, req) {
-            Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+        match self.state.cluster.call_ops(&self.port, leader, req) {
+            Ok(OpResponse::NotLeader) | Err(_) => {
                 let pmap = self.state.cached_pmap(dir);
                 let pidx = ops::route_of(&body, &pmap, self.config().dentry_buckets);
                 self.state.dirs.forget_hint(pmap.pkey(pidx));
@@ -780,8 +782,8 @@ impl ArkClient {
                 }
                 Ok(DirRef::Remote(leader)) => {
                     let req = OpRequest::new(ctx.clone(), body.clone());
-                    match self.state.cluster.ops_bus().call(port, leader, req) {
-                        Ok(OpResponse::NotLeader) | Err(NetError::Unreachable) => {
+                    match self.state.cluster.call_ops(port, leader, req) {
+                        Ok(OpResponse::NotLeader) | Err(_) => {
                             self.state.telemetry.flight.record(
                                 self.state.id.0,
                                 port.now(),
@@ -894,7 +896,7 @@ impl ArkClient {
                             Credentials::root(),
                             OpBody::RelinquishPartition { dir, partition: p },
                         );
-                        match self.state.cluster.ops_bus().call(&self.port, leader, req) {
+                        match self.state.cluster.call_ops(&self.port, leader, req) {
                             Ok(OpResponse::Ok) => {
                                 self.state.dirs.forget_hint(pkey);
                                 self.state.partition_handoffs.inc();
@@ -949,7 +951,7 @@ impl ArkClient {
         // Step 4: hand off our frozen leaderships.
         for pkey in frozen {
             self.state.dirs.forget(pkey);
-            let _ = self.state.cluster.lease_bus().call(
+            let _ = self.state.cluster.call_lease(
                 &self.port,
                 manager_node(pkey, config.lease_managers),
                 LeaseRequest::Release {

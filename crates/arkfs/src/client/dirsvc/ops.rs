@@ -626,7 +626,7 @@ impl ClientState {
                 continue;
             }
             // Crashed holders simply drain via lease expiry.
-            if let Ok(OpResponse::Flushed { size: Some(size) }) = self.cluster.ops_bus().call(
+            if let Ok(OpResponse::Flushed { size: Some(size) }) = self.cluster.call_ops(
                 port,
                 target,
                 OpRequest::new(Credentials::root(), OpBody::FlushCache { file }),

@@ -444,7 +444,7 @@ impl ArkClient {
             op_seq: AtomicU64::new(0),
         });
         cluster
-            .ops_bus()
+            .ops_net()
             .register(id, Arc::new(ClientService(Arc::clone(&state))));
         Arc::new(ArkClient {
             state,
@@ -567,7 +567,7 @@ impl ArkClient {
     /// object store for the next leader to recover (§III-E.1).
     pub fn crash(&self) {
         self.state.crashed.store(true, Ordering::Release);
-        self.state.cluster.ops_bus().disconnect(self.state.id);
+        self.state.cluster.ops_net().disconnect(self.state.id);
         self.state.dirs.clear();
         self.state.files.clear();
         self.state.pcache.clear();
@@ -583,7 +583,7 @@ impl ArkClient {
         dirs.sort_unstable();
         for dir in dirs {
             self.state.dirs.forget(dir);
-            let _ = self.state.cluster.lease_bus().call(
+            let _ = self.state.cluster.call_lease(
                 &self.port,
                 manager_node(dir, self.config().lease_managers),
                 LeaseRequest::Release {

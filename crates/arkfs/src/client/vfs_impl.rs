@@ -283,7 +283,7 @@ impl Vfs for ArkClient {
             }
             // Drop leadership and delete the directory's objects.
             self.state.dirs.forget(child);
-            let _ = self.state.cluster.lease_bus().call(
+            let _ = self.state.cluster.call_lease(
                 &self.port,
                 manager_node(child, self.config().lease_managers),
                 LeaseRequest::Release {

@@ -1,5 +1,10 @@
 //! Deployment handle: wires the object store, the lease manager, and the
-//! client-to-client RPC bus together, and mints clients.
+//! client-to-client RPC transport together, and mints clients.
+//!
+//! The default deployment ([`ArkCluster::new`]) runs both protocols on
+//! the virtual-time [`Bus`]; [`ArkCluster::with_transports`] accepts any
+//! [`Transport`] pair, which is how the TCP mode (`cli serve` /
+//! `cli client`) runs the identical stack across processes.
 
 use crate::client::ArkClient;
 use crate::config::ArkConfig;
@@ -7,7 +12,7 @@ use crate::meta::InodeRecord;
 use crate::prt::Prt;
 use crate::rpc::{OpRequest, OpResponse};
 use arkfs_lease::{LeaseConfig, LeaseManager, LeaseRequest, LeaseResponse};
-use arkfs_netsim::{Bus, NodeId};
+use arkfs_netsim::{call_with_retry, Bus, NetError, NodeId, RetryCounters, Transport};
 use arkfs_objstore::ObjectStore;
 use arkfs_simkit::{Nanos, Port};
 use arkfs_vfs::{FileType, FsError, Ino, ROOT_INO};
@@ -30,42 +35,67 @@ pub fn manager_node(ino: Ino, managers: usize) -> NodeId {
 pub struct ArkCluster {
     config: ArkConfig,
     prt: Arc<Prt>,
-    lease_bus: Arc<Bus<LeaseRequest, LeaseResponse>>,
-    ops_bus: Arc<Bus<OpRequest, OpResponse>>,
+    lease_net: Arc<dyn Transport<LeaseRequest, LeaseResponse>>,
+    ops_net: Arc<dyn Transport<OpRequest, OpResponse>>,
+    net_counters: RetryCounters,
     next_node: AtomicU32,
 }
 
 impl ArkCluster {
-    /// Stand up a deployment on `store`, bootstrapping the root directory
-    /// inode if the store is empty.
+    /// Stand up a virtual-time deployment on `store`, bootstrapping the
+    /// root directory inode if the store is empty.
     pub fn new(config: ArkConfig, store: Arc<dyn ObjectStore>) -> Arc<Self> {
+        let half_rtt = config.spec.net_half_rtt;
+        Self::with_transports(
+            config,
+            store,
+            Arc::new(Bus::new(half_rtt)),
+            Arc::new(Bus::new(half_rtt)),
+            true,
+        )
+    }
+
+    /// Stand up a deployment on explicit transports. With `host = true`
+    /// this endpoint runs the lease managers and bootstraps the root
+    /// inode (the single-process simulator and the `cli serve` side);
+    /// with `host = false` it attaches to a deployment hosted elsewhere
+    /// (the `cli client` side) and registers nothing.
+    pub fn with_transports(
+        config: ArkConfig,
+        store: Arc<dyn ObjectStore>,
+        lease_net: Arc<dyn Transport<LeaseRequest, LeaseResponse>>,
+        ops_net: Arc<dyn Transport<OpRequest, OpResponse>>,
+        host: bool,
+    ) -> Arc<Self> {
         let prt = Arc::new(Prt::new(store, config.chunk_size));
-        let lease_bus = Arc::new(Bus::new(config.spec.net_half_rtt));
-        let ops_bus = Arc::new(Bus::new(config.spec.net_half_rtt));
-        let lease_cfg = LeaseConfig {
-            period: config.lease_period,
-            grace: config.lease_grace,
-            op_service: config.spec.lease_op_service,
-        };
-        for k in 0..config.lease_managers.max(1) {
-            lease_bus.register(
-                NodeId(MANAGER_BASE - k as u32),
-                Arc::new(LeaseManager::new(lease_cfg).with_telemetry(prt.telemetry())),
-            );
+        if host {
+            let lease_cfg = LeaseConfig {
+                period: config.lease_period,
+                grace: config.lease_grace,
+                op_service: config.spec.lease_op_service,
+            };
+            for k in 0..config.lease_managers.max(1) {
+                lease_net.register(
+                    NodeId(MANAGER_BASE - k as u32),
+                    Arc::new(LeaseManager::new(lease_cfg).with_telemetry(prt.telemetry())),
+                );
+            }
+
+            // Bootstrap "/" if this is a fresh store.
+            let boot = Port::new();
+            if prt.load_inode(&boot, ROOT_INO) == Err(FsError::NotFound) {
+                let root = InodeRecord::new(ROOT_INO, FileType::Directory, 0o755, 0, 0, 0);
+                prt.store_inode(&boot, &root).expect("bootstrap root inode");
+            }
         }
 
-        // Bootstrap "/" if this is a fresh store.
-        let boot = Port::new();
-        if prt.load_inode(&boot, ROOT_INO) == Err(FsError::NotFound) {
-            let root = InodeRecord::new(ROOT_INO, FileType::Directory, 0o755, 0, 0, 0);
-            prt.store_inode(&boot, &root).expect("bootstrap root inode");
-        }
-
+        let net_counters = RetryCounters::register(&prt.telemetry().registry);
         Arc::new(ArkCluster {
             config,
             prt,
-            lease_bus,
-            ops_bus,
+            lease_net,
+            ops_net,
+            net_counters,
             next_node: AtomicU32::new(1),
         })
     }
@@ -83,12 +113,49 @@ impl ArkCluster {
         self.prt.telemetry()
     }
 
-    pub fn lease_bus(&self) -> &Arc<Bus<LeaseRequest, LeaseResponse>> {
-        &self.lease_bus
+    pub fn lease_net(&self) -> &Arc<dyn Transport<LeaseRequest, LeaseResponse>> {
+        &self.lease_net
     }
 
-    pub fn ops_bus(&self) -> &Arc<Bus<OpRequest, OpResponse>> {
-        &self.ops_bus
+    pub fn ops_net(&self) -> &Arc<dyn Transport<OpRequest, OpResponse>> {
+        &self.ops_net
+    }
+
+    /// Lease-protocol RPC under the deployment's retry policy. Transient
+    /// transport failures (timeout, reset — only possible on a real
+    /// transport) are retried with exponential backoff; on the virtual
+    /// bus this is behaviorally identical to a bare `call`.
+    pub(crate) fn call_lease(
+        &self,
+        port: &Port,
+        to: NodeId,
+        req: LeaseRequest,
+    ) -> Result<LeaseResponse, NetError> {
+        call_with_retry(
+            self.lease_net.as_ref(),
+            port,
+            to,
+            req,
+            self.config.net_retry,
+            Some(&self.net_counters),
+        )
+    }
+
+    /// Forwarded-operation RPC under the deployment's retry policy.
+    pub(crate) fn call_ops(
+        &self,
+        port: &Port,
+        to: NodeId,
+        req: OpRequest,
+    ) -> Result<OpResponse, NetError> {
+        call_with_retry(
+            self.ops_net.as_ref(),
+            port,
+            to,
+            req,
+            self.config.net_retry,
+            Some(&self.net_counters),
+        )
     }
 
     /// Mint a new client (one per simulated process). The client
@@ -98,11 +165,18 @@ impl ArkCluster {
         ArkClient::new(Arc::clone(self), node)
     }
 
+    /// Move the client node-id allocator so two endpoints of one
+    /// deployment mint from disjoint spaces (e.g. the serve side takes
+    /// 1..=999, a client process starts at 1000).
+    pub fn set_first_node(&self, first: u32) {
+        self.next_node.store(first.max(1), Ordering::Relaxed);
+    }
+
     /// Crash every lease manager (stops answering). Clients holding
     /// leases keep working until expiry (§III-E.2).
     pub fn crash_lease_manager(&self) {
         for k in 0..self.config.lease_managers.max(1) {
-            self.lease_bus.disconnect(NodeId(MANAGER_BASE - k as u32));
+            self.lease_net.disconnect(NodeId(MANAGER_BASE - k as u32));
         }
     }
 
@@ -115,7 +189,7 @@ impl ArkCluster {
             op_service: self.config.spec.lease_op_service,
         };
         for k in 0..self.config.lease_managers.max(1) {
-            self.lease_bus.register(
+            self.lease_net.register(
                 NodeId(MANAGER_BASE - k as u32),
                 Arc::new(
                     LeaseManager::restarted_at(lease_cfg, at).with_telemetry(self.telemetry()),

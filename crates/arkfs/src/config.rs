@@ -93,6 +93,10 @@ pub struct ArkConfig {
     /// when they hash to the same stripe; `1` restores a single global
     /// lock per table (the pre-striping behavior, kept for ablation).
     pub client_lock_stripes: usize,
+    /// Retry/backoff policy for transient RPC failures (timeouts and
+    /// resets on a real transport; the virtual bus never produces them,
+    /// so the policy is inert in simulation).
+    pub net_retry: arkfs_netsim::RetryPolicy,
     /// Cost constants for the simulated cluster.
     pub spec: ClusterSpec,
 }
@@ -122,6 +126,7 @@ impl Default for ArkConfig {
             fuse_model: true,
             lease_managers: 1,
             client_lock_stripes: 16,
+            net_retry: arkfs_netsim::RetryPolicy::default(),
             spec: ClusterSpec::aws_paper(),
         }
     }
@@ -157,6 +162,7 @@ impl ArkConfig {
             lease_managers: 1,
             // Few stripes so unit tests exercise stripe collisions.
             client_lock_stripes: 4,
+            net_retry: arkfs_netsim::RetryPolicy::default(),
             spec: ClusterSpec::test_tiny(),
         }
     }

@@ -44,6 +44,7 @@ pub mod metatable;
 pub mod partition;
 pub mod prt;
 pub mod radix;
+pub mod remote;
 pub mod rpc;
 pub mod wire;
 

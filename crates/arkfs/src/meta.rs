@@ -62,7 +62,7 @@ impl InodeRecord {
     }
 }
 
-fn encode_acl(acl: &Acl, enc: &mut Encoder) {
+pub(crate) fn encode_acl(acl: &Acl, enc: &mut Encoder) {
     enc.put_u32(acl.entries.len() as u32);
     for e in &acl.entries {
         match e.qualifier {
@@ -83,7 +83,7 @@ fn encode_acl(acl: &Acl, enc: &mut Encoder) {
     }
 }
 
-fn decode_acl(dec: &mut Decoder<'_>) -> WireResult<Acl> {
+pub(crate) fn decode_acl(dec: &mut Decoder<'_>) -> WireResult<Acl> {
     let n = dec.get_u32()? as usize;
     let mut entries = Vec::with_capacity(n.min(1024));
     for _ in 0..n {

@@ -209,6 +209,60 @@ impl WireCodec for arkfs_telemetry::TraceCtx {
     }
 }
 
+/// Encode a value as a transport frame payload: the wire body followed
+/// by a CRC32 of the body, so a receiving transport can reject corrupt
+/// or torn frames before interpreting them.
+pub fn to_frame<T: WireCodec>(v: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    v.encode(&mut enc);
+    let crc = crc32(enc.as_slice());
+    enc.put_u32(crc);
+    enc.into_bytes()
+}
+
+/// Decode a [`to_frame`] payload: verify the trailing CRC32, decode the
+/// body, and require the decoder to consume it exactly.
+pub fn from_frame<T: WireCodec>(buf: &[u8]) -> WireResult<T> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let expect = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != expect {
+        return Err(WireError::BadChecksum);
+    }
+    let mut dec = Decoder::new(body);
+    let v = T::decode(&mut dec)?;
+    if !dec.is_exhausted() {
+        return Err(WireError::Invalid("trailing bytes"));
+    }
+    Ok(v)
+}
+
+/// Deduplicating leak for decoding `&'static str` enum payloads
+/// ([`FsError::Unsupported`] and friends). Each distinct string leaks
+/// once, ever; repeats return the existing allocation. The set of such
+/// strings in the protocol is a small fixed vocabulary, so the leak is
+/// bounded in practice, and [`MAX_INTERN_LEN`] bounds each entry against
+/// a hostile frame.
+pub(crate) fn intern(s: &str) -> WireResult<&'static str> {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    const MAX_INTERN_LEN: usize = 256;
+    if s.len() > MAX_INTERN_LEN {
+        return Err(WireError::Invalid("interned string too long"));
+    }
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = table.lock().unwrap();
+    if let Some(&existing) = set.get(s) {
+        return Ok(existing);
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    Ok(leaked)
+}
+
 /// CRC-32 (IEEE 802.3, reflected) used for journal transaction integrity.
 pub fn crc32(data: &[u8]) -> u32 {
     // Small table generated at first use.
@@ -233,6 +287,714 @@ pub fn crc32(data: &[u8]) -> u32 {
         crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     crc ^ 0xFFFFFFFF
+}
+
+// ===== RPC envelope codecs =====
+//
+// Stable tagged layouts for everything that crosses a transport: the
+// forwarded-operation protocol (`OpRequest`/`OpResponse`), the lease
+// protocol, and their leaf types. Tags are append-only: new variants
+// take the next free tag; old tags never change meaning.
+
+mod envelope {
+    use super::*;
+    use crate::meta::{decode_acl, encode_acl, InodeRecord};
+    use crate::rpc::{OpBody, OpRequest, OpResponse};
+    use arkfs_lease::{FileLeaseDecision, LeaseRequest, LeaseResponse};
+    use arkfs_netsim::NodeId;
+    use arkfs_vfs::{Credentials, DirEntry, FileType, FsError, SetAttr};
+
+    /// Caps decoded collection sizes; a hostile length prefix must not
+    /// cause a giant allocation before `Truncated` is detected.
+    const MAX_VEC: usize = 1 << 16;
+
+    fn put_opt_u64(enc: &mut Encoder, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                enc.put_bool(true);
+                enc.put_u64(x);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+
+    fn get_opt_u64(dec: &mut Decoder<'_>) -> WireResult<Option<u64>> {
+        Ok(if dec.get_bool()? {
+            Some(dec.get_u64()?)
+        } else {
+            None
+        })
+    }
+
+    fn put_opt_u32(enc: &mut Encoder, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                enc.put_bool(true);
+                enc.put_u32(x);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+
+    fn get_opt_u32(dec: &mut Decoder<'_>) -> WireResult<Option<u32>> {
+        Ok(if dec.get_bool()? {
+            Some(dec.get_u32()?)
+        } else {
+            None
+        })
+    }
+
+    fn put_opt_rec(enc: &mut Encoder, rec: &Option<InodeRecord>) {
+        match rec {
+            Some(r) => {
+                enc.put_bool(true);
+                r.encode(enc);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+
+    fn get_opt_rec(dec: &mut Decoder<'_>) -> WireResult<Option<InodeRecord>> {
+        Ok(if dec.get_bool()? {
+            Some(InodeRecord::decode(dec)?)
+        } else {
+            None
+        })
+    }
+
+    fn checked_len(dec: &mut Decoder<'_>) -> WireResult<usize> {
+        let n = dec.get_u32()? as usize;
+        if n > MAX_VEC {
+            return Err(WireError::Invalid("collection too large"));
+        }
+        Ok(n)
+    }
+
+    impl WireCodec for NodeId {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u32(self.0);
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(NodeId(dec.get_u32()?))
+        }
+    }
+
+    impl WireCodec for Credentials {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u32(self.uid);
+            enc.put_u32(self.gid);
+            enc.put_u32(self.groups.len() as u32);
+            for g in &self.groups {
+                enc.put_u32(*g);
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            let uid = dec.get_u32()?;
+            let gid = dec.get_u32()?;
+            let n = checked_len(dec)?;
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                groups.push(dec.get_u32()?);
+            }
+            Ok(Credentials { uid, gid, groups })
+        }
+    }
+
+    impl WireCodec for SetAttr {
+        fn encode(&self, enc: &mut Encoder) {
+            put_opt_u32(enc, self.mode);
+            put_opt_u32(enc, self.uid);
+            put_opt_u32(enc, self.gid);
+            put_opt_u64(enc, self.atime);
+            put_opt_u64(enc, self.mtime);
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(SetAttr {
+                mode: get_opt_u32(dec)?,
+                uid: get_opt_u32(dec)?,
+                gid: get_opt_u32(dec)?,
+                atime: get_opt_u64(dec)?,
+                mtime: get_opt_u64(dec)?,
+            })
+        }
+    }
+
+    impl WireCodec for FileType {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u8(self.as_u8());
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            FileType::from_u8(dec.get_u8()?).ok_or(WireError::Invalid("file type"))
+        }
+    }
+
+    impl WireCodec for DirEntry {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_str(&self.name);
+            enc.put_u128(self.ino);
+            self.ftype.encode(enc);
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(DirEntry {
+                name: dec.get_str()?.to_owned(),
+                ino: dec.get_u128()?,
+                ftype: FileType::decode(dec)?,
+            })
+        }
+    }
+
+    impl WireCodec for FsError {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                FsError::NotFound => enc.put_u8(0),
+                FsError::AlreadyExists => enc.put_u8(1),
+                FsError::NotADirectory => enc.put_u8(2),
+                FsError::IsADirectory => enc.put_u8(3),
+                FsError::NotEmpty => enc.put_u8(4),
+                FsError::PermissionDenied => enc.put_u8(5),
+                FsError::NotPermitted => enc.put_u8(6),
+                FsError::InvalidArgument => enc.put_u8(7),
+                FsError::NameTooLong => enc.put_u8(8),
+                FsError::BadHandle => enc.put_u8(9),
+                FsError::BadAccessMode => enc.put_u8(10),
+                FsError::Stale => enc.put_u8(11),
+                FsError::Busy => enc.put_u8(12),
+                FsError::TimedOut => enc.put_u8(13),
+                FsError::NoSpace => enc.put_u8(14),
+                FsError::Io(msg) => {
+                    enc.put_u8(15);
+                    enc.put_str(msg);
+                }
+                FsError::Unsupported(what) => {
+                    enc.put_u8(16);
+                    enc.put_str(what);
+                }
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(match dec.get_u8()? {
+                0 => FsError::NotFound,
+                1 => FsError::AlreadyExists,
+                2 => FsError::NotADirectory,
+                3 => FsError::IsADirectory,
+                4 => FsError::NotEmpty,
+                5 => FsError::PermissionDenied,
+                6 => FsError::NotPermitted,
+                7 => FsError::InvalidArgument,
+                8 => FsError::NameTooLong,
+                9 => FsError::BadHandle,
+                10 => FsError::BadAccessMode,
+                11 => FsError::Stale,
+                12 => FsError::Busy,
+                13 => FsError::TimedOut,
+                14 => FsError::NoSpace,
+                15 => FsError::Io(dec.get_str()?.to_owned()),
+                16 => FsError::Unsupported(intern(dec.get_str()?)?),
+                _ => return Err(WireError::Invalid("fs error tag")),
+            })
+        }
+    }
+
+    impl WireCodec for FileLeaseDecision {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                FileLeaseDecision::Granted { expires_at } => {
+                    enc.put_u8(0);
+                    enc.put_u64(*expires_at);
+                }
+                FileLeaseDecision::Direct {
+                    flush,
+                    direct_until,
+                } => {
+                    enc.put_u8(1);
+                    enc.put_u32(flush.len() as u32);
+                    for n in flush {
+                        n.encode(enc);
+                    }
+                    enc.put_u64(*direct_until);
+                }
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(match dec.get_u8()? {
+                0 => FileLeaseDecision::Granted {
+                    expires_at: dec.get_u64()?,
+                },
+                1 => {
+                    let n = checked_len(dec)?;
+                    let mut flush = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        flush.push(NodeId::decode(dec)?);
+                    }
+                    FileLeaseDecision::Direct {
+                        flush,
+                        direct_until: dec.get_u64()?,
+                    }
+                }
+                _ => return Err(WireError::Invalid("lease decision tag")),
+            })
+        }
+    }
+
+    impl WireCodec for LeaseRequest {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                LeaseRequest::Acquire { client, ino } => {
+                    enc.put_u8(0);
+                    client.encode(enc);
+                    enc.put_u128(*ino);
+                }
+                LeaseRequest::Release { client, ino } => {
+                    enc.put_u8(1);
+                    client.encode(enc);
+                    enc.put_u128(*ino);
+                }
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            let tag = dec.get_u8()?;
+            let client = NodeId::decode(dec)?;
+            let ino = dec.get_u128()?;
+            Ok(match tag {
+                0 => LeaseRequest::Acquire { client, ino },
+                1 => LeaseRequest::Release { client, ino },
+                _ => return Err(WireError::Invalid("lease request tag")),
+            })
+        }
+    }
+
+    impl WireCodec for LeaseResponse {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                LeaseResponse::Granted {
+                    expires_at,
+                    must_load,
+                    takeover_dirty,
+                } => {
+                    enc.put_u8(0);
+                    enc.put_u64(*expires_at);
+                    enc.put_bool(*must_load);
+                    enc.put_bool(*takeover_dirty);
+                }
+                LeaseResponse::Redirect { leader } => {
+                    enc.put_u8(1);
+                    leader.encode(enc);
+                }
+                LeaseResponse::Retry { until } => {
+                    enc.put_u8(2);
+                    enc.put_u64(*until);
+                }
+                LeaseResponse::Released => enc.put_u8(3),
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(match dec.get_u8()? {
+                0 => LeaseResponse::Granted {
+                    expires_at: dec.get_u64()?,
+                    must_load: dec.get_bool()?,
+                    takeover_dirty: dec.get_bool()?,
+                },
+                1 => LeaseResponse::Redirect {
+                    leader: NodeId::decode(dec)?,
+                },
+                2 => LeaseResponse::Retry {
+                    until: dec.get_u64()?,
+                },
+                3 => LeaseResponse::Released,
+                _ => return Err(WireError::Invalid("lease response tag")),
+            })
+        }
+    }
+
+    impl WireCodec for OpBody {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                OpBody::Lookup { dir, name } => {
+                    enc.put_u8(0);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                }
+                OpBody::DirInode { dir } => {
+                    enc.put_u8(1);
+                    enc.put_u128(*dir);
+                }
+                OpBody::Create { dir, name, rec } => {
+                    enc.put_u8(2);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    rec.encode(enc);
+                }
+                OpBody::AddSubdir { dir, name, child } => {
+                    enc.put_u8(3);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*child);
+                }
+                OpBody::Unlink { dir, name } => {
+                    enc.put_u8(4);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                }
+                OpBody::RemoveSubdir { dir, name } => {
+                    enc.put_u8(5);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                }
+                OpBody::Readdir { dir, partition } => {
+                    enc.put_u8(6);
+                    enc.put_u128(*dir);
+                    enc.put_u32(*partition);
+                }
+                OpBody::SetSize {
+                    dir,
+                    name,
+                    ino,
+                    size,
+                } => {
+                    enc.put_u8(7);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*ino);
+                    enc.put_u64(*size);
+                }
+                OpBody::SetAttrChild {
+                    dir,
+                    name,
+                    ino,
+                    attr,
+                } => {
+                    enc.put_u8(8);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*ino);
+                    attr.encode(enc);
+                }
+                OpBody::SetAttrDir { dir, attr } => {
+                    enc.put_u8(9);
+                    enc.put_u128(*dir);
+                    attr.encode(enc);
+                }
+                OpBody::SetAcl {
+                    dir,
+                    name,
+                    target,
+                    acl,
+                } => {
+                    enc.put_u8(10);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*target);
+                    encode_acl(acl, enc);
+                }
+                OpBody::RenameLocal { dir, from, to } => {
+                    enc.put_u8(11);
+                    enc.put_u128(*dir);
+                    enc.put_str(from);
+                    enc.put_str(to);
+                }
+                OpBody::RenameSrcPrepare {
+                    dir,
+                    name,
+                    txid,
+                    peer,
+                } => {
+                    enc.put_u8(12);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*txid);
+                    enc.put_u128(*peer);
+                }
+                OpBody::RenameDstPrepare {
+                    dir,
+                    name,
+                    txid,
+                    peer,
+                    ino,
+                    ftype,
+                    rec,
+                } => {
+                    enc.put_u8(13);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*txid);
+                    enc.put_u128(*peer);
+                    enc.put_u128(*ino);
+                    ftype.encode(enc);
+                    put_opt_rec(enc, rec);
+                }
+                OpBody::RenameDecide {
+                    dir,
+                    name,
+                    txid,
+                    commit,
+                    undo,
+                } => {
+                    enc.put_u8(14);
+                    enc.put_u128(*dir);
+                    enc.put_str(name);
+                    enc.put_u128(*txid);
+                    enc.put_bool(*commit);
+                    match undo {
+                        Some((uname, uino, uftype, urec)) => {
+                            enc.put_bool(true);
+                            enc.put_str(uname);
+                            enc.put_u128(*uino);
+                            uftype.encode(enc);
+                            put_opt_rec(enc, urec);
+                        }
+                        None => enc.put_bool(false),
+                    }
+                }
+                OpBody::AcquireReadLease { dir, file, client } => {
+                    enc.put_u8(15);
+                    enc.put_u128(*dir);
+                    enc.put_u128(*file);
+                    client.encode(enc);
+                }
+                OpBody::AcquireWriteLease { dir, file, client } => {
+                    enc.put_u8(16);
+                    enc.put_u128(*dir);
+                    enc.put_u128(*file);
+                    client.encode(enc);
+                }
+                OpBody::ReleaseFileLease { dir, file, client } => {
+                    enc.put_u8(17);
+                    enc.put_u128(*dir);
+                    enc.put_u128(*file);
+                    client.encode(enc);
+                }
+                OpBody::FlushCache { file } => {
+                    enc.put_u8(18);
+                    enc.put_u128(*file);
+                }
+                OpBody::FsyncDir { dir, partition } => {
+                    enc.put_u8(19);
+                    enc.put_u128(*dir);
+                    enc.put_u32(*partition);
+                }
+                OpBody::RelinquishPartition { dir, partition } => {
+                    enc.put_u8(20);
+                    enc.put_u128(*dir);
+                    enc.put_u32(*partition);
+                }
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(match dec.get_u8()? {
+                0 => OpBody::Lookup {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                },
+                1 => OpBody::DirInode {
+                    dir: dec.get_u128()?,
+                },
+                2 => OpBody::Create {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    rec: InodeRecord::decode(dec)?,
+                },
+                3 => OpBody::AddSubdir {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    child: dec.get_u128()?,
+                },
+                4 => OpBody::Unlink {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                },
+                5 => OpBody::RemoveSubdir {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                },
+                6 => OpBody::Readdir {
+                    dir: dec.get_u128()?,
+                    partition: dec.get_u32()?,
+                },
+                7 => OpBody::SetSize {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    ino: dec.get_u128()?,
+                    size: dec.get_u64()?,
+                },
+                8 => OpBody::SetAttrChild {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    ino: dec.get_u128()?,
+                    attr: SetAttr::decode(dec)?,
+                },
+                9 => OpBody::SetAttrDir {
+                    dir: dec.get_u128()?,
+                    attr: SetAttr::decode(dec)?,
+                },
+                10 => OpBody::SetAcl {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    target: dec.get_u128()?,
+                    acl: decode_acl(dec)?,
+                },
+                11 => OpBody::RenameLocal {
+                    dir: dec.get_u128()?,
+                    from: dec.get_str()?.to_owned(),
+                    to: dec.get_str()?.to_owned(),
+                },
+                12 => OpBody::RenameSrcPrepare {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    txid: dec.get_u128()?,
+                    peer: dec.get_u128()?,
+                },
+                13 => OpBody::RenameDstPrepare {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    txid: dec.get_u128()?,
+                    peer: dec.get_u128()?,
+                    ino: dec.get_u128()?,
+                    ftype: FileType::decode(dec)?,
+                    rec: get_opt_rec(dec)?,
+                },
+                14 => OpBody::RenameDecide {
+                    dir: dec.get_u128()?,
+                    name: dec.get_str()?.to_owned(),
+                    txid: dec.get_u128()?,
+                    commit: dec.get_bool()?,
+                    undo: if dec.get_bool()? {
+                        Some((
+                            dec.get_str()?.to_owned(),
+                            dec.get_u128()?,
+                            FileType::decode(dec)?,
+                            get_opt_rec(dec)?,
+                        ))
+                    } else {
+                        None
+                    },
+                },
+                15 => OpBody::AcquireReadLease {
+                    dir: dec.get_u128()?,
+                    file: dec.get_u128()?,
+                    client: NodeId::decode(dec)?,
+                },
+                16 => OpBody::AcquireWriteLease {
+                    dir: dec.get_u128()?,
+                    file: dec.get_u128()?,
+                    client: NodeId::decode(dec)?,
+                },
+                17 => OpBody::ReleaseFileLease {
+                    dir: dec.get_u128()?,
+                    file: dec.get_u128()?,
+                    client: NodeId::decode(dec)?,
+                },
+                18 => OpBody::FlushCache {
+                    file: dec.get_u128()?,
+                },
+                19 => OpBody::FsyncDir {
+                    dir: dec.get_u128()?,
+                    partition: dec.get_u32()?,
+                },
+                20 => OpBody::RelinquishPartition {
+                    dir: dec.get_u128()?,
+                    partition: dec.get_u32()?,
+                },
+                _ => return Err(WireError::Invalid("op body tag")),
+            })
+        }
+    }
+
+    impl WireCodec for OpRequest {
+        fn encode(&self, enc: &mut Encoder) {
+            self.creds.encode(enc);
+            self.trace.encode(enc);
+            self.body.encode(enc);
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(OpRequest {
+                creds: Credentials::decode(dec)?,
+                trace: arkfs_telemetry::TraceCtx::decode(dec)?,
+                body: OpBody::decode(dec)?,
+            })
+        }
+    }
+
+    impl WireCodec for OpResponse {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                OpResponse::Entry { ino, ftype, rec } => {
+                    enc.put_u8(0);
+                    enc.put_u128(*ino);
+                    ftype.encode(enc);
+                    put_opt_rec(enc, rec);
+                }
+                OpResponse::Inode(rec) => {
+                    enc.put_u8(1);
+                    rec.encode(enc);
+                }
+                OpResponse::Entries {
+                    entries,
+                    partitions,
+                } => {
+                    enc.put_u8(2);
+                    enc.put_u32(entries.len() as u32);
+                    for e in entries {
+                        e.encode(enc);
+                    }
+                    enc.put_u32(*partitions);
+                }
+                OpResponse::Detached { ino, ftype, rec } => {
+                    enc.put_u8(3);
+                    enc.put_u128(*ino);
+                    ftype.encode(enc);
+                    put_opt_rec(enc, rec);
+                }
+                OpResponse::Lease(d) => {
+                    enc.put_u8(4);
+                    d.encode(enc);
+                }
+                OpResponse::Flushed { size } => {
+                    enc.put_u8(5);
+                    put_opt_u64(enc, *size);
+                }
+                OpResponse::Ok => enc.put_u8(6),
+                OpResponse::NotLeader => enc.put_u8(7),
+                OpResponse::Err(e) => {
+                    enc.put_u8(8);
+                    e.encode(enc);
+                }
+            }
+        }
+        fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+            Ok(match dec.get_u8()? {
+                0 => OpResponse::Entry {
+                    ino: dec.get_u128()?,
+                    ftype: FileType::decode(dec)?,
+                    rec: get_opt_rec(dec)?,
+                },
+                1 => OpResponse::Inode(InodeRecord::decode(dec)?),
+                2 => {
+                    let n = checked_len(dec)?;
+                    let mut entries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        entries.push(DirEntry::decode(dec)?);
+                    }
+                    OpResponse::Entries {
+                        entries,
+                        partitions: dec.get_u32()?,
+                    }
+                }
+                3 => OpResponse::Detached {
+                    ino: dec.get_u128()?,
+                    ftype: FileType::decode(dec)?,
+                    rec: get_opt_rec(dec)?,
+                },
+                4 => OpResponse::Lease(FileLeaseDecision::decode(dec)?),
+                5 => OpResponse::Flushed {
+                    size: get_opt_u64(dec)?,
+                },
+                6 => OpResponse::Ok,
+                7 => OpResponse::NotLeader,
+                8 => OpResponse::Err(FsError::decode(dec)?),
+                _ => return Err(WireError::Invalid("op response tag")),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

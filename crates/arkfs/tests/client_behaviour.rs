@@ -482,11 +482,11 @@ fn pcache_serves_repeat_lookups_locally() {
     // First c2 access populates the cache; repeats should not add RPC
     // traffic proportional to calls.
     c2.stat(&ctx, "/hot/f").unwrap();
-    let before = cl.ops_bus().message_count();
+    let before = cl.ops_net().message_count();
     for _ in 0..50 {
         c2.stat(&ctx, "/hot/f").unwrap();
     }
-    let after = cl.ops_bus().message_count();
+    let after = cl.ops_net().message_count();
     // Lookups of /hot in / and of f in /hot are cached... but the final
     // stat still fetches the inode through the parent leader. The saving
     // shows in path resolution: well under 2 RPCs per stat.
@@ -506,11 +506,11 @@ fn no_pcache_sends_every_lookup_to_leaders() {
     c1.mkdir(&ctx, "/hot", 0o755).unwrap();
     write_file(&*c1, &ctx, "/hot/f", b"x").unwrap();
     c2.stat(&ctx, "/hot/f").unwrap();
-    let before = cl.ops_bus().message_count();
+    let before = cl.ops_net().message_count();
     for _ in 0..50 {
         c2.stat(&ctx, "/hot/f").unwrap();
     }
-    let after = cl.ops_bus().message_count();
+    let after = cl.ops_net().message_count();
     assert!(
         after - before >= 100,
         "every component lookup must RPC, got {}",

@@ -19,6 +19,8 @@ use arkfs_vfs::{
 };
 use std::sync::Arc;
 
+pub mod net;
+
 /// Shell session state.
 pub struct Shell {
     pub cluster: Arc<ArkCluster>,

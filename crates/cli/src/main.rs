@@ -1,11 +1,55 @@
-//! `arkfs-shell` entry point: REPL over stdin, or `-c "cmd; cmd"` for
-//! scripted sessions.
+//! `arkfs-shell` entry point: REPL over stdin, `-c "cmd; cmd"` for
+//! scripted sessions, or the two-process loopback modes
+//! `serve <addr>` / `client <addr> [--files N] [--shutdown]`.
 
+use arkfs_cli::net::{self, ClientOpts};
 use arkfs_cli::Shell;
 use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+
+    match args.get(1).map(String::as_str) {
+        Some("serve") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7600");
+            if let Err(e) = net::serve(addr) {
+                eprintln!("arkfs-serve: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("client") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7600");
+            let mut opts = ClientOpts::default();
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--files" => {
+                        opts.files = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(opts.files);
+                        i += 2;
+                    }
+                    "--shutdown" => {
+                        opts.shutdown = true;
+                        i += 1;
+                    }
+                    other => {
+                        eprintln!("arkfs-client: unknown flag {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            if let Err(e) = net::client(addr, opts) {
+                eprintln!("arkfs-client: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
+
     let mut shell = Shell::new();
     println!("ArkFS in-memory deployment ready (type `help`).");
 

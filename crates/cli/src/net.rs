@@ -1,0 +1,175 @@
+//! Two-process loopback deployment: `arkfs-shell serve <addr>` exports
+//! the lease manager and the object store over TCP; `arkfs-shell client
+//! <addr>` attaches the ordinary client stack to them and drives an
+//! mdtest-easy-style workload, reporting wall-clock ops/s.
+//!
+//! Port layout: the serve side listens on three consecutive ports —
+//! `<addr>` for the lease protocol, `+1` for forwarded operations, and
+//! `+2` for the object store.
+
+use arkfs::cluster::MANAGER_BASE;
+use arkfs::remote::{lease_wire, ops_wire, store_wire, RemoteStore, StoreService, STORE_NODE};
+use arkfs::rpc::{OpRequest, OpResponse};
+use arkfs::{ArkCluster, ArkConfig};
+use arkfs_lease::{LeaseRequest, LeaseResponse};
+use arkfs_netsim::{NodeId, TcpTransport, Transport};
+use arkfs_objstore::{ClusterConfig, ObjectCluster, ObjectStore};
+use arkfs_simkit::ClusterSpec;
+use arkfs_vfs::{Credentials, Vfs};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn offset_addr(base: SocketAddr, by: u16) -> SocketAddr {
+    let mut a = base;
+    a.set_port(base.port() + by);
+    a
+}
+
+/// The serving half: object store + lease managers, exported over TCP.
+/// Blocks until a client sends the shutdown frame, then exits cleanly.
+pub fn serve(addr: &str) -> Result<(), String> {
+    let base: SocketAddr = addr.parse().map_err(|e| format!("bad address: {e}"))?;
+    let config = ArkConfig::default();
+    let store = Arc::new(ObjectCluster::new(ClusterConfig::rados(
+        ClusterSpec::aws_paper(),
+    )));
+
+    let lease_net: Arc<TcpTransport<LeaseRequest, LeaseResponse>> =
+        Arc::new(TcpTransport::new(lease_wire()));
+    let ops_net: Arc<TcpTransport<OpRequest, OpResponse>> = Arc::new(TcpTransport::new(ops_wire()));
+    let store_net = Arc::new(TcpTransport::new(store_wire()));
+    store_net.register(
+        STORE_NODE,
+        Arc::new(StoreService::new(Arc::clone(&store) as Arc<dyn ObjectStore>)),
+    );
+
+    let lease_addr = lease_net.listen(base).map_err(|e| e.to_string())?;
+    let ops_addr = ops_net
+        .listen(offset_addr(base, 1))
+        .map_err(|e| e.to_string())?;
+    let store_addr = store_net
+        .listen(offset_addr(base, 2))
+        .map_err(|e| e.to_string())?;
+
+    // Host side: registers the lease managers and bootstraps "/".
+    let _cluster = ArkCluster::with_transports(
+        config,
+        Arc::clone(&store) as Arc<dyn ObjectStore>,
+        lease_net.clone() as Arc<dyn Transport<LeaseRequest, LeaseResponse>>,
+        ops_net.clone() as Arc<dyn Transport<OpRequest, OpResponse>>,
+        true,
+    );
+
+    println!("arkfs-serve: lease on {lease_addr}, ops on {ops_addr}, store on {store_addr}");
+    lease_net.wait_shutdown();
+    ops_net.shutdown();
+    store_net.shutdown();
+    let (objects, bytes) = store.usage();
+    println!("arkfs-serve: clean shutdown ({objects} objects, {bytes} bytes stored)");
+    Ok(())
+}
+
+/// Options for the client half.
+pub struct ClientOpts {
+    /// Files in the mdtest-easy-style create/stat/delete sweep.
+    pub files: usize,
+    /// Send the serve side a shutdown frame when done.
+    pub shutdown: bool,
+}
+
+impl Default for ClientOpts {
+    fn default() -> Self {
+        ClientOpts {
+            files: 200,
+            shutdown: false,
+        }
+    }
+}
+
+/// The client half: attach to a `serve` endpoint at `addr` and run a
+/// small mdtest-easy-style workload (create N, stat N, delete N),
+/// reporting wall-clock ops/s per phase.
+pub fn client(addr: &str, opts: ClientOpts) -> Result<(), String> {
+    let base: SocketAddr = addr.parse().map_err(|e| format!("bad address: {e}"))?;
+    let config = ArkConfig::default();
+
+    let lease_net: Arc<TcpTransport<LeaseRequest, LeaseResponse>> =
+        Arc::new(TcpTransport::new(lease_wire()));
+    for k in 0..config.lease_managers.max(1) {
+        lease_net.register_addr(NodeId(MANAGER_BASE - k as u32), base);
+    }
+    let ops_net: Arc<TcpTransport<OpRequest, OpResponse>> = Arc::new(TcpTransport::new(ops_wire()));
+    // Listen so other client processes (or the serve side) could forward
+    // ops to directories this client leads.
+    let my_ops = ops_net.listen((base.ip(), 0)).map_err(|e| e.to_string())?;
+    let store_net = Arc::new(TcpTransport::new(store_wire()));
+    store_net.register_addr(STORE_NODE, offset_addr(base, 2));
+
+    let store =
+        RemoteStore::connect(store_net).map_err(|e| format!("store connect failed: {e}"))?;
+    println!(
+        "arkfs-client: attached to {base} (store profile `{}`), ops endpoint {my_ops}",
+        store.profile().name
+    );
+
+    // Non-host side: managers and the root inode live on the serve side.
+    let cluster = ArkCluster::with_transports(
+        config,
+        store as Arc<dyn ObjectStore>,
+        lease_net.clone() as Arc<dyn Transport<LeaseRequest, LeaseResponse>>,
+        ops_net.clone() as Arc<dyn Transport<OpRequest, OpResponse>>,
+        false,
+    );
+    // Disjoint node-id space from any clients the serve process mints.
+    cluster.set_first_node(1000);
+    let cl = cluster.client();
+    let ctx = Credentials::root();
+
+    let dir = "/mdtest-easy";
+    cl.mkdir(&ctx, dir, 0o755).map_err(|e| e.to_string())?;
+
+    let phase = |name: &str, t0: Instant, n: usize| {
+        let secs = t0.elapsed().as_secs_f64();
+        let rate = n as f64 / secs.max(1e-9);
+        println!("arkfs-client: {name:>6}  {n} ops in {secs:.3}s  ({rate:.0} ops/s)");
+        rate
+    };
+
+    let t0 = Instant::now();
+    for i in 0..opts.files {
+        let fh = cl
+            .create(&ctx, &format!("{dir}/file.{i}"), 0o644)
+            .map_err(|e| format!("create {i}: {e}"))?;
+        cl.close(&ctx, fh).map_err(|e| e.to_string())?;
+    }
+    phase("create", t0, opts.files);
+
+    let t0 = Instant::now();
+    for i in 0..opts.files {
+        cl.stat(&ctx, &format!("{dir}/file.{i}"))
+            .map_err(|e| format!("stat {i}: {e}"))?;
+    }
+    phase("stat", t0, opts.files);
+
+    let t0 = Instant::now();
+    for i in 0..opts.files {
+        cl.unlink(&ctx, &format!("{dir}/file.{i}"))
+            .map_err(|e| format!("unlink {i}: {e}"))?;
+    }
+    phase("unlink", t0, opts.files);
+
+    cl.rmdir(&ctx, dir).map_err(|e| e.to_string())?;
+    // Push journaled state down to the (remote) store and hand every
+    // lease back before leaving.
+    cl.sync_all(&ctx).map_err(|e| e.to_string())?;
+    cl.release_all(&ctx).map_err(|e| e.to_string())?;
+
+    if opts.shutdown {
+        lease_net
+            .send_shutdown(base)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!("arkfs-client: sent shutdown");
+    }
+    Ok(())
+}

@@ -24,8 +24,8 @@ fn main() {
 
     let admin1 = cluster.client();
     let admin2 = cluster.client();
-    println!("admin1 = {} ({})", admin1.id(), admin1.id().addr());
-    println!("admin2 = {} ({})", admin2.id(), admin2.id().addr());
+    println!("admin1 = {}", admin1.id());
+    println!("admin2 = {}", admin2.id());
 
     // admin1 touches /ingest first and becomes its directory leader.
     admin1.mkdir(&ctx, "/ingest", 0o755).unwrap();
